@@ -1,0 +1,143 @@
+//! `base1`: synchronous serialize-and-upload checkpointing
+//! (`torch.save` to remote storage, paper §V-B).
+
+use ecc_checkpoint::{serialize, StateDict};
+use ecc_cluster::{Cluster, ClusterSpec};
+
+use crate::BaselineError;
+
+/// The conventional PyTorch checkpointing flow: every worker serializes
+/// its full `state_dict` and writes it to remote persistent storage,
+/// with training blocked until the write completes.
+///
+/// See the timing model in [`crate::timing`] for why this caps the
+/// checkpoint frequency: the whole model crosses the 5 Gbps storage
+/// uplink on every save.
+#[derive(Debug)]
+pub struct Base1 {
+    world: usize,
+    version: u64,
+}
+
+impl Base1 {
+    /// Creates the checkpointer for a cluster.
+    pub fn new(spec: &ClusterSpec) -> Self {
+        Self { world: spec.world_size(), version: 0 }
+    }
+
+    /// Version of the latest completed checkpoint (0 = none yet).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Serializes every worker's shard and stores it remotely.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BaselineError::Config`] when the shard count differs
+    /// from the world size.
+    pub fn save(
+        &mut self,
+        cluster: &mut Cluster,
+        dicts: &[StateDict],
+    ) -> Result<u64, BaselineError> {
+        if dicts.len() != self.world {
+            return Err(BaselineError::Config {
+                detail: format!("expected {} state_dicts, got {}", self.world, dicts.len()),
+            });
+        }
+        let version = self.version + 1;
+        let mut total = 0u64;
+        for (w, sd) in dicts.iter().enumerate() {
+            let bytes = serialize::dict_to_bytes(sd);
+            total += bytes.len() as u64;
+            cluster.put_remote(&key(version, w), bytes);
+        }
+        self.version = version;
+        Ok(total)
+    }
+
+    /// Reads every worker's shard back from remote storage.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BaselineError::NoCheckpoint`] before the first save or
+    /// when a shard is missing.
+    pub fn load(&self, cluster: &Cluster) -> Result<Vec<StateDict>, BaselineError> {
+        if self.version == 0 {
+            return Err(BaselineError::NoCheckpoint);
+        }
+        (0..self.world)
+            .map(|w| {
+                let bytes = cluster
+                    .get_remote(&key(self.version, w))
+                    .ok_or(BaselineError::NoCheckpoint)?;
+                Ok(serialize::dict_from_bytes(bytes)?)
+            })
+            .collect()
+    }
+}
+
+fn key(version: u64, worker: usize) -> String {
+    format!("base1/v{version}/{worker}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecc_checkpoint::Value;
+
+    fn dicts(world: usize) -> Vec<StateDict> {
+        (0..world)
+            .map(|w| {
+                let mut sd = StateDict::new();
+                sd.insert("rank", Value::Int(w as i64));
+                sd.insert("rng", Value::Bytes(vec![w as u8; 32]));
+                sd
+            })
+            .collect()
+    }
+
+    #[test]
+    fn survives_total_cluster_loss() {
+        let spec = ClusterSpec::tiny_test(4, 1);
+        let mut cluster = Cluster::new(spec);
+        let mut b = Base1::new(&spec);
+        let d = dicts(4);
+        b.save(&mut cluster, &d).unwrap();
+        for n in 0..4 {
+            cluster.fail_node(n);
+        }
+        // Remote storage is persistent: everything comes back.
+        assert_eq!(b.load(&cluster).unwrap(), d);
+    }
+
+    #[test]
+    fn versions_advance() {
+        let spec = ClusterSpec::tiny_test(2, 1);
+        let mut cluster = Cluster::new(spec);
+        let mut b = Base1::new(&spec);
+        let mut d = dicts(2);
+        b.save(&mut cluster, &d).unwrap();
+        d[0].insert("rank", Value::Int(99));
+        b.save(&mut cluster, &d).unwrap();
+        assert_eq!(b.version(), 2);
+        assert_eq!(b.load(&cluster).unwrap()[0].get("rank"), Some(&Value::Int(99)));
+    }
+
+    #[test]
+    fn load_before_save_errors() {
+        let spec = ClusterSpec::tiny_test(2, 1);
+        let cluster = Cluster::new(spec);
+        let b = Base1::new(&spec);
+        assert!(matches!(b.load(&cluster), Err(BaselineError::NoCheckpoint)));
+    }
+
+    #[test]
+    fn wrong_world_size_is_rejected() {
+        let spec = ClusterSpec::tiny_test(2, 1);
+        let mut cluster = Cluster::new(spec);
+        let mut b = Base1::new(&spec);
+        assert!(b.save(&mut cluster, &dicts(3)).is_err());
+    }
+}

@@ -1,0 +1,199 @@
+//! `base2`: CheckFreq-inspired two-phase checkpointing (paper §V-B).
+
+use ecc_checkpoint::{serialize, StateDict};
+use ecc_cluster::{Cluster, ClusterSpec, NodeId};
+
+use crate::BaselineError;
+
+/// Two-phase checkpointing: *snapshot* copies GPU state into host memory
+/// (short training stall), *persist* asynchronously serializes and
+/// uploads the snapshot to remote storage.
+///
+/// The real-byte implementation separates the phases so tests can
+/// exercise the window where a snapshot exists only in volatile memory:
+/// a node failing between [`Base2::snapshot`] and [`Base2::persist`]
+/// falls back to the previous persisted version — exactly the rollback
+/// CheckFreq accepts.
+#[derive(Debug)]
+pub struct Base2 {
+    world: usize,
+    gpus_per_node: usize,
+    snapshot_version: u64,
+    persisted_version: u64,
+}
+
+impl Base2 {
+    /// Creates the checkpointer for a cluster.
+    pub fn new(spec: &ClusterSpec) -> Self {
+        Self {
+            world: spec.world_size(),
+            gpus_per_node: spec.gpus_per_node(),
+            snapshot_version: 0,
+            persisted_version: 0,
+        }
+    }
+
+    /// Latest version persisted to remote storage.
+    pub fn persisted_version(&self) -> u64 {
+        self.persisted_version
+    }
+
+    /// Phase 1: snapshot every worker's shard into its node's host
+    /// memory (the training stall ends when this returns).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BaselineError::Config`] on a shard-count mismatch and
+    /// propagates host-memory failures.
+    pub fn snapshot(
+        &mut self,
+        cluster: &mut Cluster,
+        dicts: &[StateDict],
+    ) -> Result<u64, BaselineError> {
+        if dicts.len() != self.world {
+            return Err(BaselineError::Config {
+                detail: format!("expected {} state_dicts, got {}", self.world, dicts.len()),
+            });
+        }
+        let version = self.snapshot_version + 1;
+        for (w, sd) in dicts.iter().enumerate() {
+            let node: NodeId = w / self.gpus_per_node;
+            let bytes = serialize::dict_to_bytes(sd);
+            cluster.put_local(node, &snap_key(version, w), bytes)?;
+            if self.snapshot_version > 0 {
+                cluster.delete_local(node, &snap_key(self.snapshot_version, w));
+            }
+        }
+        self.snapshot_version = version;
+        Ok(version)
+    }
+
+    /// Phase 2: persist the latest snapshot to remote storage.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BaselineError::NoCheckpoint`] without a snapshot, and
+    /// propagates cluster failures (a node dying mid-persist).
+    pub fn persist(&mut self, cluster: &mut Cluster) -> Result<(), BaselineError> {
+        if self.snapshot_version == 0 {
+            return Err(BaselineError::NoCheckpoint);
+        }
+        let version = self.snapshot_version;
+        for w in 0..self.world {
+            let node: NodeId = w / self.gpus_per_node;
+            let bytes = cluster
+                .get_local(node, &snap_key(version, w))
+                .ok_or(BaselineError::NoCheckpoint)?
+                .to_vec();
+            cluster.put_remote(&remote_key(version, w), bytes);
+        }
+        self.persisted_version = version;
+        Ok(())
+    }
+
+    /// Convenience: snapshot then persist (the common healthy path).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as the two phases.
+    pub fn save(
+        &mut self,
+        cluster: &mut Cluster,
+        dicts: &[StateDict],
+    ) -> Result<u64, BaselineError> {
+        let v = self.snapshot(cluster, dicts)?;
+        self.persist(cluster)?;
+        Ok(v)
+    }
+
+    /// Restores the latest *persisted* checkpoint from remote storage.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BaselineError::NoCheckpoint`] when nothing was persisted.
+    pub fn load(&self, cluster: &Cluster) -> Result<Vec<StateDict>, BaselineError> {
+        if self.persisted_version == 0 {
+            return Err(BaselineError::NoCheckpoint);
+        }
+        (0..self.world)
+            .map(|w| {
+                let bytes = cluster
+                    .get_remote(&remote_key(self.persisted_version, w))
+                    .ok_or(BaselineError::NoCheckpoint)?;
+                Ok(serialize::dict_from_bytes(bytes)?)
+            })
+            .collect()
+    }
+}
+
+fn snap_key(version: u64, worker: usize) -> String {
+    format!("base2/snap/v{version}/{worker}")
+}
+
+fn remote_key(version: u64, worker: usize) -> String {
+    format!("base2/v{version}/{worker}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecc_checkpoint::Value;
+
+    fn dicts(world: usize, iter: i64) -> Vec<StateDict> {
+        (0..world)
+            .map(|w| {
+                let mut sd = StateDict::new();
+                sd.insert("rank", Value::Int(w as i64));
+                sd.insert("iteration", Value::Int(iter));
+                sd
+            })
+            .collect()
+    }
+
+    #[test]
+    fn two_phase_save_and_load() {
+        let spec = ClusterSpec::tiny_test(2, 2);
+        let mut cluster = Cluster::new(spec);
+        let mut b = Base2::new(&spec);
+        let d = dicts(4, 10);
+        b.save(&mut cluster, &d).unwrap();
+        assert_eq!(b.load(&cluster).unwrap(), d);
+    }
+
+    #[test]
+    fn failure_between_phases_rolls_back() {
+        let spec = ClusterSpec::tiny_test(2, 2);
+        let mut cluster = Cluster::new(spec);
+        let mut b = Base2::new(&spec);
+        let v10 = dicts(4, 10);
+        b.save(&mut cluster, &v10).unwrap();
+        // Snapshot v2 but crash node 0 before persisting.
+        let v20 = dicts(4, 20);
+        b.snapshot(&mut cluster, &v20).unwrap();
+        cluster.fail_node(0);
+        assert!(b.persist(&mut cluster).is_err());
+        // The persisted version is still the old one.
+        let restored = b.load(&cluster).unwrap();
+        assert_eq!(restored, v10);
+        assert_eq!(b.persisted_version(), 1);
+    }
+
+    #[test]
+    fn snapshots_rotate_in_host_memory() {
+        let spec = ClusterSpec::tiny_test(1, 1);
+        let mut cluster = Cluster::new(spec);
+        let mut b = Base2::new(&spec);
+        b.save(&mut cluster, &dicts(1, 1)).unwrap();
+        let used1 = cluster.mem_used(0);
+        b.save(&mut cluster, &dicts(1, 2)).unwrap();
+        assert_eq!(cluster.mem_used(0), used1, "old snapshot must be dropped");
+    }
+
+    #[test]
+    fn persist_without_snapshot_errors() {
+        let spec = ClusterSpec::tiny_test(1, 1);
+        let mut cluster = Cluster::new(spec);
+        let mut b = Base2::new(&spec);
+        assert!(matches!(b.persist(&mut cluster), Err(BaselineError::NoCheckpoint)));
+    }
+}

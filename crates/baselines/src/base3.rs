@@ -1,0 +1,202 @@
+//! `base3`: GEMINI-style replication-based in-memory checkpointing
+//! (paper §II-A, §V-B).
+
+use ecc_checkpoint::{serialize, StateDict};
+use ecc_cluster::{Cluster, ClusterSpec, NodeId};
+
+use crate::BaselineError;
+
+/// Replication-based in-memory checkpointing: nodes are paired into
+/// replication groups `(0,1), (2,3), …`; every node keeps its own
+/// workers' checkpoints in host memory and broadcasts a full replica to
+/// its group partner.
+///
+/// With the paper's comparison redundancy (group size 2, i.e. 2× memory
+/// like `k = m` erasure coding), any single failure per group is
+/// recoverable, but a group losing both members is not — the case
+/// ECCheck survives (Fig. 13b, Fig. 15).
+#[derive(Debug)]
+pub struct Base3 {
+    nodes: usize,
+    gpus_per_node: usize,
+    version: u64,
+}
+
+impl Base3 {
+    /// Creates the checkpointer; the node count must be even so every
+    /// node has a replication partner.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BaselineError::Config`] for an odd node count.
+    pub fn new(spec: &ClusterSpec) -> Result<Self, BaselineError> {
+        if !spec.nodes().is_multiple_of(2) {
+            return Err(BaselineError::Config {
+                detail: format!("{} nodes cannot be paired for replication", spec.nodes()),
+            });
+        }
+        Ok(Self { nodes: spec.nodes(), gpus_per_node: spec.gpus_per_node(), version: 0 })
+    }
+
+    /// Version of the latest completed checkpoint (0 = none yet).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The replication partner of a node.
+    pub fn partner(&self, node: NodeId) -> NodeId {
+        node ^ 1
+    }
+
+    /// The replication group index of a node.
+    pub fn group_of(&self, node: NodeId) -> usize {
+        node / 2
+    }
+
+    /// Stores every worker's shard on its own node and a replica on the
+    /// partner node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BaselineError::Config`] on a shard-count mismatch and
+    /// propagates host-memory failures.
+    pub fn save(
+        &mut self,
+        cluster: &mut Cluster,
+        dicts: &[StateDict],
+    ) -> Result<u64, BaselineError> {
+        let world = self.nodes * self.gpus_per_node;
+        if dicts.len() != world {
+            return Err(BaselineError::Config {
+                detail: format!("expected {world} state_dicts, got {}", dicts.len()),
+            });
+        }
+        let version = self.version + 1;
+        for (w, sd) in dicts.iter().enumerate() {
+            let node = w / self.gpus_per_node;
+            let bytes = serialize::dict_to_bytes(sd);
+            cluster.put_local(node, &key(version, w), bytes.clone())?;
+            cluster.put_local(self.partner(node), &key(version, w), bytes)?;
+        }
+        // Rotate out the previous version after the new one is complete.
+        let old = self.version;
+        self.version = version;
+        if old > 0 {
+            for w in 0..world {
+                let node = w / self.gpus_per_node;
+                cluster.delete_local(node, &key(old, w));
+                cluster.delete_local(self.partner(node), &key(old, w));
+            }
+        }
+        Ok(version)
+    }
+
+    /// Restores every worker's shard from host memory, using partner
+    /// replicas for failed nodes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BaselineError::GroupLost`] when a replication group has
+    /// no surviving copy — the failure mode erasure coding eliminates —
+    /// and [`BaselineError::NoCheckpoint`] before the first save.
+    pub fn load(&self, cluster: &Cluster) -> Result<Vec<StateDict>, BaselineError> {
+        if self.version == 0 {
+            return Err(BaselineError::NoCheckpoint);
+        }
+        let world = self.nodes * self.gpus_per_node;
+        (0..world)
+            .map(|w| {
+                let node = w / self.gpus_per_node;
+                let bytes = cluster
+                    .get_local(node, &key(self.version, w))
+                    .or_else(|| cluster.get_local(self.partner(node), &key(self.version, w)))
+                    .ok_or(BaselineError::GroupLost { group: self.group_of(node) })?;
+                Ok(serialize::dict_from_bytes(bytes)?)
+            })
+            .collect()
+    }
+}
+
+fn key(version: u64, worker: usize) -> String {
+    format!("base3/v{version}/{worker}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecc_checkpoint::Value;
+
+    fn dicts(world: usize) -> Vec<StateDict> {
+        (0..world)
+            .map(|w| {
+                let mut sd = StateDict::new();
+                sd.insert("rank", Value::Int(w as i64));
+                sd.insert("blob", Value::Bytes(vec![w as u8; 64]));
+                sd
+            })
+            .collect()
+    }
+
+    fn setup() -> (ClusterSpec, Cluster, Base3, Vec<StateDict>) {
+        let spec = ClusterSpec::tiny_test(4, 2);
+        let cluster = Cluster::new(spec);
+        let b = Base3::new(&spec).unwrap();
+        (spec, cluster, b, dicts(8))
+    }
+
+    #[test]
+    fn one_failure_per_group_recovers() {
+        let (_, mut cluster, mut b, d) = setup();
+        b.save(&mut cluster, &d).unwrap();
+        cluster.fail_node(0); // group 0
+        cluster.fail_node(3); // group 1
+        assert_eq!(b.load(&cluster).unwrap(), d);
+    }
+
+    #[test]
+    fn whole_group_loss_is_fatal() {
+        let (_, mut cluster, mut b, d) = setup();
+        b.save(&mut cluster, &d).unwrap();
+        cluster.fail_node(2);
+        cluster.fail_node(3);
+        assert!(matches!(b.load(&cluster), Err(BaselineError::GroupLost { group: 1 })));
+    }
+
+    #[test]
+    fn memory_overhead_is_twice_the_shard() {
+        // Same 2x redundancy as k = m erasure coding (paper Fig. 2).
+        let (_, mut cluster, mut b, d) = setup();
+        b.save(&mut cluster, &d).unwrap();
+        let own: u64 = d[..2].iter().map(|sd| serialize::dict_to_bytes(sd).len() as u64).sum();
+        let partner: u64 =
+            d[2..4].iter().map(|sd| serialize::dict_to_bytes(sd).len() as u64).sum();
+        assert_eq!(cluster.mem_used(0), own + partner);
+    }
+
+    #[test]
+    fn versions_rotate() {
+        let (_, mut cluster, mut b, mut d) = setup();
+        b.save(&mut cluster, &d).unwrap();
+        let used = cluster.mem_used(0);
+        d[0].insert("rank", Value::Int(77));
+        b.save(&mut cluster, &d).unwrap();
+        assert!(cluster.mem_used(0) <= used + 16);
+        assert_eq!(b.load(&cluster).unwrap()[0].get("rank"), Some(&Value::Int(77)));
+    }
+
+    #[test]
+    fn odd_node_count_is_rejected() {
+        let spec = ClusterSpec::tiny_test(3, 1);
+        assert!(Base3::new(&spec).is_err());
+    }
+
+    #[test]
+    fn partner_mapping_is_involutive() {
+        let spec = ClusterSpec::tiny_test(6, 1);
+        let b = Base3::new(&spec).unwrap();
+        for n in 0..6 {
+            assert_eq!(b.partner(b.partner(n)), n);
+            assert_eq!(b.group_of(n), n / 2);
+        }
+    }
+}

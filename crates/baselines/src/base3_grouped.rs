@@ -1,0 +1,294 @@
+//! `base3` with configurable replication-group size (paper §II-A).
+//!
+//! GEMINI divides nodes into groups of a chosen size; *every* node in a
+//! group stores replicas of all checkpoints in that group. A group of
+//! `G` nodes tolerates `G - 1` concurrent failures — but costs `G×`
+//! memory and each node broadcasts its checkpoint to `G - 1` partners.
+//! The paper's §II-A observation that "a larger group size may allow
+//! tolerating more concurrent failures, but may incur significant
+//! communication and memory overhead" is exactly the trade-off this
+//! type makes measurable; erasure coding achieves a group's worth of
+//! tolerance at replication-pair cost.
+
+use ecc_checkpoint::{serialize, StateDict};
+use ecc_cluster::{Cluster, ClusterSpec, NodeId};
+use ecc_sim::SimDuration;
+
+use crate::BaselineError;
+
+/// Replication-based in-memory checkpointing with groups of `G` nodes,
+/// every member holding all `G` members' checkpoints.
+///
+/// # Examples
+///
+/// ```
+/// use ecc_baselines::Base3Grouped;
+/// use ecc_checkpoint::{StateDict, Value};
+/// use ecc_cluster::{Cluster, ClusterSpec};
+///
+/// let spec = ClusterSpec::tiny_test(4, 1);
+/// let mut cluster = Cluster::new(spec);
+/// let mut rep = Base3Grouped::new(&spec, 4)?; // one group of 4
+/// let dicts: Vec<StateDict> = (0..4)
+///     .map(|w| {
+///         let mut sd = StateDict::new();
+///         sd.insert("rank", Value::Int(w));
+///         sd
+///     })
+///     .collect();
+/// rep.save(&mut cluster, &dicts)?;
+/// // Three of four nodes die: full replication still recovers...
+/// for n in 0..3 {
+///     cluster.fail_node(n);
+/// }
+/// assert_eq!(rep.load(&cluster)?, dicts);
+/// // ...but at 4x memory, where ECCheck's k=m=2 pays only 2x.
+/// # Ok::<(), ecc_baselines::BaselineError>(())
+/// ```
+#[derive(Debug)]
+pub struct Base3Grouped {
+    nodes: usize,
+    gpus_per_node: usize,
+    group_size: usize,
+    version: u64,
+}
+
+impl Base3Grouped {
+    /// Creates the checkpointer with replication groups of `group_size`
+    /// nodes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BaselineError::Config`] when `group_size` is smaller
+    /// than 2 or does not divide the node count.
+    pub fn new(spec: &ClusterSpec, group_size: usize) -> Result<Self, BaselineError> {
+        if group_size < 2 || spec.nodes() % group_size != 0 {
+            return Err(BaselineError::Config {
+                detail: format!(
+                    "group size {group_size} must be >= 2 and divide {} nodes",
+                    spec.nodes()
+                ),
+            });
+        }
+        Ok(Self {
+            nodes: spec.nodes(),
+            gpus_per_node: spec.gpus_per_node(),
+            group_size,
+            version: 0,
+        })
+    }
+
+    /// Nodes per replication group.
+    pub fn group_size(&self) -> usize {
+        self.group_size
+    }
+
+    /// The replication group index of a node.
+    pub fn group_of(&self, node: NodeId) -> usize {
+        node / self.group_size
+    }
+
+    /// The member nodes of a node's replication group.
+    pub fn group_members(&self, node: NodeId) -> std::ops::Range<NodeId> {
+        let base = self.group_of(node) * self.group_size;
+        base..base + self.group_size
+    }
+
+    /// Memory overhead factor relative to the bare checkpoint: every
+    /// node stores its whole group.
+    pub fn memory_factor(&self) -> usize {
+        self.group_size
+    }
+
+    /// Concurrent failures tolerated within one group.
+    pub fn tolerance_per_group(&self) -> usize {
+        self.group_size - 1
+    }
+
+    /// Stores every worker's shard on all nodes of its group.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BaselineError::Config`] on a shard-count mismatch and
+    /// propagates host-memory failures (larger groups exhaust quotas
+    /// sooner — the paper's §II-A warning made concrete).
+    pub fn save(
+        &mut self,
+        cluster: &mut Cluster,
+        dicts: &[StateDict],
+    ) -> Result<u64, BaselineError> {
+        let world = self.nodes * self.gpus_per_node;
+        if dicts.len() != world {
+            return Err(BaselineError::Config {
+                detail: format!("expected {world} state_dicts, got {}", dicts.len()),
+            });
+        }
+        let version = self.version + 1;
+        for (w, sd) in dicts.iter().enumerate() {
+            let node = w / self.gpus_per_node;
+            let bytes = serialize::dict_to_bytes(sd);
+            for member in self.group_members(node) {
+                cluster.put_local(member, &key(version, w), bytes.clone())?;
+            }
+        }
+        let old = self.version;
+        self.version = version;
+        if old > 0 {
+            for w in 0..world {
+                let node = w / self.gpus_per_node;
+                for member in self.group_members(node) {
+                    cluster.delete_local(member, &key(old, w));
+                }
+            }
+        }
+        Ok(version)
+    }
+
+    /// Restores every worker's shard from any surviving group member.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BaselineError::GroupLost`] when a whole group failed
+    /// and [`BaselineError::NoCheckpoint`] before the first save.
+    pub fn load(&self, cluster: &Cluster) -> Result<Vec<StateDict>, BaselineError> {
+        if self.version == 0 {
+            return Err(BaselineError::NoCheckpoint);
+        }
+        let world = self.nodes * self.gpus_per_node;
+        (0..world)
+            .map(|w| {
+                let node = w / self.gpus_per_node;
+                let bytes = self
+                    .group_members(node)
+                    .find_map(|member| cluster.get_local(member, &key(self.version, w)))
+                    .ok_or(BaselineError::GroupLost { group: self.group_of(node) })?;
+                Ok(serialize::dict_from_bytes(bytes)?)
+            })
+            .collect()
+    }
+}
+
+/// Save-time model for grouped replication: snapshot plus a broadcast of
+/// the node's checkpoint to its `G - 1` partners, serialized on its NIC.
+pub fn base3_grouped_save(
+    spec: &ClusterSpec,
+    shard_bytes: u64,
+    group_size: usize,
+) -> crate::timing::SaveCost {
+    let node_bytes = shard_bytes * spec.gpus_per_node() as u64;
+    let snapshot = spec.dtoh().transfer_time(shard_bytes);
+    let replicate: SimDuration =
+        spec.nic().transfer_time(node_bytes * (group_size as u64 - 1));
+    crate::timing::SaveCost { stall: snapshot, total: snapshot + replicate }
+}
+
+fn key(version: u64, worker: usize) -> String {
+    format!("base3g/v{version}/{worker}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecc_checkpoint::Value;
+
+    fn dicts(world: usize) -> Vec<StateDict> {
+        (0..world)
+            .map(|w| {
+                let mut sd = StateDict::new();
+                sd.insert("rank", Value::Int(w as i64));
+                sd.insert("blob", Value::Bytes(vec![w as u8; 128]));
+                sd
+            })
+            .collect()
+    }
+
+    #[test]
+    fn group_of_four_tolerates_three_failures() {
+        let spec = ClusterSpec::tiny_test(4, 2);
+        let mut cluster = Cluster::new(spec);
+        let mut rep = Base3Grouped::new(&spec, 4).unwrap();
+        let d = dicts(8);
+        rep.save(&mut cluster, &d).unwrap();
+        for n in [0, 1, 3] {
+            cluster.fail_node(n);
+        }
+        assert_eq!(rep.load(&cluster).unwrap(), d);
+        cluster.fail_node(2);
+        assert!(matches!(rep.load(&cluster), Err(BaselineError::GroupLost { group: 0 })));
+    }
+
+    #[test]
+    fn memory_scales_with_group_size() {
+        let spec = ClusterSpec::tiny_test(4, 1);
+        let d = dicts(4);
+        let mut used = Vec::new();
+        for group_size in [2usize, 4] {
+            let mut cluster = Cluster::new(spec);
+            let mut rep = Base3Grouped::new(&spec, group_size).unwrap();
+            rep.save(&mut cluster, &d).unwrap();
+            used.push(cluster.mem_used(0));
+            assert_eq!(rep.memory_factor(), group_size);
+            assert_eq!(rep.tolerance_per_group(), group_size - 1);
+        }
+        // Group of 4 stores twice what a pair does on every node.
+        assert_eq!(used[1], used[0] * 2);
+    }
+
+    #[test]
+    fn pairwise_matches_base3() {
+        // group_size = 2 reproduces the paper's base3 comparison point.
+        let spec = ClusterSpec::tiny_test(4, 2);
+        let d = dicts(8);
+        let mut c1 = Cluster::new(spec);
+        let mut grouped = Base3Grouped::new(&spec, 2).unwrap();
+        grouped.save(&mut c1, &d).unwrap();
+        let mut c2 = Cluster::new(spec);
+        let mut plain = crate::Base3::new(&spec).unwrap();
+        plain.save(&mut c2, &d).unwrap();
+        for n in 0..4 {
+            assert_eq!(c1.mem_used(n), c2.mem_used(n), "node {n}");
+        }
+        c1.fail_node(1);
+        c2.fail_node(1);
+        assert_eq!(grouped.load(&c1).unwrap(), plain.load(&c2).unwrap());
+    }
+
+    #[test]
+    fn save_time_grows_with_group_size_while_ec_does_not() {
+        // The §II-A trade-off: replication tolerance costs broadcast
+        // traffic linear in G; erasure coding's traffic depends only on
+        // m. Tolerating 3 failures via replication needs G = 4
+        // (3 partner copies); via EC it needs m = 3 (3 parity volumes) —
+        // same traffic here, but at 4x vs 2x *memory*.
+        let spec = ClusterSpec::paper_testbed();
+        let s = 1u64 << 30;
+        let g2 = base3_grouped_save(&spec, s, 2);
+        let g4 = base3_grouped_save(&spec, s, 4);
+        assert!(g4.total > g2.total);
+        let ratio = (g4.total - g4.stall).as_secs_f64()
+            / (g2.total - g2.stall).as_secs_f64();
+        assert!((2.9..3.1).contains(&ratio), "broadcast scales with G-1: {ratio}");
+    }
+
+    #[test]
+    fn invalid_group_sizes_rejected() {
+        let spec = ClusterSpec::tiny_test(4, 1);
+        assert!(Base3Grouped::new(&spec, 1).is_err());
+        assert!(Base3Grouped::new(&spec, 3).is_err());
+        assert!(Base3Grouped::new(&spec, 2).is_ok());
+    }
+
+    #[test]
+    fn versions_rotate() {
+        let spec = ClusterSpec::tiny_test(2, 1);
+        let mut cluster = Cluster::new(spec);
+        let mut rep = Base3Grouped::new(&spec, 2).unwrap();
+        let mut d = dicts(2);
+        rep.save(&mut cluster, &d).unwrap();
+        let used = cluster.mem_used(0);
+        d[0].insert("rank", Value::Int(9));
+        rep.save(&mut cluster, &d).unwrap();
+        assert!(cluster.mem_used(0) <= used + 8);
+        assert_eq!(rep.load(&cluster).unwrap(), d);
+    }
+}

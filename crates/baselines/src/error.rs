@@ -1,0 +1,60 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the baseline checkpointers.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum BaselineError {
+    /// Invalid configuration (e.g. an odd node count for pairing).
+    Config {
+        /// Human-readable description.
+        detail: String,
+    },
+    /// No checkpoint has been saved yet.
+    NoCheckpoint,
+    /// Both members of a replication group failed (GEMINI's blind spot).
+    GroupLost {
+        /// The replication group that lost all members.
+        group: usize,
+    },
+    /// An underlying checkpoint (de)serialization failure.
+    Checkpoint(ecc_checkpoint::CheckpointError),
+    /// An underlying cluster data-plane failure.
+    Cluster(ecc_cluster::ClusterError),
+}
+
+impl fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaselineError::Config { detail } => write!(f, "configuration error: {detail}"),
+            BaselineError::NoCheckpoint => write!(f, "no checkpoint has been saved"),
+            BaselineError::GroupLost { group } => {
+                write!(f, "replication group {group} lost all members; cannot recover")
+            }
+            BaselineError::Checkpoint(e) => write!(f, "checkpoint: {e}"),
+            BaselineError::Cluster(e) => write!(f, "cluster: {e}"),
+        }
+    }
+}
+
+impl Error for BaselineError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            BaselineError::Checkpoint(e) => Some(e),
+            BaselineError::Cluster(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ecc_checkpoint::CheckpointError> for BaselineError {
+    fn from(e: ecc_checkpoint::CheckpointError) -> Self {
+        BaselineError::Checkpoint(e)
+    }
+}
+
+impl From<ecc_cluster::ClusterError> for BaselineError {
+    fn from(e: ecc_cluster::ClusterError) -> Self {
+        BaselineError::Cluster(e)
+    }
+}

@@ -1,0 +1,64 @@
+//! The three checkpointing baselines the paper compares against (§V-B).
+//!
+//! * [`Base1`] — conventional `torch.save`: serialize the whole
+//!   `state_dict` and synchronously write it to remote persistent
+//!   storage, blocking training for the full duration.
+//! * [`Base2`] — a CheckFreq-style two-phase scheme: snapshot GPU state
+//!   to host memory (blocking), then persist to remote storage
+//!   asynchronously. The stall is short but the end-to-end checkpoint
+//!   time is still remote-bandwidth-bound.
+//! * [`Base3`] — GEMINI-style replication-based in-memory
+//!   checkpointing: nodes are paired into replication groups and each
+//!   node broadcasts its checkpoint to its partner. Fast, but a group
+//!   losing both members is unrecoverable.
+//!
+//! Each baseline has a *real-byte* implementation over
+//! [`ecc_cluster::Cluster`] (used by correctness tests and examples) and
+//! a *timing* model in [`timing`] (used by the figure harnesses).
+//!
+//! # Examples
+//!
+//! ```
+//! use ecc_baselines::Base3;
+//! use ecc_checkpoint::{StateDict, Value};
+//! use ecc_cluster::{Cluster, ClusterSpec};
+//!
+//! let spec = ClusterSpec::tiny_test(4, 1);
+//! let mut cluster = Cluster::new(spec);
+//! let mut base3 = Base3::new(&spec)?;
+//! let dicts: Vec<StateDict> = (0..4)
+//!     .map(|w| {
+//!         let mut sd = StateDict::new();
+//!         sd.insert("rank", Value::Int(w));
+//!         sd
+//!     })
+//!     .collect();
+//! base3.save(&mut cluster, &dicts)?;
+//!
+//! // One failure per replication pair is fine...
+//! cluster.fail_node(1);
+//! cluster.replace_node(1);
+//! assert_eq!(base3.load(&mut cluster)?, dicts);
+//!
+//! // ...but losing a whole pair is fatal (the gap ECCheck closes).
+//! cluster.fail_node(2);
+//! cluster.fail_node(3);
+//! assert!(base3.load(&mut cluster).is_err());
+//! # Ok::<(), ecc_baselines::BaselineError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod base1;
+mod base2;
+mod base3;
+mod base3_grouped;
+mod error;
+pub mod timing;
+
+pub use base1::Base1;
+pub use base2::Base2;
+pub use base3::Base3;
+pub use base3_grouped::{base3_grouped_save, Base3Grouped};
+pub use error::BaselineError;

@@ -1,0 +1,153 @@
+//! Criterion micro-benches for the erasure-coding substrate.
+//!
+//! These are the ablation benches DESIGN.md calls out: Cauchy vs
+//! Vandermonde generators, good-Cauchy normalisation, smart vs dumb XOR
+//! schedules, and thread-pool scaling — the design choices of §IV-A.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ecc_erasure::{CodeParams, CodingPool, ErasureCode, MulTable, ScheduleKind};
+use ecc_gf::GaloisField;
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+const CHUNK: usize = 4 << 20; // 4 MiB per chunk
+
+fn chunks(k: usize, len: usize) -> Vec<Vec<u8>> {
+    let mut rng = StdRng::seed_from_u64(7);
+    (0..k)
+        .map(|_| {
+            let mut v = vec![0u8; len];
+            rng.fill_bytes(&mut v);
+            v
+        })
+        .collect()
+}
+
+fn configure(c: &mut Criterion) -> Criterion {
+    let _ = c;
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1200))
+}
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("encode_by_generator");
+    group.throughput(Throughput::Bytes((2 * CHUNK) as u64));
+    let data = chunks(2, CHUNK);
+    let refs: Vec<&[u8]> = data.iter().map(Vec::as_slice).collect();
+    let params = CodeParams::new(2, 2, 8).unwrap();
+    for (name, code) in [
+        ("cauchy_good", ErasureCode::cauchy_good(params).unwrap()),
+        ("cauchy_raw", ErasureCode::cauchy(params).unwrap()),
+        ("vandermonde", ErasureCode::vandermonde(params).unwrap()),
+    ] {
+        group.bench_function(name, |b| b.iter(|| code.encode(&refs).unwrap()));
+    }
+    group.finish();
+}
+
+fn bench_schedules(c: &mut Criterion) {
+    let mut group = c.benchmark_group("encode_by_schedule");
+    group.throughput(Throughput::Bytes((4 * CHUNK) as u64));
+    let data = chunks(4, CHUNK);
+    let refs: Vec<&[u8]> = data.iter().map(Vec::as_slice).collect();
+    let code = ErasureCode::cauchy_good(CodeParams::new(4, 2, 8).unwrap()).unwrap();
+    for kind in [ScheduleKind::Smart, ScheduleKind::Dumb] {
+        group.bench_function(format!("{kind:?}"), |b| {
+            b.iter(|| code.encode_with(&refs, kind).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_thread_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("encode_thread_scaling");
+    group.throughput(Throughput::Bytes((2 * CHUNK) as u64));
+    let data = chunks(2, CHUNK);
+    let refs: Vec<&[u8]> = data.iter().map(Vec::as_slice).collect();
+    let code = ErasureCode::cauchy_good(CodeParams::new(2, 2, 8).unwrap()).unwrap();
+    for threads in [1usize, 2, 4, 8] {
+        let pool = CodingPool::new(threads);
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, _| {
+            b.iter(|| pool.encode(&code, &refs).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decode");
+    group.throughput(Throughput::Bytes((2 * CHUNK) as u64));
+    let code = ErasureCode::cauchy_good(CodeParams::new(2, 2, 8).unwrap()).unwrap();
+    let data = chunks(2, CHUNK);
+    let refs: Vec<&[u8]> = data.iter().map(Vec::as_slice).collect();
+    let parity = code.encode(&refs).unwrap();
+    // Worst case: both data chunks lost.
+    let shards: Vec<Option<&[u8]>> =
+        vec![None, None, Some(&parity[0]), Some(&parity[1])];
+    group.bench_function("both_data_chunks_lost", |b| {
+        b.iter(|| code.decode(&shards).unwrap())
+    });
+    // Best case: nothing lost (pure copy path).
+    let intact: Vec<Option<&[u8]>> =
+        vec![Some(&data[0]), Some(&data[1]), Some(&parity[0]), Some(&parity[1])];
+    group.bench_function("no_loss", |b| b.iter(|| code.decode(&intact).unwrap()));
+    group.finish();
+}
+
+fn bench_gf_region(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gf8_region_multiply");
+    group.throughput(Throughput::Bytes(CHUNK as u64));
+    let gf = GaloisField::new(8).unwrap();
+    let table = MulTable::new(&gf, 0x53).unwrap();
+    let src = chunks(1, CHUNK).remove(0);
+    let mut dst = vec![0u8; CHUNK];
+    group.bench_function("table_apply", |b| b.iter(|| table.apply(&src, &mut dst)));
+    group.bench_function("table_apply_xor", |b| b.iter(|| table.apply_xor(&src, &mut dst)));
+    group.bench_function("xor_into", |b| {
+        b.iter(|| ecc_erasure::region::xor_into(&mut dst, &src))
+    });
+    group.finish();
+}
+
+fn bench_incremental(c: &mut Criterion) {
+    // Ablation: patching parity for a small change vs re-encoding all.
+    let mut group = c.benchmark_group("incremental_vs_full");
+    group.throughput(Throughput::Bytes((2 * CHUNK) as u64));
+    let code = ErasureCode::cauchy_good(CodeParams::new(2, 2, 8).unwrap()).unwrap();
+    let data = chunks(2, CHUNK);
+    let refs: Vec<&[u8]> = data.iter().map(Vec::as_slice).collect();
+    // A delta touching ~1/16 of one chunk (a single worker's update).
+    let mut delta = vec![0u8; CHUNK];
+    delta[..CHUNK / 16].copy_from_slice(&chunks(1, CHUNK / 16)[0]);
+    group.bench_function("full_reencode", |b| b.iter(|| code.encode(&refs).unwrap()));
+    group.bench_function("parity_delta", |b| {
+        b.iter(|| code.parity_delta(1, &delta).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_gf16_region(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gf16_region_multiply");
+    group.throughput(Throughput::Bytes(CHUNK as u64));
+    let gf16 = GaloisField::new(16).unwrap();
+    let table = ecc_erasure::MulTable16::new(&gf16, 0x1053).unwrap();
+    let src = chunks(1, CHUNK).remove(0);
+    let mut dst = vec![0u8; CHUNK];
+    group.bench_function("split_table_apply", |b| b.iter(|| table.apply(&src, &mut dst)));
+    group.bench_function("split_table_apply_xor", |b| {
+        b.iter(|| table.apply_xor(&src, &mut dst))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = configure(&mut Criterion::default());
+    targets = bench_generators, bench_schedules, bench_thread_scaling, bench_decode,
+        bench_gf_region, bench_incremental, bench_gf16_region
+}
+criterion_main!(benches);

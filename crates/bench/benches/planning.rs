@@ -1,0 +1,66 @@
+//! Criterion micro-benches for the control-plane algorithms: sweep-line
+//! placement (§IV-B-1), reduction planning (§IV-B-2), and the
+//! reliability closed forms at cluster scale.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ecc_cluster::ClusterSpec;
+use ecc_reliability::{cluster_recovery, ec_recovery, replication_pairs_recovery};
+use eccheck::{select_data_parity_nodes, ReductionPlan};
+
+fn configure() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800))
+}
+
+fn bench_placement(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sweep_line_placement");
+    for nodes in [16usize, 64, 256, 1024] {
+        let origin: Vec<std::ops::Range<usize>> =
+            (0..nodes).map(|i| i * 8..(i + 1) * 8).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, &n| {
+            b.iter(|| select_data_parity_nodes(&origin, n / 2).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_reduction_plan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reduction_plan");
+    for (nodes, g) in [(4usize, 4usize), (16, 8), (64, 8)] {
+        let spec = ClusterSpec::tiny_test(nodes, g);
+        let placement = select_data_parity_nodes(&spec.origin_group(), nodes / 2).unwrap();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{nodes}x{g}")),
+            &nodes,
+            |b, &n| b.iter(|| ReductionPlan::build(&spec, &placement, n / 2).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_reliability(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reliability_closed_forms");
+    group.bench_function("fig3_point_2000_nodes", |b| {
+        b.iter(|| {
+            let p = 0.01;
+            let rep = cluster_recovery(replication_pairs_recovery(4, p), 500);
+            let era = cluster_recovery(ec_recovery(4, 2, p), 500);
+            (rep, era)
+        })
+    });
+    group.bench_function("fig15_point_n64", |b| {
+        b.iter(|| ec_recovery(64, 32, 0.1) - replication_pairs_recovery(64, 0.1))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = configure();
+    targets = bench_placement, bench_reduction_plan, bench_reliability
+}
+criterion_main!(benches);

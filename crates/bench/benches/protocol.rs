@@ -1,0 +1,73 @@
+//! Criterion micro-benches for the checkpoint protocol: full
+//! serialization (the baseline path) vs the serialization-free
+//! decomposition (ECCheck's path, §III-C), plus packing.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ecc_checkpoint::{decompose, serialize, Packer, StateDict};
+use ecc_dnn::{build_worker_state_dict, ModelConfig, ParallelismSpec, StateDictSpec};
+
+fn shard() -> StateDict {
+    // A real Megatron-style shard, a few MB of tensor data.
+    let model = ModelConfig::gpt2(256, 8, 8).with_vocab(4096).with_seq_len(128);
+    let par = ParallelismSpec::new(2, 2, 1).unwrap();
+    build_worker_state_dict(&StateDictSpec::new(model, par), 0).unwrap()
+}
+
+fn configure() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1200))
+}
+
+fn bench_serialize_vs_decompose(c: &mut Criterion) {
+    let sd = shard();
+    let bytes = sd.tensor_bytes() as u64;
+    let mut group = c.benchmark_group("state_dict_capture");
+    group.throughput(Throughput::Bytes(bytes));
+    group.bench_function("full_serialize_torch_save_style", |b| {
+        b.iter(|| serialize::dict_to_bytes(&sd))
+    });
+    group.bench_function("serialization_free_decompose", |b| b.iter(|| decompose(&sd)));
+    group.finish();
+}
+
+fn bench_roundtrips(c: &mut Criterion) {
+    let sd = shard();
+    let bytes = sd.tensor_bytes() as u64;
+    let serialized = serialize::dict_to_bytes(&sd);
+    let d = decompose(&sd);
+    let mut group = c.benchmark_group("state_dict_restore");
+    group.throughput(Throughput::Bytes(bytes));
+    group.bench_function("deserialize", |b| {
+        b.iter(|| serialize::dict_from_bytes(&serialized).unwrap())
+    });
+    group.bench_function("reassemble", |b| b.iter(|| d.reassemble().unwrap()));
+    group.finish();
+}
+
+fn bench_packer(c: &mut Criterion) {
+    let sd = shard();
+    let d = decompose(&sd);
+    let tensors = d.tensor_data().to_vec();
+    let total: usize = tensors.iter().map(Vec::len).sum();
+    let packer = Packer::new(256 << 10).unwrap();
+    let mut group = c.benchmark_group("packer");
+    group.throughput(Throughput::Bytes(total as u64));
+    group.bench_function("pack", |b| b.iter(|| packer.pack(&tensors)));
+    let (packets, extents) = packer.pack(&tensors);
+    let lens: Vec<usize> = tensors.iter().map(Vec::len).collect();
+    group.bench_function("unpack", |b| {
+        b.iter(|| packer.unpack(&packets, &extents, &lens).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = configure();
+    targets = bench_serialize_vs_decompose, bench_roundtrips, bench_packer
+}
+criterion_main!(benches);

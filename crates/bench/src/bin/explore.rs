@@ -1,0 +1,109 @@
+//! `explore` — predict ECCheck behaviour for a configuration given on
+//! the command line.
+//!
+//! Usage:
+//!
+//! ```text
+//! explore [nodes] [gpus_per_node] [hidden] [layers] [interval_iters]
+//! ```
+//!
+//! Defaults reproduce the paper testbed with GPT-2 5.3B. Prints the
+//! placement, traffic accounting, predicted save/recovery times for
+//! ECCheck and the baselines, and the training overhead at the chosen
+//! checkpoint interval.
+
+use ecc_baselines::timing::{
+    average_iteration_time, base1_save, base2_save, base3_save, remote_recovery,
+    BaselineConstants, SaveCost,
+};
+use ecc_bench::{fmt_bytes, fmt_secs, print_table};
+use ecc_cluster::{ClusterSpec, FailureScenario};
+use ecc_dnn::{GpuSpec, ModelConfig, ParallelismSpec, TrainingTimeModel};
+use eccheck::timing::{recovery_timing, save_timing, TimingConstants};
+use eccheck::{select_data_parity_nodes, EcCheckConfig, ReductionPlan};
+
+fn arg(n: usize, default: usize) -> usize {
+    std::env::args()
+        .nth(n)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let nodes = arg(1, 4);
+    let gpus = arg(2, 4);
+    let hidden = arg(3, 2560);
+    let layers = arg(4, 64);
+    let interval = arg(5, 10) as u64;
+
+    let heads = (hidden / 64).max(1);
+    let model = ModelConfig::gpt2(hidden, heads, layers);
+    let spec = ClusterSpec::v100_scalability(nodes, gpus);
+    let tp = gpus;
+    let pp = nodes;
+    let par = ParallelismSpec::new(tp, pp, 1)?;
+    par.validate_for(&model)?;
+    let shard = model.shard_bytes(&par);
+    let cfg = EcCheckConfig::paper_defaults().with_km(nodes / 2, nodes - nodes / 2);
+    let bc = BaselineConstants::default();
+    let tc = TimingConstants::default();
+
+    println!(
+        "# {} on {nodes}x{gpus} GPUs (TP={tp}, PP={pp}), shard {} / worker\n",
+        model.label(),
+        fmt_bytes(shard)
+    );
+
+    let placement = select_data_parity_nodes(&spec.origin_group(), cfg.k())?;
+    let plan = ReductionPlan::build(&spec, &placement, cfg.m())?;
+    println!(
+        "placement: data {:?}, parity {:?}",
+        placement.data_nodes(),
+        placement.parity_nodes()
+    );
+    let t = plan.traffic(shard);
+    println!(
+        "checkpoint traffic: xor {} + data {} + parity {} = {}\n",
+        fmt_bytes(t.xor_reduction),
+        fmt_bytes(t.data_p2p),
+        fmt_bytes(t.parity_p2p),
+        fmt_bytes(t.total())
+    );
+
+    let tm = TrainingTimeModel::new(model, par, GpuSpec::a100_40g(), spec.nic())?;
+    let iteration = tm.iteration_time();
+    let profile = tm.profile(400);
+    let ecc = save_timing(&spec, &cfg, shard, Some(&profile), &tc);
+    let systems: Vec<(&str, SaveCost)> = vec![
+        ("base1", base1_save(&spec, shard, &bc)),
+        ("base2", base2_save(&spec, shard, &bc)),
+        ("base3", base3_save(&spec, shard)),
+        ("ECCheck", SaveCost { stall: ecc.stall(), total: ecc.total }),
+    ];
+    let rows: Vec<Vec<String>> = systems
+        .iter()
+        .map(|(name, cost)| {
+            let avg = average_iteration_time(iteration, interval, *cost);
+            vec![
+                name.to_string(),
+                fmt_secs(cost.stall),
+                fmt_secs(cost.total),
+                fmt_secs(avg),
+            ]
+        })
+        .collect();
+    println!("iteration (no ckpt): {}; checkpoint every {interval} iters\n", fmt_secs(iteration));
+    print_table(&["system", "stall", "ckpt total", "avg iteration"], &rows);
+
+    println!("\nrecovery predictions:");
+    let worst = FailureScenario::new(placement.data_nodes()[..1].to_vec());
+    let ecc_rec = recovery_timing(&spec, &cfg, shard, &worst, &tc);
+    println!(
+        "  ECCheck ({:?} after losing data node {}): {}",
+        ecc_rec.workflow,
+        placement.data_nodes()[0],
+        fmt_secs(ecc_rec.total)
+    );
+    println!("  remote reload (base1/base2): {}", fmt_secs(remote_recovery(&spec, shard, &bc)));
+    Ok(())
+}

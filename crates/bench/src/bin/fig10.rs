@@ -1,0 +1,46 @@
+//! Fig. 10: checkpointing time of base1/base2/base3/ECCheck across the
+//! nine Table I model configurations on the 4×4-GPU testbed.
+
+use ecc_baselines::timing::{base1_save, base2_save, base3_save, BaselineConstants};
+use ecc_bench::{fmt_ratio, fmt_secs, print_table};
+use ecc_cluster::ClusterSpec;
+use ecc_dnn::{table_i_configs, ParallelismSpec};
+use eccheck::timing::{save_timing, TimingConstants};
+use eccheck::EcCheckConfig;
+
+fn main() {
+    println!("# Fig. 10: checkpointing time (save call to completion)\n");
+    let spec = ClusterSpec::paper_testbed();
+    let cfg = EcCheckConfig::paper_defaults();
+    let bc = BaselineConstants::default();
+    let tc = TimingConstants::default();
+    let par = ParallelismSpec::new(4, 4, 1).unwrap();
+
+    let mut rows = Vec::new();
+    let mut max_speedup: f64 = 0.0;
+    for (model, label) in table_i_configs() {
+        let shard = model.shard_bytes(&par);
+        let b1 = base1_save(&spec, shard, &bc);
+        let b2 = base2_save(&spec, shard, &bc);
+        let b3 = base3_save(&spec, shard);
+        let ecc = save_timing(&spec, &cfg, shard, None, &tc);
+        max_speedup = max_speedup.max(b1.total.as_secs_f64() / ecc.total.as_secs_f64());
+        rows.push(vec![
+            format!("{} {label}", model.family()),
+            fmt_secs(b1.total),
+            fmt_secs(b2.total),
+            fmt_secs(b3.total),
+            fmt_secs(ecc.total),
+            fmt_ratio(b1.total, ecc.total),
+            fmt_ratio(ecc.total, b3.total),
+        ]);
+    }
+    print_table(
+        &["Model", "base1", "base2", "base3", "ECCheck", "vs base1", "vs base3"],
+        &rows,
+    );
+    println!("\nShape check: in-memory checkpointing (base3, ECCheck) is far below the");
+    println!("remote-storage baselines; ECCheck costs a modest factor over base3 (paper:");
+    println!("~1.6x) in exchange for tolerating any 2 concurrent node failures.");
+    println!("Max ECCheck speedup over remote-storage baselines here: {max_speedup:.1}x");
+}

@@ -1,0 +1,49 @@
+//! Fig. 12: average training iteration time vs checkpoint frequency for
+//! GPT-2 5.3B.
+
+use ecc_baselines::timing::{
+    average_iteration_time, base1_save, base2_save, base3_save, BaselineConstants, SaveCost,
+};
+use ecc_bench::{fmt_secs, print_table};
+use ecc_cluster::ClusterSpec;
+use ecc_dnn::{GpuSpec, ModelConfig, ParallelismSpec, TrainingTimeModel};
+use eccheck::timing::{save_timing, TimingConstants};
+use eccheck::EcCheckConfig;
+
+fn main() {
+    println!("# Fig. 12: checkpointing overhead for GPT-2 5.3B training\n");
+    let spec = ClusterSpec::paper_testbed();
+    let model = ModelConfig::gpt2(2560, 40, 64);
+    let par = ParallelismSpec::new(4, 4, 1).unwrap();
+    let shard = model.shard_bytes(&par);
+    let bc = BaselineConstants::default();
+    let tc = TimingConstants::default();
+    let tm = TrainingTimeModel::new(model, par, GpuSpec::a100_40g(), spec.nic()).unwrap();
+    let iteration = tm.iteration_time();
+    let profile = tm.profile(400);
+    let ecc_t = save_timing(&spec, &EcCheckConfig::paper_defaults(), shard, Some(&profile), &tc);
+    let ecc_cost = SaveCost { stall: ecc_t.stall(), total: ecc_t.total };
+
+    println!("iteration time (no checkpointing): {}\n", fmt_secs(iteration));
+    let mut rows = Vec::new();
+    for interval in [1u64, 2, 5, 10, 20, 50, 100] {
+        let b1 = average_iteration_time(iteration, interval, base1_save(&spec, shard, &bc));
+        let b2 = average_iteration_time(iteration, interval, base2_save(&spec, shard, &bc));
+        let b3 = average_iteration_time(iteration, interval, base3_save(&spec, shard));
+        let ec = average_iteration_time(iteration, interval, ecc_cost);
+        rows.push(vec![
+            format!("1/{interval}"),
+            fmt_secs(b1),
+            fmt_secs(b2),
+            fmt_secs(b3),
+            fmt_secs(ec),
+        ]);
+    }
+    print_table(
+        &["Frequency (per iter)", "base1", "base2", "base3", "ECCheck"],
+        &rows,
+    );
+    println!("\nShape check: base1's overhead is massive at every frequency; base2");
+    println!("degrades as frequency rises (its async persist backpressures); base3 and");
+    println!("ECCheck stay near the bare iteration time (paper Fig. 12).");
+}

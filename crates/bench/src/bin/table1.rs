@@ -1,0 +1,26 @@
+//! Table I: model configurations and derived sizes.
+
+use ecc_bench::{fmt_bytes, print_table};
+use ecc_dnn::table_i_configs;
+
+fn main() {
+    println!("# Table I: model configurations\n");
+    let rows: Vec<Vec<String>> = table_i_configs()
+        .into_iter()
+        .map(|(m, label)| {
+            vec![
+                m.family().to_string(),
+                m.hidden().to_string(),
+                m.heads().to_string(),
+                m.layers().to_string(),
+                label.to_string(),
+                format!("{:.2}B", m.param_count() as f64 / 1e9),
+                fmt_bytes(m.checkpoint_bytes()),
+            ]
+        })
+        .collect();
+    print_table(
+        &["Model", "Hidden size", "#AH", "#Layers", "Paper size", "Our count", "Checkpoint"],
+        &rows,
+    );
+}

@@ -1,0 +1,62 @@
+/// CRC-32 (IEEE 802.3 polynomial, reflected) over a byte slice.
+///
+/// Used to verify packet integrity across the simulated fabric. Table is
+/// generated on first use; the implementation is self-contained so the
+/// crate carries no extra dependency.
+///
+/// # Examples
+///
+/// ```
+/// use ecc_checkpoint::crc32;
+///
+/// // The classic test vector.
+/// assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+/// ```
+pub fn crc32(data: &[u8]) -> u32 {
+    let table = table();
+    let mut crc: u32 = 0xFFFF_FFFF;
+    for &b in data {
+        let idx = ((crc ^ b as u32) & 0xFF) as usize;
+        crc = (crc >> 8) ^ table[idx];
+    }
+    !crc
+}
+
+fn table() -> &'static [u32; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, entry) in table.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 == 1 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            }
+            *entry = c;
+        }
+        table
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn detects_single_bit_flip() {
+        let data = vec![0xA5u8; 1024];
+        let base = crc32(&data);
+        for pos in [0usize, 511, 1023] {
+            let mut corrupt = data.clone();
+            corrupt[pos] ^= 0x01;
+            assert_ne!(crc32(&corrupt), base, "flip at {pos} undetected");
+        }
+    }
+}

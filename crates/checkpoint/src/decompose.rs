@@ -1,0 +1,503 @@
+//! The serialization-free decomposition protocol (paper §III-C, Fig. 8).
+//!
+//! Step 1 of ECCheck's encoding protocol splits a `state_dict` into three
+//! components: non-tensor key-value pairs (a dict of scalars, strings and
+//! RNG blobs), tensor keys (paths + dtypes + shapes), and the raw tensor
+//! data. Only the first two — a few tens of kilobytes — are ever
+//! serialized and broadcast; the gigabytes of tensor data flow into the
+//! erasure coder as contiguous memory, untouched.
+//!
+//! [`decompose`] performs the split; [`Decomposition::reassemble`]
+//! inverts it bit-exactly (including dictionary insertion order).
+
+use crate::serialize::{read_value, write_value, write_varint, Cursor};
+use crate::{CheckpointError, DType, StateDict, Value};
+
+const SKEL_LEAF: u8 = 0x10;
+const SKEL_TENSOR: u8 = 0x11;
+const SKEL_LIST: u8 = 0x12;
+const SKEL_DICT: u8 = 0x13;
+
+/// Path, dtype and shape of one tensor extracted from a `state_dict` —
+/// an entry of the protocol's "tensor keys" list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TensorKey {
+    path: String,
+    dtype: DType,
+    shape: Vec<usize>,
+}
+
+impl TensorKey {
+    /// Dot/bracket path of the tensor inside the `state_dict`
+    /// (e.g. `optimizer.state[0].exp_avg`).
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    /// Element type.
+    pub fn dtype(&self) -> DType {
+        self.dtype
+    }
+
+    /// Tensor shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Byte length of the tensor's data.
+    pub fn byte_len(&self) -> usize {
+        self.shape.iter().product::<usize>() * self.dtype.size()
+    }
+}
+
+/// Structure of a `state_dict` with tensor data lifted out.
+#[derive(Debug, Clone, PartialEq)]
+enum Skeleton {
+    /// A non-tensor value kept in place.
+    Leaf(Value),
+    /// The `i`-th extracted tensor.
+    TensorRef(usize),
+    /// An ordered list of children.
+    List(Vec<Skeleton>),
+    /// An ordered dictionary of children.
+    Dict(Vec<(String, Skeleton)>),
+}
+
+/// The three components of the serialization-free protocol.
+///
+/// # Examples
+///
+/// ```
+/// use ecc_checkpoint::{decompose, DType, StateDict, Tensor, Value};
+///
+/// let mut sd = StateDict::new();
+/// sd.insert("iteration", Value::Int(3));
+/// sd.insert("w", Value::Tensor(Tensor::zeros(DType::F16, &[8])));
+/// let d = decompose(&sd);
+/// assert_eq!(d.tensor_keys()[0].path(), "w");
+/// assert_eq!(d.tensor_bytes(), 16);
+/// assert_eq!(d.reassemble()?, sd);
+/// # Ok::<(), ecc_checkpoint::CheckpointError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Decomposition {
+    skeleton: Skeleton,
+    keys: Vec<TensorKey>,
+    data: Vec<Vec<u8>>,
+}
+
+/// Splits a `state_dict` into non-tensor structure, tensor keys, and raw
+/// tensor data (DFS order, deterministic).
+pub fn decompose(sd: &StateDict) -> Decomposition {
+    let mut keys = Vec::new();
+    let mut data = Vec::new();
+    let skeleton = walk(&Value::Dict(sd.clone()), String::new(), &mut keys, &mut data);
+    Decomposition { skeleton, keys, data }
+}
+
+fn walk(
+    value: &Value,
+    path: String,
+    keys: &mut Vec<TensorKey>,
+    data: &mut Vec<Vec<u8>>,
+) -> Skeleton {
+    match value {
+        Value::Tensor(t) => {
+            let idx = keys.len();
+            keys.push(TensorKey {
+                path,
+                dtype: t.dtype(),
+                shape: t.shape().to_vec(),
+            });
+            data.push(t.bytes().to_vec());
+            Skeleton::TensorRef(idx)
+        }
+        Value::List(items) => Skeleton::List(
+            items
+                .iter()
+                .enumerate()
+                .map(|(i, v)| walk(v, format!("{path}[{i}]"), keys, data))
+                .collect(),
+        ),
+        Value::Dict(d) => Skeleton::Dict(
+            d.iter()
+                .map(|(k, v)| {
+                    let child_path =
+                        if path.is_empty() { k.to_string() } else { format!("{path}.{k}") };
+                    (k.to_string(), walk(v, child_path, keys, data))
+                })
+                .collect(),
+        ),
+        other => Skeleton::Leaf(other.clone()),
+    }
+}
+
+impl Decomposition {
+    /// The extracted tensor keys, in deterministic DFS order.
+    pub fn tensor_keys(&self) -> &[TensorKey] {
+        &self.keys
+    }
+
+    /// The raw tensor data buffers, parallel to [`Self::tensor_keys`].
+    pub fn tensor_data(&self) -> &[Vec<u8>] {
+        &self.data
+    }
+
+    /// Total bytes of tensor data (the >99.99% component).
+    pub fn tensor_bytes(&self) -> usize {
+        self.data.iter().map(Vec::len).sum()
+    }
+
+    /// Size of the serialized header ([`Self::header_to_bytes`]): the
+    /// non-tensor key-values plus tensor keys — the small broadcast
+    /// payload of protocol step 2.
+    pub fn header_bytes(&self) -> usize {
+        self.header_to_bytes().len()
+    }
+
+    /// Replaces the tensor data buffers (e.g. with buffers decoded during
+    /// recovery).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::Reassembly`] when the buffer count or
+    /// any buffer length disagrees with the tensor keys.
+    pub fn set_tensor_data(&mut self, data: Vec<Vec<u8>>) -> Result<(), CheckpointError> {
+        if data.len() != self.keys.len() {
+            return Err(CheckpointError::Reassembly {
+                detail: format!(
+                    "expected {} tensor buffers, got {}",
+                    self.keys.len(),
+                    data.len()
+                ),
+            });
+        }
+        for (i, (key, buf)) in self.keys.iter().zip(&data).enumerate() {
+            if key.byte_len() != buf.len() {
+                return Err(CheckpointError::Reassembly {
+                    detail: format!(
+                        "tensor {i} ({}) expects {} bytes, buffer has {}",
+                        key.path(),
+                        key.byte_len(),
+                        buf.len()
+                    ),
+                });
+            }
+        }
+        self.data = data;
+        Ok(())
+    }
+
+    /// Serializes the skeleton and tensor keys (no tensor data) — what
+    /// ECCheck broadcasts to all workers in protocol step 2.
+    pub fn header_to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        write_varint(self.keys.len() as u64, &mut out);
+        for key in &self.keys {
+            write_varint(key.path.len() as u64, &mut out);
+            out.extend_from_slice(key.path.as_bytes());
+            out.push(key.dtype.tag());
+            write_varint(key.shape.len() as u64, &mut out);
+            for &d in &key.shape {
+                write_varint(d as u64, &mut out);
+            }
+        }
+        write_skeleton(&self.skeleton, &mut out);
+        out
+    }
+
+    /// Parses a broadcast header into a decomposition whose tensor
+    /// buffers are zero-filled placeholders of the right lengths — the
+    /// state of a recovering node before decoded data arrives. Follow
+    /// with [`Decomposition::set_tensor_data`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CheckpointError`] on malformed headers.
+    pub fn from_header(header: &[u8]) -> Result<Self, CheckpointError> {
+        let mut d = Self::parse_header(header)?;
+        d.data = d.keys.iter().map(|k| vec![0u8; k.byte_len()]).collect();
+        Ok(d)
+    }
+
+    /// Rebuilds a decomposition from a broadcast header and tensor data
+    /// buffers (the receive side of recovery).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CheckpointError`] on malformed headers or data buffers
+    /// inconsistent with the keys.
+    pub fn from_header_and_data(
+        header: &[u8],
+        data: Vec<Vec<u8>>,
+    ) -> Result<Self, CheckpointError> {
+        let mut d = Self::parse_header(header)?;
+        d.set_tensor_data(data)?;
+        Ok(d)
+    }
+
+    fn parse_header(header: &[u8]) -> Result<Self, CheckpointError> {
+        let mut c = Cursor::new(header);
+        let n = c.varint()? as usize;
+        let mut keys = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            let plen = c.varint()? as usize;
+            let path = std::str::from_utf8(c.take(plen)?)
+                .map_err(|_| CheckpointError::BadUtf8)?
+                .to_string();
+            let dtype =
+                DType::from_tag(c.u8()?).ok_or(CheckpointError::BadTag { tag: 0xFF })?;
+            let rank = c.varint()? as usize;
+            let mut shape = Vec::with_capacity(rank.min(64));
+            for _ in 0..rank {
+                shape.push(c.varint()? as usize);
+            }
+            keys.push(TensorKey { path, dtype, shape });
+        }
+        let skeleton = read_skeleton(&mut c, keys.len())?;
+        if !c.at_end() {
+            return Err(CheckpointError::Reassembly {
+                detail: "trailing bytes after skeleton".to_string(),
+            });
+        }
+        Ok(Self { skeleton, keys, data: Vec::new() })
+    }
+
+    /// Rebuilds the original `state_dict`, bit-exact including key order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::Reassembly`] when a tensor buffer is
+    /// missing or sized inconsistently with its key.
+    pub fn reassemble(&self) -> Result<StateDict, CheckpointError> {
+        match self.rebuild(&self.skeleton)? {
+            Value::Dict(d) => Ok(d),
+            _ => Err(CheckpointError::Reassembly {
+                detail: "top-level skeleton is not a dict".to_string(),
+            }),
+        }
+    }
+
+    fn rebuild(&self, skel: &Skeleton) -> Result<Value, CheckpointError> {
+        Ok(match skel {
+            Skeleton::Leaf(v) => v.clone(),
+            Skeleton::TensorRef(i) => {
+                let key = self.keys.get(*i).ok_or_else(|| CheckpointError::Reassembly {
+                    detail: format!("tensor ref {i} out of range"),
+                })?;
+                let buf = self.data.get(*i).ok_or_else(|| CheckpointError::Reassembly {
+                    detail: format!("tensor data {i} missing"),
+                })?;
+                Value::Tensor(crate::Tensor::from_bytes(key.dtype, &key.shape, buf.clone())?)
+            }
+            Skeleton::List(items) => Value::List(
+                items.iter().map(|s| self.rebuild(s)).collect::<Result<_, _>>()?,
+            ),
+            Skeleton::Dict(entries) => {
+                let mut d = StateDict::new();
+                for (k, s) in entries {
+                    d.insert(k.clone(), self.rebuild(s)?);
+                }
+                Value::Dict(d)
+            }
+        })
+    }
+}
+
+fn write_skeleton(skel: &Skeleton, out: &mut Vec<u8>) {
+    match skel {
+        Skeleton::Leaf(v) => {
+            out.push(SKEL_LEAF);
+            write_value(v, out);
+        }
+        Skeleton::TensorRef(i) => {
+            out.push(SKEL_TENSOR);
+            write_varint(*i as u64, out);
+        }
+        Skeleton::List(items) => {
+            out.push(SKEL_LIST);
+            write_varint(items.len() as u64, out);
+            for item in items {
+                write_skeleton(item, out);
+            }
+        }
+        Skeleton::Dict(entries) => {
+            out.push(SKEL_DICT);
+            write_varint(entries.len() as u64, out);
+            for (k, s) in entries {
+                write_varint(k.len() as u64, out);
+                out.extend_from_slice(k.as_bytes());
+                write_skeleton(s, out);
+            }
+        }
+    }
+}
+
+fn read_skeleton(c: &mut Cursor<'_>, n_tensors: usize) -> Result<Skeleton, CheckpointError> {
+    match c.u8()? {
+        SKEL_LEAF => Ok(Skeleton::Leaf(read_value(c)?)),
+        SKEL_TENSOR => {
+            let i = c.varint()? as usize;
+            if i >= n_tensors {
+                return Err(CheckpointError::Reassembly {
+                    detail: format!("tensor ref {i} out of range ({n_tensors} tensors)"),
+                });
+            }
+            Ok(Skeleton::TensorRef(i))
+        }
+        SKEL_LIST => {
+            let count = c.varint()? as usize;
+            let mut items = Vec::with_capacity(count.min(4096));
+            for _ in 0..count {
+                items.push(read_skeleton(c, n_tensors)?);
+            }
+            Ok(Skeleton::List(items))
+        }
+        SKEL_DICT => {
+            let count = c.varint()? as usize;
+            let mut entries = Vec::with_capacity(count.min(4096));
+            for _ in 0..count {
+                let klen = c.varint()? as usize;
+                let key = std::str::from_utf8(c.take(klen)?)
+                    .map_err(|_| CheckpointError::BadUtf8)?
+                    .to_string();
+                entries.push((key, read_skeleton(c, n_tensors)?));
+            }
+            Ok(Skeleton::Dict(entries))
+        }
+        tag => Err(CheckpointError::BadTag { tag }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DType, Tensor};
+
+    fn sample_dict() -> StateDict {
+        let mut opt_state = StateDict::new();
+        opt_state.insert("step", Value::Int(128));
+        opt_state.insert("exp_avg", Value::Tensor(Tensor::zeros(DType::F32, &[4, 4])));
+        opt_state.insert("exp_avg_sq", Value::Tensor(Tensor::zeros(DType::F32, &[4, 4])));
+        let mut sd = StateDict::new();
+        sd.insert("iteration", Value::Int(1000));
+        sd.insert("version", Value::Str("megatron-0.4".into()));
+        sd.insert(
+            "model",
+            Value::Dict(
+                vec![(
+                    "weight".to_string(),
+                    Value::Tensor(Tensor::from_bytes(DType::F16, &[3], vec![1, 2, 3, 4, 5, 6]).unwrap()),
+                )]
+                .into_iter()
+                .collect(),
+            ),
+        );
+        sd.insert("optimizer", Value::Dict(opt_state));
+        sd.insert("rng", Value::Bytes(vec![9u8; 32]));
+        sd.insert(
+            "mixed",
+            Value::List(vec![
+                Value::Int(1),
+                Value::Tensor(Tensor::zeros(DType::I64, &[2])),
+                Value::Bool(true),
+            ]),
+        );
+        sd
+    }
+
+    #[test]
+    fn decompose_extracts_tensors_in_dfs_order() {
+        let sd = sample_dict();
+        let d = decompose(&sd);
+        let paths: Vec<&str> = d.tensor_keys().iter().map(TensorKey::path).collect();
+        assert_eq!(
+            paths,
+            vec!["model.weight", "optimizer.exp_avg", "optimizer.exp_avg_sq", "mixed[1]"]
+        );
+        assert_eq!(d.tensor_bytes(), 6 + 64 + 64 + 16);
+    }
+
+    #[test]
+    fn reassemble_is_exact_inverse() {
+        let sd = sample_dict();
+        let d = decompose(&sd);
+        assert_eq!(d.reassemble().unwrap(), sd);
+    }
+
+    #[test]
+    fn header_round_trips_with_data() {
+        let sd = sample_dict();
+        let d = decompose(&sd);
+        let header = d.header_to_bytes();
+        let rebuilt =
+            Decomposition::from_header_and_data(&header, d.tensor_data().to_vec()).unwrap();
+        assert_eq!(rebuilt.reassemble().unwrap(), sd);
+    }
+
+    #[test]
+    fn header_is_small_relative_to_tensor_data() {
+        // The paper reports header components are < 0.001% for GPT2-345M;
+        // at our test scale just assert the header excludes tensor bytes.
+        let sd = sample_dict();
+        let d = decompose(&sd);
+        assert!(d.header_bytes() < 400);
+        assert!(d.tensor_bytes() > 100);
+    }
+
+    #[test]
+    fn set_tensor_data_validates_count_and_lengths() {
+        let sd = sample_dict();
+        let mut d = decompose(&sd);
+        assert!(d.set_tensor_data(vec![vec![0u8; 1]]).is_err());
+        let mut wrong = d.tensor_data().to_vec();
+        wrong[0].push(0);
+        assert!(d.set_tensor_data(wrong).is_err());
+        let ok = d.tensor_data().to_vec();
+        assert!(d.set_tensor_data(ok).is_ok());
+    }
+
+    #[test]
+    fn replaced_data_appears_in_reassembly() {
+        let mut sd = StateDict::new();
+        sd.insert("w", Value::Tensor(Tensor::zeros(DType::U8, &[4])));
+        let mut d = decompose(&sd);
+        d.set_tensor_data(vec![vec![9, 8, 7, 6]]).unwrap();
+        let back = d.reassemble().unwrap();
+        match back.get("w").unwrap() {
+            Value::Tensor(t) => assert_eq!(t.bytes(), &[9, 8, 7, 6]),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupt_header_is_rejected() {
+        let sd = sample_dict();
+        let d = decompose(&sd);
+        let header = d.header_to_bytes();
+        for cut in [0usize, 1, header.len() / 2, header.len() - 1] {
+            assert!(
+                Decomposition::from_header_and_data(&header[..cut], d.tensor_data().to_vec())
+                    .is_err(),
+                "cut at {cut} accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_dict_decomposes() {
+        let sd = StateDict::new();
+        let d = decompose(&sd);
+        assert!(d.tensor_keys().is_empty());
+        assert_eq!(d.reassemble().unwrap(), sd);
+    }
+
+    #[test]
+    fn tensor_only_dict_has_tiny_header() {
+        let mut sd = StateDict::new();
+        sd.insert("t", Value::Tensor(Tensor::zeros(DType::F32, &[1024])));
+        let d = decompose(&sd);
+        assert!(d.header_bytes() < 64);
+        assert_eq!(d.tensor_bytes(), 4096);
+    }
+}

@@ -1,0 +1,48 @@
+//! Checkpoint data structures for the ECCheck reproduction.
+//!
+//! In distributed DNN training each worker holds a sharded `state_dict` —
+//! a nested dictionary of model parameters, optimizer states, RNG states
+//! and scalar metadata (paper §II-A). This crate reproduces that world in
+//! Rust:
+//!
+//! * [`StateDict`] / [`Value`] / [`Tensor`] — the checkpoint value tree.
+//! * [`serialize`] — a compact binary serializer (the `torch.save`
+//!   stand-in used by the remote-storage baselines, and the tool ECCheck
+//!   itself applies *only* to the tiny non-tensor components).
+//! * [`Decomposition`] — the serialization-free protocol's first step
+//!   (paper §III-C): split a `state_dict` into non-tensor key-values,
+//!   tensor keys, and raw tensor data, and reassemble it bit-exactly.
+//! * [`Packer`] / [`Packet`] — fixed-size buffer packing that turns a
+//!   worker's variable-size tensors into the equal-size data packets the
+//!   erasure coder consumes, with CRC-32 integrity checks.
+//!
+//! # Examples
+//!
+//! ```
+//! use ecc_checkpoint::{DType, StateDict, Tensor, Value};
+//!
+//! let mut sd = StateDict::new();
+//! sd.insert("iteration", Value::Int(1200));
+//! sd.insert("model.weight", Value::Tensor(Tensor::zeros(DType::F32, &[4, 4])));
+//! let d = ecc_checkpoint::decompose(&sd);
+//! assert_eq!(d.tensor_keys().len(), 1);
+//! let back = d.reassemble()?;
+//! assert_eq!(back, sd);
+//! # Ok::<(), ecc_checkpoint::CheckpointError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod checksum;
+mod decompose;
+mod error;
+mod packer;
+pub mod serialize;
+mod value;
+
+pub use checksum::crc32;
+pub use decompose::{decompose, Decomposition, TensorKey};
+pub use error::CheckpointError;
+pub use packer::{Packer, Packet, TensorExtent};
+pub use value::{DType, StateDict, Tensor, Value};

@@ -1,0 +1,355 @@
+//! Fixed-size packet packing for tensor data.
+//!
+//! ECCheck reserves fixed-size data and encoding buffers per worker
+//! (64 MB each in the paper's settings, §V-B) and streams tensor data
+//! through them: tensors of wildly varying sizes are laid head-to-tail
+//! into buffers, and a buffer that fills up becomes a *data packet* that
+//! enters the encode → XOR-reduce → P2P pipeline (§III-C step 3).
+//!
+//! Packing is strictly sequential and deterministic, so every node can
+//! derive the same layout from the tensor keys alone; the final packet is
+//! zero-padded. Each packet carries a CRC-32 so corruption in the
+//! (simulated) fabric is detected at unpack time.
+
+use crate::{crc32, CheckpointError};
+
+/// One fixed-size data packet plus its integrity checksum.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packet {
+    index: usize,
+    data: Vec<u8>,
+    crc: u32,
+}
+
+impl Packet {
+    /// Creates a packet and stamps its checksum.
+    pub fn new(index: usize, data: Vec<u8>) -> Self {
+        let crc = crc32(&data);
+        Self { index, data, crc }
+    }
+
+    /// Position of this packet in the worker's packet sequence.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// The packet payload.
+    pub fn data(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Mutable payload access (used by tests to model corruption; real
+    /// transport never mutates packets).
+    pub fn data_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+
+    /// The stored CRC-32.
+    pub fn crc(&self) -> u32 {
+        self.crc
+    }
+
+    /// `true` when the payload still matches the stored checksum.
+    pub fn verify(&self) -> bool {
+        crc32(&self.data) == self.crc
+    }
+
+    /// Consumes the packet, returning its payload.
+    pub fn into_data(self) -> Vec<u8> {
+        self.data
+    }
+}
+
+/// Where a contiguous piece of one tensor landed in the packet stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TensorExtent {
+    /// Index of the tensor in the decomposition's key order.
+    pub tensor: usize,
+    /// Offset within the tensor where this piece starts.
+    pub tensor_offset: usize,
+    /// Packet the piece landed in.
+    pub packet: usize,
+    /// Offset within the packet.
+    pub packet_offset: usize,
+    /// Piece length in bytes.
+    pub len: usize,
+}
+
+/// Sequential packer producing fixed-size packets.
+///
+/// # Examples
+///
+/// ```
+/// use ecc_checkpoint::Packer;
+///
+/// let packer = Packer::new(64)?;
+/// let tensors = vec![vec![1u8; 100], vec![2u8; 20]];
+/// let (packets, extents) = packer.pack(&tensors);
+/// assert_eq!(packets.len(), 2); // 120 bytes -> two 64-byte packets
+/// let back = packer.unpack(&packets, &extents, &[100, 20])?;
+/// assert_eq!(back, tensors);
+/// # Ok::<(), ecc_checkpoint::CheckpointError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Packer {
+    packet_size: usize,
+}
+
+impl Packer {
+    /// Creates a packer with the given packet size in bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::BadTensor`] when the size is zero or
+    /// not 8-byte aligned (erasure coding operates on 64-bit words).
+    pub fn new(packet_size: usize) -> Result<Self, CheckpointError> {
+        if packet_size == 0 || !packet_size.is_multiple_of(8) {
+            return Err(CheckpointError::BadTensor {
+                detail: format!("packet size {packet_size} must be a positive multiple of 8"),
+            });
+        }
+        Ok(Self { packet_size })
+    }
+
+    /// The configured packet size.
+    pub fn packet_size(&self) -> usize {
+        self.packet_size
+    }
+
+    /// Number of packets needed for `total_bytes` of tensor data.
+    pub fn packet_count(&self, total_bytes: usize) -> usize {
+        total_bytes.div_ceil(self.packet_size).max(1)
+    }
+
+    /// Packs tensor buffers head-to-tail into fixed-size packets,
+    /// zero-padding the last one. Returns the packets and the extent map.
+    pub fn pack(&self, tensors: &[Vec<u8>]) -> (Vec<Packet>, Vec<TensorExtent>) {
+        let total: usize = tensors.iter().map(Vec::len).sum();
+        let n_packets = self.packet_count(total);
+        let mut raw: Vec<Vec<u8>> =
+            (0..n_packets).map(|_| Vec::with_capacity(self.packet_size)).collect();
+        let mut extents = Vec::new();
+        let mut packet = 0usize;
+        for (t, tensor) in tensors.iter().enumerate() {
+            let mut offset = 0usize;
+            while offset < tensor.len() {
+                if raw[packet].len() == self.packet_size {
+                    packet += 1;
+                }
+                let room = self.packet_size - raw[packet].len();
+                let take = room.min(tensor.len() - offset);
+                extents.push(TensorExtent {
+                    tensor: t,
+                    tensor_offset: offset,
+                    packet,
+                    packet_offset: raw[packet].len(),
+                    len: take,
+                });
+                raw[packet].extend_from_slice(&tensor[offset..offset + take]);
+                offset += take;
+            }
+        }
+        for buf in &mut raw {
+            buf.resize(self.packet_size, 0);
+        }
+        let packets = raw.into_iter().enumerate().map(|(i, d)| Packet::new(i, d)).collect();
+        (packets, extents)
+    }
+
+    /// The extent map [`Packer::pack`] would produce for tensors of the
+    /// given lengths, without touching any data. Every node can compute
+    /// this from the broadcast tensor keys alone.
+    pub fn extents_for(&self, lens: &[usize]) -> Vec<TensorExtent> {
+        let mut extents = Vec::new();
+        let mut packet = 0usize;
+        let mut fill = 0usize;
+        for (t, &len) in lens.iter().enumerate() {
+            let mut offset = 0usize;
+            while offset < len {
+                if fill == self.packet_size {
+                    packet += 1;
+                    fill = 0;
+                }
+                let take = (self.packet_size - fill).min(len - offset);
+                extents.push(TensorExtent {
+                    tensor: t,
+                    tensor_offset: offset,
+                    packet,
+                    packet_offset: fill,
+                    len: take,
+                });
+                fill += take;
+                offset += take;
+            }
+        }
+        extents
+    }
+
+    /// Rebuilds tensor buffers from packets using the extent map.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::ChecksumMismatch`] for a corrupt packet
+    /// and [`CheckpointError::ExtentOutOfRange`] when an extent points
+    /// outside the packets or tensors.
+    pub fn unpack(
+        &self,
+        packets: &[Packet],
+        extents: &[TensorExtent],
+        tensor_lens: &[usize],
+    ) -> Result<Vec<Vec<u8>>, CheckpointError> {
+        for p in packets {
+            if !p.verify() {
+                return Err(CheckpointError::ChecksumMismatch { packet: p.index() });
+            }
+        }
+        let mut tensors: Vec<Vec<u8>> =
+            tensor_lens.iter().map(|&len| vec![0u8; len]).collect();
+        for e in extents {
+            let packet = packets.get(e.packet).ok_or_else(|| {
+                CheckpointError::ExtentOutOfRange {
+                    detail: format!("packet {} of {}", e.packet, packets.len()),
+                }
+            })?;
+            let src = packet
+                .data()
+                .get(e.packet_offset..e.packet_offset + e.len)
+                .ok_or_else(|| CheckpointError::ExtentOutOfRange {
+                    detail: format!(
+                        "bytes {}..{} of packet {}",
+                        e.packet_offset,
+                        e.packet_offset + e.len,
+                        e.packet
+                    ),
+                })?;
+            let tensor = tensors.get_mut(e.tensor).ok_or_else(|| {
+                CheckpointError::ExtentOutOfRange {
+                    detail: format!("tensor {} of {}", e.tensor, tensor_lens.len()),
+                }
+            })?;
+            let dst = tensor
+                .get_mut(e.tensor_offset..e.tensor_offset + e.len)
+                .ok_or_else(|| CheckpointError::ExtentOutOfRange {
+                    detail: format!(
+                        "bytes {}..{} of tensor {}",
+                        e.tensor_offset,
+                        e.tensor_offset + e.len,
+                        e.tensor
+                    ),
+                })?;
+            dst.copy_from_slice(src);
+        }
+        Ok(tensors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn pack_unpack_round_trips() {
+        let packer = Packer::new(64).unwrap();
+        let tensors = vec![
+            (0u8..100).collect::<Vec<u8>>(),
+            vec![7u8; 3],
+            Vec::new(),
+            (0u8..200).rev().collect(),
+        ];
+        let lens: Vec<usize> = tensors.iter().map(Vec::len).collect();
+        let (packets, extents) = packer.pack(&tensors);
+        assert!(packets.iter().all(|p| p.data().len() == 64));
+        let back = packer.unpack(&packets, &extents, &lens).unwrap();
+        assert_eq!(back, tensors);
+    }
+
+    #[test]
+    fn tensor_larger_than_packet_spans_packets() {
+        let packer = Packer::new(16).unwrap();
+        let tensors = vec![(0u8..40).collect::<Vec<u8>>()];
+        let (packets, extents) = packer.pack(&tensors);
+        assert_eq!(packets.len(), 3);
+        assert_eq!(extents.len(), 3);
+        assert_eq!(packer.unpack(&packets, &extents, &[40]).unwrap(), tensors);
+    }
+
+    #[test]
+    fn extents_for_matches_pack() {
+        let packer = Packer::new(24).unwrap();
+        let tensors = vec![vec![1u8; 10], vec![2u8; 50], vec![3u8; 7]];
+        let lens: Vec<usize> = tensors.iter().map(Vec::len).collect();
+        let (_, from_pack) = packer.pack(&tensors);
+        assert_eq!(packer.extents_for(&lens), from_pack);
+    }
+
+    #[test]
+    fn empty_input_yields_one_padded_packet() {
+        let packer = Packer::new(32).unwrap();
+        let (packets, extents) = packer.pack(&[]);
+        assert_eq!(packets.len(), 1);
+        assert!(extents.is_empty());
+        assert!(packets[0].data().iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let packer = Packer::new(16).unwrap();
+        let tensors = vec![vec![5u8; 30]];
+        let (mut packets, extents) = packer.pack(&tensors);
+        packets[1].data_mut()[0] ^= 0xFF;
+        assert!(matches!(
+            packer.unpack(&packets, &extents, &[30]),
+            Err(CheckpointError::ChecksumMismatch { packet: 1 })
+        ));
+    }
+
+    #[test]
+    fn bad_packet_size_is_rejected() {
+        assert!(Packer::new(0).is_err());
+        assert!(Packer::new(12).is_err());
+        assert!(Packer::new(8).is_ok());
+    }
+
+    #[test]
+    fn extent_out_of_range_is_reported() {
+        let packer = Packer::new(16).unwrap();
+        let tensors = vec![vec![1u8; 8]];
+        let (packets, mut extents) = packer.pack(&tensors);
+        extents[0].packet = 5;
+        assert!(matches!(
+            packer.unpack(&packets, &extents, &[8]),
+            Err(CheckpointError::ExtentOutOfRange { .. })
+        ));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_pack_round_trips(
+            lens in proptest::collection::vec(0usize..200, 0..8),
+            packet_size_words in 1usize..16,
+        ) {
+            let packer = Packer::new(packet_size_words * 8).unwrap();
+            let tensors: Vec<Vec<u8>> = lens
+                .iter()
+                .enumerate()
+                .map(|(i, &len)| (0..len).map(|j| (i * 31 + j) as u8).collect())
+                .collect();
+            let (packets, extents) = packer.pack(&tensors);
+            prop_assert!(packets.iter().all(|p| p.data().len() == packer.packet_size()));
+            let back = packer.unpack(&packets, &extents, &lens).unwrap();
+            prop_assert_eq!(back, tensors);
+        }
+
+        #[test]
+        fn prop_packet_count_is_minimal(
+            lens in proptest::collection::vec(0usize..200, 1..8),
+        ) {
+            let packer = Packer::new(64).unwrap();
+            let tensors: Vec<Vec<u8>> = lens.iter().map(|&l| vec![0u8; l]).collect();
+            let total: usize = lens.iter().sum();
+            let (packets, _) = packer.pack(&tensors);
+            prop_assert_eq!(packets.len(), total.div_ceil(64).max(1));
+        }
+    }
+}

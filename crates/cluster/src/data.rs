@@ -1,0 +1,596 @@
+//! The real-byte data plane: node memories, remote storage, liveness.
+
+use std::collections::HashMap;
+
+use crate::{ClusterError, ClusterSpec, NodeId};
+
+/// A keyed in-memory blob store with a capacity quota.
+#[derive(Debug, Clone, Default)]
+struct BlobStore {
+    blobs: HashMap<String, Vec<u8>>,
+    used: u64,
+}
+
+impl BlobStore {
+    fn put(&mut self, key: &str, bytes: Vec<u8>) -> u64 {
+        let new = bytes.len() as u64;
+        let old = self.blobs.insert(key.to_string(), bytes).map_or(0, |b| b.len() as u64);
+        self.used = self.used - old + new;
+        new
+    }
+
+    fn get(&self, key: &str) -> Option<&[u8]> {
+        self.blobs.get(key).map(Vec::as_slice)
+    }
+
+    fn remove(&mut self, key: &str) -> Option<Vec<u8>> {
+        let removed = self.blobs.remove(key);
+        if let Some(b) = &removed {
+            self.used -= b.len() as u64;
+        }
+        removed
+    }
+
+    fn clear(&mut self) {
+        self.blobs.clear();
+        self.used = 0;
+    }
+
+    fn keys(&self) -> impl Iterator<Item = &str> {
+        self.blobs.keys().map(String::as_str)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    alive: bool,
+    store: BlobStore,
+}
+
+/// The cluster data plane: per-node volatile memories, one persistent
+/// remote store, and node liveness.
+///
+/// All byte movement in "real mode" goes through this type, so the
+/// fundamental volatility property of in-memory checkpointing — *a node
+/// failure destroys its checkpoints* — holds by construction:
+/// [`Cluster::fail_node`] wipes the node's store.
+///
+/// # Examples
+///
+/// ```
+/// use ecc_cluster::{Cluster, ClusterSpec};
+///
+/// let mut c = Cluster::new(ClusterSpec::tiny_test(2, 1));
+/// c.put_local(0, "chunk", vec![42; 8])?;
+/// c.transfer(0, 1, "chunk", "chunk")?;
+/// assert_eq!(c.get_local(1, "chunk").unwrap(), &[42; 8]);
+/// # Ok::<(), ecc_cluster::ClusterError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    spec: ClusterSpec,
+    nodes: Vec<Node>,
+    remote: BlobStore,
+}
+
+impl Cluster {
+    /// Creates a cluster with all nodes alive and empty.
+    pub fn new(spec: ClusterSpec) -> Self {
+        let nodes =
+            (0..spec.nodes()).map(|_| Node { alive: true, store: BlobStore::default() }).collect();
+        Self { spec, nodes, remote: BlobStore::default() }
+    }
+
+    /// The hardware description.
+    pub fn spec(&self) -> &ClusterSpec {
+        &self.spec
+    }
+
+    /// `true` when the node is alive.
+    ///
+    /// # Panics
+    ///
+    /// Panics for out-of-range node ids.
+    pub fn alive(&self, node: NodeId) -> bool {
+        self.nodes[node].alive
+    }
+
+    /// Node ids that are currently alive.
+    pub fn alive_nodes(&self) -> Vec<NodeId> {
+        (0..self.nodes.len()).filter(|&n| self.nodes[n].alive).collect()
+    }
+
+    /// Fails a node: marks it dead and *destroys its in-memory data*
+    /// (CPU memory is volatile — the core premise the paper addresses).
+    ///
+    /// # Panics
+    ///
+    /// Panics for out-of-range node ids.
+    pub fn fail_node(&mut self, node: NodeId) {
+        self.nodes[node].alive = false;
+        self.nodes[node].store.clear();
+    }
+
+    /// Brings a replacement machine online for `node`: alive, empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics for out-of-range node ids.
+    pub fn replace_node(&mut self, node: NodeId) {
+        self.nodes[node].alive = true;
+        self.nodes[node].store.clear();
+    }
+
+    fn node_mut(&mut self, node: NodeId) -> Result<&mut Node, ClusterError> {
+        if node >= self.nodes.len() {
+            return Err(ClusterError::NoSuchNode { node });
+        }
+        Ok(&mut self.nodes[node])
+    }
+
+    fn live_node_mut(&mut self, node: NodeId) -> Result<&mut Node, ClusterError> {
+        let n = self.node_mut(node)?;
+        if !n.alive {
+            return Err(ClusterError::NodeDown { node });
+        }
+        Ok(n)
+    }
+
+    /// Stores a blob in a node's host memory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::NodeDown`] for dead nodes,
+    /// [`ClusterError::NoSuchNode`] for bad ids, and
+    /// [`ClusterError::OutOfMemory`] when the quota would be exceeded.
+    pub fn put_local(
+        &mut self,
+        node: NodeId,
+        key: &str,
+        bytes: Vec<u8>,
+    ) -> Result<(), ClusterError> {
+        let quota = self.spec.host_mem_bytes();
+        let n = self.live_node_mut(node)?;
+        let replacing = n.store.get(key).map_or(0, |b| b.len() as u64);
+        let needed = bytes.len() as u64;
+        let available = quota - (n.store.used - replacing);
+        if needed > available {
+            return Err(ClusterError::OutOfMemory { node, requested: needed, available });
+        }
+        n.store.put(key, bytes);
+        Ok(())
+    }
+
+    /// Reads a blob from a live node's host memory.
+    pub fn get_local(&self, node: NodeId, key: &str) -> Option<&[u8]> {
+        let n = self.nodes.get(node)?;
+        if !n.alive {
+            return None;
+        }
+        n.store.get(key)
+    }
+
+    /// Removes and returns a blob from a live node's host memory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::NodeDown`], [`ClusterError::NoSuchNode`]
+    /// or [`ClusterError::NoSuchBlob`].
+    pub fn take_local(&mut self, node: NodeId, key: &str) -> Result<Vec<u8>, ClusterError> {
+        let n = self.live_node_mut(node)?;
+        n.store.remove(key).ok_or_else(|| ClusterError::NoSuchBlob { key: key.to_string() })
+    }
+
+    /// Deletes a blob if present (no error when absent or node dead).
+    pub fn delete_local(&mut self, node: NodeId, key: &str) {
+        if let Ok(n) = self.live_node_mut(node) {
+            n.store.remove(key);
+        }
+    }
+
+    /// Host-memory bytes currently used on a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics for out-of-range node ids.
+    pub fn mem_used(&self, node: NodeId) -> u64 {
+        self.nodes[node].store.used
+    }
+
+    /// Keys stored on a live node (unordered).
+    pub fn local_keys(&self, node: NodeId) -> Vec<String> {
+        match self.nodes.get(node) {
+            Some(n) if n.alive => {
+                let mut keys: Vec<String> = n.store.keys().map(str::to_string).collect();
+                keys.sort_unstable();
+                keys
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    /// Copies a blob from one live node to another (the P2P primitive).
+    ///
+    /// # Errors
+    ///
+    /// Returns the usual liveness/quota errors of the two endpoints, or
+    /// [`ClusterError::NoSuchBlob`] when the source blob is missing.
+    pub fn transfer(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        src_key: &str,
+        dst_key: &str,
+    ) -> Result<u64, ClusterError> {
+        if src >= self.nodes.len() {
+            return Err(ClusterError::NoSuchNode { node: src });
+        }
+        if !self.nodes[src].alive {
+            return Err(ClusterError::NodeDown { node: src });
+        }
+        let bytes = self.nodes[src]
+            .store
+            .get(src_key)
+            .ok_or_else(|| ClusterError::NoSuchBlob { key: src_key.to_string() })?
+            .to_vec();
+        let len = bytes.len() as u64;
+        self.put_local(dst, dst_key, bytes)?;
+        Ok(len)
+    }
+
+    /// Stores a blob in persistent remote storage (survives any node
+    /// failure — checkpoint step 4's catastrophic-failure backstop).
+    pub fn put_remote(&mut self, key: &str, bytes: Vec<u8>) {
+        self.remote.put(key, bytes);
+    }
+
+    /// Reads a blob from remote storage.
+    pub fn get_remote(&self, key: &str) -> Option<&[u8]> {
+        self.remote.get(key)
+    }
+
+    /// Bytes held in remote storage.
+    pub fn remote_used(&self) -> u64 {
+        self.remote.used
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cluster {
+        Cluster::new(ClusterSpec::tiny_test(3, 2))
+    }
+
+    #[test]
+    fn put_get_round_trips() {
+        let mut c = tiny();
+        c.put_local(1, "a", vec![1, 2, 3]).unwrap();
+        assert_eq!(c.get_local(1, "a").unwrap(), &[1, 2, 3]);
+        assert_eq!(c.mem_used(1), 3);
+        assert!(c.get_local(0, "a").is_none());
+    }
+
+    #[test]
+    fn replace_updates_accounting() {
+        let mut c = tiny();
+        c.put_local(0, "a", vec![0; 100]).unwrap();
+        c.put_local(0, "a", vec![0; 40]).unwrap();
+        assert_eq!(c.mem_used(0), 40);
+        c.delete_local(0, "a");
+        assert_eq!(c.mem_used(0), 0);
+    }
+
+    #[test]
+    fn failure_destroys_memory() {
+        let mut c = tiny();
+        c.put_local(2, "ckpt", vec![7; 64]).unwrap();
+        c.fail_node(2);
+        assert!(!c.alive(2));
+        assert!(c.get_local(2, "ckpt").is_none());
+        assert!(matches!(
+            c.put_local(2, "x", vec![1]),
+            Err(ClusterError::NodeDown { node: 2 })
+        ));
+        c.replace_node(2);
+        assert!(c.alive(2));
+        assert!(c.get_local(2, "ckpt").is_none(), "replacement starts empty");
+        assert_eq!(c.mem_used(2), 0);
+    }
+
+    #[test]
+    fn transfer_moves_real_bytes() {
+        let mut c = tiny();
+        c.put_local(0, "chunk", vec![9; 32]).unwrap();
+        let n = c.transfer(0, 1, "chunk", "replica").unwrap();
+        assert_eq!(n, 32);
+        assert_eq!(c.get_local(1, "replica").unwrap(), &[9u8; 32][..]);
+        // Source keeps its copy (transfer is a copy, not a move).
+        assert!(c.get_local(0, "chunk").is_some());
+    }
+
+    #[test]
+    fn transfer_to_dead_node_fails() {
+        let mut c = tiny();
+        c.put_local(0, "chunk", vec![1; 8]).unwrap();
+        c.fail_node(1);
+        assert!(matches!(
+            c.transfer(0, 1, "chunk", "chunk"),
+            Err(ClusterError::NodeDown { node: 1 })
+        ));
+    }
+
+    #[test]
+    fn missing_blob_is_an_error() {
+        let mut c = tiny();
+        assert!(matches!(
+            c.transfer(0, 1, "nope", "x"),
+            Err(ClusterError::NoSuchBlob { .. })
+        ));
+        assert!(matches!(c.take_local(0, "nope"), Err(ClusterError::NoSuchBlob { .. })));
+    }
+
+    #[test]
+    fn quota_is_enforced() {
+        let spec = ClusterSpec::tiny_test(1, 1).with_host_mem(100);
+        let mut c = Cluster::new(spec);
+        c.put_local(0, "a", vec![0; 80]).unwrap();
+        assert!(matches!(
+            c.put_local(0, "b", vec![0; 30]),
+            Err(ClusterError::OutOfMemory { .. })
+        ));
+        // Replacing an existing blob only needs the delta.
+        c.put_local(0, "a", vec![0; 100]).unwrap();
+    }
+
+    #[test]
+    fn remote_storage_survives_failures() {
+        let mut c = tiny();
+        c.put_remote("ckpt/full", vec![5; 16]);
+        for n in 0..3 {
+            c.fail_node(n);
+        }
+        assert_eq!(c.get_remote("ckpt/full").unwrap(), &[5u8; 16][..]);
+        assert_eq!(c.remote_used(), 16);
+    }
+
+    #[test]
+    fn alive_nodes_tracks_state() {
+        let mut c = tiny();
+        assert_eq!(c.alive_nodes(), vec![0, 1, 2]);
+        c.fail_node(1);
+        assert_eq!(c.alive_nodes(), vec![0, 2]);
+    }
+
+    #[test]
+    fn local_keys_sorted() {
+        let mut c = tiny();
+        c.put_local(0, "b", vec![1]).unwrap();
+        c.put_local(0, "a", vec![2]).unwrap();
+        assert_eq!(c.local_keys(0), vec!["a".to_string(), "b".to_string()]);
+        c.fail_node(0);
+        assert!(c.local_keys(0).is_empty());
+    }
+}
+
+/// The byte-movement operations a checkpointing engine needs.
+///
+/// Implemented by [`Cluster`] (the whole machine set) and by
+/// [`ClusterView`] (a contiguous node range with namespaced keys), so
+/// the same engine can drive either the full cluster or one
+/// checkpointing group of a group-based deployment (paper §VI).
+pub trait DataPlane {
+    /// Number of nodes visible through this plane.
+    fn nodes(&self) -> usize;
+
+    /// `true` when the (plane-local) node is alive.
+    fn alive(&self, node: NodeId) -> bool;
+
+    /// Stores a blob in a node's host memory.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Cluster::put_local`].
+    fn put_local(&mut self, node: NodeId, key: &str, bytes: Vec<u8>)
+        -> Result<(), ClusterError>;
+
+    /// Reads a blob from a live node's host memory.
+    fn get_local(&self, node: NodeId, key: &str) -> Option<&[u8]>;
+
+    /// Deletes a blob if present (no error when absent or node dead).
+    fn delete_local(&mut self, node: NodeId, key: &str);
+
+    /// Stores a blob in persistent remote storage.
+    fn put_remote(&mut self, key: &str, bytes: Vec<u8>);
+
+    /// Reads a blob from remote storage.
+    fn get_remote(&self, key: &str) -> Option<&[u8]>;
+}
+
+impl DataPlane for Cluster {
+    fn nodes(&self) -> usize {
+        self.spec().nodes()
+    }
+
+    fn alive(&self, node: NodeId) -> bool {
+        Cluster::alive(self, node)
+    }
+
+    fn put_local(
+        &mut self,
+        node: NodeId,
+        key: &str,
+        bytes: Vec<u8>,
+    ) -> Result<(), ClusterError> {
+        Cluster::put_local(self, node, key, bytes)
+    }
+
+    fn get_local(&self, node: NodeId, key: &str) -> Option<&[u8]> {
+        Cluster::get_local(self, node, key)
+    }
+
+    fn delete_local(&mut self, node: NodeId, key: &str) {
+        Cluster::delete_local(self, node, key)
+    }
+
+    fn put_remote(&mut self, key: &str, bytes: Vec<u8>) {
+        Cluster::put_remote(self, key, bytes)
+    }
+
+    fn get_remote(&self, key: &str) -> Option<&[u8]> {
+        Cluster::get_remote(self, key)
+    }
+}
+
+/// A windowed, key-namespaced view over a contiguous node range of a
+/// [`Cluster`] — one checkpointing *group* of a group-based deployment.
+///
+/// Node ids are translated by the window base; every key (local and
+/// remote) is prefixed with the group tag so groups never collide.
+///
+/// # Examples
+///
+/// ```
+/// use ecc_cluster::{Cluster, ClusterSpec, DataPlane};
+///
+/// let mut cluster = Cluster::new(ClusterSpec::tiny_test(4, 1));
+/// let mut view = cluster.view(2, 2, "grp1");
+/// view.put_local(0, "chunk", vec![1, 2, 3])?; // lands on global node 2
+/// assert!(view.get_local(0, "chunk").is_some());
+/// drop(view);
+/// assert!(cluster.get_local(2, "grp1/chunk").is_some());
+/// # Ok::<(), ecc_cluster::ClusterError>(())
+/// ```
+#[derive(Debug)]
+pub struct ClusterView<'a> {
+    cluster: &'a mut Cluster,
+    base: NodeId,
+    nodes: usize,
+    prefix: String,
+}
+
+impl Cluster {
+    /// Opens a view over nodes `base .. base + nodes` with all keys
+    /// prefixed by `tag`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the window exceeds the cluster.
+    pub fn view(&mut self, base: NodeId, nodes: usize, tag: &str) -> ClusterView<'_> {
+        assert!(
+            base + nodes <= self.spec().nodes(),
+            "view window {base}..{} exceeds cluster",
+            base + nodes
+        );
+        ClusterView { cluster: self, base, nodes, prefix: format!("{tag}/") }
+    }
+}
+
+impl ClusterView<'_> {
+    fn global(&self, node: NodeId) -> NodeId {
+        assert!(node < self.nodes, "node {node} outside view of {} nodes", self.nodes);
+        self.base + node
+    }
+
+    fn key(&self, key: &str) -> String {
+        format!("{}{key}", self.prefix)
+    }
+}
+
+impl DataPlane for ClusterView<'_> {
+    fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    fn alive(&self, node: NodeId) -> bool {
+        self.cluster.alive(self.global(node))
+    }
+
+    fn put_local(
+        &mut self,
+        node: NodeId,
+        key: &str,
+        bytes: Vec<u8>,
+    ) -> Result<(), ClusterError> {
+        let node = self.global(node);
+        let key = self.key(key);
+        self.cluster.put_local(node, &key, bytes)
+    }
+
+    fn get_local(&self, node: NodeId, key: &str) -> Option<&[u8]> {
+        let node = self.global(node);
+        let key = self.key(key);
+        self.cluster.get_local(node, &key)
+    }
+
+    fn delete_local(&mut self, node: NodeId, key: &str) {
+        let node = self.global(node);
+        let key = self.key(key);
+        self.cluster.delete_local(node, &key)
+    }
+
+    fn put_remote(&mut self, key: &str, bytes: Vec<u8>) {
+        let key = self.key(key);
+        self.cluster.put_remote(&key, bytes)
+    }
+
+    fn get_remote(&self, key: &str) -> Option<&[u8]> {
+        let key = self.key(key);
+        self.cluster.get_remote(&key)
+    }
+}
+
+#[cfg(test)]
+mod view_tests {
+    use super::*;
+    use crate::ClusterSpec;
+
+    #[test]
+    fn view_translates_nodes_and_keys() {
+        let mut c = Cluster::new(ClusterSpec::tiny_test(4, 1));
+        {
+            let mut v = c.view(2, 2, "g1");
+            v.put_local(1, "chunk", vec![9; 4]).unwrap();
+            v.put_remote("backup", vec![7; 2]);
+            assert_eq!(v.get_local(1, "chunk").unwrap(), &[9; 4]);
+            assert_eq!(DataPlane::nodes(&v), 2);
+        }
+        assert_eq!(c.get_local(3, "g1/chunk").unwrap(), &[9; 4]);
+        assert_eq!(c.get_remote("g1/backup").unwrap(), &[7; 2]);
+        assert!(c.get_local(1, "g1/chunk").is_none());
+    }
+
+    #[test]
+    fn views_of_different_groups_do_not_collide() {
+        let mut c = Cluster::new(ClusterSpec::tiny_test(4, 1));
+        c.view(0, 2, "g0").put_local(0, "chunk", vec![1]).unwrap();
+        c.view(2, 2, "g1").put_local(0, "chunk", vec![2]).unwrap();
+        assert_eq!(c.get_local(0, "g0/chunk").unwrap(), &[1]);
+        assert_eq!(c.get_local(2, "g1/chunk").unwrap(), &[2]);
+    }
+
+    #[test]
+    fn view_sees_global_liveness() {
+        let mut c = Cluster::new(ClusterSpec::tiny_test(4, 1));
+        c.fail_node(3);
+        let v = c.view(2, 2, "g1");
+        assert!(v.alive(0));
+        assert!(!v.alive(1));
+    }
+
+    #[test]
+    fn view_deletes_through() {
+        let mut c = Cluster::new(ClusterSpec::tiny_test(2, 1));
+        c.view(0, 2, "g").put_local(0, "x", vec![1]).unwrap();
+        c.view(0, 2, "g").delete_local(0, "x");
+        assert!(c.get_local(0, "g/x").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds cluster")]
+    fn oversized_view_panics() {
+        let mut c = Cluster::new(ClusterSpec::tiny_test(2, 1));
+        let _ = c.view(1, 2, "g");
+    }
+}

@@ -1,0 +1,50 @@
+use std::error::Error;
+use std::fmt;
+
+use crate::NodeId;
+
+/// Errors produced by cluster data-plane operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ClusterError {
+    /// The target node has failed and cannot serve the operation.
+    NodeDown {
+        /// The failed node.
+        node: NodeId,
+    },
+    /// A node id outside the cluster.
+    NoSuchNode {
+        /// The offending node id.
+        node: NodeId,
+    },
+    /// A blob key was not found in the addressed store.
+    NoSuchBlob {
+        /// The missing key.
+        key: String,
+    },
+    /// Writing the blob would exceed the node's host-memory quota.
+    OutOfMemory {
+        /// The node whose quota would be exceeded.
+        node: NodeId,
+        /// Bytes requested.
+        requested: u64,
+        /// Bytes still available.
+        available: u64,
+    },
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::NodeDown { node } => write!(f, "node {node} is down"),
+            ClusterError::NoSuchNode { node } => write!(f, "node {node} does not exist"),
+            ClusterError::NoSuchBlob { key } => write!(f, "no blob under key {key:?}"),
+            ClusterError::OutOfMemory { node, requested, available } => write!(
+                f,
+                "node {node} host memory exhausted: requested {requested} bytes, {available} available"
+            ),
+        }
+    }
+}
+
+impl Error for ClusterError {}

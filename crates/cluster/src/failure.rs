@@ -1,0 +1,150 @@
+//! Failure injection: independent node failures (paper §II-B).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::NodeId;
+
+/// Which nodes fail in one concurrent-failure event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FailureScenario {
+    failed: Vec<NodeId>,
+}
+
+impl FailureScenario {
+    /// A scenario failing exactly the given nodes (deduplicated, sorted).
+    pub fn new(mut failed: Vec<NodeId>) -> Self {
+        failed.sort_unstable();
+        failed.dedup();
+        Self { failed }
+    }
+
+    /// The paper's Fig. 13a scenario on the 4-node testbed: nodes 1 and 3
+    /// fail, all data nodes (0 and 2) survive.
+    pub fn fig13a() -> Self {
+        Self::new(vec![1, 3])
+    }
+
+    /// The paper's Fig. 13b scenario: nodes 2 and 3 fail — a data node is
+    /// lost, forcing decode, and GEMINI-style grouping (nodes {2,3} in
+    /// one group) cannot recover at all.
+    pub fn fig13b() -> Self {
+        Self::new(vec![2, 3])
+    }
+
+    /// The failed node ids, sorted ascending.
+    pub fn failed(&self) -> &[NodeId] {
+        &self.failed
+    }
+
+    /// Number of concurrent failures.
+    pub fn count(&self) -> usize {
+        self.failed.len()
+    }
+
+    /// `true` when `node` fails in this scenario.
+    pub fn is_failed(&self, node: NodeId) -> bool {
+        self.failed.binary_search(&node).is_ok()
+    }
+}
+
+/// Samples independent per-node failures with probability `p`, the model
+/// the paper's reliability analysis uses (§II-B, Eqns. 1–2).
+///
+/// # Examples
+///
+/// ```
+/// use ecc_cluster::FailureModel;
+///
+/// let model = FailureModel::new(0.3)?;
+/// let scenario = model.sample(8, 42);
+/// assert!(scenario.count() <= 8);
+/// // Same seed, same outcome.
+/// assert_eq!(model.sample(8, 42), scenario);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FailureModel {
+    p: f64,
+}
+
+impl FailureModel {
+    /// Creates a model with per-node failure probability `p`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error message when `p` is outside `[0, 1]`.
+    pub fn new(p: f64) -> Result<Self, String> {
+        if !(0.0..=1.0).contains(&p) || p.is_nan() {
+            return Err(format!("failure probability {p} must be within [0, 1]"));
+        }
+        Ok(Self { p })
+    }
+
+    /// The per-node failure probability.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Samples a failure scenario for `nodes` machines with a fixed seed.
+    pub fn sample(&self, nodes: usize, seed: u64) -> FailureScenario {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let failed =
+            (0..nodes).filter(|_| rng.gen_bool(self.p)).collect::<Vec<_>>();
+        FailureScenario::new(failed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_dedups_and_sorts() {
+        let s = FailureScenario::new(vec![3, 1, 3, 0]);
+        assert_eq!(s.failed(), &[0, 1, 3]);
+        assert_eq!(s.count(), 3);
+        assert!(s.is_failed(1));
+        assert!(!s.is_failed(2));
+    }
+
+    #[test]
+    fn paper_scenarios() {
+        assert_eq!(FailureScenario::fig13a().failed(), &[1, 3]);
+        assert_eq!(FailureScenario::fig13b().failed(), &[2, 3]);
+    }
+
+    #[test]
+    fn probability_bounds_enforced() {
+        assert!(FailureModel::new(-0.1).is_err());
+        assert!(FailureModel::new(1.1).is_err());
+        assert!(FailureModel::new(f64::NAN).is_err());
+        assert!(FailureModel::new(0.0).is_ok());
+        assert!(FailureModel::new(1.0).is_ok());
+    }
+
+    #[test]
+    fn extremes_behave() {
+        assert_eq!(FailureModel::new(0.0).unwrap().sample(10, 1).count(), 0);
+        assert_eq!(FailureModel::new(1.0).unwrap().sample(10, 1).count(), 10);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let m = FailureModel::new(0.4).unwrap();
+        assert_eq!(m.sample(20, 7), m.sample(20, 7));
+        // Different seeds eventually differ.
+        let distinct = (0..20).any(|s| m.sample(20, s) != m.sample(20, s + 1000));
+        assert!(distinct);
+    }
+
+    #[test]
+    fn empirical_rate_tracks_p() {
+        let m = FailureModel::new(0.25).unwrap();
+        let trials = 2000u64;
+        let nodes = 10usize;
+        let total: usize = (0..trials).map(|s| m.sample(nodes, s).count()).sum();
+        let rate = total as f64 / (trials as usize * nodes) as f64;
+        assert!((0.22..0.28).contains(&rate), "empirical rate {rate}");
+    }
+}

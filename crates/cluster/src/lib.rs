@@ -1,0 +1,47 @@
+//! Simulated GPU-cluster substrate for the ECCheck reproduction.
+//!
+//! The paper evaluates on four machines with four NVLinked A100s each,
+//! 100 Gbps inter-node fabric and a 5 Gbps remote storage system (§V-B).
+//! This crate substitutes that hardware with two decoupled planes:
+//!
+//! * **Data plane** ([`Cluster`]) — per-node in-memory blob stores, a
+//!   remote persistent store, node liveness, and transfer helpers that
+//!   move *real bytes* between them. Checkpoint correctness tests run
+//!   here: a failed node genuinely loses its in-memory checkpoints.
+//! * **Timing plane** ([`ClusterTimeline`]) — FIFO bandwidth resources
+//!   (per-node NIC tx/rx, per-node DtoH engines, the aggregated remote
+//!   storage frontend) that turn the same operations into deterministic
+//!   simulated durations at paper scale, without allocating terabytes.
+//!
+//! Failure injection ([`FailureModel`]) samples independent node
+//! failures, matching the paper's reliability analysis assumptions
+//! (§II-B, citing OSDI'10/DSN'06 failure studies).
+//!
+//! # Examples
+//!
+//! ```
+//! use ecc_cluster::{Cluster, ClusterSpec};
+//!
+//! let mut cluster = Cluster::new(ClusterSpec::paper_testbed());
+//! cluster.put_local(0, "ckpt/chunk0", vec![1, 2, 3])?;
+//! cluster.fail_node(0);
+//! // In-memory data is gone after a failure.
+//! cluster.replace_node(0);
+//! assert!(cluster.get_local(0, "ckpt/chunk0").is_none());
+//! # Ok::<(), ecc_cluster::ClusterError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod data;
+mod error;
+mod failure;
+mod timeline;
+mod topology;
+
+pub use data::{Cluster, ClusterView, DataPlane};
+pub use error::ClusterError;
+pub use failure::{FailureModel, FailureScenario};
+pub use timeline::ClusterTimeline;
+pub use topology::{ClusterSpec, NodeId};

@@ -1,0 +1,255 @@
+//! The timing plane: bandwidth resources for paper-scale simulations.
+
+use ecc_sim::{FifoResource, SimDuration, SimTime};
+
+use crate::{ClusterSpec, NodeId};
+
+/// Deterministic timing model of the cluster's transfer hardware.
+///
+/// Each node has an independent full-duplex NIC (separate transmit and
+/// receive queues) and a DtoH copy engine per GPU; remote storage is one
+/// shared frontend with the aggregated bandwidth of the paper (§V-B) —
+/// which is why remote-storage checkpointing scales *linearly* with GPU
+/// count (Fig. 14) while in-memory schemes stay flat.
+///
+/// # Examples
+///
+/// ```
+/// use ecc_cluster::{ClusterSpec, ClusterTimeline};
+/// use ecc_sim::SimTime;
+///
+/// let mut tl = ClusterTimeline::new(ClusterSpec::paper_testbed());
+/// let (_, end1) = tl.p2p(SimTime::ZERO, 0, 1, 1_000_000);
+/// let (start2, _) = tl.p2p(SimTime::ZERO, 0, 2, 1_000_000);
+/// assert_eq!(start2, end1); // same sender: serialized on its NIC
+/// ```
+#[derive(Debug, Clone)]
+pub struct ClusterTimeline {
+    spec: ClusterSpec,
+    nic_tx: Vec<FifoResource>,
+    nic_rx: Vec<FifoResource>,
+    dtoh: Vec<FifoResource>,
+    remote: FifoResource,
+}
+
+impl ClusterTimeline {
+    /// Creates an idle timeline for the given hardware.
+    pub fn new(spec: ClusterSpec) -> Self {
+        Self {
+            spec,
+            nic_tx: (0..spec.nodes()).map(|_| FifoResource::with_rate(spec.nic())).collect(),
+            nic_rx: (0..spec.nodes()).map(|_| FifoResource::with_rate(spec.nic())).collect(),
+            dtoh: (0..spec.world_size())
+                .map(|_| FifoResource::with_rate(spec.dtoh()))
+                .collect(),
+            remote: FifoResource::with_rate(spec.remote()),
+        }
+    }
+
+    /// The hardware description.
+    pub fn spec(&self) -> &ClusterSpec {
+        &self.spec
+    }
+
+    /// Schedules an inter-node transfer of `bytes` from `src` to `dst`,
+    /// occupying both endpoints' NIC queues; returns `(start, end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics for out-of-range node ids or `src == dst` (intra-node data
+    /// never touches the NIC — use [`ClusterTimeline::intra_node`]).
+    pub fn p2p(&mut self, earliest: SimTime, src: NodeId, dst: NodeId, bytes: u64) -> (SimTime, SimTime) {
+        assert_ne!(src, dst, "p2p requires distinct nodes");
+        let duration = self.spec.nic().transfer_time(bytes);
+        let start = earliest
+            .max(self.nic_tx[src].next_free())
+            .max(self.nic_rx[dst].next_free());
+        let (_, end) = self.nic_tx[src].reserve(start, duration);
+        self.nic_rx[dst].reserve(start, duration);
+        (start, end)
+    }
+
+    /// Schedules an intra-node copy over NVLink/shared memory.
+    pub fn intra_node(&mut self, earliest: SimTime, bytes: u64) -> (SimTime, SimTime) {
+        // Modeled as contention-free: NVLink bandwidth dwarfs checkpoint
+        // traffic and is not shared with inter-node training traffic.
+        let end = earliest + self.spec.nvlink().transfer_time(bytes);
+        (earliest, end)
+    }
+
+    /// Schedules a device-to-host copy on a worker's PCIe engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics for out-of-range worker ids.
+    pub fn dtoh(&mut self, earliest: SimTime, worker: usize, bytes: u64) -> (SimTime, SimTime) {
+        self.dtoh[worker].reserve_bytes(earliest, bytes)
+    }
+
+    /// Schedules a write of `bytes` from `src` to remote storage: the
+    /// sender's NIC and the shared storage frontend are both occupied,
+    /// with the slower (storage) side setting the pace.
+    pub fn to_remote(&mut self, earliest: SimTime, src: NodeId, bytes: u64) -> (SimTime, SimTime) {
+        let duration = self.spec.remote().transfer_time(bytes);
+        let start = earliest
+            .max(self.nic_tx[src].next_free())
+            .max(self.remote.next_free());
+        let (_, end) = self.remote.reserve(start, duration);
+        self.nic_tx[src].reserve(start, duration);
+        (start, end)
+    }
+
+    /// Schedules a read of `bytes` from remote storage into `dst`.
+    pub fn from_remote(&mut self, earliest: SimTime, dst: NodeId, bytes: u64) -> (SimTime, SimTime) {
+        let duration = self.spec.remote().transfer_time(bytes);
+        let start = earliest
+            .max(self.nic_rx[dst].next_free())
+            .max(self.remote.next_free());
+        let (_, end) = self.remote.reserve(start, duration);
+        self.nic_rx[dst].reserve(start, duration);
+        (start, end)
+    }
+
+    /// Schedules a broadcast of `bytes` from `src` to every other node in
+    /// `dsts` (sequential sends on the source NIC — the GEMINI-style
+    /// group broadcast pattern). Returns the completion of the last send.
+    pub fn broadcast(
+        &mut self,
+        earliest: SimTime,
+        src: NodeId,
+        dsts: &[NodeId],
+        bytes: u64,
+    ) -> SimTime {
+        let mut done = earliest;
+        for &dst in dsts {
+            if dst == src {
+                continue;
+            }
+            let (_, end) = self.p2p(earliest, src, dst, bytes);
+            done = done.max(end);
+        }
+        done
+    }
+
+    /// Total busy time of a node's transmit NIC queue.
+    pub fn tx_busy(&self, node: NodeId) -> SimDuration {
+        self.nic_tx[node].busy_total()
+    }
+
+    /// Total busy time of the remote-storage frontend.
+    pub fn remote_busy(&self) -> SimDuration {
+        self.remote.busy_total()
+    }
+
+    /// Resets every resource to idle (start of a new measurement run).
+    pub fn reset(&mut self) {
+        for r in self.nic_tx.iter_mut().chain(self.nic_rx.iter_mut()).chain(self.dtoh.iter_mut())
+        {
+            r.reset();
+        }
+        self.remote.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecc_sim::Bandwidth;
+
+    fn timeline() -> ClusterTimeline {
+        ClusterTimeline::new(ClusterSpec::paper_testbed())
+    }
+
+    #[test]
+    fn p2p_duration_matches_bandwidth() {
+        let mut tl = timeline();
+        // 100 Gbps = 12.5 GB/s; 125 MB takes 10 ms.
+        let (s, e) = tl.p2p(SimTime::ZERO, 0, 1, 125_000_000);
+        assert_eq!(s, SimTime::ZERO);
+        assert_eq!(e - s, SimDuration::from_millis(10));
+    }
+
+    #[test]
+    fn same_sender_serializes() {
+        let mut tl = timeline();
+        let (_, e1) = tl.p2p(SimTime::ZERO, 0, 1, 125_000_000);
+        let (s2, _) = tl.p2p(SimTime::ZERO, 0, 2, 125_000_000);
+        assert_eq!(s2, e1);
+    }
+
+    #[test]
+    fn different_pairs_run_in_parallel() {
+        let mut tl = timeline();
+        let (s1, _) = tl.p2p(SimTime::ZERO, 0, 1, 125_000_000);
+        let (s2, _) = tl.p2p(SimTime::ZERO, 2, 3, 125_000_000);
+        assert_eq!(s1, SimTime::ZERO);
+        assert_eq!(s2, SimTime::ZERO);
+    }
+
+    #[test]
+    fn same_receiver_serializes() {
+        let mut tl = timeline();
+        let (_, e1) = tl.p2p(SimTime::ZERO, 0, 3, 125_000_000);
+        let (s2, _) = tl.p2p(SimTime::ZERO, 1, 3, 125_000_000);
+        assert_eq!(s2, e1);
+    }
+
+    #[test]
+    fn remote_storage_is_shared() {
+        let mut tl = timeline();
+        // 5 Gbps = 625 MB/s; two writers of 625 MB serialize: 1 s each.
+        let (_, e1) = tl.to_remote(SimTime::ZERO, 0, 625_000_000);
+        let (s2, e2) = tl.to_remote(SimTime::ZERO, 1, 625_000_000);
+        assert_eq!(e1 - SimTime::ZERO, SimDuration::from_secs(1));
+        assert_eq!(s2, e1);
+        assert_eq!(e2 - SimTime::ZERO, SimDuration::from_secs(2));
+    }
+
+    #[test]
+    fn dtoh_engines_are_per_worker() {
+        let mut tl = timeline();
+        let (s1, _) = tl.dtoh(SimTime::ZERO, 0, 1 << 30);
+        let (s2, _) = tl.dtoh(SimTime::ZERO, 1, 1 << 30);
+        assert_eq!(s1, SimTime::ZERO);
+        assert_eq!(s2, SimTime::ZERO);
+        // Same worker queues.
+        let (s3, _) = tl.dtoh(SimTime::ZERO, 0, 1 << 30);
+        assert!(s3 > SimTime::ZERO);
+    }
+
+    #[test]
+    fn broadcast_serializes_on_sender() {
+        let mut tl = timeline();
+        let done = tl.broadcast(SimTime::ZERO, 0, &[0, 1, 2, 3], 125_000_000);
+        // Three sequential 10 ms sends (self is skipped).
+        assert_eq!(done - SimTime::ZERO, SimDuration::from_millis(30));
+    }
+
+    #[test]
+    fn intra_node_is_fast_and_uncontended() {
+        let mut tl = timeline();
+        let (_, e) = tl.intra_node(SimTime::ZERO, 1 << 30);
+        let nic_time = ClusterSpec::paper_testbed().nic().transfer_time(1 << 30);
+        assert!(e - SimTime::ZERO < nic_time);
+    }
+
+    #[test]
+    fn reset_clears_busy_state() {
+        let mut tl = timeline();
+        tl.p2p(SimTime::ZERO, 0, 1, 1 << 20);
+        tl.to_remote(SimTime::ZERO, 0, 1 << 20);
+        tl.reset();
+        assert_eq!(tl.tx_busy(0), SimDuration::ZERO);
+        assert_eq!(tl.remote_busy(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn slower_remote_takes_longer() {
+        let fast = ClusterSpec::paper_testbed().with_remote(Bandwidth::from_gbps(20.0));
+        let mut tl_fast = ClusterTimeline::new(fast);
+        let mut tl_slow = timeline();
+        let (_, ef) = tl_fast.to_remote(SimTime::ZERO, 0, 1 << 30);
+        let (_, es) = tl_slow.to_remote(SimTime::ZERO, 0, 1 << 30);
+        assert!(ef < es);
+    }
+}

@@ -1,0 +1,219 @@
+use ecc_sim::Bandwidth;
+
+/// Identifier of a machine (node) in the cluster.
+pub type NodeId = usize;
+
+/// Static description of the cluster hardware.
+///
+/// # Examples
+///
+/// ```
+/// use ecc_cluster::ClusterSpec;
+///
+/// let spec = ClusterSpec::paper_testbed();
+/// assert_eq!(spec.nodes(), 4);
+/// assert_eq!(spec.world_size(), 16);
+/// assert_eq!(spec.node_of_worker(6), 1);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterSpec {
+    nodes: usize,
+    gpus_per_node: usize,
+    nic: Bandwidth,
+    nvlink: Bandwidth,
+    dtoh: Bandwidth,
+    remote: Bandwidth,
+    host_mem_bytes: u64,
+}
+
+impl ClusterSpec {
+    /// Builds a cluster description.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `nodes` or `gpus_per_node` is zero.
+    pub fn new(
+        nodes: usize,
+        gpus_per_node: usize,
+        nic: Bandwidth,
+        nvlink: Bandwidth,
+        dtoh: Bandwidth,
+        remote: Bandwidth,
+        host_mem_bytes: u64,
+    ) -> Self {
+        assert!(nodes > 0 && gpus_per_node > 0, "cluster must have nodes and GPUs");
+        Self { nodes, gpus_per_node, nic, nvlink, dtoh, remote, host_mem_bytes }
+    }
+
+    /// The paper's A100 testbed (§V-B): 4 nodes × 4 GPUs, 100 Gbps
+    /// inter-node network, 5 Gbps aggregated remote storage, 512 GB of
+    /// host memory per node.
+    pub fn paper_testbed() -> Self {
+        Self::new(
+            4,
+            4,
+            Bandwidth::from_gbps(100.0),
+            Bandwidth::from_gibps(300.0),
+            Bandwidth::from_gibps(20.0),
+            Bandwidth::from_gbps(5.0),
+            512 * (1u64 << 30),
+        )
+    }
+
+    /// The V100 scalability testbed (§V-F, Fig. 14): up to 32 V100-32GB
+    /// GPUs on `nodes` machines of 8 GPUs each, same fabric and storage.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `nodes` is zero.
+    pub fn v100_scalability(nodes: usize, gpus_per_node: usize) -> Self {
+        Self::new(
+            nodes,
+            gpus_per_node,
+            Bandwidth::from_gbps(100.0),
+            Bandwidth::from_gibps(150.0),
+            Bandwidth::from_gibps(10.0),
+            Bandwidth::from_gbps(5.0),
+            512 * (1u64 << 30),
+        )
+    }
+
+    /// A tiny configuration for fast real-data tests: small host memory
+    /// quota, same shape as the paper testbed.
+    pub fn tiny_test(nodes: usize, gpus_per_node: usize) -> Self {
+        Self::new(
+            nodes,
+            gpus_per_node,
+            Bandwidth::from_gbps(100.0),
+            Bandwidth::from_gibps(300.0),
+            Bandwidth::from_gibps(20.0),
+            Bandwidth::from_gbps(5.0),
+            256 * (1u64 << 20),
+        )
+    }
+
+    /// Number of machines.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// GPUs (workers) per machine — the paper's `g`.
+    pub fn gpus_per_node(&self) -> usize {
+        self.gpus_per_node
+    }
+
+    /// Total workers — the paper's `W = n·g`.
+    pub fn world_size(&self) -> usize {
+        self.nodes * self.gpus_per_node
+    }
+
+    /// Inter-node NIC bandwidth (full duplex, per direction).
+    pub fn nic(&self) -> Bandwidth {
+        self.nic
+    }
+
+    /// Intra-node GPU interconnect bandwidth.
+    pub fn nvlink(&self) -> Bandwidth {
+        self.nvlink
+    }
+
+    /// Per-GPU device-to-host copy bandwidth.
+    pub fn dtoh(&self) -> Bandwidth {
+        self.dtoh
+    }
+
+    /// Aggregated bandwidth from the cluster to remote storage.
+    pub fn remote(&self) -> Bandwidth {
+        self.remote
+    }
+
+    /// Host memory per node in bytes.
+    pub fn host_mem_bytes(&self) -> u64 {
+        self.host_mem_bytes
+    }
+
+    /// Overrides the remote-storage bandwidth (Fig. 4 sweeps this).
+    pub fn with_remote(mut self, remote: Bandwidth) -> Self {
+        self.remote = remote;
+        self
+    }
+
+    /// Overrides the host-memory quota.
+    pub fn with_host_mem(mut self, bytes: u64) -> Self {
+        self.host_mem_bytes = bytes;
+        self
+    }
+
+    /// The machine hosting a global worker id (consecutive workers share
+    /// a node, matching Megatron's TP-innermost rank order).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the worker id is out of range.
+    pub fn node_of_worker(&self, worker: usize) -> NodeId {
+        assert!(worker < self.world_size(), "worker {worker} out of range");
+        worker / self.gpus_per_node
+    }
+
+    /// Global worker ids hosted on `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the node id is out of range.
+    pub fn workers_of_node(&self, node: NodeId) -> std::ops::Range<usize> {
+        assert!(node < self.nodes, "node {node} out of range");
+        node * self.gpus_per_node..(node + 1) * self.gpus_per_node
+    }
+
+    /// The `origin_group` interval array of the paper's placement
+    /// algorithm (§IV-B-1): workers grouped by host machine.
+    pub fn origin_group(&self) -> Vec<std::ops::Range<usize>> {
+        (0..self.nodes).map(|n| self.workers_of_node(n)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_testbed_shape() {
+        let s = ClusterSpec::paper_testbed();
+        assert_eq!((s.nodes(), s.gpus_per_node(), s.world_size()), (4, 4, 16));
+        assert!((s.nic().as_gbps() - 100.0).abs() < 1e-9);
+        assert!((s.remote().as_gbps() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn worker_node_mapping_round_trips() {
+        let s = ClusterSpec::paper_testbed();
+        for w in 0..s.world_size() {
+            let n = s.node_of_worker(w);
+            assert!(s.workers_of_node(n).contains(&w));
+        }
+    }
+
+    #[test]
+    fn origin_group_covers_all_workers() {
+        let s = ClusterSpec::v100_scalability(4, 8);
+        let groups = s.origin_group();
+        assert_eq!(groups.len(), 4);
+        let total: usize = groups.iter().map(|g| g.len()).sum();
+        assert_eq!(total, 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_worker_panics() {
+        ClusterSpec::paper_testbed().node_of_worker(16);
+    }
+
+    #[test]
+    fn overrides_apply() {
+        let s = ClusterSpec::paper_testbed()
+            .with_remote(Bandwidth::from_gbps(20.0))
+            .with_host_mem(1024);
+        assert!((s.remote().as_gbps() - 20.0).abs() < 1e-9);
+        assert_eq!(s.host_mem_bytes(), 1024);
+    }
+}

@@ -1,0 +1,260 @@
+use ecc_erasure::ScheduleKind;
+
+use crate::EcCheckError;
+
+/// Tunables of the ECCheck system.
+///
+/// # Examples
+///
+/// ```
+/// use eccheck::EcCheckConfig;
+///
+/// // The paper's settings (§V-B): k = 2, m = 2, GF(2^8), 64 MB buffers,
+/// // 12 data + 24 encoding buffers per worker.
+/// let cfg = EcCheckConfig::paper_defaults();
+/// assert_eq!((cfg.k(), cfg.m()), (2, 2));
+///
+/// // Tests shrink the buffers.
+/// let tiny = EcCheckConfig::paper_defaults().with_packet_size(256);
+/// assert_eq!(tiny.packet_size(), 256);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct EcCheckConfig {
+    k: usize,
+    m: usize,
+    w: u8,
+    packet_size: usize,
+    data_buffers: usize,
+    encoding_buffers: usize,
+    coding_threads: usize,
+    schedule: ScheduleKind,
+    remote_flush_every: u64,
+    use_idle_slots: bool,
+}
+
+impl EcCheckConfig {
+    /// The paper's experimental settings (§V-B): `k = m = 2` over
+    /// GF(2^8), 64 MB packets, 12 data and 24 encoding buffers per
+    /// worker, idle-slot scheduling on, remote flush every 50 saves.
+    pub fn paper_defaults() -> Self {
+        Self {
+            k: 2,
+            m: 2,
+            w: 8,
+            packet_size: 64 << 20,
+            data_buffers: 12,
+            encoding_buffers: 24,
+            coding_threads: 8,
+            schedule: ScheduleKind::Smart,
+            remote_flush_every: 50,
+            use_idle_slots: true,
+        }
+    }
+
+    /// Overrides the data/parity split.
+    pub fn with_km(mut self, k: usize, m: usize) -> Self {
+        self.k = k;
+        self.m = m;
+        self
+    }
+
+    /// Overrides the field width.
+    pub fn with_width(mut self, w: u8) -> Self {
+        self.w = w;
+        self
+    }
+
+    /// Overrides the packet (buffer) size in bytes.
+    pub fn with_packet_size(mut self, bytes: usize) -> Self {
+        self.packet_size = bytes;
+        self
+    }
+
+    /// Overrides the buffer pool sizes (data, encoding).
+    pub fn with_buffers(mut self, data: usize, encoding: usize) -> Self {
+        self.data_buffers = data;
+        self.encoding_buffers = encoding;
+        self
+    }
+
+    /// Overrides the coding thread-pool size.
+    pub fn with_coding_threads(mut self, threads: usize) -> Self {
+        self.coding_threads = threads.max(1);
+        self
+    }
+
+    /// Overrides the XOR schedule kind.
+    pub fn with_schedule(mut self, schedule: ScheduleKind) -> Self {
+        self.schedule = schedule;
+        self
+    }
+
+    /// Overrides how often (in saves) the checkpoint is also flushed to
+    /// remote storage (step 4; 0 disables).
+    pub fn with_remote_flush_every(mut self, every: u64) -> Self {
+        self.remote_flush_every = every;
+        self
+    }
+
+    /// Enables or disables idle-slot communication scheduling.
+    pub fn with_idle_slots(mut self, on: bool) -> Self {
+        self.use_idle_slots = on;
+        self
+    }
+
+    /// Number of data nodes.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of parity nodes.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Galois-field width.
+    pub fn w(&self) -> u8 {
+        self.w
+    }
+
+    /// Packet/buffer size in bytes.
+    pub fn packet_size(&self) -> usize {
+        self.packet_size
+    }
+
+    /// Reserved data buffers per worker.
+    pub fn data_buffers(&self) -> usize {
+        self.data_buffers
+    }
+
+    /// Reserved encoding buffers per worker.
+    pub fn encoding_buffers(&self) -> usize {
+        self.encoding_buffers
+    }
+
+    /// Coding thread-pool size.
+    pub fn coding_threads(&self) -> usize {
+        self.coding_threads
+    }
+
+    /// XOR schedule kind.
+    pub fn schedule(&self) -> ScheduleKind {
+        self.schedule
+    }
+
+    /// Remote-flush period in saves (0 = never).
+    pub fn remote_flush_every(&self) -> u64 {
+        self.remote_flush_every
+    }
+
+    /// Whether checkpoint communication defers to network idle slots.
+    pub fn use_idle_slots(&self) -> bool {
+        self.use_idle_slots
+    }
+
+    /// Validates the configuration against a cluster size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EcCheckError::Config`] when `k + m` does not equal the
+    /// node count, the packet size is not coding-aligned, the buffer
+    /// pools are empty, or the world size does not divide by `k`.
+    pub fn validate(&self, nodes: usize, world_size: usize) -> Result<(), EcCheckError> {
+        if self.k + self.m != nodes {
+            return Err(EcCheckError::Config {
+                detail: format!(
+                    "k + m = {} must equal the node count {nodes}",
+                    self.k + self.m
+                ),
+            });
+        }
+        if self.k == 0 || self.m == 0 {
+            return Err(EcCheckError::Config {
+                detail: "k and m must both be positive".to_string(),
+            });
+        }
+        let align = self.w as usize * 8;
+        if self.packet_size == 0 || !self.packet_size.is_multiple_of(align) {
+            return Err(EcCheckError::Config {
+                detail: format!(
+                    "packet size {} must be a positive multiple of w*8 = {align}",
+                    self.packet_size
+                ),
+            });
+        }
+        if self.data_buffers == 0 || self.encoding_buffers == 0 {
+            return Err(EcCheckError::Config {
+                detail: "buffer pools must be non-empty".to_string(),
+            });
+        }
+        if !world_size.is_multiple_of(self.k) {
+            return Err(EcCheckError::Config {
+                detail: format!(
+                    "world size {world_size} must divide evenly into k = {} data groups",
+                    self.k
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_match_section_v_b() {
+        let c = EcCheckConfig::paper_defaults();
+        assert_eq!((c.k(), c.m(), c.w()), (2, 2, 8));
+        assert_eq!(c.packet_size(), 64 << 20);
+        assert_eq!((c.data_buffers(), c.encoding_buffers()), (12, 24));
+        assert!(c.use_idle_slots());
+    }
+
+    #[test]
+    fn validate_accepts_paper_testbed() {
+        let c = EcCheckConfig::paper_defaults();
+        assert!(c.validate(4, 16).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_mismatched_nodes() {
+        let c = EcCheckConfig::paper_defaults();
+        assert!(c.validate(5, 20).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_misaligned_packets() {
+        let c = EcCheckConfig::paper_defaults().with_packet_size(100);
+        assert!(c.validate(4, 16).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_indivisible_world() {
+        let c = EcCheckConfig::paper_defaults().with_km(3, 1);
+        assert!(c.validate(4, 16).is_err()); // 16 % 3 != 0
+    }
+
+    #[test]
+    fn validate_rejects_empty_pools() {
+        let c = EcCheckConfig::paper_defaults().with_buffers(0, 4);
+        assert!(c.validate(4, 16).is_err());
+    }
+
+    #[test]
+    fn builders_chain() {
+        let c = EcCheckConfig::paper_defaults()
+            .with_km(3, 1)
+            .with_width(4)
+            .with_packet_size(320)
+            .with_coding_threads(0)
+            .with_remote_flush_every(10)
+            .with_idle_slots(false);
+        assert_eq!((c.k(), c.m(), c.w()), (3, 1, 4));
+        assert_eq!(c.packet_size(), 320);
+        assert_eq!(c.coding_threads(), 1);
+        assert_eq!(c.remote_flush_every(), 10);
+        assert!(!c.use_idle_slots());
+    }
+}

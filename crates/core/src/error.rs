@@ -1,0 +1,74 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the ECCheck engine.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum EcCheckError {
+    /// Invalid configuration or cluster/config mismatch.
+    Config {
+        /// Human-readable description.
+        detail: String,
+    },
+    /// Too many nodes failed: fewer than `k` chunks survive and no remote
+    /// copy was requested (the catastrophic case of paper §III-A).
+    Unrecoverable {
+        /// Surviving chunk count.
+        survivors: usize,
+        /// Chunks needed.
+        needed: usize,
+    },
+    /// No checkpoint has been saved yet.
+    NoCheckpoint,
+    /// An underlying erasure-coding failure.
+    Erasure(ecc_erasure::ErasureError),
+    /// An underlying checkpoint (de)serialization failure.
+    Checkpoint(ecc_checkpoint::CheckpointError),
+    /// An underlying cluster data-plane failure.
+    Cluster(ecc_cluster::ClusterError),
+}
+
+impl fmt::Display for EcCheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EcCheckError::Config { detail } => write!(f, "configuration error: {detail}"),
+            EcCheckError::Unrecoverable { survivors, needed } => write!(
+                f,
+                "unrecoverable failure: only {survivors} chunks survive, {needed} needed"
+            ),
+            EcCheckError::NoCheckpoint => write!(f, "no checkpoint has been saved"),
+            EcCheckError::Erasure(e) => write!(f, "erasure coding: {e}"),
+            EcCheckError::Checkpoint(e) => write!(f, "checkpoint: {e}"),
+            EcCheckError::Cluster(e) => write!(f, "cluster: {e}"),
+        }
+    }
+}
+
+impl Error for EcCheckError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            EcCheckError::Erasure(e) => Some(e),
+            EcCheckError::Checkpoint(e) => Some(e),
+            EcCheckError::Cluster(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ecc_erasure::ErasureError> for EcCheckError {
+    fn from(e: ecc_erasure::ErasureError) -> Self {
+        EcCheckError::Erasure(e)
+    }
+}
+
+impl From<ecc_checkpoint::CheckpointError> for EcCheckError {
+    fn from(e: ecc_checkpoint::CheckpointError) -> Self {
+        EcCheckError::Checkpoint(e)
+    }
+}
+
+impl From<ecc_cluster::ClusterError> for EcCheckError {
+    fn from(e: ecc_cluster::ClusterError) -> Self {
+        EcCheckError::Cluster(e)
+    }
+}

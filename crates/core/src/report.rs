@@ -1,0 +1,50 @@
+use ecc_cluster::NodeId;
+
+use crate::TrafficSummary;
+
+/// What one [`crate::EcCheck::save`] call did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SaveReport {
+    /// Checkpoint version written.
+    pub version: u64,
+    /// Fixed packet size in bytes.
+    pub packet_size: usize,
+    /// Packets per worker after padding to a common count.
+    pub packets_per_worker: usize,
+    /// Bytes of parity produced by the encoder.
+    pub encoded_bytes: u64,
+    /// Communication accounting for the encode/XOR/P2P phases.
+    pub traffic: TrafficSummary,
+    /// Whether this save also flushed to remote storage (step 4).
+    pub remote_flushed: bool,
+}
+
+/// Which recovery workflow [`crate::EcCheck::load`] executed (paper
+/// §III-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryWorkflow {
+    /// All data nodes survived: lost packets are re-sent and lost parity
+    /// re-encoded; no decoding needed.
+    Resend,
+    /// At least one data chunk was lost: surviving chunks are decoded
+    /// through the inverted survivor submatrix.
+    Decode,
+    /// Fewer than `k` chunks survived in memory; the checkpoint was
+    /// reloaded from the low-frequency remote copy.
+    Remote,
+}
+
+/// What one [`crate::EcCheck::load`] call did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoadReport {
+    /// Checkpoint version restored.
+    pub version: u64,
+    /// The workflow that ran.
+    pub workflow: RecoveryWorkflow,
+    /// Nodes that had lost their chunk (dead or replaced).
+    pub failed_nodes: Vec<NodeId>,
+    /// Chunks reconstructed by decoding or re-encoding.
+    pub rebuilt_chunks: usize,
+    /// Total bytes of restored `state_dict` tensor data.
+    pub restored_bytes: u64,
+}

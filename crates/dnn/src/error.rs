@@ -1,0 +1,32 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while configuring models and parallelism.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DnnError {
+    /// An invalid parallelism degree or an incompatible model/parallelism
+    /// combination.
+    InvalidParallelism {
+        /// Human-readable description of the problem.
+        detail: String,
+    },
+    /// An invalid model configuration.
+    InvalidModel {
+        /// Human-readable description of the problem.
+        detail: String,
+    },
+}
+
+impl fmt::Display for DnnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DnnError::InvalidParallelism { detail } => {
+                write!(f, "invalid parallelism: {detail}")
+            }
+            DnnError::InvalidModel { detail } => write!(f, "invalid model: {detail}"),
+        }
+    }
+}
+
+impl Error for DnnError {}

@@ -1,0 +1,44 @@
+//! Synthetic distributed DNN training for the ECCheck reproduction.
+//!
+//! ECCheck is evaluated on GPT-2, BERT and T5 trained with Megatron-LM
+//! under hybrid tensor/pipeline parallelism (paper §V, Table I). No GPU
+//! training happens in this reproduction; instead this crate produces the
+//! two things the checkpointing layer actually consumes:
+//!
+//! 1. **Sharded `state_dict`s** — per-worker checkpoint payloads whose
+//!    tensor inventory (names, dtypes, shapes) matches a Megatron-style
+//!    mixed-precision shard for the chosen parallelism, filled with
+//!    seeded synthetic bytes ([`build_worker_state_dict`]).
+//! 2. **A training time model** — analytic iteration times and per-NIC
+//!    busy/idle interval profiles under 1F1B pipelining, which ECCheck's
+//!    scheduler uses to place checkpoint traffic into idle slots
+//!    ([`IterationProfile`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use ecc_dnn::{ModelConfig, ParallelismSpec};
+//!
+//! // GPT-2 5.3B from Table I, on the paper's 4×4-GPU testbed.
+//! let model = ModelConfig::gpt2(2560, 40, 64);
+//! let par = ParallelismSpec::new(4, 4, 1)?;
+//! assert_eq!(par.world_size(), 16);
+//! let shard = model.shard_bytes(&par);
+//! assert!(shard > 0);
+//! # Ok::<(), ecc_dnn::DnnError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod models;
+mod parallel;
+mod statedict;
+mod timemodel;
+
+pub use error::DnnError;
+pub use models::{table_i_configs, ModelConfig, ModelFamily};
+pub use parallel::{ParallelismSpec, WorkerRank};
+pub use statedict::{build_worker_state_dict, StateDictSpec};
+pub use timemodel::{GpuSpec, IterationProfile, TrainingTimeModel};

@@ -1,0 +1,230 @@
+//! Hybrid parallelism: tensor × pipeline × data (paper §II-A, Fig. 1).
+
+use crate::{DnnError, ModelConfig};
+
+/// A worker's coordinates in the TP × PP × DP grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WorkerRank {
+    /// Global worker id in `0..world_size`.
+    pub global: usize,
+    /// Tensor-parallel rank in `0..tp`.
+    pub tp: usize,
+    /// Pipeline stage in `0..pp`.
+    pub pp: usize,
+    /// Data-parallel replica in `0..dp`.
+    pub dp: usize,
+}
+
+/// Degrees of tensor, pipeline and data parallelism.
+///
+/// Rank order follows Megatron's convention: tensor-parallel ranks are
+/// innermost (consecutive global ids, so TP groups sit on one node's
+/// NVLink), then pipeline stages, then data-parallel replicas outermost.
+///
+/// # Examples
+///
+/// ```
+/// use ecc_dnn::ParallelismSpec;
+///
+/// // The paper's testbed: TP=4 within each node, PP=4 across 4 nodes.
+/// let par = ParallelismSpec::new(4, 4, 1)?;
+/// let r = par.rank_of(6);
+/// assert_eq!((r.tp, r.pp, r.dp), (2, 1, 0));
+/// # Ok::<(), ecc_dnn::DnnError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ParallelismSpec {
+    tp: usize,
+    pp: usize,
+    dp: usize,
+    fsdp: bool,
+}
+
+impl ParallelismSpec {
+    /// Validates and creates a parallelism specification.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnnError::InvalidParallelism`] when any degree is zero.
+    pub fn new(tp: usize, pp: usize, dp: usize) -> Result<Self, DnnError> {
+        if tp == 0 || pp == 0 || dp == 0 {
+            return Err(DnnError::InvalidParallelism {
+                detail: format!("degrees must be positive (tp={tp}, pp={pp}, dp={dp})"),
+            });
+        }
+        Ok(Self { tp, pp, dp, fsdp: false })
+    }
+
+    /// Switches the data-parallel dimension to *fully sharded* (FSDP):
+    /// instead of each replica holding a full copy of its TP/PP shard,
+    /// model and optimizer states are sharded across the `dp` ranks as
+    /// flattened slices. The paper lists FSDP among the parallelisms
+    /// ECCheck targets (§I, §III-A) because, like TP/PP, it leaves no
+    /// full replica to recover from.
+    pub fn with_fsdp(mut self) -> Self {
+        self.fsdp = true;
+        self
+    }
+
+    /// `true` when the data-parallel dimension is fully sharded.
+    pub fn is_fsdp(&self) -> bool {
+        self.fsdp
+    }
+
+    /// Number of ways the model state is partitioned for checkpointing:
+    /// `tp × pp`, times `dp` under FSDP (replicated DP keeps a full copy
+    /// per replica).
+    pub fn model_shards(&self) -> usize {
+        self.tp * self.pp * if self.fsdp { self.dp } else { 1 }
+    }
+
+    /// Tensor-parallel degree.
+    pub fn tp(&self) -> usize {
+        self.tp
+    }
+
+    /// Pipeline-parallel degree (number of stages).
+    pub fn pp(&self) -> usize {
+        self.pp
+    }
+
+    /// Data-parallel degree (number of replicas).
+    pub fn dp(&self) -> usize {
+        self.dp
+    }
+
+    /// Total number of workers.
+    pub fn world_size(&self) -> usize {
+        self.tp * self.pp * self.dp
+    }
+
+    /// Grid coordinates of a global worker id.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `global >= world_size()`.
+    pub fn rank_of(&self, global: usize) -> WorkerRank {
+        assert!(global < self.world_size(), "worker {global} out of range");
+        WorkerRank {
+            global,
+            tp: global % self.tp,
+            pp: (global / self.tp) % self.pp,
+            dp: global / (self.tp * self.pp),
+        }
+    }
+
+    /// Global worker id of grid coordinates.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any coordinate is out of range.
+    pub fn global_of(&self, tp: usize, pp: usize, dp: usize) -> usize {
+        assert!(tp < self.tp && pp < self.pp && dp < self.dp, "rank out of range");
+        tp + self.tp * (pp + self.pp * dp)
+    }
+
+    /// Checks that the model divides evenly across this grid.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnnError::InvalidParallelism`] when layers are not a
+    /// multiple of `pp`, or heads/hidden are not multiples of `tp`.
+    pub fn validate_for(&self, model: &ModelConfig) -> Result<(), DnnError> {
+        if !model.layers().is_multiple_of(self.pp) {
+            return Err(DnnError::InvalidParallelism {
+                detail: format!(
+                    "{} layers do not divide into {} pipeline stages",
+                    model.layers(),
+                    self.pp
+                ),
+            });
+        }
+        if !model.heads().is_multiple_of(self.tp) || !model.hidden().is_multiple_of(self.tp) {
+            return Err(DnnError::InvalidParallelism {
+                detail: format!(
+                    "hidden {} / heads {} do not divide by tensor parallel degree {}",
+                    model.hidden(),
+                    model.heads(),
+                    self.tp
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// Layers held by each pipeline stage.
+    pub fn layers_per_stage(&self, model: &ModelConfig) -> usize {
+        model.layers() / self.pp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fsdp_divides_model_state_by_dp() {
+        let rep = ParallelismSpec::new(2, 2, 4).unwrap();
+        let fsdp = ParallelismSpec::new(2, 2, 4).unwrap().with_fsdp();
+        assert!(!rep.is_fsdp());
+        assert!(fsdp.is_fsdp());
+        assert_eq!(rep.model_shards(), 4);
+        assert_eq!(fsdp.model_shards(), 16);
+    }
+
+    #[test]
+    fn world_size_multiplies_degrees() {
+        let p = ParallelismSpec::new(4, 4, 2).unwrap();
+        assert_eq!(p.world_size(), 32);
+    }
+
+    #[test]
+    fn zero_degree_is_rejected() {
+        assert!(ParallelismSpec::new(0, 1, 1).is_err());
+        assert!(ParallelismSpec::new(1, 0, 1).is_err());
+        assert!(ParallelismSpec::new(1, 1, 0).is_err());
+    }
+
+    #[test]
+    fn rank_round_trips() {
+        let p = ParallelismSpec::new(4, 2, 3).unwrap();
+        for g in 0..p.world_size() {
+            let r = p.rank_of(g);
+            assert_eq!(p.global_of(r.tp, r.pp, r.dp), g);
+        }
+    }
+
+    #[test]
+    fn tp_ranks_are_consecutive() {
+        // Megatron places TP groups on one node; consecutive ids give the
+        // cluster layout that property for node size == tp.
+        let p = ParallelismSpec::new(4, 4, 1).unwrap();
+        for g in 0..4 {
+            assert_eq!(p.rank_of(g).pp, 0);
+            assert_eq!(p.rank_of(g).tp, g);
+        }
+        assert_eq!(p.rank_of(4).pp, 1);
+    }
+
+    #[test]
+    fn validate_checks_divisibility() {
+        let m = ModelConfig::gpt2(1600, 32, 48);
+        assert!(ParallelismSpec::new(4, 4, 1).unwrap().validate_for(&m).is_ok());
+        assert!(ParallelismSpec::new(4, 5, 1).unwrap().validate_for(&m).is_err());
+        assert!(ParallelismSpec::new(3, 4, 1).unwrap().validate_for(&m).is_err());
+    }
+
+    #[test]
+    fn layers_split_evenly() {
+        let m = ModelConfig::gpt2(1600, 32, 48);
+        let p = ParallelismSpec::new(4, 4, 1).unwrap();
+        assert_eq!(p.layers_per_stage(&m), 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rank_of_out_of_range_panics() {
+        let p = ParallelismSpec::new(2, 2, 1).unwrap();
+        let _ = p.rank_of(4);
+    }
+}

@@ -1,0 +1,364 @@
+//! Synthesis of per-worker sharded `state_dict`s.
+//!
+//! The tensor inventory follows Megatron-LM's sharding conventions
+//! (paper §III-A): tensor parallelism splits QKV/MLP matrices along the
+//! hidden dimension, pipeline parallelism assigns consecutive layers to
+//! stages, the first stage holds embeddings and the last the final
+//! LayerNorm (plus BERT's pooler). Every fp16 parameter has three fp32
+//! optimizer companions (master weight, Adam exp_avg, exp_avg_sq), so a
+//! worker's bytes match the analytic 14 bytes/param of
+//! [`crate::ModelConfig::checkpoint_bytes`].
+//!
+//! Tensor *contents* are seeded pseudo-random bytes: checkpointing treats
+//! them as opaque memory, so values don't matter — but determinism does,
+//! and two calls with the same spec produce identical bytes.
+
+use ecc_checkpoint::{DType, StateDict, Tensor, Value};
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+use crate::{DnnError, ModelConfig, ModelFamily, ParallelismSpec};
+
+/// Everything needed to synthesize one worker's checkpoint shard.
+#[derive(Debug, Clone, Copy)]
+pub struct StateDictSpec {
+    /// The model being "trained".
+    pub model: ModelConfig,
+    /// The parallelism grid.
+    pub par: ParallelismSpec,
+    /// Training iteration recorded in the checkpoint metadata.
+    pub iteration: u64,
+    /// Seed for the synthetic tensor contents.
+    pub seed: u64,
+}
+
+impl StateDictSpec {
+    /// A specification with iteration 0 and a fixed default seed.
+    pub fn new(model: ModelConfig, par: ParallelismSpec) -> Self {
+        Self { model, par, iteration: 0, seed: 0xECC0_1234 }
+    }
+}
+
+/// Builds the sharded `state_dict` of worker `worker` (global rank).
+///
+/// # Errors
+///
+/// Returns [`DnnError::InvalidParallelism`] when the model does not
+/// divide across the grid or the worker id is out of range.
+pub fn build_worker_state_dict(
+    spec: &StateDictSpec,
+    worker: usize,
+) -> Result<StateDict, DnnError> {
+    spec.par.validate_for(&spec.model)?;
+    if worker >= spec.par.world_size() {
+        return Err(DnnError::InvalidParallelism {
+            detail: format!(
+                "worker {worker} out of range (world size {})",
+                spec.par.world_size()
+            ),
+        });
+    }
+    let rank = spec.par.rank_of(worker);
+    let m = &spec.model;
+    let (h, tp) = (m.hidden(), spec.par.tp());
+    let lps = spec.par.layers_per_stage(m);
+    let first_layer = rank.pp * lps;
+    let is_first_stage = rank.pp == 0;
+    let is_last_stage = rank.pp == spec.par.pp() - 1;
+
+    let mut filler = Filler::new(spec.seed, worker);
+    let mut model_params: Vec<(String, Vec<usize>)> = Vec::new();
+
+    if is_first_stage {
+        let vocab_rows = m.vocab().div_ceil(tp);
+        model_params.push(("embedding.word_embeddings.weight".into(), vec![vocab_rows, h]));
+        if !matches!(m.family(), ModelFamily::T5) {
+            model_params
+                .push(("embedding.position_embeddings.weight".into(), vec![m.seq_len(), h]));
+        }
+    }
+
+    for layer in first_layer..first_layer + lps {
+        let p = format!("encoder.layers.{layer}");
+        model_params.push((format!("{p}.input_layernorm.weight"), vec![h]));
+        model_params.push((format!("{p}.input_layernorm.bias"), vec![h]));
+        model_params
+            .push((format!("{p}.self_attention.query_key_value.weight"), vec![3 * h / tp, h]));
+        model_params.push((format!("{p}.self_attention.query_key_value.bias"), vec![3 * h / tp]));
+        model_params.push((format!("{p}.self_attention.dense.weight"), vec![h, h / tp]));
+        model_params.push((format!("{p}.self_attention.dense.bias"), vec![h]));
+        // T5 decoder-half layers carry cross-attention (paper Table I
+        // sizing; see ModelConfig::params_per_layer).
+        if matches!(m.family(), ModelFamily::T5) && layer >= m.layers() / 2 {
+            model_params.push((format!("{p}.inter_attention.query.weight"), vec![h / tp, h]));
+            model_params.push((format!("{p}.inter_attention.query.bias"), vec![h / tp]));
+            model_params
+                .push((format!("{p}.inter_attention.key_value.weight"), vec![2 * h / tp, h]));
+            model_params.push((format!("{p}.inter_attention.key_value.bias"), vec![2 * h / tp]));
+            model_params.push((format!("{p}.inter_attention.dense.weight"), vec![h, h / tp]));
+            model_params.push((format!("{p}.inter_attention.dense.bias"), vec![h]));
+        }
+        model_params.push((format!("{p}.post_attention_layernorm.weight"), vec![h]));
+        model_params.push((format!("{p}.post_attention_layernorm.bias"), vec![h]));
+        model_params.push((format!("{p}.mlp.dense_h_to_4h.weight"), vec![4 * h / tp, h]));
+        model_params.push((format!("{p}.mlp.dense_h_to_4h.bias"), vec![4 * h / tp]));
+        model_params.push((format!("{p}.mlp.dense_4h_to_h.weight"), vec![h, 4 * h / tp]));
+        model_params.push((format!("{p}.mlp.dense_4h_to_h.bias"), vec![h]));
+    }
+
+    if is_last_stage {
+        model_params.push(("encoder.final_layernorm.weight".into(), vec![h]));
+        model_params.push(("encoder.final_layernorm.bias".into(), vec![h]));
+        if matches!(m.family(), ModelFamily::Bert) {
+            model_params.push(("pooler.dense.weight".into(), vec![h, h]));
+            model_params.push(("pooler.dense.bias".into(), vec![h]));
+        }
+    }
+
+    // Under FSDP the DP dimension shards every parameter as a flattened
+    // slice of ceil(numel / dp) elements (the final rank's padding is
+    // part of the shard, matching flat-parameter FSDP implementations).
+    if spec.par.is_fsdp() && spec.par.dp() > 1 {
+        let dp = spec.par.dp();
+        for (_, shape) in &mut model_params {
+            let numel: usize = shape.iter().product();
+            *shape = vec![numel.div_ceil(dp)];
+        }
+    }
+
+    // Model weights in fp16.
+    let mut model_dict = StateDict::new();
+    for (name, shape) in &model_params {
+        model_dict.insert(name.clone(), Value::Tensor(filler.tensor(DType::F16, shape)));
+    }
+
+    // Optimizer: fp32 master + Adam moments per parameter tensor.
+    let mut opt_state = StateDict::new();
+    for (name, shape) in &model_params {
+        let mut per_param = StateDict::new();
+        per_param.insert("master", Value::Tensor(filler.tensor(DType::F32, shape)));
+        per_param.insert("exp_avg", Value::Tensor(filler.tensor(DType::F32, shape)));
+        per_param.insert("exp_avg_sq", Value::Tensor(filler.tensor(DType::F32, shape)));
+        opt_state.insert(name.clone(), Value::Dict(per_param));
+    }
+    let mut optimizer = StateDict::new();
+    optimizer.insert("step", Value::Int(spec.iteration as i64));
+    optimizer.insert("state", Value::Dict(opt_state));
+
+    // Non-tensor metadata mirroring a Megatron checkpoint.
+    let mut args = StateDict::new();
+    args.insert("tensor_model_parallel_size", Value::Int(spec.par.tp() as i64));
+    args.insert("pipeline_model_parallel_size", Value::Int(spec.par.pp() as i64));
+    args.insert("data_parallel_size", Value::Int(spec.par.dp() as i64));
+    args.insert("hidden_size", Value::Int(h as i64));
+    args.insert("num_layers", Value::Int(m.layers() as i64));
+    args.insert("num_attention_heads", Value::Int(m.heads() as i64));
+    args.insert("padded_vocab_size", Value::Int((m.vocab().div_ceil(tp) * tp) as i64));
+
+    let mut rng_state = StateDict::new();
+    rng_state.insert("python", Value::Bytes(filler.bytes(256)));
+    rng_state.insert("numpy", Value::Bytes(filler.bytes(128)));
+    rng_state.insert("torch_cpu", Value::Bytes(filler.bytes(64)));
+    rng_state.insert("torch_cuda", Value::Bytes(filler.bytes(64)));
+
+    let mut sd = StateDict::new();
+    sd.insert("iteration", Value::Int(spec.iteration as i64));
+    sd.insert("checkpoint_version", Value::Float(3.0));
+    sd.insert("args", Value::Dict(args));
+    sd.insert("model", Value::Dict(model_dict));
+    sd.insert("optimizer", Value::Dict(optimizer));
+    sd.insert("rng_state", Value::Dict(rng_state));
+    Ok(sd)
+}
+
+/// Deterministic per-worker tensor filler.
+struct Filler {
+    rng: StdRng,
+}
+
+impl Filler {
+    fn new(seed: u64, worker: usize) -> Self {
+        Self { rng: StdRng::seed_from_u64(seed ^ (worker as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)) }
+    }
+
+    fn tensor(&mut self, dtype: DType, shape: &[usize]) -> Tensor {
+        let numel: usize = shape.iter().product();
+        let mut data = vec![0u8; numel * dtype.size()];
+        self.rng.fill_bytes(&mut data);
+        Tensor::from_bytes(dtype, shape, data).expect("sized to shape")
+    }
+
+    fn bytes(&mut self, len: usize) -> Vec<u8> {
+        let mut data = vec![0u8; len];
+        self.rng.fill_bytes(&mut data);
+        data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec(family: ModelFamily) -> StateDictSpec {
+        let model = match family {
+            ModelFamily::Gpt2 => ModelConfig::gpt2(64, 4, 4),
+            ModelFamily::Bert => ModelConfig::bert(64, 4, 4),
+            ModelFamily::T5 => ModelConfig::t5(64, 4, 4),
+        }
+        .with_vocab(512)
+        .with_seq_len(32);
+        StateDictSpec::new(model, ParallelismSpec::new(2, 2, 1).unwrap())
+    }
+
+    #[test]
+    fn deterministic_across_calls() {
+        let spec = tiny_spec(ModelFamily::Gpt2);
+        let a = build_worker_state_dict(&spec, 1).unwrap();
+        let b = build_worker_state_dict(&spec, 1).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_workers_differ() {
+        let spec = tiny_spec(ModelFamily::Gpt2);
+        let a = build_worker_state_dict(&spec, 0).unwrap();
+        let b = build_worker_state_dict(&spec, 1).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn out_of_range_worker_is_rejected() {
+        let spec = tiny_spec(ModelFamily::Gpt2);
+        assert!(build_worker_state_dict(&spec, 4).is_err());
+    }
+
+    #[test]
+    fn shards_sum_to_analytic_checkpoint_size() {
+        for family in [ModelFamily::Gpt2, ModelFamily::Bert, ModelFamily::T5] {
+            let spec = tiny_spec(family);
+            let total: usize = (0..spec.par.world_size())
+                .map(|w| build_worker_state_dict(&spec, w).unwrap().tensor_bytes())
+                .sum();
+            let analytic = spec.model.checkpoint_bytes() as f64;
+            let ratio = total as f64 / analytic;
+            assert!(
+                (0.93..1.07).contains(&ratio),
+                "{family:?}: synthesized {total} vs analytic {analytic} (ratio {ratio:.3})"
+            );
+        }
+    }
+
+    #[test]
+    fn first_stage_holds_embeddings_last_holds_final_ln() {
+        let spec = tiny_spec(ModelFamily::Gpt2);
+        // Workers 0..2 are stage 0 (tp=2); workers 2..4 are stage 1.
+        let first = build_worker_state_dict(&spec, 0).unwrap();
+        let last = build_worker_state_dict(&spec, 3).unwrap();
+        let model_of = |sd: &StateDict| match sd.get("model").unwrap() {
+            Value::Dict(d) => d.clone(),
+            _ => panic!("model is a dict"),
+        };
+        assert!(model_of(&first).get("embedding.word_embeddings.weight").is_some());
+        assert!(model_of(&first).get("encoder.final_layernorm.weight").is_none());
+        assert!(model_of(&last).get("encoder.final_layernorm.weight").is_some());
+        assert!(model_of(&last).get("embedding.word_embeddings.weight").is_none());
+    }
+
+    #[test]
+    fn t5_decoder_layers_have_cross_attention() {
+        let spec = tiny_spec(ModelFamily::T5);
+        // Stage 1 holds layers 2..4, which are the decoder half (>= 2).
+        let sd = build_worker_state_dict(&spec, 2).unwrap();
+        match sd.get("model").unwrap() {
+            Value::Dict(d) => {
+                assert!(d.get("encoder.layers.2.inter_attention.query.weight").is_some());
+            }
+            _ => panic!("model is a dict"),
+        }
+        // Stage 0 (encoder half) has none.
+        let sd0 = build_worker_state_dict(&spec, 0).unwrap();
+        match sd0.get("model").unwrap() {
+            Value::Dict(d) => {
+                assert!(d.get("encoder.layers.0.inter_attention.query.weight").is_none());
+            }
+            _ => panic!("model is a dict"),
+        }
+    }
+
+    #[test]
+    fn optimizer_triples_every_parameter() {
+        let spec = tiny_spec(ModelFamily::Gpt2);
+        let sd = build_worker_state_dict(&spec, 0).unwrap();
+        let model_bytes = match sd.get("model").unwrap() {
+            Value::Dict(d) => d.tensor_bytes(),
+            _ => panic!(),
+        };
+        let opt_bytes = match sd.get("optimizer").unwrap() {
+            Value::Dict(d) => d.tensor_bytes(),
+            _ => panic!(),
+        };
+        // fp32 master + 2 moments = 12 bytes/param vs fp16's 2 bytes.
+        assert_eq!(opt_bytes, model_bytes * 6);
+    }
+
+    #[test]
+    fn metadata_is_tiny_relative_to_tensors() {
+        let spec = tiny_spec(ModelFamily::Gpt2);
+        let sd = build_worker_state_dict(&spec, 0).unwrap();
+        let d = ecc_checkpoint::decompose(&sd);
+        assert!(d.header_bytes() * 10 < d.tensor_bytes());
+    }
+}
+
+#[cfg(test)]
+mod fsdp_tests {
+    use super::*;
+
+    fn fsdp_spec(dp: usize) -> StateDictSpec {
+        let model = ModelConfig::gpt2(64, 4, 4).with_vocab(512).with_seq_len(32);
+        StateDictSpec::new(model, ParallelismSpec::new(2, 2, dp).unwrap().with_fsdp())
+    }
+
+    #[test]
+    fn fsdp_shards_are_smaller_and_flat() {
+        let rep = {
+            let model = ModelConfig::gpt2(64, 4, 4).with_vocab(512).with_seq_len(32);
+            let spec = StateDictSpec::new(model, ParallelismSpec::new(2, 2, 2).unwrap());
+            build_worker_state_dict(&spec, 0).unwrap()
+        };
+        let fsdp = build_worker_state_dict(&fsdp_spec(2), 0).unwrap();
+        // Roughly half the bytes (ceil padding allowed).
+        let ratio = fsdp.tensor_bytes() as f64 / rep.tensor_bytes() as f64;
+        assert!((0.45..0.60).contains(&ratio), "ratio {ratio}");
+        // Parameters are 1-D flat shards.
+        match fsdp.get("model").unwrap() {
+            Value::Dict(d) => {
+                for (name, v) in d.iter() {
+                    if let Value::Tensor(t) = v {
+                        assert_eq!(t.shape().len(), 1, "{name} should be flat");
+                    }
+                }
+            }
+            _ => panic!("model is a dict"),
+        }
+    }
+
+    #[test]
+    fn fsdp_total_tracks_analytic_shard_bytes() {
+        let spec = fsdp_spec(4);
+        let total: usize = (0..spec.par.world_size())
+            .map(|w| build_worker_state_dict(&spec, w).unwrap().tensor_bytes())
+            .sum();
+        let analytic = spec.model.checkpoint_bytes() as f64;
+        let ratio = total as f64 / analytic;
+        assert!((0.93..1.10).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn fsdp_dicts_remain_checkpointable() {
+        // The whole serialization-free pipeline still round-trips.
+        let sd = build_worker_state_dict(&fsdp_spec(2), 3).unwrap();
+        let d = ecc_checkpoint::decompose(&sd);
+        assert_eq!(d.reassemble().unwrap(), sd);
+    }
+}

@@ -1,0 +1,353 @@
+//! Analytic training-iteration time and network busy/idle profiles.
+//!
+//! ECCheck schedules checkpoint communication into network idle slots
+//! identified by profiling the first ~50 training iterations (paper
+//! §IV-B-3). This reproduction has no real training to profile, so the
+//! profile is generated analytically from the same structure the paper
+//! exploits: under 1F1B pipeline parallelism each inter-node link is busy
+//! for short activation/gradient transfers at microbatch boundaries and
+//! idle in between; data parallelism adds a gradient all-reduce at the
+//! iteration tail.
+//!
+//! Absolute numbers are calibration constants, but the *shape* — many
+//! short busy windows separated by idle gaps whose total dwarfs the busy
+//! time — is what ECCheck's scheduler depends on, and that shape is
+//! faithful.
+
+use ecc_sim::{Bandwidth, BusyWindows, SimDuration, SimTime};
+
+use crate::{DnnError, ModelConfig, ParallelismSpec};
+
+/// Compute/transfer characteristics of one simulated GPU.
+#[derive(Debug, Clone, Copy)]
+pub struct GpuSpec {
+    /// Sustained mixed-precision throughput in FLOP/s (an *effective*
+    /// rate: peak × typical MFU).
+    pub flops: f64,
+    /// Device-to-host copy bandwidth (PCIe) — governs checkpoint step 1.
+    pub dtoh: Bandwidth,
+    /// Device memory capacity in bytes.
+    pub hbm_bytes: u64,
+}
+
+impl GpuSpec {
+    /// An NVIDIA A100-40GB-like device (312 TFLOPs peak, ~40% MFU).
+    pub fn a100_40g() -> Self {
+        Self {
+            flops: 125e12,
+            dtoh: Bandwidth::from_gibps(20.0),
+            hbm_bytes: 40 * (1 << 30),
+        }
+    }
+
+    /// An NVIDIA V100-32GB-like device (125 TFLOPs peak, ~35% MFU).
+    pub fn v100_32g() -> Self {
+        Self {
+            flops: 44e12,
+            dtoh: Bandwidth::from_gibps(10.0),
+            hbm_bytes: 32 * (1 << 30),
+        }
+    }
+}
+
+/// The analytic training time model.
+///
+/// # Examples
+///
+/// ```
+/// use ecc_dnn::{GpuSpec, ModelConfig, ParallelismSpec, TrainingTimeModel};
+/// use ecc_sim::Bandwidth;
+///
+/// let model = ModelConfig::gpt2(1600, 32, 48);
+/// let par = ParallelismSpec::new(4, 4, 1)?;
+/// let tm = TrainingTimeModel::new(model, par, GpuSpec::a100_40g(), Bandwidth::from_gbps(100.0))?;
+/// let profile = tm.profile(2);
+/// assert!(profile.idle_fraction() > 0.5); // training leaves the NIC mostly idle
+/// # Ok::<(), ecc_dnn::DnnError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct TrainingTimeModel {
+    model: ModelConfig,
+    par: ParallelismSpec,
+    gpu: GpuSpec,
+    nic: Bandwidth,
+    microbatch_size: usize,
+    num_microbatches: usize,
+}
+
+impl TrainingTimeModel {
+    /// Creates a model with the paper-like defaults of 1-sample
+    /// microbatches and 8 microbatches per iteration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnnError::InvalidParallelism`] when the model does not
+    /// divide across the grid.
+    pub fn new(
+        model: ModelConfig,
+        par: ParallelismSpec,
+        gpu: GpuSpec,
+        nic: Bandwidth,
+    ) -> Result<Self, DnnError> {
+        par.validate_for(&model)?;
+        Ok(Self { model, par, gpu, nic, microbatch_size: 1, num_microbatches: 8 })
+    }
+
+    /// Overrides the microbatch size (samples per microbatch).
+    pub fn with_microbatch_size(mut self, n: usize) -> Self {
+        self.microbatch_size = n.max(1);
+        self
+    }
+
+    /// Overrides the number of microbatches per iteration.
+    pub fn with_num_microbatches(mut self, n: usize) -> Self {
+        self.num_microbatches = n.max(1);
+        self
+    }
+
+    /// The modelled GPU.
+    pub fn gpu(&self) -> &GpuSpec {
+        &self.gpu
+    }
+
+    /// Forward+backward compute time of one microbatch on one pipeline
+    /// stage (per worker; tensor parallelism divides the work).
+    pub fn stage_compute_time(&self) -> SimDuration {
+        let params_per_worker =
+            self.model.param_count() as f64 / (self.par.pp() * self.par.tp()) as f64;
+        let tokens = (self.microbatch_size * self.model.seq_len()) as f64;
+        // 2 FLOPs/param/token forward, 4 backward.
+        let flop = 6.0 * params_per_worker * tokens;
+        SimDuration::from_secs_f64(flop / self.gpu.flops)
+    }
+
+    /// Bytes of one activation (or activation-gradient) transfer between
+    /// adjacent pipeline stages (fp16).
+    pub fn activation_bytes(&self) -> u64 {
+        (self.microbatch_size * self.model.seq_len() * self.model.hidden() * 2) as u64
+    }
+
+    /// Duration of one inter-stage P2P transfer on the NIC.
+    pub fn p2p_time(&self) -> SimDuration {
+        self.nic.transfer_time(self.activation_bytes())
+    }
+
+    /// Duration of the data-parallel gradient all-reduce at the iteration
+    /// tail (ring all-reduce: `2·(dp-1)/dp` times the fp16 gradient bytes
+    /// per worker); zero when `dp == 1`.
+    pub fn allreduce_time(&self) -> SimDuration {
+        let dp = self.par.dp();
+        if dp == 1 {
+            return SimDuration::ZERO;
+        }
+        let grad_bytes =
+            2.0 * self.model.param_count() as f64 / (self.par.pp() * self.par.tp()) as f64;
+        let volume = 2.0 * (dp as f64 - 1.0) / dp as f64 * grad_bytes;
+        self.nic.transfer_time(volume.ceil() as u64)
+    }
+
+    /// Time of one 1F1B training iteration: `(M + pp - 1)` pipeline slots
+    /// of forward+backward compute plus per-slot P2P, then the gradient
+    /// all-reduce.
+    pub fn iteration_time(&self) -> SimDuration {
+        let slots = (self.num_microbatches + self.par.pp() - 1) as u64;
+        let slot = self.stage_compute_time() + self.p2p_time().scaled(2);
+        slot.scaled(slots) + self.allreduce_time()
+    }
+
+    /// NIC busy/idle profile for `iterations` consecutive iterations,
+    /// as seen from one pipeline-interior node.
+    ///
+    /// Each pipeline slot contributes two short busy windows (forward
+    /// activation out, backward gradient in); `dp > 1` appends the
+    /// all-reduce window at the iteration tail.
+    pub fn profile(&self, iterations: usize) -> IterationProfile {
+        let mut windows = BusyWindows::new();
+        let iter_time = self.iteration_time();
+        let slots = self.num_microbatches + self.par.pp() - 1;
+        let slot_time = self.stage_compute_time() + self.p2p_time().scaled(2);
+        let p2p = self.p2p_time();
+        let compute = self.stage_compute_time();
+        for it in 0..iterations {
+            let iter_start = SimTime::ZERO + iter_time.scaled(it as u64);
+            for s in 0..slots {
+                let slot_start = iter_start + slot_time.scaled(s as u64);
+                // Forward activation send at the start of the slot,
+                // backward gradient send after the compute phase.
+                windows.add_busy(slot_start, slot_start + p2p);
+                let bwd = slot_start + p2p + compute;
+                windows.add_busy(bwd, bwd + p2p);
+            }
+            let ar = self.allreduce_time();
+            if ar > SimDuration::ZERO {
+                let tail = iter_start + iter_time - ar;
+                windows.add_busy(tail, tail + ar);
+            }
+        }
+        IterationProfile { windows, iteration_time: iter_time, iterations }
+    }
+}
+
+/// The result of (simulated) online profiling: iteration length and the
+/// NIC busy windows across the profiled span.
+#[derive(Debug, Clone)]
+pub struct IterationProfile {
+    windows: BusyWindows,
+    iteration_time: SimDuration,
+    iterations: usize,
+}
+
+impl IterationProfile {
+    /// The busy-window timeline.
+    pub fn windows(&self) -> &BusyWindows {
+        &self.windows
+    }
+
+    /// Length of one training iteration.
+    pub fn iteration_time(&self) -> SimDuration {
+        self.iteration_time
+    }
+
+    /// Number of iterations covered by the profile.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// End of the profiled span.
+    pub fn span_end(&self) -> SimTime {
+        SimTime::ZERO + self.iteration_time.scaled(self.iterations as u64)
+    }
+
+    /// Fraction of the profiled span during which the NIC is idle.
+    pub fn idle_fraction(&self) -> f64 {
+        self.windows.idle_fraction_between(SimTime::ZERO, self.span_end())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model_4node() -> (ModelConfig, ParallelismSpec) {
+        (ModelConfig::gpt2(1600, 32, 48), ParallelismSpec::new(4, 4, 1).unwrap())
+    }
+
+    #[test]
+    fn bigger_models_take_longer() {
+        let par = ParallelismSpec::new(4, 4, 1).unwrap();
+        let small = TrainingTimeModel::new(
+            ModelConfig::gpt2(1600, 32, 48),
+            par,
+            GpuSpec::a100_40g(),
+            Bandwidth::from_gbps(100.0),
+        )
+        .unwrap();
+        let large = TrainingTimeModel::new(
+            ModelConfig::gpt2(5120, 40, 64),
+            par,
+            GpuSpec::a100_40g(),
+            Bandwidth::from_gbps(100.0),
+        )
+        .unwrap();
+        assert!(large.iteration_time() > small.iteration_time());
+    }
+
+    #[test]
+    fn iteration_time_is_plausible_for_a100() {
+        // GPT-2 1.6B on 16 A100s with 8 microbatches of 1×1024 tokens:
+        // expect an iteration in the hundreds of milliseconds to seconds.
+        let (m, par) = model_4node();
+        let tm =
+            TrainingTimeModel::new(m, par, GpuSpec::a100_40g(), Bandwidth::from_gbps(100.0))
+                .unwrap();
+        let secs = tm.iteration_time().as_secs_f64();
+        assert!((0.05..10.0).contains(&secs), "iteration {secs}s");
+    }
+
+    #[test]
+    fn nic_is_mostly_idle_without_dp() {
+        let (m, par) = model_4node();
+        let tm =
+            TrainingTimeModel::new(m, par, GpuSpec::a100_40g(), Bandwidth::from_gbps(100.0))
+                .unwrap();
+        let p = tm.profile(3);
+        assert!(
+            p.idle_fraction() > 0.8,
+            "pipeline activations should leave most of the NIC idle (got {})",
+            p.idle_fraction()
+        );
+    }
+
+    #[test]
+    fn dp_adds_allreduce_and_reduces_idle() {
+        let m = ModelConfig::gpt2(1600, 32, 48);
+        let solo = TrainingTimeModel::new(
+            m,
+            ParallelismSpec::new(4, 4, 1).unwrap(),
+            GpuSpec::a100_40g(),
+            Bandwidth::from_gbps(100.0),
+        )
+        .unwrap();
+        let dp = TrainingTimeModel::new(
+            m,
+            ParallelismSpec::new(4, 4, 2).unwrap(),
+            GpuSpec::a100_40g(),
+            Bandwidth::from_gbps(100.0),
+        )
+        .unwrap();
+        assert_eq!(solo.allreduce_time(), SimDuration::ZERO);
+        assert!(dp.allreduce_time() > SimDuration::ZERO);
+        assert!(dp.profile(2).idle_fraction() < solo.profile(2).idle_fraction());
+    }
+
+    #[test]
+    fn profile_repeats_per_iteration() {
+        let (m, par) = model_4node();
+        let tm =
+            TrainingTimeModel::new(m, par, GpuSpec::a100_40g(), Bandwidth::from_gbps(100.0))
+                .unwrap();
+        let one = tm.profile(1);
+        let two = tm.profile(2);
+        // Busy time doubles exactly (window *counts* may differ by one
+        // because back-to-back transfers merge across the iteration seam).
+        let busy = |p: &IterationProfile| p.windows().busy_between(SimTime::ZERO, p.span_end());
+        assert_eq!(busy(&two), busy(&one).scaled(2));
+        assert_eq!(two.span_end() - SimTime::ZERO, one.iteration_time().scaled(2));
+    }
+
+    #[test]
+    fn more_microbatches_mean_more_busy_windows() {
+        let (m, par) = model_4node();
+        let base =
+            TrainingTimeModel::new(m, par, GpuSpec::a100_40g(), Bandwidth::from_gbps(100.0))
+                .unwrap();
+        let more = base.clone().with_num_microbatches(16);
+        assert!(
+            more.profile(1).windows().busy().len() > base.profile(1).windows().busy().len()
+        );
+    }
+
+    #[test]
+    fn slower_nic_means_longer_p2p() {
+        let (m, par) = model_4node();
+        let fast =
+            TrainingTimeModel::new(m, par, GpuSpec::a100_40g(), Bandwidth::from_gbps(100.0))
+                .unwrap();
+        let slow =
+            TrainingTimeModel::new(m, par, GpuSpec::a100_40g(), Bandwidth::from_gbps(10.0))
+                .unwrap();
+        assert!(slow.p2p_time() > fast.p2p_time());
+    }
+
+    #[test]
+    fn v100_is_slower_than_a100() {
+        let (m, par) = model_4node();
+        let a =
+            TrainingTimeModel::new(m, par, GpuSpec::a100_40g(), Bandwidth::from_gbps(100.0))
+                .unwrap();
+        let v =
+            TrainingTimeModel::new(m, par, GpuSpec::v100_32g(), Bandwidth::from_gbps(100.0))
+                .unwrap();
+        assert!(v.iteration_time() > a.iteration_time());
+    }
+}

@@ -1,0 +1,192 @@
+//! Cauchy Reed–Solomon generator matrices (paper §IV-A).
+//!
+//! A Cauchy matrix over GF(2^w) has entries `1 / (x_i + y_j)` for disjoint
+//! sets of distinct field elements `{x_i}` and `{y_j}`. Every square
+//! submatrix of a Cauchy matrix is nonsingular, which makes the systematic
+//! generator `[I_k ; C]` MDS: any `k` of the `k + m` chunks reconstruct the
+//! data. Expanding the matrix to bits (see [`ecc_gf::BitMatrix`]) turns
+//! encoding into pure XORs; the fewer ones in that expansion, the fewer
+//! XORs per encoded byte, which is why [`generator_good`] spends effort
+//! normalising the matrix the way Jerasure's `cauchy_good` does.
+
+use ecc_gf::{GaloisField, Matrix};
+
+use crate::{CodeParams, ErasureError};
+
+/// Builds the raw systematic Cauchy generator `[I_k ; C]` of shape
+/// `(k + m) × k`.
+///
+/// Rows `0..k` are the identity (data chunks pass through); rows
+/// `k..k+m` hold the Cauchy part with `x_i = i` and `y_j = m + j`.
+///
+/// # Errors
+///
+/// Propagates field construction failures from invalid parameters (the
+/// parameter combination itself is validated by [`CodeParams::new`]).
+pub fn generator(params: CodeParams) -> Result<Matrix, ErasureError> {
+    let gf = GaloisField::new(params.w())?;
+    let cauchy = cauchy_part(params, &gf)?;
+    Ok(Matrix::identity(params.k()).vstack(&cauchy)?)
+}
+
+/// Builds the "good" Cauchy generator: same structure as [`generator`]
+/// but with columns and rows of the parity part rescaled to minimise the
+/// number of ones in the bit-matrix expansion.
+///
+/// Scaling rows or columns of the parity part by non-zero constants
+/// preserves the property that every square submatrix is nonsingular, so
+/// the code stays MDS while encode cost drops (Jerasure's `cauchy_good`).
+///
+/// # Errors
+///
+/// Propagates field construction failures from invalid parameters.
+pub fn generator_good(params: CodeParams) -> Result<Matrix, ErasureError> {
+    let gf = GaloisField::new(params.w())?;
+    let mut c = cauchy_part(params, &gf)?;
+    let (m, k) = (params.m(), params.k());
+
+    // Step 1: divide each column by its first-row element, making row 0
+    // all ones (the cheapest possible row: w XOR-copies per column).
+    for j in 0..k {
+        let divisor = c.get(0, j);
+        if divisor != 0 && divisor != 1 {
+            let inv = gf.inv(divisor)?;
+            for i in 0..m {
+                c.set(i, j, gf.mul(c.get(i, j), inv));
+            }
+        }
+    }
+
+    // Step 2: for every later row, try dividing the whole row by each of
+    // its elements and keep the divisor minimising the row's ones count.
+    for i in 1..m {
+        let row: Vec<u16> = (0..k).map(|j| c.get(i, j)).collect();
+        let base_cost: usize = row.iter().map(|&e| element_ones(&gf, e)).sum();
+        let mut best_cost = base_cost;
+        let mut best_divisor = 1u16;
+        for &candidate in &row {
+            if candidate == 0 || candidate == 1 {
+                continue;
+            }
+            let inv = gf.inv(candidate)?;
+            let cost: usize =
+                row.iter().map(|&e| element_ones(&gf, gf.mul(e, inv))).sum();
+            if cost < best_cost {
+                best_cost = cost;
+                best_divisor = candidate;
+            }
+        }
+        if best_divisor != 1 {
+            let inv = gf.inv(best_divisor)?;
+            for j in 0..k {
+                c.set(i, j, gf.mul(c.get(i, j), inv));
+            }
+        }
+    }
+
+    Ok(Matrix::identity(k).vstack(&c)?)
+}
+
+/// Number of ones in the `w × w` bit-matrix expansion of a single field
+/// element — the XOR cost of multiplying a region by that element.
+pub fn element_ones(gf: &GaloisField, e: u16) -> usize {
+    let w = gf.w() as usize;
+    (0..w)
+        .map(|c| gf.mul(e, 1 << c).count_ones() as usize)
+        .sum()
+}
+
+fn cauchy_part(params: CodeParams, gf: &GaloisField) -> Result<Matrix, ErasureError> {
+    let (k, m) = (params.k(), params.m());
+    let mut c = Matrix::zero(m, k);
+    for i in 0..m {
+        for j in 0..k {
+            let x = i as u16;
+            let y = (m + j) as u16;
+            c.set(i, j, gf.inv(x ^ y)?);
+        }
+    }
+    Ok(c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecc_gf::BitMatrix;
+
+    #[test]
+    fn raw_generator_is_systematic() {
+        let p = CodeParams::new(3, 2, 8).unwrap();
+        let g = generator(p).unwrap();
+        assert_eq!((g.rows(), g.cols()), (5, 3));
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(g.get(i, j), u16::from(i == j));
+            }
+        }
+    }
+
+    #[test]
+    fn raw_generator_is_mds_small() {
+        let gf = GaloisField::new(8).unwrap();
+        for (k, m) in [(2, 2), (3, 2), (2, 3), (4, 2), (3, 3)] {
+            let g = generator(CodeParams::new(k, m, 8).unwrap()).unwrap();
+            assert!(g.is_mds_generator(&gf), "k={k} m={m}");
+        }
+    }
+
+    #[test]
+    fn good_generator_is_mds_small() {
+        let gf = GaloisField::new(8).unwrap();
+        for (k, m) in [(2, 2), (3, 2), (2, 3), (4, 2), (3, 3)] {
+            let g = generator_good(CodeParams::new(k, m, 8).unwrap()).unwrap();
+            assert!(g.is_mds_generator(&gf), "k={k} m={m}");
+        }
+    }
+
+    #[test]
+    fn good_generator_first_parity_row_is_ones() {
+        let p = CodeParams::new(4, 3, 8).unwrap();
+        let g = generator_good(p).unwrap();
+        for j in 0..4 {
+            assert_eq!(g.get(4, j), 1);
+        }
+    }
+
+    #[test]
+    fn good_generator_has_no_more_ones_than_raw() {
+        let gf = GaloisField::new(8).unwrap();
+        for (k, m) in [(2, 2), (4, 2), (4, 4), (6, 3)] {
+            let p = CodeParams::new(k, m, 8).unwrap();
+            let raw = generator(p).unwrap().select_rows(&(k..k + m).collect::<Vec<_>>());
+            let good =
+                generator_good(p).unwrap().select_rows(&(k..k + m).collect::<Vec<_>>());
+            let raw_ones = BitMatrix::from_gf_matrix(&raw, &gf).ones();
+            let good_ones = BitMatrix::from_gf_matrix(&good, &gf).ones();
+            assert!(
+                good_ones <= raw_ones,
+                "k={k} m={m}: good {good_ones} > raw {raw_ones}"
+            );
+        }
+    }
+
+    #[test]
+    fn element_ones_of_one_is_w() {
+        for w in [4u8, 8, 16] {
+            let gf = GaloisField::new(w).unwrap();
+            // Multiplying by 1 is the identity bit-matrix: exactly w ones.
+            assert_eq!(element_ones(&gf, 1), w as usize);
+            assert_eq!(element_ones(&gf, 0), 0);
+        }
+    }
+
+    #[test]
+    fn works_in_gf4_and_gf16() {
+        for w in [4u8, 16] {
+            let gf = GaloisField::new(w).unwrap();
+            let p = CodeParams::new(2, 2, w).unwrap();
+            let g = generator_good(p).unwrap();
+            assert!(g.is_mds_generator(&gf), "w={w}");
+        }
+    }
+}

@@ -1,0 +1,742 @@
+use ecc_gf::{BitMatrix, GaloisField, Matrix};
+
+use crate::schedule::{ScheduleKind, XorOp, XorSchedule};
+use crate::{cauchy, region, vandermonde, CodeParams, ErasureError};
+
+/// A systematic `(k + m, k)` erasure code operating on byte regions.
+///
+/// The generator matrix is `[I_k ; E']` (paper Eqn. 3). Encoding and
+/// decoding go through the bit-matrix expansion, so they are pure XORs
+/// regardless of the field width — the property that makes Cauchy
+/// Reed–Solomon attractive for CPU-side checkpoint encoding (paper §IV-A).
+///
+/// Chunks are equal-length byte slices whose length is a multiple of
+/// [`CodeParams::alignment`]; each chunk is internally treated as `w`
+/// sub-packets.
+///
+/// # Examples
+///
+/// ```
+/// use ecc_erasure::{CodeParams, ErasureCode};
+///
+/// let code = ErasureCode::cauchy_good(CodeParams::new(2, 2, 8)?)?;
+/// let data = [vec![1u8; 64], vec![2u8; 64]];
+/// let parity = code.encode(&[&data[0], &data[1]])?;
+/// assert_eq!(parity.len(), 2);
+/// # Ok::<(), ecc_erasure::ErasureError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ErasureCode {
+    params: CodeParams,
+    gf: GaloisField,
+    generator: Matrix,
+    smart: XorSchedule,
+    dumb: XorSchedule,
+}
+
+impl ErasureCode {
+    /// Builds a code from an explicit systematic generator matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ErasureError::InvalidParams`] when the matrix shape is not
+    /// `(k + m) × k` or the top `k × k` block is not the identity.
+    pub fn from_generator(params: CodeParams, generator: Matrix) -> Result<Self, ErasureError> {
+        if generator.rows() != params.n() || generator.cols() != params.k() {
+            return Err(ErasureError::InvalidParams {
+                detail: format!(
+                    "generator must be {}x{}, got {}x{}",
+                    params.n(),
+                    params.k(),
+                    generator.rows(),
+                    generator.cols()
+                ),
+            });
+        }
+        for i in 0..params.k() {
+            for j in 0..params.k() {
+                if generator.get(i, j) != u16::from(i == j) {
+                    return Err(ErasureError::InvalidParams {
+                        detail: "generator is not systematic (top block is not identity)"
+                            .to_string(),
+                    });
+                }
+            }
+        }
+        let gf = GaloisField::new(params.w())?;
+        let parity_rows: Vec<usize> = (params.k()..params.n()).collect();
+        let parity = generator.select_rows(&parity_rows);
+        let bits = BitMatrix::from_gf_matrix(&parity, &gf);
+        let w = params.w() as usize;
+        let smart =
+            XorSchedule::from_bitmatrix(&bits, params.k(), params.m(), w, ScheduleKind::Smart);
+        let dumb =
+            XorSchedule::from_bitmatrix(&bits, params.k(), params.m(), w, ScheduleKind::Dumb);
+        Ok(Self { params, gf, generator, smart, dumb })
+    }
+
+    /// Builds the code ECCheck uses by default: the "good" Cauchy
+    /// Reed–Solomon generator.
+    ///
+    /// # Errors
+    ///
+    /// Propagates generator-construction failures.
+    pub fn cauchy_good(params: CodeParams) -> Result<Self, ErasureError> {
+        Self::from_generator(params, cauchy::generator_good(params)?)
+    }
+
+    /// Builds a code from the raw (un-normalised) Cauchy generator.
+    ///
+    /// # Errors
+    ///
+    /// Propagates generator-construction failures.
+    pub fn cauchy(params: CodeParams) -> Result<Self, ErasureError> {
+        Self::from_generator(params, cauchy::generator(params)?)
+    }
+
+    /// Builds a code from a systematic Vandermonde generator (the
+    /// comparison scheme in the coding ablation).
+    ///
+    /// # Errors
+    ///
+    /// Propagates generator-construction failures.
+    pub fn vandermonde(params: CodeParams) -> Result<Self, ErasureError> {
+        Self::from_generator(params, vandermonde::generator(params)?)
+    }
+
+    /// The code parameters.
+    pub fn params(&self) -> CodeParams {
+        self.params
+    }
+
+    /// The underlying Galois field.
+    pub fn gf(&self) -> &GaloisField {
+        &self.gf
+    }
+
+    /// The full `(k + m) × k` generator matrix.
+    pub fn generator(&self) -> &Matrix {
+        &self.generator
+    }
+
+    /// Generator coefficient `e_{row,col}` — what a worker multiplies its
+    /// packet by when producing the encoded packet destined for parity
+    /// chunk `row` (paper Fig. 6, the "encoding" step).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the indices are out of bounds.
+    pub fn coef(&self, row: usize, col: usize) -> u16 {
+        self.generator.get(row, col)
+    }
+
+    /// The cached XOR schedule of the given kind.
+    pub fn schedule(&self, kind: ScheduleKind) -> &XorSchedule {
+        match kind {
+            ScheduleKind::Smart => &self.smart,
+            ScheduleKind::Dumb => &self.dumb,
+        }
+    }
+
+    /// Encodes `k` data chunks into `m` parity chunks using the smart
+    /// schedule.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ErasureError::BadChunkLength`] when the chunk count is not
+    /// `k`, lengths differ, or the length is not a multiple of
+    /// [`CodeParams::alignment`].
+    pub fn encode(&self, data: &[&[u8]]) -> Result<Vec<Vec<u8>>, ErasureError> {
+        self.encode_with(data, ScheduleKind::Smart)
+    }
+
+    /// Encodes with an explicit schedule kind.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ErasureCode::encode`].
+    pub fn encode_with(
+        &self,
+        data: &[&[u8]],
+        kind: ScheduleKind,
+    ) -> Result<Vec<Vec<u8>>, ErasureError> {
+        let ps = self.validate_chunks(data, self.params.k())?;
+        Ok(self.run_schedule(self.schedule(kind), data, ps))
+    }
+
+    /// Reconstructs all `k` data chunks from any `k` surviving chunks.
+    ///
+    /// `shards[i]` is `Some` when chunk `i` (data for `i < k`, parity
+    /// otherwise) survives. Present data chunks are returned as-is; missing
+    /// ones are decoded via the inverted survivor submatrix (paper Eqn. 5).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ErasureError::TooFewSurvivors`] with fewer than `k`
+    /// shards, and [`ErasureError::BadChunkLength`] on inconsistent chunk
+    /// lengths.
+    pub fn decode(&self, shards: &[Option<&[u8]>]) -> Result<Vec<Vec<u8>>, ErasureError> {
+        let (k, n) = (self.params.k(), self.params.n());
+        if shards.len() != n {
+            return Err(ErasureError::BadChunkLength {
+                detail: format!("expected {n} shard slots, got {}", shards.len()),
+            });
+        }
+        let present: Vec<usize> = (0..n).filter(|&i| shards[i].is_some()).collect();
+        if present.len() < k {
+            return Err(ErasureError::TooFewSurvivors { needed: k, available: present.len() });
+        }
+        let survivors: Vec<usize> = present.into_iter().take(k).collect();
+        let survivor_slices: Vec<&[u8]> =
+            survivors.iter().map(|&i| shards[i].expect("survivor present")).collect();
+        let ps = self.validate_chunks(&survivor_slices, k)?;
+
+        let missing: Vec<usize> = (0..k).filter(|&i| shards[i].is_none()).collect();
+        let mut out: Vec<Option<Vec<u8>>> = (0..k)
+            .map(|i| shards[i].map(|s| s.to_vec()))
+            .collect();
+        if !missing.is_empty() {
+            let sub = self.generator.select_rows(&survivors);
+            let inv = sub.inverted(&self.gf)?;
+            let rows = inv.select_rows(&missing);
+            let bits = BitMatrix::from_gf_matrix(&rows, &self.gf);
+            let w = self.params.w() as usize;
+            let schedule =
+                XorSchedule::from_bitmatrix(&bits, k, missing.len(), w, ScheduleKind::Smart);
+            let rebuilt = self.run_schedule(&schedule, &survivor_slices, ps);
+            for (slot, chunk) in missing.iter().zip(rebuilt) {
+                out[*slot] = Some(chunk);
+            }
+        }
+        Ok(out.into_iter().map(|c| c.expect("all data chunks filled")).collect())
+    }
+
+    /// Reconstructs *all* `n` chunks (data and parity), reusing surviving
+    /// chunks and recomputing the rest — the step that restores full fault
+    /// tolerance after a failure (paper §III-B recovery task 2).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ErasureCode::decode`].
+    pub fn reconstruct_all(
+        &self,
+        shards: &[Option<&[u8]>],
+    ) -> Result<Vec<Vec<u8>>, ErasureError> {
+        let (k, n) = (self.params.k(), self.params.n());
+        let data = self.decode(shards)?;
+        let data_refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let missing_parity: Vec<usize> =
+            (k..n).filter(|&i| shards[i].is_none()).collect();
+        let mut parity: Vec<Option<Vec<u8>>> =
+            (k..n).map(|i| shards[i].map(|s| s.to_vec())).collect();
+        if !missing_parity.is_empty() {
+            let rows = self.generator.select_rows(&missing_parity);
+            let bits = BitMatrix::from_gf_matrix(&rows, &self.gf);
+            let w = self.params.w() as usize;
+            let ps = data[0].len() / w;
+            let schedule = XorSchedule::from_bitmatrix(
+                &bits,
+                k,
+                missing_parity.len(),
+                w,
+                ScheduleKind::Smart,
+            );
+            let rebuilt = self.run_schedule(&schedule, &data_refs, ps);
+            for (slot, chunk) in missing_parity.iter().zip(rebuilt) {
+                parity[*slot - k] = Some(chunk);
+            }
+        }
+        let mut all = data;
+        all.extend(parity.into_iter().map(|c| c.expect("all parity chunks filled")));
+        Ok(all)
+    }
+
+    /// The `n × k` decode matrix `G · G_S^{-1}` for a survivor set: row `c`
+    /// expresses chunk `c` as a combination of the `k` survivor chunks
+    /// (unit rows for the survivors themselves). This is the matrix `E'`
+    /// that ECCheck distributes to nodes during recovery (paper Fig. 7).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ErasureError::TooFewSurvivors`] unless exactly `k`
+    /// distinct, in-range survivor indices are given.
+    pub fn decode_matrix(&self, survivors: &[usize]) -> Result<Matrix, ErasureError> {
+        let k = self.params.k();
+        if survivors.len() != k {
+            return Err(ErasureError::TooFewSurvivors {
+                needed: k,
+                available: survivors.len(),
+            });
+        }
+        let mut sorted = survivors.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        if sorted.len() != k || *sorted.last().expect("non-empty") >= self.params.n() {
+            return Err(ErasureError::InvalidParams {
+                detail: "survivor indices must be distinct chunk ids".to_string(),
+            });
+        }
+        let sub = self.generator.select_rows(survivors);
+        let inv = sub.inverted(&self.gf)?;
+        Ok(self.generator.mul(&inv, &self.gf)?)
+    }
+
+    /// Exhaustively verifies the MDS property (every `k`-row submatrix of
+    /// the generator invertible). Exponential; use in tests only.
+    pub fn verify_mds(&self) -> bool {
+        self.generator.is_mds_generator(&self.gf)
+    }
+
+    /// Executes a schedule whose sources are the `k` chunks in `sources`,
+    /// producing `schedule.m()` output chunks of the same length.
+    fn run_schedule(
+        &self,
+        schedule: &XorSchedule,
+        sources: &[&[u8]],
+        ps: usize,
+    ) -> Vec<Vec<u8>> {
+        run_schedule_on(schedule, sources, ps)
+    }
+
+    fn validate_chunks(&self, chunks: &[&[u8]], expect: usize) -> Result<usize, ErasureError> {
+        if chunks.len() != expect {
+            return Err(ErasureError::BadChunkLength {
+                detail: format!("expected {expect} chunks, got {}", chunks.len()),
+            });
+        }
+        let len = chunks[0].len();
+        if len == 0 || !len.is_multiple_of(self.params.alignment()) {
+            return Err(ErasureError::BadChunkLength {
+                detail: format!(
+                    "chunk length {len} must be a positive multiple of {}",
+                    self.params.alignment()
+                ),
+            });
+        }
+        if chunks.iter().any(|c| c.len() != len) {
+            return Err(ErasureError::BadChunkLength {
+                detail: "chunks must all have the same length".to_string(),
+            });
+        }
+        Ok(len / self.params.w() as usize)
+    }
+}
+
+/// Executes an XOR schedule over real byte regions.
+///
+/// `sources` are the schedule's `k` input chunks, each `w · ps` bytes; the
+/// return value holds the schedule's `m` output chunks. Exposed at crate
+/// level so the thread pool can drive per-stripe executions.
+pub(crate) fn run_schedule_on(
+    schedule: &XorSchedule,
+    sources: &[&[u8]],
+    ps: usize,
+) -> Vec<Vec<u8>> {
+    let (m, w) = (schedule.m(), schedule.w());
+    let parity_subs = run_schedule_stripe(schedule, sources, ps, 0, ps);
+    // Reassemble sub-packets into contiguous chunks.
+    (0..m)
+        .map(|i| {
+            let mut chunk = Vec::with_capacity(w * ps);
+            for r in 0..w {
+                chunk.extend_from_slice(&parity_subs[i * w + r]);
+            }
+            chunk
+        })
+        .collect()
+}
+
+/// Executes a schedule over the byte range `[lo, hi)` of every sub-packet.
+///
+/// Because XOR schedules act independently on each byte column, executing
+/// disjoint stripes on different threads and concatenating the results is
+/// identical to a single full-width execution — this is the primitive the
+/// paper's thread-pool technique (§IV-A) is built on. Returns the `m·w`
+/// parity sub-packet stripes, each `hi - lo` bytes.
+pub(crate) fn run_schedule_stripe(
+    schedule: &XorSchedule,
+    sources: &[&[u8]],
+    ps: usize,
+    lo: usize,
+    hi: usize,
+) -> Vec<Vec<u8>> {
+    let (k, m, w) = (schedule.k(), schedule.m(), schedule.w());
+    debug_assert_eq!(sources.len(), k);
+    debug_assert!(lo <= hi && hi <= ps);
+    let stripe = hi - lo;
+    let parity_base = k * w;
+    let mut parity_subs: Vec<Vec<u8>> = vec![vec![0u8; stripe]; m * w];
+    for op in schedule.ops() {
+        let dst = op.dst() - parity_base;
+        let src = op.src();
+        if src < parity_base {
+            let base = (src % w) * ps;
+            let src_slice = &sources[src / w][base + lo..base + hi];
+            match op {
+                XorOp::Copy { .. } => region::copy_into(&mut parity_subs[dst], src_slice),
+                XorOp::Xor { .. } => region::xor_into(&mut parity_subs[dst], src_slice),
+            }
+        } else {
+            let src_idx = src - parity_base;
+            debug_assert_ne!(src_idx, dst, "schedule must not read its own destination");
+            let [s, d] = parity_subs
+                .get_disjoint_mut([src_idx, dst])
+                .expect("schedule indices are distinct and in range");
+            match op {
+                XorOp::Copy { .. } => region::copy_into(d, s),
+                XorOp::Xor { .. } => region::xor_into(d, s),
+            }
+        }
+    }
+    parity_subs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::prelude::*;
+
+    fn random_chunks(k: usize, len: usize, seed: u64) -> Vec<Vec<u8>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..k)
+            .map(|_| (0..len).map(|_| rand::Rng::gen(&mut rng)).collect())
+            .collect()
+    }
+
+    fn all_erasure_patterns(n: usize, erased: usize) -> Vec<Vec<usize>> {
+        let mut out = Vec::new();
+        let mut combo: Vec<usize> = (0..erased).collect();
+        loop {
+            out.push(combo.clone());
+            let mut i = erased;
+            let mut advanced = false;
+            while i > 0 {
+                i -= 1;
+                if combo[i] < n - erased + i {
+                    combo[i] += 1;
+                    for j in i + 1..erased {
+                        combo[j] = combo[j - 1] + 1;
+                    }
+                    advanced = true;
+                    break;
+                }
+            }
+            if !advanced {
+                return out;
+            }
+        }
+    }
+
+    fn roundtrip(code: &ErasureCode, len: usize) {
+        let p = code.params();
+        let data = random_chunks(p.k(), len, 42);
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let parity = code.encode(&refs).unwrap();
+        let mut chunks: Vec<&[u8]> = refs.clone();
+        chunks.extend(parity.iter().map(|c| c.as_slice()));
+        for erased_count in 1..=p.m() {
+            for pattern in all_erasure_patterns(p.n(), erased_count) {
+                let shards: Vec<Option<&[u8]>> = (0..p.n())
+                    .map(|i| (!pattern.contains(&i)).then(|| chunks[i]))
+                    .collect();
+                let decoded = code.decode(&shards).unwrap();
+                assert_eq!(decoded, data, "pattern {pattern:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn paper_setting_roundtrip_all_patterns() {
+        // k = m = 2 as in the paper's testbed; every 1- and 2-erasure
+        // pattern must decode bit-exactly.
+        let code = ErasureCode::cauchy_good(CodeParams::new(2, 2, 8).unwrap()).unwrap();
+        roundtrip(&code, 256);
+    }
+
+    #[test]
+    fn wider_codes_roundtrip() {
+        for (k, m) in [(4, 2), (3, 3), (5, 3)] {
+            let code = ErasureCode::cauchy_good(CodeParams::new(k, m, 8).unwrap()).unwrap();
+            roundtrip(&code, 128);
+        }
+    }
+
+    #[test]
+    fn vandermonde_roundtrip() {
+        let code = ErasureCode::vandermonde(CodeParams::new(3, 2, 8).unwrap()).unwrap();
+        roundtrip(&code, 128);
+    }
+
+    #[test]
+    fn raw_cauchy_roundtrip() {
+        let code = ErasureCode::cauchy(CodeParams::new(3, 2, 8).unwrap()).unwrap();
+        roundtrip(&code, 128);
+    }
+
+    #[test]
+    fn gf4_and_gf16_roundtrip() {
+        for w in [4u8, 16] {
+            let code = ErasureCode::cauchy_good(CodeParams::new(2, 2, w).unwrap()).unwrap();
+            roundtrip(&code, 2 * code.params().alignment());
+        }
+    }
+
+    #[test]
+    fn dumb_and_smart_encode_agree() {
+        let code = ErasureCode::cauchy_good(CodeParams::new(4, 3, 8).unwrap()).unwrap();
+        let data = random_chunks(4, 192, 7);
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let smart = code.encode_with(&refs, ScheduleKind::Smart).unwrap();
+        let dumb = code.encode_with(&refs, ScheduleKind::Dumb).unwrap();
+        assert_eq!(smart, dumb);
+    }
+
+    #[test]
+    fn encode_matches_matrix_arithmetic() {
+        // Cross-check the byte-region path against symbol-level math: with
+        // chunks of exactly `alignment` bytes, treat each chunk as w·8/w
+        // symbols... simpler: single-symbol-per-subpacket comparison via
+        // mul_vec on one byte column.
+        let params = CodeParams::new(2, 2, 8).unwrap();
+        let code = ErasureCode::cauchy_good(params).unwrap();
+        let gf = code.gf();
+        // One byte per sub-packet is below alignment, so use alignment-wide
+        // chunks with a repeated value; then every byte of parity sub-packet
+        // r is the same function of the data bytes.
+        let d0 = vec![0xA7u8; 64];
+        let d1 = vec![0x35u8; 64];
+        let parity = code.encode(&[&d0, &d1]).unwrap();
+        // Symbol-level: p_i = e_i0*d0 + e_i1*d1 evaluated byte-wise. A byte
+        // of chunk j at sub-packet c carries bit c of consecutive symbols,
+        // so with constant fill the symbol seen by the decoder is the fill
+        // byte itself only when interpreted bit-plane-wise. Instead verify
+        // via decode: erase both data chunks and ensure parity alone
+        // recovers the exact fills.
+        let shards: Vec<Option<&[u8]>> =
+            vec![None, None, Some(&parity[0]), Some(&parity[1])];
+        let decoded = code.decode(&shards).unwrap();
+        assert!(decoded[0].iter().all(|&b| b == 0xA7));
+        assert!(decoded[1].iter().all(|&b| b == 0x35));
+        // And the generator coefficients are exposed:
+        assert_eq!(code.coef(0, 0), 1);
+        assert_eq!(code.coef(1, 1), 1);
+        assert_ne!(gf.mul(code.coef(2, 0), 1), 0);
+    }
+
+    #[test]
+    fn decode_matrix_has_unit_rows_for_survivors() {
+        let code = ErasureCode::cauchy_good(CodeParams::new(2, 2, 8).unwrap()).unwrap();
+        // Survivors: data chunk 0 and parity chunk 1 (paper Eqn. 5 example).
+        let dm = code.decode_matrix(&[0, 3]).unwrap();
+        assert_eq!((dm.rows(), dm.cols()), (4, 2));
+        assert_eq!(dm.row(0), &[1, 0]); // chunk 0 = survivor 0
+        assert_eq!(dm.row(3), &[0, 1]); // chunk 3 = survivor 1
+        // Applying the decode matrix to survivor symbols must reproduce the
+        // generator relation: dm * [d0; p1] == all chunks. Verify via symbols.
+        let gf = code.gf();
+        let d = [17u16, 201u16];
+        let chunks: Vec<u16> = (0..4)
+            .map(|r| {
+                (0..2).fold(0u16, |acc, c| acc ^ gf.mul(code.coef(r, c), d[c]))
+            })
+            .collect();
+        let survivors = [chunks[0], chunks[3]];
+        for r in 0..4 {
+            let rebuilt = (0..2).fold(0u16, |acc, c| acc ^ gf.mul(dm.get(r, c), survivors[c]));
+            assert_eq!(rebuilt, chunks[r], "chunk {r}");
+        }
+    }
+
+    #[test]
+    fn reconstruct_all_restores_parity() {
+        let code = ErasureCode::cauchy_good(CodeParams::new(2, 2, 8).unwrap()).unwrap();
+        let data = random_chunks(2, 128, 3);
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let parity = code.encode(&refs).unwrap();
+        // Lose data chunk 1 and parity chunk 0.
+        let shards: Vec<Option<&[u8]>> =
+            vec![Some(&data[0]), None, None, Some(&parity[1])];
+        let all = code.reconstruct_all(&shards).unwrap();
+        assert_eq!(all[0], data[0]);
+        assert_eq!(all[1], data[1]);
+        assert_eq!(all[2], parity[0]);
+        assert_eq!(all[3], parity[1]);
+    }
+
+    #[test]
+    fn too_few_survivors_is_an_error() {
+        let code = ErasureCode::cauchy_good(CodeParams::new(2, 2, 8).unwrap()).unwrap();
+        let d0 = vec![0u8; 64];
+        let shards: Vec<Option<&[u8]>> = vec![Some(&d0), None, None, None];
+        assert!(matches!(
+            code.decode(&shards),
+            Err(ErasureError::TooFewSurvivors { needed: 2, available: 1 })
+        ));
+    }
+
+    #[test]
+    fn misaligned_chunks_are_rejected() {
+        let code = ErasureCode::cauchy_good(CodeParams::new(2, 2, 8).unwrap()).unwrap();
+        let d = vec![0u8; 63];
+        assert!(matches!(
+            code.encode(&[&d, &d]),
+            Err(ErasureError::BadChunkLength { .. })
+        ));
+        let a = vec![0u8; 64];
+        let b = vec![0u8; 128];
+        assert!(matches!(
+            code.encode(&[&a, &b]),
+            Err(ErasureError::BadChunkLength { .. })
+        ));
+    }
+
+    #[test]
+    fn non_systematic_generator_is_rejected() {
+        let params = CodeParams::new(2, 2, 8).unwrap();
+        let bad = Matrix::from_fn(4, 2, |_, _| 3);
+        assert!(matches!(
+            ErasureCode::from_generator(params, bad),
+            Err(ErasureError::InvalidParams { .. })
+        ));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Any k-of-n subset decodes back to the original data for random
+        /// payloads (the fundamental MDS recovery invariant).
+        #[test]
+        fn prop_any_k_subset_decodes(
+            seed in any::<u64>(),
+            pattern_seed in any::<u64>(),
+        ) {
+            let code = ErasureCode::cauchy_good(CodeParams::new(3, 2, 8).unwrap()).unwrap();
+            let data = random_chunks(3, 128, seed);
+            let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+            let parity = code.encode(&refs).unwrap();
+            let mut chunks: Vec<&[u8]> = refs.clone();
+            chunks.extend(parity.iter().map(|c| c.as_slice()));
+            let mut rng = StdRng::seed_from_u64(pattern_seed);
+            let mut ids: Vec<usize> = (0..5).collect();
+            ids.shuffle(&mut rng);
+            let keep: Vec<usize> = ids.into_iter().take(3).collect();
+            let shards: Vec<Option<&[u8]>> = (0..5)
+                .map(|i| keep.contains(&i).then(|| chunks[i]))
+                .collect();
+            prop_assert_eq!(code.decode(&shards).unwrap(), data);
+        }
+    }
+}
+
+impl ErasureCode {
+    /// Computes the parity *deltas* caused by replacing data chunk
+    /// `chunk` with contents differing by `delta` (`delta = old ⊕ new`).
+    ///
+    /// By linearity of the code over GF(2), XORing the returned regions
+    /// into the stored parity chunks updates them as if the full encode
+    /// had been re-run — the basis for incremental checkpointing, where
+    /// only a few tensors change between saves.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ErasureError::InvalidParams`] for an out-of-range chunk
+    /// index and [`ErasureError::BadChunkLength`] for misaligned deltas.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ecc_erasure::{CodeParams, ErasureCode};
+    /// use ecc_erasure::region::xor_into;
+    ///
+    /// let code = ErasureCode::cauchy_good(CodeParams::new(2, 2, 8)?)?;
+    /// let old = [vec![1u8; 64], vec![2u8; 64]];
+    /// let mut parity = code.encode(&[&old[0], &old[1]])?;
+    ///
+    /// // Chunk 1 changes; patch parity without touching chunk 0.
+    /// let new1 = vec![9u8; 64];
+    /// let mut delta = old[1].clone();
+    /// xor_into(&mut delta, &new1);
+    /// for (p, d) in parity.iter_mut().zip(code.parity_delta(1, &delta)?) {
+    ///     xor_into(p, &d);
+    /// }
+    /// assert_eq!(parity, code.encode(&[&old[0], &new1])?);
+    /// # Ok::<(), ecc_erasure::ErasureError>(())
+    /// ```
+    pub fn parity_delta(
+        &self,
+        chunk: usize,
+        delta: &[u8],
+    ) -> Result<Vec<Vec<u8>>, ErasureError> {
+        let (k, m) = (self.params.k(), self.params.m());
+        if chunk >= k {
+            return Err(ErasureError::InvalidParams {
+                detail: format!("chunk index {chunk} out of range (k = {k})"),
+            });
+        }
+        if delta.is_empty() || !delta.len().is_multiple_of(self.params.alignment()) {
+            return Err(ErasureError::BadChunkLength {
+                detail: format!(
+                    "delta length {} must be a positive multiple of {}",
+                    delta.len(),
+                    self.params.alignment()
+                ),
+            });
+        }
+        // Single-column generator: parity rows restricted to `chunk`.
+        let w = self.params.w() as usize;
+        let column = Matrix::from_fn(m, 1, |i, _| self.generator.get(k + i, chunk));
+        let bits = BitMatrix::from_gf_matrix(&column, &self.gf);
+        let schedule = XorSchedule::from_bitmatrix(&bits, 1, m, w, ScheduleKind::Smart);
+        let ps = delta.len() / w;
+        Ok(run_schedule_on(&schedule, &[delta], ps))
+    }
+}
+
+#[cfg(test)]
+mod delta_tests {
+    use super::*;
+    use crate::region::xor_into;
+
+    fn filled(len: usize, seed: u8) -> Vec<u8> {
+        (0..len).map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed)).collect()
+    }
+
+    #[test]
+    fn delta_update_matches_full_reencode() {
+        for (k, m) in [(2usize, 2usize), (4, 2), (3, 3)] {
+            let code = ErasureCode::cauchy_good(CodeParams::new(k, m, 8).unwrap()).unwrap();
+            let old: Vec<Vec<u8>> = (0..k).map(|i| filled(192, i as u8)).collect();
+            let old_refs: Vec<&[u8]> = old.iter().map(Vec::as_slice).collect();
+            let mut parity = code.encode(&old_refs).unwrap();
+            // Mutate every chunk in turn, patching parity incrementally.
+            let mut current = old.clone();
+            for j in 0..k {
+                let updated = filled(192, (j + 100) as u8);
+                let mut delta = current[j].clone();
+                xor_into(&mut delta, &updated);
+                for (p, d) in parity.iter_mut().zip(code.parity_delta(j, &delta).unwrap()) {
+                    xor_into(p, &d);
+                }
+                current[j] = updated;
+                let refs: Vec<&[u8]> = current.iter().map(Vec::as_slice).collect();
+                assert_eq!(parity, code.encode(&refs).unwrap(), "k={k} m={m} j={j}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_delta_is_a_noop() {
+        let code = ErasureCode::cauchy_good(CodeParams::new(2, 2, 8).unwrap()).unwrap();
+        let deltas = code.parity_delta(0, &[0u8; 128]).unwrap();
+        assert!(deltas.iter().all(|d| d.iter().all(|&b| b == 0)));
+    }
+
+    #[test]
+    fn bad_inputs_are_rejected() {
+        let code = ErasureCode::cauchy_good(CodeParams::new(2, 2, 8).unwrap()).unwrap();
+        assert!(code.parity_delta(2, &[0u8; 64]).is_err());
+        assert!(code.parity_delta(0, &[0u8; 63]).is_err());
+        assert!(code.parity_delta(0, &[]).is_err());
+    }
+}

@@ -1,0 +1,64 @@
+use std::error::Error;
+use std::fmt;
+
+use ecc_gf::GfError;
+
+/// Errors produced while constructing or applying erasure codes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ErasureError {
+    /// Invalid `(k, m, w)` combination.
+    InvalidParams {
+        /// Human-readable description of what is invalid.
+        detail: String,
+    },
+    /// Chunk lengths are inconsistent or not aligned for the coding path.
+    BadChunkLength {
+        /// Human-readable description of the length problem.
+        detail: String,
+    },
+    /// Fewer than `k` chunks survive, so decoding is impossible.
+    TooFewSurvivors {
+        /// Chunks needed to decode.
+        needed: usize,
+        /// Chunks actually available.
+        available: usize,
+    },
+    /// An underlying Galois-field operation failed.
+    Field(GfError),
+}
+
+impl fmt::Display for ErasureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ErasureError::InvalidParams { detail } => {
+                write!(f, "invalid code parameters: {detail}")
+            }
+            ErasureError::BadChunkLength { detail } => {
+                write!(f, "bad chunk length: {detail}")
+            }
+            ErasureError::TooFewSurvivors { needed, available } => {
+                write!(
+                    f,
+                    "cannot decode: need {needed} surviving chunks but only {available} available"
+                )
+            }
+            ErasureError::Field(e) => write!(f, "field arithmetic error: {e}"),
+        }
+    }
+}
+
+impl Error for ErasureError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ErasureError::Field(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GfError> for ErasureError {
+    fn from(e: GfError) -> Self {
+        ErasureError::Field(e)
+    }
+}

@@ -1,0 +1,109 @@
+use ecc_gf::SUPPORTED_WIDTHS;
+
+use crate::ErasureError;
+
+/// Parameters of a systematic `(k + m, k)` erasure code over GF(2^w).
+///
+/// `k` data chunks are encoded into `m` parity chunks; any `k` of the
+/// `n = k + m` chunks reconstruct the data, tolerating up to `m` erasures
+/// (paper §III-B).
+///
+/// # Examples
+///
+/// ```
+/// use ecc_erasure::CodeParams;
+///
+/// let p = CodeParams::new(2, 2, 8)?;
+/// assert_eq!(p.n(), 4);
+/// # Ok::<(), ecc_erasure::ErasureError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CodeParams {
+    k: usize,
+    m: usize,
+    w: u8,
+}
+
+impl CodeParams {
+    /// Validates and creates code parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ErasureError::InvalidParams`] when `k == 0`, `m == 0`,
+    /// `w` is unsupported, or `k + m > 2^w` (a Cauchy matrix needs
+    /// `k + m` distinct field elements).
+    pub fn new(k: usize, m: usize, w: u8) -> Result<Self, ErasureError> {
+        if k == 0 || m == 0 {
+            return Err(ErasureError::InvalidParams {
+                detail: format!("k and m must be positive (got k={k}, m={m})"),
+            });
+        }
+        if !SUPPORTED_WIDTHS.contains(&w) {
+            return Err(ErasureError::InvalidParams {
+                detail: format!("unsupported field width w={w}"),
+            });
+        }
+        if k + m > (1usize << w) {
+            return Err(ErasureError::InvalidParams {
+                detail: format!("k + m = {} exceeds field size 2^{w}", k + m),
+            });
+        }
+        Ok(Self { k, m, w })
+    }
+
+    /// Number of data chunks.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of parity chunks.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Total number of chunks, `k + m`.
+    pub fn n(&self) -> usize {
+        self.k + self.m
+    }
+
+    /// Field word width.
+    pub fn w(&self) -> u8 {
+        self.w
+    }
+
+    /// Chunk-length alignment (bytes) required by the bit-matrix XOR path:
+    /// each chunk is split into `w` sub-packets that must be 8-byte words.
+    pub fn alignment(&self) -> usize {
+        self.w as usize * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_paper_settings() {
+        // The paper's testbed uses k = 2, m = 2 (§V-B "Settings").
+        let p = CodeParams::new(2, 2, 8).unwrap();
+        assert_eq!((p.k(), p.m(), p.n(), p.w()), (2, 2, 4, 8));
+        assert_eq!(p.alignment(), 64);
+    }
+
+    #[test]
+    fn rejects_zero_k_or_m() {
+        assert!(CodeParams::new(0, 2, 8).is_err());
+        assert!(CodeParams::new(2, 0, 8).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_width() {
+        assert!(CodeParams::new(2, 2, 7).is_err());
+    }
+
+    #[test]
+    fn rejects_overfull_field() {
+        assert!(CodeParams::new(10, 8, 4).is_err());
+        assert!(CodeParams::new(8, 8, 4).is_ok());
+    }
+}

@@ -1,0 +1,429 @@
+//! The paper's thread-pool technique (§IV-A): region-coding tasks are
+//! split into sub-ranges executed concurrently on CPU cores.
+//!
+//! XOR schedules and GF(2^8) table multiplication act independently on
+//! every byte column, so an encode over a large contiguous region can be
+//! cut into stripes, each stripe coded by a different thread, and the
+//! results concatenated — bit-identical to a single-threaded execution.
+
+use crate::code::run_schedule_stripe;
+use crate::region::MulTable;
+use crate::schedule::ScheduleKind;
+use crate::{region, ErasureCode, ErasureError};
+
+/// A coding thread pool with a fixed degree of parallelism.
+///
+/// The pool uses scoped threads per operation rather than long-lived
+/// workers: coding tasks are multi-megabyte, so spawn cost is negligible
+/// and the API stays free of lifetime bookkeeping.
+///
+/// # Examples
+///
+/// ```
+/// use ecc_erasure::{CodeParams, CodingPool, ErasureCode};
+///
+/// let code = ErasureCode::cauchy_good(CodeParams::new(2, 2, 8)?)?;
+/// let pool = CodingPool::new(4);
+/// let data = [vec![3u8; 1024], vec![5u8; 1024]];
+/// let parallel = pool.encode(&code, &[&data[0], &data[1]])?;
+/// let serial = code.encode(&[&data[0], &data[1]])?;
+/// assert_eq!(parallel, serial);
+/// # Ok::<(), ecc_erasure::ErasureError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct CodingPool {
+    threads: usize,
+}
+
+impl CodingPool {
+    /// Creates a pool that runs up to `threads` sub-tasks concurrently
+    /// (clamped to at least 1).
+    pub fn new(threads: usize) -> Self {
+        Self { threads: threads.max(1) }
+    }
+
+    /// The configured degree of parallelism.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Parallel `dst ^= src` over equal-length regions.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the slices have different lengths.
+    pub fn xor_into(&self, dst: &mut [u8], src: &[u8]) {
+        assert_eq!(dst.len(), src.len(), "xor_into requires equal-length slices");
+        let stripe = stripe_len(dst.len(), self.threads);
+        if stripe == 0 || self.threads == 1 {
+            region::xor_into(dst, src);
+            return;
+        }
+        crossbeam::thread::scope(|s| {
+            for (d, sr) in dst.chunks_mut(stripe).zip(src.chunks(stripe)) {
+                s.spawn(move |_| region::xor_into(d, sr));
+            }
+        })
+        .expect("coding worker panicked");
+    }
+
+    /// Parallel table multiplication: `dst = coef · src`, or
+    /// `dst ^= coef · src` when `accumulate` is set.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the slices have different lengths.
+    pub fn apply_table(&self, table: &MulTable, src: &[u8], dst: &mut [u8], accumulate: bool) {
+        assert_eq!(src.len(), dst.len(), "apply_table requires equal-length slices");
+        let stripe = stripe_len(dst.len(), self.threads);
+        if stripe == 0 || self.threads == 1 {
+            if accumulate {
+                table.apply_xor(src, dst);
+            } else {
+                table.apply(src, dst);
+            }
+            return;
+        }
+        crossbeam::thread::scope(|s| {
+            for (d, sr) in dst.chunks_mut(stripe).zip(src.chunks(stripe)) {
+                s.spawn(move |_| {
+                    if accumulate {
+                        table.apply_xor(sr, d);
+                    } else {
+                        table.apply(sr, d);
+                    }
+                });
+            }
+        })
+        .expect("coding worker panicked");
+    }
+
+    /// Parallel systematic encode: splits the packet dimension into
+    /// stripes, codes each stripe on its own thread with the smart
+    /// schedule, and reassembles. Bit-identical to [`ErasureCode::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ErasureCode::encode`].
+    pub fn encode(
+        &self,
+        code: &ErasureCode,
+        data: &[&[u8]],
+    ) -> Result<Vec<Vec<u8>>, ErasureError> {
+        if self.threads == 1 {
+            return code.encode(data);
+        }
+        // Validate via a zero-length dry run of the serial path's checks.
+        let params = code.params();
+        let w = params.w() as usize;
+        if data.len() != params.k() {
+            return Err(ErasureError::BadChunkLength {
+                detail: format!("expected {} chunks, got {}", params.k(), data.len()),
+            });
+        }
+        let len = data[0].len();
+        if len == 0 || !len.is_multiple_of(params.alignment()) {
+            return Err(ErasureError::BadChunkLength {
+                detail: format!(
+                    "chunk length {len} must be a positive multiple of {}",
+                    params.alignment()
+                ),
+            });
+        }
+        if data.iter().any(|c| c.len() != len) {
+            return Err(ErasureError::BadChunkLength {
+                detail: "chunks must all have the same length".to_string(),
+            });
+        }
+        let ps = len / w;
+        let stripe = stripe_len(ps, self.threads);
+        if stripe == 0 {
+            return code.encode(data);
+        }
+        let schedule = code.schedule(ScheduleKind::Smart);
+        let mut bounds = Vec::new();
+        let mut lo = 0usize;
+        while lo < ps {
+            let hi = (lo + stripe).min(ps);
+            bounds.push((lo, hi));
+            lo = hi;
+        }
+        let stripes: Vec<Vec<Vec<u8>>> = crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = bounds
+                .iter()
+                .map(|&(lo, hi)| {
+                    s.spawn(move |_| run_schedule_stripe(schedule, data, ps, lo, hi))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("stripe worker panicked")).collect()
+        })
+        .expect("coding worker panicked");
+        // Reassemble: parity chunk i, sub-packet r = concat of stripes.
+        let (m, _) = (params.m(), params.k());
+        let mut parity: Vec<Vec<u8>> = (0..m).map(|_| Vec::with_capacity(w * ps)).collect();
+        for (i, chunk) in parity.iter_mut().enumerate() {
+            for r in 0..w {
+                for stripe_subs in &stripes {
+                    chunk.extend_from_slice(&stripe_subs[i * w + r]);
+                }
+            }
+        }
+        Ok(parity)
+    }
+}
+
+impl Default for CodingPool {
+    /// A pool sized to the machine's available parallelism (or 4 when
+    /// that cannot be determined).
+    fn default() -> Self {
+        let threads =
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+        Self::new(threads)
+    }
+}
+
+/// Stripe length per thread, 8-byte aligned; 0 when the region is too
+/// small to be worth splitting.
+fn stripe_len(total: usize, threads: usize) -> usize {
+    if total < threads * 64 {
+        return 0;
+    }
+    let raw = total.div_ceil(threads);
+    (raw + 7) & !7
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CodeParams;
+    use rand::prelude::*;
+
+    fn random_bytes(len: usize, seed: u64) -> Vec<u8> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..len).map(|_| rng.gen()).collect()
+    }
+
+    #[test]
+    fn pool_xor_matches_serial() {
+        let src = random_bytes(10_000, 1);
+        let mut serial = random_bytes(10_000, 2);
+        let mut parallel = serial.clone();
+        region::xor_into(&mut serial, &src);
+        CodingPool::new(4).xor_into(&mut parallel, &src);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn pool_table_matches_serial() {
+        let gf = ecc_gf::GaloisField::new(8).unwrap();
+        let table = MulTable::new(&gf, 0x53).unwrap();
+        let src = random_bytes(9_999, 3);
+        let mut serial = vec![0u8; src.len()];
+        let mut parallel = vec![0u8; src.len()];
+        table.apply(&src, &mut serial);
+        CodingPool::new(3).apply_table(&table, &src, &mut parallel, false);
+        assert_eq!(serial, parallel);
+
+        let mut serial_acc = random_bytes(src.len(), 4);
+        let mut parallel_acc = serial_acc.clone();
+        table.apply_xor(&src, &mut serial_acc);
+        CodingPool::new(5).apply_table(&table, &src, &mut parallel_acc, true);
+        assert_eq!(serial_acc, parallel_acc);
+    }
+
+    #[test]
+    fn pool_encode_bit_identical_across_thread_counts() {
+        let code = ErasureCode::cauchy_good(CodeParams::new(3, 2, 8).unwrap()).unwrap();
+        let data: Vec<Vec<u8>> = (0..3).map(|i| random_bytes(64 * 128, i)).collect();
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let serial = code.encode(&refs).unwrap();
+        for threads in [1, 2, 3, 4, 8] {
+            let parallel = CodingPool::new(threads).encode(&code, &refs).unwrap();
+            assert_eq!(parallel, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn pool_encode_small_region_falls_back() {
+        let code = ErasureCode::cauchy_good(CodeParams::new(2, 2, 8).unwrap()).unwrap();
+        let data = [random_bytes(64, 9), random_bytes(64, 10)];
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let serial = code.encode(&refs).unwrap();
+        let parallel = CodingPool::new(16).encode(&code, &refs).unwrap();
+        assert_eq!(parallel, serial);
+    }
+
+    #[test]
+    fn pool_encode_validates_input() {
+        let code = ErasureCode::cauchy_good(CodeParams::new(2, 2, 8).unwrap()).unwrap();
+        let short = vec![0u8; 63];
+        assert!(CodingPool::new(2).encode(&code, &[&short, &short]).is_err());
+        let a = vec![0u8; 64];
+        assert!(CodingPool::new(2).encode(&code, &[&a]).is_err());
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        assert_eq!(CodingPool::new(0).threads(), 1);
+    }
+
+    #[test]
+    fn stripe_len_is_word_aligned() {
+        for total in [640usize, 1000, 4096, 65536] {
+            for threads in [2usize, 3, 4, 7] {
+                let s = stripe_len(total, threads);
+                if s != 0 {
+                    assert_eq!(s % 8, 0, "total={total} threads={threads}");
+                    assert!(s * threads >= total);
+                }
+            }
+        }
+    }
+}
+
+impl CodingPool {
+    /// Parallel any-k decode: reconstructs all `k` data chunks from the
+    /// surviving shards, striping the byte range across threads exactly
+    /// like [`CodingPool::encode`]. Bit-identical to
+    /// [`ErasureCode::decode`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ErasureCode::decode`].
+    pub fn decode(
+        &self,
+        code: &ErasureCode,
+        shards: &[Option<&[u8]>],
+    ) -> Result<Vec<Vec<u8>>, ErasureError> {
+        // Decoding recomputes only missing chunks, whose schedules are
+        // built per survivor set; rather than duplicating that logic,
+        // stripe the *shard regions* and decode each stripe serially.
+        // Sub-packet layouts are per-stripe-consistent only if stripes
+        // respect sub-packet boundaries, so stripe by whole sub-packet
+        // columns: each stripe is a byte range of every sub-packet.
+        let k = code.params().k();
+        let present: Vec<&[u8]> =
+            shards.iter().flatten().copied().collect();
+        if present.len() < k || self.threads == 1 {
+            return code.decode(shards);
+        }
+        let len = present[0].len();
+        let w = code.params().w() as usize;
+        if len == 0 || !len.is_multiple_of(code.params().alignment()) {
+            return code.decode(shards); // let the serial path report errors
+        }
+        let ps = len / w;
+        let stripe = stripe_len(ps, self.threads);
+        if stripe == 0 {
+            return code.decode(shards);
+        }
+        let mut bounds = Vec::new();
+        let mut lo = 0usize;
+        while lo < ps {
+            bounds.push((lo, (lo + stripe).min(ps)));
+            lo = (lo + stripe).min(ps);
+        }
+        // Build per-stripe shard views: for each shard, gather the byte
+        // range [lo, hi) of each of its w sub-packets.
+        let stripes: Vec<Result<Vec<Vec<u8>>, ErasureError>> =
+            crossbeam::thread::scope(|s| {
+                let handles: Vec<_> = bounds
+                    .iter()
+                    .map(|&(lo, hi)| {
+                        let shards = &shards;
+                        s.spawn(move |_| {
+                            let views: Vec<Option<Vec<u8>>> = shards
+                                .iter()
+                                .map(|sh| {
+                                    sh.map(|bytes| {
+                                        let mut v =
+                                            Vec::with_capacity(w * (hi - lo));
+                                        for c in 0..w {
+                                            v.extend_from_slice(
+                                                &bytes[c * ps + lo..c * ps + hi],
+                                            );
+                                        }
+                                        v
+                                    })
+                                })
+                                .collect();
+                            let view_refs: Vec<Option<&[u8]>> =
+                                views.iter().map(|v| v.as_deref()).collect();
+                            code.decode(&view_refs)
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("decode worker panicked")).collect()
+            })
+            .expect("decode worker panicked");
+        // Reassemble: data chunk j sub-packet c = concat of stripes.
+        let mut out: Vec<Vec<u8>> = (0..k).map(|_| Vec::with_capacity(len)).collect();
+        let mut stripe_chunks = Vec::with_capacity(stripes.len());
+        for s in stripes {
+            stripe_chunks.push(s?);
+        }
+        for (j, chunk) in out.iter_mut().enumerate() {
+            for c in 0..w {
+                for (b, (lo, hi)) in bounds.iter().enumerate() {
+                    let sw = hi - lo;
+                    chunk.extend_from_slice(&stripe_chunks[b][j][c * sw..(c + 1) * sw]);
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod decode_tests {
+    use super::*;
+    use crate::CodeParams;
+    use rand::prelude::*;
+
+    fn random_bytes(len: usize, seed: u64) -> Vec<u8> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut v = vec![0u8; len];
+        rng.fill_bytes(&mut v);
+        v
+    }
+
+    #[test]
+    fn pool_decode_bit_identical_across_thread_counts() {
+        let code = ErasureCode::cauchy_good(CodeParams::new(3, 2, 8).unwrap()).unwrap();
+        let data: Vec<Vec<u8>> = (0..3).map(|i| random_bytes(64 * 256, i)).collect();
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let parity = code.encode(&refs).unwrap();
+        // Lose data chunks 0 and 2.
+        let shards: Vec<Option<&[u8]>> = vec![
+            None,
+            Some(&data[1]),
+            None,
+            Some(&parity[0]),
+            Some(&parity[1]),
+        ];
+        let serial = code.decode(&shards).unwrap();
+        for threads in [1usize, 2, 4, 8] {
+            let parallel = CodingPool::new(threads).decode(&code, &shards).unwrap();
+            assert_eq!(parallel, serial, "threads={threads}");
+        }
+        assert_eq!(serial, data);
+    }
+
+    #[test]
+    fn pool_decode_small_region_falls_back() {
+        let code = ErasureCode::cauchy_good(CodeParams::new(2, 2, 8).unwrap()).unwrap();
+        let data: Vec<Vec<u8>> = (0..2).map(|i| random_bytes(64, i)).collect();
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let parity = code.encode(&refs).unwrap();
+        let shards: Vec<Option<&[u8]>> =
+            vec![None, None, Some(&parity[0]), Some(&parity[1])];
+        assert_eq!(CodingPool::new(8).decode(&code, &shards).unwrap(), data);
+    }
+
+    #[test]
+    fn pool_decode_propagates_errors() {
+        let code = ErasureCode::cauchy_good(CodeParams::new(2, 2, 8).unwrap()).unwrap();
+        let shards: Vec<Option<&[u8]>> = vec![None, None, None, None];
+        assert!(CodingPool::new(4).decode(&code, &shards).is_err());
+    }
+}

@@ -1,0 +1,341 @@
+//! Byte-region primitives: wide XOR and GF(2^8) table multiplication.
+//!
+//! These are the inner loops of both the bit-matrix coding path (pure
+//! XOR over sub-packets) and the worker-level packet encoding used by
+//! ECCheck's pipeline, where each worker multiplies its checkpoint packet
+//! by a single generator coefficient (`e_ij · d`, paper Fig. 6) before the
+//! cross-node XOR reduction.
+
+use ecc_gf::{GaloisField, GfError};
+
+/// XORs `src` into `dst` (`dst[i] ^= src[i]`), processing 8 bytes per step.
+///
+/// # Panics
+///
+/// Panics when the slices have different lengths.
+pub fn xor_into(dst: &mut [u8], src: &[u8]) {
+    assert_eq!(dst.len(), src.len(), "xor_into requires equal-length slices");
+    let mut dst_words = dst.chunks_exact_mut(8);
+    let mut src_words = src.chunks_exact(8);
+    for (d, s) in dst_words.by_ref().zip(src_words.by_ref()) {
+        let v = u64::from_ne_bytes(d.try_into().expect("8-byte chunk"))
+            ^ u64::from_ne_bytes(s.try_into().expect("8-byte chunk"));
+        d.copy_from_slice(&v.to_ne_bytes());
+    }
+    for (d, s) in dst_words.into_remainder().iter_mut().zip(src_words.remainder()) {
+        *d ^= *s;
+    }
+}
+
+/// Copies `src` into `dst`.
+///
+/// # Panics
+///
+/// Panics when the slices have different lengths.
+pub fn copy_into(dst: &mut [u8], src: &[u8]) {
+    assert_eq!(dst.len(), src.len(), "copy_into requires equal-length slices");
+    dst.copy_from_slice(src);
+}
+
+/// A 256-entry multiplication table for one GF(2^8) coefficient.
+///
+/// `table[b] == coef · b` in GF(2^8). Mapping a byte region through the
+/// table multiplies the whole region by the coefficient — the classic
+/// log/exp-free inner loop for w = 8, and the unit of work ECCheck's
+/// thread pool splits across cores.
+///
+/// # Examples
+///
+/// ```
+/// use ecc_gf::GaloisField;
+/// use ecc_erasure::MulTable;
+///
+/// let gf = GaloisField::new(8)?;
+/// let t = MulTable::new(&gf, 3)?;
+/// let src = [0x10u8, 0x20, 0x30];
+/// let mut dst = [0u8; 3];
+/// t.apply(&src, &mut dst);
+/// assert_eq!(dst[0], gf.mul(3, 0x10) as u8);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct MulTable {
+    coef: u16,
+    table: [u8; 256],
+}
+
+impl MulTable {
+    /// Builds the table for `coef` in GF(2^8).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GfError::UnsupportedWidth`] when the field is not GF(2^8)
+    /// (table lookup per byte only makes sense for w = 8) and
+    /// [`GfError::ElementOutOfRange`] when `coef` is not a field element.
+    pub fn new(gf: &GaloisField, coef: u16) -> Result<Self, GfError> {
+        if gf.w() != 8 {
+            return Err(GfError::UnsupportedWidth { w: gf.w() });
+        }
+        if !gf.contains(coef) {
+            return Err(GfError::ElementOutOfRange { element: coef, w: gf.w() });
+        }
+        let mut table = [0u8; 256];
+        for (b, entry) in table.iter_mut().enumerate() {
+            *entry = gf.mul(coef, b as u16) as u8;
+        }
+        Ok(Self { coef, table })
+    }
+
+    /// The coefficient this table multiplies by.
+    pub fn coef(&self) -> u16 {
+        self.coef
+    }
+
+    /// `dst[i] = coef · src[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the slices have different lengths.
+    pub fn apply(&self, src: &[u8], dst: &mut [u8]) {
+        assert_eq!(src.len(), dst.len(), "apply requires equal-length slices");
+        for (d, &s) in dst.iter_mut().zip(src) {
+            *d = self.table[s as usize];
+        }
+    }
+
+    /// `dst[i] ^= coef · src[i]` — multiply-accumulate, the inner loop of
+    /// table-based Reed–Solomon encoding.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the slices have different lengths.
+    pub fn apply_xor(&self, src: &[u8], dst: &mut [u8]) {
+        assert_eq!(src.len(), dst.len(), "apply_xor requires equal-length slices");
+        for (d, &s) in dst.iter_mut().zip(src) {
+            *d ^= self.table[s as usize];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn xor_into_handles_unaligned_tails() {
+        let src: Vec<u8> = (0..21).collect();
+        let mut dst = vec![0xFFu8; 21];
+        xor_into(&mut dst, &src);
+        for (i, &d) in dst.iter().enumerate() {
+            assert_eq!(d, 0xFF ^ i as u8);
+        }
+    }
+
+    #[test]
+    fn xor_into_is_self_inverse() {
+        let src: Vec<u8> = (0..64).map(|i| (i * 37) as u8).collect();
+        let orig: Vec<u8> = (0..64).map(|i| (i * 11 + 3) as u8).collect();
+        let mut dst = orig.clone();
+        xor_into(&mut dst, &src);
+        xor_into(&mut dst, &src);
+        assert_eq!(dst, orig);
+    }
+
+    #[test]
+    fn table_of_one_is_identity() {
+        let gf = GaloisField::new(8).unwrap();
+        let t = MulTable::new(&gf, 1).unwrap();
+        let src: Vec<u8> = (0..=255).collect();
+        let mut dst = vec![0u8; 256];
+        t.apply(&src, &mut dst);
+        assert_eq!(dst, src);
+    }
+
+    #[test]
+    fn table_of_zero_clears() {
+        let gf = GaloisField::new(8).unwrap();
+        let t = MulTable::new(&gf, 0).unwrap();
+        let src = vec![0xABu8; 16];
+        let mut dst = vec![0xCDu8; 16];
+        t.apply(&src, &mut dst);
+        assert!(dst.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn table_rejects_non_gf8() {
+        let gf = GaloisField::new(16).unwrap();
+        assert!(MulTable::new(&gf, 2).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_apply_matches_field_mul(coef in 0u16..256, bytes in proptest::collection::vec(any::<u8>(), 1..64)) {
+            let gf = GaloisField::new(8).unwrap();
+            let t = MulTable::new(&gf, coef).unwrap();
+            let mut dst = vec![0u8; bytes.len()];
+            t.apply(&bytes, &mut dst);
+            for (i, &b) in bytes.iter().enumerate() {
+                prop_assert_eq!(dst[i] as u16, gf.mul(coef, b as u16));
+            }
+        }
+
+        #[test]
+        fn prop_apply_xor_accumulates(coef in 0u16..256, bytes in proptest::collection::vec(any::<u8>(), 1..64)) {
+            let gf = GaloisField::new(8).unwrap();
+            let t = MulTable::new(&gf, coef).unwrap();
+            let mut acc = vec![0x5Au8; bytes.len()];
+            t.apply_xor(&bytes, &mut acc);
+            for (i, &b) in bytes.iter().enumerate() {
+                prop_assert_eq!(acc[i] as u16, (0x5Au16) ^ gf.mul(coef, b as u16));
+            }
+        }
+    }
+}
+
+/// Split multiplication tables for one GF(2^16) coefficient.
+///
+/// A 2^16-entry table per coefficient would blow the cache; the classic
+/// split-table trick stores two 256-entry tables — products of the
+/// coefficient with the low byte and with the high byte shifted — and
+/// combines them per element: `coef · x = low[x & 0xFF] ^ high[x >> 8]`
+/// (used by large-field codes such as G-CRS, which the paper cites).
+///
+/// Regions are interpreted as little-endian `u16` elements.
+///
+/// # Examples
+///
+/// ```
+/// use ecc_gf::GaloisField;
+/// use ecc_erasure::MulTable16;
+///
+/// let gf = GaloisField::new(16)?;
+/// let t = MulTable16::new(&gf, 0x1234)?;
+/// let src = 0xBEEFu16.to_le_bytes();
+/// let mut dst = [0u8; 2];
+/// t.apply(&src, &mut dst);
+/// assert_eq!(u16::from_le_bytes(dst), gf.mul(0x1234, 0xBEEF));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct MulTable16 {
+    coef: u16,
+    low: [u16; 256],
+    high: [u16; 256],
+}
+
+impl MulTable16 {
+    /// Builds the split tables for `coef` in GF(2^16).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GfError::UnsupportedWidth`] when the field is not
+    /// GF(2^16).
+    pub fn new(gf: &GaloisField, coef: u16) -> Result<Self, GfError> {
+        if gf.w() != 16 {
+            return Err(GfError::UnsupportedWidth { w: gf.w() });
+        }
+        let mut low = [0u16; 256];
+        let mut high = [0u16; 256];
+        for b in 0..256u16 {
+            low[b as usize] = gf.mul(coef, b);
+            high[b as usize] = gf.mul(coef, b << 8);
+        }
+        Ok(Self { coef, low, high })
+    }
+
+    /// The coefficient these tables multiply by.
+    pub fn coef(&self) -> u16 {
+        self.coef
+    }
+
+    #[inline]
+    fn mul_element(&self, x: u16) -> u16 {
+        self.low[(x & 0xFF) as usize] ^ self.high[(x >> 8) as usize]
+    }
+
+    /// `dst = coef · src`, element-wise over little-endian `u16`s.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the slices differ in length or the length is odd.
+    pub fn apply(&self, src: &[u8], dst: &mut [u8]) {
+        assert_eq!(src.len(), dst.len(), "apply requires equal-length slices");
+        assert_eq!(src.len() % 2, 0, "GF(2^16) regions hold 2-byte elements");
+        for (d, s) in dst.chunks_exact_mut(2).zip(src.chunks_exact(2)) {
+            let x = u16::from_le_bytes(s.try_into().expect("2-byte chunk"));
+            d.copy_from_slice(&self.mul_element(x).to_le_bytes());
+        }
+    }
+
+    /// `dst ^= coef · src`, element-wise over little-endian `u16`s.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the slices differ in length or the length is odd.
+    pub fn apply_xor(&self, src: &[u8], dst: &mut [u8]) {
+        assert_eq!(src.len(), dst.len(), "apply_xor requires equal-length slices");
+        assert_eq!(src.len() % 2, 0, "GF(2^16) regions hold 2-byte elements");
+        for (d, s) in dst.chunks_exact_mut(2).zip(src.chunks_exact(2)) {
+            let x = u16::from_le_bytes(s.try_into().expect("2-byte chunk"));
+            let cur = u16::from_le_bytes((&*d).try_into().expect("2-byte chunk"));
+            d.copy_from_slice(&(cur ^ self.mul_element(x)).to_le_bytes());
+        }
+    }
+}
+
+#[cfg(test)]
+mod gf16_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn table16_of_one_is_identity() {
+        let gf = GaloisField::new(16).unwrap();
+        let t = MulTable16::new(&gf, 1).unwrap();
+        let src: Vec<u8> = (0..512).map(|i| (i * 7) as u8).collect();
+        let mut dst = vec![0u8; 512];
+        t.apply(&src, &mut dst);
+        assert_eq!(dst, src);
+    }
+
+    #[test]
+    fn table16_rejects_gf8() {
+        let gf = GaloisField::new(8).unwrap();
+        assert!(MulTable16::new(&gf, 2).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "2-byte elements")]
+    fn odd_region_panics() {
+        let gf = GaloisField::new(16).unwrap();
+        let t = MulTable16::new(&gf, 2).unwrap();
+        let mut dst = [0u8; 3];
+        t.apply(&[0u8; 3], &mut dst);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_apply16_matches_field_mul(coef in any::<u16>(), elems in proptest::collection::vec(any::<u16>(), 1..32)) {
+            let gf = GaloisField::new(16).unwrap();
+            let t = MulTable16::new(&gf, coef).unwrap();
+            let src: Vec<u8> = elems.iter().flat_map(|e| e.to_le_bytes()).collect();
+            let mut dst = vec![0u8; src.len()];
+            t.apply(&src, &mut dst);
+            for (i, &e) in elems.iter().enumerate() {
+                let got = u16::from_le_bytes([dst[2 * i], dst[2 * i + 1]]);
+                prop_assert_eq!(got, gf.mul(coef, e));
+            }
+        }
+
+        #[test]
+        fn prop_apply16_xor_accumulates(coef in any::<u16>(), e in any::<u16>(), acc in any::<u16>()) {
+            let gf = GaloisField::new(16).unwrap();
+            let t = MulTable16::new(&gf, coef).unwrap();
+            let src = e.to_le_bytes();
+            let mut dst = acc.to_le_bytes();
+            t.apply_xor(&src, &mut dst);
+            prop_assert_eq!(u16::from_le_bytes(dst), acc ^ gf.mul(coef, e));
+        }
+    }
+}

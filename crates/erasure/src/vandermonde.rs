@@ -1,0 +1,64 @@
+//! Systematic Vandermonde Reed–Solomon generators.
+//!
+//! Kept as the comparison point for the coding-scheme ablation bench: the
+//! paper chooses *Cauchy* RS because its bit-matrix expansion is XOR-only,
+//! whereas the classic Vandermonde construction is usually driven through
+//! log/exp-table multiplication.
+
+use ecc_gf::{GaloisField, Matrix};
+
+use crate::{CodeParams, ErasureError};
+
+/// Builds a systematic Vandermonde generator `(k + m) × k`.
+///
+/// Starts from the Vandermonde matrix `V[i][j] = alpha_i^j` with distinct
+/// evaluation points `alpha_i = i`, then right-multiplies by the inverse of
+/// the top `k × k` block. Every `k`-row subset of a Vandermonde matrix with
+/// distinct points is invertible, and right-multiplying by a fixed
+/// invertible matrix preserves that, so the result is systematic and MDS.
+///
+/// # Errors
+///
+/// Propagates field errors; fails with [`ErasureError::InvalidParams`]
+/// indirectly if the top block is singular (cannot happen for distinct
+/// points, but guarded anyway).
+pub fn generator(params: CodeParams) -> Result<Matrix, ErasureError> {
+    let gf = GaloisField::new(params.w())?;
+    let (k, n) = (params.k(), params.n());
+    let v = Matrix::from_fn(n, k, |i, j| gf.pow(i as u16, j as u32));
+    let top = v.select_rows(&(0..k).collect::<Vec<_>>());
+    let top_inv = top.inverted(&gf)?;
+    Ok(v.mul(&top_inv, &gf)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generator_is_systematic() {
+        let p = CodeParams::new(3, 2, 8).unwrap();
+        let g = generator(p).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(g.get(i, j), u16::from(i == j));
+            }
+        }
+    }
+
+    #[test]
+    fn generator_is_mds_small() {
+        let gf = GaloisField::new(8).unwrap();
+        for (k, m) in [(2, 2), (3, 2), (2, 3), (4, 3)] {
+            let g = generator(CodeParams::new(k, m, 8).unwrap()).unwrap();
+            assert!(g.is_mds_generator(&gf), "k={k} m={m}");
+        }
+    }
+
+    #[test]
+    fn works_in_gf16() {
+        let gf = GaloisField::new(16).unwrap();
+        let g = generator(CodeParams::new(3, 3, 16).unwrap()).unwrap();
+        assert!(g.is_mds_generator(&gf));
+    }
+}

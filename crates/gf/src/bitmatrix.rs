@@ -1,0 +1,268 @@
+use crate::{GaloisField, Matrix};
+
+/// A binary matrix stored as packed 64-bit words, row-major.
+///
+/// The central use is the *bitmatrix expansion* `B(E)` of a GF(2^w) matrix
+/// `E` (paper §III-B): every field element becomes a `w × w` binary block,
+/// after which a matrix–vector product over GF(2^w) becomes a sequence of
+/// pure XOR operations on sub-packets. That expansion is what makes Cauchy
+/// Reed–Solomon coding XOR-only.
+///
+/// # Examples
+///
+/// ```
+/// use ecc_gf::{BitMatrix, GaloisField, Matrix};
+///
+/// let gf = GaloisField::new(4)?;
+/// let e = Matrix::from_rows(1, 1, &[3])?;
+/// let b = BitMatrix::from_gf_matrix(&e, &gf);
+/// assert_eq!((b.rows(), b.cols()), (4, 4));
+/// # Ok::<(), ecc_gf::GfError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitMatrix {
+    rows: usize,
+    cols: usize,
+    words_per_row: usize,
+    bits: Vec<u64>,
+}
+
+impl BitMatrix {
+    /// Creates an all-zero bit matrix.
+    pub fn zero(rows: usize, cols: usize) -> Self {
+        let words_per_row = cols.div_ceil(64);
+        Self { rows, cols, words_per_row, bits: vec![0; rows * words_per_row] }
+    }
+
+    /// Creates the `n × n` identity bit matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zero(n, n);
+        for i in 0..n {
+            m.set(i, i, true);
+        }
+        m
+    }
+
+    /// Expands a GF(2^w) matrix into its binary representation.
+    ///
+    /// Following the classic Cauchy Reed–Solomon construction, element
+    /// `e` at block `(i, j)` expands so that bit row `r`, bit column `c`
+    /// of the block equals bit `r` of `e · x^c` in GF(2^w). A product over
+    /// GF(2^w) then becomes XORs of bit-rows.
+    pub fn from_gf_matrix(m: &Matrix, gf: &GaloisField) -> Self {
+        let w = gf.w() as usize;
+        let mut out = Self::zero(m.rows() * w, m.cols() * w);
+        for i in 0..m.rows() {
+            for j in 0..m.cols() {
+                let e = m.get(i, j);
+                for c in 0..w {
+                    let col_val = gf.mul(e, 1 << c);
+                    for r in 0..w {
+                        if (col_val >> r) & 1 == 1 {
+                            out.set(i * w + r, j * w + c, true);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of bit rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of bit columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Reads the bit at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the indices are out of bounds.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> bool {
+        assert!(r < self.rows && c < self.cols, "bit index out of bounds");
+        let word = self.bits[r * self.words_per_row + c / 64];
+        (word >> (c % 64)) & 1 == 1
+    }
+
+    /// Writes the bit at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the indices are out of bounds.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: bool) {
+        assert!(r < self.rows && c < self.cols, "bit index out of bounds");
+        let idx = r * self.words_per_row + c / 64;
+        let mask = 1u64 << (c % 64);
+        if v {
+            self.bits[idx] |= mask;
+        } else {
+            self.bits[idx] &= !mask;
+        }
+    }
+
+    /// Number of set bits in row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `r` is out of bounds.
+    pub fn row_ones(&self, r: usize) -> usize {
+        assert!(r < self.rows, "row index out of bounds");
+        self.bits[r * self.words_per_row..(r + 1) * self.words_per_row]
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum()
+    }
+
+    /// Total number of set bits. Cauchy-matrix "goodness" (paper §IV-A)
+    /// is measured by this count: fewer ones means fewer XORs per encode.
+    pub fn ones(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Iterates over the column indices of the set bits in row `r`.
+    pub fn row_set_bits(&self, r: usize) -> impl Iterator<Item = usize> + '_ {
+        assert!(r < self.rows, "row index out of bounds");
+        (0..self.cols).filter(move |&c| self.get(r, c))
+    }
+
+    /// XOR of two rows as a difference count (number of positions where
+    /// they differ). Used by the "smart" XOR scheduler to decide whether
+    /// deriving one parity row from another is cheaper than computing it
+    /// from scratch.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either row index is out of bounds.
+    pub fn row_diff(&self, a: usize, b: usize) -> usize {
+        assert!(a < self.rows && b < self.rows, "row index out of bounds");
+        let ra = &self.bits[a * self.words_per_row..(a + 1) * self.words_per_row];
+        let rb = &self.bits[b * self.words_per_row..(b + 1) * self.words_per_row];
+        ra.iter().zip(rb).map(|(x, y)| (x ^ y).count_ones() as usize).sum()
+    }
+
+    /// Multiplies this bit matrix by a bit vector over GF(2).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `v.len() != self.cols()`.
+    pub fn mul_bitvec(&self, v: &[bool]) -> Vec<bool> {
+        assert_eq!(v.len(), self.cols, "vector length must equal column count");
+        (0..self.rows)
+            .map(|r| {
+                self.row_set_bits(r).fold(false, |acc, c| acc ^ v[c])
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GaloisField;
+    use proptest::prelude::*;
+
+    #[test]
+    fn identity_expansion_is_bit_identity() {
+        let gf = GaloisField::new(8).unwrap();
+        let id = Matrix::identity(3);
+        let b = BitMatrix::from_gf_matrix(&id, &gf);
+        assert_eq!(b, BitMatrix::identity(24));
+    }
+
+    #[test]
+    fn ones_counts_match() {
+        let mut b = BitMatrix::zero(3, 70);
+        b.set(0, 0, true);
+        b.set(0, 69, true);
+        b.set(2, 64, true);
+        assert_eq!(b.ones(), 3);
+        assert_eq!(b.row_ones(0), 2);
+        assert_eq!(b.row_ones(1), 0);
+        assert_eq!(b.row_ones(2), 1);
+    }
+
+    #[test]
+    fn set_then_clear_round_trips() {
+        let mut b = BitMatrix::zero(2, 130);
+        b.set(1, 129, true);
+        assert!(b.get(1, 129));
+        b.set(1, 129, false);
+        assert!(!b.get(1, 129));
+        assert_eq!(b.ones(), 0);
+    }
+
+    #[test]
+    fn row_diff_counts_mismatches() {
+        let mut b = BitMatrix::zero(2, 8);
+        b.set(0, 1, true);
+        b.set(0, 2, true);
+        b.set(1, 2, true);
+        b.set(1, 3, true);
+        assert_eq!(b.row_diff(0, 1), 2);
+        assert_eq!(b.row_diff(0, 0), 0);
+    }
+
+    /// Bit-level multiplication of the expansion must agree with field
+    /// multiplication: B(E) applied to the bits of x equals the bits of E·x.
+    #[test]
+    fn expansion_encodes_field_multiplication() {
+        let gf = GaloisField::new(8).unwrap();
+        for e in [0u16, 1, 2, 3, 91, 144, 255] {
+            let m = Matrix::from_rows(1, 1, &[e]).unwrap();
+            let b = BitMatrix::from_gf_matrix(&m, &gf);
+            for x in [0u16, 1, 5, 17, 128, 254] {
+                let x_bits: Vec<bool> = (0..8).map(|i| (x >> i) & 1 == 1).collect();
+                let y_bits = b.mul_bitvec(&x_bits);
+                let y: u16 = y_bits
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &bit)| (bit as u16) << i)
+                    .sum();
+                assert_eq!(y, gf.mul(e, x), "e={e} x={x}");
+            }
+        }
+    }
+
+    proptest! {
+        /// The expansion is a ring homomorphism: B(E·F) == B(E)·B(F) acting
+        /// on vectors.
+        #[test]
+        fn prop_expansion_respects_products(e in 0u16..256, f in 0u16..256, x in 0u16..256) {
+            let gf = GaloisField::new(8).unwrap();
+            let me = Matrix::from_rows(1, 1, &[e]).unwrap();
+            let mf = Matrix::from_rows(1, 1, &[f]).unwrap();
+            let prod = me.mul(&mf, &gf).unwrap();
+            let b_prod = BitMatrix::from_gf_matrix(&prod, &gf);
+            let be = BitMatrix::from_gf_matrix(&me, &gf);
+            let bf = BitMatrix::from_gf_matrix(&mf, &gf);
+            let x_bits: Vec<bool> = (0..8).map(|i| (x >> i) & 1 == 1).collect();
+            let via_chain = be.mul_bitvec(&bf.mul_bitvec(&x_bits));
+            let direct = b_prod.mul_bitvec(&x_bits);
+            prop_assert_eq!(via_chain, direct);
+        }
+
+        #[test]
+        fn prop_mul_bitvec_linear(
+            e in 0u16..256,
+            x in 0u16..256,
+            y in 0u16..256,
+        ) {
+            let gf = GaloisField::new(8).unwrap();
+            let m = Matrix::from_rows(1, 1, &[e]).unwrap();
+            let b = BitMatrix::from_gf_matrix(&m, &gf);
+            let bits = |v: u16| (0..8).map(|i| (v >> i) & 1 == 1).collect::<Vec<_>>();
+            let lhs = b.mul_bitvec(&bits(x ^ y));
+            let bx = b.mul_bitvec(&bits(x));
+            let by = b.mul_bitvec(&bits(y));
+            let rhs: Vec<bool> = bx.iter().zip(&by).map(|(a, b)| a ^ b).collect();
+            prop_assert_eq!(lhs, rhs);
+        }
+    }
+}

@@ -1,0 +1,49 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by Galois-field and matrix operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GfError {
+    /// The requested word width is not one of the supported values.
+    UnsupportedWidth {
+        /// The width that was requested.
+        w: u8,
+    },
+    /// A field element lies outside `[0, 2^w)`.
+    ElementOutOfRange {
+        /// The offending element.
+        element: u16,
+        /// The field word width.
+        w: u8,
+    },
+    /// Division by the zero element.
+    DivisionByZero,
+    /// Matrix dimensions do not allow the requested operation.
+    DimensionMismatch {
+        /// Human-readable description of the mismatch.
+        detail: String,
+    },
+    /// The matrix is singular and cannot be inverted.
+    SingularMatrix,
+}
+
+impl fmt::Display for GfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GfError::UnsupportedWidth { w } => {
+                write!(f, "unsupported field width w={w}; supported widths are 4, 8 and 16")
+            }
+            GfError::ElementOutOfRange { element, w } => {
+                write!(f, "element {element} is outside GF(2^{w})")
+            }
+            GfError::DivisionByZero => write!(f, "division by zero in GF(2^w)"),
+            GfError::DimensionMismatch { detail } => {
+                write!(f, "matrix dimension mismatch: {detail}")
+            }
+            GfError::SingularMatrix => write!(f, "matrix is singular"),
+        }
+    }
+}
+
+impl Error for GfError {}

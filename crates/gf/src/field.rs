@@ -1,0 +1,282 @@
+use crate::GfError;
+
+/// Word widths for which [`GaloisField::new`] succeeds.
+pub const SUPPORTED_WIDTHS: [u8; 3] = [4, 8, 16];
+
+/// Primitive polynomial for each supported width, with the leading term
+/// included (e.g. `0x11D` = x^8 + x^4 + x^3 + x^2 + 1). These match the
+/// defaults used by Jerasure, which the paper builds on.
+fn primitive_poly(w: u8) -> Option<u32> {
+    match w {
+        4 => Some(0x13),
+        8 => Some(0x11D),
+        16 => Some(0x1100B),
+        _ => None,
+    }
+}
+
+/// Arithmetic over the finite field GF(2^w).
+///
+/// Addition is bitwise XOR; multiplication and division go through log/exp
+/// tables generated from a primitive polynomial, exactly as in classic
+/// Reed–Solomon implementations. Elements are carried in `u16` (the largest
+/// supported field is GF(2^16)).
+///
+/// # Examples
+///
+/// ```
+/// use ecc_gf::GaloisField;
+///
+/// let gf = GaloisField::new(8)?;
+/// // Multiplication distributes over XOR-addition.
+/// let (a, b, c) = (17, 42, 99);
+/// assert_eq!(gf.mul(a, b ^ c), gf.mul(a, b) ^ gf.mul(a, c));
+/// # Ok::<(), ecc_gf::GfError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct GaloisField {
+    w: u8,
+    size: usize,
+    log: Vec<u16>,
+    exp: Vec<u16>,
+}
+
+impl GaloisField {
+    /// Builds the field GF(2^w).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GfError::UnsupportedWidth`] unless `w` is 4, 8 or 16.
+    pub fn new(w: u8) -> Result<Self, GfError> {
+        let poly = primitive_poly(w).ok_or(GfError::UnsupportedWidth { w })?;
+        let size = 1usize << w;
+        let mut log = vec![0u16; size];
+        // exp is doubled so that `exp[log a + log b]` never needs a modulo.
+        let mut exp = vec![0u16; 2 * size];
+        let mut x: u32 = 1;
+        for i in 0..(size - 1) {
+            exp[i] = x as u16;
+            exp[i + size - 1] = x as u16;
+            log[x as usize] = i as u16;
+            x <<= 1;
+            if x & (1 << w) != 0 {
+                x ^= poly;
+            }
+        }
+        Ok(Self { w, size, log, exp })
+    }
+
+    /// The field's word width `w`.
+    pub fn w(&self) -> u8 {
+        self.w
+    }
+
+    /// The number of elements in the field, `2^w`.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// The largest valid element, `2^w - 1`.
+    pub fn max_element(&self) -> u16 {
+        (self.size - 1) as u16
+    }
+
+    /// Returns `true` when `a` is a valid element of this field.
+    pub fn contains(&self, a: u16) -> bool {
+        (a as usize) < self.size
+    }
+
+    /// Field addition (and subtraction): bitwise XOR.
+    #[inline]
+    pub fn add(a: u16, b: u16) -> u16 {
+        a ^ b
+    }
+
+    /// Field multiplication.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that both operands are in range; in release builds an
+    /// out-of-range operand produces an unspecified (but memory-safe) value.
+    #[inline]
+    pub fn mul(&self, a: u16, b: u16) -> u16 {
+        debug_assert!(self.contains(a) && self.contains(b));
+        if a == 0 || b == 0 {
+            return 0;
+        }
+        let idx = self.log[a as usize] as usize + self.log[b as usize] as usize;
+        self.exp[idx]
+    }
+
+    /// Field division `a / b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GfError::DivisionByZero`] when `b == 0`.
+    #[inline]
+    pub fn div(&self, a: u16, b: u16) -> Result<u16, GfError> {
+        debug_assert!(self.contains(a) && self.contains(b));
+        if b == 0 {
+            return Err(GfError::DivisionByZero);
+        }
+        if a == 0 {
+            return Ok(0);
+        }
+        let order = self.size - 1;
+        let idx =
+            self.log[a as usize] as usize + order - self.log[b as usize] as usize;
+        Ok(self.exp[idx])
+    }
+
+    /// Multiplicative inverse of `a`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GfError::DivisionByZero`] when `a == 0`.
+    #[inline]
+    pub fn inv(&self, a: u16) -> Result<u16, GfError> {
+        self.div(1, a)
+    }
+
+    /// Raises `a` to the `e`-th power (with `a^0 == 1`, including `0^0`).
+    pub fn pow(&self, a: u16, e: u32) -> u16 {
+        if e == 0 {
+            return 1;
+        }
+        if a == 0 {
+            return 0;
+        }
+        let order = (self.size - 1) as u64;
+        let idx = (self.log[a as usize] as u64 * e as u64) % order;
+        self.exp[idx as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn fields() -> Vec<GaloisField> {
+        SUPPORTED_WIDTHS
+            .iter()
+            .map(|&w| GaloisField::new(w).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn rejects_unsupported_width() {
+        for w in [0u8, 1, 2, 3, 5, 7, 9, 15, 17, 32] {
+            assert!(matches!(
+                GaloisField::new(w),
+                Err(GfError::UnsupportedWidth { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn table_is_a_permutation() {
+        for gf in fields() {
+            let mut seen = vec![false; gf.size()];
+            seen[0] = true; // zero never appears in exp
+            for i in 0..(gf.size() - 1) {
+                let v = gf.exp[i] as usize;
+                assert!(!seen[v], "w={} exp repeats {v}", gf.w());
+                seen[v] = true;
+            }
+            assert!(seen.iter().all(|&s| s));
+        }
+    }
+
+    #[test]
+    fn one_is_multiplicative_identity() {
+        for gf in fields() {
+            for a in 0..gf.size().min(1 << 8) as u16 {
+                assert_eq!(gf.mul(a, 1), a);
+                assert_eq!(gf.mul(1, a), a);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_annihilates() {
+        for gf in fields() {
+            for a in 0..gf.size().min(1 << 8) as u16 {
+                assert_eq!(gf.mul(a, 0), 0);
+                assert_eq!(gf.mul(0, a), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        for gf in fields() {
+            for a in 1..gf.size().min(1 << 10) as u16 {
+                let inv = gf.inv(a).unwrap();
+                assert_eq!(gf.mul(a, inv), 1, "w={} a={a}", gf.w());
+            }
+        }
+    }
+
+    #[test]
+    fn division_by_zero_errors() {
+        for gf in fields() {
+            assert_eq!(gf.div(5, 0), Err(GfError::DivisionByZero));
+            assert_eq!(gf.inv(0), Err(GfError::DivisionByZero));
+        }
+    }
+
+    #[test]
+    fn pow_matches_repeated_mul() {
+        for gf in fields() {
+            for a in [0u16, 1, 2, 3, 7, gf.max_element()] {
+                let mut acc = 1u16;
+                for e in 0..12u32 {
+                    assert_eq!(gf.pow(a, e), acc, "w={} a={a} e={e}", gf.w());
+                    acc = gf.mul(acc, a);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pow_zero_exponent_is_one() {
+        for gf in fields() {
+            assert_eq!(gf.pow(0, 0), 1);
+            assert_eq!(gf.pow(gf.max_element(), 0), 1);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn mul_commutes_gf8(a in 0u16..256, b in 0u16..256) {
+            let gf = GaloisField::new(8).unwrap();
+            prop_assert_eq!(gf.mul(a, b), gf.mul(b, a));
+        }
+
+        #[test]
+        fn mul_associates_gf8(a in 0u16..256, b in 0u16..256, c in 0u16..256) {
+            let gf = GaloisField::new(8).unwrap();
+            prop_assert_eq!(gf.mul(gf.mul(a, b), c), gf.mul(a, gf.mul(b, c)));
+        }
+
+        #[test]
+        fn mul_distributes_gf8(a in 0u16..256, b in 0u16..256, c in 0u16..256) {
+            let gf = GaloisField::new(8).unwrap();
+            prop_assert_eq!(gf.mul(a, b ^ c), gf.mul(a, b) ^ gf.mul(a, c));
+        }
+
+        #[test]
+        fn div_inverts_mul_gf16(a in 0u16.., b in 1u16..) {
+            let gf = GaloisField::new(16).unwrap();
+            let p = gf.mul(a, b);
+            prop_assert_eq!(gf.div(p, b).unwrap(), a);
+        }
+
+        #[test]
+        fn mul_closed_gf4(a in 0u16..16, b in 0u16..16) {
+            let gf = GaloisField::new(4).unwrap();
+            prop_assert!(gf.contains(gf.mul(a, b)));
+        }
+    }
+}

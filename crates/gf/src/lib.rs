@@ -1,0 +1,40 @@
+//! Galois-field arithmetic for the ECCheck reproduction.
+//!
+//! This crate implements everything ECCheck's erasure-coding layer needs
+//! from finite-field mathematics, from scratch:
+//!
+//! * [`GaloisField`] — arithmetic over GF(2^w) for w ∈ {4, 8, 16} using
+//!   log/exp tables built from standard primitive polynomials (the same
+//!   fields Jerasure exposes, which the paper adopts in §IV-A).
+//! * [`Matrix`] — dense matrices over GF(2^w) with Gauss–Jordan inversion,
+//!   used to build Cauchy/Vandermonde generator matrices and to invert
+//!   survivor submatrices during decode.
+//! * [`BitMatrix`] — the binary expansion `B(E)` of a GF(2^w) matrix that
+//!   turns every multiplication into pure XORs (the basis of Cauchy
+//!   Reed–Solomon coding, paper §III-B and §IV-A).
+//!
+//! # Examples
+//!
+//! ```
+//! use ecc_gf::GaloisField;
+//!
+//! let gf = GaloisField::new(8)?;
+//! let a = 0x53;
+//! let b = 0xCA;
+//! let p = gf.mul(a, b);
+//! assert_eq!(gf.div(p, b)?, a);
+//! # Ok::<(), ecc_gf::GfError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bitmatrix;
+mod error;
+mod field;
+mod matrix;
+
+pub use bitmatrix::BitMatrix;
+pub use error::GfError;
+pub use field::{GaloisField, SUPPORTED_WIDTHS};
+pub use matrix::Matrix;

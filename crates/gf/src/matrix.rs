@@ -1,0 +1,458 @@
+use crate::{GaloisField, GfError};
+
+/// A dense `rows × cols` matrix over GF(2^w).
+///
+/// Elements are stored row-major as `u16`. All arithmetic methods take the
+/// [`GaloisField`] explicitly so that one matrix type serves every supported
+/// width; callers are responsible for using the same field consistently.
+///
+/// # Examples
+///
+/// ```
+/// use ecc_gf::{GaloisField, Matrix};
+///
+/// let gf = GaloisField::new(8)?;
+/// let m = Matrix::from_rows(2, 2, &[1, 2, 3, 4])?;
+/// let inv = m.inverted(&gf)?;
+/// assert_eq!(m.mul(&inv, &gf)?, Matrix::identity(2));
+/// # Ok::<(), ecc_gf::GfError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<u16>,
+}
+
+impl Matrix {
+    /// Creates a zero matrix of the given shape.
+    pub fn zero(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0; rows * cols] }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zero(n, n);
+        for i in 0..n {
+            m.set(i, i, 1);
+        }
+        m
+    }
+
+    /// Creates a matrix from a row-major element slice.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GfError::DimensionMismatch`] when `data.len() != rows * cols`.
+    pub fn from_rows(rows: usize, cols: usize, data: &[u16]) -> Result<Self, GfError> {
+        if data.len() != rows * cols {
+            return Err(GfError::DimensionMismatch {
+                detail: format!(
+                    "expected {} elements for a {rows}x{cols} matrix, got {}",
+                    rows * cols,
+                    data.len()
+                ),
+            });
+        }
+        Ok(Self { rows, cols, data: data.to_vec() })
+    }
+
+    /// Creates a matrix whose element at `(r, c)` is `f(r, c)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> u16) -> Self {
+        let mut m = Self::zero(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                m.set(r, c, f(r, c));
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element at row `r`, column `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the indices are out of bounds.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> u16 {
+        assert!(r < self.rows && c < self.cols, "matrix index out of bounds");
+        self.data[r * self.cols + c]
+    }
+
+    /// Sets the element at row `r`, column `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the indices are out of bounds.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: u16) {
+        assert!(r < self.rows && c < self.cols, "matrix index out of bounds");
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// A view of row `r` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `r` is out of bounds.
+    pub fn row(&self, r: usize) -> &[u16] {
+        assert!(r < self.rows, "row index out of bounds");
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Matrix product `self * rhs` over the given field.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GfError::DimensionMismatch`] when the inner dimensions differ.
+    pub fn mul(&self, rhs: &Matrix, gf: &GaloisField) -> Result<Matrix, GfError> {
+        if self.cols != rhs.rows {
+            return Err(GfError::DimensionMismatch {
+                detail: format!(
+                    "cannot multiply {}x{} by {}x{}",
+                    self.rows, self.cols, rhs.rows, rhs.cols
+                ),
+            });
+        }
+        let mut out = Matrix::zero(self.rows, rhs.cols);
+        for r in 0..self.rows {
+            for c in 0..rhs.cols {
+                let mut acc = 0u16;
+                for i in 0..self.cols {
+                    acc ^= gf.mul(self.get(r, i), rhs.get(i, c));
+                }
+                out.set(r, c, acc);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Multiplies this matrix by a column vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GfError::DimensionMismatch`] when `v.len() != self.cols()`.
+    pub fn mul_vec(&self, v: &[u16], gf: &GaloisField) -> Result<Vec<u16>, GfError> {
+        if v.len() != self.cols {
+            return Err(GfError::DimensionMismatch {
+                detail: format!("vector length {} != column count {}", v.len(), self.cols),
+            });
+        }
+        let mut out = vec![0u16; self.rows];
+        for r in 0..self.rows {
+            let mut acc = 0u16;
+            for c in 0..self.cols {
+                acc ^= gf.mul(self.get(r, c), v[c]);
+            }
+            out[r] = acc;
+        }
+        Ok(out)
+    }
+
+    /// Returns a new matrix made of the given rows of `self`, in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any index in `rows` is out of bounds.
+    pub fn select_rows(&self, rows: &[usize]) -> Matrix {
+        let mut out = Matrix::zero(rows.len(), self.cols);
+        for (i, &r) in rows.iter().enumerate() {
+            assert!(r < self.rows, "row index {r} out of bounds");
+            for c in 0..self.cols {
+                out.set(i, c, self.get(r, c));
+            }
+        }
+        out
+    }
+
+    /// Stacks `self` on top of `other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GfError::DimensionMismatch`] when the column counts differ.
+    pub fn vstack(&self, other: &Matrix) -> Result<Matrix, GfError> {
+        if self.cols != other.cols {
+            return Err(GfError::DimensionMismatch {
+                detail: format!("cannot stack {} columns on {} columns", other.cols, self.cols),
+            });
+        }
+        let mut data = self.data.clone();
+        data.extend_from_slice(&other.data);
+        Ok(Matrix { rows: self.rows + other.rows, cols: self.cols, data })
+    }
+
+    /// Inverts a square matrix by Gauss–Jordan elimination over the field.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GfError::DimensionMismatch`] for non-square matrices and
+    /// [`GfError::SingularMatrix`] when no inverse exists.
+    pub fn inverted(&self, gf: &GaloisField) -> Result<Matrix, GfError> {
+        if self.rows != self.cols {
+            return Err(GfError::DimensionMismatch {
+                detail: format!("cannot invert non-square {}x{} matrix", self.rows, self.cols),
+            });
+        }
+        let n = self.rows;
+        let mut a = self.clone();
+        let mut inv = Matrix::identity(n);
+        for col in 0..n {
+            // Find a pivot.
+            let pivot = (col..n)
+                .find(|&r| a.get(r, col) != 0)
+                .ok_or(GfError::SingularMatrix)?;
+            if pivot != col {
+                a.swap_rows(pivot, col);
+                inv.swap_rows(pivot, col);
+            }
+            // Normalise the pivot row.
+            let p = a.get(col, col);
+            let p_inv = gf.inv(p).expect("pivot is non-zero");
+            a.scale_row(col, p_inv, gf);
+            inv.scale_row(col, p_inv, gf);
+            // Eliminate the column everywhere else.
+            for r in 0..n {
+                if r == col {
+                    continue;
+                }
+                let factor = a.get(r, col);
+                if factor != 0 {
+                    a.add_scaled_row(r, col, factor, gf);
+                    inv.add_scaled_row(r, col, factor, gf);
+                }
+            }
+        }
+        Ok(inv)
+    }
+
+    /// Rank of the matrix over the field.
+    pub fn rank(&self, gf: &GaloisField) -> usize {
+        let mut a = self.clone();
+        let mut rank = 0usize;
+        let mut row = 0usize;
+        for col in 0..a.cols {
+            let Some(pivot) = (row..a.rows).find(|&r| a.get(r, col) != 0) else {
+                continue;
+            };
+            a.swap_rows(pivot, row);
+            let p_inv = gf.inv(a.get(row, col)).expect("pivot is non-zero");
+            a.scale_row(row, p_inv, gf);
+            for r in 0..a.rows {
+                if r != row {
+                    let factor = a.get(r, col);
+                    if factor != 0 {
+                        a.add_scaled_row(r, row, factor, gf);
+                    }
+                }
+            }
+            rank += 1;
+            row += 1;
+            if row == a.rows {
+                break;
+            }
+        }
+        rank
+    }
+
+    /// Checks the MDS property of a systematic generator matrix: every
+    /// square submatrix formed by any `cols()` rows must be invertible.
+    ///
+    /// This is exponential in the worst case and intended for tests and
+    /// small matrices only.
+    pub fn is_mds_generator(&self, gf: &GaloisField) -> bool {
+        let k = self.cols;
+        if self.rows < k {
+            return false;
+        }
+        let mut combo: Vec<usize> = (0..k).collect();
+        loop {
+            if self.select_rows(&combo).inverted(gf).is_err() {
+                return false;
+            }
+            if !next_combination(&mut combo, self.rows) {
+                return true;
+            }
+        }
+    }
+
+    fn swap_rows(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        for c in 0..self.cols {
+            self.data.swap(a * self.cols + c, b * self.cols + c);
+        }
+    }
+
+    fn scale_row(&mut self, r: usize, factor: u16, gf: &GaloisField) {
+        for c in 0..self.cols {
+            let v = self.get(r, c);
+            self.set(r, c, gf.mul(v, factor));
+        }
+    }
+
+    /// `row[dst] ^= factor * row[src]`.
+    fn add_scaled_row(&mut self, dst: usize, src: usize, factor: u16, gf: &GaloisField) {
+        for c in 0..self.cols {
+            let v = gf.mul(self.get(src, c), factor);
+            let cur = self.get(dst, c);
+            self.set(dst, c, cur ^ v);
+        }
+    }
+}
+
+/// Advances `combo` to the next k-combination of `0..n` in lexicographic
+/// order, returning `false` when `combo` was already the last one.
+fn next_combination(combo: &mut [usize], n: usize) -> bool {
+    let k = combo.len();
+    let mut i = k;
+    while i > 0 {
+        i -= 1;
+        if combo[i] < n - k + i {
+            combo[i] += 1;
+            for j in i + 1..k {
+                combo[j] = combo[j - 1] + 1;
+            }
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn gf8() -> GaloisField {
+        GaloisField::new(8).unwrap()
+    }
+
+    #[test]
+    fn identity_is_multiplicative_identity() {
+        let gf = gf8();
+        let m = Matrix::from_rows(3, 3, &[1, 2, 3, 4, 5, 6, 7, 9, 11]).unwrap();
+        let id = Matrix::identity(3);
+        assert_eq!(m.mul(&id, &gf).unwrap(), m);
+        assert_eq!(id.mul(&m, &gf).unwrap(), m);
+    }
+
+    #[test]
+    fn inverse_times_original_is_identity() {
+        let gf = gf8();
+        let m = Matrix::from_rows(3, 3, &[1, 2, 3, 4, 5, 6, 7, 9, 11]).unwrap();
+        let inv = m.inverted(&gf).unwrap();
+        assert_eq!(m.mul(&inv, &gf).unwrap(), Matrix::identity(3));
+        assert_eq!(inv.mul(&m, &gf).unwrap(), Matrix::identity(3));
+    }
+
+    #[test]
+    fn singular_matrix_is_rejected() {
+        let gf = gf8();
+        // Two identical rows.
+        let m = Matrix::from_rows(2, 2, &[3, 5, 3, 5]).unwrap();
+        assert_eq!(m.inverted(&gf), Err(GfError::SingularMatrix));
+        assert_eq!(m.rank(&gf), 1);
+    }
+
+    #[test]
+    fn non_square_inversion_is_rejected() {
+        let gf = gf8();
+        let m = Matrix::zero(2, 3);
+        assert!(matches!(m.inverted(&gf), Err(GfError::DimensionMismatch { .. })));
+    }
+
+    #[test]
+    fn mul_dimension_mismatch() {
+        let gf = gf8();
+        let a = Matrix::zero(2, 3);
+        let b = Matrix::zero(2, 3);
+        assert!(matches!(a.mul(&b, &gf), Err(GfError::DimensionMismatch { .. })));
+    }
+
+    #[test]
+    fn select_rows_picks_in_order() {
+        let m = Matrix::from_rows(3, 2, &[1, 2, 3, 4, 5, 6]).unwrap();
+        let s = m.select_rows(&[2, 0]);
+        assert_eq!(s.row(0), &[5, 6]);
+        assert_eq!(s.row(1), &[1, 2]);
+    }
+
+    #[test]
+    fn vstack_concatenates() {
+        let a = Matrix::from_rows(1, 2, &[1, 2]).unwrap();
+        let b = Matrix::from_rows(2, 2, &[3, 4, 5, 6]).unwrap();
+        let s = a.vstack(&b).unwrap();
+        assert_eq!(s.rows(), 3);
+        assert_eq!(s.row(2), &[5, 6]);
+    }
+
+    #[test]
+    fn rank_of_identity_is_full() {
+        let gf = gf8();
+        assert_eq!(Matrix::identity(5).rank(&gf), 5);
+    }
+
+    #[test]
+    fn mul_vec_matches_matrix_mul() {
+        let gf = gf8();
+        let m = Matrix::from_rows(2, 3, &[1, 2, 3, 4, 5, 6]).unwrap();
+        let v = [7u16, 8, 9];
+        let as_col = Matrix::from_rows(3, 1, &v).unwrap();
+        let prod = m.mul(&as_col, &gf).unwrap();
+        let direct = m.mul_vec(&v, &gf).unwrap();
+        assert_eq!(direct, vec![prod.get(0, 0), prod.get(1, 0)]);
+    }
+
+    fn arb_invertible(n: usize) -> impl Strategy<Value = Matrix> {
+        proptest::collection::vec(0u16..256, n * n).prop_filter_map(
+            "must be invertible",
+            move |data| {
+                let m = Matrix::from_rows(n, n, &data).unwrap();
+                m.inverted(&gf8()).ok().map(|_| m)
+            },
+        )
+    }
+
+    proptest! {
+        #[test]
+        fn prop_inverse_round_trip(m in arb_invertible(4)) {
+            let gf = gf8();
+            let inv = m.inverted(&gf).unwrap();
+            prop_assert_eq!(m.mul(&inv, &gf).unwrap(), Matrix::identity(4));
+        }
+
+        #[test]
+        fn prop_rank_bounded(data in proptest::collection::vec(0u16..256, 12)) {
+            let gf = gf8();
+            let m = Matrix::from_rows(3, 4, &data).unwrap();
+            prop_assert!(m.rank(&gf) <= 3);
+        }
+
+        #[test]
+        fn prop_mul_vec_linear(
+            data in proptest::collection::vec(0u16..256, 9),
+            v in proptest::collection::vec(0u16..256, 3),
+            w in proptest::collection::vec(0u16..256, 3),
+        ) {
+            let gf = gf8();
+            let m = Matrix::from_rows(3, 3, &data).unwrap();
+            let sum: Vec<u16> = v.iter().zip(&w).map(|(a, b)| a ^ b).collect();
+            let lhs = m.mul_vec(&sum, &gf).unwrap();
+            let mv = m.mul_vec(&v, &gf).unwrap();
+            let mw = m.mul_vec(&w, &gf).unwrap();
+            let rhs: Vec<u16> = mv.iter().zip(&mw).map(|(a, b)| a ^ b).collect();
+            prop_assert_eq!(lhs, rhs);
+        }
+    }
+}

@@ -1,0 +1,267 @@
+//! Recovery-rate models for replication vs erasure-coded checkpointing.
+//!
+//! Reproduces the paper's reliability analysis (§II-B Eqns. 1–2, Fig. 3,
+//! and §V-G Fig. 15): with independent per-node failure probability `p`,
+//!
+//! * an erasure-coded group of `n` nodes with `m` parity nodes recovers
+//!   iff at most `m` nodes fail ([`ec_recovery`]);
+//! * a GEMINI-style pairwise-replication group of `n` nodes (the same
+//!   2× redundancy) recovers iff no replication *pair* loses both
+//!   members ([`replication_pairs_recovery`]);
+//! * a whole cluster of `g` independent groups recovers iff every group
+//!   does ([`cluster_recovery`]).
+//!
+//! Every closed form is cross-validated against Monte-Carlo sampling in
+//! the test suite.
+//!
+//! # Examples
+//!
+//! ```
+//! use ecc_reliability::{ec_recovery, replication_pairs_recovery};
+//!
+//! // Paper §II-B: R_era - R_rep = 2 p² (1-p)² for a 4-node group.
+//! let p = 0.1;
+//! let diff = ec_recovery(4, 2, p) - replication_pairs_recovery(4, p);
+//! assert!((diff - 2.0 * p * p * (1.0 - p) * (1.0 - p)).abs() < 1e-12);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Natural log of `n!`, via a cumulative table (exact enough for the
+/// cluster sizes the paper considers, up to thousands of nodes).
+fn ln_factorial(n: usize) -> f64 {
+    (1..=n).map(|k| (k as f64).ln()).sum()
+}
+
+/// `C(n, k) · p^k · (1-p)^(n-k)` computed in log space for numerical
+/// stability at cluster scale (e.g. `n = 2000`).
+///
+/// # Panics
+///
+/// Panics when `k > n` or `p` is outside `[0, 1]`.
+pub fn binomial_pmf(n: usize, k: usize, p: f64) -> f64 {
+    assert!(k <= n, "k must not exceed n");
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    if p == 0.0 {
+        return if k == 0 { 1.0 } else { 0.0 };
+    }
+    if p == 1.0 {
+        return if k == n { 1.0 } else { 0.0 };
+    }
+    let ln = ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k)
+        + k as f64 * p.ln()
+        + (n - k) as f64 * (1.0 - p).ln();
+    ln.exp()
+}
+
+/// Recovery rate of an erasure-coded group: `n` nodes, any `m` of which
+/// may fail concurrently (paper Eqn. 2 generalised).
+///
+/// # Panics
+///
+/// Panics when `m >= n` or `p` is outside `[0, 1]`.
+pub fn ec_recovery(n: usize, m: usize, p: f64) -> f64 {
+    assert!(m < n, "parity count must be smaller than the group");
+    (0..=m).map(|i| binomial_pmf(n, i, p)).sum()
+}
+
+/// Recovery rate of GEMINI-style pairwise replication over `n` nodes
+/// (nodes paired; each node mirrors its partner's checkpoint): recovery
+/// succeeds iff no pair loses both members. Closed form (paper §V-G):
+/// `Σ_{i=0}^{n/2} C(n/2, i) · 2^i · p^i · (1-p)^(n-i)`.
+///
+/// # Panics
+///
+/// Panics when `n` is odd or `p` is outside `[0, 1]`.
+pub fn replication_pairs_recovery(n: usize, p: f64) -> f64 {
+    assert!(n.is_multiple_of(2), "pairwise replication needs an even group size");
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    if p == 0.0 {
+        return 1.0;
+    }
+    if p == 1.0 {
+        return if n == 0 { 1.0 } else { 0.0 };
+    }
+    let half = n / 2;
+    (0..=half)
+        .map(|i| {
+            let ln = ln_factorial(half) - ln_factorial(i) - ln_factorial(half - i)
+                + i as f64 * (2.0 * p).ln()
+                + (n - i) as f64 * (1.0 - p).ln();
+            ln.exp()
+        })
+        .sum()
+}
+
+/// Recovery rate of a cluster of `groups` independent groups, each with
+/// per-group recovery rate `group_rate` — any group failure renders
+/// recovery impossible (paper Fig. 3's `R^500`).
+///
+/// # Panics
+///
+/// Panics when `group_rate` is outside `[0, 1]`.
+pub fn cluster_recovery(group_rate: f64, groups: usize) -> f64 {
+    assert!((0.0..=1.0).contains(&group_rate), "rate must be a probability");
+    group_rate.powi(groups as i32)
+}
+
+/// Monte-Carlo estimate of a recovery rate: samples `trials` independent
+/// failure patterns of `n` nodes and counts those where `recoverable`
+/// returns `true`. Deterministic for a given seed.
+pub fn monte_carlo_recovery(
+    n: usize,
+    p: f64,
+    trials: usize,
+    seed: u64,
+    mut recoverable: impl FnMut(&[bool]) -> bool,
+) -> f64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ok = 0usize;
+    let mut failed = vec![false; n];
+    for _ in 0..trials {
+        for f in failed.iter_mut() {
+            *f = rng.gen_bool(p);
+        }
+        if recoverable(&failed) {
+            ok += 1;
+        }
+    }
+    ok as f64 / trials as f64
+}
+
+/// Predicate for [`monte_carlo_recovery`]: an erasure-coded group
+/// tolerating up to `m` failures.
+pub fn ec_predicate(m: usize) -> impl FnMut(&[bool]) -> bool {
+    move |failed| failed.iter().filter(|&&f| f).count() <= m
+}
+
+/// Predicate for [`monte_carlo_recovery`]: pairwise replication over
+/// consecutive pairs `(0,1), (2,3), …`.
+pub fn pairs_predicate() -> impl FnMut(&[bool]) -> bool {
+    |failed| failed.chunks(2).all(|pair| !pair.iter().all(|&f| f))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn eqn1_matches_paper_expansion() {
+        // R_rep = (1-p)^4 + 4p(1-p)^3 + (C(4,2)-2) p²(1-p)².
+        for p in [0.01, 0.05, 0.1, 0.3, 0.5] {
+            let q: f64 = 1.0 - p;
+            let expected = q.powi(4) + 4.0 * p * q.powi(3) + 4.0 * p * p * q * q;
+            let got = replication_pairs_recovery(4, p);
+            assert!((got - expected).abs() < 1e-12, "p={p}: {got} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn eqn2_matches_paper_expansion() {
+        // R_era = (1-p)^4 + 4p(1-p)^3 + 6p²(1-p)².
+        for p in [0.01, 0.05, 0.1, 0.3, 0.5] {
+            let q: f64 = 1.0 - p;
+            let expected = q.powi(4) + 4.0 * p * q.powi(3) + 6.0 * p * p * q * q;
+            let got = ec_recovery(4, 2, p);
+            assert!((got - expected).abs() < 1e-12, "p={p}: {got} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn era_minus_rep_is_2p2q2() {
+        for p in [0.0, 0.02, 0.1, 0.25, 0.5, 0.9, 1.0] {
+            let q: f64 = 1.0 - p;
+            let diff = ec_recovery(4, 2, p) - replication_pairs_recovery(4, p);
+            assert!((diff - 2.0 * p * p * q * q).abs() < 1e-12, "p={p}");
+        }
+    }
+
+    #[test]
+    fn monte_carlo_confirms_closed_forms() {
+        let p = 0.15;
+        let trials = 200_000;
+        let mc_ec = monte_carlo_recovery(4, p, trials, 1, ec_predicate(2));
+        let mc_rep = monte_carlo_recovery(4, p, trials, 2, pairs_predicate());
+        assert!((mc_ec - ec_recovery(4, 2, p)).abs() < 0.005, "EC mc={mc_ec}");
+        assert!(
+            (mc_rep - replication_pairs_recovery(4, p)).abs() < 0.005,
+            "rep mc={mc_rep}"
+        );
+    }
+
+    #[test]
+    fn larger_groups_amplify_the_gap() {
+        // Fig. 15: the EC advantage grows with n at equal redundancy.
+        let p = 0.1;
+        let mut last_gap = 0.0;
+        for n in [4usize, 8, 16, 32] {
+            let gap = ec_recovery(n, n / 2, p) - replication_pairs_recovery(n, p);
+            assert!(gap >= last_gap, "gap should grow with n (n={n})");
+            last_gap = gap;
+        }
+    }
+
+    #[test]
+    fn cluster_compounding() {
+        // Fig. 3: 2000 nodes = 500 groups of 4.
+        let p = 0.05;
+        let rep = cluster_recovery(replication_pairs_recovery(4, p), 500);
+        let era = cluster_recovery(ec_recovery(4, 2, p), 500);
+        assert!(era > rep);
+        assert!((0.0..=1.0).contains(&rep) && (0.0..=1.0).contains(&era));
+    }
+
+    #[test]
+    fn binomial_pmf_sums_to_one() {
+        for (n, p) in [(10usize, 0.3), (100, 0.01), (2000, 0.001)] {
+            let total: f64 = (0..=n).map(|k| binomial_pmf(n, k, p)).sum();
+            assert!((total - 1.0).abs() < 1e-9, "n={n} p={p}: {total}");
+        }
+    }
+
+    #[test]
+    fn edge_probabilities() {
+        assert_eq!(ec_recovery(4, 2, 0.0), 1.0);
+        assert!(ec_recovery(4, 2, 1.0).abs() < 1e-12);
+        assert_eq!(replication_pairs_recovery(4, 0.0), 1.0);
+        assert!(replication_pairs_recovery(4, 1.0).abs() < 1e-12);
+        assert_eq!(cluster_recovery(1.0, 500), 1.0);
+    }
+
+    proptest! {
+        /// EC with m = n/2 always beats (or ties) pairwise replication —
+        /// the paper's core reliability claim — and both are probabilities.
+        #[test]
+        fn prop_ec_dominates_replication(
+            half in 1usize..12,
+            p in 0.0f64..1.0,
+        ) {
+            let n = 2 * half;
+            let ec = ec_recovery(n, half, p);
+            let rep = replication_pairs_recovery(n, p);
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&ec));
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&rep));
+            prop_assert!(ec >= rep - 1e-12, "n={n} p={p}: ec={ec} rep={rep}");
+        }
+
+        /// Recovery rates decrease monotonically in p.
+        #[test]
+        fn prop_monotone_in_p(
+            half in 1usize..8,
+            p1 in 0.0f64..1.0,
+            p2 in 0.0f64..1.0,
+        ) {
+            let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+            let n = 2 * half;
+            prop_assert!(ec_recovery(n, half, lo) >= ec_recovery(n, half, hi) - 1e-12);
+            prop_assert!(
+                replication_pairs_recovery(n, lo) >= replication_pairs_recovery(n, hi) - 1e-12
+            );
+        }
+    }
+}

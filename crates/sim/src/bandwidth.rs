@@ -1,0 +1,131 @@
+use std::fmt;
+
+use crate::SimDuration;
+
+/// A data-transfer rate.
+///
+/// Stored internally as bytes per second. Construction helpers accept the
+/// units the paper speaks in (Gbps network links, GB/s memory buses).
+///
+/// # Examples
+///
+/// ```
+/// use ecc_sim::Bandwidth;
+///
+/// // The paper's inter-node fabric and remote storage (§V-B).
+/// let nic = Bandwidth::from_gbps(100.0);
+/// let remote = Bandwidth::from_gbps(5.0);
+/// assert!(nic.bytes_per_sec() > remote.bytes_per_sec());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct Bandwidth {
+    bytes_per_sec: f64,
+}
+
+impl Bandwidth {
+    /// A rate in bytes per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-finite or non-positive rates.
+    pub fn from_bytes_per_sec(bytes_per_sec: f64) -> Self {
+        assert!(
+            bytes_per_sec.is_finite() && bytes_per_sec > 0.0,
+            "bandwidth must be finite and positive"
+        );
+        Self { bytes_per_sec }
+    }
+
+    /// A rate in gigabits per second (network-style units).
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-finite or non-positive rates.
+    pub fn from_gbps(gbps: f64) -> Self {
+        Self::from_bytes_per_sec(gbps * 1e9 / 8.0)
+    }
+
+    /// A rate in gigabytes per second (memory/bus-style units).
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-finite or non-positive rates.
+    pub fn from_gibps(gib_per_sec: f64) -> Self {
+        Self::from_bytes_per_sec(gib_per_sec * (1u64 << 30) as f64)
+    }
+
+    /// The rate in bytes per second.
+    pub fn bytes_per_sec(&self) -> f64 {
+        self.bytes_per_sec
+    }
+
+    /// The rate in gigabits per second.
+    pub fn as_gbps(&self) -> f64 {
+        self.bytes_per_sec * 8.0 / 1e9
+    }
+
+    /// Time to move `bytes` at this rate (rounded up to a nanosecond).
+    pub fn transfer_time(&self, bytes: u64) -> SimDuration {
+        SimDuration::from_secs_f64(bytes as f64 / self.bytes_per_sec)
+    }
+
+    /// Bytes that fit into `window` at this rate (rounded down).
+    pub fn bytes_in(&self, window: SimDuration) -> u64 {
+        (self.bytes_per_sec * window.as_secs_f64()).floor() as u64
+    }
+
+    /// This bandwidth divided evenly among `ways` concurrent users.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `ways == 0`.
+    pub fn shared(&self, ways: usize) -> Bandwidth {
+        assert!(ways > 0, "cannot share bandwidth zero ways");
+        Self::from_bytes_per_sec(self.bytes_per_sec / ways as f64)
+    }
+}
+
+impl fmt::Display for Bandwidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2} Gbps", self.as_gbps())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gbps_round_trip() {
+        let b = Bandwidth::from_gbps(100.0);
+        assert!((b.as_gbps() - 100.0).abs() < 1e-9);
+        assert!((b.bytes_per_sec() - 12.5e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn transfer_time_is_exact_for_round_numbers() {
+        let b = Bandwidth::from_gbps(8.0); // 1 GB/s
+        assert_eq!(b.transfer_time(1_000_000_000), SimDuration::from_secs(1));
+        assert_eq!(b.transfer_time(0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn bytes_in_inverts_transfer_time() {
+        let b = Bandwidth::from_gbps(100.0);
+        let d = SimDuration::from_millis(10);
+        let bytes = b.bytes_in(d);
+        assert!(b.transfer_time(bytes) <= d + SimDuration::from_nanos(1));
+    }
+
+    #[test]
+    fn shared_divides_rate() {
+        let b = Bandwidth::from_gbps(100.0).shared(4);
+        assert!((b.as_gbps() - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn zero_bandwidth_panics() {
+        let _ = Bandwidth::from_bytes_per_sec(0.0);
+    }
+}

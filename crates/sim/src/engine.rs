@@ -1,0 +1,234 @@
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::{SimDuration, SimTime};
+
+type EventFn = Box<dyn FnOnce(&mut Simulation)>;
+
+/// A classic discrete-event simulation engine.
+///
+/// Events are closures scheduled at absolute simulated instants; running
+/// the simulation pops them in time order (FIFO among simultaneous
+/// events, so runs are deterministic) and hands each the engine so it can
+/// schedule follow-up events.
+///
+/// # Examples
+///
+/// ```
+/// use ecc_sim::{SimDuration, Simulation};
+/// use std::cell::Cell;
+/// use std::rc::Rc;
+///
+/// let mut sim = Simulation::new();
+/// let hits = Rc::new(Cell::new(0));
+/// let h = hits.clone();
+/// sim.schedule_in(SimDuration::from_millis(5), move |sim| {
+///     h.set(h.get() + 1);
+///     let h2 = h.clone();
+///     sim.schedule_in(SimDuration::from_millis(5), move |_| {
+///         h2.set(h2.get() + 1);
+///     });
+/// });
+/// sim.run();
+/// assert_eq!(hits.get(), 2);
+/// assert_eq!(sim.now().as_nanos(), 10_000_000);
+/// ```
+pub struct Simulation {
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Reverse<QueuedEvent>>,
+    processed: u64,
+}
+
+struct QueuedEvent {
+    at: SimTime,
+    seq: u64,
+    run: EventFn,
+}
+
+impl PartialEq for QueuedEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for QueuedEvent {}
+impl PartialOrd for QueuedEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QueuedEvent {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+impl Simulation {
+    /// Creates an engine with an empty queue at time zero.
+    pub fn new() -> Self {
+        Self { now: SimTime::ZERO, seq: 0, queue: BinaryHeap::new(), processed: 0 }
+    }
+
+    /// The current simulated instant.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Schedules an event at an absolute instant.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `at` lies in the simulated past.
+    pub fn schedule_at(&mut self, at: SimTime, event: impl FnOnce(&mut Simulation) + 'static) {
+        assert!(at >= self.now, "cannot schedule into the past ({at} < {})", self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(QueuedEvent { at, seq, run: Box::new(event) }));
+    }
+
+    /// Schedules an event `delay` after the current instant.
+    pub fn schedule_in(
+        &mut self,
+        delay: SimDuration,
+        event: impl FnOnce(&mut Simulation) + 'static,
+    ) {
+        let at = self.now + delay;
+        self.schedule_at(at, event);
+    }
+
+    /// Runs until the queue is empty, returning the final instant.
+    pub fn run(&mut self) -> SimTime {
+        while self.step() {}
+        self.now
+    }
+
+    /// Runs until the queue is empty or the clock passes `deadline`;
+    /// events scheduled after the deadline stay queued and the clock is
+    /// left at `deadline`.
+    pub fn run_until(&mut self, deadline: SimTime) -> SimTime {
+        while let Some(Reverse(head)) = self.queue.peek() {
+            if head.at > deadline {
+                break;
+            }
+            self.step();
+        }
+        self.now = self.now.max(deadline);
+        self.now
+    }
+
+    /// Processes a single event; returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        match self.queue.pop() {
+            Some(Reverse(ev)) => {
+                debug_assert!(ev.at >= self.now);
+                self.now = ev.at;
+                self.processed += 1;
+                (ev.run)(self);
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+impl Default for Simulation {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Simulation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("now", &self.now)
+            .field("pending", &self.queue.len())
+            .field("processed", &self.processed)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn events_run_in_time_order() {
+        let mut sim = Simulation::new();
+        let order = Rc::new(RefCell::new(Vec::new()));
+        for (label, ms) in [("c", 30u64), ("a", 10), ("b", 20)] {
+            let order = order.clone();
+            sim.schedule_at(SimTime::ZERO + SimDuration::from_millis(ms), move |_| {
+                order.borrow_mut().push(label);
+            });
+        }
+        sim.run();
+        assert_eq!(*order.borrow(), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn simultaneous_events_run_fifo() {
+        let mut sim = Simulation::new();
+        let order = Rc::new(RefCell::new(Vec::new()));
+        for label in ["first", "second", "third"] {
+            let order = order.clone();
+            sim.schedule_at(SimTime::from_nanos(100), move |_| {
+                order.borrow_mut().push(label);
+            });
+        }
+        sim.run();
+        assert_eq!(*order.borrow(), vec!["first", "second", "third"]);
+    }
+
+    #[test]
+    fn events_can_cascade() {
+        let mut sim = Simulation::new();
+        let count = Rc::new(RefCell::new(0u32));
+        fn chain(sim: &mut Simulation, count: Rc<RefCell<u32>>, remaining: u32) {
+            if remaining == 0 {
+                return;
+            }
+            sim.schedule_in(SimDuration::from_micros(1), move |sim| {
+                *count.borrow_mut() += 1;
+                chain(sim, count.clone(), remaining - 1);
+            });
+        }
+        chain(&mut sim, count.clone(), 10);
+        let end = sim.run();
+        assert_eq!(*count.borrow(), 10);
+        assert_eq!(end.as_nanos(), 10_000);
+        assert_eq!(sim.events_processed(), 10);
+    }
+
+    #[test]
+    fn run_until_leaves_future_events_queued() {
+        let mut sim = Simulation::new();
+        let hits = Rc::new(RefCell::new(0u32));
+        for ms in [10u64, 20, 30] {
+            let hits = hits.clone();
+            sim.schedule_at(SimTime::ZERO + SimDuration::from_millis(ms), move |_| {
+                *hits.borrow_mut() += 1;
+            });
+        }
+        sim.run_until(SimTime::ZERO + SimDuration::from_millis(25));
+        assert_eq!(*hits.borrow(), 2);
+        sim.run();
+        assert_eq!(*hits.borrow(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_into_the_past_panics() {
+        let mut sim = Simulation::new();
+        sim.schedule_at(SimTime::from_nanos(10), |sim| {
+            sim.schedule_at(SimTime::from_nanos(5), |_| {});
+        });
+        sim.run();
+    }
+}

@@ -1,0 +1,47 @@
+//! Deterministic discrete-event simulation for the ECCheck reproduction.
+//!
+//! The paper's evaluation runs on a 4-node A100 testbed (and up to 32
+//! V100s). This reproduction has no GPUs, so cluster-scale *timing* is
+//! produced by a discrete-event model instead, while the data plane runs
+//! for real (see the `ecc-cluster` crate). This crate provides the
+//! timing substrate:
+//!
+//! * [`SimTime`] / [`SimDuration`] — integer-nanosecond simulated time
+//!   (no floats on the clock, no wall-clock anywhere: runs are
+//!   deterministic and reproducible).
+//! * [`Bandwidth`] — link/storage speeds and transfer-time arithmetic.
+//! * [`Simulation`] — a classic event-queue engine (time-ordered heap,
+//!   FIFO tie-breaking) for open-ended models.
+//! * [`FifoResource`] — a serially-shared resource (a NIC, a storage
+//!   frontend, a coding CPU) with reservation semantics.
+//! * [`BusyWindows`] — busy/idle interval timelines used to schedule
+//!   checkpoint communication into *network idle slots* (paper §IV-B-3).
+//! * [`pipeline_completion`] — the pipeline recurrence that models
+//!   ECCheck's encode → XOR-reduce → P2P stages (paper §IV-C).
+//!
+//! # Examples
+//!
+//! ```
+//! use ecc_sim::{Bandwidth, SimDuration};
+//!
+//! let nic = Bandwidth::from_gbps(100.0);
+//! let t = nic.transfer_time(1_250_000_000); // 1.25 GB over 100 Gbps
+//! assert_eq!(t, SimDuration::from_millis(100));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bandwidth;
+mod engine;
+mod pipeline;
+mod resource;
+mod time;
+mod windows;
+
+pub use bandwidth::Bandwidth;
+pub use engine::Simulation;
+pub use pipeline::{pipeline_completion, StageConstraint};
+pub use resource::FifoResource;
+pub use time::{SimDuration, SimTime};
+pub use windows::BusyWindows;

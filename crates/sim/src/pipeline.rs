@@ -1,0 +1,183 @@
+use crate::{BusyWindows, SimDuration, SimTime};
+
+/// When a pipeline stage is allowed to run.
+#[derive(Debug, Clone, Copy)]
+pub enum StageConstraint<'a> {
+    /// The stage runs whenever its inputs are ready (CPU work).
+    Free,
+    /// The stage runs only inside the idle gaps of a busy timeline and
+    /// may be split across gaps (checkpoint communication deferred to
+    /// network idle slots, paper §IV-B-3).
+    IdleSlots(&'a BusyWindows),
+}
+
+impl StageConstraint<'_> {
+    fn finish(&self, ready: SimTime, work: SimDuration) -> SimTime {
+        match self {
+            StageConstraint::Free => ready + work,
+            StageConstraint::IdleSlots(w) => w.fit_split(ready, work),
+        }
+    }
+}
+
+/// Evaluates the classic pipeline recurrence used to model ECCheck's
+/// buffered encode → XOR-reduce → P2P execution (paper §IV-C).
+///
+/// `durations[s][i]` is the service time of item `i` at stage `s`. Each
+/// stage processes items in order and holds one item at a time; item `i`
+/// enters stage `s` when both stage `s-1` has finished item `i` and stage
+/// `s` has finished item `i-1`. Returns the completion instants
+/// `done[s][i]`.
+///
+/// # Panics
+///
+/// Panics when stages have differing item counts or `constraints.len()`
+/// differs from the stage count.
+///
+/// # Examples
+///
+/// ```
+/// use ecc_sim::{pipeline_completion, SimDuration, SimTime, StageConstraint};
+///
+/// let ms = |n| SimDuration::from_millis(n);
+/// // Two stages, three items, perfectly overlapped.
+/// let done = pipeline_completion(
+///     &[vec![ms(10), ms(10), ms(10)], vec![ms(10), ms(10), ms(10)]],
+///     &[StageConstraint::Free, StageConstraint::Free],
+///     SimTime::ZERO,
+/// );
+/// assert_eq!(done[1][2], SimTime::ZERO + ms(40)); // 10 fill + 3×10 drain
+/// ```
+pub fn pipeline_completion(
+    durations: &[Vec<SimDuration>],
+    constraints: &[StageConstraint<'_>],
+    start: SimTime,
+) -> Vec<Vec<SimTime>> {
+    assert_eq!(
+        durations.len(),
+        constraints.len(),
+        "one constraint per stage is required"
+    );
+    let stages = durations.len();
+    if stages == 0 {
+        return Vec::new();
+    }
+    let items = durations[0].len();
+    assert!(
+        durations.iter().all(|d| d.len() == items),
+        "all stages must have the same number of items"
+    );
+    let mut done: Vec<Vec<SimTime>> = vec![vec![SimTime::ZERO; items]; stages];
+    for s in 0..stages {
+        for i in 0..items {
+            let upstream = if s == 0 { start } else { done[s - 1][i] };
+            let prev_here = if i == 0 { start } else { done[s][i - 1] };
+            let ready = upstream.max(prev_here);
+            done[s][i] = constraints[s].finish(ready, durations[s][i]);
+        }
+    }
+    done
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(n: u64) -> SimDuration {
+        SimDuration::from_millis(n)
+    }
+
+    fn t(n: u64) -> SimTime {
+        SimTime::ZERO + ms(n)
+    }
+
+    #[test]
+    fn single_stage_is_sequential() {
+        let done = pipeline_completion(
+            &[vec![ms(5), ms(7), ms(3)]],
+            &[StageConstraint::Free],
+            SimTime::ZERO,
+        );
+        assert_eq!(done[0], vec![t(5), t(12), t(15)]);
+    }
+
+    #[test]
+    fn balanced_two_stage_overlaps() {
+        let done = pipeline_completion(
+            &[vec![ms(10); 4], vec![ms(10); 4]],
+            &[StageConstraint::Free, StageConstraint::Free],
+            SimTime::ZERO,
+        );
+        // Fill 10 ms, then one item drains every 10 ms.
+        assert_eq!(done[1][3], t(50));
+    }
+
+    #[test]
+    fn bottleneck_stage_dominates() {
+        let done = pipeline_completion(
+            &[vec![ms(1); 5], vec![ms(10); 5], vec![ms(1); 5]],
+            &[StageConstraint::Free, StageConstraint::Free, StageConstraint::Free],
+            SimTime::ZERO,
+        );
+        // Stage 2 is the bottleneck: 1 (fill) + 5×10 + 1 (drain) = 52.
+        assert_eq!(done[2][4], t(52));
+    }
+
+    #[test]
+    fn idle_slot_stage_waits_for_gaps() {
+        let mut w = BusyWindows::new();
+        w.add_busy(t(2), t(100));
+        let done = pipeline_completion(
+            &[vec![ms(1), ms(1)], vec![ms(3), ms(3)]],
+            &[StageConstraint::Free, StageConstraint::IdleSlots(&w)],
+            SimTime::ZERO,
+        );
+        // Stage 2 gets 1 ms of idle before t=2, then resumes at t=100.
+        assert_eq!(done[1][0], t(102));
+        assert_eq!(done[1][1], t(105));
+    }
+
+    #[test]
+    fn start_offset_shifts_everything() {
+        let done = pipeline_completion(
+            &[vec![ms(5)]],
+            &[StageConstraint::Free],
+            t(100),
+        );
+        assert_eq!(done[0][0], t(105));
+    }
+
+    #[test]
+    fn empty_pipeline_is_empty() {
+        let done = pipeline_completion(&[], &[], SimTime::ZERO);
+        assert!(done.is_empty());
+    }
+
+    #[test]
+    fn completion_bounded_below_by_stage_sums() {
+        let durations = vec![
+            vec![ms(3), ms(4), ms(2), ms(6)],
+            vec![ms(5), ms(1), ms(7), ms(2)],
+        ];
+        let done = pipeline_completion(
+            &durations,
+            &[StageConstraint::Free, StageConstraint::Free],
+            SimTime::ZERO,
+        );
+        let last = done[1][3];
+        for stage in &durations {
+            let total: SimDuration = stage.iter().copied().sum();
+            assert!(last >= SimTime::ZERO + total);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "same number of items")]
+    fn ragged_stages_panic() {
+        let _ = pipeline_completion(
+            &[vec![ms(1)], vec![ms(1), ms(2)]],
+            &[StageConstraint::Free, StageConstraint::Free],
+            SimTime::ZERO,
+        );
+    }
+}

@@ -1,0 +1,266 @@
+use crate::{SimDuration, SimTime};
+
+/// A timeline of busy intervals with idle-gap queries.
+///
+/// ECCheck profiles the network-busy intervals of the first training
+/// iterations and then schedules checkpoint communication into the idle
+/// gaps (paper §IV-B-3). `BusyWindows` is that profile: a sorted,
+/// non-overlapping set of `[start, end)` busy intervals; everything else
+/// (including all time after the last interval) is idle.
+///
+/// # Examples
+///
+/// ```
+/// use ecc_sim::{BusyWindows, SimDuration, SimTime};
+///
+/// let mut w = BusyWindows::new();
+/// let t = |ms| SimTime::ZERO + SimDuration::from_millis(ms);
+/// w.add_busy(t(10), t(20));
+/// // 5 ms of work arriving at t=8 runs 2 ms, pauses during the busy
+/// // window, and finishes 3 ms after it.
+/// assert_eq!(w.fit_split(t(8), SimDuration::from_millis(5)), t(23));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BusyWindows {
+    /// Sorted, non-overlapping, non-touching `[start, end)` intervals.
+    busy: Vec<(SimTime, SimTime)>,
+}
+
+impl BusyWindows {
+    /// An empty (always idle) timeline.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Marks `[start, end)` as busy, merging with existing intervals.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `start > end`.
+    pub fn add_busy(&mut self, start: SimTime, end: SimTime) {
+        assert!(start <= end, "busy interval must not be inverted");
+        if start == end {
+            return;
+        }
+        self.busy.push((start, end));
+        self.busy.sort_unstable();
+        let mut merged: Vec<(SimTime, SimTime)> = Vec::with_capacity(self.busy.len());
+        for &(s, e) in &self.busy {
+            match merged.last_mut() {
+                Some((_, last_end)) if s <= *last_end => {
+                    *last_end = (*last_end).max(e);
+                }
+                _ => merged.push((s, e)),
+            }
+        }
+        self.busy = merged;
+    }
+
+    /// The busy intervals, sorted and disjoint.
+    pub fn busy(&self) -> &[(SimTime, SimTime)] {
+        &self.busy
+    }
+
+    /// `true` when nothing is scheduled at instant `t`.
+    pub fn is_idle_at(&self, t: SimTime) -> bool {
+        self.busy.iter().all(|&(s, e)| t < s || t >= e)
+    }
+
+    /// Total busy time inside `[from, to)`.
+    pub fn busy_between(&self, from: SimTime, to: SimTime) -> SimDuration {
+        self.busy
+            .iter()
+            .map(|&(s, e)| {
+                let lo = s.max(from);
+                let hi = e.min(to);
+                if lo < hi { hi - lo } else { SimDuration::ZERO }
+            })
+            .sum()
+    }
+
+    /// Fraction of `[from, to)` that is idle (1.0 for an empty range).
+    pub fn idle_fraction_between(&self, from: SimTime, to: SimTime) -> f64 {
+        if to <= from {
+            return 1.0;
+        }
+        let total = to - from;
+        let busy = self.busy_between(from, to);
+        1.0 - busy.as_secs_f64() / total.as_secs_f64()
+    }
+
+    /// Completion time of `work` arriving at `from` when it may run only
+    /// in idle gaps and can be split across them (the checkpoint
+    /// communication model: transfers are buffered and chunked).
+    pub fn fit_split(&self, from: SimTime, work: SimDuration) -> SimTime {
+        let mut t = self.next_idle_at(from);
+        let mut remaining = work;
+        loop {
+            if remaining == SimDuration::ZERO {
+                return t;
+            }
+            match self.next_busy_after(t) {
+                Some((bs, be)) if bs < t + remaining => {
+                    // The gap [t, bs) absorbs part of the work.
+                    remaining = remaining.saturating_sub(bs - t);
+                    t = be;
+                    t = self.next_idle_at(t);
+                }
+                _ => return t + remaining,
+            }
+        }
+    }
+
+    /// Earliest completion of `work` requiring one *contiguous* idle gap
+    /// of at least `work`, starting no earlier than `from`.
+    pub fn fit_contiguous(&self, from: SimTime, work: SimDuration) -> SimTime {
+        let mut t = self.next_idle_at(from);
+        loop {
+            match self.next_busy_after(t) {
+                Some((bs, be)) if bs < t + work => {
+                    t = self.next_idle_at(be);
+                }
+                _ => return t + work,
+            }
+        }
+    }
+
+    /// The first idle instant at or after `t`.
+    pub fn next_idle_at(&self, t: SimTime) -> SimTime {
+        let mut t = t;
+        for &(s, e) in &self.busy {
+            if t >= s && t < e {
+                t = e;
+            }
+        }
+        t
+    }
+
+    fn next_busy_after(&self, t: SimTime) -> Option<(SimTime, SimTime)> {
+        self.busy.iter().copied().find(|&(s, e)| e > t && s >= t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    fn d(ms: u64) -> SimDuration {
+        SimDuration::from_millis(ms)
+    }
+
+    #[test]
+    fn intervals_merge() {
+        let mut w = BusyWindows::new();
+        w.add_busy(t(10), t(20));
+        w.add_busy(t(15), t(25));
+        w.add_busy(t(25), t(30)); // touching intervals merge too
+        w.add_busy(t(40), t(50));
+        assert_eq!(w.busy(), &[(t(10), t(30)), (t(40), t(50))]);
+    }
+
+    #[test]
+    fn empty_interval_is_ignored() {
+        let mut w = BusyWindows::new();
+        w.add_busy(t(5), t(5));
+        assert!(w.busy().is_empty());
+    }
+
+    #[test]
+    fn idle_queries() {
+        let mut w = BusyWindows::new();
+        w.add_busy(t(10), t(20));
+        assert!(w.is_idle_at(t(5)));
+        assert!(!w.is_idle_at(t(10)));
+        assert!(!w.is_idle_at(t(19)));
+        assert!(w.is_idle_at(t(20)));
+        assert_eq!(w.next_idle_at(t(15)), t(20));
+        assert_eq!(w.next_idle_at(t(3)), t(3));
+    }
+
+    #[test]
+    fn fit_split_spans_gaps() {
+        let mut w = BusyWindows::new();
+        w.add_busy(t(10), t(20));
+        w.add_busy(t(25), t(35));
+        // 12 ms of work from t=0: 10 ms before the first busy window,
+        // 2 ms in the [20, 25) gap -> done at 22 ms.
+        assert_eq!(w.fit_split(t(0), d(12)), t(22));
+        // 16 ms of work from t=0: 10 + 5 in the gap + 1 after t=35.
+        assert_eq!(w.fit_split(t(0), d(16)), t(36));
+        // Work arriving mid-busy starts at the window's end.
+        assert_eq!(w.fit_split(t(12), d(3)), t(23));
+    }
+
+    #[test]
+    fn fit_contiguous_skips_small_gaps() {
+        let mut w = BusyWindows::new();
+        w.add_busy(t(10), t(20));
+        w.add_busy(t(25), t(35));
+        // 5 ms fits in the [0, 10) gap when arriving at 0...
+        assert_eq!(w.fit_contiguous(t(0), d(5)), t(5));
+        // ...and exactly in [20, 25) when arriving mid-busy at 12.
+        assert_eq!(w.fit_contiguous(t(12), d(5)), t(25));
+        // 6 ms does not fit in [20, 25): must wait until after t=35.
+        assert_eq!(w.fit_contiguous(t(12), d(6)), t(41));
+    }
+
+    #[test]
+    fn busy_fraction() {
+        let mut w = BusyWindows::new();
+        w.add_busy(t(10), t(20));
+        assert_eq!(w.busy_between(t(0), t(40)), d(10));
+        assert!((w.idle_fraction_between(t(0), t(40)) - 0.75).abs() < 1e-12);
+        assert_eq!(w.idle_fraction_between(t(5), t(5)), 1.0);
+    }
+
+    #[test]
+    fn work_after_all_windows_runs_unimpeded() {
+        let mut w = BusyWindows::new();
+        w.add_busy(t(10), t(20));
+        assert_eq!(w.fit_split(t(100), d(50)), t(150));
+        assert_eq!(w.fit_contiguous(t(100), d(50)), t(150));
+    }
+
+    proptest! {
+        /// Split-fit completion is never earlier than running the same
+        /// work with zero contention, and never later than contiguous fit.
+        #[test]
+        fn prop_fit_bounds(
+            starts in proptest::collection::vec(0u64..1000, 0..6),
+            arrive in 0u64..1000,
+            work in 1u64..200,
+        ) {
+            let mut w = BusyWindows::new();
+            for s in starts {
+                w.add_busy(t(s), t(s + 17));
+            }
+            let done_split = w.fit_split(t(arrive), d(work));
+            let done_cont = w.fit_contiguous(t(arrive), d(work));
+            prop_assert!(done_split >= t(arrive + work));
+            prop_assert!(done_cont >= done_split);
+        }
+
+        /// fit_split conserves work: idle time consumed between arrival
+        /// and completion equals the work amount.
+        #[test]
+        fn prop_fit_split_conserves_work(
+            starts in proptest::collection::vec(0u64..500, 0..5),
+            work in 1u64..100,
+        ) {
+            let mut w = BusyWindows::new();
+            for s in starts {
+                w.add_busy(t(s), t(s + 13));
+            }
+            let arrive = t(0);
+            let done = w.fit_split(arrive, d(work));
+            let span = done - arrive;
+            let busy = w.busy_between(arrive, done);
+            prop_assert_eq!(span - busy, d(work));
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! Quickstart: erasure-coded in-memory checkpointing in five minutes.
+//!
+//! Builds a 4-node × 2-GPU simulated cluster training a (tiny) GPT-2
+//! with hybrid TP/PP/DP parallelism, checkpoints it with ECCheck, kills
+//! two machines — including a data node — and restores every worker's
+//! `state_dict` bit-exactly from the surviving erasure-coded chunks.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use ecc_cluster::{Cluster, ClusterSpec};
+use ecc_dnn::{build_worker_state_dict, ModelConfig, ParallelismSpec, StateDictSpec};
+use eccheck::{EcCheck, EcCheckConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 4-machine cluster, 2 simulated GPUs each (the paper's testbed
+    // shape, scaled down so this example runs in milliseconds).
+    let spec = ClusterSpec::tiny_test(4, 2);
+    let mut cluster = Cluster::new(spec);
+
+    // A tiny GPT-2 sharded TP=2 within nodes, PP=2 across them, DP=2.
+    let model = ModelConfig::gpt2(64, 4, 4).with_vocab(512).with_seq_len(32);
+    let par = ParallelismSpec::new(2, 2, 2)?;
+    let sd_spec = StateDictSpec { iteration: 1200, ..StateDictSpec::new(model, par) };
+    let dicts: Vec<_> = (0..spec.world_size())
+        .map(|w| build_worker_state_dict(&sd_spec, w))
+        .collect::<Result<_, _>>()?;
+    let total: usize = dicts.iter().map(|d| d.tensor_bytes()).sum();
+    println!("checkpoint payload: {} workers, {total} bytes of tensor data", dicts.len());
+
+    // Initialize ECCheck with the paper's k = m = 2 settings (shrunken
+    // buffers for the toy scale) and save.
+    let config = EcCheckConfig::paper_defaults().with_packet_size(4096);
+    let mut ecc = EcCheck::initialize(&spec, config)?;
+    println!(
+        "placement: data nodes {:?}, parity nodes {:?}",
+        ecc.placement().data_nodes(),
+        ecc.placement().parity_nodes()
+    );
+    let report = ecc.save(&mut cluster, &dicts)?;
+    println!(
+        "saved v{}: {} packets/worker x {} B, traffic {} B (= m*s*W)",
+        report.version,
+        report.packets_per_worker,
+        report.packet_size,
+        report.traffic.total()
+    );
+
+    // Catastrophe: a data node AND a parity node die at once. A
+    // replication pair scheme (GEMINI) would lose data here.
+    println!("\nfailing node 2 (data) and node 3 (parity)...");
+    cluster.fail_node(2);
+    cluster.fail_node(3);
+    cluster.replace_node(2);
+    cluster.replace_node(3);
+
+    let (restored, load) = ecc.load(&mut cluster)?;
+    println!(
+        "recovered via {:?}: rebuilt {} chunks, {} bytes restored",
+        load.workflow, load.rebuilt_chunks, load.restored_bytes
+    );
+    assert_eq!(restored, dicts, "recovery must be bit-exact");
+    println!("all {} worker state_dicts restored bit-exactly ✓", restored.len());
+    Ok(())
+}

@@ -1,0 +1,25 @@
+//! Umbrella crate for the ECCheck reproduction workspace.
+//!
+//! Re-exports every member crate so the `examples/` and `tests/`
+//! directories at the workspace root can exercise the full stack. For
+//! library use, depend on the individual crates:
+//!
+//! * [`eccheck`] — the checkpointing system itself.
+//! * [`ecc_erasure`] / [`ecc_gf`] — the Cauchy Reed–Solomon substrate.
+//! * [`ecc_checkpoint`] — `state_dict`s and the serialization-free
+//!   protocol.
+//! * [`ecc_dnn`] — synthetic Megatron-style training workloads.
+//! * [`ecc_cluster`] / [`ecc_sim`] — the simulated cluster and the
+//!   discrete-event timing substrate.
+//! * [`ecc_baselines`] — base1/base2/base3 comparison systems.
+//! * [`ecc_reliability`] — recovery-rate analysis.
+
+pub use ecc_baselines;
+pub use ecc_checkpoint;
+pub use ecc_cluster;
+pub use ecc_dnn;
+pub use ecc_erasure;
+pub use ecc_gf;
+pub use ecc_reliability;
+pub use ecc_sim;
+pub use eccheck;

@@ -1,0 +1,105 @@
+//! Chaos testing: random failure bursts against the real engine.
+//!
+//! For every randomly sampled failure burst, ECCheck must recover
+//! bit-exactly when at most `m` nodes failed, and must *refuse* (rather
+//! than return wrong data) when more did — across repeated rounds of
+//! training, checkpointing, failure and recovery.
+
+use ecc_cluster::{Cluster, ClusterSpec, FailureModel};
+use ecc_dnn::{build_worker_state_dict, ModelConfig, ParallelismSpec, StateDictSpec};
+use eccheck::{EcCheck, EcCheckConfig, EcCheckError};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn dicts(iteration: u64) -> Vec<ecc_checkpoint::StateDict> {
+    let model = ModelConfig::gpt2(64, 4, 4).with_vocab(256).with_seq_len(16);
+    let par = ParallelismSpec::new(2, 2, 2).unwrap();
+    let spec = StateDictSpec { iteration, ..StateDictSpec::new(model, par) };
+    (0..8).map(|w| build_worker_state_dict(&spec, w).unwrap()).collect()
+}
+
+#[test]
+fn random_failure_bursts_never_corrupt_state() {
+    let spec = ClusterSpec::tiny_test(4, 2);
+    let failure = FailureModel::new(0.35).unwrap();
+    let mut outcomes = (0usize, 0usize); // (recovered, refused)
+
+    for trial in 0..20u64 {
+        let mut cluster = Cluster::new(spec);
+        let mut ecc = EcCheck::initialize(
+            &spec,
+            EcCheckConfig::paper_defaults()
+                .with_packet_size(2048)
+                .with_remote_flush_every(0),
+        )
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(trial);
+        let mut current = dicts(0);
+        ecc.save(&mut cluster, &current).unwrap();
+
+        for round in 1..=4u64 {
+            // A failure burst strikes.
+            let scenario = failure.sample(4, trial * 1000 + round);
+            for &n in scenario.failed() {
+                cluster.fail_node(n);
+                cluster.replace_node(n);
+            }
+            match ecc.load(&mut cluster) {
+                Ok((restored, report)) => {
+                    assert!(
+                        scenario.count() <= 2,
+                        "trial {trial} round {round}: recovered from {} failures (> m)",
+                        scenario.count()
+                    );
+                    assert_eq!(restored, current, "trial {trial} round {round}");
+                    assert_eq!(report.failed_nodes.len(), scenario.count());
+                    outcomes.0 += 1;
+                }
+                Err(EcCheckError::Unrecoverable { .. }) => {
+                    assert!(
+                        scenario.count() > 2,
+                        "trial {trial} round {round}: refused with only {} failures",
+                        scenario.count()
+                    );
+                    outcomes.1 += 1;
+                    break; // this training run is lost without remote
+                }
+                Err(other) => panic!("unexpected error: {other}"),
+            }
+            // Training continues; sometimes save a new version.
+            if rng.gen_bool(0.7) {
+                current = dicts(round * 100);
+                ecc.save(&mut cluster, &current).unwrap();
+            }
+        }
+    }
+    // With p = 0.35 both outcomes must actually occur.
+    assert!(outcomes.0 > 5, "too few recoveries: {outcomes:?}");
+    assert!(outcomes.1 > 1, "too few refusals: {outcomes:?}");
+}
+
+#[test]
+fn chaos_with_remote_flush_always_recovers() {
+    let spec = ClusterSpec::tiny_test(4, 2);
+    let failure = FailureModel::new(0.5).unwrap();
+    for trial in 0..8u64 {
+        let mut cluster = Cluster::new(spec);
+        let mut ecc = EcCheck::initialize(
+            &spec,
+            EcCheckConfig::paper_defaults()
+                .with_packet_size(2048)
+                .with_remote_flush_every(1),
+        )
+        .unwrap();
+        let current = dicts(trial);
+        ecc.save(&mut cluster, &current).unwrap();
+        let scenario = failure.sample(4, trial + 99);
+        for &n in scenario.failed() {
+            cluster.fail_node(n);
+            cluster.replace_node(n);
+        }
+        // With step 4's remote copy, even total cluster loss recovers.
+        let (restored, _) = ecc.load(&mut cluster).unwrap();
+        assert_eq!(restored, current, "trial {trial}");
+    }
+}

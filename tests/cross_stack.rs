@@ -1,0 +1,157 @@
+//! Cross-stack integration: the serialization-free protocol against the
+//! serializer, worker-level distributed encoding against chunk-level
+//! encoding, and the decode-matrix recovery math of paper Fig. 7.
+
+use ecc_checkpoint::{decompose, serialize, StateDict};
+use ecc_dnn::{build_worker_state_dict, ModelConfig, ParallelismSpec, StateDictSpec};
+use ecc_erasure::{region, CodeParams, ErasureCode, MulTable};
+use ecc_gf::GaloisField;
+
+fn shard(worker: usize) -> StateDict {
+    let model = ModelConfig::gpt2(64, 4, 4).with_vocab(256).with_seq_len(16);
+    let par = ParallelismSpec::new(2, 2, 1).unwrap();
+    build_worker_state_dict(&StateDictSpec::new(model, par), worker).unwrap()
+}
+
+#[test]
+fn decomposition_and_serializer_agree_on_content() {
+    // The serialization-free path and the torch.save-style path must
+    // describe the same state: decompose → reassemble → serialize equals
+    // serialize directly.
+    let sd = shard(0);
+    let direct = serialize::dict_to_bytes(&sd);
+    let via_decompose = serialize::dict_to_bytes(&decompose(&sd).reassemble().unwrap());
+    assert_eq!(direct, via_decompose);
+}
+
+#[test]
+fn decomposition_header_is_orders_smaller_than_serialized_dict() {
+    // The premise of §III-C: what ECCheck serializes (the header) is a
+    // vanishing fraction of what base1 serializes (everything).
+    let sd = shard(0);
+    let full = serialize::dict_to_bytes(&sd).len();
+    let header = decompose(&sd).header_bytes();
+    assert!(
+        header * 20 < full,
+        "header {header} should be far below the full serialization {full}"
+    );
+}
+
+/// Worker-level distributed encoding (paper Fig. 6): each worker
+/// multiplies its packet by its generator coefficient, packets are
+/// XOR-reduced across the data groups, and the result must equal the
+/// centralized chunk-level encode.
+#[test]
+fn distributed_worker_encoding_matches_chunk_encoding() {
+    let gf = GaloisField::new(8).unwrap();
+    let params = CodeParams::new(2, 2, 8).unwrap();
+    let code = ErasureCode::cauchy_good(params).unwrap();
+    let packet = 128usize;
+    let group_size = 3usize; // workers per data group
+
+    // Worker packets: data group j has `group_size` packets.
+    let packets: Vec<Vec<Vec<u8>>> = (0..2)
+        .map(|j| {
+            (0..group_size)
+                .map(|r| (0..packet).map(|b| (j * 91 + r * 37 + b) as u8).collect())
+                .collect()
+        })
+        .collect();
+
+    // Centralized: chunks = concatenation, parity computed by symbol-wise
+    // GF multiply-accumulate over whole chunks. (The library's bitmatrix
+    // path uses an equivalent but differently-laid-out bit-plane symbol
+    // mapping; for comparing the *distributed* flow we fix the byte-wise
+    // symbol layout on both sides.)
+    let chunks: Vec<Vec<u8>> =
+        packets.iter().map(|group| group.concat()).collect();
+    let chunk_len = chunks[0].len();
+    let central_parity: Vec<Vec<u8>> = (0..2)
+        .map(|i| {
+            let mut acc = vec![0u8; chunk_len];
+            for (j, chunk) in chunks.iter().enumerate() {
+                let coef = code.coef(2 + i, j);
+                MulTable::new(&gf, coef).unwrap().apply_xor(chunk, &mut acc);
+            }
+            acc
+        })
+        .collect();
+
+    // Distributed: reduction group r computes parity packet i as
+    // XOR_j coef(k+i, j) · packet(j, r) using per-worker table multiply
+    // and XOR reduction — exactly the paper's 3-step flow.
+    for i in 0..2 {
+        for r in 0..group_size {
+            let mut acc = vec![0u8; packet];
+            for j in 0..2 {
+                let coef = code.coef(2 + i, j);
+                let table = MulTable::new(&gf, coef).unwrap();
+                let mut encoded = vec![0u8; packet];
+                table.apply(&packets[j][r], &mut encoded);
+                region::xor_into(&mut acc, &encoded);
+            }
+            // GF(2^8) coding is *byte-wise*, so the distributed result
+            // must equal the corresponding slice of the central parity.
+            let expected = &central_parity[i][r * packet..(r + 1) * packet];
+            assert_eq!(acc, expected, "parity {i}, reduction group {r}");
+        }
+    }
+}
+
+/// The recovery math of paper Fig. 7 / Eqn. 5: apply the decode matrix
+/// to survivor packets worker-by-worker and reconstruct everything.
+#[test]
+fn decode_matrix_drives_distributed_recovery() {
+    let gf = GaloisField::new(8).unwrap();
+    let code = ErasureCode::cauchy_good(CodeParams::new(2, 2, 8).unwrap()).unwrap();
+    let packet = 64usize;
+    let d: Vec<Vec<u8>> = (0..2).map(|j| vec![(j as u8 + 1) * 17; packet]).collect();
+    // Parity in the byte-wise symbol layout, matching the table-multiply
+    // recovery below (see the layout note in the previous test).
+    let parity: Vec<Vec<u8>> = (0..2)
+        .map(|i| {
+            let mut acc = vec![0u8; packet];
+            for (j, chunk) in d.iter().enumerate() {
+                let coef = code.coef(2 + i, j);
+                MulTable::new(&gf, coef).unwrap().apply_xor(chunk, &mut acc);
+            }
+            acc
+        })
+        .collect();
+
+    // Nodes 1 and 2 fail: survivors hold chunk 0 (data) and chunk 3
+    // (parity) — the paper's Eqn. 5 example.
+    let survivors = [0usize, 3usize];
+    let dm = code.decode_matrix(&survivors).unwrap();
+    let survivor_packets: [&[u8]; 2] = [&d[0], &parity[1]];
+
+    // Every node rebuilds its chunk as a linear combination of the
+    // survivor packets, using only table multiplies and XORs.
+    let all_chunks: Vec<&[u8]> = vec![&d[0], &d[1], &parity[0], &parity[1]];
+    for chunk_id in 0..4 {
+        let mut acc = vec![0u8; packet];
+        for (c, src) in survivor_packets.iter().enumerate() {
+            let coef = dm.get(chunk_id, c);
+            let table = MulTable::new(&gf, coef).unwrap();
+            table.apply_xor(src, &mut acc);
+        }
+        assert_eq!(acc.as_slice(), all_chunks[chunk_id], "chunk {chunk_id}");
+    }
+}
+
+#[test]
+fn packer_and_decomposition_compose_across_workers() {
+    // Pack four different workers' tensor data through one packer and
+    // rebuild each — the per-worker layout independence the engine
+    // relies on.
+    let packer = ecc_checkpoint::Packer::new(512).unwrap();
+    for w in 0..4 {
+        let sd = shard(w % 4);
+        let mut d = decompose(&sd);
+        let lens: Vec<usize> = d.tensor_data().iter().map(Vec::len).collect();
+        let (packets, extents) = packer.pack(d.tensor_data());
+        let tensors = packer.unpack(&packets, &extents, &lens).unwrap();
+        d.set_tensor_data(tensors).unwrap();
+        assert_eq!(d.reassemble().unwrap(), sd);
+    }
+}

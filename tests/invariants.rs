@@ -1,0 +1,124 @@
+//! Cross-crate invariants, property-tested: traffic accounting, failure
+//! sampling vs closed-form reliability, and code-level recoverability.
+
+use ecc_cluster::{ClusterSpec, FailureModel};
+use ecc_erasure::{CodeParams, ErasureCode};
+use ecc_reliability::{ec_recovery, monte_carlo_recovery, replication_pairs_recovery};
+use eccheck::{select_data_parity_nodes, ReductionPlan};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The §V-F invariant: total checkpoint traffic is m·s·W — exactly,
+    /// when data groups align with node boundaries ((W/k) % g == 0, the
+    /// paper's implicit assumption that every data node starts with g of
+    /// its group's packets); within a bounded slack otherwise.
+    #[test]
+    fn traffic_totals_msw(
+        k in 1usize..6,
+        m in 1usize..6,
+        g in 1usize..6,
+        s in 1u64..1000,
+    ) {
+        let nodes = k + m;
+        let spec = ClusterSpec::tiny_test(nodes, g);
+        let world = spec.world_size();
+        prop_assume!(world.is_multiple_of(k));
+        let placement = select_data_parity_nodes(&spec.origin_group(), k).unwrap();
+        let plan = ReductionPlan::build(&spec, &placement, m).unwrap();
+        let t = plan.traffic(s);
+        let msw = (m as u64) * s * (world as u64);
+        if (world / k).is_multiple_of(g) {
+            prop_assert_eq!(t.total(), msw);
+        } else {
+            // Misaligned shapes pay extra data P2P (a data node cannot
+            // start with g packets of its group), bounded by k·g packets.
+            prop_assert!(t.total() >= msw);
+            prop_assert!(t.total() <= msw + (k * g) as u64 * s);
+        }
+    }
+
+    /// Recoverability of the actual erasure code matches the counting
+    /// argument behind Eqn. 2: decode succeeds iff at most m chunks are
+    /// erased.
+    #[test]
+    fn code_recoverability_matches_counting(
+        k in 1usize..5,
+        m in 1usize..5,
+        erased_mask in any::<u16>(),
+    ) {
+        let code = ErasureCode::cauchy_good(CodeParams::new(k, m, 8).unwrap()).unwrap();
+        let n = k + m;
+        let data: Vec<Vec<u8>> = (0..k).map(|i| vec![i as u8 + 1; 64]).collect();
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let parity = code.encode(&refs).unwrap();
+        let mut chunks: Vec<&[u8]> = refs.clone();
+        chunks.extend(parity.iter().map(|c| c.as_slice()));
+        let erased: Vec<bool> = (0..n).map(|i| (erased_mask >> i) & 1 == 1).collect();
+        let shards: Vec<Option<&[u8]>> =
+            (0..n).map(|i| (!erased[i]).then(|| chunks[i])).collect();
+        let erased_count = erased.iter().filter(|&&e| e).count();
+        match code.decode(&shards) {
+            Ok(decoded) => {
+                prop_assert!(erased_count <= m);
+                prop_assert_eq!(decoded, data);
+            }
+            Err(_) => prop_assert!(erased_count > m),
+        }
+    }
+
+    /// Placement always yields a data-node set whose P2P cost is within
+    /// one group of the trivial lower bound (W - k·g when groups align).
+    #[test]
+    fn placement_p2p_cost_is_bounded(
+        k in 1usize..6,
+        m in 0usize..4,
+        g in 1usize..6,
+    ) {
+        let nodes = k + m;
+        prop_assume!(nodes >= k && nodes >= 1);
+        let spec = ClusterSpec::tiny_test(nodes, g);
+        let world = spec.world_size();
+        prop_assume!(world.is_multiple_of(k));
+        let origin = spec.origin_group();
+        let placement = select_data_parity_nodes(&origin, k).unwrap();
+        let cost = eccheck::data_p2p_packets(&origin, &placement);
+        // Lower bound: each data node can hold at most g of its group's
+        // W/k packets locally.
+        let group = world / k;
+        let lower: usize = k * group.saturating_sub(g);
+        prop_assert!(cost >= lower);
+        prop_assert!(cost <= world);
+    }
+}
+
+/// Monte-Carlo failure sampling through the cluster's own failure model
+/// agrees with the closed-form group recovery rates — tying the
+/// `ecc-cluster` and `ecc-reliability` crates together.
+#[test]
+fn cluster_failure_model_matches_closed_forms() {
+    let p = 0.12;
+    let trials = 100_000;
+    let model = FailureModel::new(p).unwrap();
+    let mut ec_ok = 0usize;
+    let mut rep_ok = 0usize;
+    for seed in 0..trials {
+        let scenario = model.sample(4, seed as u64);
+        if scenario.count() <= 2 {
+            ec_ok += 1;
+        }
+        let pair0 = scenario.is_failed(0) && scenario.is_failed(1);
+        let pair1 = scenario.is_failed(2) && scenario.is_failed(3);
+        if !pair0 && !pair1 {
+            rep_ok += 1;
+        }
+    }
+    let mc_ec = ec_ok as f64 / trials as f64;
+    let mc_rep = rep_ok as f64 / trials as f64;
+    assert!((mc_ec - ec_recovery(4, 2, p)).abs() < 0.01, "EC {mc_ec}");
+    assert!((mc_rep - replication_pairs_recovery(4, p)).abs() < 0.01, "rep {mc_rep}");
+    // And the reliability crate's own sampler agrees with itself.
+    let lib_mc = monte_carlo_recovery(4, p, trials, 9, ecc_reliability::ec_predicate(2));
+    assert!((lib_mc - mc_ec).abs() < 0.01);
+}
