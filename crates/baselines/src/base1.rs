@@ -69,9 +69,8 @@ impl Base1 {
         }
         (0..self.world)
             .map(|w| {
-                let bytes = cluster
-                    .get_remote(&key(self.version, w))
-                    .ok_or(BaselineError::NoCheckpoint)?;
+                let bytes =
+                    cluster.get_remote(&key(self.version, w)).ok_or(BaselineError::NoCheckpoint)?;
                 Ok(serialize::dict_from_bytes(bytes)?)
             })
             .collect()

@@ -168,8 +168,7 @@ mod tests {
         let (_, mut cluster, mut b, d) = setup();
         b.save(&mut cluster, &d).unwrap();
         let own: u64 = d[..2].iter().map(|sd| serialize::dict_to_bytes(sd).len() as u64).sum();
-        let partner: u64 =
-            d[2..4].iter().map(|sd| serialize::dict_to_bytes(sd).len() as u64).sum();
+        let partner: u64 = d[2..4].iter().map(|sd| serialize::dict_to_bytes(sd).len() as u64).sum();
         assert_eq!(cluster.mem_used(0), own + partner);
     }
 

@@ -62,7 +62,7 @@ impl Base3Grouped {
     /// Returns [`BaselineError::Config`] when `group_size` is smaller
     /// than 2 or does not divide the node count.
     pub fn new(spec: &ClusterSpec, group_size: usize) -> Result<Self, BaselineError> {
-        if group_size < 2 || spec.nodes() % group_size != 0 {
+        if group_size < 2 || !spec.nodes().is_multiple_of(group_size) {
             return Err(BaselineError::Config {
                 detail: format!(
                     "group size {group_size} must be >= 2 and divide {} nodes",
@@ -177,8 +177,7 @@ pub fn base3_grouped_save(
 ) -> crate::timing::SaveCost {
     let node_bytes = shard_bytes * spec.gpus_per_node() as u64;
     let snapshot = spec.dtoh().transfer_time(shard_bytes);
-    let replicate: SimDuration =
-        spec.nic().transfer_time(node_bytes * (group_size as u64 - 1));
+    let replicate: SimDuration = spec.nic().transfer_time(node_bytes * (group_size as u64 - 1));
     crate::timing::SaveCost { stall: snapshot, total: snapshot + replicate }
 }
 
@@ -265,8 +264,7 @@ mod tests {
         let g2 = base3_grouped_save(&spec, s, 2);
         let g4 = base3_grouped_save(&spec, s, 4);
         assert!(g4.total > g2.total);
-        let ratio = (g4.total - g4.stall).as_secs_f64()
-            / (g2.total - g2.stall).as_secs_f64();
+        let ratio = (g4.total - g4.stall).as_secs_f64() / (g2.total - g2.stall).as_secs_f64();
         assert!((2.9..3.1).contains(&ratio), "broadcast scales with G-1: {ratio}");
     }
 

@@ -32,11 +32,7 @@ pub struct SaveCost {
 
 /// `base1`: synchronous serialize + upload; training blocks for the
 /// whole duration. `shard_bytes` is the per-worker payload.
-pub fn base1_save(
-    spec: &ClusterSpec,
-    shard_bytes: u64,
-    constants: &BaselineConstants,
-) -> SaveCost {
+pub fn base1_save(spec: &ClusterSpec, shard_bytes: u64, constants: &BaselineConstants) -> SaveCost {
     let total_bytes = shard_bytes * spec.world_size() as u64;
     // Workers serialize in parallel on their own cores...
     let serialize = SimDuration::from_secs_f64(shard_bytes as f64 / constants.serialize_rate);
@@ -48,11 +44,7 @@ pub fn base1_save(
 
 /// `base2`: snapshot to host memory (stall), then serialize + upload
 /// asynchronously.
-pub fn base2_save(
-    spec: &ClusterSpec,
-    shard_bytes: u64,
-    constants: &BaselineConstants,
-) -> SaveCost {
+pub fn base2_save(spec: &ClusterSpec, shard_bytes: u64, constants: &BaselineConstants) -> SaveCost {
     let total_bytes = shard_bytes * spec.world_size() as u64;
     let snapshot = spec.dtoh().transfer_time(shard_bytes);
     let serialize = SimDuration::from_secs_f64(shard_bytes as f64 / constants.serialize_rate);
@@ -79,8 +71,7 @@ pub fn remote_recovery(
 ) -> SimDuration {
     let total_bytes = shard_bytes * spec.world_size() as u64;
     let download = spec.remote().transfer_time(total_bytes);
-    let deserialize =
-        SimDuration::from_secs_f64(shard_bytes as f64 / constants.deserialize_rate);
+    let deserialize = SimDuration::from_secs_f64(shard_bytes as f64 / constants.deserialize_rate);
     download + deserialize
 }
 
@@ -207,8 +198,7 @@ mod tests {
         let rare = average_iteration_time(iteration, 500, b2);
         assert!(frequent > rare);
         // At long intervals only the stall amortizes.
-        let expected =
-            iteration + SimDuration::from_nanos(b2.stall.as_nanos() / 500);
+        let expected = iteration + SimDuration::from_nanos(b2.stall.as_nanos() / 500);
         let slack = SimDuration::from_millis(2);
         assert!(rare <= expected + slack && rare + slack >= expected);
     }
@@ -217,11 +207,7 @@ mod tests {
     #[should_panic(expected = "interval must be positive")]
     fn zero_interval_panics() {
         let (spec, c, s) = setup();
-        let _ = average_iteration_time(
-            SimDuration::from_millis(1),
-            0,
-            base1_save(&spec, s, &c),
-        );
+        let _ = average_iteration_time(SimDuration::from_millis(1), 0, base1_save(&spec, s, &c));
     }
 }
 
@@ -325,28 +311,18 @@ mod des_validation {
             4_600_000_000u64,
         );
         let iteration = SimDuration::from_millis(184);
-        for cost in [
-            base1_save(&spec, s, &c),
-            base2_save(&spec, s, &c),
-            base3_save(&spec, s),
-        ] {
+        for cost in [base1_save(&spec, s, &c), base2_save(&spec, s, &c), base3_save(&spec, s)] {
             for interval in [1u64, 2, 5, 20, 100] {
                 // Run enough cycles that edge effects vanish; the last
                 // cycle's async tail is not waited for in either model.
                 let cycles = 40;
-                let des = simulate_average_iteration(
-                    iteration,
-                    interval,
-                    cost,
-                    interval * cycles,
-                );
+                let des = simulate_average_iteration(iteration, interval, cost, interval * cycles);
                 let formula = average_iteration_time(iteration, interval, cost);
                 let diff = (des.as_secs_f64() - formula.as_secs_f64()).abs();
                 // The DES run skips the checkpoint after the final
                 // iteration and never waits for the last async tail, so
                 // allow two cycles' worth of amortized boundary slack.
-                let slack = 2.0
-                    * (cost.total.as_secs_f64() + cost.stall.as_secs_f64())
+                let slack = 2.0 * (cost.total.as_secs_f64() + cost.stall.as_secs_f64())
                     / (interval * cycles) as f64
                     + 1e-9;
                 assert!(

@@ -86,11 +86,8 @@ fn bench_decode(c: &mut Criterion) {
     let refs: Vec<&[u8]> = data.iter().map(Vec::as_slice).collect();
     let parity = code.encode(&refs).unwrap();
     // Worst case: both data chunks lost.
-    let shards: Vec<Option<&[u8]>> =
-        vec![None, None, Some(&parity[0]), Some(&parity[1])];
-    group.bench_function("both_data_chunks_lost", |b| {
-        b.iter(|| code.decode(&shards).unwrap())
-    });
+    let shards: Vec<Option<&[u8]>> = vec![None, None, Some(&parity[0]), Some(&parity[1])];
+    group.bench_function("both_data_chunks_lost", |b| b.iter(|| code.decode(&shards).unwrap()));
     // Best case: nothing lost (pure copy path).
     let intact: Vec<Option<&[u8]>> =
         vec![Some(&data[0]), Some(&data[1]), Some(&parity[0]), Some(&parity[1])];
@@ -107,9 +104,7 @@ fn bench_gf_region(c: &mut Criterion) {
     let mut dst = vec![0u8; CHUNK];
     group.bench_function("table_apply", |b| b.iter(|| table.apply(&src, &mut dst)));
     group.bench_function("table_apply_xor", |b| b.iter(|| table.apply_xor(&src, &mut dst)));
-    group.bench_function("xor_into", |b| {
-        b.iter(|| ecc_erasure::region::xor_into(&mut dst, &src))
-    });
+    group.bench_function("xor_into", |b| b.iter(|| ecc_erasure::region::xor_into(&mut dst, &src)));
     group.finish();
 }
 
@@ -124,9 +119,7 @@ fn bench_incremental(c: &mut Criterion) {
     let mut delta = vec![0u8; CHUNK];
     delta[..CHUNK / 16].copy_from_slice(&chunks(1, CHUNK / 16)[0]);
     group.bench_function("full_reencode", |b| b.iter(|| code.encode(&refs).unwrap()));
-    group.bench_function("parity_delta", |b| {
-        b.iter(|| code.parity_delta(1, &delta).unwrap())
-    });
+    group.bench_function("parity_delta", |b| b.iter(|| code.parity_delta(1, &delta).unwrap()));
     group.finish();
 }
 
@@ -138,9 +131,7 @@ fn bench_gf16_region(c: &mut Criterion) {
     let src = chunks(1, CHUNK).remove(0);
     let mut dst = vec![0u8; CHUNK];
     group.bench_function("split_table_apply", |b| b.iter(|| table.apply(&src, &mut dst)));
-    group.bench_function("split_table_apply_xor", |b| {
-        b.iter(|| table.apply_xor(&src, &mut dst))
-    });
+    group.bench_function("split_table_apply_xor", |b| b.iter(|| table.apply_xor(&src, &mut dst)));
     group.finish();
 }
 

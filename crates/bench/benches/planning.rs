@@ -19,8 +19,7 @@ fn configure() -> Criterion {
 fn bench_placement(c: &mut Criterion) {
     let mut group = c.benchmark_group("sweep_line_placement");
     for nodes in [16usize, 64, 256, 1024] {
-        let origin: Vec<std::ops::Range<usize>> =
-            (0..nodes).map(|i| i * 8..(i + 1) * 8).collect();
+        let origin: Vec<std::ops::Range<usize>> = (0..nodes).map(|i| i * 8..(i + 1) * 8).collect();
         group.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, &n| {
             b.iter(|| select_data_parity_nodes(&origin, n / 2).unwrap())
         });

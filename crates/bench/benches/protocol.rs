@@ -59,9 +59,8 @@ fn bench_packer(c: &mut Criterion) {
     group.bench_function("pack", |b| b.iter(|| packer.pack(&tensors)));
     let (packets, extents) = packer.pack(&tensors);
     let lens: Vec<usize> = tensors.iter().map(Vec::len).collect();
-    group.bench_function("unpack", |b| {
-        b.iter(|| packer.unpack(&packets, &extents, &lens).unwrap())
-    });
+    group
+        .bench_function("unpack", |b| b.iter(|| packer.unpack(&packets, &extents, &lens).unwrap()));
     group.finish();
 }
 

@@ -13,8 +13,8 @@
 //! checkpoint interval.
 
 use ecc_baselines::timing::{
-    average_iteration_time, base1_save, base2_save, base3_save, remote_recovery,
-    BaselineConstants, SaveCost,
+    average_iteration_time, base1_save, base2_save, base3_save, remote_recovery, BaselineConstants,
+    SaveCost,
 };
 use ecc_bench::{fmt_bytes, fmt_secs, print_table};
 use ecc_cluster::{ClusterSpec, FailureScenario};
@@ -23,10 +23,7 @@ use eccheck::timing::{recovery_timing, save_timing, TimingConstants};
 use eccheck::{select_data_parity_nodes, EcCheckConfig, ReductionPlan};
 
 fn arg(n: usize, default: usize) -> usize {
-    std::env::args()
-        .nth(n)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(default)
+    std::env::args().nth(n).and_then(|s| s.parse().ok()).unwrap_or(default)
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -56,11 +53,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let placement = select_data_parity_nodes(&spec.origin_group(), cfg.k())?;
     let plan = ReductionPlan::build(&spec, &placement, cfg.m())?;
-    println!(
-        "placement: data {:?}, parity {:?}",
-        placement.data_nodes(),
-        placement.parity_nodes()
-    );
+    println!("placement: data {:?}, parity {:?}", placement.data_nodes(), placement.parity_nodes());
     let t = plan.traffic(shard);
     println!(
         "checkpoint traffic: xor {} + data {} + parity {} = {}\n",
@@ -84,12 +77,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .iter()
         .map(|(name, cost)| {
             let avg = average_iteration_time(iteration, interval, *cost);
-            vec![
-                name.to_string(),
-                fmt_secs(cost.stall),
-                fmt_secs(cost.total),
-                fmt_secs(avg),
-            ]
+            vec![name.to_string(), fmt_secs(cost.stall), fmt_secs(cost.total), fmt_secs(avg)]
         })
         .collect();
     println!("iteration (no ckpt): {}; checkpoint every {interval} iters\n", fmt_secs(iteration));

@@ -26,8 +26,7 @@ fn main() {
                 Bandwidth::from_gbps(gbps),
                 512 << 30,
             );
-            let serialize =
-                SimDuration::from_secs_f64(shard as f64 / constants.serialize_rate);
+            let serialize = SimDuration::from_secs_f64(shard as f64 / constants.serialize_rate);
             let transfer = spec.remote().transfer_time(shard * 4);
             let share = serialize.as_secs_f64() / (serialize + transfer).as_secs_f64();
             rows.push(vec![

@@ -35,12 +35,11 @@ fn main() {
             fmt_ratio(ecc.total, b3.total),
         ]);
     }
-    print_table(
-        &["Model", "base1", "base2", "base3", "ECCheck", "vs base1", "vs base3"],
-        &rows,
-    );
+    print_table(&["Model", "base1", "base2", "base3", "ECCheck", "vs base1", "vs base3"], &rows);
     println!("\nShape check: in-memory checkpointing (base3, ECCheck) is far below the");
     println!("remote-storage baselines; ECCheck costs a modest factor over base3 (paper:");
     println!("~1.6x) in exchange for tolerating any 2 concurrent node failures.");
     println!("Max ECCheck speedup over remote-storage baselines here: {max_speedup:.1}x");
+
+    ecc_bench::print_live_telemetry();
 }

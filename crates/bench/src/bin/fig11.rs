@@ -40,4 +40,6 @@ fn main() {
     );
     println!("\nShape check: step 1 blocks training only briefly, step 2 is negligible,");
     println!("and the asynchronous step 3 pipeline dominates (paper Fig. 11).");
+
+    ecc_bench::print_live_telemetry();
 }

@@ -39,11 +39,10 @@ fn main() {
             fmt_secs(ec),
         ]);
     }
-    print_table(
-        &["Frequency (per iter)", "base1", "base2", "base3", "ECCheck"],
-        &rows,
-    );
+    print_table(&["Frequency (per iter)", "base1", "base2", "base3", "ECCheck"], &rows);
     println!("\nShape check: base1's overhead is massive at every frequency; base2");
     println!("degrades as frequency rises (its async persist backpressures); base3 and");
     println!("ECCheck stay near the bare iteration time (paper Fig. 12).");
+
+    ecc_bench::print_live_telemetry();
 }

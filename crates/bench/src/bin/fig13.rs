@@ -44,13 +44,12 @@ fn main() {
                 fmt_ratio(remote, ecc.total),
             ]);
         }
-        print_table(
-            &["Model", "base1", "base2", "base3", "ECCheck", "speedup vs remote"],
-            &rows,
-        );
+        print_table(&["Model", "base1", "base2", "base3", "ECCheck", "speedup vs remote"], &rows);
         println!();
     }
     println!("Shape check: ECCheck recovers over the fast fabric in both scenarios");
     println!("(slower in (b) due to decoding), while base3 cannot recover in (b) at all");
     println!("and the remote baselines pay the 5 Gbps reload (paper: up to 13.9x slower).");
+
+    ecc_bench::print_live_telemetry();
 }

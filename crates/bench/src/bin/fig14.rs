@@ -39,4 +39,6 @@ fn main() {
     println!("\nShape check: base1/base2 scale linearly with GPU count (total bytes grow,");
     println!("the 5 Gbps storage uplink does not), while base3 and ECCheck stay flat —");
     println!("per-device checkpoint traffic is m*s, independent of cluster size (§V-F).");
+
+    ecc_bench::print_live_telemetry();
 }

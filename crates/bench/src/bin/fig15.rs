@@ -24,4 +24,6 @@ fn main() {
     }
     println!("Shape check: ECCheck dominates at every n, and the advantage widens as");
     println!("the cluster grows (paper Fig. 15).");
+
+    ecc_bench::print_live_telemetry();
 }

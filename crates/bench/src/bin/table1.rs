@@ -23,4 +23,6 @@ fn main() {
         &["Model", "Hidden size", "#AH", "#Layers", "Paper size", "Our count", "Checkpoint"],
         &rows,
     );
+
+    ecc_bench::print_live_telemetry();
 }

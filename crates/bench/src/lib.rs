@@ -9,6 +9,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod telemetry;
+
+pub use telemetry::{print_live_telemetry, print_schedule_comparison};
+
 use ecc_sim::SimDuration;
 
 /// Prints an aligned text table with a header row.

@@ -2,8 +2,8 @@
 //! harness prints are asserted here so `cargo test` guards them.
 
 use ecc_baselines::timing::{
-    average_iteration_time, base1_save, base2_save, base3_save, remote_recovery,
-    BaselineConstants, SaveCost,
+    average_iteration_time, base1_save, base2_save, base3_save, remote_recovery, BaselineConstants,
+    SaveCost,
 };
 use ecc_cluster::{ClusterSpec, FailureScenario};
 use ecc_dnn::{table_i_configs, GpuSpec, ModelConfig, ParallelismSpec, TrainingTimeModel};
@@ -44,8 +44,7 @@ fn fig04_shape() {
     let serialize = shard as f64 / c.serialize_rate;
     let mut last_share = 0.0;
     for gbps in [5.0, 10.0, 20.0] {
-        let transfer =
-            ecc_sim::Bandwidth::from_gbps(gbps).transfer_time(shard * 4).as_secs_f64();
+        let transfer = ecc_sim::Bandwidth::from_gbps(gbps).transfer_time(shard * 4).as_secs_f64();
         let share = serialize / (serialize + transfer);
         assert!(share > last_share, "share must grow with bandwidth");
         last_share = share;

@@ -104,11 +104,7 @@ fn walk(
     match value {
         Value::Tensor(t) => {
             let idx = keys.len();
-            keys.push(TensorKey {
-                path,
-                dtype: t.dtype(),
-                shape: t.shape().to_vec(),
-            });
+            keys.push(TensorKey { path, dtype: t.dtype(), shape: t.shape().to_vec() });
             data.push(t.bytes().to_vec());
             Skeleton::TensorRef(idx)
         }
@@ -165,11 +161,7 @@ impl Decomposition {
     pub fn set_tensor_data(&mut self, data: Vec<Vec<u8>>) -> Result<(), CheckpointError> {
         if data.len() != self.keys.len() {
             return Err(CheckpointError::Reassembly {
-                detail: format!(
-                    "expected {} tensor buffers, got {}",
-                    self.keys.len(),
-                    data.len()
-                ),
+                detail: format!("expected {} tensor buffers, got {}", self.keys.len(), data.len()),
             });
         }
         for (i, (key, buf)) in self.keys.iter().zip(&data).enumerate() {
@@ -245,8 +237,7 @@ impl Decomposition {
             let path = std::str::from_utf8(c.take(plen)?)
                 .map_err(|_| CheckpointError::BadUtf8)?
                 .to_string();
-            let dtype =
-                DType::from_tag(c.u8()?).ok_or(CheckpointError::BadTag { tag: 0xFF })?;
+            let dtype = DType::from_tag(c.u8()?).ok_or(CheckpointError::BadTag { tag: 0xFF })?;
             let rank = c.varint()? as usize;
             let mut shape = Vec::with_capacity(rank.min(64));
             for _ in 0..rank {
@@ -290,9 +281,9 @@ impl Decomposition {
                 })?;
                 Value::Tensor(crate::Tensor::from_bytes(key.dtype, &key.shape, buf.clone())?)
             }
-            Skeleton::List(items) => Value::List(
-                items.iter().map(|s| self.rebuild(s)).collect::<Result<_, _>>()?,
-            ),
+            Skeleton::List(items) => {
+                Value::List(items.iter().map(|s| self.rebuild(s)).collect::<Result<_, _>>()?)
+            }
             Skeleton::Dict(entries) => {
                 let mut d = StateDict::new();
                 for (k, s) in entries {
@@ -387,7 +378,9 @@ mod tests {
             Value::Dict(
                 vec![(
                     "weight".to_string(),
-                    Value::Tensor(Tensor::from_bytes(DType::F16, &[3], vec![1, 2, 3, 4, 5, 6]).unwrap()),
+                    Value::Tensor(
+                        Tensor::from_bytes(DType::F16, &[3], vec![1, 2, 3, 4, 5, 6]).unwrap(),
+                    ),
                 )]
                 .into_iter()
                 .collect(),

@@ -203,39 +203,37 @@ impl Packer {
                 return Err(CheckpointError::ChecksumMismatch { packet: p.index() });
             }
         }
-        let mut tensors: Vec<Vec<u8>> =
-            tensor_lens.iter().map(|&len| vec![0u8; len]).collect();
+        let mut tensors: Vec<Vec<u8>> = tensor_lens.iter().map(|&len| vec![0u8; len]).collect();
         for e in extents {
-            let packet = packets.get(e.packet).ok_or_else(|| {
-                CheckpointError::ExtentOutOfRange {
+            let packet =
+                packets.get(e.packet).ok_or_else(|| CheckpointError::ExtentOutOfRange {
                     detail: format!("packet {} of {}", e.packet, packets.len()),
-                }
-            })?;
-            let src = packet
-                .data()
-                .get(e.packet_offset..e.packet_offset + e.len)
-                .ok_or_else(|| CheckpointError::ExtentOutOfRange {
-                    detail: format!(
-                        "bytes {}..{} of packet {}",
-                        e.packet_offset,
-                        e.packet_offset + e.len,
-                        e.packet
-                    ),
                 })?;
-            let tensor = tensors.get_mut(e.tensor).ok_or_else(|| {
-                CheckpointError::ExtentOutOfRange {
+            let src =
+                packet.data().get(e.packet_offset..e.packet_offset + e.len).ok_or_else(|| {
+                    CheckpointError::ExtentOutOfRange {
+                        detail: format!(
+                            "bytes {}..{} of packet {}",
+                            e.packet_offset,
+                            e.packet_offset + e.len,
+                            e.packet
+                        ),
+                    }
+                })?;
+            let tensor =
+                tensors.get_mut(e.tensor).ok_or_else(|| CheckpointError::ExtentOutOfRange {
                     detail: format!("tensor {} of {}", e.tensor, tensor_lens.len()),
-                }
-            })?;
-            let dst = tensor
-                .get_mut(e.tensor_offset..e.tensor_offset + e.len)
-                .ok_or_else(|| CheckpointError::ExtentOutOfRange {
-                    detail: format!(
-                        "bytes {}..{} of tensor {}",
-                        e.tensor_offset,
-                        e.tensor_offset + e.len,
-                        e.tensor
-                    ),
+                })?;
+            let dst =
+                tensor.get_mut(e.tensor_offset..e.tensor_offset + e.len).ok_or_else(|| {
+                    CheckpointError::ExtentOutOfRange {
+                        detail: format!(
+                            "bytes {}..{} of tensor {}",
+                            e.tensor_offset,
+                            e.tensor_offset + e.len,
+                            e.tensor
+                        ),
+                    }
                 })?;
             dst.copy_from_slice(src);
         }

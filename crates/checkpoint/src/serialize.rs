@@ -93,15 +93,12 @@ pub fn serialized_size(value: &Value) -> usize {
                 + t.byte_len()
         }
         Value::List(items) => {
-            1 + varint_len(items.len() as u64)
-                + items.iter().map(serialized_size).sum::<usize>()
+            1 + varint_len(items.len() as u64) + items.iter().map(serialized_size).sum::<usize>()
         }
         Value::Dict(d) => {
             1 + varint_len(d.len() as u64)
                 + d.iter()
-                    .map(|(k, v)| {
-                        varint_len(k.len() as u64) + k.len() + serialized_size(v)
-                    })
+                    .map(|(k, v)| varint_len(k.len() as u64) + k.len() + serialized_size(v))
                     .sum::<usize>()
         }
     }
@@ -166,8 +163,12 @@ pub(crate) struct Cursor<'a> {
 }
 
 impl<'a> Cursor<'a> {
-    pub(crate) fn new(bytes: &'a [u8]) -> Self { Self { bytes, pos: 0 } }
-    pub(crate) fn at_end(&self) -> bool { self.pos == self.bytes.len() }
+    pub(crate) fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+    pub(crate) fn at_end(&self) -> bool {
+        self.pos == self.bytes.len()
+    }
 
     pub(crate) fn u8(&mut self) -> Result<u8, CheckpointError> {
         let b = *self.bytes.get(self.pos).ok_or(CheckpointError::UnexpectedEof)?;
@@ -203,15 +204,13 @@ pub(crate) fn read_value(c: &mut Cursor<'_>) -> Result<Value, CheckpointError> {
     match c.u8()? {
         TAG_INT => Ok(Value::Int(unzigzag(c.varint()?))),
         TAG_FLOAT => {
-            let raw: [u8; 8] =
-                c.take(8)?.try_into().map_err(|_| CheckpointError::UnexpectedEof)?;
+            let raw: [u8; 8] = c.take(8)?.try_into().map_err(|_| CheckpointError::UnexpectedEof)?;
             Ok(Value::Float(f64::from_le_bytes(raw)))
         }
         TAG_BOOL => Ok(Value::Bool(c.u8()? != 0)),
         TAG_STR => {
             let len = c.varint()? as usize;
-            let s = std::str::from_utf8(c.take(len)?)
-                .map_err(|_| CheckpointError::BadUtf8)?;
+            let s = std::str::from_utf8(c.take(len)?).map_err(|_| CheckpointError::BadUtf8)?;
             Ok(Value::Str(s.to_string()))
         }
         TAG_BYTES => {
@@ -219,8 +218,7 @@ pub(crate) fn read_value(c: &mut Cursor<'_>) -> Result<Value, CheckpointError> {
             Ok(Value::Bytes(c.take(len)?.to_vec()))
         }
         TAG_TENSOR => {
-            let dtype = DType::from_tag(c.u8()?)
-                .ok_or(CheckpointError::BadTag { tag: 0xFF })?;
+            let dtype = DType::from_tag(c.u8()?).ok_or(CheckpointError::BadTag { tag: 0xFF })?;
             let rank = c.varint()? as usize;
             let mut shape = Vec::with_capacity(rank.min(64));
             for _ in 0..rank {
@@ -377,9 +375,8 @@ mod tests {
         leaf.prop_recursive(3, 24, 4, |inner| {
             prop_oneof![
                 proptest::collection::vec(inner.clone(), 0..4).prop_map(Value::List),
-                proptest::collection::vec(("[a-z]{1,8}", inner), 0..4).prop_map(|kvs| {
-                    Value::Dict(kvs.into_iter().collect())
-                }),
+                proptest::collection::vec(("[a-z]{1,8}", inner), 0..4)
+                    .prop_map(|kvs| { Value::Dict(kvs.into_iter().collect()) }),
             ]
         })
     }

@@ -330,7 +330,9 @@ mod tests {
 
     #[test]
     fn dtype_tag_round_trips() {
-        for d in [DType::F16, DType::BF16, DType::F32, DType::F64, DType::I32, DType::I64, DType::U8] {
+        for d in
+            [DType::F16, DType::BF16, DType::F32, DType::F64, DType::I32, DType::I64, DType::U8]
+        {
             assert_eq!(DType::from_tag(d.tag()), Some(d));
         }
         assert_eq!(DType::from_tag(200), None);
@@ -370,10 +372,7 @@ mod tests {
         sd.insert("opt", Value::Dict(inner));
         sd.insert(
             "list",
-            Value::List(vec![
-                Value::Tensor(Tensor::zeros(DType::F16, &[4])),
-                Value::Int(9),
-            ]),
+            Value::List(vec![Value::Tensor(Tensor::zeros(DType::F16, &[4])), Value::Int(9)]),
         );
         assert_eq!(sd.tensor_count(), 2);
         assert_eq!(sd.tensor_bytes(), 32 + 8);

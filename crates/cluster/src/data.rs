@@ -289,10 +289,7 @@ mod tests {
         c.fail_node(2);
         assert!(!c.alive(2));
         assert!(c.get_local(2, "ckpt").is_none());
-        assert!(matches!(
-            c.put_local(2, "x", vec![1]),
-            Err(ClusterError::NodeDown { node: 2 })
-        ));
+        assert!(matches!(c.put_local(2, "x", vec![1]), Err(ClusterError::NodeDown { node: 2 })));
         c.replace_node(2);
         assert!(c.alive(2));
         assert!(c.get_local(2, "ckpt").is_none(), "replacement starts empty");
@@ -324,10 +321,7 @@ mod tests {
     #[test]
     fn missing_blob_is_an_error() {
         let mut c = tiny();
-        assert!(matches!(
-            c.transfer(0, 1, "nope", "x"),
-            Err(ClusterError::NoSuchBlob { .. })
-        ));
+        assert!(matches!(c.transfer(0, 1, "nope", "x"), Err(ClusterError::NoSuchBlob { .. })));
         assert!(matches!(c.take_local(0, "nope"), Err(ClusterError::NoSuchBlob { .. })));
     }
 
@@ -336,10 +330,7 @@ mod tests {
         let spec = ClusterSpec::tiny_test(1, 1).with_host_mem(100);
         let mut c = Cluster::new(spec);
         c.put_local(0, "a", vec![0; 80]).unwrap();
-        assert!(matches!(
-            c.put_local(0, "b", vec![0; 30]),
-            Err(ClusterError::OutOfMemory { .. })
-        ));
+        assert!(matches!(c.put_local(0, "b", vec![0; 30]), Err(ClusterError::OutOfMemory { .. })));
         // Replacing an existing blob only needs the delta.
         c.put_local(0, "a", vec![0; 100]).unwrap();
     }
@@ -392,8 +383,7 @@ pub trait DataPlane {
     /// # Errors
     ///
     /// Same conditions as [`Cluster::put_local`].
-    fn put_local(&mut self, node: NodeId, key: &str, bytes: Vec<u8>)
-        -> Result<(), ClusterError>;
+    fn put_local(&mut self, node: NodeId, key: &str, bytes: Vec<u8>) -> Result<(), ClusterError>;
 
     /// Reads a blob from a live node's host memory.
     fn get_local(&self, node: NodeId, key: &str) -> Option<&[u8]>;
@@ -417,12 +407,7 @@ impl DataPlane for Cluster {
         Cluster::alive(self, node)
     }
 
-    fn put_local(
-        &mut self,
-        node: NodeId,
-        key: &str,
-        bytes: Vec<u8>,
-    ) -> Result<(), ClusterError> {
+    fn put_local(&mut self, node: NodeId, key: &str, bytes: Vec<u8>) -> Result<(), ClusterError> {
         Cluster::put_local(self, node, key, bytes)
     }
 
@@ -507,12 +492,7 @@ impl DataPlane for ClusterView<'_> {
         self.cluster.alive(self.global(node))
     }
 
-    fn put_local(
-        &mut self,
-        node: NodeId,
-        key: &str,
-        bytes: Vec<u8>,
-    ) -> Result<(), ClusterError> {
+    fn put_local(&mut self, node: NodeId, key: &str, bytes: Vec<u8>) -> Result<(), ClusterError> {
         let node = self.global(node);
         let key = self.key(key);
         self.cluster.put_local(node, &key, bytes)

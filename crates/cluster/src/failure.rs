@@ -89,8 +89,7 @@ impl FailureModel {
     /// Samples a failure scenario for `nodes` machines with a fixed seed.
     pub fn sample(&self, nodes: usize, seed: u64) -> FailureScenario {
         let mut rng = StdRng::seed_from_u64(seed);
-        let failed =
-            (0..nodes).filter(|_| rng.gen_bool(self.p)).collect::<Vec<_>>();
+        let failed = (0..nodes).filter(|_| rng.gen_bool(self.p)).collect::<Vec<_>>();
         FailureScenario::new(failed)
     }
 }

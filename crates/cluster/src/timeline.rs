@@ -39,9 +39,7 @@ impl ClusterTimeline {
             spec,
             nic_tx: (0..spec.nodes()).map(|_| FifoResource::with_rate(spec.nic())).collect(),
             nic_rx: (0..spec.nodes()).map(|_| FifoResource::with_rate(spec.nic())).collect(),
-            dtoh: (0..spec.world_size())
-                .map(|_| FifoResource::with_rate(spec.dtoh()))
-                .collect(),
+            dtoh: (0..spec.world_size()).map(|_| FifoResource::with_rate(spec.dtoh())).collect(),
             remote: FifoResource::with_rate(spec.remote()),
         }
     }
@@ -58,12 +56,16 @@ impl ClusterTimeline {
     ///
     /// Panics for out-of-range node ids or `src == dst` (intra-node data
     /// never touches the NIC — use [`ClusterTimeline::intra_node`]).
-    pub fn p2p(&mut self, earliest: SimTime, src: NodeId, dst: NodeId, bytes: u64) -> (SimTime, SimTime) {
+    pub fn p2p(
+        &mut self,
+        earliest: SimTime,
+        src: NodeId,
+        dst: NodeId,
+        bytes: u64,
+    ) -> (SimTime, SimTime) {
         assert_ne!(src, dst, "p2p requires distinct nodes");
         let duration = self.spec.nic().transfer_time(bytes);
-        let start = earliest
-            .max(self.nic_tx[src].next_free())
-            .max(self.nic_rx[dst].next_free());
+        let start = earliest.max(self.nic_tx[src].next_free()).max(self.nic_rx[dst].next_free());
         let (_, end) = self.nic_tx[src].reserve(start, duration);
         self.nic_rx[dst].reserve(start, duration);
         (start, end)
@@ -91,20 +93,21 @@ impl ClusterTimeline {
     /// with the slower (storage) side setting the pace.
     pub fn to_remote(&mut self, earliest: SimTime, src: NodeId, bytes: u64) -> (SimTime, SimTime) {
         let duration = self.spec.remote().transfer_time(bytes);
-        let start = earliest
-            .max(self.nic_tx[src].next_free())
-            .max(self.remote.next_free());
+        let start = earliest.max(self.nic_tx[src].next_free()).max(self.remote.next_free());
         let (_, end) = self.remote.reserve(start, duration);
         self.nic_tx[src].reserve(start, duration);
         (start, end)
     }
 
     /// Schedules a read of `bytes` from remote storage into `dst`.
-    pub fn from_remote(&mut self, earliest: SimTime, dst: NodeId, bytes: u64) -> (SimTime, SimTime) {
+    pub fn from_remote(
+        &mut self,
+        earliest: SimTime,
+        dst: NodeId,
+        bytes: u64,
+    ) -> (SimTime, SimTime) {
         let duration = self.spec.remote().transfer_time(bytes);
-        let start = earliest
-            .max(self.nic_rx[dst].next_free())
-            .max(self.remote.next_free());
+        let start = earliest.max(self.nic_rx[dst].next_free()).max(self.remote.next_free());
         let (_, end) = self.remote.reserve(start, duration);
         self.nic_rx[dst].reserve(start, duration);
         (start, end)
@@ -143,8 +146,7 @@ impl ClusterTimeline {
 
     /// Resets every resource to idle (start of a new measurement run).
     pub fn reset(&mut self) {
-        for r in self.nic_tx.iter_mut().chain(self.nic_rx.iter_mut()).chain(self.dtoh.iter_mut())
-        {
+        for r in self.nic_tx.iter_mut().chain(self.nic_rx.iter_mut()).chain(self.dtoh.iter_mut()) {
             r.reset();
         }
         self.remote.reset();

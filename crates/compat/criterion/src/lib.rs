@@ -1,0 +1,334 @@
+//! Offline, dependency-free subset of the `criterion` API.
+//!
+//! The build container has no access to crates.io, so the workspace
+//! vendors the slice of criterion its benches use: `Criterion` with the
+//! builder knobs (`sample_size`, `warm_up_time`, `measurement_time`),
+//! benchmark groups with optional [`Throughput`], `bench_function` /
+//! `bench_with_input`, and the `criterion_group!` / `criterion_main!`
+//! macros.
+//!
+//! Like upstream, the harness distinguishes *bench mode* (run under
+//! `cargo bench`, which passes `--bench` to the binary) from *test mode*
+//! (run under `cargo test`, no flag): test mode executes every benchmark
+//! body exactly once as a smoke test; bench mode warms up, then takes
+//! `sample_size` timed samples and prints mean time per iteration plus
+//! throughput when configured.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// The benchmark harness configuration and entry point.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    bench_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_millis(1000),
+            bench_mode: std::env::args().any(|a| a == "--bench"),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Time spent warming up before measurement.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Target total measurement time per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), throughput: None }
+    }
+}
+
+/// Units of work per iteration, used to derive throughput rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier combining an optional function name and a
+/// parameter value.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a name and a parameter.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self { id: format!("{}/{parameter}", name.into()) }
+    }
+
+    /// An id made of the parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { id: s }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs a benchmark under this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run(&id.id, &mut f);
+        self
+    }
+
+    /// Runs a benchmark that receives an input value.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        self.run(&id.id, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Ends the group (upstream writes reports here; a no-op).
+    pub fn finish(self) {}
+
+    fn run(&mut self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let full = format!("{}/{id}", self.name);
+        if !self.criterion.bench_mode {
+            // Test mode: smoke-run the body once.
+            let mut b = Bencher { mode: BenchMode::Once, elapsed: Duration::ZERO, iters: 0 };
+            f(&mut b);
+            println!("test {full} ... ok");
+            return;
+        }
+        // Warm-up: learn the per-iteration cost.
+        let warm_deadline = Instant::now() + self.criterion.warm_up_time;
+        let mut warm_iters = 0u64;
+        let warm_start = Instant::now();
+        while Instant::now() < warm_deadline {
+            let mut b = Bencher { mode: BenchMode::Once, elapsed: Duration::ZERO, iters: 0 };
+            f(&mut b);
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+        // Size samples so the whole measurement hits measurement_time.
+        let samples = self.criterion.sample_size;
+        let total_iters =
+            (self.criterion.measurement_time.as_secs_f64() / per_iter.max(1e-9)).ceil() as u64;
+        let iters_per_sample = (total_iters / samples as u64).max(1);
+        let mut times = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let mut b = Bencher {
+                mode: BenchMode::Iters(iters_per_sample),
+                elapsed: Duration::ZERO,
+                iters: 0,
+            };
+            f(&mut b);
+            times.push(b.elapsed.as_secs_f64() / b.iters.max(1) as f64);
+        }
+        times.sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
+        let mean = times.iter().sum::<f64>() / times.len() as f64;
+        let median = times[times.len() / 2];
+        let mut line = format!(
+            "{full:<48} time: [{} {} {}]",
+            fmt_time(times[0]),
+            fmt_time(median),
+            fmt_time(*times.last().expect("non-empty samples"))
+        );
+        if let Some(t) = self.throughput {
+            let rate = match t {
+                Throughput::Bytes(bytes) => format!("{}/s", fmt_bytes(bytes as f64 / mean)),
+                Throughput::Elements(n) => format!("{:.2} Melem/s", n as f64 / mean / 1e6),
+            };
+            let _ = write!(line, "  thrpt: {rate}");
+        }
+        println!("{line}");
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum BenchMode {
+    Once,
+    Iters(u64),
+}
+
+/// Passed to each benchmark body; call [`Bencher::iter`] with the
+/// routine to measure.
+#[derive(Debug)]
+pub struct Bencher {
+    mode: BenchMode,
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Measures `routine`, preventing the result from being optimised
+    /// away.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        match self.mode {
+            BenchMode::Once => {
+                black_box(routine());
+                self.iters = 1;
+            }
+            BenchMode::Iters(n) => {
+                let start = Instant::now();
+                for _ in 0..n {
+                    black_box(routine());
+                }
+                self.elapsed += start.elapsed();
+                self.iters += n;
+            }
+        }
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+fn fmt_bytes(rate: f64) -> String {
+    const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
+    let mut value = rate;
+    let mut unit = 0;
+    while value >= 1024.0 && unit < UNITS.len() - 1 {
+        value /= 1024.0;
+        unit += 1;
+    }
+    format!("{value:.2} {}", UNITS[unit])
+}
+
+/// Bundles benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_mode_runs_body_once() {
+        let mut c = Criterion::default();
+        c.bench_mode = false;
+        let mut group = c.benchmark_group("g");
+        let mut runs = 0;
+        group.bench_function("once", |b| {
+            b.iter(|| runs += 1);
+        });
+        group.finish();
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn bench_mode_measures_samples() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(10));
+        c.bench_mode = true;
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Bytes(1024));
+        let mut runs = 0u64;
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7, |b, &_n| {
+            b.iter(|| runs += 1);
+        });
+        group.finish();
+        assert!(runs > 3, "expected warm-up plus samples, got {runs}");
+    }
+
+    #[test]
+    fn formatting_picks_units() {
+        assert_eq!(fmt_time(2.5), "2.500 s");
+        assert_eq!(fmt_time(2.5e-3), "2.500 ms");
+        assert_eq!(fmt_time(2.5e-6), "2.500 µs");
+        assert_eq!(fmt_time(2.5e-9), "2.5 ns");
+        assert_eq!(fmt_bytes(2048.0), "2.00 KiB");
+    }
+}

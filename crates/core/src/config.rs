@@ -162,10 +162,7 @@ impl EcCheckConfig {
     pub fn validate(&self, nodes: usize, world_size: usize) -> Result<(), EcCheckError> {
         if self.k + self.m != nodes {
             return Err(EcCheckError::Config {
-                detail: format!(
-                    "k + m = {} must equal the node count {nodes}",
-                    self.k + self.m
-                ),
+                detail: format!("k + m = {} must equal the node count {nodes}", self.k + self.m),
             });
         }
         if self.k == 0 || self.m == 0 {

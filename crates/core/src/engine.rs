@@ -14,10 +14,11 @@
 use ecc_checkpoint::{decompose, Decomposition, Packer, Packet, StateDict};
 use ecc_cluster::{ClusterSpec, DataPlane};
 use ecc_erasure::{CodeParams, CodingPool, ErasureCode};
+use ecc_telemetry::Recorder;
 
 use crate::{
-    select_data_parity_nodes, EcCheckConfig, EcCheckError, LoadReport, Placement,
-    RecoveryWorkflow, ReductionPlan, SaveReport,
+    select_data_parity_nodes, EcCheckConfig, EcCheckError, LoadReport, Placement, RecoveryWorkflow,
+    ReductionPlan, SaveReport,
 };
 
 /// The ECCheck checkpointing system (paper §III).
@@ -35,6 +36,7 @@ pub struct EcCheck {
     version: u64,
     saves: u64,
     packets_per_worker: usize,
+    recorder: Recorder,
 }
 
 impl EcCheck {
@@ -49,22 +51,43 @@ impl EcCheck {
     pub fn initialize(spec: &ClusterSpec, config: EcCheckConfig) -> Result<Self, EcCheckError> {
         config.validate(spec.nodes(), spec.world_size())?;
         let params = CodeParams::new(config.k(), config.m(), config.w())?;
-        let code = ErasureCode::cauchy_good(params)?;
+        let recorder = Recorder::new();
+        let mut code = ErasureCode::cauchy_good(params)?;
+        code.set_recorder(&recorder);
         let placement = select_data_parity_nodes(&spec.origin_group(), config.k())?;
         let reduction = ReductionPlan::build(spec, &placement, config.m())?;
         let packer = Packer::new(config.packet_size())?;
+        let mut pool = CodingPool::new(config.coding_threads());
+        pool.set_recorder(&recorder);
         Ok(Self {
             config,
             spec: *spec,
             code,
             placement,
             reduction,
-            pool: CodingPool::new(config.coding_threads()),
+            pool,
             packer,
             version: 0,
             saves: 0,
             packets_per_worker: 0,
+            recorder,
         })
+    }
+
+    /// The telemetry recorder this engine reports into. Snapshot it to
+    /// inspect per-phase save latencies, coding throughput and recovery
+    /// workflow counts.
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
+    /// Replaces the telemetry recorder (e.g. with one driven by a
+    /// simulated clock) and re-attaches the erasure code and coding pool
+    /// to it. Metrics already recorded stay with the old recorder.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.code.set_recorder(&recorder);
+        self.pool.set_recorder(&recorder);
+        self.recorder = recorder;
     }
 
     /// The active configuration.
@@ -116,29 +139,32 @@ impl EcCheck {
         }
         let version = self.version + 1;
         let ps = self.config.packet_size();
+        let save_timer = self.recorder.timer("ecc.save.ns");
 
         // Step 1 + 2: decompose every shard (tensor data leaves "GPU"
         // memory) and broadcast the tiny headers to every node.
+        let phase = self.recorder.timer("ecc.save.decompose_ns");
         let decomposed: Vec<Decomposition> = state_dicts.iter().map(decompose).collect();
         let headers: Vec<Vec<u8>> = decomposed.iter().map(|d| d.header_to_bytes()).collect();
+        drop(phase);
 
         // Step 3a: pack tensor data into fixed-size packets per worker.
-        let mut worker_packets: Vec<Vec<Packet>> = decomposed
-            .iter()
-            .map(|d| self.packer.pack(d.tensor_data()).0)
-            .collect();
-        let max_packets =
-            worker_packets.iter().map(Vec::len).max().expect("world size > 0");
+        let phase = self.recorder.timer("ecc.save.pack_ns");
+        let mut worker_packets: Vec<Vec<Packet>> =
+            decomposed.iter().map(|d| self.packer.pack(d.tensor_data()).0).collect();
+        let max_packets = worker_packets.iter().map(Vec::len).max().expect("world size > 0");
         for packets in &mut worker_packets {
             while packets.len() < max_packets {
                 packets.push(Packet::new(packets.len(), vec![0u8; ps]));
             }
         }
         self.packets_per_worker = max_packets;
+        drop(phase);
 
         // Step 3b: build the k data chunks. Chunk j concatenates the
         // packets of data group j ordered (relative worker index, packet
         // index) — the layout reduction groups operate on.
+        let phase = self.recorder.timer("ecc.save.build_chunks_ns");
         let group_size = self.placement.group_size();
         let chunk_len = group_size * max_packets * ps;
         let mut data_chunks: Vec<Vec<u8>> = Vec::with_capacity(self.config.k());
@@ -152,8 +178,10 @@ impl EcCheck {
             }
             data_chunks.push(chunk);
         }
+        drop(phase);
 
         // Step 3c: encode parity chunks (thread-pooled XOR schedules).
+        let phase = self.recorder.timer("ecc.save.encode_ns");
         let chunk_refs: Vec<&[u8]> = data_chunks.iter().map(Vec::as_slice).collect();
         let parity_chunks = if self.config.coding_threads() > 1 {
             self.pool.encode(&self.code, &chunk_refs)?
@@ -161,9 +189,11 @@ impl EcCheck {
             self.code.encode_with(&chunk_refs, self.config.schedule())?
         };
         let encoded_bytes: u64 = parity_chunks.iter().map(|c| c.len() as u64).sum();
+        drop(phase);
 
         // Step 3d: place chunks and headers (XOR reduction + P2P in the
         // real system; here the byte movement outcome).
+        let phase = self.recorder.timer("ecc.save.place_ns");
         for (j, chunk) in data_chunks.iter().enumerate() {
             let node = self.placement.data_nodes()[j];
             cluster.put_local(node, &chunk_key(version), chunk.clone())?;
@@ -178,6 +208,7 @@ impl EcCheck {
             }
             cluster.put_local(node, &manifest_key(version), manifest(max_packets))?;
         }
+        drop(phase);
 
         // Step 4: low-frequency remote flush for catastrophic failures.
         self.saves += 1;
@@ -201,12 +232,24 @@ impl EcCheck {
         }
 
         let payload = (max_packets * ps) as u64;
+        let traffic = self.reduction.traffic(payload);
+        save_timer.stop();
+        self.recorder.counter("ecc.save.calls").incr();
+        self.recorder.counter("ecc.save.bytes_encoded").add(encoded_bytes);
+        self.recorder.counter("ecc.save.traffic_bytes").add(traffic.total());
+        if remote_flushed {
+            self.recorder.counter("ecc.save.remote_flushes").incr();
+        }
+        self.recorder.event(
+            "ecc.save",
+            format!("version={version} packets_per_worker={max_packets} flushed={remote_flushed}"),
+        );
         Ok(SaveReport {
             version,
             packet_size: ps,
             packets_per_worker: max_packets,
             encoded_bytes,
-            traffic: self.reduction.traffic(payload),
+            traffic,
             remote_flushed,
         })
     }
@@ -229,6 +272,8 @@ impl EcCheck {
         }
         let version = self.version;
         let (k, n) = (self.config.k(), self.spec.nodes());
+        self.recorder.counter("ecc.load.calls").incr();
+        let load_timer = self.recorder.timer("ecc.load.ns");
 
         // Which chunks survive? Chunk id: data j -> j, parity i -> k + i.
         let mut shards: Vec<Option<Vec<u8>>> = vec![None; n];
@@ -247,19 +292,29 @@ impl EcCheck {
             }
         }
         let survivors = shards.iter().filter(|s| s.is_some()).count();
+        self.recorder.counter("ecc.load.survivors").add(survivors as u64);
         if survivors < k {
             // Catastrophic: fall back to the remote copy if one exists.
+            // (load_timer drops after the call, timing the remote path too.)
             return self.load_from_remote(cluster, failed_nodes);
         }
 
-        let data_lost =
-            (0..k).any(|j| shards[j].is_none());
-        let workflow =
-            if data_lost { RecoveryWorkflow::Decode } else { RecoveryWorkflow::Resend };
+        let data_lost = (0..k).any(|j| shards[j].is_none());
+        let workflow = if data_lost { RecoveryWorkflow::Decode } else { RecoveryWorkflow::Resend };
+        self.recorder
+            .counter(if data_lost {
+                "ecc.load.workflow.decode"
+            } else {
+                "ecc.load.workflow.resend"
+            })
+            .incr();
+        self.recorder.event(
+            "ecc.load.workflow",
+            format!("{workflow:?} survivors={survivors} failed={failed_nodes:?}"),
+        );
 
         // Rebuild all chunks (decode if data lost, re-encode lost parity).
-        let shard_refs: Vec<Option<&[u8]>> =
-            shards.iter().map(|s| s.as_deref()).collect();
+        let shard_refs: Vec<Option<&[u8]>> = shards.iter().map(|s| s.as_deref()).collect();
         let rebuilt_count = shard_refs.iter().filter(|s| s.is_none()).count();
         let all_chunks = self.code.reconstruct_all(&shard_refs)?;
 
@@ -291,6 +346,9 @@ impl EcCheck {
         // Reassemble every worker's state_dict from the data chunks.
         let dicts = self.reassemble_all(&all_chunks[..k], &headers)?;
         let restored_bytes: u64 = dicts.iter().map(|d| d.tensor_bytes() as u64).sum();
+        load_timer.stop();
+        self.recorder.counter("ecc.load.rebuilt_chunks").add(rebuilt_count as u64);
+        self.recorder.counter("ecc.load.restored_bytes").add(restored_bytes);
         Ok((
             dicts,
             LoadReport {
@@ -337,6 +395,7 @@ impl EcCheck {
         let version = self.version;
         let ps = self.config.packet_size();
         let max_packets = self.packets_per_worker;
+        let update_timer = self.recorder.timer("ecc.update.ns");
 
         // Re-pack the worker's tensor data into its (fixed) packet count.
         let d = decompose(state_dict);
@@ -397,6 +456,9 @@ impl EcCheck {
         for node in 0..self.spec.nodes() {
             cluster.put_local(node, &header_key(version, worker), header.clone())?;
         }
+        update_timer.stop();
+        self.recorder.counter("ecc.update.calls").incr();
+        self.recorder.counter("ecc.update.changed_bytes").add(changed);
         Ok(changed)
     }
 
@@ -412,6 +474,8 @@ impl EcCheck {
         }
         let version = self.version;
         let n = self.spec.nodes();
+        let flush_timer = self.recorder.timer("ecc.flush.ns");
+        self.recorder.counter("ecc.flush.calls").incr();
         for node in 0..n {
             if let Some(blob) = cluster.get_local(node, &chunk_key(version)) {
                 let blob = blob.to_vec();
@@ -427,6 +491,7 @@ impl EcCheck {
             }
         }
         cluster.put_remote(&remote_manifest_key(version), manifest(self.packets_per_worker));
+        flush_timer.stop();
         Ok(())
     }
 
@@ -493,6 +558,13 @@ impl EcCheck {
         }
         let dicts = self.reassemble_all(&all_chunks[..k], &headers)?;
         let restored_bytes: u64 = dicts.iter().map(|d| d.tensor_bytes() as u64).sum();
+        self.recorder.counter("ecc.load.workflow.remote").incr();
+        self.recorder.counter("ecc.load.rebuilt_chunks").add((n - survivors) as u64);
+        self.recorder.counter("ecc.load.restored_bytes").add(restored_bytes);
+        self.recorder.event(
+            "ecc.load.workflow",
+            format!("Remote survivors={survivors} failed={failed_nodes:?}"),
+        );
         Ok((
             dicts,
             LoadReport {
@@ -518,11 +590,11 @@ impl EcCheck {
         let group_size = self.placement.group_size();
         let max_packets = self.packets_per_worker;
         let mut dicts = Vec::with_capacity(self.spec.world_size());
-        for w in 0..self.spec.world_size() {
+        for (w, header) in headers.iter().enumerate() {
             let j = w / group_size;
             let r = w % group_size;
             let base = r * max_packets * ps;
-            let mut d = Decomposition::from_header(&headers[w])?;
+            let mut d = Decomposition::from_header(header)?;
             let lens: Vec<usize> =
                 d.tensor_keys().iter().map(ecc_checkpoint::TensorKey::byte_len).collect();
             let total: usize = lens.iter().sum();
@@ -530,9 +602,8 @@ impl EcCheck {
             let pw = self.packer.packet_count(total);
             let extents = self.packer.extents_for(&lens);
             let region = &data_chunks[j][base..base + pw * ps];
-            let packets: Vec<Packet> = (0..pw)
-                .map(|b| Packet::new(b, region[b * ps..(b + 1) * ps].to_vec()))
-                .collect();
+            let packets: Vec<Packet> =
+                (0..pw).map(|b| Packet::new(b, region[b * ps..(b + 1) * ps].to_vec())).collect();
             let tensors = self.packer.unpack(&packets, &extents, &lens)?;
             d.set_tensor_data(tensors)?;
             dicts.push(d.reassemble()?);
@@ -681,8 +752,7 @@ mod tests {
     fn three_failures_without_remote_are_unrecoverable() {
         let (_, mut cluster, _, dicts) = setup();
         let spec = ClusterSpec::tiny_test(4, 2);
-        let mut ecc =
-            EcCheck::initialize(&spec, tiny_config().with_remote_flush_every(0)).unwrap();
+        let mut ecc = EcCheck::initialize(&spec, tiny_config().with_remote_flush_every(0)).unwrap();
         ecc.save(&mut cluster, &dicts).unwrap();
         for n in [0, 1, 2] {
             cluster.fail_node(n);
@@ -714,8 +784,7 @@ mod tests {
     fn periodic_remote_flush_fires() {
         let spec = ClusterSpec::tiny_test(4, 2);
         let mut cluster = Cluster::new(spec);
-        let mut ecc =
-            EcCheck::initialize(&spec, tiny_config().with_remote_flush_every(2)).unwrap();
+        let mut ecc = EcCheck::initialize(&spec, tiny_config().with_remote_flush_every(2)).unwrap();
         let (_, _, _, dicts) = setup();
         let r1 = ecc.save(&mut cluster, &dicts).unwrap();
         assert!(!r1.remote_flushed);
@@ -753,10 +822,7 @@ mod tests {
     #[test]
     fn wrong_shard_count_is_rejected() {
         let (_, mut cluster, mut ecc, dicts) = setup();
-        assert!(matches!(
-            ecc.save(&mut cluster, &dicts[..3]),
-            Err(EcCheckError::Config { .. })
-        ));
+        assert!(matches!(ecc.save(&mut cluster, &dicts[..3]), Err(EcCheckError::Config { .. })));
     }
 
     #[test]
@@ -988,10 +1054,7 @@ mod shape_tests {
         cluster.fail_node(1);
         cluster.replace_node(0);
         cluster.replace_node(1);
-        assert!(matches!(
-            ecc.load(&mut cluster),
-            Err(EcCheckError::Unrecoverable { .. })
-        ));
+        assert!(matches!(ecc.load(&mut cluster), Err(EcCheckError::Unrecoverable { .. })));
     }
 
     /// GF(2^4) and GF(2^16) drive the engine end-to-end too.

@@ -32,10 +32,9 @@ impl fmt::Display for EcCheckError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             EcCheckError::Config { detail } => write!(f, "configuration error: {detail}"),
-            EcCheckError::Unrecoverable { survivors, needed } => write!(
-                f,
-                "unrecoverable failure: only {survivors} chunks survive, {needed} needed"
-            ),
+            EcCheckError::Unrecoverable { survivors, needed } => {
+                write!(f, "unrecoverable failure: only {survivors} chunks survive, {needed} needed")
+            }
             EcCheckError::NoCheckpoint => write!(f, "no checkpoint has been saved"),
             EcCheckError::Erasure(e) => write!(f, "erasure coding: {e}"),
             EcCheckError::Checkpoint(e) => write!(f, "checkpoint: {e}"),

@@ -79,10 +79,7 @@ impl GroupedEcCheck {
     ) -> Result<Self, EcCheckError> {
         if group_nodes == 0 || !spec.nodes().is_multiple_of(group_nodes) {
             return Err(EcCheckError::Config {
-                detail: format!(
-                    "group size {group_nodes} does not divide {} nodes",
-                    spec.nodes()
-                ),
+                detail: format!("group size {group_nodes} does not divide {} nodes", spec.nodes()),
             });
         }
         if !group_nodes.is_multiple_of(2) {
@@ -146,8 +143,7 @@ impl GroupedEcCheck {
         let workers_per_group = self.group_nodes * self.spec.gpus_per_node();
         let mut reports = Vec::with_capacity(self.engines.len());
         for (t, engine) in self.engines.iter_mut().enumerate() {
-            let mut view =
-                cluster.view(t * self.group_nodes, self.group_nodes, &format!("grp{t}"));
+            let mut view = cluster.view(t * self.group_nodes, self.group_nodes, &format!("grp{t}"));
             let dicts = &state_dicts[t * workers_per_group..(t + 1) * workers_per_group];
             reports.push(engine.save(&mut view, dicts)?);
         }
@@ -168,8 +164,7 @@ impl GroupedEcCheck {
         let mut dicts = Vec::with_capacity(self.spec.world_size());
         let mut reports = Vec::with_capacity(self.engines.len());
         for (t, engine) in self.engines.iter().enumerate() {
-            let mut view =
-                cluster.view(t * self.group_nodes, self.group_nodes, &format!("grp{t}"));
+            let mut view = cluster.view(t * self.group_nodes, self.group_nodes, &format!("grp{t}"));
             let (group_dicts, report) = engine.load(&mut view)?;
             dicts.extend(group_dicts);
             reports.push(report);
@@ -230,9 +225,8 @@ pub fn optimal_group_size(
 ) -> (Vec<GroupSizeCost>, usize) {
     assert!((0.0..=1.0).contains(&p), "p must be a probability");
     let nodes = spec.nodes();
-    let candidates: Vec<usize> = (2..=nodes)
-        .filter(|g| g % 2 == 0 && nodes.is_multiple_of(*g))
-        .collect();
+    let candidates: Vec<usize> =
+        (2..=nodes).filter(|g| g % 2 == 0 && nodes.is_multiple_of(*g)).collect();
     assert!(!candidates.is_empty(), "no even group size divides {nodes} nodes");
     let per_worker_nic = spec.nic().shared(spec.gpus_per_node());
     let world = spec.world_size() as u64;
@@ -245,8 +239,7 @@ pub fn optimal_group_size(
             let per_group = ecc_reliability::ec_recovery(g, m, p);
             let survive = ecc_reliability::cluster_recovery(per_group, nodes / g);
             let loss_probability = 1.0 - survive;
-            let expected_cost =
-                comm_time.as_secs_f64() + loss_probability * remote_reload;
+            let expected_cost = comm_time.as_secs_f64() + loss_probability * remote_reload;
             GroupSizeCost { group_nodes: g, comm_time, loss_probability, expected_cost }
         })
         .collect();
@@ -275,7 +268,11 @@ mod tests {
             .collect()
     }
 
-    fn grouped(nodes: usize, g: usize, group_nodes: usize) -> (ClusterSpec, Cluster, GroupedEcCheck) {
+    fn grouped(
+        nodes: usize,
+        g: usize,
+        group_nodes: usize,
+    ) -> (ClusterSpec, Cluster, GroupedEcCheck) {
         let spec = ClusterSpec::tiny_test(nodes, g);
         let cluster = Cluster::new(spec);
         let config = EcCheckConfig::paper_defaults().with_packet_size(512);
@@ -314,10 +311,7 @@ mod tests {
             cluster.fail_node(n);
             cluster.replace_node(n);
         }
-        assert!(matches!(
-            g.load(&mut cluster),
-            Err(EcCheckError::Unrecoverable { .. })
-        ));
+        assert!(matches!(g.load(&mut cluster), Err(EcCheckError::Unrecoverable { .. })));
     }
 
     #[test]
@@ -389,10 +383,7 @@ mod tests {
     fn grouped_recovery_rate_matches_reliability_crate() {
         let (_, _, g) = grouped(8, 1, 4);
         let p = 0.1;
-        let expected = ecc_reliability::cluster_recovery(
-            ecc_reliability::ec_recovery(4, 2, p),
-            2,
-        );
+        let expected = ecc_reliability::cluster_recovery(ecc_reliability::ec_recovery(4, 2, p), 2);
         assert!((g.recovery_rate(p) - expected).abs() < 1e-12);
     }
 }

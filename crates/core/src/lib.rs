@@ -60,8 +60,8 @@
 
 mod config;
 mod engine;
-mod groups;
 mod error;
+mod groups;
 mod placement;
 mod reduction;
 mod report;

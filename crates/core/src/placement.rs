@@ -101,9 +101,7 @@ pub fn select_data_parity_nodes(
 ) -> Result<Placement, EcCheckError> {
     let n = origin_group.len();
     if k == 0 || k > n {
-        return Err(EcCheckError::Config {
-            detail: format!("k = {k} must be within 1..={n}"),
-        });
+        return Err(EcCheckError::Config { detail: format!("k = {k} must be within 1..={n}") });
     }
     let mut cursor = 0usize;
     for (i, r) in origin_group.iter().enumerate() {
@@ -160,18 +158,14 @@ pub fn select_data_parity_nodes(
     // the lowest free node.
     for slot in data_nodes.iter_mut() {
         if slot.is_none() {
-            let free = node_taken
-                .iter()
-                .position(|&t| !t)
-                .expect("k <= n guarantees a free node");
+            let free = node_taken.iter().position(|&t| !t).expect("k <= n guarantees a free node");
             node_taken[free] = true;
             *slot = Some(free);
         }
     }
     let data_nodes: Vec<NodeId> =
         data_nodes.into_iter().map(|s| s.expect("all chunks assigned")).collect();
-    let parity_nodes: Vec<NodeId> =
-        (0..n).filter(|&i| !data_nodes.contains(&i)).collect();
+    let parity_nodes: Vec<NodeId> = (0..n).filter(|&i| !data_nodes.contains(&i)).collect();
     Ok(Placement { data_nodes, parity_nodes, group_size })
 }
 

@@ -79,10 +79,7 @@ impl ReductionPlan {
         let k = placement.k();
         if placement.m() != m {
             return Err(EcCheckError::Config {
-                detail: format!(
-                    "placement provides {} parity nodes but m = {m}",
-                    placement.m()
-                ),
+                detail: format!("placement provides {} parity nodes but m = {m}", placement.m()),
             });
         }
         if !world.is_multiple_of(k) {
@@ -127,8 +124,7 @@ impl ReductionPlan {
         let xor_units = (self.groups.len() * self.m * (self.k - 1)) as u64 * packet_units;
         // Data P2P: packets the data nodes still need.
         let data_units =
-            crate::placement::data_p2p_packets(&self.origin, &self.placement) as u64
-                * packet_units;
+            crate::placement::data_p2p_packets(&self.origin, &self.placement) as u64 * packet_units;
         // Parity P2P: reduction results not already on the right parity
         // node.
         let mut parity_moves = 0u64;
@@ -237,11 +233,7 @@ mod tests {
             let s = 10u64;
             let w = (nodes * g) as u64;
             let t = plan.traffic(s);
-            assert_eq!(
-                t.total(),
-                m as u64 * s * w,
-                "nodes={nodes} g={g} k={k} m={m}: {t:?}"
-            );
+            assert_eq!(t.total(), m as u64 * s * w, "nodes={nodes} g={g} k={k} m={m}: {t:?}");
         }
     }
 

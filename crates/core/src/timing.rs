@@ -114,8 +114,7 @@ pub fn save_timing(
     // workers.
     let threads = config.coding_threads() as f64;
     let encode_rate = constants.coding_rate_per_thread * threads;
-    let t_encode =
-        SimDuration::from_secs_f64((ps * m) as f64 / encode_rate);
+    let t_encode = SimDuration::from_secs_f64((ps * m) as f64 / encode_rate);
     let per_worker_nic = spec.nic().shared(g as usize);
     // Split one checkpoint's total traffic (m·s·W, §V-F) evenly over
     // workers and packets. XOR reduction and P2P both cross the same
@@ -124,13 +123,9 @@ pub fn save_timing(
     // as one communication stage of m packets' worth per data packet.
     let xor_share = (m * (k - 1)) as f64 / k as f64;
     let p2p_share = m as f64 - xor_share;
-    let t_comm = per_worker_nic
-        .transfer_time((ps as f64 * (xor_share + p2p_share)).ceil() as u64);
+    let t_comm = per_worker_nic.transfer_time((ps as f64 * (xor_share + p2p_share)).ceil() as u64);
 
-    let durations = vec![
-        vec![t_encode; packets as usize],
-        vec![t_comm; packets as usize],
-    ];
+    let durations = vec![vec![t_encode; packets as usize], vec![t_comm; packets as usize]];
     let idle = profile.filter(|_| config.use_idle_slots()).map(IterationProfile::windows);
     let comm_constraint = match idle {
         Some(w) => StageConstraint::IdleSlots(w),
@@ -164,10 +159,7 @@ pub fn recovery_timing(
     constants: &TimingConstants,
 ) -> RecoveryTiming {
     config.validate(spec.nodes(), spec.world_size()).expect("valid configuration");
-    assert!(
-        scenario.count() <= config.m(),
-        "recoverable scenarios fail at most m nodes"
-    );
+    assert!(scenario.count() <= config.m(), "recoverable scenarios fail at most m nodes");
     let placement = select_data_parity_nodes(&spec.origin_group(), config.k())
         .expect("validated configuration");
     let g = spec.gpus_per_node() as u64;
@@ -177,10 +169,7 @@ pub fn recovery_timing(
     let threads = config.coding_threads() as f64;
     let coding_rate = constants.coding_rate_per_thread * threads;
 
-    let data_lost = placement
-        .data_nodes()
-        .iter()
-        .any(|&n| scenario.is_failed(n));
+    let data_lost = placement.data_nodes().iter().any(|&n| scenario.is_failed(n));
     if !data_lost {
         // Workflow A: data nodes resend each replaced node's worker
         // packets (g·s per replaced node, receivers in parallel, but a
@@ -237,8 +226,10 @@ mod tests {
     #[test]
     fn save_total_grows_with_model_size() {
         let (spec, cfg, consts) = paper_setup();
-        let small = save_timing(&spec, &cfg, shard(&ModelConfig::gpt2(1600, 32, 48)), None, &consts);
-        let large = save_timing(&spec, &cfg, shard(&ModelConfig::gpt2(5120, 40, 64)), None, &consts);
+        let small =
+            save_timing(&spec, &cfg, shard(&ModelConfig::gpt2(1600, 32, 48)), None, &consts);
+        let large =
+            save_timing(&spec, &cfg, shard(&ModelConfig::gpt2(5120, 40, 64)), None, &consts);
         assert!(large.total > small.total);
         assert!(large.stall() > small.stall());
     }
@@ -269,11 +260,7 @@ mod tests {
         let m = cfg.m() as u64;
         let enc = (cfg.packet_size() as u64 * m) as f64
             / (consts.coding_rate_per_thread * cfg.coding_threads() as f64);
-        let comm = spec
-            .nic()
-            .shared(g)
-            .transfer_time(cfg.packet_size() as u64 * m)
-            .as_secs_f64();
+        let comm = spec.nic().shared(g).transfer_time(cfg.packet_size() as u64 * m).as_secs_f64();
         let serial_total = (enc + comm) * packets as f64;
         let pipelined = t.step3_pipeline.as_secs_f64();
         assert!(

@@ -157,7 +157,7 @@ impl ModelConfig {
         match self.family {
             ModelFamily::Gpt2 => word + pos + 2 * h, // final LayerNorm
             ModelFamily::Bert => word + pos + 2 * h + (h * h + h), // pooler
-            ModelFamily::T5 => word + 2 * h, // T5 uses relative positions
+            ModelFamily::T5 => word + 2 * h,         // T5 uses relative positions
         }
     }
 
@@ -201,7 +201,11 @@ pub fn format_params(count: u64) -> String {
 pub fn table_i_configs() -> Vec<(ModelConfig, &'static str)> {
     let rows = [(1600, 32, 48, "1.6B"), (2560, 40, 64, "5.3B"), (5120, 40, 64, "20B")];
     let mut out = Vec::new();
-    for ctor in [ModelConfig::gpt2 as fn(usize, usize, usize) -> ModelConfig, ModelConfig::bert, ModelConfig::t5] {
+    for ctor in [
+        ModelConfig::gpt2 as fn(usize, usize, usize) -> ModelConfig,
+        ModelConfig::bert,
+        ModelConfig::t5,
+    ] {
         for &(h, a, l, label) in &rows {
             out.push((ctor(h, a, l), label));
         }

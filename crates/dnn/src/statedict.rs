@@ -45,17 +45,11 @@ impl StateDictSpec {
 ///
 /// Returns [`DnnError::InvalidParallelism`] when the model does not
 /// divide across the grid or the worker id is out of range.
-pub fn build_worker_state_dict(
-    spec: &StateDictSpec,
-    worker: usize,
-) -> Result<StateDict, DnnError> {
+pub fn build_worker_state_dict(spec: &StateDictSpec, worker: usize) -> Result<StateDict, DnnError> {
     spec.par.validate_for(&spec.model)?;
     if worker >= spec.par.world_size() {
         return Err(DnnError::InvalidParallelism {
-            detail: format!(
-                "worker {worker} out of range (world size {})",
-                spec.par.world_size()
-            ),
+            detail: format!("worker {worker} out of range (world size {})", spec.par.world_size()),
         });
     }
     let rank = spec.par.rank_of(worker);
@@ -178,7 +172,9 @@ struct Filler {
 
 impl Filler {
     fn new(seed: u64, worker: usize) -> Self {
-        Self { rng: StdRng::seed_from_u64(seed ^ (worker as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)) }
+        Self {
+            rng: StdRng::seed_from_u64(seed ^ (worker as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        }
     }
 
     fn tensor(&mut self, dtype: DType, shape: &[usize]) -> Tensor {

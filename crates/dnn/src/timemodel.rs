@@ -33,20 +33,12 @@ pub struct GpuSpec {
 impl GpuSpec {
     /// An NVIDIA A100-40GB-like device (312 TFLOPs peak, ~40% MFU).
     pub fn a100_40g() -> Self {
-        Self {
-            flops: 125e12,
-            dtoh: Bandwidth::from_gibps(20.0),
-            hbm_bytes: 40 * (1 << 30),
-        }
+        Self { flops: 125e12, dtoh: Bandwidth::from_gibps(20.0), hbm_bytes: 40 * (1 << 30) }
     }
 
     /// An NVIDIA V100-32GB-like device (125 TFLOPs peak, ~35% MFU).
     pub fn v100_32g() -> Self {
-        Self {
-            flops: 44e12,
-            dtoh: Bandwidth::from_gibps(10.0),
-            hbm_bytes: 32 * (1 << 30),
-        }
+        Self { flops: 44e12, dtoh: Bandwidth::from_gibps(10.0), hbm_bytes: 32 * (1 << 30) }
     }
 }
 
@@ -257,9 +249,8 @@ mod tests {
         // GPT-2 1.6B on 16 A100s with 8 microbatches of 1×1024 tokens:
         // expect an iteration in the hundreds of milliseconds to seconds.
         let (m, par) = model_4node();
-        let tm =
-            TrainingTimeModel::new(m, par, GpuSpec::a100_40g(), Bandwidth::from_gbps(100.0))
-                .unwrap();
+        let tm = TrainingTimeModel::new(m, par, GpuSpec::a100_40g(), Bandwidth::from_gbps(100.0))
+            .unwrap();
         let secs = tm.iteration_time().as_secs_f64();
         assert!((0.05..10.0).contains(&secs), "iteration {secs}s");
     }
@@ -267,9 +258,8 @@ mod tests {
     #[test]
     fn nic_is_mostly_idle_without_dp() {
         let (m, par) = model_4node();
-        let tm =
-            TrainingTimeModel::new(m, par, GpuSpec::a100_40g(), Bandwidth::from_gbps(100.0))
-                .unwrap();
+        let tm = TrainingTimeModel::new(m, par, GpuSpec::a100_40g(), Bandwidth::from_gbps(100.0))
+            .unwrap();
         let p = tm.profile(3);
         assert!(
             p.idle_fraction() > 0.8,
@@ -303,9 +293,8 @@ mod tests {
     #[test]
     fn profile_repeats_per_iteration() {
         let (m, par) = model_4node();
-        let tm =
-            TrainingTimeModel::new(m, par, GpuSpec::a100_40g(), Bandwidth::from_gbps(100.0))
-                .unwrap();
+        let tm = TrainingTimeModel::new(m, par, GpuSpec::a100_40g(), Bandwidth::from_gbps(100.0))
+            .unwrap();
         let one = tm.profile(1);
         let two = tm.profile(2);
         // Busy time doubles exactly (window *counts* may differ by one
@@ -318,36 +307,29 @@ mod tests {
     #[test]
     fn more_microbatches_mean_more_busy_windows() {
         let (m, par) = model_4node();
-        let base =
-            TrainingTimeModel::new(m, par, GpuSpec::a100_40g(), Bandwidth::from_gbps(100.0))
-                .unwrap();
+        let base = TrainingTimeModel::new(m, par, GpuSpec::a100_40g(), Bandwidth::from_gbps(100.0))
+            .unwrap();
         let more = base.clone().with_num_microbatches(16);
-        assert!(
-            more.profile(1).windows().busy().len() > base.profile(1).windows().busy().len()
-        );
+        assert!(more.profile(1).windows().busy().len() > base.profile(1).windows().busy().len());
     }
 
     #[test]
     fn slower_nic_means_longer_p2p() {
         let (m, par) = model_4node();
-        let fast =
-            TrainingTimeModel::new(m, par, GpuSpec::a100_40g(), Bandwidth::from_gbps(100.0))
-                .unwrap();
-        let slow =
-            TrainingTimeModel::new(m, par, GpuSpec::a100_40g(), Bandwidth::from_gbps(10.0))
-                .unwrap();
+        let fast = TrainingTimeModel::new(m, par, GpuSpec::a100_40g(), Bandwidth::from_gbps(100.0))
+            .unwrap();
+        let slow = TrainingTimeModel::new(m, par, GpuSpec::a100_40g(), Bandwidth::from_gbps(10.0))
+            .unwrap();
         assert!(slow.p2p_time() > fast.p2p_time());
     }
 
     #[test]
     fn v100_is_slower_than_a100() {
         let (m, par) = model_4node();
-        let a =
-            TrainingTimeModel::new(m, par, GpuSpec::a100_40g(), Bandwidth::from_gbps(100.0))
-                .unwrap();
-        let v =
-            TrainingTimeModel::new(m, par, GpuSpec::v100_32g(), Bandwidth::from_gbps(100.0))
-                .unwrap();
+        let a = TrainingTimeModel::new(m, par, GpuSpec::a100_40g(), Bandwidth::from_gbps(100.0))
+            .unwrap();
+        let v = TrainingTimeModel::new(m, par, GpuSpec::v100_32g(), Bandwidth::from_gbps(100.0))
+            .unwrap();
         assert!(v.iteration_time() > a.iteration_time());
     }
 }

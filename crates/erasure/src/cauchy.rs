@@ -69,8 +69,7 @@ pub fn generator_good(params: CodeParams) -> Result<Matrix, ErasureError> {
                 continue;
             }
             let inv = gf.inv(candidate)?;
-            let cost: usize =
-                row.iter().map(|&e| element_ones(&gf, gf.mul(e, inv))).sum();
+            let cost: usize = row.iter().map(|&e| element_ones(&gf, gf.mul(e, inv))).sum();
             if cost < best_cost {
                 best_cost = cost;
                 best_divisor = candidate;
@@ -91,9 +90,7 @@ pub fn generator_good(params: CodeParams) -> Result<Matrix, ErasureError> {
 /// element — the XOR cost of multiplying a region by that element.
 pub fn element_ones(gf: &GaloisField, e: u16) -> usize {
     let w = gf.w() as usize;
-    (0..w)
-        .map(|c| gf.mul(e, 1 << c).count_ones() as usize)
-        .sum()
+    (0..w).map(|c| gf.mul(e, 1 << c).count_ones() as usize).sum()
 }
 
 fn cauchy_part(params: CodeParams, gf: &GaloisField) -> Result<Matrix, ErasureError> {
@@ -159,14 +156,10 @@ mod tests {
         for (k, m) in [(2, 2), (4, 2), (4, 4), (6, 3)] {
             let p = CodeParams::new(k, m, 8).unwrap();
             let raw = generator(p).unwrap().select_rows(&(k..k + m).collect::<Vec<_>>());
-            let good =
-                generator_good(p).unwrap().select_rows(&(k..k + m).collect::<Vec<_>>());
+            let good = generator_good(p).unwrap().select_rows(&(k..k + m).collect::<Vec<_>>());
             let raw_ones = BitMatrix::from_gf_matrix(&raw, &gf).ones();
             let good_ones = BitMatrix::from_gf_matrix(&good, &gf).ones();
-            assert!(
-                good_ones <= raw_ones,
-                "k={k} m={m}: good {good_ones} > raw {raw_ones}"
-            );
+            assert!(good_ones <= raw_ones, "k={k} m={m}: good {good_ones} > raw {raw_ones}");
         }
     }
 

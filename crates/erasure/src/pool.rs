@@ -6,10 +6,41 @@
 //! cut into stripes, each stripe coded by a different thread, and the
 //! results concatenated — bit-identical to a single-threaded execution.
 
+use ecc_telemetry::{Counter, Recorder};
+
 use crate::code::run_schedule_stripe;
 use crate::region::MulTable;
 use crate::schedule::ScheduleKind;
 use crate::{region, ErasureCode, ErasureError};
+
+/// Telemetry handles for the pooled encode path. The pooled path bypasses
+/// [`ErasureCode::encode`], so it records into the same `erasure.encode.*`
+/// names (keeping those totals complete however an encode executes) plus
+/// pool-specific stripe counters.
+#[derive(Debug, Clone)]
+struct PoolMetrics {
+    recorder: Recorder,
+    encode_calls: Counter,
+    encode_bytes: Counter,
+    encode_parity_bytes: Counter,
+    encode_xor_ops: Counter,
+    encode_stripes: Counter,
+    decode_stripes: Counter,
+}
+
+impl PoolMetrics {
+    fn attach(recorder: &Recorder) -> Self {
+        Self {
+            recorder: recorder.clone(),
+            encode_calls: recorder.counter("erasure.encode.calls"),
+            encode_bytes: recorder.counter("erasure.encode.bytes"),
+            encode_parity_bytes: recorder.counter("erasure.encode.parity_bytes"),
+            encode_xor_ops: recorder.counter("erasure.encode.xor_ops"),
+            encode_stripes: recorder.counter("pool.encode.stripes"),
+            decode_stripes: recorder.counter("pool.decode.stripes"),
+        }
+    }
+}
 
 /// A coding thread pool with a fixed degree of parallelism.
 ///
@@ -33,18 +64,25 @@ use crate::{region, ErasureCode, ErasureError};
 #[derive(Debug, Clone)]
 pub struct CodingPool {
     threads: usize,
+    metrics: Option<PoolMetrics>,
 }
 
 impl CodingPool {
     /// Creates a pool that runs up to `threads` sub-tasks concurrently
     /// (clamped to at least 1).
     pub fn new(threads: usize) -> Self {
-        Self { threads: threads.max(1) }
+        Self { threads: threads.max(1), metrics: None }
     }
 
     /// The configured degree of parallelism.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Attaches a telemetry recorder; pooled encodes record into the
+    /// shared `erasure.encode.*` metrics plus `pool.*` stripe counters.
+    pub fn set_recorder(&mut self, recorder: &Recorder) {
+        self.metrics = Some(PoolMetrics::attach(recorder));
     }
 
     /// Parallel `dst ^= src` over equal-length regions.
@@ -59,12 +97,11 @@ impl CodingPool {
             region::xor_into(dst, src);
             return;
         }
-        crossbeam::thread::scope(|s| {
+        std::thread::scope(|s| {
             for (d, sr) in dst.chunks_mut(stripe).zip(src.chunks(stripe)) {
-                s.spawn(move |_| region::xor_into(d, sr));
+                s.spawn(move || region::xor_into(d, sr));
             }
-        })
-        .expect("coding worker panicked");
+        });
     }
 
     /// Parallel table multiplication: `dst = coef · src`, or
@@ -84,9 +121,9 @@ impl CodingPool {
             }
             return;
         }
-        crossbeam::thread::scope(|s| {
+        std::thread::scope(|s| {
             for (d, sr) in dst.chunks_mut(stripe).zip(src.chunks(stripe)) {
-                s.spawn(move |_| {
+                s.spawn(move || {
                     if accumulate {
                         table.apply_xor(sr, d);
                     } else {
@@ -94,8 +131,7 @@ impl CodingPool {
                     }
                 });
             }
-        })
-        .expect("coding worker panicked");
+        });
     }
 
     /// Parallel systematic encode: splits the packet dimension into
@@ -105,11 +141,7 @@ impl CodingPool {
     /// # Errors
     ///
     /// Same conditions as [`ErasureCode::encode`].
-    pub fn encode(
-        &self,
-        code: &ErasureCode,
-        data: &[&[u8]],
-    ) -> Result<Vec<Vec<u8>>, ErasureError> {
+    pub fn encode(&self, code: &ErasureCode, data: &[&[u8]]) -> Result<Vec<Vec<u8>>, ErasureError> {
         if self.threads == 1 {
             return code.encode(data);
         }
@@ -148,16 +180,14 @@ impl CodingPool {
             bounds.push((lo, hi));
             lo = hi;
         }
-        let stripes: Vec<Vec<Vec<u8>>> = crossbeam::thread::scope(|s| {
+        let timer = self.metrics.as_ref().map(|m| m.recorder.timer("erasure.encode.ns"));
+        let stripes: Vec<Vec<Vec<u8>>> = std::thread::scope(|s| {
             let handles: Vec<_> = bounds
                 .iter()
-                .map(|&(lo, hi)| {
-                    s.spawn(move |_| run_schedule_stripe(schedule, data, ps, lo, hi))
-                })
+                .map(|&(lo, hi)| s.spawn(move || run_schedule_stripe(schedule, data, ps, lo, hi)))
                 .collect();
             handles.into_iter().map(|h| h.join().expect("stripe worker panicked")).collect()
-        })
-        .expect("coding worker panicked");
+        });
         // Reassemble: parity chunk i, sub-packet r = concat of stripes.
         let (m, _) = (params.m(), params.k());
         let mut parity: Vec<Vec<u8>> = (0..m).map(|_| Vec::with_capacity(w * ps)).collect();
@@ -168,6 +198,14 @@ impl CodingPool {
                 }
             }
         }
+        drop(timer);
+        if let Some(metrics) = &self.metrics {
+            metrics.encode_calls.incr();
+            metrics.encode_bytes.add(data.iter().map(|c| c.len() as u64).sum());
+            metrics.encode_parity_bytes.add(parity.iter().map(|c| c.len() as u64).sum());
+            metrics.encode_xor_ops.add(schedule.xor_count() as u64);
+            metrics.encode_stripes.add(bounds.len() as u64);
+        }
         Ok(parity)
     }
 }
@@ -176,8 +214,7 @@ impl Default for CodingPool {
     /// A pool sized to the machine's available parallelism (or 4 when
     /// that cannot be determined).
     fn default() -> Self {
-        let threads =
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
         Self::new(threads)
     }
 }
@@ -302,8 +339,7 @@ impl CodingPool {
         // respect sub-packet boundaries, so stripe by whole sub-packet
         // columns: each stripe is a byte range of every sub-packet.
         let k = code.params().k();
-        let present: Vec<&[u8]> =
-            shards.iter().flatten().copied().collect();
+        let present: Vec<&[u8]> = shards.iter().flatten().copied().collect();
         if present.len() < k || self.threads == 1 {
             return code.decode(shards);
         }
@@ -323,39 +359,37 @@ impl CodingPool {
             bounds.push((lo, (lo + stripe).min(ps)));
             lo = (lo + stripe).min(ps);
         }
+        if let Some(metrics) = &self.metrics {
+            metrics.decode_stripes.add(bounds.len() as u64);
+        }
         // Build per-stripe shard views: for each shard, gather the byte
         // range [lo, hi) of each of its w sub-packets.
-        let stripes: Vec<Result<Vec<Vec<u8>>, ErasureError>> =
-            crossbeam::thread::scope(|s| {
-                let handles: Vec<_> = bounds
-                    .iter()
-                    .map(|&(lo, hi)| {
-                        let shards = &shards;
-                        s.spawn(move |_| {
-                            let views: Vec<Option<Vec<u8>>> = shards
-                                .iter()
-                                .map(|sh| {
-                                    sh.map(|bytes| {
-                                        let mut v =
-                                            Vec::with_capacity(w * (hi - lo));
-                                        for c in 0..w {
-                                            v.extend_from_slice(
-                                                &bytes[c * ps + lo..c * ps + hi],
-                                            );
-                                        }
-                                        v
-                                    })
+        let stripes: Vec<Result<Vec<Vec<u8>>, ErasureError>> = std::thread::scope(|s| {
+            let handles: Vec<_> = bounds
+                .iter()
+                .map(|&(lo, hi)| {
+                    let shards = &shards;
+                    s.spawn(move || {
+                        let views: Vec<Option<Vec<u8>>> = shards
+                            .iter()
+                            .map(|sh| {
+                                sh.map(|bytes| {
+                                    let mut v = Vec::with_capacity(w * (hi - lo));
+                                    for c in 0..w {
+                                        v.extend_from_slice(&bytes[c * ps + lo..c * ps + hi]);
+                                    }
+                                    v
                                 })
-                                .collect();
-                            let view_refs: Vec<Option<&[u8]>> =
-                                views.iter().map(|v| v.as_deref()).collect();
-                            code.decode(&view_refs)
-                        })
+                            })
+                            .collect();
+                        let view_refs: Vec<Option<&[u8]>> =
+                            views.iter().map(|v| v.as_deref()).collect();
+                        code.decode(&view_refs)
                     })
-                    .collect();
-                handles.into_iter().map(|h| h.join().expect("decode worker panicked")).collect()
-            })
-            .expect("decode worker panicked");
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("decode worker panicked")).collect()
+        });
         // Reassemble: data chunk j sub-packet c = concat of stripes.
         let mut out: Vec<Vec<u8>> = (0..k).map(|_| Vec::with_capacity(len)).collect();
         let mut stripe_chunks = Vec::with_capacity(stripes.len());
@@ -394,13 +428,8 @@ mod decode_tests {
         let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
         let parity = code.encode(&refs).unwrap();
         // Lose data chunks 0 and 2.
-        let shards: Vec<Option<&[u8]>> = vec![
-            None,
-            Some(&data[1]),
-            None,
-            Some(&parity[0]),
-            Some(&parity[1]),
-        ];
+        let shards: Vec<Option<&[u8]>> =
+            vec![None, Some(&data[1]), None, Some(&parity[0]), Some(&parity[1])];
         let serial = code.decode(&shards).unwrap();
         for threads in [1usize, 2, 4, 8] {
             let parallel = CodingPool::new(threads).decode(&code, &shards).unwrap();
@@ -415,8 +444,7 @@ mod decode_tests {
         let data: Vec<Vec<u8>> = (0..2).map(|i| random_bytes(64, i)).collect();
         let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
         let parity = code.encode(&refs).unwrap();
-        let shards: Vec<Option<&[u8]>> =
-            vec![None, None, Some(&parity[0]), Some(&parity[1])];
+        let shards: Vec<Option<&[u8]>> = vec![None, None, Some(&parity[0]), Some(&parity[1])];
         assert_eq!(CodingPool::new(8).decode(&code, &shards).unwrap(), data);
     }
 

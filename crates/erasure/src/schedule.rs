@@ -98,7 +98,13 @@ impl XorSchedule {
     /// # Panics
     ///
     /// Panics when the bit-matrix shape is not `(m·w) × (k·w)`.
-    pub fn from_bitmatrix(bits: &BitMatrix, k: usize, m: usize, w: usize, kind: ScheduleKind) -> Self {
+    pub fn from_bitmatrix(
+        bits: &BitMatrix,
+        k: usize,
+        m: usize,
+        w: usize,
+        kind: ScheduleKind,
+    ) -> Self {
         assert_eq!(bits.rows(), m * w, "bit-matrix must have m*w rows");
         assert_eq!(bits.cols(), k * w, "bit-matrix must have k*w columns");
         match kind {
@@ -136,10 +142,7 @@ impl XorSchedule {
         for row in 0..rows {
             let scratch_cost = bits.row_ones(row);
             // Best previously computed row to derive from.
-            let derived = done
-                .iter()
-                .map(|&prev| (bits.row_diff(row, prev) + 1, prev))
-                .min();
+            let derived = done.iter().map(|&prev| (bits.row_diff(row, prev) + 1, prev)).min();
             match derived {
                 Some((cost, prev)) if cost < scratch_cost => {
                     let dst = parity_base + row;

@@ -1,0 +1,108 @@
+//! Property tests for the full encode → erase → decode cycle across
+//! randomly drawn code shapes `(k, m, w)`.
+//!
+//! The MDS contract under test: any erasure pattern of at most `m`
+//! chunks decodes back to the original data bit-exactly, and any
+//! pattern of more than `m` erasures is *refused* — the decoder must
+//! error rather than fabricate plausible-but-wrong bytes.
+
+use ecc_erasure::{CodeParams, ErasureCode, ErasureError};
+use proptest::prelude::*;
+use rand::prelude::*;
+
+/// Draws a random but valid `(k, m, w)` shape, the erased set, and the
+/// payload, then returns everything a case needs.
+struct Case {
+    code: ErasureCode,
+    data: Vec<Vec<u8>>,
+    chunks: Vec<Vec<u8>>,
+}
+
+fn build_case(k: usize, m: usize, w: u8, len_mult: usize, seed: u64) -> Case {
+    let params = CodeParams::new(k, m, w).expect("generated shape is valid");
+    let code = ErasureCode::cauchy_good(params).expect("cauchy_good for valid params");
+    let len = params.alignment() * len_mult;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let data: Vec<Vec<u8>> = (0..k).map(|_| (0..len).map(|_| rng.gen()).collect()).collect();
+    let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+    let parity = code.encode(&refs).expect("encode valid chunks");
+    let mut chunks = data.clone();
+    chunks.extend(parity);
+    Case { code, data, chunks }
+}
+
+/// A random erasure pattern of exactly `erased` of the `n` chunk slots.
+fn erase_pattern(n: usize, erased: usize, seed: u64) -> Vec<usize> {
+    let mut ids: Vec<usize> = (0..n).collect();
+    ids.shuffle(&mut StdRng::seed_from_u64(seed));
+    ids.truncate(erased);
+    ids
+}
+
+fn shards<'a>(case: &'a Case, erased: &[usize]) -> Vec<Option<&'a [u8]>> {
+    (0..case.chunks.len())
+        .map(|i| (!erased.contains(&i)).then(|| case.chunks[i].as_slice()))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Bit-exact round-trip for every drawn shape and any erasure
+    /// pattern of at most `m` chunks.
+    #[test]
+    fn prop_roundtrip_within_tolerance(
+        k in 2usize..=6,
+        m in 1usize..=4,
+        w_pick in 0usize..=2,
+        len_mult in 1usize..=8,
+        payload_seed in proptest::prelude::any::<u64>(),
+        pattern_seed in proptest::prelude::any::<u64>(),
+        erased_frac in 0usize..=3,
+    ) {
+        let w = [4u8, 8, 16][w_pick];
+        // w = 4 caps n = k + m at 16; every drawn shape fits.
+        let case = build_case(k, m, w, len_mult, payload_seed);
+        let erased_count = 1 + erased_frac % m.max(1);
+        prop_assert!(erased_count <= m);
+        let erased = erase_pattern(k + m, erased_count, pattern_seed);
+        let decoded = case.code.decode(&shards(&case, &erased)).expect("within tolerance");
+        prop_assert_eq!(decoded, case.data.clone(), "erased {:?}", erased);
+    }
+
+    /// More than `m` erasures must be refused outright — the decoder
+    /// returns `TooFewSurvivors`, never wrong data.
+    #[test]
+    fn prop_beyond_tolerance_is_refused(
+        k in 2usize..=6,
+        m in 1usize..=4,
+        w_pick in 0usize..=2,
+        payload_seed in proptest::prelude::any::<u64>(),
+        pattern_seed in proptest::prelude::any::<u64>(),
+    ) {
+        let w = [4u8, 8, 16][w_pick];
+        let case = build_case(k, m, w, 2, payload_seed);
+        let erased = erase_pattern(k + m, m + 1, pattern_seed);
+        let result = case.code.decode(&shards(&case, &erased));
+        prop_assert!(
+            matches!(result, Err(ErasureError::TooFewSurvivors { .. })),
+            "decode of {:?} erasures must be refused, got {:?}",
+            erased.len(),
+            result.map(|d| d.len())
+        );
+    }
+
+    /// Erasing only parity leaves the data untouched: decode is the
+    /// identity on the data chunks.
+    #[test]
+    fn prop_parity_only_erasure_is_identity(
+        k in 2usize..=6,
+        m in 1usize..=4,
+        payload_seed in proptest::prelude::any::<u64>(),
+    ) {
+        let case = build_case(k, m, 8, 2, payload_seed);
+        let erased: Vec<usize> = (k..k + m).collect();
+        let decoded = case.code.decode(&shards(&case, &erased)).expect("all data present");
+        prop_assert_eq!(decoded, case.data.clone());
+    }
+}

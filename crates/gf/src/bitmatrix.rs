@@ -154,11 +154,7 @@ impl BitMatrix {
     /// Panics when `v.len() != self.cols()`.
     pub fn mul_bitvec(&self, v: &[bool]) -> Vec<bool> {
         assert_eq!(v.len(), self.cols, "vector length must equal column count");
-        (0..self.rows)
-            .map(|r| {
-                self.row_set_bits(r).fold(false, |acc, c| acc ^ v[c])
-            })
-            .collect()
+        (0..self.rows).map(|r| self.row_set_bits(r).fold(false, |acc, c| acc ^ v[c])).collect()
     }
 }
 
@@ -220,11 +216,7 @@ mod tests {
             for x in [0u16, 1, 5, 17, 128, 254] {
                 let x_bits: Vec<bool> = (0..8).map(|i| (x >> i) & 1 == 1).collect();
                 let y_bits = b.mul_bitvec(&x_bits);
-                let y: u16 = y_bits
-                    .iter()
-                    .enumerate()
-                    .map(|(i, &bit)| (bit as u16) << i)
-                    .sum();
+                let y: u16 = y_bits.iter().enumerate().map(|(i, &bit)| (bit as u16) << i).sum();
                 assert_eq!(y, gf.mul(e, x), "e={e} x={x}");
             }
         }

@@ -123,8 +123,7 @@ impl GaloisField {
             return Ok(0);
         }
         let order = self.size - 1;
-        let idx =
-            self.log[a as usize] as usize + order - self.log[b as usize] as usize;
+        let idx = self.log[a as usize] as usize + order - self.log[b as usize] as usize;
         Ok(self.exp[idx])
     }
 
@@ -158,19 +157,13 @@ mod tests {
     use proptest::prelude::*;
 
     fn fields() -> Vec<GaloisField> {
-        SUPPORTED_WIDTHS
-            .iter()
-            .map(|&w| GaloisField::new(w).unwrap())
-            .collect()
+        SUPPORTED_WIDTHS.iter().map(|&w| GaloisField::new(w).unwrap()).collect()
     }
 
     #[test]
     fn rejects_unsupported_width() {
         for w in [0u8, 1, 2, 3, 5, 7, 9, 15, 17, 32] {
-            assert!(matches!(
-                GaloisField::new(w),
-                Err(GfError::UnsupportedWidth { .. })
-            ));
+            assert!(matches!(GaloisField::new(w), Err(GfError::UnsupportedWidth { .. })));
         }
     }
 

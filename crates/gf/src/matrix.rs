@@ -149,12 +149,12 @@ impl Matrix {
             });
         }
         let mut out = vec![0u16; self.rows];
-        for r in 0..self.rows {
+        for (r, slot) in out.iter_mut().enumerate() {
             let mut acc = 0u16;
-            for c in 0..self.cols {
-                acc ^= gf.mul(self.get(r, c), v[c]);
+            for (c, &vc) in v.iter().enumerate() {
+                acc ^= gf.mul(self.get(r, c), vc);
             }
-            out[r] = acc;
+            *slot = acc;
         }
         Ok(out)
     }
@@ -208,9 +208,7 @@ impl Matrix {
         let mut inv = Matrix::identity(n);
         for col in 0..n {
             // Find a pivot.
-            let pivot = (col..n)
-                .find(|&r| a.get(r, col) != 0)
-                .ok_or(GfError::SingularMatrix)?;
+            let pivot = (col..n).find(|&r| a.get(r, col) != 0).ok_or(GfError::SingularMatrix)?;
             if pivot != col {
                 a.swap_rows(pivot, col);
                 inv.swap_rows(pivot, col);

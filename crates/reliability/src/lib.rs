@@ -188,10 +188,7 @@ mod tests {
         let mc_ec = monte_carlo_recovery(4, p, trials, 1, ec_predicate(2));
         let mc_rep = monte_carlo_recovery(4, p, trials, 2, pairs_predicate());
         assert!((mc_ec - ec_recovery(4, 2, p)).abs() < 0.005, "EC mc={mc_ec}");
-        assert!(
-            (mc_rep - replication_pairs_recovery(4, p)).abs() < 0.005,
-            "rep mc={mc_rep}"
-        );
+        assert!((mc_rep - replication_pairs_recovery(4, p)).abs() < 0.005, "rep mc={mc_rep}");
     }
 
     #[test]

@@ -1,9 +1,18 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+use ecc_telemetry::{Counter, Histogram, ManualClock, Recorder};
+
 use crate::{SimDuration, SimTime};
 
 type EventFn = Box<dyn FnOnce(&mut Simulation)>;
+
+#[derive(Debug, Clone)]
+struct SimMetrics {
+    events: Counter,
+    event_gap_ns: Histogram,
+    queue_depth: Histogram,
+}
 
 /// A classic discrete-event simulation engine.
 ///
@@ -38,6 +47,8 @@ pub struct Simulation {
     seq: u64,
     queue: BinaryHeap<Reverse<QueuedEvent>>,
     processed: u64,
+    metrics: Option<SimMetrics>,
+    clock: Option<ManualClock>,
 }
 
 struct QueuedEvent {
@@ -66,7 +77,34 @@ impl Ord for QueuedEvent {
 impl Simulation {
     /// Creates an engine with an empty queue at time zero.
     pub fn new() -> Self {
-        Self { now: SimTime::ZERO, seq: 0, queue: BinaryHeap::new(), processed: 0 }
+        Self {
+            now: SimTime::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            processed: 0,
+            metrics: None,
+            clock: None,
+        }
+    }
+
+    /// Attaches a telemetry recorder: every processed event bumps
+    /// `sim.engine.events` and feeds the inter-event gap and queue-depth
+    /// histograms.
+    pub fn set_recorder(&mut self, recorder: &Recorder) {
+        self.metrics = Some(SimMetrics {
+            events: recorder.counter("sim.engine.events"),
+            event_gap_ns: recorder.histogram("sim.engine.event_gap_ns"),
+            queue_depth: recorder.histogram("sim.engine.queue_depth"),
+        });
+    }
+
+    /// Binds a [`ManualClock`] to the simulated clock: each processed
+    /// event sets the telemetry clock to the simulated instant, so
+    /// recorders built on this clock stamp events — and scoped timers
+    /// measure — in *virtual* time.
+    pub fn drive_clock(&mut self, clock: ManualClock) {
+        clock.set_ns(self.now.as_nanos());
+        self.clock = Some(clock);
     }
 
     /// The current simulated instant.
@@ -118,6 +156,9 @@ impl Simulation {
             self.step();
         }
         self.now = self.now.max(deadline);
+        if let Some(clock) = &self.clock {
+            clock.set_ns(self.now.as_nanos());
+        }
         self.now
     }
 
@@ -126,7 +167,15 @@ impl Simulation {
         match self.queue.pop() {
             Some(Reverse(ev)) => {
                 debug_assert!(ev.at >= self.now);
+                if let Some(m) = &self.metrics {
+                    m.events.incr();
+                    m.event_gap_ns.record((ev.at - self.now).as_nanos());
+                    m.queue_depth.record(self.queue.len() as u64 + 1);
+                }
                 self.now = ev.at;
+                if let Some(clock) = &self.clock {
+                    clock.set_ns(self.now.as_nanos());
+                }
                 self.processed += 1;
                 (ev.run)(self);
                 true
@@ -148,6 +197,7 @@ impl std::fmt::Debug for Simulation {
             .field("now", &self.now)
             .field("pending", &self.queue.len())
             .field("processed", &self.processed)
+            .field("instrumented", &self.metrics.is_some())
             .finish()
     }
 }

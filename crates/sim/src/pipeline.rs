@@ -1,3 +1,5 @@
+use ecc_telemetry::Recorder;
+
 use crate::{BusyWindows, SimDuration, SimTime};
 
 /// When a pipeline stage is allowed to run.
@@ -53,11 +55,7 @@ pub fn pipeline_completion(
     constraints: &[StageConstraint<'_>],
     start: SimTime,
 ) -> Vec<Vec<SimTime>> {
-    assert_eq!(
-        durations.len(),
-        constraints.len(),
-        "one constraint per stage is required"
-    );
+    assert_eq!(durations.len(), constraints.len(), "one constraint per stage is required");
     let stages = durations.len();
     if stages == 0 {
         return Vec::new();
@@ -77,6 +75,55 @@ pub fn pipeline_completion(
         }
     }
     done
+}
+
+/// Per-stage utilization of a solved pipeline: service time divided by
+/// the stage's wall-clock span (first possible start to last finish).
+/// Empty stages report 0.0.
+pub fn pipeline_utilization(
+    durations: &[Vec<SimDuration>],
+    done: &[Vec<SimTime>],
+    start: SimTime,
+) -> Vec<f64> {
+    durations
+        .iter()
+        .zip(done)
+        .map(|(service, finished)| {
+            let busy: SimDuration = service.iter().copied().sum();
+            match finished.last() {
+                Some(&last) if last > start => busy.as_secs_f64() / (last - start).as_secs_f64(),
+                _ => 0.0,
+            }
+        })
+        .collect()
+}
+
+/// Records a solved pipeline into a telemetry recorder: per-stage busy,
+/// span and idle nanoseconds under `sim.pipeline.stage<N>.*` plus the
+/// total `sim.pipeline.makespan_ns`. Utilization is `busy_ns / span_ns`.
+pub fn record_pipeline(
+    recorder: &Recorder,
+    durations: &[Vec<SimDuration>],
+    done: &[Vec<SimTime>],
+    start: SimTime,
+) {
+    for (s, (service, finished)) in durations.iter().zip(done).enumerate() {
+        let busy: SimDuration = service.iter().copied().sum();
+        let span = match finished.last() {
+            Some(&last) => last - start,
+            None => SimDuration::ZERO,
+        };
+        recorder.counter(&format!("sim.pipeline.stage{s}.busy_ns")).add(busy.as_nanos());
+        recorder.counter(&format!("sim.pipeline.stage{s}.span_ns")).add(span.as_nanos());
+        recorder
+            .counter(&format!("sim.pipeline.stage{s}.idle_ns"))
+            .add(span.as_nanos().saturating_sub(busy.as_nanos()));
+    }
+    if let Some(last_stage) = done.last() {
+        if let Some(&last) = last_stage.last() {
+            recorder.counter("sim.pipeline.makespan_ns").add((last - start).as_nanos());
+        }
+    }
 }
 
 #[cfg(test)]
@@ -139,11 +186,7 @@ mod tests {
 
     #[test]
     fn start_offset_shifts_everything() {
-        let done = pipeline_completion(
-            &[vec![ms(5)]],
-            &[StageConstraint::Free],
-            t(100),
-        );
+        let done = pipeline_completion(&[vec![ms(5)]], &[StageConstraint::Free], t(100));
         assert_eq!(done[0][0], t(105));
     }
 
@@ -155,10 +198,7 @@ mod tests {
 
     #[test]
     fn completion_bounded_below_by_stage_sums() {
-        let durations = vec![
-            vec![ms(3), ms(4), ms(2), ms(6)],
-            vec![ms(5), ms(1), ms(7), ms(2)],
-        ];
+        let durations = vec![vec![ms(3), ms(4), ms(2), ms(6)], vec![ms(5), ms(1), ms(7), ms(2)]];
         let done = pipeline_completion(
             &durations,
             &[StageConstraint::Free, StageConstraint::Free],

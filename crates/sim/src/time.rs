@@ -167,12 +167,20 @@ impl SimTime {
 
     /// The later of two instants.
     pub fn max(self, other: SimTime) -> SimTime {
-        if self.0 >= other.0 { self } else { other }
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
     }
 
     /// The earlier of two instants.
     pub fn min(self, other: SimTime) -> SimTime {
-        if self.0 <= other.0 { self } else { other }
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
     }
 }
 

@@ -73,7 +73,11 @@ impl BusyWindows {
             .map(|&(s, e)| {
                 let lo = s.max(from);
                 let hi = e.min(to);
-                if lo < hi { hi - lo } else { SimDuration::ZERO }
+                if lo < hi {
+                    hi - lo
+                } else {
+                    SimDuration::ZERO
+                }
             })
             .sum()
     }
@@ -120,6 +124,33 @@ impl BusyWindows {
                     t = self.next_idle_at(be);
                 }
                 _ => return t + work,
+            }
+        }
+    }
+
+    /// Records the timeline's occupancy over `[from, to)` into a
+    /// telemetry recorder: busy/idle nanosecond counters and a histogram
+    /// of individual busy-window lengths (per-slot occupancy), all under
+    /// `<name>.*`.
+    pub fn record_occupancy(
+        &self,
+        recorder: &ecc_telemetry::Recorder,
+        name: &str,
+        from: SimTime,
+        to: SimTime,
+    ) {
+        let busy = self.busy_between(from, to);
+        let total = if to > from { to - from } else { SimDuration::ZERO };
+        recorder.counter(&format!("{name}.busy_ns")).add(busy.as_nanos());
+        recorder
+            .counter(&format!("{name}.idle_ns"))
+            .add(total.as_nanos().saturating_sub(busy.as_nanos()));
+        let window_hist = recorder.histogram(&format!("{name}.window_ns"));
+        for &(s, e) in &self.busy {
+            let lo = s.max(from);
+            let hi = e.min(to);
+            if lo < hi {
+                window_hist.record((hi - lo).as_nanos());
             }
         }
     }

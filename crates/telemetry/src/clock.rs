@@ -1,0 +1,97 @@
+//! Time sources for the telemetry recorder.
+//!
+//! The recorder never calls `Instant::now` directly; it asks a [`Clock`]
+//! for a monotonic nanosecond reading. That indirection lets production
+//! code run on wall-clock time while the simulator and deterministic
+//! tests drive a [`ManualClock`] whose readings are fully reproducible.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A monotonic nanosecond time source.
+pub trait Clock: Send + Sync + std::fmt::Debug {
+    /// Nanoseconds elapsed since the clock's origin.
+    fn now_ns(&self) -> u64;
+}
+
+/// Wall-clock time, anchored at the moment the clock was created so the
+/// readings start near zero and fit comfortably in a `u64`.
+#[derive(Debug)]
+pub struct WallClock {
+    origin: Instant,
+}
+
+impl WallClock {
+    /// A wall clock whose origin is "now".
+    pub fn new() -> Self {
+        Self { origin: Instant::now() }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for WallClock {
+    fn now_ns(&self) -> u64 {
+        u64::try_from(self.origin.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+/// A clock advanced explicitly by the caller.
+///
+/// Clones share the same underlying cell, so a simulation can hold one
+/// handle and the recorder another; advancing either advances both.
+#[derive(Debug, Clone, Default)]
+pub struct ManualClock {
+    now: Arc<AtomicU64>,
+}
+
+impl ManualClock {
+    /// A manual clock starting at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the absolute reading in nanoseconds.
+    pub fn set_ns(&self, ns: u64) {
+        self.now.store(ns, Ordering::Relaxed);
+    }
+
+    /// Advances the reading by `ns` nanoseconds.
+    pub fn advance_ns(&self, ns: u64) {
+        self.now.fetch_add(ns, Ordering::Relaxed);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_ns(&self) -> u64 {
+        self.now.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_clock_is_monotonic() {
+        let clock = WallClock::new();
+        let a = clock.now_ns();
+        let b = clock.now_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn manual_clock_shares_state_across_clones() {
+        let clock = ManualClock::new();
+        let other = clock.clone();
+        clock.set_ns(10);
+        other.advance_ns(5);
+        assert_eq!(clock.now_ns(), 15);
+        assert_eq!(other.now_ns(), 15);
+    }
+}

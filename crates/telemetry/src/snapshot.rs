@@ -1,0 +1,249 @@
+//! Point-in-time views of a recorder's state.
+//!
+//! A [`Snapshot`] is a plain value: counters and histogram summaries in
+//! `BTreeMap`s (so iteration order — and therefore serialized output —
+//! is deterministic) plus the buffered event log. It serializes to JSON
+//! with a hand-rolled writer that emits only integers and strings, so
+//! two identical runs produce byte-identical documents.
+
+use std::collections::BTreeMap;
+
+/// Summary statistics for one latency/size histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Sum of all recorded values.
+    pub sum: u64,
+    /// Smallest recorded value (0 when empty).
+    pub min: u64,
+    /// Largest recorded value (0 when empty).
+    pub max: u64,
+    /// Sparse `(bucket_index, count)` pairs; bucket `i` holds values
+    /// whose highest set bit is `i` (i.e. `[2^i, 2^(i+1))`, with bucket
+    /// 0 holding 0 and 1).
+    pub buckets: Vec<(u8, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Arithmetic mean of the recorded values, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// One entry from the structured event log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Clock reading when the event was recorded, in nanoseconds.
+    pub at_ns: u64,
+    /// Event name, dotted-path style (e.g. `ecc.save.phase`).
+    pub name: String,
+    /// Free-form detail string.
+    pub detail: String,
+}
+
+/// A deterministic point-in-time view of all recorded telemetry.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Snapshot {
+    /// Monotonic counters by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Histogram summaries by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Buffered events, oldest first.
+    pub events: Vec<Event>,
+    /// Events discarded because the buffer was full.
+    pub dropped_events: u64,
+}
+
+impl Snapshot {
+    /// The value of a counter, or 0 when it was never touched.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// The summary for a histogram, if it recorded anything.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.get(name)
+    }
+
+    /// Rate in units/second derived from a counter (units) and a
+    /// histogram of elapsed nanoseconds. `None` when either side is
+    /// missing or the elapsed time is zero.
+    pub fn rate_per_sec(&self, units_counter: &str, elapsed_ns_histogram: &str) -> Option<f64> {
+        let units = self.counters.get(units_counter).copied()?;
+        let elapsed = self.histograms.get(elapsed_ns_histogram)?.sum;
+        if elapsed == 0 {
+            return None;
+        }
+        Some(units as f64 * 1e9 / elapsed as f64)
+    }
+
+    /// Serializes the snapshot to a deterministic JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push_str("{\"counters\":{");
+        for (i, (name, value)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_json_string(&mut out, name);
+            out.push(':');
+            out.push_str(&value.to_string());
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (name, hist)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_json_string(&mut out, name);
+            out.push_str(&format!(
+                ":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"buckets\":[",
+                hist.count, hist.sum, hist.min, hist.max
+            ));
+            for (j, (bucket, count)) in hist.buckets.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("[{bucket},{count}]"));
+            }
+            out.push_str("]}");
+        }
+        out.push_str("},\"events\":[");
+        for (i, event) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{{\"at_ns\":{},\"name\":", event.at_ns));
+            push_json_string(&mut out, &event.name);
+            out.push_str(",\"detail\":");
+            push_json_string(&mut out, &event.detail);
+            out.push('}');
+        }
+        out.push_str(&format!("],\"dropped_events\":{}}}", self.dropped_events));
+        out
+    }
+
+    /// Renders a human-readable report, one metric per line.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("== telemetry report ==\n");
+        if !self.counters.is_empty() {
+            out.push_str("counters:\n");
+            for (name, value) in &self.counters {
+                out.push_str(&format!("  {name:<40} {value}\n"));
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("timers/histograms:\n");
+            for (name, hist) in &self.histograms {
+                out.push_str(&format!(
+                    "  {name:<40} n={} mean={} min={} max={}\n",
+                    hist.count,
+                    fmt_ns(hist.mean()),
+                    fmt_ns(hist.min as f64),
+                    fmt_ns(hist.max as f64),
+                ));
+            }
+        }
+        if self.dropped_events > 0 {
+            out.push_str(&format!("events dropped: {}\n", self.dropped_events));
+        }
+        out
+    }
+}
+
+/// Formats a nanosecond quantity with an adaptive unit.
+pub fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3}s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3}ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3}us", ns / 1e3)
+    } else {
+        format!("{ns:.0}ns")
+    }
+}
+
+/// Formats a bytes/second rate with an adaptive binary unit.
+pub fn fmt_rate(bytes_per_sec: f64) -> String {
+    const UNITS: [&str; 5] = ["B/s", "KiB/s", "MiB/s", "GiB/s", "TiB/s"];
+    let mut value = bytes_per_sec;
+    let mut unit = 0;
+    while value >= 1024.0 && unit < UNITS.len() - 1 {
+        value /= 1024.0;
+        unit += 1;
+    }
+    format!("{value:.2} {}", UNITS[unit])
+}
+
+fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_is_deterministic_and_ordered() {
+        let mut snap = Snapshot::default();
+        snap.counters.insert("b.second".into(), 2);
+        snap.counters.insert("a.first".into(), 1);
+        snap.histograms.insert(
+            "lat".into(),
+            HistogramSnapshot {
+                count: 2,
+                sum: 30,
+                min: 10,
+                max: 20,
+                buckets: vec![(3, 1), (4, 1)],
+            },
+        );
+        snap.events.push(Event { at_ns: 5, name: "e".into(), detail: "d\"x\"".into() });
+        let a = snap.to_json();
+        let b = snap.clone().to_json();
+        assert_eq!(a, b);
+        assert!(a.starts_with("{\"counters\":{\"a.first\":1,\"b.second\":2}"));
+        assert!(a.contains("\\\"x\\\""));
+    }
+
+    #[test]
+    fn rate_divides_units_by_elapsed() {
+        let mut snap = Snapshot::default();
+        snap.counters.insert("bytes".into(), 1_000);
+        snap.histograms.insert(
+            "ns".into(),
+            HistogramSnapshot { count: 1, sum: 500_000_000, min: 0, max: 0, buckets: vec![] },
+        );
+        let rate = snap.rate_per_sec("bytes", "ns").expect("rate");
+        assert!((rate - 2_000.0).abs() < 1e-9);
+        assert_eq!(snap.rate_per_sec("bytes", "missing"), None);
+    }
+
+    #[test]
+    fn formatting_picks_units() {
+        assert_eq!(fmt_ns(2.5e9), "2.500s");
+        assert_eq!(fmt_ns(2.5e6), "2.500ms");
+        assert_eq!(fmt_ns(2.5e3), "2.500us");
+        assert_eq!(fmt_ns(250.0), "250ns");
+        assert_eq!(fmt_rate(2048.0), "2.00 KiB/s");
+    }
+}

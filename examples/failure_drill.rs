@@ -32,10 +32,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             patterns += 1;
             // ECCheck run.
             let mut cluster = Cluster::new(spec);
-            let mut ecc = EcCheck::initialize(
-                &spec,
-                EcCheckConfig::paper_defaults().with_packet_size(4096),
-            )?;
+            let mut ecc =
+                EcCheck::initialize(&spec, EcCheckConfig::paper_defaults().with_packet_size(4096))?;
             ecc.save(&mut cluster, &dicts)?;
             cluster.fail_node(a);
             cluster.fail_node(b);

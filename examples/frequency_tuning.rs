@@ -22,12 +22,7 @@ use eccheck::EcCheckConfig;
 /// Expected cost per iteration: checkpoint overhead plus expected
 /// recomputation (half an interval, on average) spread over the mean
 /// iterations between failures.
-fn expected_cost(
-    iteration: SimDuration,
-    interval: u64,
-    cost: SaveCost,
-    mtbf: SimDuration,
-) -> f64 {
+fn expected_cost(iteration: SimDuration, interval: u64, cost: SaveCost, mtbf: SimDuration) -> f64 {
     let avg_iter = average_iteration_time(iteration, interval, cost);
     let overhead = avg_iter.as_secs_f64() - iteration.as_secs_f64();
     let iters_between_failures = mtbf.as_secs_f64() / avg_iter.as_secs_f64();

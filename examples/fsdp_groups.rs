@@ -66,10 +66,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut cluster4 = Cluster::new(spec4);
     let mut ecc = EcCheck::initialize(&spec4, config)?;
     ecc.save(&mut cluster4, &dicts4)?;
-    let updated = build_worker_state_dict(
-        &StateDictSpec { seed: 42, ..sd4 },
-        5,
-    )?;
+    let updated = build_worker_state_dict(&StateDictSpec { seed: 42, ..sd4 }, 5)?;
     let changed = ecc.update_worker(&mut cluster4, 5, &updated)?;
     dicts4[5] = updated;
     println!("incremental update of worker 5 touched {changed} delta bytes");

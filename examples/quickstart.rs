@@ -60,5 +60,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     assert_eq!(restored, dicts, "recovery must be bit-exact");
     println!("all {} worker state_dicts restored bit-exactly ✓", restored.len());
+
+    // Everything above was also measured: the engine carries a telemetry
+    // recorder (see README "Observability") whose snapshot breaks the run
+    // down into per-phase latencies, byte counts and XOR-op totals.
+    let snap = ecc.recorder().snapshot();
+    if let Some(rate) = snap.rate_per_sec("erasure.encode.bytes", "erasure.encode.ns") {
+        println!("\nencode throughput: {}", ecc_telemetry::fmt_rate(rate));
+    }
+    println!("\n{}", snap.render());
     Ok(())
 }

@@ -5,11 +5,22 @@
 //! than return wrong data) when more did — across repeated rounds of
 //! training, checkpointing, failure and recovery.
 
+use std::collections::BTreeMap;
+
 use ecc_cluster::{Cluster, ClusterSpec, FailureModel};
 use ecc_dnn::{build_worker_state_dict, ModelConfig, ParallelismSpec, StateDictSpec};
 use eccheck::{EcCheck, EcCheckConfig, EcCheckError};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// Asserts every counter in `now` is at least its value in `before`
+/// (counters are monotonic: telemetry never un-counts work).
+fn assert_counters_monotonic(before: &BTreeMap<String, u64>, now: &BTreeMap<String, u64>) {
+    for (name, old) in before {
+        let new = now.get(name).copied().unwrap_or(0);
+        assert!(new >= *old, "counter {name} decreased: {old} -> {new}");
+    }
+}
 
 fn dicts(iteration: u64) -> Vec<ecc_checkpoint::StateDict> {
     let model = ModelConfig::gpt2(64, 4, 4).with_vocab(256).with_seq_len(16);
@@ -28,14 +39,14 @@ fn random_failure_bursts_never_corrupt_state() {
         let mut cluster = Cluster::new(spec);
         let mut ecc = EcCheck::initialize(
             &spec,
-            EcCheckConfig::paper_defaults()
-                .with_packet_size(2048)
-                .with_remote_flush_every(0),
+            EcCheckConfig::paper_defaults().with_packet_size(2048).with_remote_flush_every(0),
         )
         .unwrap();
         let mut rng = StdRng::seed_from_u64(trial);
         let mut current = dicts(0);
         ecc.save(&mut cluster, &current).unwrap();
+        let mut bursts_injected = 0u64;
+        let mut prev_counters = ecc.recorder().snapshot().counters;
 
         for round in 1..=4u64 {
             // A failure burst strikes.
@@ -44,6 +55,7 @@ fn random_failure_bursts_never_corrupt_state() {
                 cluster.fail_node(n);
                 cluster.replace_node(n);
             }
+            bursts_injected += 1;
             match ecc.load(&mut cluster) {
                 Ok((restored, report)) => {
                     assert!(
@@ -62,10 +74,25 @@ fn random_failure_bursts_never_corrupt_state() {
                         scenario.count()
                     );
                     outcomes.1 += 1;
+                    // A refused recovery still counts as an attempt.
+                    assert_eq!(
+                        ecc.recorder().snapshot().counter("ecc.load.calls"),
+                        bursts_injected
+                    );
                     break; // this training run is lost without remote
                 }
                 Err(other) => panic!("unexpected error: {other}"),
             }
+            // Telemetry invariants: every injected burst triggered exactly
+            // one recovery attempt, and no counter ever ran backwards.
+            let snap = ecc.recorder().snapshot();
+            assert_eq!(
+                snap.counter("ecc.load.calls"),
+                bursts_injected,
+                "trial {trial} round {round}: recovery attempts != bursts injected"
+            );
+            assert_counters_monotonic(&prev_counters, &snap.counters);
+            prev_counters = snap.counters;
             // Training continues; sometimes save a new version.
             if rng.gen_bool(0.7) {
                 current = dicts(round * 100);
@@ -86,9 +113,7 @@ fn chaos_with_remote_flush_always_recovers() {
         let mut cluster = Cluster::new(spec);
         let mut ecc = EcCheck::initialize(
             &spec,
-            EcCheckConfig::paper_defaults()
-                .with_packet_size(2048)
-                .with_remote_flush_every(1),
+            EcCheckConfig::paper_defaults().with_packet_size(2048).with_remote_flush_every(1),
         )
         .unwrap();
         let current = dicts(trial);

@@ -63,8 +63,7 @@ fn distributed_worker_encoding_matches_chunk_encoding() {
     // path uses an equivalent but differently-laid-out bit-plane symbol
     // mapping; for comparing the *distributed* flow we fix the byte-wise
     // symbol layout on both sides.)
-    let chunks: Vec<Vec<u8>> =
-        packets.iter().map(|group| group.concat()).collect();
+    let chunks: Vec<Vec<u8>> = packets.iter().map(|group| group.concat()).collect();
     let chunk_len = chunks[0].len();
     let central_parity: Vec<Vec<u8>> = (0..2)
         .map(|i| {
@@ -80,19 +79,19 @@ fn distributed_worker_encoding_matches_chunk_encoding() {
     // Distributed: reduction group r computes parity packet i as
     // XOR_j coef(k+i, j) · packet(j, r) using per-worker table multiply
     // and XOR reduction — exactly the paper's 3-step flow.
-    for i in 0..2 {
+    for (i, central) in central_parity.iter().enumerate() {
         for r in 0..group_size {
             let mut acc = vec![0u8; packet];
-            for j in 0..2 {
+            for (j, group) in packets.iter().enumerate() {
                 let coef = code.coef(2 + i, j);
                 let table = MulTable::new(&gf, coef).unwrap();
                 let mut encoded = vec![0u8; packet];
-                table.apply(&packets[j][r], &mut encoded);
+                table.apply(&group[r], &mut encoded);
                 region::xor_into(&mut acc, &encoded);
             }
             // GF(2^8) coding is *byte-wise*, so the distributed result
             // must equal the corresponding slice of the central parity.
-            let expected = &central_parity[i][r * packet..(r + 1) * packet];
+            let expected = &central[r * packet..(r + 1) * packet];
             assert_eq!(acc, expected, "parity {i}, reduction group {r}");
         }
     }
@@ -128,14 +127,14 @@ fn decode_matrix_drives_distributed_recovery() {
     // Every node rebuilds its chunk as a linear combination of the
     // survivor packets, using only table multiplies and XORs.
     let all_chunks: Vec<&[u8]> = vec![&d[0], &d[1], &parity[0], &parity[1]];
-    for chunk_id in 0..4 {
+    for (chunk_id, &expected) in all_chunks.iter().enumerate() {
         let mut acc = vec![0u8; packet];
         for (c, src) in survivor_packets.iter().enumerate() {
             let coef = dm.get(chunk_id, c);
             let table = MulTable::new(&gf, coef).unwrap();
             table.apply_xor(src, &mut acc);
         }
-        assert_eq!(acc.as_slice(), all_chunks[chunk_id], "chunk {chunk_id}");
+        assert_eq!(acc.as_slice(), expected, "chunk {chunk_id}");
     }
 }
 

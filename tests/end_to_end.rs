@@ -57,9 +57,21 @@ fn training_loop_with_periodic_checkpoints_and_mid_run_failure() {
 
     // "Train" for 5 checkpoint cycles, state evolving each time.
     let mut latest = None;
+    let mut expected_traffic = 0u64;
     for step in 1..=5u64 {
         let dicts = paper_shaped_dicts("gpt2", step * 50);
-        ecc.save(&mut cluster, &dicts).unwrap();
+        let report = ecc.save(&mut cluster, &dicts).unwrap();
+        // The paper's traffic bound: every save moves exactly m·s·W bytes
+        // (m parity packets of size s for each of the W data packets).
+        let m = 2u64; // paper_defaults: k = m = 2
+        let w_packets = (report.packets_per_worker * 16) as u64;
+        assert_eq!(report.traffic.total(), m * report.packet_size as u64 * w_packets);
+        expected_traffic += report.traffic.total();
+        assert_eq!(
+            ecc.recorder().snapshot().counter("ecc.save.traffic_bytes"),
+            expected_traffic,
+            "telemetry must account every byte of checkpoint traffic"
+        );
         latest = Some(dicts);
     }
 
@@ -77,6 +89,15 @@ fn training_loop_with_periodic_checkpoints_and_mid_run_failure() {
     ecc.save(&mut cluster, &next).unwrap();
     let (after, _) = ecc.load(&mut cluster).unwrap();
     assert_eq!(after, next);
+
+    // Telemetry tallies the whole history: 6 saves, 2 recoveries, and
+    // every restored byte accounted for.
+    let snap = ecc.recorder().snapshot();
+    assert_eq!(snap.counter("ecc.save.calls"), 6);
+    assert_eq!(snap.counter("ecc.load.calls"), 2);
+    let payload: u64 = next.iter().map(|d| d.tensor_bytes() as u64).sum();
+    assert!(snap.counter("ecc.load.restored_bytes") >= payload);
+    assert!(snap.counter("erasure.encode.bytes") > 0);
 }
 
 #[test]
@@ -109,9 +130,7 @@ fn catastrophic_failure_recovers_from_remote_flush() {
     let mut cluster = Cluster::new(spec);
     let mut ecc = EcCheck::initialize(
         &spec,
-        EcCheckConfig::paper_defaults()
-            .with_packet_size(4096)
-            .with_remote_flush_every(1), // flush on every save
+        EcCheckConfig::paper_defaults().with_packet_size(4096).with_remote_flush_every(1), // flush on every save
     )
     .unwrap();
     let dicts = paper_shaped_dicts("gpt2", 42);
@@ -140,8 +159,7 @@ fn memory_redundancy_is_bounded_by_2x() {
     let report = ecc.save(&mut cluster, &dicts).unwrap();
     let stored: u64 = (0..4).map(|n| cluster.mem_used(n)).sum();
     // Total in-memory bytes ≈ 2 × payload (n/k = 2), padded to packets.
-    let padded_payload =
-        (report.packets_per_worker * report.packet_size * 16) as f64;
+    let padded_payload = (report.packets_per_worker * report.packet_size * 16) as f64;
     assert!(stored as f64 >= padded_payload * 1.9);
     assert!(
         (stored as f64) < padded_payload * 2.0 + 1_000_000.0,
