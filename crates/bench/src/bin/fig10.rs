@@ -42,4 +42,5 @@ fn main() {
     println!("Max ECCheck speedup over remote-storage baselines here: {max_speedup:.1}x");
 
     ecc_bench::print_live_telemetry();
+    ecc_bench::write_trace_if_requested();
 }

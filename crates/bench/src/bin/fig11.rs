@@ -42,4 +42,5 @@ fn main() {
     println!("and the asynchronous step 3 pipeline dominates (paper Fig. 11).");
 
     ecc_bench::print_live_telemetry();
+    ecc_bench::write_trace_if_requested();
 }

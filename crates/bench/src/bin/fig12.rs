@@ -45,4 +45,5 @@ fn main() {
     println!("ECCheck stay near the bare iteration time (paper Fig. 12).");
 
     ecc_bench::print_live_telemetry();
+    ecc_bench::write_trace_if_requested();
 }

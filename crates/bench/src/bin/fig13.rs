@@ -52,4 +52,5 @@ fn main() {
     println!("and the remote baselines pay the 5 Gbps reload (paper: up to 13.9x slower).");
 
     ecc_bench::print_live_telemetry();
+    ecc_bench::write_trace_if_requested();
 }

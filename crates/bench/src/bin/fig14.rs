@@ -41,4 +41,5 @@ fn main() {
     println!("per-device checkpoint traffic is m*s, independent of cluster size (§V-F).");
 
     ecc_bench::print_live_telemetry();
+    ecc_bench::write_trace_if_requested();
 }

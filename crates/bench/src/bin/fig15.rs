@@ -26,4 +26,5 @@ fn main() {
     println!("the cluster grows (paper Fig. 15).");
 
     ecc_bench::print_live_telemetry();
+    ecc_bench::write_trace_if_requested();
 }

@@ -1,0 +1,75 @@
+//! `perf-report`: the machine-readable perf-regression reporter.
+//!
+//! Measures the standard `(k, m, w, model)` shape ladder (see
+//! `ecc_bench::PerfReport`) and writes the result as JSON — CI archives
+//! it as `BENCH_PR2.json` and diffs consecutive runs. Exits non-zero
+//! when any shape's accounted checkpoint traffic exceeds the paper's
+//! `m·s·W` bound (§V-F).
+//!
+//! Flags: `--out <path>` (default `BENCH_PR2.json`) for the JSON
+//! report, `--trace <path>` to also write the deterministic simulated
+//! save timeline (Chrome Trace Event JSON, Perfetto-loadable).
+
+use std::process::ExitCode;
+
+use ecc_bench::{arg_value, print_table, sim_save_trace_json, trace_path_from_args, PerfReport};
+
+fn main() -> ExitCode {
+    let out = arg_value("--out").unwrap_or_else(|| "BENCH_PR2.json".to_string());
+    println!("# perf-report: standard shape ladder\n");
+    let report = PerfReport::collect();
+
+    let rows: Vec<Vec<String>> = report
+        .shapes
+        .iter()
+        .map(|s| {
+            vec![
+                format!("({},{},{})", s.k, s.m, s.w),
+                s.model.clone(),
+                format!("{:.2}", s.encode_gbps),
+                format!("{:.2}", s.decode_gbps),
+                format!("{:.3} s", s.save_total_s),
+                format!("{:.3} s", s.recovery_total_s),
+                format!("{}", s.traffic_bytes),
+                format!("{}", s.traffic_bound_bytes),
+                if s.within_bound() { "ok" } else { "EXCEEDED" }.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        &[
+            "(k,m,w)",
+            "model",
+            "enc GB/s",
+            "dec GB/s",
+            "save",
+            "recovery",
+            "traffic B",
+            "m·s·W bound B",
+            "bound",
+        ],
+        &rows,
+    );
+
+    if let Err(err) = std::fs::write(&out, report.to_json()) {
+        eprintln!("could not write {out}: {err}");
+        return ExitCode::FAILURE;
+    }
+    println!("\nreport written to {out}");
+
+    if let Some(path) = trace_path_from_args() {
+        match std::fs::write(&path, sim_save_trace_json()) {
+            Ok(()) => println!("simulated save trace written to {}", path.display()),
+            Err(err) => {
+                eprintln!("could not write trace to {}: {err}", path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if !report.within_traffic_bound() {
+        eprintln!("\nFAIL: checkpoint traffic exceeds the m·s·W bound (see table above)");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

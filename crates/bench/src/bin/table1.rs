@@ -25,4 +25,5 @@ fn main() {
     );
 
     ecc_bench::print_live_telemetry();
+    ecc_bench::write_trace_if_requested();
 }

@@ -9,9 +9,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod perf;
 mod telemetry;
+mod trace;
 
+pub use perf::{PerfReport, ShapePerf};
 pub use telemetry::{print_live_telemetry, print_schedule_comparison};
+pub use trace::{
+    arg_value, engine_trace_json, sim_save_trace_json, trace_path_from_args,
+    write_trace_if_requested,
+};
 
 use ecc_sim::SimDuration;
 

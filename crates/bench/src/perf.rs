@@ -1,0 +1,254 @@
+//! The machine-readable perf-regression report behind the
+//! `perf-report` binary.
+//!
+//! One run measures, for a ladder of standard `(k, m, w, model)`
+//! shapes: measured encode/decode throughput of the real coding
+//! substrate, the timing model's save/recovery latency at paper scale,
+//! and the checkpoint's communication traffic against the paper's
+//! `m·s·W` bound (§V-F). The result serializes to a stable JSON
+//! document (`BENCH_PR2.json` in CI) so consecutive runs can be
+//! diffed mechanically, and [`PerfReport::within_traffic_bound`] gates
+//! the CI job: traffic above the bound fails the build.
+
+use std::time::Instant;
+
+use ecc_cluster::{ClusterSpec, FailureScenario};
+use ecc_dnn::{ModelConfig, ParallelismSpec};
+use ecc_erasure::{CodeParams, CodingPool, ErasureCode};
+use eccheck::timing::{recovery_timing, save_timing, TimingConstants};
+use eccheck::{select_data_parity_nodes, EcCheckConfig, ReductionPlan};
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Chunk length used for the throughput measurements: big enough to
+/// amortize per-call overhead, small enough to keep the report fast.
+const MEASURE_CHUNK: usize = 1 << 20;
+/// Measurement repetitions; the best (fastest) run is reported.
+const MEASURE_ITERS: usize = 3;
+
+/// Performance facts for one `(k, m, w, model)` shape.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShapePerf {
+    /// Data-node count.
+    pub k: usize,
+    /// Parity-node count.
+    pub m: usize,
+    /// Galois-field width.
+    pub w: u8,
+    /// Model label (paper Table I naming).
+    pub model: String,
+    /// Nodes (`k + m`) and total workers in the traffic accounting.
+    pub nodes: usize,
+    /// World size `W` used for the traffic accounting.
+    pub world: usize,
+    /// Measured parallel encode throughput, GB/s (decimal).
+    pub encode_gbps: f64,
+    /// Measured parallel decode throughput with `m` chunks lost, GB/s.
+    pub decode_gbps: f64,
+    /// Timing model: end-to-end save latency at paper scale, seconds.
+    pub save_total_s: f64,
+    /// Timing model: training stall portion of the save, seconds.
+    pub save_stall_s: f64,
+    /// Timing model: decode-workflow recovery latency, seconds.
+    pub recovery_total_s: f64,
+    /// Real traffic accounting of one checkpoint, bytes.
+    pub traffic_bytes: u64,
+    /// The paper's `m·s·W` traffic bound, bytes.
+    pub traffic_bound_bytes: u64,
+}
+
+impl ShapePerf {
+    /// `true` when the accounted traffic respects the `m·s·W` bound.
+    pub fn within_bound(&self) -> bool {
+        self.traffic_bytes <= self.traffic_bound_bytes
+    }
+}
+
+/// The full report: one [`ShapePerf`] per standard shape.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfReport {
+    /// Per-shape measurements, in ladder order.
+    pub shapes: Vec<ShapePerf>,
+}
+
+/// The standard shape ladder: the paper's `k = m = 2` testbed plus the
+/// wider splits the schedule-comparison appendix exercises, each paired
+/// with a Table I model scale.
+fn shape_ladder() -> Vec<(usize, usize, u8, usize, ModelConfig, &'static str)> {
+    vec![
+        // (k, m, w, gpus/node, model, label)
+        (2, 2, 8, 4, ModelConfig::gpt2(2560, 40, 64), "GPT-2 2.5B"),
+        (4, 2, 8, 2, ModelConfig::gpt2(1600, 32, 48), "GPT-2 1.6B"),
+        (6, 3, 8, 2, ModelConfig::gpt2(3072, 36, 64), "GPT-2 3.8B"),
+        (8, 4, 8, 2, ModelConfig::gpt2(5120, 40, 64), "GPT-2 8.3B"),
+    ]
+}
+
+fn random_chunks(k: usize, len: usize) -> Vec<Vec<u8>> {
+    let mut rng = StdRng::seed_from_u64(0x5EED);
+    (0..k)
+        .map(|_| {
+            let mut v = vec![0u8; len];
+            rng.fill_bytes(&mut v);
+            v
+        })
+        .collect()
+}
+
+/// Best-of-N decimal GB/s for `bytes` processed by `op`.
+fn best_rate(bytes: u64, mut op: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..MEASURE_ITERS {
+        let t = Instant::now();
+        op();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    bytes as f64 / best / 1e9
+}
+
+impl PerfReport {
+    /// Measures every shape in the standard ladder.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a standard shape fails to construct — that is a
+    /// build defect the report is meant to catch loudly.
+    pub fn collect() -> Self {
+        let consts = TimingConstants::default();
+        let pool = CodingPool::new(4);
+        let shapes = shape_ladder()
+            .into_iter()
+            .map(|(k, m, w, g, model, label)| {
+                let params = CodeParams::new(k, m, w).expect("standard shape");
+                let code = ErasureCode::cauchy_good(params).expect("standard shape");
+                let data = random_chunks(k, MEASURE_CHUNK);
+                let refs: Vec<&[u8]> = data.iter().map(Vec::as_slice).collect();
+                let payload = (k * MEASURE_CHUNK) as u64;
+                let encode_gbps = best_rate(payload, || drop(pool.encode(&code, &refs).unwrap()));
+                let parity = pool.encode(&code, &refs).expect("standard shape encodes");
+                // Lose the first m data chunks — the worst case for the
+                // decoder (every lost chunk needs real reconstruction).
+                let mut shards: Vec<Option<&[u8]>> = Vec::with_capacity(k + m);
+                shards.extend(refs.iter().enumerate().map(|(i, r)| (i >= m).then_some(*r)));
+                shards.extend(parity.iter().map(|p| Some(p.as_slice())));
+                let decode_gbps = best_rate(payload, || drop(pool.decode(&code, &shards).unwrap()));
+
+                // Latency at paper scale from the timing model, on a
+                // k+m-node cluster of the §V-F testbed class.
+                let spec = ClusterSpec::v100_scalability(k + m, g);
+                let cfg = EcCheckConfig::paper_defaults().with_km(k, m).with_width(w);
+                let par = ParallelismSpec::new(4, 4, 1).expect("paper parallelism");
+                let shard_bytes = model.shard_bytes(&par);
+                let save = save_timing(&spec, &cfg, shard_bytes, None, &consts);
+                let placement = select_data_parity_nodes(&spec.origin_group(), k)
+                    .expect("standard shape places");
+                let scenario = FailureScenario::new(vec![placement.data_nodes()[0]]);
+                let recovery = recovery_timing(&spec, &cfg, shard_bytes, &scenario, &consts);
+
+                // Traffic accounting for one checkpoint vs the m·s·W
+                // bound, from the real reduction plan.
+                let plan =
+                    ReductionPlan::build(&spec, &placement, m).expect("standard shape plans");
+                let world = spec.world_size();
+                let traffic = plan.traffic(shard_bytes).total();
+                let bound = m as u64 * shard_bytes * world as u64;
+
+                ShapePerf {
+                    k,
+                    m,
+                    w,
+                    model: label.to_string(),
+                    nodes: k + m,
+                    world,
+                    encode_gbps,
+                    decode_gbps,
+                    save_total_s: save.total.as_secs_f64(),
+                    save_stall_s: save.stall().as_secs_f64(),
+                    recovery_total_s: recovery.total.as_secs_f64(),
+                    traffic_bytes: traffic,
+                    traffic_bound_bytes: bound,
+                }
+            })
+            .collect();
+        Self { shapes }
+    }
+
+    /// `true` when every shape respects the `m·s·W` traffic bound.
+    pub fn within_traffic_bound(&self) -> bool {
+        self.shapes.iter().all(ShapePerf::within_bound)
+    }
+
+    /// Serializes the report as a stable, diffable JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out =
+            String::from("{\n  \"schema\": \"eccheck-perf-report/1\",\n  \"shapes\": [\n");
+        for (i, s) in self.shapes.iter().enumerate() {
+            out.push_str(&format!(
+                concat!(
+                    "    {{\"k\": {}, \"m\": {}, \"w\": {}, \"model\": \"{}\", ",
+                    "\"nodes\": {}, \"world\": {}, ",
+                    "\"encode_gbps\": {:.3}, \"decode_gbps\": {:.3}, ",
+                    "\"save_total_s\": {:.6}, \"save_stall_s\": {:.6}, ",
+                    "\"recovery_total_s\": {:.6}, ",
+                    "\"traffic_bytes\": {}, \"traffic_bound_bytes\": {}, ",
+                    "\"within_bound\": {}}}{}\n"
+                ),
+                s.k,
+                s.m,
+                s.w,
+                s.model.replace('\\', "\\\\").replace('"', "\\\""),
+                s.nodes,
+                s.world,
+                s.encode_gbps,
+                s.decode_gbps,
+                s.save_total_s,
+                s.save_stall_s,
+                s.recovery_total_s,
+                s.traffic_bytes,
+                s.traffic_bound_bytes,
+                s.within_bound(),
+                if i + 1 == self.shapes.len() { "" } else { "," },
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_covers_the_ladder_and_respects_the_bound() {
+        let report = PerfReport::collect();
+        assert_eq!(report.shapes.len(), shape_ladder().len());
+        assert!(report.within_traffic_bound(), "m·s·W bound must hold: {report:?}");
+        for s in &report.shapes {
+            assert!(s.encode_gbps > 0.0 && s.decode_gbps > 0.0, "rates must be positive: {s:?}");
+            assert!(s.save_total_s > s.save_stall_s, "stall is a strict part of the save: {s:?}");
+            assert!(s.recovery_total_s > 0.0);
+        }
+    }
+
+    #[test]
+    fn json_is_parseable_and_complete() {
+        let report = PerfReport::collect();
+        let json = report.to_json();
+        let doc = ecc_trace::json::parse(&json).expect("report JSON parses");
+        let shapes = doc.get("shapes").and_then(|s| s.as_arr()).expect("shapes array");
+        assert_eq!(shapes.len(), report.shapes.len());
+        for (parsed, shape) in shapes.iter().zip(&report.shapes) {
+            assert_eq!(
+                parsed.get("k").and_then(|v| v.as_f64()),
+                Some(shape.k as f64),
+                "k survives the round trip"
+            );
+            assert_eq!(
+                parsed.get("traffic_bound_bytes").and_then(|v| v.as_f64()),
+                Some(shape.traffic_bound_bytes as f64)
+            );
+            assert!(parsed.get("within_bound").is_some());
+        }
+    }
+}

@@ -15,6 +15,7 @@ use ecc_checkpoint::{decompose, Decomposition, Packer, Packet, StateDict};
 use ecc_cluster::{ClusterSpec, DataPlane};
 use ecc_erasure::{CodeParams, CodingPool, ErasureCode};
 use ecc_telemetry::Recorder;
+use ecc_trace::{Tracer, TrackId, DRIVER_PID};
 
 use crate::{
     select_data_parity_nodes, EcCheckConfig, EcCheckError, LoadReport, Placement, RecoveryWorkflow,
@@ -37,6 +38,27 @@ pub struct EcCheck {
     saves: u64,
     packets_per_worker: usize,
     recorder: Recorder,
+    trace: Option<TraceHandles>,
+}
+
+/// Tracing handles for the engine: the driver's `engine` track hosts the
+/// `ecc.{save,load,update,flush}` root spans and their phase children;
+/// per-node `storage` tracks receive the chunk store/fetch flows.
+#[derive(Debug, Clone)]
+struct TraceHandles {
+    tracer: Tracer,
+    engine: TrackId,
+}
+
+impl TraceHandles {
+    fn attach(tracer: &Tracer) -> Self {
+        Self { tracer: tracer.clone(), engine: tracer.track(DRIVER_PID, "driver", "engine") }
+    }
+
+    /// The `storage` track of simulated node `node` (pid = node index).
+    fn node_track(&self, node: usize) -> TrackId {
+        self.tracer.track(node as u64, &format!("node{node}"), "storage")
+    }
 }
 
 impl EcCheck {
@@ -71,6 +93,7 @@ impl EcCheck {
             saves: 0,
             packets_per_worker: 0,
             recorder,
+            trace: None,
         })
     }
 
@@ -88,6 +111,31 @@ impl EcCheck {
         self.code.set_recorder(&recorder);
         self.pool.set_recorder(&recorder);
         self.recorder = recorder;
+        // Keep the span timeline on the same epoch as the new recorder's
+        // event log (the two are meant to be cross-referenced).
+        if self.trace.is_some() {
+            self.attach_tracer();
+        }
+    }
+
+    /// Builds a span tracer on the recorder's clock (one shared epoch, so
+    /// trace timestamps and `Recorder::snapshot` event timestamps are
+    /// directly comparable), wires it through the erasure code and the
+    /// coding pool, and returns a handle for exporting.
+    pub fn attach_tracer(&mut self) -> Tracer {
+        let tracer = Tracer::for_recorder(&self.recorder);
+        self.set_tracer(&tracer);
+        tracer
+    }
+
+    /// Attaches an existing span tracer (e.g. one shared with other
+    /// engines) to the save/load/update/flush paths, the erasure code and
+    /// the coding pool. Prefer [`EcCheck::attach_tracer`], which also
+    /// aligns the tracer's clock epoch with the recorder's.
+    pub fn set_tracer(&mut self, tracer: &Tracer) {
+        self.code.set_tracer(tracer);
+        self.pool.set_tracer(tracer);
+        self.trace = Some(TraceHandles::attach(tracer));
     }
 
     /// The active configuration.
@@ -140,16 +188,25 @@ impl EcCheck {
         let version = self.version + 1;
         let ps = self.config.packet_size();
         let save_timer = self.recorder.timer("ecc.save.ns");
+        let trace = self.trace.clone();
+        let root_span = trace
+            .as_ref()
+            .map(|t| t.tracer.span(t.engine, "ecc.save", format!("version={version}")));
 
         // Step 1 + 2: decompose every shard (tensor data leaves "GPU"
         // memory) and broadcast the tiny headers to every node.
         let phase = self.recorder.timer("ecc.save.decompose_ns");
+        let span = trace.as_ref().map(|t| t.tracer.span(t.engine, "save.decompose", ""));
         let decomposed: Vec<Decomposition> = state_dicts.iter().map(decompose).collect();
         let headers: Vec<Vec<u8>> = decomposed.iter().map(|d| d.header_to_bytes()).collect();
+        drop(span);
         drop(phase);
 
         // Step 3a: pack tensor data into fixed-size packets per worker.
         let phase = self.recorder.timer("ecc.save.pack_ns");
+        let span = trace
+            .as_ref()
+            .map(|t| t.tracer.span(t.engine, "checkpoint.pack", format!("{world} workers")));
         let mut worker_packets: Vec<Vec<Packet>> =
             decomposed.iter().map(|d| self.packer.pack(d.tensor_data()).0).collect();
         let max_packets = worker_packets.iter().map(Vec::len).max().expect("world size > 0");
@@ -159,12 +216,14 @@ impl EcCheck {
             }
         }
         self.packets_per_worker = max_packets;
+        drop(span);
         drop(phase);
 
         // Step 3b: build the k data chunks. Chunk j concatenates the
         // packets of data group j ordered (relative worker index, packet
         // index) — the layout reduction groups operate on.
         let phase = self.recorder.timer("ecc.save.build_chunks_ns");
+        let span = trace.as_ref().map(|t| t.tracer.span(t.engine, "save.build_chunks", ""));
         let group_size = self.placement.group_size();
         let chunk_len = group_size * max_packets * ps;
         let mut data_chunks: Vec<Vec<u8>> = Vec::with_capacity(self.config.k());
@@ -178,10 +237,18 @@ impl EcCheck {
             }
             data_chunks.push(chunk);
         }
+        drop(span);
         drop(phase);
 
         // Step 3c: encode parity chunks (thread-pooled XOR schedules).
         let phase = self.recorder.timer("ecc.save.encode_ns");
+        let span = trace.as_ref().map(|t| {
+            t.tracer.span(
+                t.engine,
+                "save.encode",
+                format!("k={} m={}", self.config.k(), self.config.m()),
+            )
+        });
         let chunk_refs: Vec<&[u8]> = data_chunks.iter().map(Vec::as_slice).collect();
         let parity_chunks = if self.config.coding_threads() > 1 {
             self.pool.encode(&self.code, &chunk_refs)?
@@ -189,18 +256,22 @@ impl EcCheck {
             self.code.encode_with(&chunk_refs, self.config.schedule())?
         };
         let encoded_bytes: u64 = parity_chunks.iter().map(|c| c.len() as u64).sum();
+        drop(span);
         drop(phase);
 
         // Step 3d: place chunks and headers (XOR reduction + P2P in the
         // real system; here the byte movement outcome).
         let phase = self.recorder.timer("ecc.save.place_ns");
+        let span = trace.as_ref().map(|t| t.tracer.span(t.engine, "save.place", ""));
         for (j, chunk) in data_chunks.iter().enumerate() {
             let node = self.placement.data_nodes()[j];
             cluster.put_local(node, &chunk_key(version), chunk.clone())?;
+            trace_store(&trace, node, &format!("data chunk {j}"));
         }
         for (i, chunk) in parity_chunks.iter().enumerate() {
             let node = self.placement.parity_nodes()[i];
             cluster.put_local(node, &chunk_key(version), chunk.clone())?;
+            trace_store(&trace, node, &format!("parity chunk {i}"));
         }
         for node in 0..self.spec.nodes() {
             for (w, header) in headers.iter().enumerate() {
@@ -208,6 +279,7 @@ impl EcCheck {
             }
             cluster.put_local(node, &manifest_key(version), manifest(max_packets))?;
         }
+        drop(span);
         drop(phase);
 
         // Step 4: low-frequency remote flush for catastrophic failures.
@@ -234,6 +306,7 @@ impl EcCheck {
         let payload = (max_packets * ps) as u64;
         let traffic = self.reduction.traffic(payload);
         save_timer.stop();
+        drop(root_span);
         self.recorder.counter("ecc.save.calls").incr();
         self.recorder.counter("ecc.save.bytes_encoded").add(encoded_bytes);
         self.recorder.counter("ecc.save.traffic_bytes").add(traffic.total());
@@ -274,8 +347,13 @@ impl EcCheck {
         let (k, n) = (self.config.k(), self.spec.nodes());
         self.recorder.counter("ecc.load.calls").incr();
         let load_timer = self.recorder.timer("ecc.load.ns");
+        let trace = self.trace.clone();
+        let root_span = trace
+            .as_ref()
+            .map(|t| t.tracer.span(t.engine, "ecc.load", format!("version={version}")));
 
         // Which chunks survive? Chunk id: data j -> j, parity i -> k + i.
+        let gather_span = trace.as_ref().map(|t| t.tracer.span(t.engine, "load.gather", ""));
         let mut shards: Vec<Option<Vec<u8>>> = vec![None; n];
         let mut failed_nodes = Vec::new();
         for node in 0..n {
@@ -286,11 +364,13 @@ impl EcCheck {
             match held {
                 Some(blob) => {
                     let chunk_id = self.chunk_id_of_node(node);
+                    trace_fetch(&trace, node, &format!("chunk {chunk_id}"));
                     shards[chunk_id] = Some(blob);
                 }
                 None => failed_nodes.push(node),
             }
         }
+        drop(gather_span);
         let survivors = shards.iter().filter(|s| s.is_some()).count();
         self.recorder.counter("ecc.load.survivors").add(survivors as u64);
         if survivors < k {
@@ -316,7 +396,15 @@ impl EcCheck {
         // Rebuild all chunks (decode if data lost, re-encode lost parity).
         let shard_refs: Vec<Option<&[u8]>> = shards.iter().map(|s| s.as_deref()).collect();
         let rebuilt_count = shard_refs.iter().filter(|s| s.is_none()).count();
+        let span = trace.as_ref().map(|t| {
+            t.tracer.span(
+                t.engine,
+                "load.reconstruct",
+                format!("{workflow:?}, {rebuilt_count} lost"),
+            )
+        });
         let all_chunks = self.code.reconstruct_all(&shard_refs)?;
+        drop(span);
 
         // Restore fault tolerance: every node stores its chunk again,
         // and every node regains the headers (from any survivor).
@@ -334,19 +422,25 @@ impl EcCheck {
                     .ok_or(EcCheckError::Unrecoverable { survivors, needed: k })
             })
             .collect::<Result<_, _>>()?;
+        let span = trace.as_ref().map(|t| t.tracer.span(t.engine, "load.restore", ""));
         for node in 0..n {
             let chunk_id = self.chunk_id_of_node(node);
             cluster.put_local(node, &chunk_key(version), all_chunks[chunk_id].clone())?;
+            trace_store(&trace, node, &format!("chunk {chunk_id}"));
             for (w, header) in headers.iter().enumerate() {
                 cluster.put_local(node, &header_key(version, w), header.clone())?;
             }
             cluster.put_local(node, &manifest_key(version), manifest(self.packets_per_worker))?;
         }
+        drop(span);
 
         // Reassemble every worker's state_dict from the data chunks.
+        let span = trace.as_ref().map(|t| t.tracer.span(t.engine, "load.reassemble", ""));
         let dicts = self.reassemble_all(&all_chunks[..k], &headers)?;
         let restored_bytes: u64 = dicts.iter().map(|d| d.tensor_bytes() as u64).sum();
+        drop(span);
         load_timer.stop();
+        drop(root_span);
         self.recorder.counter("ecc.load.rebuilt_chunks").add(rebuilt_count as u64);
         self.recorder.counter("ecc.load.restored_bytes").add(restored_bytes);
         Ok((
@@ -396,6 +490,10 @@ impl EcCheck {
         let ps = self.config.packet_size();
         let max_packets = self.packets_per_worker;
         let update_timer = self.recorder.timer("ecc.update.ns");
+        let trace = self.trace.clone();
+        let root_span = trace
+            .as_ref()
+            .map(|t| t.tracer.span(t.engine, "ecc.update", format!("worker {worker}")));
 
         // Re-pack the worker's tensor data into its (fixed) packet count.
         let d = decompose(state_dict);
@@ -457,6 +555,7 @@ impl EcCheck {
             cluster.put_local(node, &header_key(version, worker), header.clone())?;
         }
         update_timer.stop();
+        drop(root_span);
         self.recorder.counter("ecc.update.calls").incr();
         self.recorder.counter("ecc.update.changed_bytes").add(changed);
         Ok(changed)
@@ -475,6 +574,10 @@ impl EcCheck {
         let version = self.version;
         let n = self.spec.nodes();
         let flush_timer = self.recorder.timer("ecc.flush.ns");
+        let root_span = self
+            .trace
+            .as_ref()
+            .map(|t| t.tracer.span(t.engine, "ecc.flush", format!("version={version}")));
         self.recorder.counter("ecc.flush.calls").incr();
         for node in 0..n {
             if let Some(blob) = cluster.get_local(node, &chunk_key(version)) {
@@ -492,6 +595,7 @@ impl EcCheck {
         }
         cluster.put_remote(&remote_manifest_key(version), manifest(self.packets_per_worker));
         flush_timer.stop();
+        drop(root_span);
         Ok(())
     }
 
@@ -619,6 +723,32 @@ impl EcCheck {
     }
 }
 
+/// Emits a driver → node chunk-placement flow: an arrow out of the
+/// currently open driver span into a `store.chunk` slice on the node's
+/// `storage` track.
+fn trace_store(trace: &Option<TraceHandles>, node: usize, what: &str) {
+    if let Some(t) = trace {
+        let flow = t.tracer.flow_start(t.engine, "p2p.store");
+        let nt = t.node_track(node);
+        let recv = t.tracer.span(nt, "store.chunk", what);
+        t.tracer.flow_end(nt, flow, "p2p.store");
+        drop(recv);
+    }
+}
+
+/// Emits a node → driver chunk-fetch flow: a `fetch.chunk` slice on the
+/// node's `storage` track with an arrow into the currently open driver
+/// span.
+fn trace_fetch(trace: &Option<TraceHandles>, node: usize, what: &str) {
+    if let Some(t) = trace {
+        let nt = t.node_track(node);
+        let send = t.tracer.span(nt, "fetch.chunk", what);
+        let flow = send.flow_start("p2p.fetch");
+        drop(send);
+        t.tracer.flow_end(t.engine, flow, "p2p.fetch");
+    }
+}
+
 fn chunk_key(version: u64) -> String {
     format!("ecc/v{version}/chunk")
 }
@@ -669,6 +799,32 @@ mod tests {
         let dicts: Vec<StateDict> =
             (0..8).map(|w| build_worker_state_dict(&sd_spec, w).unwrap()).collect();
         (spec, cluster, ecc, dicts)
+    }
+
+    #[test]
+    fn tracer_records_save_and_load_timelines() {
+        let (_, mut cluster, mut ecc, dicts) = setup();
+        let tracer = ecc.attach_tracer();
+        ecc.save(&mut cluster, &dicts).unwrap();
+        cluster.fail_node(0);
+        cluster.fail_node(2);
+        cluster.replace_node(0);
+        cluster.replace_node(2);
+        ecc.load(&mut cluster).unwrap();
+
+        let json = tracer.chrome_trace_json();
+        let stats = ecc_trace::validate_chrome_trace(&json).expect("well-formed trace");
+        assert!(stats.spans > 0);
+        assert!(stats.flows > 0, "store/fetch flows should be present");
+        // Driver + coding + 4 node processes.
+        assert!(stats.processes >= 6, "got {} processes", stats.processes);
+        for needle in ["ecc.save", "checkpoint.pack", "save.encode", "ecc.load", "load.reconstruct"]
+        {
+            assert!(json.contains(needle), "trace should mention {needle}");
+        }
+        let summary = tracer.critical_path_summary("ecc.save");
+        assert!(summary.contains("save.encode"), "{summary}");
+        assert!(summary.contains("(self)"), "{summary}");
     }
 
     #[test]

@@ -16,7 +16,8 @@
 
 use ecc_cluster::{ClusterSpec, FailureScenario};
 use ecc_dnn::IterationProfile;
-use ecc_sim::{pipeline_completion, SimDuration, SimTime, StageConstraint};
+use ecc_sim::{pipeline_completion, trace_pipeline, SimDuration, SimTime, StageConstraint};
+use ecc_trace::{Tracer, TrackId, DRIVER_PID};
 
 use crate::{select_data_parity_nodes, EcCheckConfig, RecoveryWorkflow};
 
@@ -90,6 +91,29 @@ pub fn save_timing(
     profile: Option<&IterationProfile>,
     constants: &TimingConstants,
 ) -> SaveTiming {
+    save_plan(spec, config, shard_bytes, profile, constants).timing
+}
+
+/// A solved save model: the headline numbers plus the per-packet stage
+/// timeline they were derived from, so the trace renderer can draw the
+/// exact pipeline the prediction used.
+struct SavePlan {
+    timing: SaveTiming,
+    /// Per-packet service times: `[encode, comm]`.
+    durations: Vec<Vec<SimDuration>>,
+    /// When step 3 begins (after the blocking steps 1 + 2).
+    start: SimTime,
+    /// Per-packet completion instants from [`pipeline_completion`].
+    done: Vec<Vec<SimTime>>,
+}
+
+fn save_plan(
+    spec: &ClusterSpec,
+    config: &EcCheckConfig,
+    shard_bytes: u64,
+    profile: Option<&IterationProfile>,
+    constants: &TimingConstants,
+) -> SavePlan {
     config.validate(spec.nodes(), spec.world_size()).expect("valid configuration");
     let world = spec.world_size() as u64;
     let g = spec.gpus_per_node() as u64;
@@ -136,12 +160,13 @@ pub fn save_timing(
     let done = pipeline_completion(&durations, &constraints, start);
     let end = done[1][packets as usize - 1];
     let step3 = end - start;
-    SaveTiming {
+    let timing = SaveTiming {
         step1_offload: step1,
         step2_broadcast: step2,
         step3_pipeline: step3,
         total: step1 + step2 + step3,
-    }
+    };
+    SavePlan { timing, durations, start, done }
 }
 
 /// Predicts the duration of one ECCheck recovery for a failure scenario.
@@ -207,6 +232,210 @@ pub fn recovery_timing(
             total: gather + decode + redistribute,
         }
     }
+}
+
+fn node_nic(tracer: &Tracer, node: usize) -> TrackId {
+    tracer.track(node as u64, &format!("node{node}"), "nic")
+}
+
+/// Like [`save_timing`], but also renders the predicted timeline into
+/// `tracer` with explicit simulated timestamps (one process per node):
+///
+/// - `save.offload` / `save.headers` — the blocking steps 1–2 on every
+///   node;
+/// - `pkt<i>` spans on per-data-node `encode`/`xfer` tracks — the
+///   step-3 pipeline, with a `pkt` hand-off arrow per buffer;
+/// - `nic.burst` — when checkpoint bytes actually cross each data
+///   node's NIC (split across training idle gaps when gated), with a
+///   `p2p` arrow from the final burst into every parity node's
+///   `p2p.recv` window;
+/// - `train.comm` — the profiled training-busy windows the gated
+///   stages must dodge, on the driver process.
+pub fn trace_save_timing(
+    tracer: &Tracer,
+    spec: &ClusterSpec,
+    config: &EcCheckConfig,
+    shard_bytes: u64,
+    profile: Option<&IterationProfile>,
+    constants: &TimingConstants,
+) -> SaveTiming {
+    let plan = save_plan(spec, config, shard_bytes, profile, constants);
+    let placement = select_data_parity_nodes(&spec.origin_group(), config.k())
+        .expect("validated configuration");
+    let t0 = SimTime::ZERO;
+    let step1_end = t0 + plan.timing.step1_offload;
+    let start = plan.start;
+    let pipeline_end = *plan.done.last().and_then(|s| s.last()).expect("at least one packet");
+    let idle = profile.filter(|_| config.use_idle_slots()).map(IterationProfile::windows);
+
+    for node in 0..spec.nodes() {
+        let gpu = tracer.track(node as u64, &format!("node{node}"), "gpu");
+        tracer.begin_at(gpu, "save.offload", format!("{shard_bytes} B DtoH"), t0.as_nanos());
+        tracer.end_at(gpu, step1_end.as_nanos());
+        let nic = node_nic(tracer, node);
+        tracer.begin_at(
+            nic,
+            "save.headers",
+            format!("{} B broadcast", constants.header_bytes),
+            step1_end.as_nanos(),
+        );
+        tracer.end_at(nic, start.as_nanos());
+    }
+
+    if let Some(w) = idle {
+        let train = tracer.track(DRIVER_PID, "driver", "train.comm");
+        w.trace_occupancy(tracer, train, "train.comm", t0, pipeline_end);
+    }
+
+    // The NIC carries one checkpoint's worth of communication per data
+    // node; when gated, the bytes cross the wire in idle-gap bursts.
+    let total_comm: SimDuration = plan.durations[1].iter().copied().sum();
+    let bursts = match idle {
+        Some(w) => w.split_segments(start, total_comm),
+        None => vec![(start, start + total_comm)],
+    };
+    let end = pipeline_end.max(bursts.last().map_or(start, |&(_, e)| e));
+
+    // Parity receive windows open first so the arrows from every data
+    // node's final burst land inside them.
+    let mut recv_tracks = Vec::new();
+    for &p in placement.parity_nodes() {
+        let nic = node_nic(tracer, p);
+        tracer.begin_at(
+            nic,
+            "p2p.recv",
+            format!("from {} data nodes", placement.data_nodes().len()),
+            start.as_nanos(),
+        );
+        recv_tracks.push(nic);
+    }
+    for &d in placement.data_nodes() {
+        let enc = tracer.track(d as u64, &format!("node{d}"), "encode");
+        let xfer = tracer.track(d as u64, &format!("node{d}"), "xfer");
+        trace_pipeline(tracer, &[enc, xfer], "pkt", &plan.durations, &plan.done, start);
+        let nic = node_nic(tracer, d);
+        for (i, &(s, e)) in bursts.iter().enumerate() {
+            tracer.begin_at(nic, "nic.burst", format!("segment {i}"), s.as_nanos());
+            if i + 1 == bursts.len() {
+                for &recv in &recv_tracks {
+                    let flow = tracer.flow_start_at(nic, "p2p", e.as_nanos());
+                    tracer.flow_end_at(recv, flow, "p2p", e.as_nanos());
+                }
+            }
+            tracer.end_at(nic, e.as_nanos());
+        }
+    }
+    for &recv in &recv_tracks {
+        tracer.end_at(recv, end.as_nanos());
+    }
+    plan.timing
+}
+
+/// Like [`recovery_timing`], but also renders the predicted recovery
+/// timeline into `tracer`: per-node `recover.*` spans with `p2p.resend`
+/// or `p2p.chunk` / `p2p.restore` arrows tracing where the bytes move
+/// in each workflow of §III-B.
+pub fn trace_recovery_timing(
+    tracer: &Tracer,
+    spec: &ClusterSpec,
+    config: &EcCheckConfig,
+    shard_bytes: u64,
+    scenario: &FailureScenario,
+    constants: &TimingConstants,
+) -> RecoveryTiming {
+    let timing = recovery_timing(spec, config, shard_bytes, scenario, constants);
+    let placement = select_data_parity_nodes(&spec.origin_group(), config.k())
+        .expect("validated configuration");
+    let t0 = SimTime::ZERO;
+    if timing.workflow == RecoveryWorkflow::Resend {
+        let xfer_end = t0 + timing.transfer;
+        // Replaced nodes' receive windows open first for the arrows.
+        let mut recvs = Vec::new();
+        for &r in scenario.failed() {
+            let nic = node_nic(tracer, r);
+            tracer.begin_at(nic, "recover.recv", "replaced node", t0.as_nanos());
+            recvs.push(nic);
+        }
+        for (i, &r) in scenario.failed().iter().enumerate() {
+            let sender = placement.data_nodes()[i % placement.data_nodes().len()];
+            let nic = node_nic(tracer, sender);
+            tracer.begin_at(nic, "recover.resend", format!("to node{r}"), t0.as_nanos());
+            let flow = tracer.flow_start_at(nic, "p2p.resend", xfer_end.as_nanos());
+            tracer.flow_end_at(recvs[i], flow, "p2p.resend", xfer_end.as_nanos());
+            tracer.end_at(nic, xfer_end.as_nanos());
+        }
+        for &recv in &recvs {
+            tracer.end_at(recv, xfer_end.as_nanos());
+        }
+        // Lost parity is re-encoded in the background once training has
+        // resumed — off the critical path, hence after the transfer.
+        for &d in placement.data_nodes() {
+            let enc = tracer.track(d as u64, &format!("node{d}"), "encode");
+            tracer.begin_at(
+                enc,
+                "recover.reencode",
+                "background parity rebuild",
+                xfer_end.as_nanos(),
+            );
+            tracer.end_at(enc, (xfer_end + timing.compute).as_nanos());
+        }
+    } else {
+        let g = spec.gpus_per_node() as u64;
+        let redistribute = spec.nic().transfer_time(g * shard_bytes * scenario.count() as u64);
+        let gather = timing.transfer - redistribute;
+        let gather_end = t0 + gather;
+        let decode_end = gather_end + timing.compute;
+        let total_end = t0 + timing.total;
+        // Render the decode on the lowest surviving node.
+        let decoder = (0..spec.nodes()).find(|&n| !scenario.is_failed(n)).expect("a survivor");
+        let dec_nic = node_nic(tracer, decoder);
+        let survivors: Vec<usize> = placement
+            .data_nodes()
+            .iter()
+            .chain(placement.parity_nodes())
+            .copied()
+            .filter(|&n| !scenario.is_failed(n) && n != decoder)
+            .collect();
+        tracer.begin_at(
+            dec_nic,
+            "recover.gather",
+            format!("{} survivor chunks", survivors.len() + 1),
+            t0.as_nanos(),
+        );
+        for &s in &survivors {
+            let nic = node_nic(tracer, s);
+            tracer.begin_at(nic, "recover.send_chunk", "survivor chunk", t0.as_nanos());
+            let flow = tracer.flow_start_at(nic, "p2p.chunk", gather_end.as_nanos());
+            tracer.flow_end_at(dec_nic, flow, "p2p.chunk", gather_end.as_nanos());
+            tracer.end_at(nic, gather_end.as_nanos());
+        }
+        tracer.end_at(dec_nic, gather_end.as_nanos());
+        let cpu = tracer.track(decoder as u64, &format!("node{decoder}"), "encode");
+        tracer.begin_at(
+            cpu,
+            "recover.decode",
+            format!("{:?}", timing.workflow),
+            gather_end.as_nanos(),
+        );
+        tracer.end_at(cpu, decode_end.as_nanos());
+        // Rebuilt packets flow back to the replacement nodes.
+        let mut recvs = Vec::new();
+        for &r in scenario.failed() {
+            let nic = node_nic(tracer, r);
+            tracer.begin_at(nic, "recover.recv", "replaced node", decode_end.as_nanos());
+            recvs.push(nic);
+        }
+        tracer.begin_at(dec_nic, "recover.redistribute", "", decode_end.as_nanos());
+        for &recv in &recvs {
+            let flow = tracer.flow_start_at(dec_nic, "p2p.restore", total_end.as_nanos());
+            tracer.flow_end_at(recv, flow, "p2p.restore", total_end.as_nanos());
+        }
+        tracer.end_at(dec_nic, total_end.as_nanos());
+        for &recv in &recvs {
+            tracer.end_at(recv, total_end.as_nanos());
+        }
+    }
+    timing
 }
 
 #[cfg(test)]
@@ -327,6 +556,74 @@ mod tests {
         let remote_reload = spec.remote().transfer_time(model.checkpoint_bytes());
         let speedup = remote_reload.as_secs_f64() / b.total.as_secs_f64();
         assert!(speedup > 4.0, "expected a large speedup, got {speedup:.1}x");
+    }
+
+    #[test]
+    fn trace_save_timing_renders_the_model_timeline() {
+        let (spec, cfg, consts) = paper_setup();
+        let model = ModelConfig::gpt2(2560, 40, 64);
+        let par = ParallelismSpec::new(4, 4, 1).unwrap();
+        let tm = TrainingTimeModel::new(model, par, GpuSpec::a100_40g(), spec.nic()).unwrap();
+        let profile = tm.profile(200);
+        let s = shard(&model);
+
+        let (tracer, _clock) = ecc_trace::Tracer::with_manual_clock();
+        let timing = trace_save_timing(&tracer, &spec, &cfg, s, Some(&profile), &consts);
+        assert_eq!(timing, save_timing(&spec, &cfg, s, Some(&profile), &consts));
+
+        let json = tracer.chrome_trace_json();
+        let stats = ecc_trace::validate_chrome_trace(&json).expect("valid trace");
+        assert!(stats.spans > 0);
+        // One p2p arrow per (data node, parity node) pair.
+        assert_eq!(stats.flows % (cfg.k() * cfg.m()), 0);
+        assert!(stats.flows >= cfg.k() * cfg.m());
+        // Every node appears as its own process, plus the driver's
+        // train-comm context track.
+        assert!(stats.processes > spec.nodes());
+        for needle in
+            ["save.offload", "save.headers", "nic.burst", "p2p.recv", "train.comm", "pkt0"]
+        {
+            assert!(json.contains(needle), "trace should mention {needle}");
+        }
+    }
+
+    #[test]
+    fn trace_recovery_timing_renders_both_workflows() {
+        let (spec, cfg, consts) = paper_setup();
+        let s = shard(&ModelConfig::gpt2(2560, 40, 64));
+        for (scenario, needles) in [
+            (FailureScenario::fig13a(), vec!["recover.resend", "recover.recv", "p2p.resend"]),
+            (
+                FailureScenario::fig13b(),
+                vec!["recover.gather", "recover.decode", "recover.redistribute", "p2p.chunk"],
+            ),
+        ] {
+            let (tracer, _clock) = ecc_trace::Tracer::with_manual_clock();
+            let timing = trace_recovery_timing(&tracer, &spec, &cfg, s, &scenario, &consts);
+            assert_eq!(timing, recovery_timing(&spec, &cfg, s, &scenario, &consts));
+            let json = tracer.chrome_trace_json();
+            let stats = ecc_trace::validate_chrome_trace(&json).expect("valid trace");
+            assert!(stats.flows > 0, "{:?} should draw arrows", timing.workflow);
+            for needle in needles {
+                assert!(
+                    json.contains(needle),
+                    "{:?} trace should mention {needle}",
+                    timing.workflow
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trace_save_timing_is_deterministic() {
+        let (spec, cfg, consts) = paper_setup();
+        let s = shard(&ModelConfig::gpt2(1600, 32, 48));
+        let render = || {
+            let (tracer, _clock) = ecc_trace::Tracer::with_manual_clock();
+            trace_save_timing(&tracer, &spec, &cfg, s, None, &consts);
+            tracer.chrome_trace_json()
+        };
+        assert_eq!(render(), render(), "same model, same bytes");
     }
 
     #[test]

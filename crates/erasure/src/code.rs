@@ -1,5 +1,6 @@
 use ecc_gf::{BitMatrix, GaloisField, Matrix};
 use ecc_telemetry::{Counter, Recorder};
+use ecc_trace::{Tracer, TrackId, CODING_PID};
 
 use crate::schedule::{ScheduleKind, XorOp, XorSchedule};
 use crate::{cauchy, region, vandermonde, CodeParams, ErasureError};
@@ -65,6 +66,7 @@ pub struct ErasureCode {
     smart: XorSchedule,
     dumb: XorSchedule,
     metrics: Option<CodeMetrics>,
+    tracer: Option<(Tracer, TrackId)>,
 }
 
 impl ErasureCode {
@@ -105,7 +107,7 @@ impl ErasureCode {
             XorSchedule::from_bitmatrix(&bits, params.k(), params.m(), w, ScheduleKind::Smart);
         let dumb =
             XorSchedule::from_bitmatrix(&bits, params.k(), params.m(), w, ScheduleKind::Dumb);
-        Ok(Self { params, gf, generator, smart, dumb, metrics: None })
+        Ok(Self { params, gf, generator, smart, dumb, metrics: None, tracer: None })
     }
 
     /// Attaches a telemetry recorder: encode/decode calls, bytes, XOR-op
@@ -116,6 +118,14 @@ impl ErasureCode {
         recorder.counter("erasure.schedule.smart_xors").add(self.smart.xor_count() as u64);
         recorder.counter("erasure.schedule.dumb_xors").add(self.dumb.xor_count() as u64);
         self.metrics = Some(CodeMetrics::attach(recorder));
+    }
+
+    /// Attaches a span tracer: every serial encode/decode emits an
+    /// `erasure.{encode,decode}` span on the coding process's `coder`
+    /// track.
+    pub fn set_tracer(&mut self, tracer: &Tracer) {
+        let track = tracer.track(CODING_PID, "coding", "coder");
+        self.tracer = Some((tracer.clone(), track));
     }
 
     /// Builds the code ECCheck uses by default: the "good" Cauchy
@@ -205,7 +215,12 @@ impl ErasureCode {
     ) -> Result<Vec<Vec<u8>>, ErasureError> {
         let ps = self.validate_chunks(data, self.params.k())?;
         let timer = self.metrics.as_ref().map(|m| m.recorder.timer("erasure.encode.ns"));
+        let span = self.tracer.as_ref().map(|(tracer, track)| {
+            let bytes: usize = data.iter().map(|c| c.len()).sum();
+            tracer.span(*track, "erasure.encode", format!("{kind:?}, {bytes} B"))
+        });
         let parity = self.run_schedule(self.schedule(kind), data, ps);
+        drop(span);
         drop(timer);
         if let Some(m) = &self.metrics {
             m.encode_calls.incr();
@@ -245,6 +260,9 @@ impl ErasureCode {
 
         let missing: Vec<usize> = (0..k).filter(|&i| shards[i].is_none()).collect();
         let timer = self.metrics.as_ref().map(|m| m.recorder.timer("erasure.decode.ns"));
+        let span = self.tracer.as_ref().map(|(tracer, track)| {
+            tracer.span(*track, "erasure.decode", format!("{} missing", missing.len()))
+        });
         let mut out: Vec<Option<Vec<u8>>> = (0..k).map(|i| shards[i].map(|s| s.to_vec())).collect();
         if !missing.is_empty() {
             let sub = self.generator.select_rows(&survivors);
@@ -262,6 +280,7 @@ impl ErasureCode {
                 out[*slot] = Some(chunk);
             }
         }
+        drop(span);
         drop(timer);
         if let Some(m) = &self.metrics {
             m.decode_calls.incr();

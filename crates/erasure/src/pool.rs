@@ -7,6 +7,7 @@
 //! results concatenated — bit-identical to a single-threaded execution.
 
 use ecc_telemetry::{Counter, Recorder};
+use ecc_trace::{Tracer, TrackId, CODING_PID};
 
 use crate::code::run_schedule_stripe;
 use crate::region::MulTable;
@@ -65,13 +66,14 @@ impl PoolMetrics {
 pub struct CodingPool {
     threads: usize,
     metrics: Option<PoolMetrics>,
+    tracer: Option<Tracer>,
 }
 
 impl CodingPool {
     /// Creates a pool that runs up to `threads` sub-tasks concurrently
     /// (clamped to at least 1).
     pub fn new(threads: usize) -> Self {
-        Self { threads: threads.max(1), metrics: None }
+        Self { threads: threads.max(1), metrics: None, tracer: None }
     }
 
     /// The configured degree of parallelism.
@@ -83,6 +85,26 @@ impl CodingPool {
     /// shared `erasure.encode.*` metrics plus `pool.*` stripe counters.
     pub fn set_recorder(&mut self, recorder: &Recorder) {
         self.metrics = Some(PoolMetrics::attach(recorder));
+    }
+
+    /// Attaches a span tracer: pooled encodes/decodes emit a
+    /// `pool.{encode,decode}` span on the coding process's `pool` track
+    /// plus one `{encode,decode}.stripe` span per sub-range on that
+    /// stripe's `worker{i}` track.
+    pub fn set_tracer(&mut self, tracer: &Tracer) {
+        self.tracer = Some(tracer.clone());
+    }
+
+    /// Pre-registers (single-threaded, so track ids are deterministic)
+    /// and returns the worker tracks for a `count`-stripe operation.
+    fn worker_tracks(&self, count: usize) -> Option<(Tracer, TrackId, Vec<TrackId>)> {
+        self.tracer.as_ref().map(|tracer| {
+            let pool = tracer.track(CODING_PID, "coding", "pool");
+            let workers = (0..count)
+                .map(|i| tracer.track(CODING_PID, "coding", &format!("worker{i}")))
+                .collect();
+            (tracer.clone(), pool, workers)
+        })
     }
 
     /// Parallel `dst ^= src` over equal-length regions.
@@ -181,13 +203,28 @@ impl CodingPool {
             lo = hi;
         }
         let timer = self.metrics.as_ref().map(|m| m.recorder.timer("erasure.encode.ns"));
+        let trace = self.worker_tracks(bounds.len());
+        let pool_span = trace.as_ref().map(|(tracer, pool, _)| {
+            tracer.span(*pool, "pool.encode", format!("{} stripes", bounds.len()))
+        });
         let stripes: Vec<Vec<Vec<u8>>> = std::thread::scope(|s| {
             let handles: Vec<_> = bounds
                 .iter()
-                .map(|&(lo, hi)| s.spawn(move || run_schedule_stripe(schedule, data, ps, lo, hi)))
+                .enumerate()
+                .map(|(i, &(lo, hi))| {
+                    let worker =
+                        trace.as_ref().map(|(tracer, _, workers)| (tracer.clone(), workers[i]));
+                    s.spawn(move || {
+                        let _span = worker.as_ref().map(|(tracer, track)| {
+                            tracer.span(*track, "encode.stripe", format!("rows {lo}..{hi}"))
+                        });
+                        run_schedule_stripe(schedule, data, ps, lo, hi)
+                    })
+                })
                 .collect();
             handles.into_iter().map(|h| h.join().expect("stripe worker panicked")).collect()
         });
+        drop(pool_span);
         // Reassemble: parity chunk i, sub-packet r = concat of stripes.
         let (m, _) = (params.m(), params.k());
         let mut parity: Vec<Vec<u8>> = (0..m).map(|_| Vec::with_capacity(w * ps)).collect();
@@ -362,14 +399,24 @@ impl CodingPool {
         if let Some(metrics) = &self.metrics {
             metrics.decode_stripes.add(bounds.len() as u64);
         }
+        let trace = self.worker_tracks(bounds.len());
+        let pool_span = trace.as_ref().map(|(tracer, pool, _)| {
+            tracer.span(*pool, "pool.decode", format!("{} stripes", bounds.len()))
+        });
         // Build per-stripe shard views: for each shard, gather the byte
         // range [lo, hi) of each of its w sub-packets.
         let stripes: Vec<Result<Vec<Vec<u8>>, ErasureError>> = std::thread::scope(|s| {
             let handles: Vec<_> = bounds
                 .iter()
-                .map(|&(lo, hi)| {
+                .enumerate()
+                .map(|(i, &(lo, hi))| {
                     let shards = &shards;
+                    let worker =
+                        trace.as_ref().map(|(tracer, _, workers)| (tracer.clone(), workers[i]));
                     s.spawn(move || {
+                        let _span = worker.as_ref().map(|(tracer, track)| {
+                            tracer.span(*track, "decode.stripe", format!("rows {lo}..{hi}"))
+                        });
                         let views: Vec<Option<Vec<u8>>> = shards
                             .iter()
                             .map(|sh| {
@@ -390,6 +437,7 @@ impl CodingPool {
                 .collect();
             handles.into_iter().map(|h| h.join().expect("decode worker panicked")).collect()
         });
+        drop(pool_span);
         // Reassemble: data chunk j sub-packet c = concat of stripes.
         let mut out: Vec<Vec<u8>> = (0..k).map(|_| Vec::with_capacity(len)).collect();
         let mut stripe_chunks = Vec::with_capacity(stripes.len());

@@ -41,7 +41,9 @@ mod windows;
 
 pub use bandwidth::Bandwidth;
 pub use engine::Simulation;
-pub use pipeline::{pipeline_completion, pipeline_utilization, record_pipeline, StageConstraint};
+pub use pipeline::{
+    pipeline_completion, pipeline_utilization, record_pipeline, trace_pipeline, StageConstraint,
+};
 pub use resource::FifoResource;
 pub use time::{SimDuration, SimTime};
 pub use windows::BusyWindows;

@@ -1,4 +1,5 @@
 use ecc_telemetry::Recorder;
+use ecc_trace::{FlowId, Tracer, TrackId};
 
 use crate::{BusyWindows, SimDuration, SimTime};
 
@@ -126,6 +127,62 @@ pub fn record_pipeline(
     }
 }
 
+/// Renders a solved pipeline onto trace tracks: one `pkt<i>` span per
+/// item per stage covering `[ready, done]` (ready includes any wait for
+/// the stage slot or idle gaps), with a `flow_name` arrow from each
+/// item's slice to its slice on the next stage. `tracks[s]` is the
+/// track for stage `s`; items keep their index in the span name so the
+/// hand-off of a single packet can be followed across stages.
+///
+/// # Panics
+///
+/// Panics when `tracks`, `durations` and `done` disagree on the stage
+/// count, or stages disagree on the item count.
+pub fn trace_pipeline(
+    tracer: &Tracer,
+    tracks: &[TrackId],
+    flow_name: &str,
+    durations: &[Vec<SimDuration>],
+    done: &[Vec<SimTime>],
+    start: SimTime,
+) {
+    assert_eq!(tracks.len(), done.len(), "one track per stage is required");
+    assert_eq!(durations.len(), done.len(), "durations and done must cover the same stages");
+    let stages = done.len();
+    if stages == 0 {
+        return;
+    }
+    let items = done[0].len();
+    assert!(
+        done.iter().all(|d| d.len() == items) && durations.iter().all(|d| d.len() == items),
+        "all stages must have the same number of items"
+    );
+    // Flow out of stage s, item i; ended when stage s+1 picks the item up.
+    let mut inbound: Vec<Option<FlowId>> = vec![None; items];
+    for s in 0..stages {
+        for i in 0..items {
+            let upstream = if s == 0 { start } else { done[s - 1][i] };
+            let prev_here = if i == 0 { start } else { done[s][i - 1] };
+            let ready = upstream.max(prev_here);
+            let finish = done[s][i];
+            tracer.begin_at(
+                tracks[s],
+                &format!("pkt{i}"),
+                format!("service {}", ecc_telemetry::fmt_ns(durations[s][i].as_nanos() as f64)),
+                ready.as_nanos(),
+            );
+            if let Some(flow) = inbound[i].take() {
+                tracer.flow_end_at(tracks[s], flow, flow_name, ready.as_nanos());
+            }
+            if s + 1 < stages {
+                // Emitted before the End so the arrow leaves this slice.
+                inbound[i] = Some(tracer.flow_start_at(tracks[s], flow_name, finish.as_nanos()));
+            }
+            tracer.end_at(tracks[s], finish.as_nanos());
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -209,6 +266,32 @@ mod tests {
             let total: SimDuration = stage.iter().copied().sum();
             assert!(last >= SimTime::ZERO + total);
         }
+    }
+
+    #[test]
+    fn trace_pipeline_emits_spans_and_flows() {
+        let durations = vec![vec![ms(10); 3], vec![ms(10); 3]];
+        let constraints = [StageConstraint::Free, StageConstraint::Free];
+        let done = pipeline_completion(&durations, &constraints, SimTime::ZERO);
+
+        let (tracer, _clock) = ecc_trace::Tracer::with_manual_clock();
+        let tracks = vec![tracer.track(0, "node0", "encode"), tracer.track(0, "node0", "xfer")];
+        trace_pipeline(&tracer, &tracks, "handoff", &durations, &done, SimTime::ZERO);
+
+        let json = tracer.chrome_trace_json();
+        let stats = ecc_trace::validate_chrome_trace(&json).expect("valid trace");
+        assert_eq!(stats.spans, 6); // 2 stages × 3 items
+        assert_eq!(stats.flows, 3); // one hand-off arrow per item
+        assert!(json.contains("\"name\":\"pkt0\""));
+        assert!(json.contains("\"name\":\"pkt2\""));
+        assert!(json.contains("\"name\":\"handoff\""));
+    }
+
+    #[test]
+    fn trace_pipeline_of_empty_pipeline_is_a_no_op() {
+        let (tracer, _clock) = ecc_trace::Tracer::with_manual_clock();
+        trace_pipeline(&tracer, &[], "x", &[], &[], SimTime::ZERO);
+        assert!(tracer.is_empty());
     }
 
     #[test]

@@ -155,6 +155,56 @@ impl BusyWindows {
         }
     }
 
+    /// The execution segments [`BusyWindows::fit_split`] implies:
+    /// `[start, end)` intervals in which the split work actually runs,
+    /// in order. Their lengths sum to `work` and the last `end` equals
+    /// `fit_split(from, work)`. Empty for zero work.
+    pub fn split_segments(&self, from: SimTime, work: SimDuration) -> Vec<(SimTime, SimTime)> {
+        let mut segments = Vec::new();
+        let mut t = self.next_idle_at(from);
+        let mut remaining = work;
+        if remaining == SimDuration::ZERO {
+            return segments;
+        }
+        loop {
+            match self.next_busy_after(t) {
+                Some((bs, be)) if bs < t + remaining => {
+                    if bs > t {
+                        segments.push((t, bs));
+                    }
+                    remaining = remaining.saturating_sub(bs - t);
+                    t = self.next_idle_at(be);
+                }
+                _ => {
+                    segments.push((t, t + remaining));
+                    return segments;
+                }
+            }
+        }
+    }
+
+    /// Emits the busy intervals overlapping `[from, to)` as `name` spans
+    /// on `track` (clipped to the range), so a trace shows exactly when
+    /// the resource was occupied — e.g. the training iterations'
+    /// network-busy windows the checkpoint traffic must dodge.
+    pub fn trace_occupancy(
+        &self,
+        tracer: &ecc_trace::Tracer,
+        track: ecc_trace::TrackId,
+        name: &str,
+        from: SimTime,
+        to: SimTime,
+    ) {
+        for &(s, e) in &self.busy {
+            let lo = s.max(from);
+            let hi = e.min(to);
+            if lo < hi {
+                tracer.begin_at(track, name, "", lo.as_nanos());
+                tracer.end_at(track, hi.as_nanos());
+            }
+        }
+    }
+
     /// The first idle instant at or after `t`.
     pub fn next_idle_at(&self, t: SimTime) -> SimTime {
         let mut t = t;
@@ -250,6 +300,39 @@ mod tests {
     }
 
     #[test]
+    fn split_segments_mirror_fit_split() {
+        let mut w = BusyWindows::new();
+        w.add_busy(t(10), t(20));
+        w.add_busy(t(25), t(35));
+        // 12 ms from t=0 runs [0,10) and [20,22).
+        assert_eq!(w.split_segments(t(0), d(12)), vec![(t(0), t(10)), (t(20), t(22))]);
+        // 16 ms from t=0 also uses the whole [20,25) gap and 1 ms after 35.
+        assert_eq!(
+            w.split_segments(t(0), d(16)),
+            vec![(t(0), t(10)), (t(20), t(25)), (t(35), t(36))]
+        );
+        // Arriving mid-busy starts at the window's end.
+        assert_eq!(w.split_segments(t(12), d(3)), vec![(t(20), t(23))]);
+        assert!(w.split_segments(t(0), SimDuration::ZERO).is_empty());
+    }
+
+    #[test]
+    fn trace_occupancy_clips_to_range() {
+        let mut w = BusyWindows::new();
+        w.add_busy(t(10), t(20));
+        w.add_busy(t(30), t(40));
+        let (tracer, _clock) = ecc_trace::Tracer::with_manual_clock();
+        let track = tracer.track(0, "net", "busy");
+        w.trace_occupancy(&tracer, track, "train.comm", t(15), t(35));
+        let json = tracer.chrome_trace_json();
+        let stats = ecc_trace::validate_chrome_trace(&json).expect("valid trace");
+        assert_eq!(stats.spans, 2);
+        // Clipped boundaries: 15 ms and 35 ms in decimal microseconds.
+        assert!(json.contains("\"ts\":15000.000"));
+        assert!(json.contains("\"ts\":35000.000"));
+    }
+
+    #[test]
     fn work_after_all_windows_runs_unimpeded() {
         let mut w = BusyWindows::new();
         w.add_busy(t(10), t(20));
@@ -274,6 +357,28 @@ mod tests {
             let done_cont = w.fit_contiguous(t(arrive), d(work));
             prop_assert!(done_split >= t(arrive + work));
             prop_assert!(done_cont >= done_split);
+        }
+
+        /// split_segments agrees with fit_split: the segment lengths sum
+        /// to the work, the last end is the completion instant, and no
+        /// segment overlaps a busy window.
+        #[test]
+        fn prop_split_segments_agree_with_fit_split(
+            starts in proptest::collection::vec(0u64..1000, 0..6),
+            arrive in 0u64..1000,
+            work in 1u64..200,
+        ) {
+            let mut w = BusyWindows::new();
+            for s in starts {
+                w.add_busy(t(s), t(s + 17));
+            }
+            let segments = w.split_segments(t(arrive), d(work));
+            let total: SimDuration = segments.iter().map(|&(s, e)| e - s).sum();
+            prop_assert_eq!(total, d(work));
+            prop_assert_eq!(segments.last().unwrap().1, w.fit_split(t(arrive), d(work)));
+            for &(s, e) in &segments {
+                prop_assert_eq!(w.busy_between(s, e), SimDuration::ZERO);
+            }
         }
 
         /// fit_split conserves work: idle time consumed between arrival

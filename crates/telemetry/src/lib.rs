@@ -200,6 +200,14 @@ impl Recorder {
         self.inner.clock.now_ns()
     }
 
+    /// The clock this recorder stamps timestamps with. Layered tooling
+    /// (e.g. the `ecc-trace` span tracer) must read time through this
+    /// handle so its timestamps and the recorder's event log share one
+    /// epoch and can be cross-referenced sample-for-sample.
+    pub fn clock(&self) -> Arc<dyn Clock> {
+        Arc::clone(&self.inner.clock)
+    }
+
     /// Looks up (registering on first use) the named counter. The
     /// returned handle is cheap to clone and update; cache it outside
     /// hot loops.
@@ -390,6 +398,53 @@ mod tests {
             rec.snapshot().to_json()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn recorder_clock_is_the_recording_clock() {
+        let (rec, clock) = Recorder::with_manual_clock();
+        clock.set_ns(1234);
+        assert_eq!(rec.clock().now_ns(), 1234);
+        assert_eq!(rec.now_ns(), 1234);
+        // Events stamped through either handle agree on the epoch.
+        rec.event("tick", "");
+        assert_eq!(rec.snapshot().events[0].at_ns, 1234);
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries_are_exact_powers_of_two() {
+        // Bucket i must hold exactly [2^i, 2^(i+1)) for i >= 1, with
+        // bucket 0 holding 0 and 1; probe both edges of several buckets.
+        for i in 1..=62u8 {
+            let hist = Histogram::detached();
+            let lo = 1u64 << i;
+            hist.record(lo); // lowest value of bucket i
+            hist.record(lo - 1); // highest value of bucket i-1
+            hist.record((lo << 1) - 1); // highest value of bucket i
+            let snap = hist.core.snapshot();
+            assert_eq!(snap.buckets, vec![(i - 1, 1), (i, 2)], "boundary at 2^{i}");
+        }
+        // u64::MAX lands in the final bucket rather than out of range.
+        let hist = Histogram::detached();
+        hist.record(u64::MAX);
+        assert_eq!(hist.core.snapshot().buckets, vec![(63, 1)]);
+    }
+
+    #[test]
+    fn event_overflow_reports_every_drop() {
+        let (rec, clock) = Recorder::with_manual_clock();
+        let extra = 1_000u64;
+        for i in 0..(EVENT_CAPACITY as u64 + extra) {
+            clock.set_ns(i);
+            rec.event("tick", "");
+        }
+        let snap = rec.snapshot();
+        assert_eq!(snap.events.len(), EVENT_CAPACITY);
+        assert_eq!(snap.dropped_events, extra);
+        // The retained events are the oldest ones, still in order.
+        assert_eq!(snap.events.last().expect("full buffer").at_ns, EVENT_CAPACITY as u64 - 1);
+        // The drop count survives serialization.
+        assert!(snap.to_json().ends_with(&format!("\"dropped_events\":{extra}}}")));
     }
 
     #[test]

@@ -246,4 +246,40 @@ mod tests {
         assert_eq!(fmt_ns(250.0), "250ns");
         assert_eq!(fmt_rate(2048.0), "2.00 KiB/s");
     }
+
+    #[test]
+    fn fmt_ns_unit_boundaries_are_inclusive_upward() {
+        // Exactly 1e3/1e6/1e9 promote to the larger unit.
+        assert_eq!(fmt_ns(1e3), "1.000us");
+        assert_eq!(fmt_ns(1e6), "1.000ms");
+        assert_eq!(fmt_ns(1e9), "1.000s");
+        // Just below each boundary stays in the smaller unit.
+        assert_eq!(fmt_ns(999.0), "999ns");
+        assert_eq!(fmt_ns(999.999e3), "999.999us");
+        // Degenerate inputs render without panicking.
+        assert_eq!(fmt_ns(0.0), "0ns");
+        assert_eq!(fmt_ns(0.4), "0ns");
+    }
+
+    #[test]
+    fn fmt_rate_clamps_at_largest_unit() {
+        assert_eq!(fmt_rate(0.0), "0.00 B/s");
+        assert_eq!(fmt_rate(1023.0), "1023.00 B/s");
+        assert_eq!(fmt_rate(1024.0), "1.00 KiB/s");
+        assert_eq!(fmt_rate(1024.0 * 1024.0 * 1024.0), "1.00 GiB/s");
+        // Beyond TiB/s the unit saturates instead of indexing out of range.
+        let huge = 1024f64.powi(5) * 3.0;
+        assert_eq!(fmt_rate(huge), "3072.00 TiB/s");
+    }
+
+    #[test]
+    fn empty_snapshot_serializes_minimally() {
+        let snap = Snapshot::default();
+        assert_eq!(
+            snap.to_json(),
+            "{\"counters\":{},\"histograms\":{},\"events\":[],\"dropped_events\":0}"
+        );
+        assert_eq!(snap.counter("missing"), 0);
+        assert!(snap.histogram("missing").is_none());
+    }
 }

@@ -1,0 +1,490 @@
+//! Causal span tracing for the ECCheck pipeline.
+//!
+//! Where `ecc-telemetry` aggregates (counters, histograms), this crate
+//! records *timelines*: hierarchical spans with begin/end instants,
+//! point instants, and cross-track *flow* arrows that tie a send on one
+//! node to the matching receive on another. A [`Tracer`] organises its
+//! events into Chrome-Trace-style **processes** (one per simulated node)
+//! and **tracks** (one per stage or worker thread), exports them as
+//! Chrome Trace Event JSON loadable in [Perfetto](https://ui.perfetto.dev)
+//! ([`Tracer::chrome_trace_json`]), and renders a text critical-path
+//! summary ([`Tracer::critical_path_summary`]) that attributes a root
+//! span's end-to-end latency to its stages.
+//!
+//! Time is read through the same [`Clock`] abstraction the telemetry
+//! recorder uses — build a tracer with [`Tracer::for_recorder`] and the
+//! two share one epoch, so a histogram sample and the span that produced
+//! it carry comparable timestamps. Under a
+//! [`ManualClock`](ecc_telemetry::ManualClock) (or when timestamps are
+//! supplied explicitly via the `*_at` methods, as the simulation's
+//! timing models do) identical runs export byte-identical JSON.
+//!
+//! Design constraints match `ecc-telemetry`: no dependencies, no
+//! `unsafe`, deterministic output.
+//!
+//! # Examples
+//!
+//! ```
+//! use ecc_trace::Tracer;
+//!
+//! let (tracer, clock) = Tracer::with_manual_clock();
+//! let node0 = tracer.track(0, "node0", "encode");
+//! let node1 = tracer.track(1, "node1", "recv");
+//!
+//! let span = tracer.span(node0, "encode.packet", "pkt 0");
+//! clock.advance_ns(1_000);
+//! let flow = tracer.flow_start(node0, "p2p");
+//! drop(span);
+//!
+//! clock.advance_ns(500);
+//! let recv = tracer.span(node1, "recv.packet", "pkt 0");
+//! tracer.flow_end(node1, flow, "p2p");
+//! drop(recv);
+//!
+//! let json = tracer.chrome_trace_json();
+//! ecc_trace::validate_chrome_trace(&json).expect("well-formed trace");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod export;
+pub mod json;
+mod summary;
+mod validate;
+
+pub use validate::{validate_chrome_trace, TraceStats};
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+use ecc_telemetry::{Clock, ManualClock, Recorder, WallClock};
+
+/// Process id for the engine's orchestration tracks ("driver" process).
+///
+/// Simulated nodes use their node index as pid; synthetic processes sit
+/// far above any realistic node count so the two can never collide.
+pub const DRIVER_PID: u64 = 1_000_000;
+
+/// Process id for coding work (serial coder and pool worker tracks).
+pub const CODING_PID: u64 = 1_000_001;
+
+/// Identifies one track: a (process, thread) pair in the Chrome trace
+/// model. Obtain via [`Tracer::track`]; cheap to copy and share.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct TrackId {
+    pid: u64,
+    tid: u64,
+}
+
+impl TrackId {
+    /// The process ("node") this track belongs to.
+    pub fn pid(&self) -> u64 {
+        self.pid
+    }
+
+    /// The track index within its process.
+    pub fn tid(&self) -> u64 {
+        self.tid
+    }
+}
+
+/// Identifies a flow (an arrow between two slices on any two tracks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowId(pub(crate) u64);
+
+#[derive(Debug, Clone)]
+pub(crate) enum Record {
+    Begin { ts: u64, name: String, detail: String },
+    End { ts: u64 },
+    Instant { ts: u64, name: String, detail: String },
+    FlowStart { ts: u64, id: u64, name: String },
+    FlowEnd { ts: u64, id: u64, name: String },
+}
+
+impl Record {
+    pub(crate) fn ts(&self) -> u64 {
+        match self {
+            Record::Begin { ts, .. }
+            | Record::End { ts }
+            | Record::Instant { ts, .. }
+            | Record::FlowStart { ts, .. }
+            | Record::FlowEnd { ts, .. } => *ts,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+pub(crate) struct TrackState {
+    pub(crate) name: String,
+    pub(crate) records: Vec<Record>,
+    /// Number of currently-open spans (begin without end).
+    pub(crate) open: usize,
+}
+
+impl TrackState {
+    /// Appends a record, clamping its timestamp so the track stays
+    /// monotone even if an imperfect clock steps backwards.
+    fn push(&mut self, mut record: Record) {
+        if let Some(last) = self.records.last() {
+            let floor = last.ts();
+            if record.ts() < floor {
+                match &mut record {
+                    Record::Begin { ts, .. }
+                    | Record::End { ts }
+                    | Record::Instant { ts, .. }
+                    | Record::FlowStart { ts, .. }
+                    | Record::FlowEnd { ts, .. } => *ts = floor,
+                }
+            }
+        }
+        match &record {
+            Record::Begin { .. } => self.open += 1,
+            Record::End { .. } => {
+                self.open = self.open.saturating_sub(1);
+            }
+            _ => {}
+        }
+        self.records.push(record);
+    }
+}
+
+#[derive(Debug, Default)]
+pub(crate) struct ProcessState {
+    pub(crate) name: String,
+    pub(crate) tracks: BTreeMap<u64, TrackState>,
+    by_name: BTreeMap<String, u64>,
+    next_tid: u64,
+}
+
+#[derive(Debug, Default)]
+pub(crate) struct State {
+    pub(crate) processes: BTreeMap<u64, ProcessState>,
+    next_flow: u64,
+}
+
+#[derive(Debug)]
+struct Inner {
+    clock: Arc<dyn Clock>,
+    state: Mutex<State>,
+}
+
+/// The tracing hub: a cheaply cloneable handle to a shared timeline.
+///
+/// All clones observe (and append to) the same set of processes, tracks
+/// and events. Emission on one track must come from one logical thread
+/// at a time (each pool worker gets its own track); tracks themselves
+/// may be appended to concurrently.
+#[derive(Debug, Clone)]
+pub struct Tracer {
+    inner: Arc<Inner>,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Tracer {
+    /// A tracer on wall-clock time (epoch = creation instant).
+    pub fn new() -> Self {
+        Self::with_clock(Arc::new(WallClock::new()))
+    }
+
+    /// A tracer reading time from the given clock.
+    pub fn with_clock(clock: Arc<dyn Clock>) -> Self {
+        Self { inner: Arc::new(Inner { clock, state: Mutex::new(State::default()) }) }
+    }
+
+    /// A tracer sharing the recorder's clock, so span timestamps and the
+    /// recorder's event log use one epoch and can be cross-referenced.
+    pub fn for_recorder(recorder: &Recorder) -> Self {
+        Self::with_clock(recorder.clock())
+    }
+
+    /// A tracer plus the [`ManualClock`] that drives it.
+    pub fn with_manual_clock() -> (Self, ManualClock) {
+        let clock = ManualClock::new();
+        (Self::with_clock(Arc::new(clock.clone())), clock)
+    }
+
+    /// The current clock reading in nanoseconds.
+    pub fn now_ns(&self) -> u64 {
+        self.inner.clock.now_ns()
+    }
+
+    fn state(&self) -> std::sync::MutexGuard<'_, State> {
+        self.inner.state.lock().expect("tracer state poisoned")
+    }
+
+    /// Looks up (registering on first use) the track `track_name` in
+    /// process `pid`. The first registration fixes the process's display
+    /// name; track ids are assigned in registration order, so register
+    /// tracks from one thread (before fanning out) for deterministic
+    /// output.
+    pub fn track(&self, pid: u64, process_name: &str, track_name: &str) -> TrackId {
+        let mut state = self.state();
+        let process = state.processes.entry(pid).or_default();
+        if process.name.is_empty() {
+            process.name = process_name.to_string();
+        }
+        if let Some(&tid) = process.by_name.get(track_name) {
+            return TrackId { pid, tid };
+        }
+        let tid = process.next_tid;
+        process.next_tid += 1;
+        process.by_name.insert(track_name.to_string(), tid);
+        process
+            .tracks
+            .insert(tid, TrackState { name: track_name.to_string(), ..Default::default() });
+        TrackId { pid, tid }
+    }
+
+    fn with_track<R>(&self, track: TrackId, f: impl FnOnce(&mut State, TrackId) -> R) -> R {
+        let mut state = self.state();
+        debug_assert!(
+            state.processes.get(&track.pid).is_some_and(|p| p.tracks.contains_key(&track.tid)),
+            "track must be registered via Tracer::track"
+        );
+        f(&mut state, track)
+    }
+
+    fn push(&self, track: TrackId, record: Record) {
+        self.with_track(track, |state, track| {
+            state
+                .processes
+                .get_mut(&track.pid)
+                .and_then(|p| p.tracks.get_mut(&track.tid))
+                .expect("registered track")
+                .push(record);
+        });
+    }
+
+    /// Opens a span at an explicit timestamp (nanoseconds on the
+    /// tracer's epoch). Pair with [`Tracer::end_at`]. Use for simulated
+    /// timelines where instants come from the model, not the clock.
+    pub fn begin_at(&self, track: TrackId, name: &str, detail: impl Into<String>, ts_ns: u64) {
+        self.push(
+            track,
+            Record::Begin { ts: ts_ns, name: name.to_string(), detail: detail.into() },
+        );
+    }
+
+    /// Closes the innermost open span on `track` at an explicit
+    /// timestamp.
+    pub fn end_at(&self, track: TrackId, ts_ns: u64) {
+        self.push(track, Record::End { ts: ts_ns });
+    }
+
+    /// Records a point instant at an explicit timestamp.
+    pub fn instant_at(&self, track: TrackId, name: &str, detail: impl Into<String>, ts_ns: u64) {
+        self.push(
+            track,
+            Record::Instant { ts: ts_ns, name: name.to_string(), detail: detail.into() },
+        );
+    }
+
+    /// Starts a flow (arrow) out of the slice enclosing `ts_ns` on
+    /// `track`, at an explicit timestamp.
+    pub fn flow_start_at(&self, track: TrackId, name: &str, ts_ns: u64) -> FlowId {
+        let mut state = self.state();
+        let id = state.next_flow;
+        state.next_flow += 1;
+        state
+            .processes
+            .get_mut(&track.pid)
+            .and_then(|p| p.tracks.get_mut(&track.tid))
+            .expect("registered track")
+            .push(Record::FlowStart { ts: ts_ns, id, name: name.to_string() });
+        FlowId(id)
+    }
+
+    /// Terminates a flow into the slice enclosing `ts_ns` on `track`, at
+    /// an explicit timestamp. `name` should match the start's name.
+    pub fn flow_end_at(&self, track: TrackId, flow: FlowId, name: &str, ts_ns: u64) {
+        self.push(track, Record::FlowEnd { ts: ts_ns, id: flow.0, name: name.to_string() });
+    }
+
+    /// Records a point instant stamped with the current clock reading.
+    pub fn instant(&self, track: TrackId, name: &str, detail: impl Into<String>) {
+        self.instant_at(track, name, detail, self.now_ns());
+    }
+
+    /// Starts a flow out of the currently open slice, stamped now.
+    pub fn flow_start(&self, track: TrackId, name: &str) -> FlowId {
+        self.flow_start_at(track, name, self.now_ns())
+    }
+
+    /// Terminates a flow into the currently open slice, stamped now.
+    pub fn flow_end(&self, track: TrackId, flow: FlowId, name: &str) {
+        self.flow_end_at(track, flow, name, self.now_ns());
+    }
+
+    /// Opens a scoped span stamped with the current clock reading; the
+    /// returned guard closes it (with a fresh clock reading) on drop.
+    pub fn span(&self, track: TrackId, name: &str, detail: impl Into<String>) -> Span {
+        self.begin_at(track, name, detail, self.now_ns());
+        Span { tracer: self.clone(), track, ended: false }
+    }
+
+    /// Number of events recorded so far (spans count begin and end).
+    pub fn len(&self) -> usize {
+        let state = self.state();
+        state.processes.values().flat_map(|p| p.tracks.values()).map(|t| t.records.len()).sum()
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub(crate) fn snapshot_state<R>(&self, f: impl FnOnce(&State) -> R) -> R {
+        f(&self.state())
+    }
+}
+
+/// A scoped span handle; closes its span on drop (or explicitly via
+/// [`Span::end`]). Owns a tracer clone, so it may move into closures and
+/// across threads — but must end on the thread that owns its track.
+#[derive(Debug)]
+pub struct Span {
+    tracer: Tracer,
+    track: TrackId,
+    ended: bool,
+}
+
+impl Span {
+    /// Closes the span now, stamping the end with the current clock.
+    pub fn end(mut self) {
+        self.close();
+    }
+
+    /// The track this span lives on.
+    pub fn track(&self) -> TrackId {
+        self.track
+    }
+
+    /// Starts a flow out of this span, stamped now.
+    pub fn flow_start(&self, name: &str) -> FlowId {
+        self.tracer.flow_start(self.track, name)
+    }
+
+    fn close(&mut self) {
+        if !self.ended {
+            self.ended = true;
+            self.tracer.end_at(self.track, self.tracer.now_ns());
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracks_register_idempotently_in_order() {
+        let (tracer, _clock) = Tracer::with_manual_clock();
+        let a = tracer.track(3, "node3", "encode");
+        let b = tracer.track(3, "node3", "xfer");
+        let a2 = tracer.track(3, "ignored-second-name", "encode");
+        assert_eq!(a, a2);
+        assert_eq!(a.pid(), 3);
+        assert_eq!(a.tid(), 0);
+        assert_eq!(b.tid(), 1);
+    }
+
+    #[test]
+    fn span_guard_brackets_clock_readings() {
+        let (tracer, clock) = Tracer::with_manual_clock();
+        let tk = tracer.track(0, "node0", "main");
+        {
+            let _s = tracer.span(tk, "work", "");
+            clock.advance_ns(500);
+        }
+        tracer.snapshot_state(|state| {
+            let records = &state.processes[&0].tracks[&0].records;
+            assert_eq!(records.len(), 2);
+            assert!(matches!(records[0], Record::Begin { ts: 0, .. }));
+            assert!(matches!(records[1], Record::End { ts: 500 }));
+        });
+    }
+
+    #[test]
+    fn explicit_end_matches_drop() {
+        let (tracer, clock) = Tracer::with_manual_clock();
+        let tk = tracer.track(0, "node0", "main");
+        let s = tracer.span(tk, "work", "");
+        clock.advance_ns(7);
+        s.end();
+        tracer.snapshot_state(|state| {
+            assert_eq!(state.processes[&0].tracks[&0].records.len(), 2);
+            assert_eq!(state.processes[&0].tracks[&0].open, 0);
+        });
+    }
+
+    #[test]
+    fn backwards_timestamps_are_clamped_monotone() {
+        let (tracer, _clock) = Tracer::with_manual_clock();
+        let tk = tracer.track(0, "node0", "main");
+        tracer.instant_at(tk, "late", "", 100);
+        tracer.instant_at(tk, "early", "", 50);
+        tracer.snapshot_state(|state| {
+            let records = &state.processes[&0].tracks[&0].records;
+            assert_eq!(records[1].ts(), 100, "clamped to the track's last timestamp");
+        });
+    }
+
+    #[test]
+    fn flow_ids_are_unique_and_sequential() {
+        let (tracer, _clock) = Tracer::with_manual_clock();
+        let a = tracer.track(0, "node0", "send");
+        let b = tracer.track(1, "node1", "recv");
+        let f1 = tracer.flow_start_at(a, "p2p", 10);
+        let f2 = tracer.flow_start_at(a, "p2p", 20);
+        assert_ne!(f1, f2);
+        tracer.flow_end_at(b, f1, "p2p", 30);
+        tracer.flow_end_at(b, f2, "p2p", 40);
+        assert_eq!(tracer.len(), 4);
+    }
+
+    #[test]
+    fn clones_share_the_timeline() {
+        let (tracer, _clock) = Tracer::with_manual_clock();
+        let tk = tracer.track(0, "node0", "main");
+        tracer.clone().instant(tk, "from-clone", "");
+        assert_eq!(tracer.len(), 1);
+    }
+
+    #[test]
+    fn concurrent_tracks_keep_per_track_order() {
+        let tracer = Tracer::new();
+        let tracks: Vec<TrackId> =
+            (0..4).map(|i| tracer.track(CODING_PID, "coding", &format!("worker{i}"))).collect();
+        std::thread::scope(|s| {
+            for &tk in &tracks {
+                let tracer = tracer.clone();
+                s.spawn(move || {
+                    for i in 0..10 {
+                        let _span = tracer.span(tk, "stripe", format!("{i}"));
+                    }
+                });
+            }
+        });
+        tracer.snapshot_state(|state| {
+            for track in state.processes[&CODING_PID].tracks.values() {
+                assert_eq!(track.records.len(), 20);
+                assert_eq!(track.open, 0);
+                // Timestamps never regress within a track.
+                let ts: Vec<u64> = track.records.iter().map(Record::ts).collect();
+                assert!(ts.windows(2).all(|w| w[0] <= w[1]));
+            }
+        });
+    }
+}

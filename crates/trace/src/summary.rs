@@ -1,0 +1,302 @@
+//! Text critical-path summary.
+//!
+//! Answers "where did the end-to-end latency go?" without opening
+//! Perfetto: given a root span name (e.g. `ecc.save`), find its most
+//! recent completed occurrence, attribute the window to the root's
+//! direct child spans (plus unattributed self time), and report how busy
+//! every other track was inside that window. All aggregation is over
+//! recorded integer timestamps, so the rendering is deterministic.
+
+use std::collections::BTreeMap;
+
+use ecc_telemetry::fmt_ns;
+
+use crate::{Record, Tracer};
+
+/// One completed span, flattened out of a track's begin/end stream.
+struct FlatSpan {
+    name: String,
+    start: u64,
+    end: u64,
+    /// Index of the enclosing span within the same track's list.
+    parent: Option<usize>,
+}
+
+/// Replays a track's records into completed spans (open spans are
+/// dropped — they have no duration to attribute).
+fn flatten(records: &[Record]) -> Vec<FlatSpan> {
+    let mut spans: Vec<FlatSpan> = Vec::new();
+    // Stack of indices into `spans` for currently-open entries.
+    let mut stack: Vec<usize> = Vec::new();
+    for record in records {
+        match record {
+            Record::Begin { ts, name, .. } => {
+                spans.push(FlatSpan {
+                    name: name.clone(),
+                    start: *ts,
+                    end: *ts,
+                    parent: stack.last().copied(),
+                });
+                stack.push(spans.len() - 1);
+            }
+            Record::End { ts } => {
+                if let Some(i) = stack.pop() {
+                    spans[i].end = *ts;
+                }
+            }
+            _ => {}
+        }
+    }
+    // Unclosed spans keep end == start; drop them and anything nested
+    // under them by filtering zero-length roots is wrong (legitimate
+    // zero-length spans exist under a manual clock), so instead mark
+    // closure explicitly: a span is complete iff it's not on the stack.
+    for &i in &stack {
+        spans[i].end = spans[i].start; // normalize; excluded below
+    }
+    let open: Vec<usize> = stack;
+    spans.into_iter().enumerate().filter(|(i, _)| !open.contains(i)).map(|(_, s)| s).collect()
+}
+
+/// Sums the union of `[start, end)` intervals clipped to a window.
+fn merged_busy_ns(mut intervals: Vec<(u64, u64)>, window: (u64, u64)) -> u64 {
+    intervals.retain(|&(s, e)| e > window.0 && s < window.1);
+    for iv in &mut intervals {
+        iv.0 = iv.0.max(window.0);
+        iv.1 = iv.1.min(window.1);
+    }
+    intervals.sort_unstable();
+    let mut busy = 0;
+    let mut cursor = window.0;
+    for (s, e) in intervals {
+        let s = s.max(cursor);
+        if e > s {
+            busy += e - s;
+            cursor = e;
+        }
+    }
+    busy
+}
+
+fn pct(part: u64, total: u64) -> f64 {
+    if total == 0 {
+        0.0
+    } else {
+        part as f64 * 100.0 / total as f64
+    }
+}
+
+impl Tracer {
+    /// Renders a text summary attributing the latest completed `root`
+    /// span's latency to its direct children (on the same track) and to
+    /// per-name busy time on every other track within the root's window.
+    ///
+    /// Returns a short note instead when no completed span named `root`
+    /// exists.
+    pub fn critical_path_summary(&self, root: &str) -> String {
+        self.snapshot_state(|state| {
+            // Flatten every track once, keyed (pid, tid) for determinism.
+            let mut flat: BTreeMap<(u64, u64), Vec<FlatSpan>> = BTreeMap::new();
+            let mut labels: BTreeMap<(u64, u64), String> = BTreeMap::new();
+            for (&pid, process) in &state.processes {
+                for (&tid, track) in &process.tracks {
+                    labels.insert((pid, tid), format!("{}/{}", process.name, track.name));
+                    flat.insert((pid, tid), flatten(&track.records));
+                }
+            }
+
+            // The root occurrence: latest start wins; BTreeMap iteration
+            // breaks start-time ties deterministically.
+            let mut root_at: Option<((u64, u64), usize)> = None;
+            for (&key, spans) in &flat {
+                for (i, span) in spans.iter().enumerate() {
+                    if span.name == root
+                        && root_at.map(|(k, j)| span.start > flat[&k][j].start).unwrap_or(true)
+                    {
+                        root_at = Some((key, i));
+                    }
+                }
+            }
+            let Some((root_key, root_idx)) = root_at else {
+                return format!("critical path: no completed span named {root:?} recorded\n");
+            };
+            let root_span = &flat[&root_key][root_idx];
+            let (start, end) = (root_span.start, root_span.end);
+            let total = end - start;
+
+            let mut out = String::new();
+            out.push_str(&format!(
+                "== critical path: {root} ==\ntrack  {}\nwindow {} .. {}  (total {})\n",
+                labels[&root_key],
+                fmt_ns(start as f64),
+                fmt_ns(end as f64),
+                fmt_ns(total as f64),
+            ));
+
+            // Direct children on the root's own track, aggregated by name
+            // in first-appearance order. Siblings under one parent are
+            // sequential (the begin/end stream nests), so sums are exact.
+            let mut stage_order: Vec<String> = Vec::new();
+            let mut stage_ns: BTreeMap<String, (u64, u64)> = BTreeMap::new(); // name -> (ns, count)
+            let mut attributed = 0;
+            for span in &flat[&root_key] {
+                if span.parent == Some(root_idx) {
+                    let d = span.end - span.start;
+                    attributed += d;
+                    let entry = stage_ns.entry(span.name.clone()).or_insert_with(|| {
+                        stage_order.push(span.name.clone());
+                        (0, 0)
+                    });
+                    entry.0 += d;
+                    entry.1 += 1;
+                }
+            }
+            out.push_str("stages (direct children):\n");
+            if stage_order.is_empty() {
+                out.push_str("  (none)\n");
+            }
+            for name in &stage_order {
+                let (ns, count) = stage_ns[name];
+                out.push_str(&format!(
+                    "  {name:<32} {:>12}  {:>5.1}%  (n={count})\n",
+                    fmt_ns(ns as f64),
+                    pct(ns, total),
+                ));
+            }
+            let self_ns = total.saturating_sub(attributed);
+            out.push_str(&format!(
+                "  {:<32} {:>12}  {:>5.1}%\n",
+                "(self)",
+                fmt_ns(self_ns as f64),
+                pct(self_ns, total),
+            ));
+
+            // Concurrent activity: per-name merged busy time on every
+            // other track, clipped to the root window.
+            let mut other_lines: Vec<String> = Vec::new();
+            for (&key, spans) in &flat {
+                if key == root_key {
+                    continue;
+                }
+                let mut by_name: BTreeMap<&str, Vec<(u64, u64)>> = BTreeMap::new();
+                for span in spans {
+                    // Top-level spans only: nested children would double
+                    // count their parents' time.
+                    if span.parent.is_none() {
+                        by_name.entry(&span.name).or_default().push((span.start, span.end));
+                    }
+                }
+                let mut rows: Vec<(u64, &str)> = by_name
+                    .into_iter()
+                    .map(|(name, ivs)| (merged_busy_ns(ivs, (start, end)), name))
+                    .filter(|&(busy, _)| busy > 0)
+                    .collect();
+                rows.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(b.1)));
+                for (busy, name) in rows {
+                    other_lines.push(format!(
+                        "  {:<24} {name:<24} {:>12}  {:>5.1}%\n",
+                        labels[&key],
+                        fmt_ns(busy as f64),
+                        pct(busy, total),
+                    ));
+                }
+            }
+            if !other_lines.is_empty() {
+                out.push_str("concurrent tracks (busy inside window):\n");
+                for line in other_lines {
+                    out.push_str(&line);
+                }
+            }
+            out
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Tracer;
+
+    #[test]
+    fn merged_busy_unions_and_clips() {
+        assert_eq!(merged_busy_ns(vec![(0, 10), (5, 15)], (0, 20)), 15);
+        assert_eq!(merged_busy_ns(vec![(0, 10), (10, 20)], (5, 15)), 10);
+        assert_eq!(merged_busy_ns(vec![(30, 40)], (0, 20)), 0);
+        assert_eq!(merged_busy_ns(vec![], (0, 20)), 0);
+    }
+
+    #[test]
+    fn attributes_children_and_self_time() {
+        let (tracer, _clock) = Tracer::with_manual_clock();
+        let tk = tracer.track(0, "driver", "save");
+        tracer.begin_at(tk, "ecc.save", "", 0);
+        tracer.begin_at(tk, "encode", "", 10);
+        tracer.end_at(tk, 60);
+        tracer.begin_at(tk, "place", "", 60);
+        tracer.end_at(tk, 90);
+        tracer.end_at(tk, 100);
+
+        let text = tracer.critical_path_summary("ecc.save");
+        assert!(text.contains("== critical path: ecc.save =="), "{text}");
+        assert!(text.contains("driver/save"), "{text}");
+        // encode: 50ns of 100ns = 50%, place 30%, self 20%.
+        assert!(text.contains("encode"), "{text}");
+        assert!(text.contains("50.0%"), "{text}");
+        assert!(text.contains("30.0%"), "{text}");
+        assert!(text.contains("(self)"), "{text}");
+        assert!(text.contains("20.0%"), "{text}");
+    }
+
+    #[test]
+    fn reports_concurrent_track_busy_time() {
+        let (tracer, _clock) = Tracer::with_manual_clock();
+        let driver = tracer.track(0, "driver", "save");
+        let worker = tracer.track(1, "node1", "encode");
+        tracer.begin_at(driver, "ecc.save", "", 0);
+        tracer.end_at(driver, 100);
+        // Two overlapping occurrences merge: union is [20, 70) = 50ns.
+        tracer.begin_at(worker, "stripe", "", 20);
+        tracer.end_at(worker, 60);
+        tracer.begin_at(worker, "stripe", "", 40);
+        tracer.end_at(worker, 70);
+        // Outside the window: ignored.
+        tracer.begin_at(worker, "stripe", "", 200);
+        tracer.end_at(worker, 250);
+
+        let text = tracer.critical_path_summary("ecc.save");
+        assert!(text.contains("node1/encode"), "{text}");
+        assert!(text.contains("stripe"), "{text}");
+        assert!(text.contains("50.0%"), "{text}");
+    }
+
+    #[test]
+    fn latest_root_occurrence_wins() {
+        let (tracer, _clock) = Tracer::with_manual_clock();
+        let tk = tracer.track(0, "driver", "save");
+        tracer.begin_at(tk, "ecc.save", "", 0);
+        tracer.end_at(tk, 10);
+        tracer.begin_at(tk, "ecc.save", "", 100);
+        tracer.begin_at(tk, "late-child", "", 100);
+        tracer.end_at(tk, 140);
+        tracer.end_at(tk, 140);
+        let text = tracer.critical_path_summary("ecc.save");
+        assert!(text.contains("late-child"), "{text}");
+        assert!(text.contains("total 40ns"), "{text}");
+    }
+
+    #[test]
+    fn missing_root_yields_a_note_not_a_panic() {
+        let tracer = Tracer::new();
+        let text = tracer.critical_path_summary("nope");
+        assert!(text.contains("no completed span named \"nope\""), "{text}");
+    }
+
+    #[test]
+    fn open_spans_are_excluded() {
+        let (tracer, _clock) = Tracer::with_manual_clock();
+        let tk = tracer.track(0, "driver", "save");
+        tracer.begin_at(tk, "ecc.save", "", 0); // never closed
+        let text = tracer.critical_path_summary("ecc.save");
+        assert!(text.contains("no completed span"), "{text}");
+    }
+}

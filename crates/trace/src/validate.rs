@@ -1,0 +1,298 @@
+//! Structural validator for exported Chrome Trace Event documents.
+//!
+//! Guards the exporter (and any hand-edited trace) against the mistakes
+//! that make Perfetto silently drop events: missing required keys,
+//! timestamps running backwards within a track, unmatched `B`/`E`
+//! pairs, and flow `f` events with no matching `s`. Built on the local
+//! [`crate::json`] parser so the check is a real parse, not substring
+//! matching.
+
+use std::collections::BTreeMap;
+
+use crate::json::{parse, Json};
+
+/// Aggregate facts about a validated trace, for assertions in tests and
+/// reporting in tools.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceStats {
+    /// Total entries in `traceEvents` (including metadata).
+    pub events: usize,
+    /// Completed `B`/`E` span pairs.
+    pub spans: usize,
+    /// Instant (`i`) events.
+    pub instants: usize,
+    /// Matched `s`→`f` flow pairs.
+    pub flows: usize,
+    /// Distinct processes (pids) that emitted timeline events.
+    pub processes: usize,
+    /// Distinct `(pid, tid)` tracks that emitted timeline events.
+    pub tracks: usize,
+}
+
+fn get_u64(event: &Json, key: &str) -> Option<u64> {
+    let n = event.get(key)?.as_f64()?;
+    if n < 0.0 || n.fract() != 0.0 {
+        return None;
+    }
+    Some(n as u64)
+}
+
+/// Timestamps arrive as decimal microseconds; convert to integer
+/// nanoseconds for exact comparisons (the exporter emits exactly three
+/// decimals, so this is lossless for its output).
+fn ts_to_ns(event: &Json) -> Option<u64> {
+    let ts = event.get("ts")?.as_f64()?;
+    if ts < 0.0 {
+        return None;
+    }
+    Some((ts * 1_000.0).round() as u64)
+}
+
+/// Validates a Chrome Trace Event JSON document.
+///
+/// Checks, in order:
+/// 1. the document parses and has a `traceEvents` array;
+/// 2. every event is an object with a one-character `ph` and the keys
+///    that phase requires (`pid`/`tid`/`ts`/`name` as applicable);
+/// 3. per `(pid, tid)` track, timestamps never decrease;
+/// 4. per track, `B`/`E` events nest: every `E` closes an open `B` and
+///    no `B` is left open at the end;
+/// 5. flow `s`/`f` events pair one-to-one by `id` with `f.ts ≥ s.ts`
+///    (document order is irrelevant — the exporter groups events by
+///    process, so a finish can legitimately precede its start in the
+///    stream), and no flow is left half-open.
+///
+/// # Errors
+///
+/// Returns a message naming the first offending event index and what
+/// was wrong with it.
+pub fn validate_chrome_trace(document: &str) -> Result<TraceStats, String> {
+    let root = parse(document).map_err(|e| format!("not valid JSON: {e}"))?;
+    let events = root
+        .get("traceEvents")
+        .ok_or("missing \"traceEvents\" key")?
+        .as_arr()
+        .ok_or("\"traceEvents\" is not an array")?;
+
+    let mut stats = TraceStats { events: events.len(), ..TraceStats::default() };
+    // Per-track running state: last timestamp and open-B stack depth.
+    let mut last_ts: BTreeMap<(u64, u64), u64> = BTreeMap::new();
+    let mut open: BTreeMap<(u64, u64), usize> = BTreeMap::new();
+    // Flows are matched after the scan: document order is grouped by
+    // process, so an `f` may appear before its `s`.
+    let mut flow_starts: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut flow_finishes: Vec<(usize, u64, u64)> = Vec::new(); // (event, id, ts)
+    let mut pids: BTreeMap<u64, ()> = BTreeMap::new();
+
+    for (i, event) in events.iter().enumerate() {
+        let fail = |what: &str| Err(format!("event {i}: {what}"));
+        if !matches!(event, Json::Obj(_)) {
+            return fail("not an object");
+        }
+        let ph = match event.get("ph").and_then(Json::as_str) {
+            Some(ph) => ph,
+            None => return fail("missing \"ph\""),
+        };
+        if ph == "M" {
+            // Metadata names a process or track; needs pid + name.
+            if get_u64(event, "pid").is_none() {
+                return fail("metadata event missing integer \"pid\"");
+            }
+            if event.get("name").and_then(Json::as_str).is_none() {
+                return fail("metadata event missing \"name\"");
+            }
+            continue;
+        }
+
+        // All timeline phases need pid, tid and a non-negative ts.
+        let pid = match get_u64(event, "pid") {
+            Some(pid) => pid,
+            None => return fail("missing integer \"pid\""),
+        };
+        let tid = match get_u64(event, "tid") {
+            Some(tid) => tid,
+            None => return fail("missing integer \"tid\""),
+        };
+        let ts = match ts_to_ns(event) {
+            Some(ts) => ts,
+            None => return fail("missing or negative \"ts\""),
+        };
+        let track = (pid, tid);
+        if let Some(&prev) = last_ts.get(&track) {
+            if ts < prev {
+                return fail(&format!(
+                    "timestamp runs backwards on track (pid {pid}, tid {tid}): {ts}ns after {prev}ns"
+                ));
+            }
+        }
+        last_ts.insert(track, ts);
+        pids.insert(pid, ());
+
+        let has_name = event.get("name").and_then(Json::as_str).is_some();
+        match ph {
+            "B" => {
+                if !has_name {
+                    return fail("\"B\" event missing \"name\"");
+                }
+                *open.entry(track).or_insert(0) += 1;
+            }
+            "E" => {
+                let depth = open.entry(track).or_insert(0);
+                if *depth == 0 {
+                    return fail(&format!(
+                        "\"E\" with no open \"B\" on track (pid {pid}, tid {tid})"
+                    ));
+                }
+                *depth -= 1;
+                stats.spans += 1;
+            }
+            "i" => {
+                if !has_name {
+                    return fail("\"i\" event missing \"name\"");
+                }
+                stats.instants += 1;
+            }
+            "s" => {
+                let id = match get_u64(event, "id") {
+                    Some(id) => id,
+                    None => return fail("flow \"s\" missing integer \"id\""),
+                };
+                if flow_starts.insert(id, ts).is_some() {
+                    return fail(&format!("flow id {id} started twice"));
+                }
+            }
+            "f" => {
+                let id = match get_u64(event, "id") {
+                    Some(id) => id,
+                    None => return fail("flow \"f\" missing integer \"id\""),
+                };
+                flow_finishes.push((i, id, ts));
+            }
+            other => return fail(&format!("unsupported phase {other:?}")),
+        }
+    }
+
+    for (&(pid, tid), &depth) in &open {
+        if depth > 0 {
+            return Err(format!(
+                "track (pid {pid}, tid {tid}) ends with {depth} unclosed \"B\" event(s)"
+            ));
+        }
+    }
+    for (i, id, ts) in flow_finishes {
+        match flow_starts.remove(&id) {
+            None => {
+                return Err(format!("event {i}: flow \"f\" with id {id} has no matching \"s\""))
+            }
+            Some(start_ts) if ts < start_ts => {
+                return Err(format!(
+                    "event {i}: flow id {id} finishes at {ts}ns before it starts at {start_ts}ns"
+                ))
+            }
+            Some(_) => stats.flows += 1,
+        }
+    }
+    if let Some((&id, _)) = flow_starts.iter().next() {
+        return Err(format!("flow id {id} started but never finished"));
+    }
+
+    stats.processes = pids.len();
+    stats.tracks = last_ts.len();
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Tracer;
+
+    fn wrap(events: &str) -> String {
+        format!("{{\"traceEvents\":[{events}]}}")
+    }
+
+    #[test]
+    fn accepts_a_real_export() {
+        let (tracer, clock) = Tracer::with_manual_clock();
+        let a = tracer.track(0, "node0", "encode");
+        let b = tracer.track(1, "node1", "recv");
+        let span = tracer.span(a, "encode", "");
+        clock.advance_ns(10);
+        let flow = tracer.flow_start(a, "p2p");
+        drop(span);
+        clock.advance_ns(5);
+        let recv = tracer.span(b, "recv", "");
+        tracer.flow_end(b, flow, "p2p");
+        tracer.instant(b, "done", "");
+        drop(recv);
+
+        let stats = validate_chrome_trace(&tracer.chrome_trace_json()).expect("valid");
+        assert_eq!(stats.spans, 2);
+        assert_eq!(stats.flows, 1);
+        assert_eq!(stats.instants, 1);
+        assert_eq!(stats.processes, 2);
+        assert_eq!(stats.tracks, 2);
+    }
+
+    #[test]
+    fn rejects_structural_problems() {
+        let cases: &[(&str, &str)] = &[
+            ("{\"traceEvents\":{}}", "not an array"),
+            ("{}", "missing \"traceEvents\""),
+            ("not json", "not valid JSON"),
+            (&wrap(r#"{"pid":0,"tid":0,"ts":1}"#), "missing \"ph\""),
+            (&wrap(r#"{"ph":"B","tid":0,"ts":1,"name":"x"}"#), "missing integer \"pid\""),
+            (&wrap(r#"{"ph":"B","pid":0,"tid":0,"ts":1}"#), "missing \"name\""),
+            (&wrap(r#"{"ph":"E","pid":0,"tid":0,"ts":1}"#), "no open \"B\""),
+            (
+                &wrap(
+                    r#"{"ph":"B","pid":0,"tid":0,"ts":5,"name":"x"},
+                       {"ph":"E","pid":0,"tid":0,"ts":2}"#,
+                ),
+                "runs backwards",
+            ),
+            (&wrap(r#"{"ph":"B","pid":0,"tid":0,"ts":1,"name":"x"}"#), "unclosed \"B\""),
+            (
+                &wrap(r#"{"ph":"f","pid":0,"tid":0,"ts":1,"id":7,"name":"p2p"}"#),
+                "no matching \"s\"",
+            ),
+            (&wrap(r#"{"ph":"s","pid":0,"tid":0,"ts":1,"id":7,"name":"p2p"}"#), "never finished"),
+            (&wrap(r#"{"ph":"Z","pid":0,"tid":0,"ts":1}"#), "unsupported phase"),
+        ];
+        for (doc, needle) in cases {
+            let err = validate_chrome_trace(doc).expect_err("should be rejected");
+            assert!(err.contains(needle), "error {err:?} should mention {needle:?}");
+        }
+    }
+
+    #[test]
+    fn flow_finish_may_precede_start_in_document_order() {
+        // The exporter groups events by process; a driver (huge pid) can
+        // start a flow that finishes on a node (small pid) earlier in the
+        // document. Only timestamps must be ordered.
+        let doc = wrap(
+            r#"{"ph":"B","pid":0,"tid":0,"ts":5,"name":"recv"},
+               {"ph":"f","pid":0,"tid":0,"ts":5,"id":1,"bp":"e","name":"p2p"},
+               {"ph":"E","pid":0,"tid":0,"ts":6},
+               {"ph":"B","pid":9,"tid":0,"ts":1,"name":"send"},
+               {"ph":"s","pid":9,"tid":0,"ts":2,"id":1,"name":"p2p"},
+               {"ph":"E","pid":9,"tid":0,"ts":3}"#,
+        );
+        assert_eq!(validate_chrome_trace(&doc).expect("valid").flows, 1);
+    }
+
+    #[test]
+    fn cross_track_flow_may_finish_later() {
+        let doc = wrap(
+            r#"{"ph":"B","pid":0,"tid":0,"ts":1,"name":"send"},
+               {"ph":"s","pid":0,"tid":0,"ts":2,"id":1,"name":"p2p"},
+               {"ph":"E","pid":0,"tid":0,"ts":3},
+               {"ph":"B","pid":1,"tid":0,"ts":4,"name":"recv"},
+               {"ph":"f","pid":1,"tid":0,"ts":4,"id":1,"bp":"e","name":"p2p"},
+               {"ph":"E","pid":1,"tid":0,"ts":5}"#,
+        );
+        let stats = validate_chrome_trace(&doc).expect("valid");
+        assert_eq!(stats.spans, 2);
+        assert_eq!(stats.flows, 1);
+        assert_eq!(stats.tracks, 2);
+    }
+}

@@ -6,6 +6,9 @@
 //! `state_dict` bit-exactly from the surviving erasure-coded chunks.
 //!
 //! Run with: `cargo run --example quickstart`
+//!
+//! Add `--trace <path>` to also write a Chrome Trace Event JSON span
+//! timeline of the run (load it in Perfetto or `chrome://tracing`).
 
 use ecc_cluster::{Cluster, ClusterSpec};
 use ecc_dnn::{build_worker_state_dict, ModelConfig, ParallelismSpec, StateDictSpec};
@@ -31,6 +34,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // buffers for the toy scale) and save.
     let config = EcCheckConfig::paper_defaults().with_packet_size(4096);
     let mut ecc = EcCheck::initialize(&spec, config)?;
+    // The tracer records a causal span timeline (save phases, coding-pool
+    // workers, P2P transfers) on the same clock as the recorder below.
+    let tracer = ecc.attach_tracer();
     println!(
         "placement: data nodes {:?}, parity nodes {:?}",
         ecc.placement().data_nodes(),
@@ -69,5 +75,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("\nencode throughput: {}", ecc_telemetry::fmt_rate(rate));
     }
     println!("\n{}", snap.render());
+
+    // With `--trace <path>`, export the span timeline for Perfetto and
+    // print where the save's wall-clock time actually went.
+    if let Some(path) = ecc_bench::trace_path_from_args() {
+        std::fs::write(&path, tracer.chrome_trace_json())?;
+        println!("\nspan trace written to {} (load in Perfetto)", path.display());
+        print!("\n{}", tracer.critical_path_summary("ecc.save"));
+    }
     Ok(())
 }
