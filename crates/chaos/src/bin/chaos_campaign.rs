@@ -1,0 +1,115 @@
+//! Seeded chaos-campaign runner for CI and local debugging.
+//!
+//! Runs the standard campaign over a seed matrix and exits non-zero on
+//! any recovery-contract violation. Optionally writes the fault log
+//! and the final telemetry snapshot as JSON artifacts.
+//!
+//! ```text
+//! chaos-campaign [--seeds 0,1,2,3] [--rounds 8] \
+//!     [--fault-log faults.json] [--telemetry telemetry.json]
+//! ```
+
+use std::process::ExitCode;
+
+use ecc_chaos::{run_campaign, CampaignConfig};
+
+fn main() -> ExitCode {
+    let mut seeds: Vec<u64> = (0..4).collect();
+    let mut cfg = CampaignConfig::standard();
+    let mut fault_log_path: Option<String> = None;
+    let mut telemetry_path: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{name} requires a value");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--seeds" => {
+                seeds = value("--seeds")
+                    .split(',')
+                    .map(|s| {
+                        s.trim().parse().unwrap_or_else(|_| {
+                            eprintln!("--seeds wants comma-separated integers, got {s:?}");
+                            std::process::exit(2);
+                        })
+                    })
+                    .collect();
+            }
+            "--rounds" => {
+                cfg.rounds = value("--rounds").parse().unwrap_or_else(|_| {
+                    eprintln!("--rounds wants an integer");
+                    std::process::exit(2);
+                });
+            }
+            "--fault-log" => fault_log_path = Some(value("--fault-log")),
+            "--telemetry" => telemetry_path = Some(value("--telemetry")),
+            "--help" | "-h" => {
+                println!(
+                    "usage: chaos-campaign [--seeds 0,1,2] [--rounds N] \
+                     [--fault-log FILE] [--telemetry FILE]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument {other:?} (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let mut all_passed = true;
+    let mut recovered = 0;
+    let mut refused = 0;
+    let mut fault_logs = String::from("[\n");
+    let mut telemetry = String::new();
+
+    for (i, &seed) in seeds.iter().enumerate() {
+        let report = run_campaign(&cfg, seed);
+        recovered += report.recovered();
+        refused += report.refused();
+        print!("{}", report.summary_json());
+        for violation in &report.violations {
+            eprintln!("VIOLATION: {violation}");
+            all_passed = false;
+        }
+        if i > 0 {
+            fault_logs.push_str(",\n");
+        }
+        fault_logs.push_str(&format!(
+            "{{\"seed\": {seed}, \"faults\": {}}}",
+            report.fault_log_json().trim_end()
+        ));
+        telemetry = report.telemetry_json;
+    }
+    fault_logs.push_str("\n]\n");
+
+    println!(
+        "campaign: {} seeds x {} rounds, {recovered} recovered, {refused} refused",
+        seeds.len(),
+        cfg.rounds
+    );
+
+    if let Some(path) = fault_log_path {
+        if let Err(e) = std::fs::write(&path, &fault_logs) {
+            eprintln!("failed to write fault log {path}: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    if let Some(path) = telemetry_path {
+        if let Err(e) = std::fs::write(&path, &telemetry) {
+            eprintln!("failed to write telemetry snapshot {path}: {e}");
+            return ExitCode::from(2);
+        }
+    }
+
+    if all_passed {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("recovery contract violated — see VIOLATION lines above");
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,463 @@
+//! Seeded chaos campaigns: randomized save/fault/load rounds that
+//! check the paper's recovery contract on every round.
+//!
+//! The contract under test (paper §II-B, §III-B):
+//!
+//! * **At most `m` chunk-class faults** (node crashes, lost or
+//!   corrupted chunks) → `load` must return the checkpoint
+//!   **bit-exactly**.
+//! * **More than `m`**, or a worker's header lost from *every* node →
+//!   `load` must fail with a clean
+//!   [`eccheck::EcCheckError::Unrecoverable`] naming what was lost.
+//! * **Never garbage**: whatever the fault mix — including faults that
+//!   strike mid-recovery — a successful `load` must return exactly
+//!   what was saved.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use ecc_checkpoint::{StateDict, Value};
+use ecc_cluster::{Cluster, ClusterSpec, FailureModel, NodeId};
+use eccheck::{keys, EcCheck, EcCheckConfig, EcCheckError};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::plane::{ChaosConfig, ChaosPlane, FaultKind, FaultRecord};
+use crate::scenario::{ChaosEvent, ScenarioSchedule};
+
+/// Shape and fault intensities of a chaos campaign.
+#[derive(Debug, Clone, Copy)]
+pub struct CampaignConfig {
+    /// Cluster nodes (`k + m`).
+    pub nodes: usize,
+    /// GPUs (workers) per node; world size is `nodes * gpus_per_node`.
+    pub gpus_per_node: usize,
+    /// Data nodes.
+    pub k: usize,
+    /// Parity nodes — the failure budget under test.
+    pub m: usize,
+    /// Save/fault/load rounds per seed.
+    pub rounds: usize,
+    /// Engine packet size in bytes (multiple of 64).
+    pub packet_size: usize,
+    /// Per-node crash probability per round.
+    pub p_node_fail: f64,
+    /// Correlated failure-domain size (rack/PDU width).
+    pub failure_domain: usize,
+    /// Per-surviving-node at-rest chunk corruption probability.
+    pub p_corrupt_chunk: f64,
+    /// Probability that one crash strikes mid-load instead of before.
+    pub p_midload_crash: f64,
+    /// Probability of corrupting one worker's header on all nodes but
+    /// one (recovery must fall back to the spared copy).
+    pub p_header_attack: f64,
+    /// Probability of destroying one worker's header on *every* node
+    /// (recovery must refuse, naming the worker).
+    pub p_header_total_loss: f64,
+    /// In-flight drop probability per `put_local` during save/restore.
+    pub p_drop_put: f64,
+    /// In-flight corruption probability per `put_local`.
+    pub p_corrupt_put: f64,
+    /// Duplicate-delivery probability per `put_local`.
+    pub p_duplicate_put: f64,
+    /// Transient-outage probability per first `get_local` of a blob.
+    pub p_transient_get: f64,
+    /// Engine fetch retries (must cover one transient failure).
+    pub fetch_retries: usize,
+}
+
+impl CampaignConfig {
+    /// The standard campaign: the paper's `k = m = 2` testbed (4
+    /// nodes, 2 GPUs each) under a moderate mix of every fault kind —
+    /// enough pressure that a typical seed exercises both recovery
+    /// and refusal.
+    pub fn standard() -> Self {
+        Self {
+            nodes: 4,
+            gpus_per_node: 2,
+            k: 2,
+            m: 2,
+            rounds: 8,
+            packet_size: 256,
+            p_node_fail: 0.2,
+            failure_domain: 2,
+            p_corrupt_chunk: 0.15,
+            p_midload_crash: 0.2,
+            p_header_attack: 0.2,
+            p_header_total_loss: 0.05,
+            p_drop_put: 0.02,
+            p_corrupt_put: 0.02,
+            p_duplicate_put: 0.05,
+            p_transient_get: 0.1,
+            fetch_retries: 2,
+        }
+    }
+}
+
+/// How one campaign round ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RoundResult {
+    /// `load` succeeded and the restored state was bit-exact.
+    Recovered {
+        /// Chunks the engine rebuilt (decoded or re-encoded).
+        rebuilt_chunks: usize,
+        /// Corrupted chunks the engine caught via checksums.
+        corrupt_detected: usize,
+    },
+    /// `load` refused with a structured `Unrecoverable`.
+    Refused {
+        /// Intact chunks that survived.
+        survivors: usize,
+        /// Chunks that were needed (`k`).
+        needed: usize,
+        /// Worker states the engine reported as lost.
+        lost_workers: Vec<usize>,
+    },
+}
+
+/// One round's faults and verdict.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoundOutcome {
+    /// Round index within the campaign.
+    pub round: usize,
+    /// Checkpoint version the round saved and attacked.
+    pub version: u64,
+    /// Nodes whose chunk was destroyed or tainted before the load
+    /// (crashes, at-rest corruption, dropped/corrupted chunk puts).
+    pub chunk_casualties: Vec<NodeId>,
+    /// Whether some worker's header was damaged on every node.
+    pub header_catastrophe: bool,
+    /// Whether a crash was scheduled to strike mid-load. Ambiguous
+    /// rounds only assert the never-garbage half of the contract.
+    pub ambiguous: bool,
+    /// The verdict.
+    pub result: RoundResult,
+}
+
+/// Everything a campaign run produced.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// Campaign seed.
+    pub seed: u64,
+    /// Per-round outcomes, in order.
+    pub outcomes: Vec<RoundOutcome>,
+    /// Contract violations — **empty on a passing run**.
+    pub violations: Vec<String>,
+    /// Every fault the chaos plane injected, in firing order.
+    pub fault_log: Vec<FaultRecord>,
+    /// Final telemetry snapshot (engine + chaos counters), as JSON.
+    pub telemetry_json: String,
+}
+
+impl CampaignReport {
+    /// `true` when no contract violation was observed.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Rounds that recovered bit-exactly.
+    pub fn recovered(&self) -> usize {
+        self.outcomes.iter().filter(|o| matches!(o.result, RoundResult::Recovered { .. })).count()
+    }
+
+    /// Rounds that cleanly refused.
+    pub fn refused(&self) -> usize {
+        self.outcomes.iter().filter(|o| matches!(o.result, RoundResult::Refused { .. })).count()
+    }
+
+    /// The fault log as a JSON array (one object per injected fault).
+    pub fn fault_log_json(&self) -> String {
+        let mut out = String::from("[\n");
+        for (i, f) in self.fault_log.iter().enumerate() {
+            if i > 0 {
+                out.push_str(",\n");
+            }
+            out.push_str(&format!(
+                "  {{\"op\": {}, \"kind\": \"{}\", \"node\": {}, \"key\": \"{}\"}}",
+                f.op,
+                f.kind.label(),
+                f.node,
+                f.key
+            ));
+        }
+        out.push_str("\n]\n");
+        out
+    }
+
+    /// A one-object JSON summary of the run.
+    pub fn summary_json(&self) -> String {
+        let violations = self
+            .violations
+            .iter()
+            .map(|v| format!("\"{}\"", v.replace('"', "'")))
+            .collect::<Vec<_>>()
+            .join(", ");
+        format!(
+            "{{\"seed\": {}, \"rounds\": {}, \"recovered\": {}, \"refused\": {}, \
+             \"faults\": {}, \"violations\": [{}]}}\n",
+            self.seed,
+            self.outcomes.len(),
+            self.recovered(),
+            self.refused(),
+            self.fault_log.len(),
+            violations
+        )
+    }
+}
+
+/// Runs one seeded campaign: `cfg.rounds` rounds of save → inject →
+/// load against a real engine on a chaos-wrapped cluster, checking
+/// the recovery contract after every round.
+///
+/// # Panics
+///
+/// Panics when `cfg` is not a valid engine configuration (e.g.
+/// `k + m != nodes`) or a save fails outright — campaign setup bugs,
+/// not contract violations.
+pub fn run_campaign(cfg: &CampaignConfig, seed: u64) -> CampaignReport {
+    let world = cfg.nodes * cfg.gpus_per_node;
+    let spec = ClusterSpec::tiny_test(cfg.nodes, cfg.gpus_per_node);
+    let engine_cfg = EcCheckConfig::paper_defaults()
+        .with_km(cfg.k, cfg.m)
+        .with_packet_size(cfg.packet_size)
+        .with_coding_threads(1)
+        .with_remote_flush_every(0)
+        .with_fetch_retries(cfg.fetch_retries);
+    let mut ecc = EcCheck::initialize(&spec, engine_cfg).expect("campaign config must be valid");
+
+    let chaos_cfg = ChaosConfig {
+        seed: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1),
+        p_drop_put: cfg.p_drop_put,
+        p_duplicate_put: cfg.p_duplicate_put,
+        p_corrupt_put: cfg.p_corrupt_put,
+        p_transient_get: cfg.p_transient_get,
+        transient_get_failures: 1,
+        max_bit_flips: 8,
+    };
+    let mut plane = ChaosPlane::new(Cluster::new(spec), chaos_cfg);
+    plane.set_recorder(ecc.recorder().clone());
+    let tracer = ecc.attach_tracer();
+    plane.set_tracer(&tracer);
+
+    let model = FailureModel::new(cfg.p_node_fail).expect("probability is valid");
+    let schedule = ScenarioSchedule::mixed(
+        &model,
+        cfg.nodes,
+        cfg.failure_domain,
+        cfg.p_corrupt_chunk,
+        cfg.p_midload_crash,
+        cfg.rounds,
+        seed,
+    );
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(0xC4A0));
+
+    let mut outcomes = Vec::new();
+    let mut violations = Vec::new();
+
+    for (round, mut events) in schedule.rounds.into_iter().enumerate() {
+        // Occasionally attack one worker's replicated header too.
+        if rng.gen_bool(cfg.p_header_total_loss) {
+            let worker = rng.gen_range(0..world);
+            events
+                .push(ChaosEvent::CorruptHeaderCopies { worker, nodes: (0..cfg.nodes).collect() });
+        } else if rng.gen_bool(cfg.p_header_attack) {
+            let worker = rng.gen_range(0..world);
+            let spared = rng.gen_range(0..cfg.nodes);
+            let nodes = (0..cfg.nodes).filter(|&n| n != spared).collect();
+            events.push(ChaosEvent::CorruptHeaderCopies { worker, nodes });
+        }
+
+        let dicts = round_dicts(world, seed, round);
+        let log_before_save = plane.fault_log().len();
+        let report = ecc.save(&mut plane, &dicts).expect("save on an all-alive cluster succeeds");
+        let version = report.version;
+
+        // Fault accounting: which chunks are destroyed or tainted, and
+        // which nodes' copy of each worker's header is damaged.
+        let mut casualties: BTreeSet<NodeId> = BTreeSet::new();
+        let mut header_damage: BTreeMap<usize, BTreeSet<NodeId>> = BTreeMap::new();
+        for fault in &plane.fault_log()[log_before_save..] {
+            if !matches!(fault.kind, FaultKind::DropPut | FaultKind::CorruptPut) {
+                continue;
+            }
+            if keys::key_version(&fault.key) != Some(version) {
+                continue;
+            }
+            if keys::is_chunk_class(&fault.key) {
+                casualties.insert(fault.node);
+            } else if let Some(worker) = keys::header_worker(&fault.key) {
+                header_damage.entry(worker).or_default().insert(fault.node);
+            }
+        }
+
+        let mut crashed: BTreeSet<NodeId> = BTreeSet::new();
+        let mut ambiguous = false;
+        for event in &events {
+            match event {
+                ChaosEvent::CrashNodes(nodes) => {
+                    for &node in nodes {
+                        plane.crash_now(node);
+                        crashed.insert(node);
+                        casualties.insert(node);
+                    }
+                }
+                ChaosEvent::CorruptChunks(nodes) => {
+                    for &node in nodes {
+                        if plane.corrupt_blob(node, &keys::chunk_key(version)) {
+                            casualties.insert(node);
+                        }
+                    }
+                }
+                ChaosEvent::CorruptHeaderCopies { worker, nodes } => {
+                    for &node in nodes {
+                        if plane.corrupt_blob(node, &keys::header_key(version, *worker)) {
+                            header_damage.entry(*worker).or_default().insert(node);
+                        }
+                    }
+                }
+                ChaosEvent::CrashDuringLoad { node, after_ops } => {
+                    plane.schedule_crash_at_op(*node, plane.op() + after_ops);
+                    ambiguous = true;
+                }
+            }
+        }
+        // A crashed node loses its copy of every worker's header.
+        let header_catastrophe = (0..world).any(|w| {
+            let mut damaged = crashed.clone();
+            if let Some(extra) = header_damage.get(&w) {
+                damaged.extend(extra.iter().copied());
+            }
+            damaged.len() == cfg.nodes
+        });
+
+        let faults = casualties.len();
+        let result = match ecc.load(&mut plane) {
+            Ok((restored, load_report)) => {
+                if restored != dicts {
+                    violations.push(format!(
+                        "seed {seed} round {round}: load returned GARBAGE state \
+                         ({faults} chunk faults, ambiguous={ambiguous})"
+                    ));
+                } else if !ambiguous && faults > cfg.m && !header_catastrophe {
+                    violations.push(format!(
+                        "seed {seed} round {round}: recovered despite {faults} > m = {} \
+                         chunk faults — fault accounting or engine bug",
+                        cfg.m
+                    ));
+                }
+                RoundResult::Recovered {
+                    rebuilt_chunks: load_report.rebuilt_chunks,
+                    corrupt_detected: load_report.corrupt_nodes.len(),
+                }
+            }
+            Err(EcCheckError::Unrecoverable { survivors, needed, lost_workers }) => {
+                if !ambiguous && faults <= cfg.m && !header_catastrophe {
+                    violations.push(format!(
+                        "seed {seed} round {round}: refused a recoverable scenario \
+                         ({faults} <= m = {} chunk faults, casualties {casualties:?})",
+                        cfg.m
+                    ));
+                }
+                RoundResult::Refused { survivors, needed, lost_workers }
+            }
+            Err(other) => {
+                violations.push(format!(
+                    "seed {seed} round {round}: unexpected error instead of a clean \
+                     verdict: {other}"
+                ));
+                RoundResult::Refused { survivors: 0, needed: cfg.k, lost_workers: Vec::new() }
+            }
+        };
+
+        outcomes.push(RoundOutcome {
+            round,
+            version,
+            chunk_casualties: casualties.into_iter().collect(),
+            header_catastrophe,
+            ambiguous,
+            result,
+        });
+
+        // Reset for the next round: revive everything and disarm any
+        // mid-load crash that never fired.
+        plane.cancel_scheduled_crashes();
+        for node in 0..cfg.nodes {
+            plane.heal(node);
+        }
+    }
+
+    CampaignReport {
+        seed,
+        outcomes,
+        violations,
+        fault_log: plane.fault_log(),
+        telemetry_json: ecc.recorder().snapshot().to_json(),
+    }
+}
+
+/// Deterministic per-round worker states: varying sizes so padding and
+/// heterogeneous shards are exercised, plus scalars that make any
+/// cross-round or cross-worker mixup visible.
+fn round_dicts(world: usize, seed: u64, round: usize) -> Vec<StateDict> {
+    let mut rng = StdRng::seed_from_u64(seed ^ ((round as u64) << 32) ^ 0x5EED);
+    (0..world)
+        .map(|w| {
+            let mut sd = StateDict::new();
+            sd.insert("iteration", Value::Int(round as i64));
+            sd.insert("rank", Value::Int(w as i64));
+            sd.insert("tag", Value::Str(format!("s{seed}-r{round}-w{w}")));
+            let len = 32 + rng.gen_range(0..160usize);
+            let payload: Vec<u8> = (0..len).map(|_| rng.gen_range(0..=255u8)).collect();
+            sd.insert("payload", Value::Bytes(payload));
+            sd
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_campaign_passes_and_mixes_outcomes() {
+        let cfg = CampaignConfig::standard();
+        let report = run_campaign(&cfg, 5);
+        assert!(report.passed(), "violations: {:?}", report.violations);
+        assert_eq!(report.outcomes.len(), cfg.rounds);
+        assert!(!report.fault_log.is_empty());
+        assert!(!report.telemetry_json.is_empty());
+    }
+
+    #[test]
+    fn campaigns_are_deterministic_per_seed() {
+        let cfg = CampaignConfig::standard();
+        let a = run_campaign(&cfg, 11);
+        let b = run_campaign(&cfg, 11);
+        assert_eq!(a.outcomes, b.outcomes);
+        assert_eq!(a.fault_log, b.fault_log);
+    }
+
+    #[test]
+    fn seed_matrix_exercises_both_contract_halves() {
+        let cfg = CampaignConfig::standard();
+        let mut recovered = 0;
+        let mut refused = 0;
+        for seed in 0..4 {
+            let report = run_campaign(&cfg, seed);
+            assert!(report.passed(), "seed {seed} violations: {:?}", report.violations);
+            recovered += report.recovered();
+            refused += report.refused();
+        }
+        assert!(recovered > 0, "no round ever recovered — campaign too harsh");
+        assert!(refused > 0, "no round ever refused — campaign too gentle");
+    }
+
+    #[test]
+    fn report_json_exports_are_well_formed() {
+        let report = run_campaign(&CampaignConfig::standard(), 2);
+        let log = report.fault_log_json();
+        assert!(log.starts_with('[') && log.trim_end().ends_with(']'));
+        let summary = report.summary_json();
+        assert!(summary.contains("\"seed\": 2"));
+        assert!(summary.contains("\"violations\": []"));
+    }
+}

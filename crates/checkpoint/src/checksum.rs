@@ -38,6 +38,34 @@ fn table() -> &'static [u32; 256] {
     })
 }
 
+/// Encodes the CRC-32 of `data` as the 4-byte little-endian frame the
+/// checkpoint store persists next to each blob.
+///
+/// # Examples
+///
+/// ```
+/// use ecc_checkpoint::{checksum_frame, verify_checksum};
+///
+/// let frame = checksum_frame(b"chunk bytes");
+/// assert!(verify_checksum(b"chunk bytes", &frame));
+/// assert!(!verify_checksum(b"chunk byteZ", &frame));
+/// ```
+pub fn checksum_frame(data: &[u8]) -> Vec<u8> {
+    crc32(data).to_le_bytes().to_vec()
+}
+
+/// Verifies `data` against a stored [`checksum_frame`].
+///
+/// Returns `false` for a malformed frame (wrong length), so a corrupted
+/// or truncated checksum blob itself reads as an integrity failure
+/// rather than a panic.
+pub fn verify_checksum(data: &[u8], frame: &[u8]) -> bool {
+    let Ok(stored): Result<[u8; 4], _> = frame.try_into() else {
+        return false;
+    };
+    crc32(data) == u32::from_le_bytes(stored)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -58,5 +86,22 @@ mod tests {
             corrupt[pos] ^= 0x01;
             assert_ne!(crc32(&corrupt), base, "flip at {pos} undetected");
         }
+    }
+
+    #[test]
+    fn frame_round_trips_and_rejects_flips() {
+        let data = vec![0x3Cu8; 257];
+        let frame = checksum_frame(&data);
+        assert_eq!(frame.len(), 4);
+        assert!(verify_checksum(&data, &frame));
+        let mut corrupt = data.clone();
+        corrupt[128] ^= 0x80;
+        assert!(!verify_checksum(&corrupt, &frame));
+        // A damaged frame is an integrity failure, not a panic.
+        assert!(!verify_checksum(&data, &frame[..3]));
+        assert!(!verify_checksum(&data, &[]));
+        let mut bad_frame = frame.clone();
+        bad_frame[0] ^= 0x01;
+        assert!(!verify_checksum(&data, &bad_frame));
     }
 }

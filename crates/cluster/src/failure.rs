@@ -75,7 +75,9 @@ impl FailureModel {
     ///
     /// Returns an error message when `p` is outside `[0, 1]`.
     pub fn new(p: f64) -> Result<Self, String> {
-        if !(0.0..=1.0).contains(&p) || p.is_nan() {
+        // NaN compares false to everything, so `contains` already
+        // rejects it — no separate `is_nan` arm needed.
+        if !(0.0..=1.0).contains(&p) {
             return Err(format!("failure probability {p} must be within [0, 1]"));
         }
         Ok(Self { p })
@@ -90,6 +92,32 @@ impl FailureModel {
     pub fn sample(&self, nodes: usize, seed: u64) -> FailureScenario {
         let mut rng = StdRng::seed_from_u64(seed);
         let failed = (0..nodes).filter(|_| rng.gen_bool(self.p)).collect::<Vec<_>>();
+        FailureScenario::new(failed)
+    }
+
+    /// Samples *correlated* failures: the `nodes` machines are split
+    /// into consecutive groups of `group_size` (sharing a rack / power
+    /// domain), and each whole group fails together with probability
+    /// `p` — the correlated-failure pattern the paper's §II-B failure
+    /// studies observe alongside independent crashes. The trailing
+    /// partial group (when `group_size` does not divide `nodes`) is
+    /// sampled like any other group.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `group_size` is zero.
+    pub fn sample_correlated(&self, nodes: usize, group_size: usize, seed: u64) -> FailureScenario {
+        assert!(group_size > 0, "group_size must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut failed = Vec::new();
+        let mut base = 0usize;
+        while base < nodes {
+            let end = (base + group_size).min(nodes);
+            if rng.gen_bool(self.p) {
+                failed.extend(base..end);
+            }
+            base = end;
+        }
         FailureScenario::new(failed)
     }
 }
@@ -117,9 +145,44 @@ mod tests {
     fn probability_bounds_enforced() {
         assert!(FailureModel::new(-0.1).is_err());
         assert!(FailureModel::new(1.1).is_err());
-        assert!(FailureModel::new(f64::NAN).is_err());
         assert!(FailureModel::new(0.0).is_ok());
         assert!(FailureModel::new(1.0).is_ok());
+    }
+
+    #[test]
+    fn nan_probability_is_rejected() {
+        // Regression: the range check alone must reject NaN (NaN
+        // comparisons are false, so `contains` returns false) — the old
+        // explicit `is_nan` arm was dead code.
+        assert!(FailureModel::new(f64::NAN).is_err());
+        assert!(FailureModel::new(-f64::NAN).is_err());
+    }
+
+    #[test]
+    fn correlated_sampling_fails_whole_groups() {
+        let m = FailureModel::new(0.5).unwrap();
+        for seed in 0..50u64 {
+            let s = m.sample_correlated(8, 2, seed);
+            // Failures only ever appear as whole pairs {2g, 2g+1}.
+            for g in 0..4usize {
+                assert_eq!(
+                    s.is_failed(2 * g),
+                    s.is_failed(2 * g + 1),
+                    "seed {seed}: group {g} split"
+                );
+            }
+        }
+        // Determinism and both outcomes occur.
+        assert_eq!(m.sample_correlated(8, 2, 3), m.sample_correlated(8, 2, 3));
+        assert!((0..50).any(|s| m.sample_correlated(8, 2, s).count() > 0));
+        assert!((0..50).any(|s| m.sample_correlated(8, 2, s).count() == 0));
+    }
+
+    #[test]
+    fn correlated_sampling_handles_partial_trailing_group() {
+        let m = FailureModel::new(1.0).unwrap();
+        let s = m.sample_correlated(5, 2, 0);
+        assert_eq!(s.failed(), &[0, 1, 2, 3, 4]);
     }
 
     #[test]

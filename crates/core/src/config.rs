@@ -30,6 +30,7 @@ pub struct EcCheckConfig {
     schedule: ScheduleKind,
     remote_flush_every: u64,
     use_idle_slots: bool,
+    fetch_retries: usize,
 }
 
 impl EcCheckConfig {
@@ -48,6 +49,7 @@ impl EcCheckConfig {
             schedule: ScheduleKind::Smart,
             remote_flush_every: 50,
             use_idle_slots: true,
+            fetch_retries: 2,
         }
     }
 
@@ -102,6 +104,15 @@ impl EcCheckConfig {
         self
     }
 
+    /// Overrides how many times a recovery fetch is retried before the
+    /// holding node is declared failed (0 = fail on the first miss).
+    /// Retries absorb transient data-plane glitches — a blob that is
+    /// momentarily unreadable is not the same as a dead node.
+    pub fn with_fetch_retries(mut self, retries: usize) -> Self {
+        self.fetch_retries = retries;
+        self
+    }
+
     /// Number of data nodes.
     pub fn k(&self) -> usize {
         self.k
@@ -150,6 +161,11 @@ impl EcCheckConfig {
     /// Whether checkpoint communication defers to network idle slots.
     pub fn use_idle_slots(&self) -> bool {
         self.use_idle_slots
+    }
+
+    /// Bounded retry budget for recovery fetches.
+    pub fn fetch_retries(&self) -> usize {
+        self.fetch_retries
     }
 
     /// Validates the configuration against a cluster size.
@@ -247,11 +263,13 @@ mod tests {
             .with_packet_size(320)
             .with_coding_threads(0)
             .with_remote_flush_every(10)
-            .with_idle_slots(false);
+            .with_idle_slots(false)
+            .with_fetch_retries(5);
         assert_eq!((c.k(), c.m(), c.w()), (3, 1, 4));
         assert_eq!(c.packet_size(), 320);
         assert_eq!(c.coding_threads(), 1);
         assert_eq!(c.remote_flush_every(), 10);
         assert!(!c.use_idle_slots());
+        assert_eq!(c.fetch_retries(), 5);
     }
 }

@@ -11,16 +11,34 @@
 //! Timing is *not* modelled here — see [`crate::timing`]; this module is
 //! the correctness plane.
 
-use ecc_checkpoint::{decompose, Decomposition, Packer, Packet, StateDict};
-use ecc_cluster::{ClusterSpec, DataPlane};
+use ecc_checkpoint::{
+    checksum_frame, decompose, verify_checksum, Decomposition, Packer, Packet, StateDict,
+};
+use ecc_cluster::{ClusterError, ClusterSpec, DataPlane};
 use ecc_erasure::{CodeParams, CodingPool, ErasureCode};
 use ecc_telemetry::Recorder;
 use ecc_trace::{Tracer, TrackId, DRIVER_PID};
 
+use crate::keys::{
+    chunk_crc_key, chunk_key, header_crc_key, header_key, manifest_key, remote_chunk_crc_key,
+    remote_chunk_key, remote_header_crc_key, remote_header_key, remote_manifest_key,
+};
 use crate::{
     select_data_parity_nodes, EcCheckConfig, EcCheckError, LoadReport, Placement, RecoveryWorkflow,
     ReductionPlan, SaveReport,
 };
+
+/// Outcome of one checksum-verified chunk fetch during recovery.
+enum ChunkFetch {
+    /// The blob is present and matches its stored checksum.
+    Intact(Vec<u8>),
+    /// Node dead, or the blob (or its checksum frame) is absent even
+    /// after the bounded retry budget.
+    Missing,
+    /// The blob is present but fails its checksum: silent corruption,
+    /// reclassified as an erasure.
+    Corrupt,
+}
 
 /// The ECCheck checkpointing system (paper §III).
 ///
@@ -263,19 +281,24 @@ impl EcCheck {
         // real system; here the byte movement outcome).
         let phase = self.recorder.timer("ecc.save.place_ns");
         let span = trace.as_ref().map(|t| t.tracer.span(t.engine, "save.place", ""));
+        let header_frames: Vec<Vec<u8>> =
+            headers.iter().map(|h| checksum_frame(h.as_slice())).collect();
         for (j, chunk) in data_chunks.iter().enumerate() {
             let node = self.placement.data_nodes()[j];
             cluster.put_local(node, &chunk_key(version), chunk.clone())?;
+            cluster.put_local(node, &chunk_crc_key(version), checksum_frame(chunk))?;
             trace_store(&trace, node, &format!("data chunk {j}"));
         }
         for (i, chunk) in parity_chunks.iter().enumerate() {
             let node = self.placement.parity_nodes()[i];
             cluster.put_local(node, &chunk_key(version), chunk.clone())?;
+            cluster.put_local(node, &chunk_crc_key(version), checksum_frame(chunk))?;
             trace_store(&trace, node, &format!("parity chunk {i}"));
         }
         for node in 0..self.spec.nodes() {
             for (w, header) in headers.iter().enumerate() {
                 cluster.put_local(node, &header_key(version, w), header.clone())?;
+                cluster.put_local(node, &header_crc_key(version, w), header_frames[w].clone())?;
             }
             cluster.put_local(node, &manifest_key(version), manifest(max_packets))?;
         }
@@ -296,9 +319,11 @@ impl EcCheck {
         if old > 0 {
             for node in 0..self.spec.nodes() {
                 cluster.delete_local(node, &chunk_key(old));
+                cluster.delete_local(node, &chunk_crc_key(old));
                 cluster.delete_local(node, &manifest_key(old));
                 for w in 0..world {
                     cluster.delete_local(node, &header_key(old, w));
+                    cluster.delete_local(node, &header_crc_key(old, w));
                 }
             }
         }
@@ -353,21 +378,31 @@ impl EcCheck {
             .map(|t| t.tracer.span(t.engine, "ecc.load", format!("version={version}")));
 
         // Which chunks survive? Chunk id: data j -> j, parity i -> k + i.
+        // Every fetched blob is verified against its stored checksum: a
+        // bit-flipped chunk must become an *erasure* the code corrects,
+        // never an input `reconstruct_all` decodes into garbage.
         let gather_span = trace.as_ref().map(|t| t.tracer.span(t.engine, "load.gather", ""));
         let mut shards: Vec<Option<Vec<u8>>> = vec![None; n];
         let mut failed_nodes = Vec::new();
+        let mut corrupt_nodes = Vec::new();
         for node in 0..n {
-            let held = cluster
-                .alive(node)
-                .then(|| cluster.get_local(node, &chunk_key(version)).map(<[u8]>::to_vec))
-                .flatten();
-            match held {
-                Some(blob) => {
+            match self.fetch_chunk(cluster, node, version, &trace) {
+                ChunkFetch::Intact(blob) => {
                     let chunk_id = self.chunk_id_of_node(node);
                     trace_fetch(&trace, node, &format!("chunk {chunk_id}"));
                     shards[chunk_id] = Some(blob);
                 }
-                None => failed_nodes.push(node),
+                ChunkFetch::Missing => failed_nodes.push(node),
+                ChunkFetch::Corrupt => {
+                    self.recorder.counter("ecc.load.corrupt_chunks").incr();
+                    self.recorder
+                        .event("ecc.load.corrupt", format!("node {node} chunk failed checksum"));
+                    if let Some(t) = &trace {
+                        t.tracer.instant(t.engine, "load.corrupt", format!("node {node}"));
+                    }
+                    corrupt_nodes.push(node);
+                    failed_nodes.push(node);
+                }
             }
         }
         drop(gather_span);
@@ -376,7 +411,7 @@ impl EcCheck {
         if survivors < k {
             // Catastrophic: fall back to the remote copy if one exists.
             // (load_timer drops after the call, timing the remote path too.)
-            return self.load_from_remote(cluster, failed_nodes);
+            return self.load_from_remote(cluster, failed_nodes, corrupt_nodes, &shards);
         }
 
         let data_lost = (0..k).any(|j| shards[j].is_none());
@@ -406,31 +441,50 @@ impl EcCheck {
         let all_chunks = self.code.reconstruct_all(&shard_refs)?;
         drop(span);
 
+        // Gather the headers: each worker's header independently falls
+        // back across *all* survivors (and finally the remote copy) —
+        // one node having lost one header must not doom the recovery
+        // while another survivor still holds it.
+        let headers = self.gather_headers(cluster, version, survivors, &trace)?;
+
         // Restore fault tolerance: every node stores its chunk again,
-        // and every node regains the headers (from any survivor).
-        let header_source = (0..n)
-            .find(|&node| {
-                cluster.alive(node) && cluster.get_local(node, &header_key(version, 0)).is_some()
-            })
-            .ok_or(EcCheckError::Unrecoverable { survivors, needed: k })?;
-        let world = self.spec.world_size();
-        let headers: Vec<Vec<u8>> = (0..world)
-            .map(|w| {
-                cluster
-                    .get_local(header_source, &header_key(version, w))
-                    .map(<[u8]>::to_vec)
-                    .ok_or(EcCheckError::Unrecoverable { survivors, needed: k })
-            })
-            .collect::<Result<_, _>>()?;
+        // and every node regains the headers. A node that dies *during*
+        // this phase is skipped, not fatal: the decoded state is already
+        // in hand, and the skipped node is re-seeded by the next
+        // save/load.
         let span = trace.as_ref().map(|t| t.tracer.span(t.engine, "load.restore", ""));
-        for node in 0..n {
+        let header_frames: Vec<Vec<u8>> =
+            headers.iter().map(|h| checksum_frame(h.as_slice())).collect();
+        let mut restore_skipped = Vec::new();
+        'restore: for node in 0..n {
             let chunk_id = self.chunk_id_of_node(node);
-            cluster.put_local(node, &chunk_key(version), all_chunks[chunk_id].clone())?;
-            trace_store(&trace, node, &format!("chunk {chunk_id}"));
+            let mut puts: Vec<(String, Vec<u8>)> = Vec::with_capacity(2 * headers.len() + 3);
+            puts.push((chunk_key(version), all_chunks[chunk_id].clone()));
+            puts.push((chunk_crc_key(version), checksum_frame(&all_chunks[chunk_id])));
             for (w, header) in headers.iter().enumerate() {
-                cluster.put_local(node, &header_key(version, w), header.clone())?;
+                puts.push((header_key(version, w), header.clone()));
+                puts.push((header_crc_key(version, w), header_frames[w].clone()));
             }
-            cluster.put_local(node, &manifest_key(version), manifest(self.packets_per_worker))?;
+            puts.push((manifest_key(version), manifest(self.packets_per_worker)));
+            for (key, bytes) in puts {
+                match cluster.put_local(node, &key, bytes) {
+                    Ok(()) => {}
+                    Err(ClusterError::NodeDown { .. }) => {
+                        self.recorder.counter("ecc.load.restore_skipped").incr();
+                        self.recorder.event(
+                            "ecc.load.restore_skip",
+                            format!("node {node} died mid-restore"),
+                        );
+                        if let Some(t) = &trace {
+                            t.tracer.instant(t.engine, "load.restore_skip", format!("node {node}"));
+                        }
+                        restore_skipped.push(node);
+                        continue 'restore;
+                    }
+                    Err(e) => return Err(e.into()),
+                }
+            }
+            trace_store(&trace, node, &format!("chunk {chunk_id}"));
         }
         drop(span);
 
@@ -449,10 +503,157 @@ impl EcCheck {
                 version,
                 workflow,
                 failed_nodes,
+                corrupt_nodes,
                 rebuilt_chunks: rebuilt_count,
+                restore_skipped,
                 restored_bytes,
             },
         ))
+    }
+
+    /// Fetches and checksum-verifies one node's chunk, retrying a
+    /// transiently missing blob up to `fetch_retries` times before
+    /// declaring the node's chunk lost.
+    fn fetch_chunk(
+        &self,
+        cluster: &impl DataPlane,
+        node: usize,
+        version: u64,
+        trace: &Option<TraceHandles>,
+    ) -> ChunkFetch {
+        let retries = self.config.fetch_retries();
+        for attempt in 0..=retries {
+            if !cluster.alive(node) {
+                return ChunkFetch::Missing;
+            }
+            let blob = cluster.get_local(node, &chunk_key(version));
+            let crc = cluster.get_local(node, &chunk_crc_key(version));
+            if let (Some(blob), Some(crc)) = (blob, crc) {
+                if verify_checksum(blob, crc) {
+                    return ChunkFetch::Intact(blob.to_vec());
+                }
+                return ChunkFetch::Corrupt;
+            }
+            if attempt < retries {
+                self.recorder.counter("ecc.load.fetch_retries").incr();
+                if let Some(t) = trace {
+                    t.tracer.instant(
+                        t.engine,
+                        "load.retry",
+                        format!("node {node} chunk, attempt {}", attempt + 1),
+                    );
+                }
+            }
+        }
+        ChunkFetch::Missing
+    }
+
+    /// Gathers every worker's header, verifying checksums and falling
+    /// back per header across all survivors, then the remote copy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EcCheckError::Unrecoverable`] naming the workers whose
+    /// header is gone from every survivor and from remote storage.
+    fn gather_headers(
+        &self,
+        cluster: &impl DataPlane,
+        version: u64,
+        survivors: usize,
+        trace: &Option<TraceHandles>,
+    ) -> Result<Vec<Vec<u8>>, EcCheckError> {
+        let n = self.spec.nodes();
+        let world = self.spec.world_size();
+        let retries = self.config.fetch_retries();
+        let primary = (0..n).find(|&node| cluster.alive(node));
+        let mut headers: Vec<Vec<u8>> = Vec::with_capacity(world);
+        let mut lost_workers = Vec::new();
+        for w in 0..world {
+            let mut found = None;
+            'attempts: for attempt in 0..=retries {
+                for node in 0..n {
+                    if !cluster.alive(node) {
+                        continue;
+                    }
+                    let blob = cluster.get_local(node, &header_key(version, w));
+                    let crc = cluster.get_local(node, &header_crc_key(version, w));
+                    let (Some(blob), Some(crc)) = (blob, crc) else { continue };
+                    if !verify_checksum(blob, crc) {
+                        if attempt == 0 {
+                            self.recorder.counter("ecc.load.corrupt_headers").incr();
+                            self.recorder.event(
+                                "ecc.load.corrupt",
+                                format!("node {node} header {w} failed checksum"),
+                            );
+                        }
+                        continue;
+                    }
+                    if primary != Some(node) {
+                        self.recorder.counter("ecc.load.header_fallbacks").incr();
+                        if let Some(t) = trace {
+                            t.tracer.instant(
+                                t.engine,
+                                "load.header_fallback",
+                                format!("header {w} served by node {node}"),
+                            );
+                        }
+                    }
+                    found = Some(blob.to_vec());
+                    break 'attempts;
+                }
+                if attempt < retries {
+                    self.recorder.counter("ecc.load.fetch_retries").incr();
+                }
+            }
+            if found.is_none() {
+                // Last resort: the low-frequency remote copy.
+                let blob = cluster.get_remote(&remote_header_key(version, w));
+                let crc = cluster.get_remote(&remote_header_crc_key(version, w));
+                if let (Some(blob), Some(crc)) = (blob, crc) {
+                    if verify_checksum(blob, crc) {
+                        self.recorder.counter("ecc.load.header_remote").incr();
+                        found = Some(blob.to_vec());
+                    }
+                }
+            }
+            match found {
+                Some(h) => headers.push(h),
+                None => lost_workers.push(w),
+            }
+        }
+        if !lost_workers.is_empty() {
+            self.recorder.event(
+                "ecc.load.lost_workers",
+                format!("headers unrecoverable for workers {lost_workers:?}"),
+            );
+            return Err(EcCheckError::Unrecoverable {
+                survivors,
+                needed: self.config.k(),
+                lost_workers,
+            });
+        }
+        Ok(headers)
+    }
+
+    /// Reads a chunk that is about to be patched in place, verifying
+    /// its checksum first: patching corrupt bytes and re-framing them
+    /// would launder the corruption into a "valid" blob.
+    fn get_verified_for_patch(
+        &self,
+        cluster: &impl DataPlane,
+        node: usize,
+        version: u64,
+    ) -> Result<Vec<u8>, EcCheckError> {
+        let blob =
+            cluster.get_local(node, &chunk_key(version)).ok_or(EcCheckError::NoCheckpoint)?;
+        let crc =
+            cluster.get_local(node, &chunk_crc_key(version)).ok_or(EcCheckError::NoCheckpoint)?;
+        if !verify_checksum(blob, crc) {
+            self.recorder.counter("ecc.update.corrupt_chunks").incr();
+            self.recorder.event("ecc.update.corrupt", format!("node {node} chunk failed checksum"));
+            return Err(EcCheckError::CorruptChunk { node });
+        }
+        Ok(blob.to_vec())
     }
 
     /// Incrementally updates one worker's shard in the *current*
@@ -469,8 +670,13 @@ impl EcCheck {
     ///
     /// Returns [`EcCheckError::NoCheckpoint`] before the first save,
     /// [`EcCheckError::Config`] when the worker id is out of range or
-    /// the shard's packet count changed, and propagates cluster errors
-    /// (all nodes must be alive to patch chunks in place).
+    /// the shard's packet count changed,
+    /// [`EcCheckError::Cluster`] (`NodeDown`) when any node is dead
+    /// (all nodes must be alive to patch chunks in place — run
+    /// [`EcCheck::load`] first to restore fault tolerance), and
+    /// [`EcCheckError::CorruptChunk`] when a stored chunk fails its
+    /// checksum (patching it would launder the corruption under a
+    /// fresh, valid checksum — run [`EcCheck::load`] to repair).
     pub fn update_worker(
         &mut self,
         cluster: &mut impl DataPlane,
@@ -485,6 +691,9 @@ impl EcCheck {
             return Err(EcCheckError::Config {
                 detail: format!("worker {worker} out of range (world size {world})"),
             });
+        }
+        if let Some(dead) = (0..self.spec.nodes()).find(|&node| !cluster.alive(node)) {
+            return Err(ClusterError::NodeDown { node: dead }.into());
         }
         let version = self.version;
         let ps = self.config.packet_size();
@@ -520,11 +729,18 @@ impl EcCheck {
         let j = worker / group_size;
         let r = worker % group_size;
         let base = r * max_packets * ps;
+        // Verify *every* chunk that will be patched before mutating any
+        // of them: failing halfway through would leave the data chunk
+        // updated but the parity stale (a torn update no checksum can
+        // catch later).
         let data_node = self.placement.data_nodes()[j];
-        let mut chunk = cluster
-            .get_local(data_node, &chunk_key(version))
-            .ok_or(EcCheckError::NoCheckpoint)?
-            .to_vec();
+        let mut chunk = self.get_verified_for_patch(cluster, data_node, version)?;
+        let mut parities: Vec<Vec<u8>> = self
+            .placement
+            .parity_nodes()
+            .iter()
+            .map(|&node| self.get_verified_for_patch(cluster, node, version))
+            .collect::<Result<_, _>>()?;
 
         // Whole-chunk delta, zero outside the worker's slice (the
         // bit-plane layout spans the full chunk, so the delta must too).
@@ -534,25 +750,27 @@ impl EcCheck {
         ecc_erasure::region::xor_into(slice, &new_region);
         let changed: u64 = delta.iter().filter(|&&b| b != 0).count() as u64;
 
-        // Patch the data chunk in place.
+        // Patch the data chunk in place (checksum frame follows the
+        // patched bytes).
         chunk[base..base + new_region.len()].copy_from_slice(&new_region);
+        cluster.put_local(data_node, &chunk_crc_key(version), checksum_frame(&chunk))?;
         cluster.put_local(data_node, &chunk_key(version), chunk)?;
 
         // Patch every parity chunk by its delta.
         let parity_deltas = self.code.parity_delta(j, &delta)?;
         for (i, pd) in parity_deltas.iter().enumerate() {
             let node = self.placement.parity_nodes()[i];
-            let mut parity = cluster
-                .get_local(node, &chunk_key(version))
-                .ok_or(EcCheckError::NoCheckpoint)?
-                .to_vec();
-            ecc_erasure::region::xor_into(&mut parity, pd);
-            cluster.put_local(node, &chunk_key(version), parity)?;
+            let parity = &mut parities[i];
+            ecc_erasure::region::xor_into(parity, pd);
+            cluster.put_local(node, &chunk_crc_key(version), checksum_frame(parity))?;
+            cluster.put_local(node, &chunk_key(version), parity.clone())?;
         }
 
         // Re-broadcast the worker's (possibly changed) header.
+        let header_frame = checksum_frame(&header);
         for node in 0..self.spec.nodes() {
             cluster.put_local(node, &header_key(version, worker), header.clone())?;
+            cluster.put_local(node, &header_crc_key(version, worker), header_frame.clone())?;
         }
         update_timer.stop();
         drop(root_span);
@@ -580,17 +798,37 @@ impl EcCheck {
             .map(|t| t.tracer.span(t.engine, "ecc.flush", format!("version={version}")));
         self.recorder.counter("ecc.flush.calls").incr();
         for node in 0..n {
-            if let Some(blob) = cluster.get_local(node, &chunk_key(version)) {
-                let blob = blob.to_vec();
-                cluster.put_remote(&remote_chunk_key(version, node), blob);
+            let blob = cluster.get_local(node, &chunk_key(version));
+            let crc = cluster.get_local(node, &chunk_crc_key(version));
+            let (Some(blob), Some(crc)) = (blob, crc) else { continue };
+            if !verify_checksum(blob, crc) {
+                // Never propagate a corrupt chunk into the remote copy
+                // of last resort.
+                self.recorder.counter("ecc.flush.skipped_corrupt").incr();
+                self.recorder
+                    .event("ecc.flush.corrupt", format!("node {node} chunk failed checksum"));
+                continue;
             }
+            let (blob, crc) = (blob.to_vec(), crc.to_vec());
+            cluster.put_remote(&remote_chunk_key(version, node), blob);
+            cluster.put_remote(&remote_chunk_crc_key(version, node), crc);
         }
-        if let Some(source) = (0..n).find(|&node| cluster.alive(node)) {
-            for w in 0..self.spec.world_size() {
-                if let Some(h) = cluster.get_local(source, &header_key(version, w)) {
-                    let h = h.to_vec();
-                    cluster.put_remote(&remote_header_key(version, w), h);
+        // Each header falls back across all survivors, like recovery.
+        for w in 0..self.spec.world_size() {
+            for node in 0..n {
+                if !cluster.alive(node) {
+                    continue;
                 }
+                let h = cluster.get_local(node, &header_key(version, w));
+                let crc = cluster.get_local(node, &header_crc_key(version, w));
+                let (Some(h), Some(crc)) = (h, crc) else { continue };
+                if !verify_checksum(h, crc) {
+                    continue;
+                }
+                let (h, crc) = (h.to_vec(), crc.to_vec());
+                cluster.put_remote(&remote_header_key(version, w), h);
+                cluster.put_remote(&remote_header_crc_key(version, w), crc);
+                break;
             }
         }
         cluster.put_remote(&remote_manifest_key(version), manifest(self.packets_per_worker));
@@ -610,54 +848,110 @@ impl EcCheck {
         for (j, chunk) in data_chunks.iter().enumerate() {
             let node = self.placement.data_nodes()[j];
             cluster.put_remote(&remote_chunk_key(version, node), chunk.clone());
+            cluster.put_remote(&remote_chunk_crc_key(version, node), checksum_frame(chunk));
         }
         for (i, chunk) in parity_chunks.iter().enumerate() {
             let node = self.placement.parity_nodes()[i];
             cluster.put_remote(&remote_chunk_key(version, node), chunk.clone());
+            cluster.put_remote(&remote_chunk_crc_key(version, node), checksum_frame(chunk));
         }
         for (w, h) in headers.iter().enumerate() {
             cluster.put_remote(&remote_header_key(version, w), h.clone());
+            cluster.put_remote(&remote_header_crc_key(version, w), checksum_frame(h));
         }
         cluster.put_remote(&remote_manifest_key(version), manifest(self.packets_per_worker));
     }
 
     /// Catastrophic-failure path: restore everything from the remote
-    /// copy written by step 4.
+    /// copy written by step 4, verifying remote blobs the same way the
+    /// in-memory path does.
+    ///
+    /// `local_shards` is the (insufficient) set of intact chunks the
+    /// in-memory gather produced, used to attribute exactly which
+    /// workers' states are lost when remote storage cannot fill the
+    /// gap.
     fn load_from_remote(
         &self,
         cluster: &mut impl DataPlane,
         failed_nodes: Vec<usize>,
+        corrupt_nodes: Vec<usize>,
+        local_shards: &[Option<Vec<u8>>],
     ) -> Result<(Vec<StateDict>, LoadReport), EcCheckError> {
         let version = self.version;
         let (k, n) = (self.config.k(), self.spec.nodes());
         let mut shards: Vec<Option<Vec<u8>>> = vec![None; n];
         for node in 0..n {
-            if let Some(blob) = cluster.get_remote(&remote_chunk_key(version, node)) {
-                shards[self.chunk_id_of_node(node)] = Some(blob.to_vec());
+            let blob = cluster.get_remote(&remote_chunk_key(version, node));
+            let crc = cluster.get_remote(&remote_chunk_crc_key(version, node));
+            let (Some(blob), Some(crc)) = (blob, crc) else { continue };
+            if !verify_checksum(blob, crc) {
+                self.recorder.counter("ecc.load.corrupt_chunks").incr();
+                self.recorder.event(
+                    "ecc.load.corrupt",
+                    format!("remote chunk of node {node} failed checksum"),
+                );
+                continue;
             }
+            shards[self.chunk_id_of_node(node)] = Some(blob.to_vec());
         }
         let survivors = shards.iter().filter(|s| s.is_some()).count();
         if survivors < k {
-            return Err(EcCheckError::Unrecoverable { survivors, needed: k });
+            // Name the lost workers: a data group's state is gone when
+            // neither memory nor remote holds its chunk intact (with
+            // fewer than k chunks nothing can be decoded around it).
+            // `survivors` in the report counts intact chunks available
+            // *anywhere* — memory or remote.
+            let available =
+                (0..n).filter(|&id| local_shards[id].is_some() || shards[id].is_some()).count();
+            let group_size = self.placement.group_size();
+            let lost_workers: Vec<usize> = (0..k)
+                .filter(|&j| local_shards[j].is_none() && shards[j].is_none())
+                .flat_map(|j| j * group_size..(j + 1) * group_size)
+                .collect();
+            self.recorder.event(
+                "ecc.load.lost_workers",
+                format!("chunks unrecoverable; lost workers {lost_workers:?}"),
+            );
+            return Err(EcCheckError::Unrecoverable {
+                survivors: available,
+                needed: k,
+                lost_workers,
+            });
         }
         let world = self.spec.world_size();
-        let headers: Vec<Vec<u8>> = (0..world)
-            .map(|w| {
-                cluster
-                    .get_remote(&remote_header_key(version, w))
-                    .map(<[u8]>::to_vec)
-                    .ok_or(EcCheckError::Unrecoverable { survivors, needed: k })
-            })
-            .collect::<Result<_, _>>()?;
+        let mut headers: Vec<Vec<u8>> = Vec::with_capacity(world);
+        let mut lost_workers = Vec::new();
+        for w in 0..world {
+            let blob = cluster.get_remote(&remote_header_key(version, w));
+            let crc = cluster.get_remote(&remote_header_crc_key(version, w));
+            match (blob, crc) {
+                (Some(blob), Some(crc)) if verify_checksum(blob, crc) => {
+                    headers.push(blob.to_vec());
+                }
+                _ => lost_workers.push(w),
+            }
+        }
+        if !lost_workers.is_empty() {
+            return Err(EcCheckError::Unrecoverable { survivors, needed: k, lost_workers });
+        }
         let shard_refs: Vec<Option<&[u8]>> = shards.iter().map(|s| s.as_deref()).collect();
         let all_chunks = self.code.reconstruct_all(&shard_refs)?;
+        let mut restore_skipped = Vec::new();
         for node in 0..n {
-            if cluster.alive(node) {
-                let chunk_id = self.chunk_id_of_node(node);
-                cluster.put_local(node, &chunk_key(version), all_chunks[chunk_id].clone())?;
-                for (w, header) in headers.iter().enumerate() {
-                    cluster.put_local(node, &header_key(version, w), header.clone())?;
-                }
+            if !cluster.alive(node) {
+                restore_skipped.push(node);
+                continue;
+            }
+            let chunk_id = self.chunk_id_of_node(node);
+            cluster.put_local(node, &chunk_key(version), all_chunks[chunk_id].clone())?;
+            cluster.put_local(
+                node,
+                &chunk_crc_key(version),
+                checksum_frame(&all_chunks[chunk_id]),
+            )?;
+            for (w, header) in headers.iter().enumerate() {
+                cluster.put_local(node, &header_key(version, w), header.clone())?;
+                cluster.put_local(node, &header_crc_key(version, w), checksum_frame(header))?;
             }
         }
         let dicts = self.reassemble_all(&all_chunks[..k], &headers)?;
@@ -675,7 +969,9 @@ impl EcCheck {
                 version,
                 workflow: RecoveryWorkflow::Remote,
                 failed_nodes,
+                corrupt_nodes,
                 rebuilt_chunks: n - survivors,
+                restore_skipped,
                 restored_bytes,
             },
         ))
@@ -747,30 +1043,6 @@ fn trace_fetch(trace: &Option<TraceHandles>, node: usize, what: &str) {
         drop(send);
         t.tracer.flow_end(t.engine, flow, "p2p.fetch");
     }
-}
-
-fn chunk_key(version: u64) -> String {
-    format!("ecc/v{version}/chunk")
-}
-
-fn header_key(version: u64, worker: usize) -> String {
-    format!("ecc/v{version}/hdr/{worker}")
-}
-
-fn manifest_key(version: u64) -> String {
-    format!("ecc/v{version}/manifest")
-}
-
-fn remote_chunk_key(version: u64, node: usize) -> String {
-    format!("remote/ecc/v{version}/chunk/{node}")
-}
-
-fn remote_header_key(version: u64, worker: usize) -> String {
-    format!("remote/ecc/v{version}/hdr/{worker}")
-}
-
-fn remote_manifest_key(version: u64) -> String {
-    format!("remote/ecc/v{version}/manifest")
 }
 
 fn manifest(packets_per_worker: usize) -> Vec<u8> {
@@ -998,6 +1270,128 @@ mod tests {
         ));
     }
 
+    /// Flips one byte of a node's stored chunk in place, leaving the
+    /// stored checksum frame untouched (simulating at-rest bit rot).
+    fn corrupt_chunk(cluster: &mut Cluster, node: usize, version: u64) {
+        let key = crate::keys::chunk_key(version);
+        let mut blob = cluster.get_local(node, &key).unwrap().to_vec();
+        let mid = blob.len() / 2;
+        blob[mid] ^= 0x40;
+        cluster.put_local(node, &key, blob).unwrap();
+    }
+
+    /// The silent-corruption regression: a bit-flipped chunk must be
+    /// detected via its checksum and treated as an erasure, decoding
+    /// the true bytes from the survivors — the pre-fix engine fed the
+    /// garbage straight into `reconstruct_all` and returned corrupted
+    /// weights with a successful report.
+    #[test]
+    fn corrupted_chunk_is_detected_and_decoded_around() {
+        let (_, mut cluster, mut ecc, dicts) = setup();
+        ecc.save(&mut cluster, &dicts).unwrap();
+        // Node 0 is a data node on the 4-node testbed placement.
+        corrupt_chunk(&mut cluster, 0, 1);
+        let (restored, report) = ecc.load(&mut cluster).unwrap();
+        assert_eq!(restored, dicts, "corruption must never surface as state");
+        assert_eq!(report.workflow, RecoveryWorkflow::Decode);
+        assert_eq!(report.corrupt_nodes, vec![0]);
+        assert_eq!(report.failed_nodes, vec![0]);
+        assert_eq!(report.rebuilt_chunks, 1);
+        assert_eq!(ecc.recorder().snapshot().counter("ecc.load.corrupt_chunks"), 1);
+        // The corrupt chunk was repaired in place: a fresh load sees a
+        // fully intact cluster.
+        let (_, second) = ecc.load(&mut cluster).unwrap();
+        assert!(second.failed_nodes.is_empty());
+    }
+
+    #[test]
+    fn corruption_combines_with_crashes_up_to_m() {
+        // One crashed node + one corrupted chunk = exactly m = 2 faults.
+        let (_, mut cluster, mut ecc, dicts) = setup();
+        ecc.save(&mut cluster, &dicts).unwrap();
+        cluster.fail_node(1);
+        cluster.replace_node(1);
+        corrupt_chunk(&mut cluster, 2, 1);
+        let (restored, report) = ecc.load(&mut cluster).unwrap();
+        assert_eq!(restored, dicts);
+        assert_eq!(report.failed_nodes, vec![1, 2]);
+        assert_eq!(report.corrupt_nodes, vec![2]);
+    }
+
+    #[test]
+    fn corruption_beyond_m_is_unrecoverable_not_garbage() {
+        let spec = ClusterSpec::tiny_test(4, 2);
+        let mut cluster = Cluster::new(spec);
+        let mut ecc = EcCheck::initialize(&spec, tiny_config().with_remote_flush_every(0)).unwrap();
+        let (_, _, _, dicts) = setup();
+        ecc.save(&mut cluster, &dicts).unwrap();
+        for node in [0, 1, 3] {
+            corrupt_chunk(&mut cluster, node, 1);
+        }
+        // 3 corrupt chunks > m = 2: only one intact chunk remains, so
+        // the engine must refuse with a structured report, never decode.
+        match ecc.load(&mut cluster) {
+            Err(EcCheckError::Unrecoverable { survivors, needed, lost_workers }) => {
+                assert_eq!(survivors, 1);
+                assert_eq!(needed, 2);
+                // Data chunk 0 (node 0) is gone; data chunk 1 (node 2)
+                // survived. Workers 0..4 of group 0 are the lost ones.
+                assert_eq!(lost_workers, vec![0, 1, 2, 3]);
+            }
+            other => panic!("expected Unrecoverable, got {other:?}"),
+        }
+    }
+
+    /// The brittle-header regression: the pre-fix engine picked the
+    /// single survivor holding header 0 and failed `Unrecoverable` if
+    /// that node was missing any *later* header, even with every header
+    /// intact on another survivor.
+    #[test]
+    fn header_restore_falls_back_across_survivors() {
+        let (_, mut cluster, mut ecc, dicts) = setup();
+        ecc.save(&mut cluster, &dicts).unwrap();
+        // Node 0 still holds header 0 (so it is chosen as the primary
+        // source) but lost headers 3..8; node 1 holds everything.
+        for w in 3..8 {
+            cluster.delete_local(0, &crate::keys::header_key(1, w));
+        }
+        let (restored, _) = ecc.load(&mut cluster).unwrap();
+        assert_eq!(restored, dicts);
+        assert!(ecc.recorder().snapshot().counter("ecc.load.header_fallbacks") > 0);
+    }
+
+    #[test]
+    fn corrupt_header_copy_falls_back_to_intact_survivor() {
+        let (_, mut cluster, mut ecc, dicts) = setup();
+        ecc.save(&mut cluster, &dicts).unwrap();
+        let key = crate::keys::header_key(1, 5);
+        let mut blob = cluster.get_local(0, &key).unwrap().to_vec();
+        blob[0] ^= 0xFF;
+        cluster.put_local(0, &key, blob).unwrap();
+        let (restored, _) = ecc.load(&mut cluster).unwrap();
+        assert_eq!(restored, dicts);
+        let snap = ecc.recorder().snapshot();
+        assert_eq!(snap.counter("ecc.load.corrupt_headers"), 1);
+        assert!(snap.counter("ecc.load.header_fallbacks") > 0);
+    }
+
+    #[test]
+    fn header_lost_everywhere_names_the_worker() {
+        let (_, mut cluster, _, dicts) = setup();
+        let spec = ClusterSpec::tiny_test(4, 2);
+        let mut ecc = EcCheck::initialize(&spec, tiny_config().with_remote_flush_every(0)).unwrap();
+        ecc.save(&mut cluster, &dicts).unwrap();
+        for node in 0..4 {
+            cluster.delete_local(node, &crate::keys::header_key(1, 6));
+        }
+        match ecc.load(&mut cluster) {
+            Err(EcCheckError::Unrecoverable { lost_workers, .. }) => {
+                assert_eq!(lost_workers, vec![6]);
+            }
+            other => panic!("expected Unrecoverable naming worker 6, got {other:?}"),
+        }
+    }
+
     #[test]
     fn heterogeneous_shard_sizes_are_padded() {
         // Stage-0 workers carry embeddings and are bigger; padding must
@@ -1122,6 +1516,51 @@ mod incremental_tests {
             ecc.update_worker(&mut cluster, 8, &dicts[0]),
             Err(EcCheckError::Config { .. })
         ));
+    }
+
+    #[test]
+    fn update_with_dead_node_reports_node_down() {
+        // In-place patching needs every node; a dead node must surface
+        // as a structured NodeDown, not a misleading NoCheckpoint.
+        let (_, mut cluster, mut ecc, dicts) = setup();
+        ecc.save(&mut cluster, &dicts).unwrap();
+        cluster.fail_node(3);
+        assert!(matches!(
+            ecc.update_worker(&mut cluster, 0, &dicts[0]),
+            Err(EcCheckError::Cluster(ecc_cluster::ClusterError::NodeDown { node: 3 }))
+        ));
+        // After replacement + load, updates work again.
+        cluster.replace_node(3);
+        ecc.load(&mut cluster).unwrap();
+        ecc.update_worker(&mut cluster, 0, &dicts[0]).unwrap();
+    }
+
+    #[test]
+    fn update_refuses_to_patch_corrupt_chunk() {
+        let (_, mut cluster, mut ecc, mut dicts) = setup();
+        ecc.save(&mut cluster, &dicts).unwrap();
+        // Corrupt the parity chunk on node 1 (placement: parity {1, 3}).
+        let key = crate::keys::chunk_key(1);
+        let mut blob = cluster.get_local(1, &key).unwrap().to_vec();
+        blob[7] ^= 0x01;
+        cluster.put_local(1, &key, blob).unwrap();
+        let updated = mutate(&dicts[2], 2);
+        // Patching would fold the corrupt bytes under a fresh checksum.
+        assert!(matches!(
+            ecc.update_worker(&mut cluster, 2, &updated),
+            Err(EcCheckError::CorruptChunk { node: 1 })
+        ));
+        // load() repairs the chunk; the update then applies cleanly and
+        // the new state survives failures.
+        ecc.load(&mut cluster).unwrap();
+        ecc.update_worker(&mut cluster, 2, &updated).unwrap();
+        dicts[2] = updated;
+        cluster.fail_node(0);
+        cluster.fail_node(2);
+        cluster.replace_node(0);
+        cluster.replace_node(2);
+        let (restored, _) = ecc.load(&mut cluster).unwrap();
+        assert_eq!(restored, dicts);
     }
 }
 

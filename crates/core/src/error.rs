@@ -10,16 +10,31 @@ pub enum EcCheckError {
         /// Human-readable description.
         detail: String,
     },
-    /// Too many nodes failed: fewer than `k` chunks survive and no remote
-    /// copy was requested (the catastrophic case of paper §III-A).
+    /// Too many nodes failed: fewer than `k` intact chunks survive (a
+    /// corrupted chunk counts as lost) and no usable remote copy exists
+    /// (the catastrophic case of paper §III-A), or a worker's header is
+    /// gone from every survivor.
     Unrecoverable {
-        /// Surviving chunk count.
+        /// Surviving intact chunk count.
         survivors: usize,
         /// Chunks needed.
         needed: usize,
+        /// Workers whose `state_dict` cannot be reconstructed: members
+        /// of data groups with no surviving (and undecodable) chunk,
+        /// or workers whose header vanished from every survivor. Empty
+        /// when the loss could not be attributed to specific workers.
+        lost_workers: Vec<usize>,
     },
     /// No checkpoint has been saved yet.
     NoCheckpoint,
+    /// A stored chunk failed its checksum during an in-place patch
+    /// ([`crate::EcCheck::update_worker`]). Run [`crate::EcCheck::load`]
+    /// first: it treats the corruption as an erasure and repairs the
+    /// chunk from the surviving ones.
+    CorruptChunk {
+        /// Node holding the corrupt chunk.
+        node: usize,
+    },
     /// An underlying erasure-coding failure.
     Erasure(ecc_erasure::ErasureError),
     /// An underlying checkpoint (de)serialization failure.
@@ -32,10 +47,20 @@ impl fmt::Display for EcCheckError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             EcCheckError::Config { detail } => write!(f, "configuration error: {detail}"),
-            EcCheckError::Unrecoverable { survivors, needed } => {
-                write!(f, "unrecoverable failure: only {survivors} chunks survive, {needed} needed")
+            EcCheckError::Unrecoverable { survivors, needed, lost_workers } => {
+                write!(
+                    f,
+                    "unrecoverable failure: only {survivors} intact chunks survive, {needed} needed"
+                )?;
+                if !lost_workers.is_empty() {
+                    write!(f, "; lost worker states: {lost_workers:?}")?;
+                }
+                Ok(())
             }
             EcCheckError::NoCheckpoint => write!(f, "no checkpoint has been saved"),
+            EcCheckError::CorruptChunk { node } => {
+                write!(f, "chunk on node {node} failed its checksum; run load() to repair it")
+            }
             EcCheckError::Erasure(e) => write!(f, "erasure coding: {e}"),
             EcCheckError::Checkpoint(e) => write!(f, "checkpoint: {e}"),
             EcCheckError::Cluster(e) => write!(f, "cluster: {e}"),

@@ -1,0 +1,156 @@
+//! The engine's blob-key namespace.
+//!
+//! Every blob the engine stores on the data plane lives under a
+//! versioned key built here. The helpers are public so fault-injection
+//! layers (e.g. `ecc-chaos`) and targeted tests can address a specific
+//! stored blob — a node's chunk, one worker's header, or the checksum
+//! frames guarding them — without duplicating format strings.
+
+/// Key of the (single) erasure-code chunk a node holds for `version`.
+pub fn chunk_key(version: u64) -> String {
+    format!("ecc/v{version}/chunk")
+}
+
+/// Key of the checksum frame guarding [`chunk_key`].
+pub fn chunk_crc_key(version: u64) -> String {
+    format!("ecc/v{version}/chunk.crc")
+}
+
+/// Key of `worker`'s broadcast decomposition header for `version`.
+pub fn header_key(version: u64, worker: usize) -> String {
+    format!("ecc/v{version}/hdr/{worker}")
+}
+
+/// Key of the checksum frame guarding [`header_key`].
+pub fn header_crc_key(version: u64, worker: usize) -> String {
+    format!("ecc/v{version}/hdr/{worker}.crc")
+}
+
+/// Key of the packet-layout manifest for `version`.
+pub fn manifest_key(version: u64) -> String {
+    format!("ecc/v{version}/manifest")
+}
+
+/// Remote-storage key of `node`'s chunk for `version`.
+pub fn remote_chunk_key(version: u64, node: usize) -> String {
+    format!("remote/ecc/v{version}/chunk/{node}")
+}
+
+/// Remote-storage key of the checksum frame guarding
+/// [`remote_chunk_key`].
+pub fn remote_chunk_crc_key(version: u64, node: usize) -> String {
+    format!("remote/ecc/v{version}/chunk/{node}.crc")
+}
+
+/// Remote-storage key of `worker`'s header for `version`.
+pub fn remote_header_key(version: u64, worker: usize) -> String {
+    format!("remote/ecc/v{version}/hdr/{worker}")
+}
+
+/// Remote-storage key of the checksum frame guarding
+/// [`remote_header_key`].
+pub fn remote_header_crc_key(version: u64, worker: usize) -> String {
+    format!("remote/ecc/v{version}/hdr/{worker}.crc")
+}
+
+/// Remote-storage key of the manifest for `version`.
+pub fn remote_manifest_key(version: u64) -> String {
+    format!("remote/ecc/v{version}/manifest")
+}
+
+/// `true` when `key` addresses a chunk blob or its checksum frame —
+/// the blobs whose loss or corruption consumes one unit of the code's
+/// `m`-failure budget. Used by fault-injection accounting.
+pub fn is_chunk_class(key: &str) -> bool {
+    key.contains("/chunk")
+}
+
+/// `true` when `key` addresses a header blob or its checksum frame
+/// (replicated on every node, so a single loss is survivable).
+pub fn is_header_class(key: &str) -> bool {
+    key.contains("/hdr/")
+}
+
+/// Extracts the worker a header-class key addresses, if any.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(eccheck::keys::header_worker(&eccheck::keys::header_key(2, 5)), Some(5));
+/// assert_eq!(eccheck::keys::header_worker(&eccheck::keys::header_crc_key(2, 5)), Some(5));
+/// assert_eq!(eccheck::keys::header_worker(&eccheck::keys::chunk_key(2)), None);
+/// ```
+pub fn header_worker(key: &str) -> Option<usize> {
+    let (_, tail) = key.split_once("/hdr/")?;
+    tail.strip_suffix(".crc").unwrap_or(tail).parse().ok()
+}
+
+/// Extracts the version a key addresses, if it is an engine key.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(eccheck::keys::key_version(&eccheck::keys::chunk_key(7)), Some(7));
+/// assert_eq!(eccheck::keys::key_version("unrelated"), None);
+/// ```
+pub fn key_version(key: &str) -> Option<u64> {
+    let tail = key.strip_prefix("remote/").unwrap_or(key);
+    let tail = tail.strip_prefix("ecc/v")?;
+    let end = tail.find('/')?;
+    tail[..end].parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_are_distinct_and_versioned() {
+        let keys = [
+            chunk_key(3),
+            chunk_crc_key(3),
+            header_key(3, 0),
+            header_crc_key(3, 0),
+            manifest_key(3),
+            remote_chunk_key(3, 1),
+            remote_chunk_crc_key(3, 1),
+            remote_header_key(3, 0),
+            remote_header_crc_key(3, 0),
+            remote_manifest_key(3),
+        ];
+        for (i, a) in keys.iter().enumerate() {
+            for b in &keys[i + 1..] {
+                assert_ne!(a, b);
+            }
+            assert_eq!(key_version(a), Some(3), "{a}");
+        }
+    }
+
+    #[test]
+    fn classification() {
+        assert!(is_chunk_class(&chunk_key(1)));
+        assert!(is_chunk_class(&chunk_crc_key(1)));
+        assert!(is_chunk_class(&remote_chunk_key(1, 0)));
+        assert!(!is_chunk_class(&header_key(1, 0)));
+        assert!(!is_chunk_class(&manifest_key(1)));
+        assert!(is_header_class(&header_key(1, 2)));
+        assert!(is_header_class(&header_crc_key(1, 2)));
+        assert!(!is_header_class(&chunk_key(1)));
+    }
+
+    #[test]
+    fn header_worker_extraction() {
+        assert_eq!(header_worker(&header_key(4, 11)), Some(11));
+        assert_eq!(header_worker(&header_crc_key(4, 11)), Some(11));
+        assert_eq!(header_worker(&remote_header_key(4, 3)), Some(3));
+        assert_eq!(header_worker(&chunk_key(4)), None);
+        assert_eq!(header_worker("ecc/v1/hdr/notanumber"), None);
+    }
+
+    #[test]
+    fn version_extraction_rejects_garbage() {
+        assert_eq!(key_version("ecc/vX/chunk"), None);
+        assert_eq!(key_version("ecc/v12"), None);
+        assert_eq!(key_version(""), None);
+    }
+}

@@ -62,6 +62,7 @@ mod config;
 mod engine;
 mod error;
 mod groups;
+pub mod keys;
 mod placement;
 mod reduction;
 mod report;

@@ -41,10 +41,20 @@ pub struct LoadReport {
     pub version: u64,
     /// The workflow that ran.
     pub workflow: RecoveryWorkflow,
-    /// Nodes that had lost their chunk (dead or replaced).
+    /// Nodes that had lost their chunk (dead, replaced, or holding a
+    /// corrupted blob that was reclassified as an erasure).
     pub failed_nodes: Vec<NodeId>,
+    /// Nodes whose chunk was present but failed its checksum — a
+    /// subset of `failed_nodes`. Silent corruption the engine caught
+    /// and treated as an erasure instead of decoding into garbage.
+    pub corrupt_nodes: Vec<NodeId>,
     /// Chunks reconstructed by decoding or re-encoding.
     pub rebuilt_chunks: usize,
+    /// Nodes that could not be re-seeded with their chunk during the
+    /// restore-fault-tolerance phase (they died mid-recovery). The
+    /// returned state is still correct; these nodes regain their chunk
+    /// on the next save or load.
+    pub restore_skipped: Vec<NodeId>,
     /// Total bytes of restored `state_dict` tensor data.
     pub restored_bytes: u64,
 }

@@ -7,6 +7,7 @@
 
 use std::collections::BTreeMap;
 
+use ecc_chaos::{run_campaign, CampaignConfig, ChaosConfig, ChaosPlane};
 use ecc_cluster::{Cluster, ClusterSpec, FailureModel};
 use ecc_dnn::{build_worker_state_dict, ModelConfig, ParallelismSpec, StateDictSpec};
 use eccheck::{EcCheck, EcCheckConfig, EcCheckError};
@@ -103,6 +104,80 @@ fn random_failure_bursts_never_corrupt_state() {
     // With p = 0.35 both outcomes must actually occur.
     assert!(outcomes.0 > 5, "too few recoveries: {outcomes:?}");
     assert!(outcomes.1 > 1, "too few refusals: {outcomes:?}");
+}
+
+#[test]
+fn crash_between_gather_and_restore_is_survivable() {
+    let spec = ClusterSpec::tiny_test(4, 2);
+    let mut plane = ChaosPlane::new(Cluster::new(spec), ChaosConfig::quiet(7));
+    let mut ecc = EcCheck::initialize(
+        &spec,
+        EcCheckConfig::paper_defaults().with_packet_size(2048).with_remote_flush_every(0),
+    )
+    .unwrap();
+    let current = dicts(1);
+    ecc.save(&mut plane, &current).unwrap();
+
+    // The gather phase reads two blobs per node plus two per worker
+    // header (8 + 16 ops on this testbed); 30 storage ops into the
+    // load, the engine has gathered everything and is re-seeding
+    // node 0 — the fault-tolerant-restore window.
+    plane.schedule_crash_at_op(0, plane.op() + 30);
+    let (restored, report) = ecc.load(&mut plane).unwrap();
+    assert_eq!(restored, current, "mid-load crash corrupted the restored state");
+    assert_eq!(report.restore_skipped, vec![0]);
+
+    // The node comes back empty (volatile memory), like a replacement
+    // node; the next load treats its missing chunk as an erasure and
+    // re-seeds it.
+    plane.heal(0);
+    let (again, report2) = ecc.load(&mut plane).unwrap();
+    assert_eq!(again, current);
+    assert!(report2.failed_nodes.contains(&0));
+    assert!(report2.restore_skipped.is_empty());
+}
+
+#[test]
+fn transient_read_outages_are_absorbed_by_bounded_retries() {
+    let spec = ClusterSpec::tiny_test(4, 2);
+    // Every blob's first read fails once; the engine's bounded retry
+    // budget (2) must absorb the outage without declaring any node
+    // failed.
+    let mut plane =
+        ChaosPlane::new(Cluster::new(spec), ChaosConfig::quiet(3).with_transient_get(1.0, 1));
+    let mut ecc = EcCheck::initialize(
+        &spec,
+        EcCheckConfig::paper_defaults()
+            .with_packet_size(2048)
+            .with_remote_flush_every(0)
+            .with_fetch_retries(2),
+    )
+    .unwrap();
+    plane.set_recorder(ecc.recorder().clone());
+    let current = dicts(2);
+    ecc.save(&mut plane, &current).unwrap();
+
+    let (restored, report) = ecc.load(&mut plane).unwrap();
+    assert_eq!(restored, current);
+    assert!(report.failed_nodes.is_empty(), "transients misread as failures");
+    let snap = ecc.recorder().snapshot();
+    assert!(snap.counter("ecc.load.fetch_retries") > 0, "no retry was ever needed?");
+    assert!(snap.counter("chaos.fault.transient_get") > 0);
+}
+
+#[test]
+fn seeded_chaos_campaigns_uphold_recovery_contract() {
+    let cfg = CampaignConfig::standard();
+    let (mut recovered, mut refused) = (0usize, 0usize);
+    for seed in 0..6 {
+        let report = run_campaign(&cfg, seed);
+        assert!(report.passed(), "seed {seed} violations: {:?}", report.violations);
+        recovered += report.recovered();
+        refused += report.refused();
+    }
+    // The matrix must exercise both halves of the contract.
+    assert!(recovered > 0, "no campaign round ever recovered");
+    assert!(refused > 0, "no campaign round ever refused");
 }
 
 #[test]

@@ -1,11 +1,27 @@
 //! Cross-crate invariants, property-tested: traffic accounting, failure
 //! sampling vs closed-form reliability, and code-level recoverability.
 
-use ecc_cluster::{ClusterSpec, FailureModel};
+use ecc_checkpoint::{StateDict, Value};
+use ecc_cluster::{Cluster, ClusterSpec, FailureModel};
 use ecc_erasure::{CodeParams, ErasureCode};
 use ecc_reliability::{ec_recovery, monte_carlo_recovery, replication_pairs_recovery};
-use eccheck::{select_data_parity_nodes, ReductionPlan};
+use eccheck::{select_data_parity_nodes, EcCheck, EcCheckConfig, EcCheckError, ReductionPlan};
 use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Small, shape-diverse worker states for end-to-end engine proptests.
+fn engine_dicts(world: usize) -> Vec<StateDict> {
+    (0..world)
+        .map(|w| {
+            let mut sd = StateDict::new();
+            sd.insert("rank", Value::Int(w as i64));
+            sd.insert("payload", Value::Bytes(vec![w as u8 ^ 0x5A; 40 + (w * 13) % 80]));
+            sd
+        })
+        .collect()
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -90,6 +106,93 @@ proptest! {
         let lower: usize = k * group.saturating_sub(g);
         prop_assert!(cost >= lower);
         prop_assert!(cost <= world);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The paper's headline guarantee, end to end through the real
+    /// engine: on *every* (k, m, g) shape, losing exactly `m` nodes —
+    /// any `m`, the worst case the code is sized for — restores the
+    /// checkpoint bit-exactly.
+    #[test]
+    fn exactly_m_node_failures_always_recover(
+        k in 1usize..5,
+        m in 1usize..4,
+        g in 1usize..4,
+        sel in any::<u64>(),
+    ) {
+        let nodes = k + m;
+        let spec = ClusterSpec::tiny_test(nodes, g);
+        prop_assume!(spec.world_size().is_multiple_of(k));
+        let mut cluster = Cluster::new(spec);
+        let mut ecc = EcCheck::initialize(
+            &spec,
+            EcCheckConfig::paper_defaults()
+                .with_km(k, m)
+                .with_packet_size(256)
+                .with_coding_threads(1)
+                .with_remote_flush_every(0),
+        )
+        .unwrap();
+        let dicts = engine_dicts(spec.world_size());
+        ecc.save(&mut cluster, &dicts).unwrap();
+
+        // Fail exactly m nodes, the subset chosen by `sel`.
+        let mut order: Vec<usize> = (0..nodes).collect();
+        order.shuffle(&mut StdRng::seed_from_u64(sel));
+        for &n in &order[..m] {
+            cluster.fail_node(n);
+            cluster.replace_node(n);
+        }
+
+        let (restored, report) = ecc.load(&mut cluster).unwrap();
+        prop_assert_eq!(restored, dicts);
+        prop_assert_eq!(report.failed_nodes.len(), m);
+    }
+
+    /// And one loss beyond the budget refuses cleanly: a structured
+    /// `Unrecoverable` naming lost workers — never garbage.
+    #[test]
+    fn m_plus_one_failures_refuse_cleanly(
+        k in 1usize..5,
+        m in 1usize..4,
+        g in 1usize..4,
+        sel in any::<u64>(),
+    ) {
+        let nodes = k + m;
+        let spec = ClusterSpec::tiny_test(nodes, g);
+        prop_assume!(spec.world_size().is_multiple_of(k));
+        let mut cluster = Cluster::new(spec);
+        let mut ecc = EcCheck::initialize(
+            &spec,
+            EcCheckConfig::paper_defaults()
+                .with_km(k, m)
+                .with_packet_size(256)
+                .with_coding_threads(1)
+                .with_remote_flush_every(0),
+        )
+        .unwrap();
+        let dicts = engine_dicts(spec.world_size());
+        ecc.save(&mut cluster, &dicts).unwrap();
+
+        let mut order: Vec<usize> = (0..nodes).collect();
+        order.shuffle(&mut StdRng::seed_from_u64(sel));
+        for &n in &order[..m + 1] {
+            cluster.fail_node(n);
+            cluster.replace_node(n);
+        }
+
+        match ecc.load(&mut cluster) {
+            Err(EcCheckError::Unrecoverable { survivors, needed, lost_workers }) => {
+                prop_assert_eq!(survivors, k - 1);
+                prop_assert_eq!(needed, k);
+                // m+1 failures among k+m nodes always hit >= 1 data node.
+                prop_assert!(!lost_workers.is_empty());
+            }
+            other => prop_assert!(false, "expected Unrecoverable, got {:?}", other.map(|r| r.1)),
+        }
     }
 }
 
