@@ -1,0 +1,85 @@
+//! `kernel-bench`: the coding-kernel sweep behind `BENCH_PR4.json`.
+//!
+//! Measures every available coding kernel (scalar, and whichever SIMD
+//! paths the host CPU supports) over `xor`/`mul`/`mul_xor` at the
+//! standard region sizes, plus the pooled systematic encode on the
+//! standard `(k, m, w)` shapes, and reports GB/s and each kernel's
+//! speedup over scalar. See `DESIGN.md` §11 and the README "Performance"
+//! section for how to read the numbers.
+//!
+//! Flags: `--out <path>` (default `BENCH_PR4.json`) for the JSON
+//! report, `--summary <path>` to also write a GitHub-flavoured-markdown
+//! summary (CI appends it to the job summary). Exits non-zero when the
+//! dispatched kernel measurably loses to scalar anywhere in the sweep.
+
+use std::process::ExitCode;
+
+use ecc_bench::{arg_value, fmt_bytes, print_table, KernelBenchReport};
+
+fn main() -> ExitCode {
+    let out = arg_value("--out").unwrap_or_else(|| "BENCH_PR4.json".to_string());
+    println!("# kernel-bench: coding-kernel sweep\n");
+    let report = KernelBenchReport::collect();
+    println!(
+        "arch {}, selected kernel {}, available [{}]\n",
+        report.arch,
+        report.selected,
+        report.kernels.join(", ")
+    );
+
+    let rows: Vec<Vec<String>> = report
+        .regions
+        .iter()
+        .map(|r| {
+            vec![
+                r.op.clone(),
+                fmt_bytes(r.region_bytes as u64),
+                r.kernel.clone(),
+                format!("{:.2}", r.gbps),
+                format!("{:.2}x", r.speedup_vs_scalar),
+            ]
+        })
+        .collect();
+    print_table(&["op", "region", "kernel", "GB/s", "vs scalar"], &rows);
+    println!();
+
+    let rows: Vec<Vec<String>> = report
+        .encodes
+        .iter()
+        .map(|e| {
+            vec![
+                format!("({},{},{})", e.k, e.m, e.w),
+                fmt_bytes(e.chunk_bytes as u64),
+                e.kernel.clone(),
+                format!("{:.2}", e.gbps),
+                format!("{:.2}x", e.speedup_vs_scalar),
+            ]
+        })
+        .collect();
+    print_table(&["encode shape", "chunk", "kernel", "GB/s", "vs scalar"], &rows);
+    println!("\nbest dispatched speedup vs scalar: {:.2}x", report.best_dispatch_speedup());
+
+    if let Err(err) = std::fs::write(&out, report.to_json()) {
+        eprintln!("could not write {out}: {err}");
+        return ExitCode::FAILURE;
+    }
+    println!("report written to {out}");
+
+    if let Some(path) = arg_value("--summary") {
+        if let Err(err) = std::fs::write(&path, report.summary_markdown()) {
+            eprintln!("could not write {path}: {err}");
+            return ExitCode::FAILURE;
+        }
+        println!("markdown summary written to {path}");
+    }
+
+    let regressions = report.dispatch_regressions();
+    if !regressions.is_empty() {
+        eprintln!("\nFAIL: dispatched kernel slower than scalar:");
+        for r in &regressions {
+            eprintln!("  {r}");
+        }
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

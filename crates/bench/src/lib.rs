@@ -9,10 +9,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod kernelbench;
 mod perf;
 mod telemetry;
 mod trace;
 
+pub use kernelbench::{EncodePerf, KernelBenchReport, RegionOpPerf, DEFAULT_REGION_SIZES};
 pub use perf::{PerfReport, ShapePerf};
 pub use telemetry::{print_live_telemetry, print_schedule_comparison};
 pub use trace::{

@@ -14,6 +14,7 @@ pub(crate) struct CodeMetrics {
     pub(crate) encode_bytes: Counter,
     pub(crate) encode_parity_bytes: Counter,
     pub(crate) encode_xor_ops: Counter,
+    pub(crate) kernel_bytes: Counter,
     decode_calls: Counter,
     decode_bytes: Counter,
     decode_rebuilt_chunks: Counter,
@@ -28,12 +29,22 @@ impl CodeMetrics {
             encode_bytes: recorder.counter("erasure.encode.bytes"),
             encode_parity_bytes: recorder.counter("erasure.encode.parity_bytes"),
             encode_xor_ops: recorder.counter("erasure.encode.xor_ops"),
+            kernel_bytes: kernel_bytes_counter(recorder),
             decode_calls: recorder.counter("erasure.decode.calls"),
             decode_bytes: recorder.counter("erasure.decode.bytes"),
             decode_rebuilt_chunks: recorder.counter("erasure.decode.rebuilt_chunks"),
             decode_xor_ops: recorder.counter("erasure.decode.xor_ops"),
         }
     }
+}
+
+/// Per-kernel byte counter (`kernel.<name>.bytes`), plus a one-shot
+/// `kernel.selected` event so traces show which SIMD path ran. The name
+/// is resolved at attach time from the dispatched kernel.
+pub(crate) fn kernel_bytes_counter(recorder: &Recorder) -> Counter {
+    let name = ecc_gf::kernel::active_kernel().name();
+    recorder.event("kernel.selected", name);
+    recorder.counter(&format!("kernel.{name}.bytes"))
 }
 
 /// A systematic `(k + m, k)` erasure code operating on byte regions.
@@ -223,10 +234,12 @@ impl ErasureCode {
         drop(span);
         drop(timer);
         if let Some(m) = &self.metrics {
+            let payload: u64 = data.iter().map(|c| c.len() as u64).sum();
             m.encode_calls.incr();
-            m.encode_bytes.add(data.iter().map(|c| c.len() as u64).sum());
+            m.encode_bytes.add(payload);
             m.encode_parity_bytes.add(parity.iter().map(|c| c.len() as u64).sum());
             m.encode_xor_ops.add(self.schedule(kind).xor_count() as u64);
+            m.kernel_bytes.add(payload);
         }
         Ok(parity)
     }
@@ -286,6 +299,7 @@ impl ErasureCode {
             m.decode_calls.incr();
             m.decode_bytes.add((k * survivor_slices[0].len()) as u64);
             m.decode_rebuilt_chunks.add(missing.len() as u64);
+            m.kernel_bytes.add((k * survivor_slices[0].len()) as u64);
         }
         Ok(out.into_iter().map(|c| c.expect("all data chunks filled")).collect())
     }
@@ -412,6 +426,25 @@ pub(crate) fn run_schedule_on(
         .collect()
 }
 
+/// Cache-blocking target for one schedule pass: the working set of a
+/// block — one block-sized slice of every data *and* parity sub-packet,
+/// `(k + m)·w·block` bytes — should fit comfortably in L2 so parity lines
+/// and kernel tables stay resident across the whole op list instead of
+/// being streamed out between ops.
+const L2_BLOCK_TARGET: usize = 128 * 1024;
+
+/// Minimum block size; below this the per-op slicing overhead outweighs
+/// any locality win, so small stripes run as a single block.
+const MIN_BLOCK: usize = 4096;
+
+/// Block length (bytes of each sub-packet per pass) for a `(k, m, w)`
+/// schedule, cache-line aligned.
+fn schedule_block_len(k: usize, m: usize, w: usize) -> usize {
+    let subpackets = ((k + m) * w).max(1);
+    let raw = (L2_BLOCK_TARGET / subpackets).max(MIN_BLOCK);
+    (raw + 63) & !63
+}
+
 /// Executes a schedule over the byte range `[lo, hi)` of every sub-packet.
 ///
 /// Because XOR schedules act independently on each byte column, executing
@@ -419,6 +452,11 @@ pub(crate) fn run_schedule_on(
 /// identical to a single full-width execution — this is the primitive the
 /// paper's thread-pool technique (§IV-A) is built on. Returns the `m·w`
 /// parity sub-packet stripes, each `hi - lo` bytes.
+///
+/// Internally the stripe is processed in L2-sized blocks (the full op
+/// list runs per block before advancing — see [`schedule_block_len`]);
+/// since every op is column-wise this is bit-identical to one full-width
+/// pass, property-tested in `tests/kernel_equiv_prop.rs`.
 pub(crate) fn run_schedule_stripe(
     schedule: &XorSchedule,
     sources: &[&[u8]],
@@ -432,27 +470,37 @@ pub(crate) fn run_schedule_stripe(
     let stripe = hi - lo;
     let parity_base = k * w;
     let mut parity_subs: Vec<Vec<u8>> = vec![vec![0u8; stripe]; m * w];
-    for op in schedule.ops() {
-        let dst = op.dst() - parity_base;
-        let src = op.src();
-        if src < parity_base {
-            let base = (src % w) * ps;
-            let src_slice = &sources[src / w][base + lo..base + hi];
-            match op {
-                XorOp::Copy { .. } => region::copy_into(&mut parity_subs[dst], src_slice),
-                XorOp::Xor { .. } => region::xor_into(&mut parity_subs[dst], src_slice),
-            }
-        } else {
-            let src_idx = src - parity_base;
-            debug_assert_ne!(src_idx, dst, "schedule must not read its own destination");
-            let [s, d] = parity_subs
-                .get_disjoint_mut([src_idx, dst])
-                .expect("schedule indices are distinct and in range");
-            match op {
-                XorOp::Copy { .. } => region::copy_into(d, s),
-                XorOp::Xor { .. } => region::xor_into(d, s),
+    let block = schedule_block_len(k, m, w);
+    let mut blo = 0usize;
+    while blo < stripe {
+        let bhi = (blo + block).min(stripe);
+        for op in schedule.ops() {
+            let dst = op.dst() - parity_base;
+            let src = op.src();
+            if src < parity_base {
+                let base = (src % w) * ps + lo;
+                let src_slice = &sources[src / w][base + blo..base + bhi];
+                match op {
+                    XorOp::Copy { .. } => {
+                        region::copy_into(&mut parity_subs[dst][blo..bhi], src_slice)
+                    }
+                    XorOp::Xor { .. } => {
+                        region::xor_into(&mut parity_subs[dst][blo..bhi], src_slice)
+                    }
+                }
+            } else {
+                let src_idx = src - parity_base;
+                debug_assert_ne!(src_idx, dst, "schedule must not read its own destination");
+                let [s, d] = parity_subs
+                    .get_disjoint_mut([src_idx, dst])
+                    .expect("schedule indices are distinct and in range");
+                match op {
+                    XorOp::Copy { .. } => region::copy_into(&mut d[blo..bhi], &s[blo..bhi]),
+                    XorOp::Xor { .. } => region::xor_into(&mut d[blo..bhi], &s[blo..bhi]),
+                }
             }
         }
+        blo = bhi;
     }
     parity_subs
 }

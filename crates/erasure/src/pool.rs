@@ -27,6 +27,7 @@ struct PoolMetrics {
     encode_xor_ops: Counter,
     encode_stripes: Counter,
     decode_stripes: Counter,
+    kernel_bytes: Counter,
 }
 
 impl PoolMetrics {
@@ -39,6 +40,7 @@ impl PoolMetrics {
             encode_xor_ops: recorder.counter("erasure.encode.xor_ops"),
             encode_stripes: recorder.counter("pool.encode.stripes"),
             decode_stripes: recorder.counter("pool.decode.stripes"),
+            kernel_bytes: crate::code::kernel_bytes_counter(recorder),
         }
     }
 }
@@ -237,11 +239,13 @@ impl CodingPool {
         }
         drop(timer);
         if let Some(metrics) = &self.metrics {
+            let payload: u64 = data.iter().map(|c| c.len() as u64).sum();
             metrics.encode_calls.incr();
-            metrics.encode_bytes.add(data.iter().map(|c| c.len() as u64).sum());
+            metrics.encode_bytes.add(payload);
             metrics.encode_parity_bytes.add(parity.iter().map(|c| c.len() as u64).sum());
             metrics.encode_xor_ops.add(schedule.xor_count() as u64);
             metrics.encode_stripes.add(bounds.len() as u64);
+            metrics.kernel_bytes.add(payload);
         }
         Ok(parity)
     }
@@ -256,14 +260,34 @@ impl Default for CodingPool {
     }
 }
 
+/// Minimum bytes a stripe worker is worth spawning for; also the floor
+/// for the trailing remainder stripe.
+const MIN_STRIPE: usize = 64;
+
 /// Stripe length per thread, 8-byte aligned; 0 when the region is too
 /// small to be worth splitting.
+///
+/// The effective parallelism is *clamped* so no worker receives an empty
+/// or degenerate stripe: splitting `total` into 8-byte-aligned stripes
+/// can leave a tiny remainder for the last thread (down to a handful of
+/// bytes when `total` is small relative to `threads`), so the thread
+/// count is walked down until every stripe — including the remainder —
+/// is at least [`MIN_STRIPE`] bytes, falling back to a serial (0) split
+/// when no such partition exists.
 fn stripe_len(total: usize, threads: usize) -> usize {
-    if total < threads * 64 {
+    if threads <= 1 || total < 2 * MIN_STRIPE {
         return 0;
     }
-    let raw = total.div_ceil(threads);
-    (raw + 7) & !7
+    let mut count = threads.min(total / MIN_STRIPE);
+    while count > 1 {
+        let stripe = (total.div_ceil(count) + 7) & !7;
+        let remainder = total % stripe;
+        if remainder == 0 || remainder >= MIN_STRIPE {
+            return stripe;
+        }
+        count -= 1;
+    }
+    0
 }
 
 #[cfg(test)]
@@ -351,6 +375,50 @@ mod tests {
                     assert!(s * threads >= total);
                 }
             }
+        }
+    }
+
+    /// Regression: with `total` small relative to `threads`, the 8-byte
+    /// rounding used to leave the last thread a degenerate remainder
+    /// stripe (as small as 2 bytes, e.g. total=514 over 8 threads →
+    /// stripe 72, remainder 10). Effective parallelism must be clamped
+    /// so every stripe — the remainder included — is a real unit of
+    /// work, and the stripe count never exceeds the thread budget.
+    #[test]
+    fn stripe_len_never_degenerates_the_remainder() {
+        for total in (2..2048usize).chain([4097, 10_000, 65_521]) {
+            for threads in [2usize, 3, 4, 7, 8, 16, 64] {
+                let s = stripe_len(total, threads);
+                if s == 0 {
+                    continue;
+                }
+                assert_eq!(s % 8, 0, "total={total} threads={threads}");
+                let stripes = total.div_ceil(s);
+                assert!(stripes <= threads, "total={total} threads={threads}: {stripes} stripes");
+                let remainder = total % s;
+                assert!(
+                    remainder == 0 || remainder >= MIN_STRIPE,
+                    "total={total} threads={threads}: degenerate {remainder}-byte stripe"
+                );
+            }
+        }
+        // The motivating case: 514 bytes over 8 threads.
+        let s = stripe_len(514, 8);
+        assert!(s == 0 || 514 % s == 0 || 514 % s >= MIN_STRIPE);
+    }
+
+    /// The clamp must not change results: pooled ops stay bit-identical
+    /// to serial ones on the lengths that used to produce degenerate
+    /// remainder stripes.
+    #[test]
+    fn degenerate_remainder_lengths_stay_bit_identical() {
+        for total in [514usize, 520, 1032, 2056] {
+            let src = random_bytes(total, 21);
+            let mut serial = random_bytes(total, 22);
+            let mut parallel = serial.clone();
+            region::xor_into(&mut serial, &src);
+            CodingPool::new(8).xor_into(&mut parallel, &src);
+            assert_eq!(serial, parallel, "total={total}");
         }
     }
 }

@@ -6,25 +6,19 @@
 //! by a single generator coefficient (`e_ij · d`, paper Fig. 6) before the
 //! cross-node XOR reduction.
 
+use ecc_gf::kernel::{active_kernel, Split8};
 use ecc_gf::{GaloisField, GfError};
 
-/// XORs `src` into `dst` (`dst[i] ^= src[i]`), processing 8 bytes per step.
+/// XORs `src` into `dst` (`dst[i] ^= src[i]`) through the dispatched
+/// SIMD kernel ([`ecc_gf::kernel::active_kernel`]): AVX2/SSSE3/NEON wide
+/// XOR where the CPU supports it, an unrolled `u64` block loop otherwise.
 ///
 /// # Panics
 ///
 /// Panics when the slices have different lengths.
 pub fn xor_into(dst: &mut [u8], src: &[u8]) {
     assert_eq!(dst.len(), src.len(), "xor_into requires equal-length slices");
-    let mut dst_words = dst.chunks_exact_mut(8);
-    let mut src_words = src.chunks_exact(8);
-    for (d, s) in dst_words.by_ref().zip(src_words.by_ref()) {
-        let v = u64::from_ne_bytes(d.try_into().expect("8-byte chunk"))
-            ^ u64::from_ne_bytes(s.try_into().expect("8-byte chunk"));
-        d.copy_from_slice(&v.to_ne_bytes());
-    }
-    for (d, s) in dst_words.into_remainder().iter_mut().zip(src_words.remainder()) {
-        *d ^= *s;
-    }
+    active_kernel().xor_into(dst, src);
 }
 
 /// Copies `src` into `dst`.
@@ -37,12 +31,19 @@ pub fn copy_into(dst: &mut [u8], src: &[u8]) {
     dst.copy_from_slice(src);
 }
 
-/// A 256-entry multiplication table for one GF(2^8) coefficient.
+/// Multiplication tables for one GF(2^8) coefficient.
 ///
-/// `table[b] == coef · b` in GF(2^8). Mapping a byte region through the
-/// table multiplies the whole region by the coefficient — the classic
-/// log/exp-free inner loop for w = 8, and the unit of work ECCheck's
-/// thread pool splits across cores.
+/// Logically `table[b] == coef · b` in GF(2^8): mapping a byte region
+/// through the table multiplies the whole region by the coefficient —
+/// the log/exp-free inner loop for w = 8, and the unit of work ECCheck's
+/// thread pool splits across cores. Internally the table is stored in
+/// the split nibble-table layout ([`ecc_gf::Split8`]) so [`apply`] and
+/// [`apply_xor`] run through the dispatched SIMD kernel (`pshufb`-style
+/// 16-byte-at-a-time lookups on x86_64/aarch64, a flat 256-entry table
+/// on the scalar fallback).
+///
+/// [`apply`]: MulTable::apply
+/// [`apply_xor`]: MulTable::apply_xor
 ///
 /// # Examples
 ///
@@ -61,7 +62,7 @@ pub fn copy_into(dst: &mut [u8], src: &[u8]) {
 #[derive(Debug, Clone)]
 pub struct MulTable {
     coef: u16,
-    table: [u8; 256],
+    split: Split8,
 }
 
 impl MulTable {
@@ -73,22 +74,18 @@ impl MulTable {
     /// (table lookup per byte only makes sense for w = 8) and
     /// [`GfError::ElementOutOfRange`] when `coef` is not a field element.
     pub fn new(gf: &GaloisField, coef: u16) -> Result<Self, GfError> {
-        if gf.w() != 8 {
-            return Err(GfError::UnsupportedWidth { w: gf.w() });
-        }
-        if !gf.contains(coef) {
-            return Err(GfError::ElementOutOfRange { element: coef, w: gf.w() });
-        }
-        let mut table = [0u8; 256];
-        for (b, entry) in table.iter_mut().enumerate() {
-            *entry = gf.mul(coef, b as u16) as u8;
-        }
-        Ok(Self { coef, table })
+        Ok(Self { coef, split: Split8::new(gf, coef)? })
     }
 
     /// The coefficient this table multiplies by.
     pub fn coef(&self) -> u16 {
         self.coef
+    }
+
+    /// The underlying split nibble tables, for callers that drive a
+    /// [`ecc_gf::Kernel`] directly (e.g. the kernel bench harness).
+    pub fn split(&self) -> &Split8 {
+        &self.split
     }
 
     /// `dst[i] = coef · src[i]`.
@@ -98,9 +95,7 @@ impl MulTable {
     /// Panics when the slices have different lengths.
     pub fn apply(&self, src: &[u8], dst: &mut [u8]) {
         assert_eq!(src.len(), dst.len(), "apply requires equal-length slices");
-        for (d, &s) in dst.iter_mut().zip(src) {
-            *d = self.table[s as usize];
-        }
+        active_kernel().mul(&self.split, src, dst);
     }
 
     /// `dst[i] ^= coef · src[i]` — multiply-accumulate, the inner loop of
@@ -111,9 +106,7 @@ impl MulTable {
     /// Panics when the slices have different lengths.
     pub fn apply_xor(&self, src: &[u8], dst: &mut [u8]) {
         assert_eq!(src.len(), dst.len(), "apply_xor requires equal-length slices");
-        for (d, &s) in dst.iter_mut().zip(src) {
-            *d ^= self.table[s as usize];
-        }
+        active_kernel().mul_xor(&self.split, src, dst);
     }
 }
 

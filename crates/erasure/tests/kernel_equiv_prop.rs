@@ -1,0 +1,164 @@
+//! Kernel-equivalence property suite.
+//!
+//! Every SIMD/blocked coding path must be **bit-identical** to the
+//! portable scalar reference, on arbitrary lengths — including unaligned
+//! tails and regions shorter than one SIMD block — and the pool-striped
+//! encode must be bit-identical to a single-threaded encode under every
+//! kernel. These invariants are what let the dispatcher swap kernels
+//! freely at startup without changing any checkpoint bit.
+//!
+//! Kernel forcing mutates process-global dispatch state, so all
+//! force-driven sweeps live in sequential loops inside single test
+//! functions (never relying on a forced kernel surviving across tests).
+
+use ecc_erasure::{CodeParams, CodingPool, ErasureCode, MulTable};
+use ecc_gf::kernel::{available_kernels, force_kernel, ScalarKernel, Split8};
+use ecc_gf::{GaloisField, Kernel};
+use proptest::prelude::*;
+use rand::prelude::*;
+
+fn random_bytes(len: usize, seed: u64) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut v = vec![0u8; len];
+    rng.fill_bytes(&mut v);
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Direct kernel ops agree with scalar on arbitrary lengths and
+    /// coefficients (covers unaligned tails and len < one SIMD block).
+    #[test]
+    fn prop_kernels_match_scalar_on_arbitrary_regions(
+        len in 0usize..700,
+        coef in 0u16..256,
+        seed in any::<u64>(),
+    ) {
+        let gf = GaloisField::new(8).unwrap();
+        let t = Split8::new(&gf, coef).unwrap();
+        let src = random_bytes(len, seed);
+        let acc = random_bytes(len, seed.wrapping_add(1));
+
+        let mut want_xor = acc.clone();
+        ScalarKernel.xor_into(&mut want_xor, &src);
+        let mut want_mul = vec![0u8; len];
+        ScalarKernel.mul(&t, &src, &mut want_mul);
+        let mut want_mac = acc.clone();
+        ScalarKernel.mul_xor(&t, &src, &mut want_mac);
+
+        for kernel in available_kernels() {
+            let mut got = acc.clone();
+            kernel.xor_into(&mut got, &src);
+            prop_assert_eq!(&got, &want_xor, "{} xor_into len={}", kernel.name(), len);
+            let mut got = vec![0u8; len];
+            kernel.mul(&t, &src, &mut got);
+            prop_assert_eq!(&got, &want_mul, "{} mul len={}", kernel.name(), len);
+            let mut got = acc.clone();
+            kernel.mul_xor(&t, &src, &mut got);
+            prop_assert_eq!(&got, &want_mac, "{} mul_xor len={}", kernel.name(), len);
+        }
+    }
+
+    /// The blocked stripe executor and the thread pool change nothing:
+    /// for arbitrary payloads, pooled encode == serial encode, and the
+    /// round trip through decode recovers the data bit-exactly under the
+    /// auto-dispatched kernel.
+    #[test]
+    fn prop_pooled_encode_is_bit_identical_and_decodable(
+        seed in any::<u64>(),
+        chunks in 1usize..40,
+        threads in 1usize..9,
+    ) {
+        let code = ErasureCode::cauchy_good(CodeParams::new(3, 2, 8).unwrap()).unwrap();
+        let len = chunks * code.params().alignment();
+        let data: Vec<Vec<u8>> = (0..3).map(|i| random_bytes(len, seed ^ i)).collect();
+        let refs: Vec<&[u8]> = data.iter().map(Vec::as_slice).collect();
+        let serial = code.encode(&refs).unwrap();
+        let pooled = CodingPool::new(threads).encode(&code, &refs).unwrap();
+        prop_assert_eq!(&pooled, &serial, "threads={}", threads);
+
+        let shards: Vec<Option<&[u8]>> =
+            vec![None, Some(&data[1]), None, Some(&serial[0]), Some(&serial[1])];
+        prop_assert_eq!(code.decode(&shards).unwrap(), data);
+    }
+}
+
+/// Pool-striped encode is bit-identical to single-threaded encode under
+/// **every** available kernel, across shapes and lengths chosen to
+/// exercise blocked stripes, sub-block stripes and remainder clamping.
+#[test]
+fn pooled_encode_bit_identical_across_kernels() {
+    let before = ecc_gf::kernel::active_kernel().name();
+    let shapes = [(2usize, 2usize), (4, 2), (8, 4)];
+    // 64 B chunks (ps = 8, below any split), ~512 KiB chunks (many L2
+    // blocks per stripe) and an odd multiple of the alignment.
+    let lens = [64usize, 8 * 8192, 64 * 999];
+    for &(k, m) in &shapes {
+        let code = ErasureCode::cauchy_good(CodeParams::new(k, m, 8).unwrap()).unwrap();
+        for &len in &lens {
+            let data: Vec<Vec<u8>> =
+                (0..k).map(|i| random_bytes(len, (k * m * len) as u64 ^ i as u64)).collect();
+            let refs: Vec<&[u8]> = data.iter().map(Vec::as_slice).collect();
+            force_kernel("scalar").unwrap();
+            let reference = code.encode(&refs).unwrap();
+            for kernel in available_kernels() {
+                force_kernel(kernel.name()).unwrap();
+                let serial = code.encode(&refs).unwrap();
+                assert_eq!(
+                    serial,
+                    reference,
+                    "serial encode diverges under {} (k={k} m={m} len={len})",
+                    kernel.name()
+                );
+                for threads in [1usize, 3, 8] {
+                    let pooled = CodingPool::new(threads).encode(&code, &refs).unwrap();
+                    assert_eq!(
+                        pooled,
+                        reference,
+                        "pooled encode diverges under {} (k={k} m={m} len={len} threads={threads})",
+                        kernel.name()
+                    );
+                }
+            }
+        }
+    }
+    force_kernel(before).unwrap();
+}
+
+/// Pooled decode and `MulTable` region ops are likewise kernel-invariant.
+#[test]
+fn pooled_decode_and_multable_bit_identical_across_kernels() {
+    let before = ecc_gf::kernel::active_kernel().name();
+    let gf = GaloisField::new(8).unwrap();
+    let code = ErasureCode::cauchy_good(CodeParams::new(3, 2, 8).unwrap()).unwrap();
+    let data: Vec<Vec<u8>> = (0..3).map(|i| random_bytes(64 * 513, 77 + i as u64)).collect();
+    let refs: Vec<&[u8]> = data.iter().map(Vec::as_slice).collect();
+
+    force_kernel("scalar").unwrap();
+    let parity = code.encode(&refs).unwrap();
+    let table = MulTable::new(&gf, 0xC3).unwrap();
+    let src = random_bytes(64 * 513 + 13, 99); // deliberately unaligned
+    let mut want_mul = vec![0u8; src.len()];
+    table.apply(&src, &mut want_mul);
+    let mut want_mac = random_bytes(src.len(), 100);
+    let mac_seed = want_mac.clone();
+    table.apply_xor(&src, &mut want_mac);
+
+    let shards: Vec<Option<&[u8]>> =
+        vec![None, Some(&data[1]), None, Some(&parity[0]), Some(&parity[1])];
+    for kernel in available_kernels() {
+        force_kernel(kernel.name()).unwrap();
+        for threads in [1usize, 4, 8] {
+            let decoded = CodingPool::new(threads).decode(&code, &shards).unwrap();
+            assert_eq!(decoded, data, "decode diverges under {} x{threads}", kernel.name());
+        }
+        let mut got = vec![0u8; src.len()];
+        table.apply(&src, &mut got);
+        assert_eq!(got, want_mul, "MulTable::apply diverges under {}", kernel.name());
+        let mut got = mac_seed.clone();
+        table.apply_xor(&src, &mut got);
+        assert_eq!(got, want_mac, "MulTable::apply_xor diverges under {}", kernel.name());
+    }
+    force_kernel(before).unwrap();
+}

@@ -26,6 +26,11 @@ pub enum GfError {
     },
     /// The matrix is singular and cannot be inverted.
     SingularMatrix,
+    /// No coding kernel has the requested name, or the CPU cannot run it.
+    UnknownKernel {
+        /// The name that failed to resolve.
+        name: String,
+    },
 }
 
 impl fmt::Display for GfError {
@@ -42,6 +47,9 @@ impl fmt::Display for GfError {
                 write!(f, "matrix dimension mismatch: {detail}")
             }
             GfError::SingularMatrix => write!(f, "matrix is singular"),
+            GfError::UnknownKernel { name } => {
+                write!(f, "no available coding kernel named {name:?}")
+            }
         }
     }
 }

@@ -1,0 +1,661 @@
+//! Runtime-dispatched SIMD kernels for the coding hot path.
+//!
+//! ECCheck's checkpoint pipeline is CPU-bound on two inner loops (paper
+//! §IV-A): the wide XOR that executes bit-matrix schedules, and the
+//! GF(2^8) region multiplication a worker applies to its packet
+//! (`e_ij · d`, paper Fig. 6). This module provides both as a [`Kernel`]
+//! trait with one implementation per instruction set:
+//!
+//! * **scalar** — portable fallback: an unrolled 4×`u64` XOR block loop
+//!   and a 256-entry lookup-table multiply. Always available and the
+//!   bit-exact reference for every other kernel.
+//! * **ssse3** / **avx2** (`x86_64`) — the ISA-L "split-table" layout:
+//!   GF(2^8) multiplication via two 16-entry nibble tables looked up with
+//!   `pshufb` / `vpshufb`, 16 (SSSE3) or 32 (AVX2) products per
+//!   instruction, plus 128/256-bit wide XOR.
+//! * **neon** (`aarch64`) — the same split-table trick via `vqtbl1q_u8`.
+//!
+//! The active kernel is selected **once**, at first use, from CPU feature
+//! detection (`std::arch`), and every region operation in `ecc-erasure`
+//! routes through it. Selection order is avx2 → ssse3 → neon → scalar.
+//!
+//! # Forcing a kernel
+//!
+//! For debugging and benchmarking, the choice can be overridden:
+//!
+//! * Set the `ECC_KERNEL` environment variable (`scalar`, `ssse3`,
+//!   `avx2`, `neon` or `auto`) before the first coding operation. An
+//!   unknown or unavailable name falls back to auto-detection.
+//! * Call [`force_kernel`] at any time (used by `kernel-bench` to sweep
+//!   every kernel in one process).
+//!
+//! # Examples
+//!
+//! ```
+//! use ecc_gf::kernel::{active_kernel, available_kernels, Split8};
+//! use ecc_gf::GaloisField;
+//!
+//! let gf = GaloisField::new(8)?;
+//! let t = Split8::new(&gf, 0x53)?;
+//! let src = [1u8, 2, 3, 250];
+//! let mut dst = [0u8; 4];
+//! active_kernel().mul(&t, &src, &mut dst);
+//! for (s, d) in src.iter().zip(dst) {
+//!     assert_eq!(d as u16, gf.mul(0x53, *s as u16));
+//! }
+//! // The scalar reference kernel is always in the available set.
+//! assert!(available_kernels().iter().any(|k| k.name() == "scalar"));
+//! # Ok::<(), ecc_gf::GfError>(())
+//! ```
+
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::{GaloisField, GfError};
+
+/// Environment variable consulted on first dispatch to pick a kernel
+/// (`scalar`, `ssse3`, `avx2`, `neon` or `auto`).
+pub const KERNEL_ENV: &str = "ECC_KERNEL";
+
+/// Split multiplication tables for one GF(2^8) coefficient.
+///
+/// The ISA-L ("screaming fast Galois field arithmetic") layout: because
+/// `x = hi·16 ⊕ lo` and multiplication distributes over XOR-addition,
+/// `coef · x = lo_table[x & 0xF] ⊕ hi_table[x >> 4]` where each table has
+/// only 16 entries — exactly the shape a 128-bit byte shuffle
+/// (`pshufb` / `vqtbl1q_u8`) can look up 16-at-a-time. A flat 256-entry
+/// product table is kept alongside for the scalar path and tail bytes.
+///
+/// # Examples
+///
+/// ```
+/// use ecc_gf::{kernel::Split8, GaloisField};
+///
+/// let gf = GaloisField::new(8)?;
+/// let t = Split8::new(&gf, 7)?;
+/// assert_eq!(t.mul_byte(0xA5) as u16, gf.mul(7, 0xA5));
+/// # Ok::<(), ecc_gf::GfError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Split8 {
+    coef: u8,
+    lo: [u8; 16],
+    hi: [u8; 16],
+    full: [u8; 256],
+}
+
+impl Split8 {
+    /// Builds the nibble tables (and flat table) for `coef` in GF(2^8).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GfError::UnsupportedWidth`] when the field is not
+    /// GF(2^8) and [`GfError::ElementOutOfRange`] when `coef` is not a
+    /// field element.
+    pub fn new(gf: &GaloisField, coef: u16) -> Result<Self, GfError> {
+        if gf.w() != 8 {
+            return Err(GfError::UnsupportedWidth { w: gf.w() });
+        }
+        if !gf.contains(coef) {
+            return Err(GfError::ElementOutOfRange { element: coef, w: gf.w() });
+        }
+        let mut lo = [0u8; 16];
+        let mut hi = [0u8; 16];
+        for n in 0..16u16 {
+            lo[n as usize] = gf.mul(coef, n) as u8;
+            hi[n as usize] = gf.mul(coef, n << 4) as u8;
+        }
+        let mut full = [0u8; 256];
+        for (b, entry) in full.iter_mut().enumerate() {
+            *entry = lo[b & 0xF] ^ hi[b >> 4];
+        }
+        Ok(Self { coef: coef as u8, lo, hi, full })
+    }
+
+    /// The coefficient these tables multiply by.
+    pub fn coef(&self) -> u8 {
+        self.coef
+    }
+
+    /// The 16-entry low-nibble product table (`lo[n] = coef · n`).
+    pub fn lo(&self) -> &[u8; 16] {
+        &self.lo
+    }
+
+    /// The 16-entry high-nibble product table (`hi[n] = coef · (n << 4)`).
+    pub fn hi(&self) -> &[u8; 16] {
+        &self.hi
+    }
+
+    /// The flat 256-entry product table (`full[b] = coef · b`).
+    pub fn full_table(&self) -> &[u8; 256] {
+        &self.full
+    }
+
+    /// Multiplies a single byte: `coef · b` in GF(2^8).
+    #[inline]
+    pub fn mul_byte(&self, b: u8) -> u8 {
+        self.full[b as usize]
+    }
+}
+
+/// One instruction-set-specific implementation of the coding inner loops.
+///
+/// All implementations are bit-exact: for any inputs, every method
+/// produces output identical to the `scalar` kernel (property-tested in
+/// `tests/kernel_equiv.rs`). Regions may have any length and alignment;
+/// kernels handle unaligned heads/tails internally.
+pub trait Kernel: Send + Sync {
+    /// Short stable name (`"scalar"`, `"ssse3"`, `"avx2"`, `"neon"`) —
+    /// used by the `ECC_KERNEL` override, telemetry counters and
+    /// `kernel-bench` reports.
+    fn name(&self) -> &'static str;
+
+    /// `dst[i] ^= src[i]` over the whole region.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the slices have different lengths.
+    fn xor_into(&self, dst: &mut [u8], src: &[u8]);
+
+    /// `dst[i] = coef · src[i]` in GF(2^8), per [`Split8`] tables.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the slices have different lengths.
+    fn mul(&self, t: &Split8, src: &[u8], dst: &mut [u8]);
+
+    /// `dst[i] ^= coef · src[i]` — the multiply-accumulate inner loop of
+    /// table-based Reed–Solomon encoding.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the slices have different lengths.
+    fn mul_xor(&self, t: &Split8, src: &[u8], dst: &mut [u8]);
+}
+
+impl fmt::Debug for dyn Kernel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Kernel({})", self.name())
+    }
+}
+
+/// The portable reference kernel: unrolled 4×`u64` XOR and flat-table
+/// multiply. Always available on every architecture.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ScalarKernel;
+
+impl Kernel for ScalarKernel {
+    fn name(&self) -> &'static str {
+        "scalar"
+    }
+
+    fn xor_into(&self, dst: &mut [u8], src: &[u8]) {
+        assert_eq!(dst.len(), src.len(), "xor_into requires equal-length slices");
+        // 32-byte blocks: four independent u64 lanes per iteration keep
+        // the ALU ports busy without SIMD.
+        let mut dst_blocks = dst.chunks_exact_mut(32);
+        let mut src_blocks = src.chunks_exact(32);
+        for (d, s) in dst_blocks.by_ref().zip(src_blocks.by_ref()) {
+            for lane in 0..4 {
+                let r = lane * 8..lane * 8 + 8;
+                let v = u64::from_ne_bytes(d[r.clone()].try_into().expect("8-byte lane"))
+                    ^ u64::from_ne_bytes(s[r.clone()].try_into().expect("8-byte lane"));
+                d[r].copy_from_slice(&v.to_ne_bytes());
+            }
+        }
+        for (d, s) in dst_blocks.into_remainder().iter_mut().zip(src_blocks.remainder()) {
+            *d ^= *s;
+        }
+    }
+
+    fn mul(&self, t: &Split8, src: &[u8], dst: &mut [u8]) {
+        assert_eq!(dst.len(), src.len(), "mul requires equal-length slices");
+        let table = t.full_table();
+        for (d, &s) in dst.iter_mut().zip(src) {
+            *d = table[s as usize];
+        }
+    }
+
+    fn mul_xor(&self, t: &Split8, src: &[u8], dst: &mut [u8]) {
+        assert_eq!(dst.len(), src.len(), "mul_xor requires equal-length slices");
+        let table = t.full_table();
+        for (d, &s) in dst.iter_mut().zip(src) {
+            *d ^= table[s as usize];
+        }
+    }
+}
+
+/// SSSE3 (`pshufb`) and AVX2 (`vpshufb`) kernels.
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)]
+mod x86 {
+    use super::{Kernel, ScalarKernel, Split8};
+    use std::arch::x86_64::*;
+
+    /// 16 bytes per step via `pshufb` nibble lookups and `pxor`.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Ssse3Kernel;
+
+    /// 32 bytes per step via `vpshufb` nibble lookups and `vpxor`.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Avx2Kernel;
+
+    // SAFETY for everything below: callers (the safe trait methods) have
+    // verified the required CPU feature at dispatch time, slice lengths
+    // are asserted equal, and every pointer arithmetic stays inside the
+    // checked `i + LANES <= len` prefix. All loads/stores use the
+    // unaligned variants, so alignment is irrelevant.
+
+    #[target_feature(enable = "ssse3")]
+    unsafe fn xor_into_ssse3(dst: &mut [u8], src: &[u8]) {
+        let len = dst.len();
+        let mut i = 0;
+        while i + 32 <= len {
+            let d0 = _mm_loadu_si128(dst.as_ptr().add(i).cast());
+            let d1 = _mm_loadu_si128(dst.as_ptr().add(i + 16).cast());
+            let s0 = _mm_loadu_si128(src.as_ptr().add(i).cast());
+            let s1 = _mm_loadu_si128(src.as_ptr().add(i + 16).cast());
+            _mm_storeu_si128(dst.as_mut_ptr().add(i).cast(), _mm_xor_si128(d0, s0));
+            _mm_storeu_si128(dst.as_mut_ptr().add(i + 16).cast(), _mm_xor_si128(d1, s1));
+            i += 32;
+        }
+        ScalarKernel.xor_into(&mut dst[i..], &src[i..]);
+    }
+
+    /// One 16-byte GF(2^8) multiply: split each byte into nibbles, look
+    /// both up with `pshufb`, XOR the halves (`coef·x = lo[x&15] ^
+    /// hi[x>>4]`).
+    #[inline]
+    #[target_feature(enable = "ssse3")]
+    unsafe fn mul16(lo: __m128i, hi: __m128i, mask: __m128i, x: __m128i) -> __m128i {
+        let lo_n = _mm_and_si128(x, mask);
+        // srli works on 64-bit lanes; the cross-byte bits it drags in are
+        // cleared by the nibble mask.
+        let hi_n = _mm_and_si128(_mm_srli_epi64::<4>(x), mask);
+        _mm_xor_si128(_mm_shuffle_epi8(lo, lo_n), _mm_shuffle_epi8(hi, hi_n))
+    }
+
+    #[target_feature(enable = "ssse3")]
+    unsafe fn mul_ssse3(t: &Split8, src: &[u8], dst: &mut [u8], accumulate: bool) {
+        let lo = _mm_loadu_si128(t.lo().as_ptr().cast());
+        let hi = _mm_loadu_si128(t.hi().as_ptr().cast());
+        let mask = _mm_set1_epi8(0x0F);
+        let len = src.len();
+        let mut i = 0;
+        while i + 16 <= len {
+            let x = _mm_loadu_si128(src.as_ptr().add(i).cast());
+            let mut p = mul16(lo, hi, mask, x);
+            if accumulate {
+                p = _mm_xor_si128(p, _mm_loadu_si128(dst.as_ptr().add(i).cast()));
+            }
+            _mm_storeu_si128(dst.as_mut_ptr().add(i).cast(), p);
+            i += 16;
+        }
+        if accumulate {
+            ScalarKernel.mul_xor(t, &src[i..], &mut dst[i..]);
+        } else {
+            ScalarKernel.mul(t, &src[i..], &mut dst[i..]);
+        }
+    }
+
+    impl Kernel for Ssse3Kernel {
+        fn name(&self) -> &'static str {
+            "ssse3"
+        }
+
+        fn xor_into(&self, dst: &mut [u8], src: &[u8]) {
+            assert_eq!(dst.len(), src.len(), "xor_into requires equal-length slices");
+            // SAFETY: ssse3 verified at kernel selection; lengths equal.
+            unsafe { xor_into_ssse3(dst, src) }
+        }
+
+        fn mul(&self, t: &Split8, src: &[u8], dst: &mut [u8]) {
+            assert_eq!(dst.len(), src.len(), "mul requires equal-length slices");
+            // SAFETY: ssse3 verified at kernel selection; lengths equal.
+            unsafe { mul_ssse3(t, src, dst, false) }
+        }
+
+        fn mul_xor(&self, t: &Split8, src: &[u8], dst: &mut [u8]) {
+            assert_eq!(dst.len(), src.len(), "mul_xor requires equal-length slices");
+            // SAFETY: ssse3 verified at kernel selection; lengths equal.
+            unsafe { mul_ssse3(t, src, dst, true) }
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn xor_into_avx2(dst: &mut [u8], src: &[u8]) {
+        let len = dst.len();
+        let mut i = 0;
+        while i + 64 <= len {
+            let d0 = _mm256_loadu_si256(dst.as_ptr().add(i).cast());
+            let d1 = _mm256_loadu_si256(dst.as_ptr().add(i + 32).cast());
+            let s0 = _mm256_loadu_si256(src.as_ptr().add(i).cast());
+            let s1 = _mm256_loadu_si256(src.as_ptr().add(i + 32).cast());
+            _mm256_storeu_si256(dst.as_mut_ptr().add(i).cast(), _mm256_xor_si256(d0, s0));
+            _mm256_storeu_si256(dst.as_mut_ptr().add(i + 32).cast(), _mm256_xor_si256(d1, s1));
+            i += 64;
+        }
+        while i + 32 <= len {
+            let d = _mm256_loadu_si256(dst.as_ptr().add(i).cast());
+            let s = _mm256_loadu_si256(src.as_ptr().add(i).cast());
+            _mm256_storeu_si256(dst.as_mut_ptr().add(i).cast(), _mm256_xor_si256(d, s));
+            i += 32;
+        }
+        ScalarKernel.xor_into(&mut dst[i..], &src[i..]);
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn mul_avx2(t: &Split8, src: &[u8], dst: &mut [u8], accumulate: bool) {
+        // The 16-entry tables are broadcast into both 128-bit lanes:
+        // vpshufb shuffles within each lane, so each lane sees the full
+        // nibble table.
+        let lo = _mm256_broadcastsi128_si256(_mm_loadu_si128(t.lo().as_ptr().cast()));
+        let hi = _mm256_broadcastsi128_si256(_mm_loadu_si128(t.hi().as_ptr().cast()));
+        let mask = _mm256_set1_epi8(0x0F);
+        let len = src.len();
+        let mut i = 0;
+        while i + 32 <= len {
+            let x = _mm256_loadu_si256(src.as_ptr().add(i).cast());
+            let lo_n = _mm256_and_si256(x, mask);
+            let hi_n = _mm256_and_si256(_mm256_srli_epi64::<4>(x), mask);
+            let mut p =
+                _mm256_xor_si256(_mm256_shuffle_epi8(lo, lo_n), _mm256_shuffle_epi8(hi, hi_n));
+            if accumulate {
+                p = _mm256_xor_si256(p, _mm256_loadu_si256(dst.as_ptr().add(i).cast()));
+            }
+            _mm256_storeu_si256(dst.as_mut_ptr().add(i).cast(), p);
+            i += 32;
+        }
+        if accumulate {
+            ScalarKernel.mul_xor(t, &src[i..], &mut dst[i..]);
+        } else {
+            ScalarKernel.mul(t, &src[i..], &mut dst[i..]);
+        }
+    }
+
+    impl Kernel for Avx2Kernel {
+        fn name(&self) -> &'static str {
+            "avx2"
+        }
+
+        fn xor_into(&self, dst: &mut [u8], src: &[u8]) {
+            assert_eq!(dst.len(), src.len(), "xor_into requires equal-length slices");
+            // SAFETY: avx2 verified at kernel selection; lengths equal.
+            unsafe { xor_into_avx2(dst, src) }
+        }
+
+        fn mul(&self, t: &Split8, src: &[u8], dst: &mut [u8]) {
+            assert_eq!(dst.len(), src.len(), "mul requires equal-length slices");
+            // SAFETY: avx2 verified at kernel selection; lengths equal.
+            unsafe { mul_avx2(t, src, dst, false) }
+        }
+
+        fn mul_xor(&self, t: &Split8, src: &[u8], dst: &mut [u8]) {
+            assert_eq!(dst.len(), src.len(), "mul_xor requires equal-length slices");
+            // SAFETY: avx2 verified at kernel selection; lengths equal.
+            unsafe { mul_avx2(t, src, dst, true) }
+        }
+    }
+}
+
+/// NEON kernel (`vqtbl1q_u8` nibble lookups, 128-bit XOR).
+#[cfg(target_arch = "aarch64")]
+#[allow(unsafe_code)]
+mod arm {
+    use super::{Kernel, ScalarKernel, Split8};
+    use std::arch::aarch64::*;
+
+    /// 16 bytes per step via `vqtbl1q_u8` nibble lookups and `veorq`.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct NeonKernel;
+
+    // SAFETY for everything below: NEON is verified at kernel selection
+    // (and is baseline on aarch64), lengths are asserted equal by the
+    // trait methods, and pointer arithmetic stays inside the checked
+    // `i + 16 <= len` prefix. NEON loads/stores are alignment-free.
+
+    #[target_feature(enable = "neon")]
+    unsafe fn xor_into_neon(dst: &mut [u8], src: &[u8]) {
+        let len = dst.len();
+        let mut i = 0;
+        while i + 16 <= len {
+            let d = vld1q_u8(dst.as_ptr().add(i));
+            let s = vld1q_u8(src.as_ptr().add(i));
+            vst1q_u8(dst.as_mut_ptr().add(i), veorq_u8(d, s));
+            i += 16;
+        }
+        ScalarKernel.xor_into(&mut dst[i..], &src[i..]);
+    }
+
+    #[target_feature(enable = "neon")]
+    unsafe fn mul_neon(t: &Split8, src: &[u8], dst: &mut [u8], accumulate: bool) {
+        let lo = vld1q_u8(t.lo().as_ptr());
+        let hi = vld1q_u8(t.hi().as_ptr());
+        let mask = vdupq_n_u8(0x0F);
+        let len = src.len();
+        let mut i = 0;
+        while i + 16 <= len {
+            let x = vld1q_u8(src.as_ptr().add(i));
+            let lo_n = vandq_u8(x, mask);
+            let hi_n = vshrq_n_u8::<4>(x);
+            let mut p = veorq_u8(vqtbl1q_u8(lo, lo_n), vqtbl1q_u8(hi, hi_n));
+            if accumulate {
+                p = veorq_u8(p, vld1q_u8(dst.as_ptr().add(i)));
+            }
+            vst1q_u8(dst.as_mut_ptr().add(i), p);
+            i += 16;
+        }
+        if accumulate {
+            ScalarKernel.mul_xor(t, &src[i..], &mut dst[i..]);
+        } else {
+            ScalarKernel.mul(t, &src[i..], &mut dst[i..]);
+        }
+    }
+
+    impl Kernel for NeonKernel {
+        fn name(&self) -> &'static str {
+            "neon"
+        }
+
+        fn xor_into(&self, dst: &mut [u8], src: &[u8]) {
+            assert_eq!(dst.len(), src.len(), "xor_into requires equal-length slices");
+            // SAFETY: neon verified at kernel selection; lengths equal.
+            unsafe { xor_into_neon(dst, src) }
+        }
+
+        fn mul(&self, t: &Split8, src: &[u8], dst: &mut [u8]) {
+            assert_eq!(dst.len(), src.len(), "mul requires equal-length slices");
+            // SAFETY: neon verified at kernel selection; lengths equal.
+            unsafe { mul_neon(t, src, dst, false) }
+        }
+
+        fn mul_xor(&self, t: &Split8, src: &[u8], dst: &mut [u8]) {
+            assert_eq!(dst.len(), src.len(), "mul_xor requires equal-length slices");
+            // SAFETY: neon verified at kernel selection; lengths equal.
+            unsafe { mul_neon(t, src, dst, true) }
+        }
+    }
+}
+
+static SCALAR: ScalarKernel = ScalarKernel;
+#[cfg(target_arch = "x86_64")]
+static SSSE3: x86::Ssse3Kernel = x86::Ssse3Kernel;
+#[cfg(target_arch = "x86_64")]
+static AVX2: x86::Avx2Kernel = x86::Avx2Kernel;
+#[cfg(target_arch = "aarch64")]
+static NEON: arm::NeonKernel = arm::NeonKernel;
+
+/// Every kernel compiled into this binary, **best first**, whether or not
+/// the CPU supports it; `scalar` is always the last-resort tail.
+#[cfg(target_arch = "x86_64")]
+static COMPILED: [&dyn Kernel; 3] = [&AVX2, &SSSE3, &SCALAR];
+#[cfg(target_arch = "aarch64")]
+static COMPILED: [&dyn Kernel; 2] = [&NEON, &SCALAR];
+#[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+static COMPILED: [&dyn Kernel; 1] = [&SCALAR];
+
+fn compiled_kernels() -> &'static [&'static dyn Kernel] {
+    &COMPILED
+}
+
+/// `true` when the running CPU can execute the named kernel.
+fn cpu_supports(name: &str) -> bool {
+    match name {
+        "scalar" => true,
+        #[cfg(target_arch = "x86_64")]
+        "ssse3" => std::arch::is_x86_feature_detected!("ssse3"),
+        #[cfg(target_arch = "x86_64")]
+        "avx2" => std::arch::is_x86_feature_detected!("avx2"),
+        #[cfg(target_arch = "aarch64")]
+        "neon" => std::arch::is_aarch64_feature_detected!("neon"),
+        _ => false,
+    }
+}
+
+/// The kernels this CPU can actually run, best first. `scalar` is always
+/// present and always last.
+pub fn available_kernels() -> Vec<&'static dyn Kernel> {
+    compiled_kernels().iter().copied().filter(|k| cpu_supports(k.name())).collect()
+}
+
+/// Best available kernel by the fixed preference order
+/// (avx2 → ssse3 → neon → scalar).
+fn auto_select() -> &'static dyn Kernel {
+    *available_kernels().first().expect("scalar kernel is always available")
+}
+
+/// Index+1 into [`compiled_kernels`]; 0 means "not yet selected".
+static ACTIVE: AtomicUsize = AtomicUsize::new(0);
+
+fn store_active(kernel: &'static dyn Kernel) {
+    let idx = compiled_kernels()
+        .iter()
+        .position(|k| k.name() == kernel.name())
+        .expect("kernel comes from the compiled set");
+    ACTIVE.store(idx + 1, Ordering::Relaxed);
+}
+
+/// The dispatched kernel all coding region operations route through.
+///
+/// Selected on first call: an explicit [`force_kernel`] wins, then a
+/// valid [`KERNEL_ENV`] override, then CPU auto-detection. The result is
+/// cached in an atomic, so steady-state dispatch is one relaxed load.
+pub fn active_kernel() -> &'static dyn Kernel {
+    let idx = ACTIVE.load(Ordering::Relaxed);
+    if idx != 0 {
+        return compiled_kernels()[idx - 1];
+    }
+    let kernel = match std::env::var(KERNEL_ENV) {
+        Ok(name) if name != "auto" => force_kernel(&name).unwrap_or_else(|_| auto_select()),
+        _ => auto_select(),
+    };
+    store_active(kernel);
+    kernel
+}
+
+/// Overrides the dispatched kernel by name (for benchmarking and
+/// debugging; takes effect immediately, also over a previous selection).
+///
+/// # Errors
+///
+/// Returns [`GfError::UnknownKernel`] when no kernel has that name or
+/// the CPU cannot execute it; the active kernel is left unchanged.
+///
+/// # Examples
+///
+/// ```
+/// use ecc_gf::kernel::{active_kernel, force_kernel};
+///
+/// force_kernel("scalar")?;
+/// assert_eq!(active_kernel().name(), "scalar");
+/// assert!(force_kernel("not-a-kernel").is_err());
+/// # Ok::<(), ecc_gf::GfError>(())
+/// ```
+pub fn force_kernel(name: &str) -> Result<&'static dyn Kernel, GfError> {
+    let kernel = compiled_kernels()
+        .iter()
+        .copied()
+        .find(|k| k.name() == name && cpu_supports(name))
+        .ok_or_else(|| GfError::UnknownKernel { name: name.to_string() })?;
+    store_active(kernel);
+    Ok(kernel)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gf8() -> GaloisField {
+        GaloisField::new(8).unwrap()
+    }
+
+    #[test]
+    fn split8_tables_agree_with_field_mul() {
+        let gf = gf8();
+        for coef in [0u16, 1, 2, 0x53, 0xFF] {
+            let t = Split8::new(&gf, coef).unwrap();
+            for b in 0..=255u16 {
+                assert_eq!(t.mul_byte(b as u8) as u16, gf.mul(coef, b), "coef={coef} b={b}");
+                let split = t.lo()[(b & 0xF) as usize] ^ t.hi()[(b >> 4) as usize];
+                assert_eq!(split as u16, gf.mul(coef, b), "split coef={coef} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn split8_rejects_bad_inputs() {
+        let gf16 = GaloisField::new(16).unwrap();
+        assert!(matches!(Split8::new(&gf16, 2), Err(GfError::UnsupportedWidth { w: 16 })));
+        assert!(matches!(Split8::new(&gf8(), 256), Err(GfError::ElementOutOfRange { .. })));
+    }
+
+    #[test]
+    fn scalar_is_always_available_and_last() {
+        let kernels = available_kernels();
+        assert!(!kernels.is_empty());
+        assert_eq!(kernels.last().unwrap().name(), "scalar");
+    }
+
+    #[test]
+    fn every_available_kernel_matches_scalar() {
+        let gf = gf8();
+        let t = Split8::new(&gf, 0xB7).unwrap();
+        // Lengths straddling every block boundary: empty, sub-word, one
+        // SIMD lane, odd tails, multi-block.
+        for len in [0usize, 1, 7, 8, 15, 16, 17, 31, 32, 33, 63, 64, 65, 100, 255, 1024, 1031] {
+            let src: Vec<u8> = (0..len).map(|i| (i as u8).wrapping_mul(37)).collect();
+            let acc: Vec<u8> =
+                (0..len).map(|i| (i as u8).wrapping_mul(11).wrapping_add(5)).collect();
+            let mut want_xor = acc.clone();
+            ScalarKernel.xor_into(&mut want_xor, &src);
+            let mut want_mul = vec![0u8; len];
+            ScalarKernel.mul(&t, &src, &mut want_mul);
+            let mut want_mul_xor = acc.clone();
+            ScalarKernel.mul_xor(&t, &src, &mut want_mul_xor);
+            for k in available_kernels() {
+                let mut got = acc.clone();
+                k.xor_into(&mut got, &src);
+                assert_eq!(got, want_xor, "{} xor len={len}", k.name());
+                let mut got = vec![0u8; len];
+                k.mul(&t, &src, &mut got);
+                assert_eq!(got, want_mul, "{} mul len={len}", k.name());
+                let mut got = acc.clone();
+                k.mul_xor(&t, &src, &mut got);
+                assert_eq!(got, want_mul_xor, "{} mul_xor len={len}", k.name());
+            }
+        }
+    }
+
+    #[test]
+    fn force_kernel_round_trips() {
+        let before = active_kernel().name();
+        for k in available_kernels() {
+            let forced = force_kernel(k.name()).unwrap();
+            assert_eq!(forced.name(), k.name());
+            assert_eq!(active_kernel().name(), k.name());
+        }
+        assert!(force_kernel("does-not-exist").is_err());
+        force_kernel(before).unwrap();
+    }
+}

@@ -12,6 +12,10 @@
 //! * [`BitMatrix`] — the binary expansion `B(E)` of a GF(2^w) matrix that
 //!   turns every multiplication into pure XORs (the basis of Cauchy
 //!   Reed–Solomon coding, paper §III-B and §IV-A).
+//! * [`kernel`] — runtime-dispatched SIMD kernels (SSSE3/AVX2 `pshufb`
+//!   split-table GF(2^8) multiply, NEON, wide XOR) that the erasure
+//!   layer's region operations route through, with a portable scalar
+//!   reference. See `DESIGN.md` §11.
 //!
 //! # Examples
 //!
@@ -26,15 +30,20 @@
 //! # Ok::<(), ecc_gf::GfError>(())
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the SIMD paths in `kernel` need scoped
+// `std::arch` intrinsics behind explicit `#[allow(unsafe_code)]` blocks
+// with per-call safety invariants; everything else stays safe.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod bitmatrix;
 mod error;
 mod field;
+pub mod kernel;
 mod matrix;
 
 pub use bitmatrix::BitMatrix;
 pub use error::GfError;
 pub use field::{GaloisField, SUPPORTED_WIDTHS};
+pub use kernel::{Kernel, Split8};
 pub use matrix::Matrix;

@@ -15,7 +15,7 @@
 //! recorder uses — build a tracer with [`Tracer::for_recorder`] and the
 //! two share one epoch, so a histogram sample and the span that produced
 //! it carry comparable timestamps. Under a
-//! [`ManualClock`](ecc_telemetry::ManualClock) (or when timestamps are
+//! [`ManualClock`] (or when timestamps are
 //! supplied explicitly via the `*_at` methods, as the simulation's
 //! timing models do) identical runs export byte-identical JSON.
 //!
