@@ -1,0 +1,78 @@
+//! `pipeline-bench`: the save-pipeline comparison behind `BENCH_PR5.json`.
+//!
+//! Times `EcCheck::save` in both `SaveMode`s over the standard shard
+//! ladder on the toy real-byte cluster and reports wall time, the
+//! pipelined/sequential speedup, and the executor's per-stage
+//! occupancy. See `DESIGN.md` §12 and `EXPERIMENTS.md` for how to read
+//! the numbers.
+//!
+//! Flags: `--out <path>` (default `BENCH_PR5.json`) for the JSON
+//! report, `--summary <path>` to also write a GitHub-flavoured-markdown
+//! summary (CI appends it to the job summary). Exits non-zero when the
+//! pipelined executor loses to the sequential oracle by more than 10%
+//! on any shape — enforced only on hosts with at least two threads,
+//! where stage overlap is physically possible; single-core hosts get an
+//! advisory report instead.
+
+use std::process::ExitCode;
+
+use ecc_bench::{arg_value, fmt_bytes, print_table, PipelineBenchReport};
+
+fn main() -> ExitCode {
+    let out = arg_value("--out").unwrap_or_else(|| "BENCH_PR5.json".to_string());
+    println!("# pipeline-bench: pipelined vs sequential save\n");
+    let report = PipelineBenchReport::collect();
+    println!("arch {}, {} host threads\n", report.arch, report.host_threads);
+
+    let rows: Vec<Vec<String>> = report
+        .shapes
+        .iter()
+        .map(|s| {
+            vec![
+                s.name.clone(),
+                fmt_bytes(s.shard_bytes as u64),
+                format!("{:.2}", s.sequential_ms),
+                format!("{:.2}", s.pipelined_ms),
+                format!("{:.2}x", s.speedup),
+                s.stats.stripes.to_string(),
+                format!("{:.0}%", s.stats.encode_occupancy() * 100.0),
+                format!("{:.0}%", s.stats.transfer_occupancy() * 100.0),
+            ]
+        })
+        .collect();
+    print_table(
+        &["shape", "shard", "seq ms", "pipe ms", "speedup", "stripes", "enc occ", "xfer occ"],
+        &rows,
+    );
+    println!("\nbest pipelined speedup: {:.2}x", report.best_speedup());
+
+    if let Err(err) = std::fs::write(&out, report.to_json()) {
+        eprintln!("could not write {out}: {err}");
+        return ExitCode::FAILURE;
+    }
+    println!("report written to {out}");
+
+    if let Some(path) = arg_value("--summary") {
+        if let Err(err) = std::fs::write(&path, report.summary_markdown()) {
+            eprintln!("could not write {path}: {err}");
+            return ExitCode::FAILURE;
+        }
+        println!("markdown summary written to {path}");
+    }
+
+    let regressions = report.regressions();
+    if !regressions.is_empty() {
+        if report.gate_enforced() {
+            eprintln!("\nFAIL: pipelined save regressed past the gate:");
+            for r in &regressions {
+                eprintln!("  {r}");
+            }
+            return ExitCode::FAILURE;
+        }
+        println!("\nADVISORY (single-core host, stages cannot overlap — gate not enforced):");
+        for r in &regressions {
+            println!("  {r}");
+        }
+    }
+    ExitCode::SUCCESS
+}

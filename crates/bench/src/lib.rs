@@ -11,11 +11,13 @@
 
 mod kernelbench;
 mod perf;
+mod pipelinebench;
 mod telemetry;
 mod trace;
 
 pub use kernelbench::{EncodePerf, KernelBenchReport, RegionOpPerf, DEFAULT_REGION_SIZES};
 pub use perf::{PerfReport, ShapePerf};
+pub use pipelinebench::{PipelineBenchReport, PipelineShapePerf};
 pub use telemetry::{print_live_telemetry, print_schedule_comparison};
 pub use trace::{
     arg_value, engine_trace_json, sim_save_trace_json, trace_path_from_args,

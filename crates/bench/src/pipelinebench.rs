@@ -1,0 +1,288 @@
+//! The save-pipeline bench harness behind the `pipeline-bench` binary.
+//!
+//! Times [`eccheck::EcCheck::save`] in both [`SaveMode`]s over a ladder
+//! of shard sizes on the toy real-byte cluster, reporting wall time per
+//! mode, the pipelined/sequential speedup, and the executor's per-stage
+//! occupancy from [`eccheck::PipelineStats`]. The result serializes to
+//! a stable JSON document (`BENCH_PR5.json` in CI) and
+//! [`PipelineBenchReport::regressions`] gates the CI job: the pipelined
+//! executor losing to the sequential oracle by more than the documented
+//! tolerance on any shape fails the build.
+
+use std::time::Instant;
+
+use ecc_checkpoint::{StateDict, Value};
+use ecc_cluster::{Cluster, ClusterSpec};
+use eccheck::{EcCheck, EcCheckConfig, PipelineStats, SaveMode};
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Timing repetitions per (shape, mode); the fastest wins.
+const MEASURE_ITERS: usize = 5;
+
+/// The regression gate: pipelined wall time must stay within this
+/// factor of sequential on every shape (1.10 = "may lose by 10%").
+/// Stage overlap usually makes the pipelined path win outright on a
+/// multi-core host; the slack absorbs scheduler jitter. The gate is
+/// only *enforced* when the host can actually overlap stages — see
+/// [`PipelineBenchReport::gate_enforced`].
+const REGRESSION_GATE: f64 = 1.10;
+
+/// One benchmarked save shape.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineShapePerf {
+    /// Human label (also the JSON key consumers group by).
+    pub name: String,
+    /// Engine packet size in bytes.
+    pub packet_size: usize,
+    /// Tensor payload per worker in bytes.
+    pub shard_bytes: usize,
+    /// Pipeline stripe-buffer size in bytes.
+    pub pipeline_buffer: usize,
+    /// Coding worker threads.
+    pub threads: usize,
+    /// Best-of-N sequential save wall time, milliseconds.
+    pub sequential_ms: f64,
+    /// Best-of-N pipelined save wall time, milliseconds.
+    pub pipelined_ms: f64,
+    /// `sequential_ms / pipelined_ms` (> 1 means pipelined is faster).
+    pub speedup: f64,
+    /// Stage accounting from the fastest pipelined run.
+    pub stats: PipelineStats,
+}
+
+/// The full save-pipeline bench report (`BENCH_PR5.json`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineBenchReport {
+    /// Target architecture the binary was built for.
+    pub arch: String,
+    /// Parallelism the host advertises to `std::thread`.
+    pub host_threads: usize,
+    /// Per-shape results, small to large.
+    pub shapes: Vec<PipelineShapePerf>,
+}
+
+/// Deterministic shard payloads sized `shard_bytes` per worker.
+fn bench_dicts(world: usize, shard_bytes: usize) -> Vec<StateDict> {
+    (0..world)
+        .map(|w| {
+            let mut rng = StdRng::seed_from_u64(0xBE7C_u64 ^ (w as u64) << 8);
+            let mut payload = vec![0u8; shard_bytes];
+            rng.fill_bytes(&mut payload);
+            let mut sd = StateDict::new();
+            sd.insert("rank", Value::Int(w as i64));
+            sd.insert("payload", Value::Bytes(payload));
+            sd
+        })
+        .collect()
+}
+
+/// Best-of-N wall time for one save under `cfg`, plus the stage stats
+/// of the fastest run. A fresh cluster and engine per repetition keeps
+/// every run a first save of version 1.
+fn best_save(
+    spec: &ClusterSpec,
+    cfg: EcCheckConfig,
+    dicts: &[StateDict],
+) -> (f64, Option<PipelineStats>) {
+    let mut best = f64::INFINITY;
+    let mut stats = None;
+    for _ in 0..MEASURE_ITERS {
+        let mut cluster = Cluster::new(*spec);
+        let mut ecc = EcCheck::initialize(spec, cfg).expect("bench config valid");
+        let t = Instant::now();
+        let report = ecc.save(&mut cluster, dicts).expect("bench save succeeds");
+        let secs = t.elapsed().as_secs_f64();
+        if secs < best {
+            best = secs;
+            stats = report.pipeline;
+        }
+    }
+    (best * 1e3, stats)
+}
+
+impl PipelineBenchReport {
+    /// Runs the default ladder: 256 KiB, 1 MiB and 4 MiB shards on the
+    /// 4-node toy cluster, stripe buffers sized half a packet. Smaller
+    /// saves are deliberately absent: below ~100 µs of coding work the
+    /// executor's fixed thread-spawn cost dominates and `Sequential` is
+    /// the right mode (see `DESIGN.md` §12).
+    pub fn collect() -> Self {
+        let threads = std::thread::available_parallelism().map_or(1, |n| n.get()).min(4);
+        Self::collect_custom(
+            &[
+                ("256KiB-shards", 16 << 10, 256 << 10),
+                ("1MiB-shards", 64 << 10, 1 << 20),
+                ("4MiB-shards", 256 << 10, 4 << 20),
+            ],
+            threads,
+        )
+    }
+
+    /// [`PipelineBenchReport::collect`] with an explicit
+    /// `(name, packet_size, shard_bytes)` ladder and thread count
+    /// (tests use tiny values to stay fast).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `ladder` is empty or a shape fails to save — harness
+    /// defects worth failing loudly on.
+    pub fn collect_custom(ladder: &[(&str, usize, usize)], threads: usize) -> Self {
+        assert!(!ladder.is_empty(), "pipeline bench needs at least one shape");
+        let spec = ClusterSpec::tiny_test(4, 1);
+        let mut shapes = Vec::new();
+        for &(name, packet_size, shard_bytes) in ladder {
+            let pipeline_buffer = (packet_size / 2).max(64);
+            let dicts = bench_dicts(spec.world_size(), shard_bytes);
+            let base = EcCheckConfig::paper_defaults()
+                .with_packet_size(packet_size)
+                .with_coding_threads(threads)
+                .with_pipeline_buffer(pipeline_buffer)
+                .with_remote_flush_every(0);
+            let (sequential_ms, _) =
+                best_save(&spec, base.with_save_mode(SaveMode::Sequential), &dicts);
+            let (pipelined_ms, stats) =
+                best_save(&spec, base.with_save_mode(SaveMode::Pipelined), &dicts);
+            shapes.push(PipelineShapePerf {
+                name: name.to_string(),
+                packet_size,
+                shard_bytes,
+                pipeline_buffer,
+                threads,
+                sequential_ms,
+                pipelined_ms,
+                speedup: sequential_ms / pipelined_ms,
+                stats: stats.expect("pipelined saves carry stage stats"),
+            });
+        }
+        Self {
+            arch: std::env::consts::ARCH.to_string(),
+            host_threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            shapes,
+        }
+    }
+
+    /// Whether [`PipelineBenchReport::regressions`] should fail the
+    /// build. Stage overlap needs at least two host threads; on a
+    /// single-core host the stages merely time-slice, so the comparison
+    /// measures scheduler overhead rather than the pipeline and the
+    /// gate downgrades to an advisory report.
+    pub fn gate_enforced(&self) -> bool {
+        self.host_threads >= 2
+    }
+
+    /// Shapes where the pipelined executor loses to the sequential
+    /// oracle by more than the documented tolerance; empty on a healthy
+    /// host. CI fails when this is non-empty and
+    /// [`PipelineBenchReport::gate_enforced`] holds.
+    pub fn regressions(&self) -> Vec<String> {
+        self.shapes
+            .iter()
+            .filter(|s| s.pipelined_ms > s.sequential_ms * REGRESSION_GATE)
+            .map(|s| {
+                format!(
+                    "{}: pipelined {:.2} ms vs sequential {:.2} ms ({:.2}x, gate {REGRESSION_GATE})",
+                    s.name, s.pipelined_ms, s.sequential_ms, s.speedup
+                )
+            })
+            .collect()
+    }
+
+    /// The best pipelined speedup across the ladder — the headline.
+    pub fn best_speedup(&self) -> f64 {
+        self.shapes.iter().map(|s| s.speedup).fold(0.0, f64::max)
+    }
+
+    /// Serializes the report as a stable, diffable JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"schema\": \"eccheck-pipeline-bench/1\",\n");
+        out.push_str(&format!("  \"arch\": \"{}\",\n", self.arch));
+        out.push_str(&format!("  \"host_threads\": {},\n", self.host_threads));
+        out.push_str(&format!("  \"gate_enforced\": {},\n", self.gate_enforced()));
+        out.push_str("  \"shapes\": [\n");
+        for (i, s) in self.shapes.iter().enumerate() {
+            out.push_str(&format!(
+                concat!(
+                    "    {{\"name\": \"{}\", \"packet_size\": {}, \"shard_bytes\": {}, ",
+                    "\"pipeline_buffer\": {}, \"threads\": {}, \"sequential_ms\": {:.3}, ",
+                    "\"pipelined_ms\": {:.3}, \"speedup\": {:.3}, \"stripes\": {}, ",
+                    "\"encode_occupancy\": {:.3}, \"reduce_occupancy\": {:.3}, ",
+                    "\"transfer_occupancy\": {:.3}}}{}\n"
+                ),
+                s.name,
+                s.packet_size,
+                s.shard_bytes,
+                s.pipeline_buffer,
+                s.threads,
+                s.sequential_ms,
+                s.pipelined_ms,
+                s.speedup,
+                s.stats.stripes,
+                s.stats.encode_occupancy(),
+                s.stats.reduce_occupancy(),
+                s.stats.transfer_occupancy(),
+                if i + 1 == self.shapes.len() { "" } else { "," },
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// A compact GitHub-flavoured-markdown summary (for
+    /// `$GITHUB_STEP_SUMMARY`): per-shape wall times, speedups and
+    /// stage occupancies.
+    pub fn summary_markdown(&self) -> String {
+        let mut out = String::from("### pipeline-bench (BENCH_PR5.json)\n\n");
+        out.push_str(&format!(
+            "pipelined vs sequential save on `{}` ({} host threads); best speedup: \
+             **{:.2}x**; gate {}\n\n",
+            self.arch,
+            self.host_threads,
+            self.best_speedup(),
+            if self.gate_enforced() { "enforced" } else { "advisory (single-core host)" },
+        ));
+        out.push_str(
+            "| shape | seq ms | pipe ms | speedup | stripes | enc occ | red occ | xfer occ |\n",
+        );
+        out.push_str("|---|---|---|---|---|---|---|---|\n");
+        for s in &self.shapes {
+            out.push_str(&format!(
+                "| {} | {:.2} | {:.2} | {:.2}x | {} | {:.0}% | {:.0}% | {:.0}% |\n",
+                s.name,
+                s.sequential_ms,
+                s.pipelined_ms,
+                s.speedup,
+                s.stats.stripes,
+                s.stats.encode_occupancy() * 100.0,
+                s.stats.reduce_occupancy() * 100.0,
+                s.stats.transfer_occupancy() * 100.0,
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_report_is_complete_and_parseable() {
+        let report = PipelineBenchReport::collect_custom(&[("tiny", 1 << 10, 1 << 12)], 2);
+        assert_eq!(report.shapes.len(), 1);
+        let s = &report.shapes[0];
+        assert!(s.sequential_ms > 0.0 && s.pipelined_ms > 0.0);
+        assert!(s.speedup > 0.0);
+        assert!(s.stats.stripes > 0);
+
+        let json = report.to_json();
+        let doc = ecc_trace::json::parse(&json).expect("report JSON parses");
+        assert_eq!(doc.get("schema").and_then(|v| v.as_str()), Some("eccheck-pipeline-bench/1"));
+        let shapes = doc.get("shapes").and_then(|v| v.as_arr()).expect("shapes array");
+        assert_eq!(shapes.len(), 1);
+
+        let md = report.summary_markdown();
+        assert!(md.contains("pipeline-bench"));
+        assert!(md.contains("| shape |"));
+    }
+}

@@ -3,8 +3,8 @@
 //! Every figure binary accepts `--trace <path>` (or `--trace=<path>`)
 //! and, when given, writes a Chrome Trace Event JSON file of the toy
 //! real-byte engine run — loadable in Perfetto or `chrome://tracing`,
-//! with the save pipeline, coding-pool workers and P2P flow arrows on
-//! one timeline. [`sim_save_trace_json`] renders the *timing model's*
+//! with the save pipeline, pipelined-executor coding workers and P2P
+//! flow arrows on one timeline. [`sim_save_trace_json`] renders the *timing model's*
 //! save prediction instead, with explicit simulated timestamps, so its
 //! output is byte-identical across runs.
 
@@ -149,7 +149,14 @@ mod tests {
         let stats = validate_chrome_trace(&a).expect("valid trace");
         assert!(stats.spans > 0);
         assert!(stats.flows > 0, "P2P transfers should draw arrows");
-        for needle in ["ecc.save", "checkpoint.pack", "save.encode", "pool.encode", "p2p.store"] {
+        for needle in [
+            "ecc.save",
+            "checkpoint.pack",
+            "save.encode",
+            "encode.stripe",
+            "reduce.stripe",
+            "p2p.store",
+        ] {
             assert!(a.contains(needle), "trace should mention {needle}");
         }
         assert_eq!(a, render(), "manual clock must make the export byte-identical");

@@ -5,13 +5,14 @@
 //! and the final telemetry snapshot as JSON artifacts.
 //!
 //! ```text
-//! chaos-campaign [--seeds 0,1,2,3] [--rounds 8] \
+//! chaos-campaign [--seeds 0,1,2,3] [--rounds 8] [--save-mode pipelined] \
 //!     [--fault-log faults.json] [--telemetry telemetry.json]
 //! ```
 
 use std::process::ExitCode;
 
 use ecc_chaos::{run_campaign, CampaignConfig};
+use eccheck::SaveMode;
 
 fn main() -> ExitCode {
     let mut seeds: Vec<u64> = (0..4).collect();
@@ -47,10 +48,20 @@ fn main() -> ExitCode {
             }
             "--fault-log" => fault_log_path = Some(value("--fault-log")),
             "--telemetry" => telemetry_path = Some(value("--telemetry")),
+            "--save-mode" => {
+                cfg.save_mode = match value("--save-mode").as_str() {
+                    "sequential" => SaveMode::Sequential,
+                    "pipelined" => SaveMode::Pipelined,
+                    other => {
+                        eprintln!("--save-mode wants 'sequential' or 'pipelined', got {other:?}");
+                        std::process::exit(2);
+                    }
+                };
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: chaos-campaign [--seeds 0,1,2] [--rounds N] \
-                     [--fault-log FILE] [--telemetry FILE]"
+                     [--save-mode sequential|pipelined] [--fault-log FILE] [--telemetry FILE]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -88,7 +99,8 @@ fn main() -> ExitCode {
     fault_logs.push_str("\n]\n");
 
     println!(
-        "campaign: {} seeds x {} rounds, {recovered} recovered, {refused} refused",
+        "campaign ({:?} saves): {} seeds x {} rounds, {recovered} recovered, {refused} refused",
+        cfg.save_mode,
         seeds.len(),
         cfg.rounds
     );

@@ -17,7 +17,7 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use ecc_checkpoint::{StateDict, Value};
 use ecc_cluster::{Cluster, ClusterSpec, FailureModel, NodeId};
-use eccheck::{keys, EcCheck, EcCheckConfig, EcCheckError};
+use eccheck::{keys, EcCheck, EcCheckConfig, EcCheckError, SaveMode};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -63,6 +63,12 @@ pub struct CampaignConfig {
     pub p_transient_get: f64,
     /// Engine fetch retries (must cover one transient failure).
     pub fetch_retries: usize,
+    /// How saves execute — the recovery contract must hold under both
+    /// the sequential oracle and the pipelined executor.
+    pub save_mode: SaveMode,
+    /// Coding threads for the save path (the pipelined executor's
+    /// worker count; faults must be mode- and thread-count-agnostic).
+    pub coding_threads: usize,
 }
 
 impl CampaignConfig {
@@ -89,7 +95,14 @@ impl CampaignConfig {
             p_duplicate_put: 0.05,
             p_transient_get: 0.1,
             fetch_retries: 2,
+            save_mode: SaveMode::Pipelined,
+            coding_threads: 2,
         }
+    }
+
+    /// The same campaign driven through the sequential save oracle.
+    pub fn sequential() -> Self {
+        Self { save_mode: SaveMode::Sequential, ..Self::standard() }
     }
 }
 
@@ -219,7 +232,9 @@ pub fn run_campaign(cfg: &CampaignConfig, seed: u64) -> CampaignReport {
     let engine_cfg = EcCheckConfig::paper_defaults()
         .with_km(cfg.k, cfg.m)
         .with_packet_size(cfg.packet_size)
-        .with_coding_threads(1)
+        .with_coding_threads(cfg.coding_threads)
+        .with_save_mode(cfg.save_mode)
+        .with_pipeline_buffer(64)
         .with_remote_flush_every(0)
         .with_fetch_retries(cfg.fetch_retries);
     let mut ecc = EcCheck::initialize(&spec, engine_cfg).expect("campaign config must be valid");
@@ -449,6 +464,19 @@ mod tests {
         }
         assert!(recovered > 0, "no round ever recovered — campaign too harsh");
         assert!(refused > 0, "no round ever refused — campaign too gentle");
+    }
+
+    #[test]
+    fn pipelined_and_sequential_campaigns_agree_fault_for_fault() {
+        // Both modes store byte-identical blobs through an identical
+        // sequence of data-plane operations, so a seeded campaign must
+        // produce the same faults and the same verdicts under either.
+        let a = run_campaign(&CampaignConfig::standard(), 7);
+        let b = run_campaign(&CampaignConfig::sequential(), 7);
+        assert!(a.passed(), "pipelined violations: {:?}", a.violations);
+        assert!(b.passed(), "sequential violations: {:?}", b.violations);
+        assert_eq!(a.outcomes, b.outcomes);
+        assert_eq!(a.fault_log, b.fault_log);
     }
 
     #[test]

@@ -38,6 +38,87 @@ fn table() -> &'static [u32; 256] {
     })
 }
 
+/// Combines the CRCs of two adjacent byte ranges: given `crc_a =
+/// crc32(A)` and `crc_b = crc32(B)`, returns `crc32(A ‖ B)` without
+/// touching the bytes again.
+///
+/// CRC-32 is linear over GF(2), so appending `len_b` bytes to `A` acts on
+/// `crc_a` as a fixed 32×32 bit-matrix raised to the `len_b`-th power
+/// (computed here by repeated squaring, the zlib `crc32_combine`
+/// construction), after which `crc_b` XORs in. This lets the pipelined
+/// save executor checksum chunk pieces in parallel as they stream through
+/// the stages and stitch the final frame in O(log len) per piece, instead
+/// of one serial pass over every assembled chunk.
+///
+/// # Examples
+///
+/// ```
+/// use ecc_checkpoint::{crc32, crc32_combine};
+///
+/// let (a, b) = (b"12345".as_slice(), b"6789".as_slice());
+/// assert_eq!(crc32_combine(crc32(a), crc32(b), b.len() as u64), crc32(b"123456789"));
+/// ```
+pub fn crc32_combine(crc_a: u32, crc_b: u32, len_b: u64) -> u32 {
+    if len_b == 0 {
+        return crc_a;
+    }
+    // odd = the operator advancing a CRC register by one zero *bit*:
+    // row 0 is the reflected polynomial, the rest shift.
+    let mut odd = [0u32; 32];
+    odd[0] = 0xEDB8_8320;
+    for (n, row) in odd.iter_mut().enumerate().skip(1) {
+        *row = 1u32 << (n - 1);
+    }
+    let mut even = [0u32; 32];
+    gf2_matrix_square(&mut even, &odd); // two zero bits
+    gf2_matrix_square(&mut odd, &even); // four zero bits
+                                        // Apply the zero-byte operator len_b times by binary decomposition,
+                                        // ping-ponging between the squared matrices (8, 16, 32, ... bits).
+    let mut crc = crc_a;
+    let mut len = len_b;
+    loop {
+        gf2_matrix_square(&mut even, &odd);
+        if len & 1 != 0 {
+            crc = gf2_matrix_times(&even, crc);
+        }
+        len >>= 1;
+        if len == 0 {
+            break;
+        }
+        gf2_matrix_square(&mut odd, &even);
+        if len & 1 != 0 {
+            crc = gf2_matrix_times(&odd, crc);
+        }
+        len >>= 1;
+        if len == 0 {
+            break;
+        }
+    }
+    crc ^ crc_b
+}
+
+/// Applies a GF(2) 32×32 matrix (rows = images of unit vectors) to a
+/// 32-bit vector.
+fn gf2_matrix_times(mat: &[u32; 32], mut vec: u32) -> u32 {
+    let mut sum = 0u32;
+    let mut i = 0usize;
+    while vec != 0 {
+        if vec & 1 != 0 {
+            sum ^= mat[i];
+        }
+        vec >>= 1;
+        i += 1;
+    }
+    sum
+}
+
+/// `square = mat · mat` over GF(2).
+fn gf2_matrix_square(square: &mut [u32; 32], mat: &[u32; 32]) {
+    for n in 0..32 {
+        square[n] = gf2_matrix_times(mat, mat[n]);
+    }
+}
+
 /// Encodes the CRC-32 of `data` as the 4-byte little-endian frame the
 /// checkpoint store persists next to each blob.
 ///
@@ -86,6 +167,32 @@ mod tests {
             corrupt[pos] ^= 0x01;
             assert_ne!(crc32(&corrupt), base, "flip at {pos} undetected");
         }
+    }
+
+    #[test]
+    fn combine_matches_one_shot_crc() {
+        let data: Vec<u8> =
+            (0..4099u32).map(|i| (i.wrapping_mul(2654435761) >> 13) as u8).collect();
+        let whole = crc32(&data);
+        // Every split point of a few awkward sizes, including empty halves.
+        for len in [0usize, 1, 7, 63, 64, 257, 4099] {
+            let slice = &data[..len];
+            let reference = crc32(slice);
+            for cut in [0, len / 3, len / 2, len.saturating_sub(1), len] {
+                let (a, b) = slice.split_at(cut);
+                assert_eq!(
+                    crc32_combine(crc32(a), crc32(b), b.len() as u64),
+                    reference,
+                    "len={len} cut={cut}"
+                );
+            }
+        }
+        // Many-piece stitching, as the pipeline does per chunk.
+        let mut acc = crc32(&[]);
+        for piece in data.chunks(97) {
+            acc = crc32_combine(acc, crc32(piece), piece.len() as u64);
+        }
+        assert_eq!(acc, whole);
     }
 
     #[test]

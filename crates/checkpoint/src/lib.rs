@@ -41,7 +41,7 @@ mod packer;
 pub mod serialize;
 mod value;
 
-pub use checksum::{checksum_frame, crc32, verify_checksum};
+pub use checksum::{checksum_frame, crc32, crc32_combine, verify_checksum};
 pub use decompose::{decompose, Decomposition, TensorKey};
 pub use error::CheckpointError;
 pub use packer::{Packer, Packet, TensorExtent};

@@ -2,6 +2,23 @@ use ecc_erasure::ScheduleKind;
 
 use crate::EcCheckError;
 
+/// How [`crate::EcCheck::save`] executes (paper §IV).
+///
+/// Both modes store byte-identical blobs — the differential suite in
+/// `tests/pipeline_differential.rs` holds them to that — so the choice
+/// only affects *how* the work is scheduled, never what lands on the
+/// cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SaveMode {
+    /// One monolithic pass: pack, build chunks, encode, then place. The
+    /// oracle the pipelined executor is differentially tested against.
+    Sequential,
+    /// The paper's checkpoint coding pipeline: fixed-size stripes stream
+    /// through encode → XOR-reduce → transfer stages on worker threads,
+    /// with transfers gated into profiled network idle slots.
+    Pipelined,
+}
+
 /// Tunables of the ECCheck system.
 ///
 /// # Examples
@@ -31,6 +48,9 @@ pub struct EcCheckConfig {
     remote_flush_every: u64,
     use_idle_slots: bool,
     fetch_retries: usize,
+    save_mode: SaveMode,
+    pipeline_buffer: usize,
+    pipeline_depth: usize,
 }
 
 impl EcCheckConfig {
@@ -50,6 +70,9 @@ impl EcCheckConfig {
             remote_flush_every: 50,
             use_idle_slots: true,
             fetch_retries: 2,
+            save_mode: SaveMode::Pipelined,
+            pipeline_buffer: 4 << 20,
+            pipeline_depth: 8,
         }
     }
 
@@ -101,6 +124,29 @@ impl EcCheckConfig {
     /// Enables or disables idle-slot communication scheduling.
     pub fn with_idle_slots(mut self, on: bool) -> Self {
         self.use_idle_slots = on;
+        self
+    }
+
+    /// Overrides how the save path executes (default: pipelined).
+    pub fn with_save_mode(mut self, mode: SaveMode) -> Self {
+        self.save_mode = mode;
+        self
+    }
+
+    /// Overrides the pipeline stripe-buffer size in bytes: roughly how
+    /// many bytes of one data chunk each encode task consumes. Rounded
+    /// internally so stripe boundaries stay coding-aligned.
+    pub fn with_pipeline_buffer(mut self, bytes: usize) -> Self {
+        self.pipeline_buffer = bytes;
+        self
+    }
+
+    /// Overrides the pipeline depth: how many stripes may be in flight
+    /// between the encode and transfer stages at once. Deeper pipelines
+    /// absorb more stage jitter at the cost of `depth` reusable
+    /// stripe-sized reduction buffers.
+    pub fn with_pipeline_depth(mut self, depth: usize) -> Self {
+        self.pipeline_depth = depth.max(2);
         self
     }
 
@@ -168,6 +214,21 @@ impl EcCheckConfig {
         self.fetch_retries
     }
 
+    /// How the save path executes.
+    pub fn save_mode(&self) -> SaveMode {
+        self.save_mode
+    }
+
+    /// Pipeline stripe-buffer size in bytes.
+    pub fn pipeline_buffer(&self) -> usize {
+        self.pipeline_buffer
+    }
+
+    /// Pipeline depth (in-flight stripes between encode and transfer).
+    pub fn pipeline_depth(&self) -> usize {
+        self.pipeline_depth
+    }
+
     /// Validates the configuration against a cluster size.
     ///
     /// # Errors
@@ -198,6 +259,11 @@ impl EcCheckConfig {
         if self.data_buffers == 0 || self.encoding_buffers == 0 {
             return Err(EcCheckError::Config {
                 detail: "buffer pools must be non-empty".to_string(),
+            });
+        }
+        if self.pipeline_buffer == 0 {
+            return Err(EcCheckError::Config {
+                detail: "pipeline buffer size must be positive".to_string(),
             });
         }
         if !world_size.is_multiple_of(self.k) {
@@ -264,12 +330,31 @@ mod tests {
             .with_coding_threads(0)
             .with_remote_flush_every(10)
             .with_idle_slots(false)
-            .with_fetch_retries(5);
+            .with_fetch_retries(5)
+            .with_save_mode(SaveMode::Sequential)
+            .with_pipeline_buffer(1 << 16)
+            .with_pipeline_depth(1);
         assert_eq!((c.k(), c.m(), c.w()), (3, 1, 4));
         assert_eq!(c.packet_size(), 320);
         assert_eq!(c.coding_threads(), 1);
         assert_eq!(c.remote_flush_every(), 10);
         assert!(!c.use_idle_slots());
         assert_eq!(c.fetch_retries(), 5);
+        assert_eq!(c.save_mode(), SaveMode::Sequential);
+        assert_eq!(c.pipeline_buffer(), 1 << 16);
+        assert_eq!(c.pipeline_depth(), 2, "depth clamps to a working minimum");
+    }
+
+    #[test]
+    fn default_save_mode_is_pipelined() {
+        let c = EcCheckConfig::paper_defaults();
+        assert_eq!(c.save_mode(), SaveMode::Pipelined);
+        assert!(c.pipeline_buffer() > 0 && c.pipeline_depth() >= 2);
+    }
+
+    #[test]
+    fn validate_rejects_zero_pipeline_buffer() {
+        let c = EcCheckConfig::paper_defaults().with_pipeline_buffer(0);
+        assert!(c.validate(4, 16).is_err());
     }
 }

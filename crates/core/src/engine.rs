@@ -16,13 +16,16 @@ use ecc_checkpoint::{
 };
 use ecc_cluster::{ClusterError, ClusterSpec, DataPlane};
 use ecc_erasure::{CodeParams, CodingPool, ErasureCode};
+use ecc_sim::{Bandwidth, BusyWindows, SlotGate};
 use ecc_telemetry::Recorder;
 use ecc_trace::{Tracer, TrackId, DRIVER_PID};
 
+use crate::config::SaveMode;
 use crate::keys::{
     chunk_crc_key, chunk_key, header_crc_key, header_key, manifest_key, remote_chunk_crc_key,
     remote_chunk_key, remote_header_crc_key, remote_header_key, remote_manifest_key,
 };
+use crate::pipeline::{self, PipelineJob, PipelineOutcome, PipelineStats};
 use crate::{
     select_data_parity_nodes, EcCheckConfig, EcCheckError, LoadReport, Placement, RecoveryWorkflow,
     ReductionPlan, SaveReport,
@@ -57,15 +60,18 @@ pub struct EcCheck {
     packets_per_worker: usize,
     recorder: Recorder,
     trace: Option<TraceHandles>,
+    /// Profiled network-busy windows + wire bandwidth for idle-slot
+    /// gating of pipelined transfers (paper §IV-B-3).
+    idle_profile: Option<(BusyWindows, Bandwidth)>,
 }
 
 /// Tracing handles for the engine: the driver's `engine` track hosts the
 /// `ecc.{save,load,update,flush}` root spans and their phase children;
 /// per-node `storage` tracks receive the chunk store/fetch flows.
 #[derive(Debug, Clone)]
-struct TraceHandles {
-    tracer: Tracer,
-    engine: TrackId,
+pub(crate) struct TraceHandles {
+    pub(crate) tracer: Tracer,
+    pub(crate) engine: TrackId,
 }
 
 impl TraceHandles {
@@ -74,7 +80,7 @@ impl TraceHandles {
     }
 
     /// The `storage` track of simulated node `node` (pid = node index).
-    fn node_track(&self, node: usize) -> TrackId {
+    pub(crate) fn node_track(&self, node: usize) -> TrackId {
         self.tracer.track(node as u64, &format!("node{node}"), "storage")
     }
 }
@@ -112,7 +118,32 @@ impl EcCheck {
             packets_per_worker: 0,
             recorder,
             trace: None,
+            idle_profile: None,
         })
+    }
+
+    /// Attaches a profiled training iteration — its network-busy windows
+    /// and the checkpoint wire bandwidth — so pipelined saves gate their
+    /// transfers into the idle slots (paper §IV-B-3). Gating is virtual
+    /// time: stores still complete immediately on the in-memory data
+    /// plane, but each save deterministically accounts when its transfers
+    /// would start, finish and wait on the profiled wire (see
+    /// [`crate::PipelineStats`] and the `ecc.pipeline.slot_*` counters).
+    ///
+    /// Takes effect when the configuration has idle slots enabled (the
+    /// default) and the save mode is pipelined.
+    pub fn set_idle_profile(&mut self, windows: BusyWindows, wire: Bandwidth) {
+        self.idle_profile = Some((windows, wire));
+    }
+
+    /// Removes the idle-slot profile; subsequent saves transfer ungated.
+    pub fn clear_idle_profile(&mut self) {
+        self.idle_profile = None;
+    }
+
+    /// The attached idle-slot profile, if any.
+    pub fn idle_profile(&self) -> Option<(&BusyWindows, Bandwidth)> {
+        self.idle_profile.as_ref().map(|(w, b)| (w, *b))
     }
 
     /// The telemetry recorder this engine reports into. Snapshot it to
@@ -258,43 +289,30 @@ impl EcCheck {
         drop(span);
         drop(phase);
 
-        // Step 3c: encode parity chunks (thread-pooled XOR schedules).
-        let phase = self.recorder.timer("ecc.save.encode_ns");
-        let span = trace.as_ref().map(|t| {
-            t.tracer.span(
-                t.engine,
-                "save.encode",
-                format!("k={} m={}", self.config.k(), self.config.m()),
-            )
-        });
-        let chunk_refs: Vec<&[u8]> = data_chunks.iter().map(Vec::as_slice).collect();
-        let parity_chunks = if self.config.coding_threads() > 1 {
-            self.pool.encode(&self.code, &chunk_refs)?
-        } else {
-            self.code.encode_with(&chunk_refs, self.config.schedule())?
-        };
-        let encoded_bytes: u64 = parity_chunks.iter().map(|c| c.len() as u64).sum();
-        drop(span);
-        drop(phase);
+        // Step 4 happens only every `remote_flush_every` saves; decided
+        // up front so the pipelined executor knows whether to keep owned
+        // chunk copies around for the flush.
+        let will_flush = self.config.remote_flush_every() > 0
+            && (self.saves + 1).is_multiple_of(self.config.remote_flush_every());
 
-        // Step 3d: place chunks and headers (XOR reduction + P2P in the
-        // real system; here the byte movement outcome).
-        let phase = self.recorder.timer("ecc.save.place_ns");
-        let span = trace.as_ref().map(|t| t.tracer.span(t.engine, "save.place", ""));
+        // Steps 3c + 3d: encode parity and place every chunk. Two
+        // executors, one contract — byte-identical cluster state (the
+        // differential suite in `tests/pipeline_differential.rs` holds
+        // them to it).
+        let (encoded_bytes, pipeline_stats, flush_chunks) = match self.config.save_mode() {
+            SaveMode::Sequential => {
+                self.save_sequential(cluster, version, data_chunks, will_flush, &trace)?
+            }
+            SaveMode::Pipelined => {
+                self.save_pipelined(cluster, version, data_chunks, will_flush, &trace)?
+            }
+        };
+
+        // Headers and the packet-count manifest go everywhere (tiny,
+        // ungated), closing out the placement identically in both modes.
         let header_frames: Vec<Vec<u8>> =
             headers.iter().map(|h| checksum_frame(h.as_slice())).collect();
-        for (j, chunk) in data_chunks.iter().enumerate() {
-            let node = self.placement.data_nodes()[j];
-            cluster.put_local(node, &chunk_key(version), chunk.clone())?;
-            cluster.put_local(node, &chunk_crc_key(version), checksum_frame(chunk))?;
-            trace_store(&trace, node, &format!("data chunk {j}"));
-        }
-        for (i, chunk) in parity_chunks.iter().enumerate() {
-            let node = self.placement.parity_nodes()[i];
-            cluster.put_local(node, &chunk_key(version), chunk.clone())?;
-            cluster.put_local(node, &chunk_crc_key(version), checksum_frame(chunk))?;
-            trace_store(&trace, node, &format!("parity chunk {i}"));
-        }
+        let span = trace.as_ref().map(|t| t.tracer.span(t.engine, "save.headers", ""));
         for node in 0..self.spec.nodes() {
             for (w, header) in headers.iter().enumerate() {
                 cluster.put_local(node, &header_key(version, w), header.clone())?;
@@ -303,14 +321,14 @@ impl EcCheck {
             cluster.put_local(node, &manifest_key(version), manifest(max_packets))?;
         }
         drop(span);
-        drop(phase);
 
         // Step 4: low-frequency remote flush for catastrophic failures.
         self.saves += 1;
-        let remote_flushed = self.config.remote_flush_every() > 0
-            && self.saves.is_multiple_of(self.config.remote_flush_every());
+        let remote_flushed = will_flush;
         if remote_flushed {
-            self.flush_remote_chunks(cluster, version, &data_chunks, &parity_chunks, &headers);
+            let (flush_data, flush_parity) =
+                flush_chunks.expect("flush chunks kept when a flush is due");
+            self.flush_remote_chunks(cluster, version, &flush_data, &flush_parity, &headers);
         }
 
         // Drop the previous version only after the new one is complete.
@@ -349,7 +367,133 @@ impl EcCheck {
             encoded_bytes,
             traffic,
             remote_flushed,
+            pipeline: pipeline_stats,
         })
+    }
+
+    /// Steps 3c + 3d, sequential executor: one monolithic encode, then
+    /// every chunk stored in index order. The oracle the pipelined path
+    /// is differentially tested against.
+    #[allow(clippy::type_complexity)]
+    fn save_sequential(
+        &mut self,
+        cluster: &mut impl DataPlane,
+        version: u64,
+        data_chunks: Vec<Vec<u8>>,
+        will_flush: bool,
+        trace: &Option<TraceHandles>,
+    ) -> Result<(u64, Option<PipelineStats>, Option<(Vec<Vec<u8>>, Vec<Vec<u8>>)>), EcCheckError>
+    {
+        // Step 3c: encode parity chunks (thread-pooled XOR schedules).
+        let phase = self.recorder.timer("ecc.save.encode_ns");
+        let span = trace.as_ref().map(|t| {
+            t.tracer.span(
+                t.engine,
+                "save.encode",
+                format!("k={} m={}", self.config.k(), self.config.m()),
+            )
+        });
+        let chunk_refs: Vec<&[u8]> = data_chunks.iter().map(Vec::as_slice).collect();
+        let parity_chunks = if self.config.coding_threads() > 1 {
+            self.pool.encode(&self.code, &chunk_refs)?
+        } else {
+            self.code.encode_with(&chunk_refs, self.config.schedule())?
+        };
+        let encoded_bytes: u64 = parity_chunks.iter().map(|c| c.len() as u64).sum();
+        drop(span);
+        drop(phase);
+
+        // Step 3d: place chunks (XOR reduction + P2P in the real system;
+        // here the byte movement outcome).
+        let phase = self.recorder.timer("ecc.save.place_ns");
+        let span = trace.as_ref().map(|t| t.tracer.span(t.engine, "save.place", ""));
+        for (j, chunk) in data_chunks.iter().enumerate() {
+            let node = self.placement.data_nodes()[j];
+            cluster.put_local(node, &chunk_key(version), chunk.clone())?;
+            cluster.put_local(node, &chunk_crc_key(version), checksum_frame(chunk))?;
+            trace_store(trace, node, &format!("data chunk {j}"));
+        }
+        for (i, chunk) in parity_chunks.iter().enumerate() {
+            let node = self.placement.parity_nodes()[i];
+            cluster.put_local(node, &chunk_key(version), chunk.clone())?;
+            cluster.put_local(node, &chunk_crc_key(version), checksum_frame(chunk))?;
+            trace_store(trace, node, &format!("parity chunk {i}"));
+        }
+        drop(span);
+        drop(phase);
+        let flush_chunks = will_flush.then_some((data_chunks, parity_chunks));
+        Ok((encoded_bytes, None, flush_chunks))
+    }
+
+    /// Steps 3c + 3d, pipelined executor (paper §IV-C): stripes stream
+    /// through encode → XOR-reduce → transfer on the coding threads, with
+    /// transfers gated into profiled network idle slots when a profile is
+    /// attached. See [`crate::pipeline`]'s module docs for the dataflow.
+    #[allow(clippy::type_complexity)]
+    fn save_pipelined(
+        &mut self,
+        cluster: &mut impl DataPlane,
+        version: u64,
+        data_chunks: Vec<Vec<u8>>,
+        will_flush: bool,
+        trace: &Option<TraceHandles>,
+    ) -> Result<(u64, Option<PipelineStats>, Option<(Vec<Vec<u8>>, Vec<Vec<u8>>)>), EcCheckError>
+    {
+        let gate = if self.config.use_idle_slots() {
+            // A fresh gate per save: the profile describes one training
+            // iteration, and determinism wants every save to schedule
+            // against the same virtual timeline.
+            self.idle_profile.as_ref().map(|(windows, wire)| SlotGate::new(windows.clone(), *wire))
+        } else {
+            None
+        };
+        if let Some(t) = trace {
+            t.tracer.instant(
+                t.engine,
+                "save.pipeline",
+                format!(
+                    "threads={} buffer={} depth={} gated={}",
+                    self.config.coding_threads(),
+                    self.config.pipeline_buffer(),
+                    self.config.pipeline_depth(),
+                    gate.is_some()
+                ),
+            );
+        }
+        let result = pipeline::run(
+            PipelineJob {
+                version,
+                data_chunks,
+                keep_chunks: will_flush,
+                code: &self.code,
+                placement: &self.placement,
+                reduction: &self.reduction,
+                threads: self.config.coding_threads(),
+                buffer: self.config.pipeline_buffer(),
+                depth: self.config.pipeline_depth(),
+                recorder: &self.recorder,
+                trace: trace.as_ref(),
+                gate,
+            },
+            cluster,
+        );
+        // Summary spans for the two overlapped stages, re-emitted on the
+        // engine track as direct children of `ecc.save` (timestamps come
+        // from the executor; the executor itself writes nothing to the
+        // engine track, so these deferred spans never get clamped).
+        if let (Some(t), Ok(outcome)) = (trace.as_ref(), &result) {
+            t.tracer.begin_at(
+                t.engine,
+                "save.encode",
+                format!("k={} m={} pipelined", self.config.k(), self.config.m()),
+                outcome.encode_begin_ns,
+            );
+            t.tracer.end_at(t.engine, outcome.encode_end_ns);
+            t.tracer.begin_at(t.engine, "save.place", "pipelined", outcome.place_begin_ns);
+            t.tracer.end_at(t.engine, outcome.place_end_ns);
+        }
+        let PipelineOutcome { encoded_bytes, stats, kept, .. } = result?;
+        Ok((encoded_bytes, Some(stats), kept))
     }
 
     /// `eccheck.load`: reconstructs every worker's `state_dict` from the
@@ -1022,7 +1166,7 @@ impl EcCheck {
 /// Emits a driver → node chunk-placement flow: an arrow out of the
 /// currently open driver span into a `store.chunk` slice on the node's
 /// `storage` track.
-fn trace_store(trace: &Option<TraceHandles>, node: usize, what: &str) {
+pub(crate) fn trace_store(trace: &Option<TraceHandles>, node: usize, what: &str) {
     if let Some(t) = trace {
         let flow = t.tracer.flow_start(t.engine, "p2p.store");
         let nt = t.node_track(node);

@@ -63,15 +63,17 @@ mod engine;
 mod error;
 mod groups;
 pub mod keys;
+mod pipeline;
 mod placement;
 mod reduction;
 mod report;
 pub mod timing;
 
-pub use config::EcCheckConfig;
+pub use config::{EcCheckConfig, SaveMode};
 pub use engine::EcCheck;
 pub use error::EcCheckError;
 pub use groups::{optimal_group_size, GroupSizeCost, GroupedEcCheck};
+pub use pipeline::PipelineStats;
 pub use placement::{data_p2p_packets, select_data_parity_nodes, Placement};
 pub use reduction::{ReductionGroup, ReductionPlan, TrafficSummary};
 pub use report::{LoadReport, RecoveryWorkflow, SaveReport};

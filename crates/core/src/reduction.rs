@@ -142,6 +142,29 @@ impl ReductionPlan {
             parity_p2p: parity_moves * packet_units,
         }
     }
+
+    /// Cluster node hosting the reduction target of group `group` for
+    /// parity index `parity`.
+    pub fn target_node(&self, group: usize, parity: usize) -> usize {
+        self.groups[group].targets[parity] / self.gpus_per_node
+    }
+
+    /// How many reductions per checkpoint land on a target worker that
+    /// already lives on the owning parity node (rule 1 of target
+    /// selection, paper §IV-B-2) — those results need no parity P2P hop.
+    /// The complement of the `parity_p2p` moves counted by
+    /// [`ReductionPlan::traffic`].
+    pub fn local_target_hits(&self) -> usize {
+        let mut hits = 0;
+        for (g, group) in self.groups.iter().enumerate() {
+            for i in 0..group.targets.len() {
+                if self.target_node(g, i) == self.placement.parity_nodes()[i] {
+                    hits += 1;
+                }
+            }
+        }
+        hits
+    }
 }
 
 /// Selects the `m` reduction targets for one group (paper §IV-B-2).
@@ -291,6 +314,29 @@ mod tests {
             assert_eq!(g.targets().len(), 4);
             for t in g.targets() {
                 assert!(g.members().contains(t));
+            }
+        }
+    }
+
+    /// `local_target_hits` is exactly the complement of the parity P2P
+    /// moves `traffic` charges for: every reduction either lands on its
+    /// parity node (a hit) or pays one parity move.
+    #[test]
+    fn local_hits_complement_parity_moves() {
+        for (nodes, g, k, m) in [(4, 4, 2, 2), (4, 1, 2, 2), (6, 2, 3, 3), (8, 4, 4, 4)] {
+            let plan = plan_for(nodes, g, k, m);
+            let t = plan.traffic(1);
+            let reductions = plan.reduction_op_count() as u64;
+            assert_eq!(
+                plan.local_target_hits() as u64 + t.parity_p2p,
+                reductions,
+                "nodes={nodes} g={g} k={k} m={m}"
+            );
+            for (r, group) in plan.groups().iter().enumerate() {
+                for i in 0..group.targets().len() {
+                    let node = plan.target_node(r, i);
+                    assert!(node < nodes, "target node in range");
+                }
             }
         }
     }

@@ -1,6 +1,6 @@
 use ecc_cluster::NodeId;
 
-use crate::TrafficSummary;
+use crate::{PipelineStats, TrafficSummary};
 
 /// What one [`crate::EcCheck::save`] call did.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -17,6 +17,9 @@ pub struct SaveReport {
     pub traffic: TrafficSummary,
     /// Whether this save also flushed to remote storage (step 4).
     pub remote_flushed: bool,
+    /// Stage accounting of the pipelined executor; `None` for
+    /// sequential saves.
+    pub pipeline: Option<PipelineStats>,
 }
 
 /// Which recovery workflow [`crate::EcCheck::load`] executed (paper

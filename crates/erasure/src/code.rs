@@ -15,6 +15,8 @@ pub(crate) struct CodeMetrics {
     pub(crate) encode_parity_bytes: Counter,
     pub(crate) encode_xor_ops: Counter,
     pub(crate) kernel_bytes: Counter,
+    column_calls: Counter,
+    column_bytes: Counter,
     decode_calls: Counter,
     decode_bytes: Counter,
     decode_rebuilt_chunks: Counter,
@@ -30,6 +32,8 @@ impl CodeMetrics {
             encode_parity_bytes: recorder.counter("erasure.encode.parity_bytes"),
             encode_xor_ops: recorder.counter("erasure.encode.xor_ops"),
             kernel_bytes: kernel_bytes_counter(recorder),
+            column_calls: recorder.counter("erasure.column.calls"),
+            column_bytes: recorder.counter("erasure.column.bytes"),
             decode_calls: recorder.counter("erasure.decode.calls"),
             decode_bytes: recorder.counter("erasure.decode.bytes"),
             decode_rebuilt_chunks: recorder.counter("erasure.decode.rebuilt_chunks"),
@@ -76,6 +80,12 @@ pub struct ErasureCode {
     generator: Matrix,
     smart: XorSchedule,
     dumb: XorSchedule,
+    /// Single-column smart schedules, one per data chunk: `columns[j]`
+    /// produces the contribution of data chunk `j` alone to every parity
+    /// chunk. By GF(2) linearity, XORing the `k` contributions equals a
+    /// full encode — the decomposition the pipelined save executor and
+    /// incremental updates are built on.
+    columns: Vec<XorSchedule>,
     metrics: Option<CodeMetrics>,
     tracer: Option<(Tracer, TrackId)>,
 }
@@ -118,7 +128,15 @@ impl ErasureCode {
             XorSchedule::from_bitmatrix(&bits, params.k(), params.m(), w, ScheduleKind::Smart);
         let dumb =
             XorSchedule::from_bitmatrix(&bits, params.k(), params.m(), w, ScheduleKind::Dumb);
-        Ok(Self { params, gf, generator, smart, dumb, metrics: None, tracer: None })
+        let columns = (0..params.k())
+            .map(|chunk| {
+                let column =
+                    Matrix::from_fn(params.m(), 1, |i, _| generator.get(params.k() + i, chunk));
+                let col_bits = BitMatrix::from_gf_matrix(&column, &gf);
+                XorSchedule::from_bitmatrix(&col_bits, 1, params.m(), w, ScheduleKind::Smart)
+            })
+            .collect();
+        Ok(Self { params, gf, generator, smart, dumb, columns, metrics: None, tracer: None })
     }
 
     /// Attaches a telemetry recorder: encode/decode calls, bytes, XOR-op
@@ -765,28 +783,203 @@ impl ErasureCode {
     /// # Ok::<(), ecc_erasure::ErasureError>(())
     /// ```
     pub fn parity_delta(&self, chunk: usize, delta: &[u8]) -> Result<Vec<Vec<u8>>, ErasureError> {
-        let (k, m) = (self.params.k(), self.params.m());
+        self.validate_column_region(chunk, delta)?;
+        // Single-column generator: parity rows restricted to `chunk`,
+        // pre-built at construction time (see `Self::columns`).
+        let ps = delta.len() / self.params.w() as usize;
+        Ok(run_schedule_on(&self.columns[chunk], &[delta], ps))
+    }
+
+    /// Computes the contribution of data chunk `chunk` (with contents
+    /// `region`) to all `m` parity chunks, writing into `out` — a flat
+    /// buffer holding the `m` contiguous contribution chunks back to
+    /// back, so `out.len()` must be `m * region.len()`.
+    ///
+    /// This is [`ErasureCode::parity_delta`] restricted to a caller-owned
+    /// output buffer: the pipelined save executor calls it per stripe
+    /// from its worker threads, recycling `out` through a bounded ring so
+    /// steady-state encoding allocates nothing. XORing the `k` column
+    /// contributions together is bit-identical to [`ErasureCode::encode`]
+    /// (GF(2) linearity), and because XOR schedules act column-wise the
+    /// identity also holds stripe by stripe.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ErasureError::InvalidParams`] for an out-of-range chunk
+    /// index or a mis-sized `out`, and [`ErasureError::BadChunkLength`]
+    /// for a misaligned `region`.
+    pub fn encode_column_into(
+        &self,
+        chunk: usize,
+        region: &[u8],
+        out: &mut [u8],
+    ) -> Result<(), ErasureError> {
+        self.validate_column_region(chunk, region)?;
+        let m = self.params.m();
+        if out.len() != m * region.len() {
+            return Err(ErasureError::InvalidParams {
+                detail: format!(
+                    "column output must be m * region = {} bytes, got {}",
+                    m * region.len(),
+                    out.len()
+                ),
+            });
+        }
+        let ps = region.len() / self.params.w() as usize;
+        run_schedule_flat(&self.columns[chunk], region, out, ps);
+        if let Some(metrics) = &self.metrics {
+            metrics.column_calls.incr();
+            metrics.column_bytes.add(region.len() as u64);
+            metrics.encode_xor_ops.add(self.columns[chunk].xor_count() as u64);
+            metrics.kernel_bytes.add(region.len() as u64);
+        }
+        Ok(())
+    }
+
+    /// [`ErasureCode::encode_column_into`] for one *stripe* of a full
+    /// data chunk, reading the stripe in place: with the chunk holding
+    /// `w` sub-packets of `ps_total = chunk.len() / w` bytes each,
+    /// sub-packet `r` of the stripe is `chunk[r * ps_total + lo ..][..
+    /// rows]`. This saves the caller the gather copy a contiguous
+    /// region would require — the save pipeline's encode stage reads
+    /// every stripe straight out of the original chunk.
+    ///
+    /// Bit-identical to gathering the stripe and calling
+    /// [`ErasureCode::encode_column_into`] on it; `out` uses the same
+    /// flat layout (`m * w * rows` bytes, output chunk `i` sub-packet
+    /// `r` at `out[(i*w + r) * rows ..]`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ErasureError::InvalidParams`] for an out-of-range
+    /// chunk index, a stripe outside the packet dimension, `rows` not a
+    /// positive multiple of 8, or a mis-sized `out`, and
+    /// [`ErasureError::BadChunkLength`] for a misaligned `chunk`.
+    pub fn encode_column_stripe_into(
+        &self,
+        chunk_index: usize,
+        chunk: &[u8],
+        lo: usize,
+        rows: usize,
+        out: &mut [u8],
+    ) -> Result<(), ErasureError> {
+        let k = self.params.k();
+        if chunk_index >= k {
+            return Err(ErasureError::InvalidParams {
+                detail: format!("chunk index {chunk_index} out of range (k = {k})"),
+            });
+        }
+        if chunk.is_empty() || !chunk.len().is_multiple_of(self.params.alignment()) {
+            return Err(ErasureError::BadChunkLength {
+                detail: format!(
+                    "chunk length {} must be a positive multiple of {}",
+                    chunk.len(),
+                    self.params.alignment()
+                ),
+            });
+        }
+        let w = self.params.w() as usize;
+        let ps_total = chunk.len() / w;
+        if rows == 0 || !rows.is_multiple_of(8) || lo + rows > ps_total {
+            return Err(ErasureError::InvalidParams {
+                detail: format!(
+                    "stripe [{lo}, {}) with rows {rows} must be a positive multiple of 8 \
+                     within the packet dimension {ps_total}",
+                    lo + rows
+                ),
+            });
+        }
+        let m = self.params.m();
+        if out.len() != m * w * rows {
+            return Err(ErasureError::InvalidParams {
+                detail: format!(
+                    "column output must be m * w * rows = {} bytes, got {}",
+                    m * w * rows,
+                    out.len()
+                ),
+            });
+        }
+        run_schedule_strided(&self.columns[chunk_index], chunk, ps_total, lo, out, rows);
+        if let Some(metrics) = &self.metrics {
+            metrics.column_calls.incr();
+            metrics.column_bytes.add((w * rows) as u64);
+            metrics.encode_xor_ops.add(self.columns[chunk_index].xor_count() as u64);
+            metrics.kernel_bytes.add((w * rows) as u64);
+        }
+        Ok(())
+    }
+
+    fn validate_column_region(&self, chunk: usize, region: &[u8]) -> Result<(), ErasureError> {
+        let k = self.params.k();
         if chunk >= k {
             return Err(ErasureError::InvalidParams {
                 detail: format!("chunk index {chunk} out of range (k = {k})"),
             });
         }
-        if delta.is_empty() || !delta.len().is_multiple_of(self.params.alignment()) {
+        if region.is_empty() || !region.len().is_multiple_of(self.params.alignment()) {
             return Err(ErasureError::BadChunkLength {
                 detail: format!(
                     "delta length {} must be a positive multiple of {}",
-                    delta.len(),
+                    region.len(),
                     self.params.alignment()
                 ),
             });
         }
-        // Single-column generator: parity rows restricted to `chunk`.
-        let w = self.params.w() as usize;
-        let column = Matrix::from_fn(m, 1, |i, _| self.generator.get(k + i, chunk));
-        let bits = BitMatrix::from_gf_matrix(&column, &self.gf);
-        let schedule = XorSchedule::from_bitmatrix(&bits, 1, m, w, ScheduleKind::Smart);
-        let ps = delta.len() / w;
-        Ok(run_schedule_on(&schedule, &[delta], ps))
+        Ok(())
+    }
+}
+
+/// Executes a single-source (`k = 1`) schedule with the `m` output chunks
+/// laid out back to back in one flat buffer: output chunk `i`, sub-packet
+/// `r` lives at `out[(i*w + r) * ps ..][..ps]`.
+///
+/// Op-for-op identical to [`run_schedule_on`] modulo buffer layout; the
+/// flat shape is what lets the save pipeline recycle one allocation per
+/// in-flight stripe.
+pub(crate) fn run_schedule_flat(schedule: &XorSchedule, source: &[u8], out: &mut [u8], ps: usize) {
+    run_schedule_strided(schedule, source, ps, 0, out, ps);
+}
+
+/// [`run_schedule_flat`] with the source sub-packets read through a
+/// stride: sub-packet `r` is `source[r * src_stride + src_offset ..][..
+/// ps]`. With `src_stride == ps` and `src_offset == 0` this is exactly
+/// the flat layout; a larger stride reads one stripe of a full chunk in
+/// place.
+pub(crate) fn run_schedule_strided(
+    schedule: &XorSchedule,
+    source: &[u8],
+    src_stride: usize,
+    src_offset: usize,
+    out: &mut [u8],
+    ps: usize,
+) {
+    let w = schedule.w();
+    debug_assert_eq!(schedule.k(), 1);
+    debug_assert!(ps <= src_stride && src_offset + ps <= src_stride);
+    debug_assert_eq!(source.len(), w * src_stride);
+    debug_assert_eq!(out.len(), schedule.m() * w * ps);
+    let parity_base = w; // k = 1, so source sub-packets occupy [0, w).
+    for op in schedule.ops() {
+        let dst = op.dst() - parity_base;
+        let src = op.src();
+        if src < parity_base {
+            let src_slice = &source[src * src_stride + src_offset..][..ps];
+            let dst_slice = &mut out[dst * ps..(dst + 1) * ps];
+            match op {
+                XorOp::Copy { .. } => region::copy_into(dst_slice, src_slice),
+                XorOp::Xor { .. } => region::xor_into(dst_slice, src_slice),
+            }
+        } else {
+            let src_idx = src - parity_base;
+            debug_assert_ne!(src_idx, dst, "schedule must not read its own destination");
+            let [s, d] = out
+                .get_disjoint_mut([src_idx * ps..(src_idx + 1) * ps, dst * ps..(dst + 1) * ps])
+                .expect("schedule ranges are distinct and in bounds");
+            match op {
+                XorOp::Copy { .. } => region::copy_into(d, s),
+                XorOp::Xor { .. } => region::xor_into(d, s),
+            }
+        }
     }
 }
 
@@ -835,5 +1028,140 @@ mod delta_tests {
         assert!(code.parity_delta(2, &[0u8; 64]).is_err());
         assert!(code.parity_delta(0, &[0u8; 63]).is_err());
         assert!(code.parity_delta(0, &[]).is_err());
+        let mut out = vec![0u8; 64];
+        assert!(code.encode_column_into(0, &[0u8; 64], &mut out).is_err()); // out != m * region
+        assert!(code.encode_column_into(2, &[0u8; 64], &mut [0u8; 128]).is_err());
+        assert!(code.encode_column_into(0, &[0u8; 63], &mut [0u8; 126]).is_err());
+    }
+
+    /// XORing the per-column flat contributions together reproduces the
+    /// full encode bit-exactly — the identity the pipelined save's
+    /// encode → XOR-reduce split rests on.
+    #[test]
+    fn xor_of_column_contributions_equals_full_encode() {
+        for (k, m, w) in [(2usize, 2usize, 8u8), (4, 2, 8), (3, 3, 8), (2, 2, 4), (2, 2, 16)] {
+            let params = CodeParams::new(k, m, w).unwrap();
+            let code = ErasureCode::cauchy_good(params).unwrap();
+            let len = 4 * params.alignment();
+            let data: Vec<Vec<u8>> = (0..k).map(|i| filled(len, i as u8)).collect();
+            let refs: Vec<&[u8]> = data.iter().map(Vec::as_slice).collect();
+            let expected = code.encode(&refs).unwrap();
+            let mut acc = vec![0u8; m * len];
+            let mut contrib = vec![0u8; m * len];
+            for (j, chunk) in data.iter().enumerate() {
+                code.encode_column_into(j, chunk, &mut contrib).unwrap();
+                xor_into(&mut acc, &contrib);
+            }
+            for (i, parity) in expected.iter().enumerate() {
+                assert_eq!(
+                    &acc[i * len..(i + 1) * len],
+                    parity.as_slice(),
+                    "k={k} m={m} w={w} parity {i}"
+                );
+            }
+        }
+    }
+
+    /// Column contributions are themselves column-wise: encoding a row
+    /// stripe of the input equals the same row stripe of the full-width
+    /// contribution, so stripes computed independently and scattered back
+    /// reassemble bit-exactly (the pipeline's unit of work).
+    #[test]
+    fn column_contribution_stripes_concatenate_exactly() {
+        let params = CodeParams::new(3, 2, 8).unwrap();
+        let code = ErasureCode::cauchy_good(params).unwrap();
+        let (m, w) = (params.m(), params.w() as usize);
+        let len = 6 * params.alignment();
+        let ps = len / w;
+        let chunk = filled(len, 9);
+        let mut full = vec![0u8; m * len];
+        code.encode_column_into(1, &chunk, &mut full).unwrap();
+        // Uneven stripe split of the packet dimension (multiples of 8).
+        for rows in [8usize, 16, 24] {
+            let mut lo = 0usize;
+            while lo < ps {
+                let hi = (lo + rows).min(ps);
+                let stripe_rows = hi - lo;
+                // Gather the stripe view: w scattered row ranges.
+                let mut view = Vec::with_capacity(w * stripe_rows);
+                for c in 0..w {
+                    view.extend_from_slice(&chunk[c * ps + lo..c * ps + hi]);
+                }
+                let mut out = vec![0u8; m * w * stripe_rows];
+                code.encode_column_into(1, &view, &mut out).unwrap();
+                for i in 0..m {
+                    for c in 0..w {
+                        let got = &out[(i * w + c) * stripe_rows..][..stripe_rows];
+                        let want = &full[i * len + c * ps + lo..i * len + c * ps + hi];
+                        assert_eq!(got, want, "rows={rows} lo={lo} parity {i} sub {c}");
+                    }
+                }
+                lo = hi;
+            }
+        }
+    }
+
+    /// The in-place stripe reader is bit-identical to gathering the
+    /// stripe into a contiguous region and encoding that — the identity
+    /// that lets the save pipeline skip the gather copy entirely.
+    #[test]
+    fn strided_stripe_encode_matches_gathered_encode() {
+        for (k, m, w8) in [(2usize, 2usize, 8u8), (4, 2, 8), (3, 3, 8)] {
+            let params = CodeParams::new(k, m, w8).unwrap();
+            let code = ErasureCode::cauchy_good(params).unwrap();
+            let w = params.w() as usize;
+            let len = 6 * params.alignment();
+            let ps = len / w;
+            for col in 0..k {
+                let chunk = filled(len, (17 * col + 3) as u8);
+                for rows in [8usize, 16, ps] {
+                    let mut lo = 0usize;
+                    while lo < ps {
+                        let hi = (lo + rows).min(ps);
+                        let stripe_rows = hi - lo;
+                        let mut gathered = Vec::with_capacity(w * stripe_rows);
+                        for c in 0..w {
+                            gathered.extend_from_slice(&chunk[c * ps + lo..c * ps + hi]);
+                        }
+                        let mut want = vec![0u8; m * w * stripe_rows];
+                        code.encode_column_into(col, &gathered, &mut want).unwrap();
+                        let mut got = vec![0u8; m * w * stripe_rows];
+                        code.encode_column_stripe_into(col, &chunk, lo, stripe_rows, &mut got)
+                            .unwrap();
+                        assert_eq!(got, want, "k={k} m={m} col={col} rows={rows} lo={lo}");
+                        lo = hi;
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn strided_stripe_encode_rejects_bad_geometry() {
+        let code = ErasureCode::cauchy_good(CodeParams::new(2, 2, 8).unwrap()).unwrap();
+        let chunk = vec![0u8; 128]; // ps_total = 16
+        let mut out = vec![0u8; 2 * 8 * 8];
+        assert!(code.encode_column_stripe_into(2, &chunk, 0, 8, &mut out).is_err()); // chunk idx
+        assert!(code.encode_column_stripe_into(0, &chunk[..127], 0, 8, &mut out).is_err()); // align
+        assert!(code.encode_column_stripe_into(0, &chunk, 0, 12, &mut out).is_err()); // rows % 8
+        assert!(code.encode_column_stripe_into(0, &chunk, 16, 8, &mut out).is_err()); // past end
+        assert!(code.encode_column_stripe_into(0, &chunk, 0, 8, &mut out[..64]).is_err()); // out len
+        assert!(code.encode_column_stripe_into(0, &chunk, 8, 8, &mut out).is_ok());
+    }
+
+    /// The flat-buffer runner agrees with the Vec-of-chunks delta path.
+    #[test]
+    fn flat_and_chunked_column_paths_agree() {
+        let code = ErasureCode::cauchy_good(CodeParams::new(4, 3, 8).unwrap()).unwrap();
+        let len = 192;
+        for j in 0..4 {
+            let delta = filled(len, j as u8);
+            let chunked = code.parity_delta(j, &delta).unwrap();
+            let mut flat = vec![0xFFu8; 3 * len];
+            code.encode_column_into(j, &delta, &mut flat).unwrap();
+            for (i, chunk) in chunked.iter().enumerate() {
+                assert_eq!(&flat[i * len..(i + 1) * len], chunk.as_slice(), "j={j} parity {i}");
+            }
+        }
     }
 }

@@ -34,6 +34,7 @@
 
 mod bandwidth;
 mod engine;
+mod gate;
 mod pipeline;
 mod resource;
 mod time;
@@ -41,6 +42,7 @@ mod windows;
 
 pub use bandwidth::Bandwidth;
 pub use engine::Simulation;
+pub use gate::{Admission, SlotGate};
 pub use pipeline::{
     pipeline_completion, pipeline_utilization, record_pipeline, trace_pipeline, StageConstraint,
 };

@@ -1,0 +1,118 @@
+//! Determinism of the pipelined save executor's observability.
+//!
+//! The executor runs on real worker threads, so nothing about thread
+//! scheduling may leak into the measurements: under a manual clock, a
+//! run's telemetry snapshot must be byte-identical across runs *and*
+//! across worker-thread counts (counters count work, not threads), and
+//! the exported Chrome trace must be byte-identical across runs at any
+//! fixed thread count (static task assignment, deterministically
+//! ordered track creation, driver-side span re-emission).
+
+use std::sync::Arc;
+
+use ecc_cluster::{Cluster, ClusterSpec};
+use ecc_telemetry::{ManualClock, Recorder};
+use ecc_trace::validate_chrome_trace;
+use eccheck::{EcCheck, EcCheckConfig, SaveMode};
+
+fn dicts(world: usize) -> Vec<ecc_checkpoint::StateDict> {
+    use ecc_checkpoint::{StateDict, Value};
+    (0..world)
+        .map(|w| {
+            let mut sd = StateDict::new();
+            sd.insert("rank", Value::Int(w as i64));
+            sd.insert("payload", Value::Bytes(vec![w as u8 ^ 0x3C; 96 + (w * 29) % 180]));
+            sd
+        })
+        .collect()
+}
+
+/// Two saves, a failure burst and a recovery under a manual clock;
+/// returns (telemetry snapshot JSON, Chrome trace JSON).
+fn run_once(threads: usize) -> (String, String) {
+    let spec = ClusterSpec::tiny_test(4, 2);
+    let mut cluster = Cluster::new(spec);
+    let cfg = EcCheckConfig::paper_defaults()
+        .with_packet_size(1024)
+        .with_save_mode(SaveMode::Pipelined)
+        .with_coding_threads(threads)
+        .with_pipeline_buffer(128)
+        .with_pipeline_depth(3);
+    let mut ecc = EcCheck::initialize(&spec, cfg).unwrap();
+    let clock = Arc::new(ManualClock::new());
+    ecc.set_recorder(Recorder::with_clock(clock.clone()));
+    let tracer = ecc.attach_tracer();
+
+    let current = dicts(8);
+    clock.advance_ns(1_000_000);
+    ecc.save(&mut cluster, &current).unwrap();
+    clock.advance_ns(1_000_000);
+    ecc.save(&mut cluster, &current).unwrap();
+    cluster.fail_node(0);
+    cluster.fail_node(3);
+    cluster.replace_node(0);
+    cluster.replace_node(3);
+    clock.advance_ns(250_000);
+    let (restored, _) = ecc.load(&mut cluster).unwrap();
+    assert_eq!(restored, current);
+    (ecc.recorder().snapshot().to_json(), tracer.chrome_trace_json())
+}
+
+#[test]
+fn snapshot_and_trace_are_byte_identical_across_runs_at_every_thread_count() {
+    for threads in [1usize, 2, 8] {
+        let (snap_a, trace_a) = run_once(threads);
+        let (snap_b, trace_b) = run_once(threads);
+        assert_eq!(snap_a, snap_b, "telemetry must be run-deterministic at threads={threads}");
+        assert_eq!(trace_a, trace_b, "trace must be run-deterministic at threads={threads}");
+        let stats = validate_chrome_trace(&trace_a).expect("exporter output must validate");
+        assert!(stats.spans > 0 && stats.flows > 0, "threads={threads}: {stats:?}");
+    }
+}
+
+#[test]
+fn telemetry_snapshot_does_not_depend_on_the_thread_count() {
+    // Counters count stripes, pieces and bytes — functions of the save's
+    // geometry, never of how many workers happened to execute them.
+    // Scheduling-dependent values (busy ns, ring/window waits) live in
+    // `SaveReport::pipeline`, not in the recorder.
+    let (snap_one, _) = run_once(1);
+    let (snap_eight, _) = run_once(8);
+    assert_eq!(snap_one, snap_eight, "thread count leaked into telemetry");
+    for key in [
+        "ecc.pipeline.stripes",
+        "ecc.pipeline.encode_tasks",
+        "ecc.pipeline.crc_pieces",
+        "erasure.encode.bytes",
+        "ecc.save.pipeline_ns",
+    ] {
+        assert!(snap_one.contains(key), "snapshot JSON must include {key}");
+    }
+}
+
+#[test]
+fn per_save_stage_accounting_is_work_deterministic() {
+    // The deterministic halves of `SaveReport::pipeline` must agree
+    // between runs and thread counts; only busy/wait values may differ.
+    let report = |threads: usize| {
+        let spec = ClusterSpec::tiny_test(4, 2);
+        let mut cluster = Cluster::new(spec);
+        let cfg = EcCheckConfig::paper_defaults()
+            .with_packet_size(1024)
+            .with_coding_threads(threads)
+            .with_pipeline_buffer(128);
+        let mut ecc = EcCheck::initialize(&spec, cfg).unwrap();
+        ecc.save(&mut cluster, &dicts(8)).unwrap()
+    };
+    let one = report(1).pipeline.expect("pipelined saves carry stage stats");
+    let eight = report(8).pipeline.expect("pipelined saves carry stage stats");
+    assert_eq!(one.stripes, eight.stripes);
+    assert_eq!(one.stripe_rows, eight.stripe_rows);
+    assert_eq!(one.buffer_bytes, eight.buffer_bytes);
+    assert_eq!(one.encode_tasks, eight.encode_tasks);
+    assert_eq!(one.local_reduce_targets, eight.local_reduce_targets);
+    assert_eq!((one.encode_workers, eight.encode_workers), (1, 8));
+    for occ in [one.encode_occupancy(), one.reduce_occupancy(), one.transfer_occupancy()] {
+        assert!((0.0..=1.0).contains(&occ), "occupancy out of range: {occ}");
+    }
+}
