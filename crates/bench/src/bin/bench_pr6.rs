@@ -1,0 +1,128 @@
+//! `bench-pr6`: the combined perf baseline behind `BENCH_PR6.json`.
+//!
+//! Runs the kernel sweep (`kernel-bench`) and the save-pipeline
+//! comparison (`pipeline-bench`) at one explicit thread count and
+//! writes a single JSON document nesting both reports plus a `gates`
+//! section that turns the ROADMAP targets into enforceable numbers:
+//!
+//! - `min_pool_ratio` — pooled encode GB/s over raw `mul_xor` GB/s at
+//!   the matching region size, gated at `1/1.5` (ROADMAP: pooled encode
+//!   within 1.5× of raw kernel speed) when `--threads >= 2`;
+//! - `speedup_target_2x` — whether the pipelined save reached ≥ 2× the
+//!   sequential oracle, evaluated at 4+ threads on a capable host;
+//! - `gate_enforced` — whether the regression gates ran for real; a
+//!   loud warning (and a non-empty `warnings` array) appears whenever
+//!   multi-threaded numbers were requested on a host that cannot
+//!   overlap stages, so CI can assert on it instead of silently
+//!   passing.
+//!
+//! Flags: `--out <path>` (default `BENCH_PR6.json`), `--summary <path>`
+//! for a GitHub-flavoured-markdown job summary, `--threads <n>`
+//! (default: host parallelism capped at 4). Exits non-zero on any
+//! enforced gate failure.
+
+use std::process::ExitCode;
+
+use ecc_bench::{arg_value, default_threads, KernelBenchReport, PipelineBenchReport};
+
+/// Indents every line of a serialized JSON document so it nests inside
+/// the combined report.
+fn indent(json: &str, by: &str) -> String {
+    json.trim_end()
+        .lines()
+        .enumerate()
+        .map(|(i, l)| if i == 0 { l.to_string() } else { format!("{by}{l}") })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn main() -> ExitCode {
+    let out = arg_value("--out").unwrap_or_else(|| "BENCH_PR6.json".to_string());
+    let threads = arg_value("--threads")
+        .map(|v| v.parse().expect("--threads takes a positive integer"))
+        .unwrap_or_else(default_threads);
+    println!("# bench-pr6: combined kernel + pipeline baseline ({threads} threads)\n");
+
+    let kernel = KernelBenchReport::collect_with_threads(threads);
+    let pipeline = PipelineBenchReport::collect_with_threads(threads);
+
+    let mut warnings = Vec::new();
+    if let Some(w) = pipeline.gate_warning() {
+        warnings.push(w);
+    }
+    if let Some(w) = kernel.pool_gate_warning() {
+        warnings.push(w);
+    }
+
+    let mut doc = String::from("{\n  \"schema\": \"eccheck-bench-pr6/1\",\n");
+    doc.push_str(&format!("  \"threads\": {threads},\n"));
+    doc.push_str("  \"gates\": {\n");
+    doc.push_str(&format!("    \"pool_gate_enforced\": {},\n", kernel.pool_gate_enforced()));
+    match kernel.min_pool_ratio() {
+        Some(r) => doc.push_str(&format!("    \"min_pool_ratio\": {r:.3},\n")),
+        None => doc.push_str("    \"min_pool_ratio\": null,\n"),
+    }
+    doc.push_str(&format!("    \"pipeline_gate_enforced\": {},\n", pipeline.gate_enforced()));
+    match pipeline.speedup_target_met() {
+        Some(met) => doc.push_str(&format!("    \"speedup_target_2x\": {met},\n")),
+        None => doc.push_str("    \"speedup_target_2x\": null,\n"),
+    }
+    let quoted: Vec<String> = warnings.iter().map(|w| format!("\"{w}\"")).collect();
+    doc.push_str(&format!("    \"warnings\": [{}]\n", quoted.join(", ")));
+    doc.push_str("  },\n");
+    doc.push_str(&format!("  \"kernel\": {},\n", indent(&kernel.to_json(), "  ")));
+    doc.push_str(&format!("  \"pipeline\": {}\n", indent(&pipeline.to_json(), "  ")));
+    doc.push_str("}\n");
+
+    if let Err(err) = std::fs::write(&out, &doc) {
+        eprintln!("could not write {out}: {err}");
+        return ExitCode::FAILURE;
+    }
+    println!("combined report written to {out}");
+
+    if let Some(path) = arg_value("--summary") {
+        let mut md = String::from("## bench-pr6 (BENCH_PR6.json)\n\n");
+        md.push_str(&kernel.summary_markdown());
+        md.push('\n');
+        md.push_str(&pipeline.summary_markdown());
+        if let Err(err) = std::fs::write(&path, md) {
+            eprintln!("could not write {path}: {err}");
+            return ExitCode::FAILURE;
+        }
+        println!("markdown summary written to {path}");
+    }
+
+    for w in &warnings {
+        eprintln!("{w}");
+    }
+
+    let mut failed = false;
+    let kernel_regressions = kernel.dispatch_regressions();
+    if !kernel_regressions.is_empty() {
+        eprintln!("\nFAIL: kernel sweep regressed past its gates:");
+        for r in &kernel_regressions {
+            eprintln!("  {r}");
+        }
+        failed = true;
+    }
+    let pipeline_regressions = pipeline.regressions();
+    if !pipeline_regressions.is_empty() {
+        if pipeline.gate_enforced() {
+            eprintln!("\nFAIL: pipelined save regressed past the gate:");
+            for r in &pipeline_regressions {
+                eprintln!("  {r}");
+            }
+            failed = true;
+        } else {
+            println!("\nADVISORY (gate not enforced on this host):");
+            for r in &pipeline_regressions {
+                println!("  {r}");
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -9,22 +9,30 @@
 //!
 //! Flags: `--out <path>` (default `BENCH_PR4.json`) for the JSON
 //! report, `--summary <path>` to also write a GitHub-flavoured-markdown
-//! summary (CI appends it to the job summary). Exits non-zero when the
-//! dispatched kernel measurably loses to scalar anywhere in the sweep.
+//! summary (CI appends it to the job summary), `--threads <n>` for the
+//! coding-pool worker count (default: host parallelism capped at 4).
+//! Exits non-zero when the dispatched kernel measurably loses to scalar
+//! anywhere in the sweep, or when the pooled encode falls past the
+//! kernel→pool gap gate (enforced with ≥ 2 pool threads on a host with
+//! ≥ 2 hardware threads; advisory otherwise, with a loud warning).
 
 use std::process::ExitCode;
 
-use ecc_bench::{arg_value, fmt_bytes, print_table, KernelBenchReport};
+use ecc_bench::{arg_value, default_threads, fmt_bytes, print_table, KernelBenchReport};
 
 fn main() -> ExitCode {
     let out = arg_value("--out").unwrap_or_else(|| "BENCH_PR4.json".to_string());
+    let threads = arg_value("--threads")
+        .map(|v| v.parse().expect("--threads takes a positive integer"))
+        .unwrap_or_else(default_threads);
     println!("# kernel-bench: coding-kernel sweep\n");
-    let report = KernelBenchReport::collect();
+    let report = KernelBenchReport::collect_with_threads(threads);
     println!(
-        "arch {}, selected kernel {}, available [{}]\n",
+        "arch {}, selected kernel {}, available [{}], {} pool threads\n",
         report.arch,
         report.selected,
-        report.kernels.join(", ")
+        report.kernels.join(", "),
+        report.threads,
     );
 
     let rows: Vec<Vec<String>> = report
@@ -58,6 +66,17 @@ fn main() -> ExitCode {
         .collect();
     print_table(&["encode shape", "chunk", "kernel", "GB/s", "vs scalar"], &rows);
     println!("\nbest dispatched speedup vs scalar: {:.2}x", report.best_dispatch_speedup());
+    match report.min_pool_ratio() {
+        Some(r) => println!(
+            "kernel→pool gap: pooled encode at {:.2}x of raw mul_xor ({})",
+            r,
+            if report.pool_gate_enforced() { "gate enforced" } else { "advisory" },
+        ),
+        None => println!("kernel→pool gap: not measured at these sizes"),
+    }
+    if let Some(w) = report.pool_gate_warning() {
+        eprintln!("{w}");
+    }
 
     if let Err(err) = std::fs::write(&out, report.to_json()) {
         eprintln!("could not write {out}: {err}");

@@ -8,21 +8,29 @@
 //!
 //! Flags: `--out <path>` (default `BENCH_PR5.json`) for the JSON
 //! report, `--summary <path>` to also write a GitHub-flavoured-markdown
-//! summary (CI appends it to the job summary). Exits non-zero when the
-//! pipelined executor loses to the sequential oracle by more than 10%
-//! on any shape — enforced only on hosts with at least two threads,
-//! where stage overlap is physically possible; single-core hosts get an
-//! advisory report instead.
+//! summary (CI appends it to the job summary), `--threads <n>` for the
+//! coding thread count (default: host parallelism capped at 4). Exits
+//! non-zero when the pipelined executor loses to the sequential oracle
+//! by more than 10% on any shape — enforced only on hosts with at least
+//! two threads, where stage overlap is physically possible; single-core
+//! hosts get an advisory report instead, plus a loud warning whenever
+//! `--threads >= 2` was requested so CI can assert `gate_enforced`.
 
 use std::process::ExitCode;
 
-use ecc_bench::{arg_value, fmt_bytes, print_table, PipelineBenchReport};
+use ecc_bench::{arg_value, default_threads, fmt_bytes, print_table, PipelineBenchReport};
 
 fn main() -> ExitCode {
     let out = arg_value("--out").unwrap_or_else(|| "BENCH_PR5.json".to_string());
+    let threads = arg_value("--threads")
+        .map(|v| v.parse().expect("--threads takes a positive integer"))
+        .unwrap_or_else(default_threads);
     println!("# pipeline-bench: pipelined vs sequential save\n");
-    let report = PipelineBenchReport::collect();
-    println!("arch {}, {} host threads\n", report.arch, report.host_threads);
+    let report = PipelineBenchReport::collect_with_threads(threads);
+    println!(
+        "arch {}, {} host threads, {} requested\n",
+        report.arch, report.host_threads, report.requested_threads
+    );
 
     let rows: Vec<Vec<String>> = report
         .shapes
@@ -45,6 +53,15 @@ fn main() -> ExitCode {
         &rows,
     );
     println!("\nbest pipelined speedup: {:.2}x", report.best_speedup());
+    if let Some(warning) = report.gate_warning() {
+        eprintln!("\n{warning}");
+    }
+    if let Some(met) = report.speedup_target_met() {
+        println!(
+            "ROADMAP target (>= 2x pipelined speedup at 4+ threads): {}",
+            if met { "met" } else { "NOT met" }
+        );
+    }
 
     if let Err(err) = std::fs::write(&out, report.to_json()) {
         eprintln!("could not write {out}: {err}");

@@ -15,7 +15,9 @@ mod pipelinebench;
 mod telemetry;
 mod trace;
 
-pub use kernelbench::{EncodePerf, KernelBenchReport, RegionOpPerf, DEFAULT_REGION_SIZES};
+pub use kernelbench::{
+    default_threads, EncodePerf, KernelBenchReport, RegionOpPerf, DEFAULT_REGION_SIZES, POOL_GATE,
+};
 pub use perf::{PerfReport, ShapePerf};
 pub use pipelinebench::{PipelineBenchReport, PipelineShapePerf};
 pub use telemetry::{print_live_telemetry, print_schedule_comparison};

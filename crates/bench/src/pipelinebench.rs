@@ -58,6 +58,11 @@ pub struct PipelineBenchReport {
     pub arch: String,
     /// Parallelism the host advertises to `std::thread`.
     pub host_threads: usize,
+    /// Coding threads the caller asked for (`--threads`). When this is
+    /// ≥ 2 but the host is single-core, the regression gate silently
+    /// downgrading to advisory is exactly the CI blind spot this field
+    /// exists to surface — see [`PipelineBenchReport::gate_warning`].
+    pub requested_threads: usize,
     /// Per-shape results, small to large.
     pub shapes: Vec<PipelineShapePerf>,
 }
@@ -108,7 +113,14 @@ impl PipelineBenchReport {
     /// executor's fixed thread-spawn cost dominates and `Sequential` is
     /// the right mode (see `DESIGN.md` §12).
     pub fn collect() -> Self {
-        let threads = std::thread::available_parallelism().map_or(1, |n| n.get()).min(4);
+        Self::collect_with_threads(
+            std::thread::available_parallelism().map_or(1, |n| n.get()).min(4),
+        )
+    }
+
+    /// [`PipelineBenchReport::collect`] with an explicit coding thread
+    /// count (the binary's `--threads` flag).
+    pub fn collect_with_threads(threads: usize) -> Self {
         Self::collect_custom(
             &[
                 ("256KiB-shards", 16 << 10, 256 << 10),
@@ -158,6 +170,7 @@ impl PipelineBenchReport {
         Self {
             arch: std::env::consts::ARCH.to_string(),
             host_threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            requested_threads: threads,
             shapes,
         }
     }
@@ -169,6 +182,28 @@ impl PipelineBenchReport {
     /// gate downgrades to an advisory report.
     pub fn gate_enforced(&self) -> bool {
         self.host_threads >= 2
+    }
+
+    /// A loud, CI-visible warning when multi-threaded numbers were
+    /// *requested* but the gate cannot be enforced: the run measured
+    /// time-slicing, not the pipeline, and the regression gate silently
+    /// passed. `None` on healthy hosts (or honest single-thread runs).
+    pub fn gate_warning(&self) -> Option<String> {
+        (self.requested_threads >= 2 && !self.gate_enforced()).then(|| {
+            format!(
+                "WARNING: --threads {} requested but the host advertises {} thread(s); \
+                 stages cannot overlap, so the {REGRESSION_GATE} regression gate and the \
+                 ROADMAP 2x speedup target were NOT enforced in this run",
+                self.requested_threads, self.host_threads
+            )
+        })
+    }
+
+    /// The ROADMAP pipeline target — ≥ 2× pipelined-vs-sequential —
+    /// evaluated only where it applies: 4+ coding threads on a host
+    /// that can actually overlap them. `None` when not applicable.
+    pub fn speedup_target_met(&self) -> Option<bool> {
+        (self.requested_threads >= 4 && self.host_threads >= 4).then(|| self.best_speedup() >= 2.0)
     }
 
     /// Shapes where the pipelined executor loses to the sequential
@@ -198,7 +233,12 @@ impl PipelineBenchReport {
         let mut out = String::from("{\n  \"schema\": \"eccheck-pipeline-bench/1\",\n");
         out.push_str(&format!("  \"arch\": \"{}\",\n", self.arch));
         out.push_str(&format!("  \"host_threads\": {},\n", self.host_threads));
+        out.push_str(&format!("  \"requested_threads\": {},\n", self.requested_threads));
         out.push_str(&format!("  \"gate_enforced\": {},\n", self.gate_enforced()));
+        match self.speedup_target_met() {
+            Some(met) => out.push_str(&format!("  \"speedup_target_2x\": {met},\n")),
+            None => out.push_str("  \"speedup_target_2x\": null,\n"),
+        }
         out.push_str("  \"shapes\": [\n");
         for (i, s) in self.shapes.iter().enumerate() {
             out.push_str(&format!(
@@ -232,15 +272,25 @@ impl PipelineBenchReport {
     /// `$GITHUB_STEP_SUMMARY`): per-shape wall times, speedups and
     /// stage occupancies.
     pub fn summary_markdown(&self) -> String {
-        let mut out = String::from("### pipeline-bench (BENCH_PR5.json)\n\n");
+        let mut out = String::from("### pipeline-bench\n\n");
         out.push_str(&format!(
-            "pipelined vs sequential save on `{}` ({} host threads); best speedup: \
-             **{:.2}x**; gate {}\n\n",
+            "pipelined vs sequential save on `{}` ({} host threads, {} requested); best \
+             speedup: **{:.2}x**; gate {}\n\n",
             self.arch,
             self.host_threads,
+            self.requested_threads,
             self.best_speedup(),
             if self.gate_enforced() { "enforced" } else { "advisory (single-core host)" },
         ));
+        if let Some(warning) = self.gate_warning() {
+            out.push_str(&format!("⚠️ **{warning}**\n\n"));
+        }
+        if let Some(met) = self.speedup_target_met() {
+            out.push_str(&format!(
+                "ROADMAP target (≥ 2x pipelined speedup at 4+ threads): **{}**\n\n",
+                if met { "met" } else { "NOT met" },
+            ));
+        }
         out.push_str(
             "| shape | seq ms | pipe ms | speedup | stripes | enc occ | red occ | xfer occ |\n",
         );
@@ -275,14 +325,25 @@ mod tests {
         assert!(s.speedup > 0.0);
         assert!(s.stats.stripes > 0);
 
+        assert_eq!(report.requested_threads, 2);
+        // The warning fires exactly when multi-threaded numbers were
+        // requested on a host that cannot enforce the gate.
+        assert_eq!(report.gate_warning().is_some(), !report.gate_enforced());
+
         let json = report.to_json();
         let doc = ecc_trace::json::parse(&json).expect("report JSON parses");
         assert_eq!(doc.get("schema").and_then(|v| v.as_str()), Some("eccheck-pipeline-bench/1"));
+        assert_eq!(doc.get("requested_threads").and_then(|v| v.as_f64()), Some(2.0));
+        assert!(doc.get("speedup_target_2x").is_some());
         let shapes = doc.get("shapes").and_then(|v| v.as_arr()).expect("shapes array");
         assert_eq!(shapes.len(), 1);
 
         let md = report.summary_markdown();
         assert!(md.contains("pipeline-bench"));
         assert!(md.contains("| shape |"));
+
+        // An honest single-thread run carries no warning.
+        let solo = PipelineBenchReport::collect_custom(&[("tiny", 1 << 10, 1 << 12)], 1);
+        assert!(solo.gate_warning().is_none());
     }
 }

@@ -1,0 +1,230 @@
+//! Offline, dependency-free subset of the `crossbeam-deque` 0.8 API.
+//!
+//! The container this repository builds in has no access to crates.io,
+//! so the workspace vendors the slice of `crossbeam-deque` the
+//! work-stealing encode executors actually use: [`Worker::new_fifo`],
+//! [`Worker::push`] / [`Worker::pop`], [`Worker::stealer`], and
+//! [`Stealer::steal`] / [`Stealer::steal_batch_and_pop`] with the
+//! three-state [`Steal`] result.
+//!
+//! Unlike upstream's lock-free Chase–Lev deque, this subset is a
+//! `Mutex<VecDeque>` — a few tens of nanoseconds per op instead of a
+//! few, which is noise next to the multi-microsecond encode tasks the
+//! executors schedule on it. What matters for the callers is preserved
+//! exactly:
+//!
+//! * **FIFO discipline.** `new_fifo` workers pop from the front, and
+//!   stealers also take from the front, so the oldest queued task is
+//!   always the next to run regardless of who runs it. The pipelined
+//!   executor's deadlock-freedom argument (a blocked worker's admission
+//!   window is bounded by the oldest unfinished stripe) relies on this.
+//! * **Exactly-once delivery.** A task popped or stolen is removed
+//!   under the lock; no task is ever lost or observed twice.
+//! * **Non-blocking stealing.** `steal` never blocks the thief on a
+//!   busy victim beyond the short critical section, and reports
+//!   [`Steal::Empty`] so the thief can move to the next victim.
+//!
+//! `Steal::Retry` is kept for API parity; this implementation never
+//! returns it, but callers are written to loop on it as upstream
+//! requires.
+
+#![forbid(unsafe_code)]
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+/// The result of a steal attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// The victim's queue was empty.
+    Empty,
+    /// A task was stolen.
+    Success(T),
+    /// The operation lost a race and should be retried.
+    Retry,
+}
+
+impl<T> Steal<T> {
+    /// Returns the stolen task, if the steal succeeded.
+    pub fn success(self) -> Option<T> {
+        match self {
+            Steal::Success(task) => Some(task),
+            _ => None,
+        }
+    }
+
+    /// True when the victim was observed empty.
+    pub fn is_empty(&self) -> bool {
+        matches!(self, Steal::Empty)
+    }
+
+    /// True when the operation should be retried.
+    pub fn is_retry(&self) -> bool {
+        matches!(self, Steal::Retry)
+    }
+}
+
+/// A worker-owned queue of tasks; the owning thread pushes and pops,
+/// other threads steal through [`Stealer`] handles.
+pub struct Worker<T> {
+    queue: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Worker<T> {
+    /// Creates a FIFO worker queue: `pop` takes the *oldest* task, the
+    /// same end stealers take from.
+    pub fn new_fifo() -> Self {
+        Worker { queue: Arc::new(Mutex::new(VecDeque::new())) }
+    }
+
+    /// Enqueues a task at the back.
+    pub fn push(&self, task: T) {
+        self.queue.lock().expect("deque poisoned").push_back(task);
+    }
+
+    /// Dequeues the oldest task, if any.
+    pub fn pop(&self) -> Option<T> {
+        self.queue.lock().expect("deque poisoned").pop_front()
+    }
+
+    /// True when the queue currently holds no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.queue.lock().expect("deque poisoned").is_empty()
+    }
+
+    /// Number of tasks currently queued.
+    pub fn len(&self) -> usize {
+        self.queue.lock().expect("deque poisoned").len()
+    }
+
+    /// Creates a handle other threads can steal through.
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer { queue: Arc::clone(&self.queue) }
+    }
+}
+
+impl<T> Default for Worker<T> {
+    fn default() -> Self {
+        Self::new_fifo()
+    }
+}
+
+/// A handle for stealing tasks from another thread's [`Worker`].
+pub struct Stealer<T> {
+    queue: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Stealer<T> {
+    /// Steals the oldest task from the victim.
+    pub fn steal(&self) -> Steal<T> {
+        match self.queue.lock().expect("deque poisoned").pop_front() {
+            Some(task) => Steal::Success(task),
+            None => Steal::Empty,
+        }
+    }
+
+    /// Steals a batch of tasks into `dest` and pops one of them.
+    ///
+    /// Takes up to half of the victim's queue (at least one task),
+    /// returns the oldest stolen task and appends the rest to `dest` —
+    /// oldest-first, so `dest.pop()` keeps FIFO order.
+    pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+        let mut victim = self.queue.lock().expect("deque poisoned");
+        let take = victim.len().div_ceil(2);
+        let Some(first) = victim.pop_front() else {
+            return Steal::Empty;
+        };
+        let batch: Vec<T> = (1..take).filter_map(|_| victim.pop_front()).collect();
+        drop(victim);
+        let mut dest_queue = dest.queue.lock().expect("deque poisoned");
+        dest_queue.extend(batch);
+        Steal::Success(first)
+    }
+
+    /// True when the victim's queue was empty at the time of the call.
+    pub fn is_empty(&self) -> bool {
+        self.queue.lock().expect("deque poisoned").is_empty()
+    }
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Stealer { queue: Arc::clone(&self.queue) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn fifo_pop_and_steal_take_the_oldest_task() {
+        let w = Worker::new_fifo();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(w.pop(), Some(1));
+        let s = w.stealer();
+        assert_eq!(s.steal(), Steal::Success(2));
+        assert_eq!(w.pop(), Some(3));
+        assert!(s.steal().is_empty());
+        assert_eq!(w.pop(), None);
+    }
+
+    #[test]
+    fn steal_batch_and_pop_moves_half_and_keeps_order() {
+        let victim = Worker::new_fifo();
+        for i in 0..6 {
+            victim.push(i);
+        }
+        let thief = Worker::new_fifo();
+        // 6 tasks: batch takes ceil(6/2) = 3; oldest returned, rest queued.
+        assert_eq!(victim.stealer().steal_batch_and_pop(&thief), Steal::Success(0));
+        assert_eq!(thief.pop(), Some(1));
+        assert_eq!(thief.pop(), Some(2));
+        assert_eq!(thief.pop(), None);
+        assert_eq!(victim.len(), 3);
+    }
+
+    #[test]
+    fn concurrent_stealing_delivers_every_task_exactly_once() {
+        const TASKS: usize = 10_000;
+        const THIEVES: usize = 8;
+        let victim = Worker::new_fifo();
+        for i in 0..TASKS {
+            victim.push(i);
+        }
+        let taken = AtomicUsize::new(0);
+        let mut all: Vec<Vec<usize>> = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..THIEVES)
+                .map(|_| {
+                    let stealer = victim.stealer();
+                    let taken = &taken;
+                    scope.spawn(move || {
+                        let mut got = Vec::new();
+                        loop {
+                            match stealer.steal() {
+                                Steal::Success(task) => {
+                                    got.push(task);
+                                    taken.fetch_add(1, Ordering::Relaxed);
+                                }
+                                Steal::Empty => break,
+                                Steal::Retry => continue,
+                            }
+                        }
+                        got
+                    })
+                })
+                .collect();
+            for h in handles {
+                all.push(h.join().unwrap());
+            }
+        });
+        let union: HashSet<usize> = all.iter().flatten().copied().collect();
+        assert_eq!(taken.load(Ordering::Relaxed), TASKS, "no task may be lost");
+        assert_eq!(union.len(), TASKS, "no task may be delivered twice");
+    }
+}

@@ -51,6 +51,7 @@ pub struct EcCheckConfig {
     save_mode: SaveMode,
     pipeline_buffer: usize,
     pipeline_depth: usize,
+    fail_encode_task: Option<u64>,
 }
 
 impl EcCheckConfig {
@@ -73,7 +74,31 @@ impl EcCheckConfig {
             save_mode: SaveMode::Pipelined,
             pipeline_buffer: 4 << 20,
             pipeline_depth: 8,
+            fail_encode_task: None,
         }
+    }
+
+    /// Fail point for chaos tests: the pipelined executor's encode
+    /// worker that picks up global task `n` (0-based, in pick-up order)
+    /// panics mid-steal, exercising the executor's clean-failure path.
+    /// Applies to every pipelined save made with this config.
+    #[doc(hidden)]
+    pub fn with_fail_encode_task(mut self, n: u64) -> Self {
+        self.fail_encode_task = Some(n);
+        self
+    }
+
+    /// Disarms the encode-worker fail point.
+    #[doc(hidden)]
+    pub fn without_fail_encode_task(mut self) -> Self {
+        self.fail_encode_task = None;
+        self
+    }
+
+    /// The injected encode-worker fail point, if any.
+    #[doc(hidden)]
+    pub fn fail_encode_task(&self) -> Option<u64> {
+        self.fail_encode_task
     }
 
     /// Overrides the data/parity split.

@@ -192,6 +192,18 @@ impl EcCheck {
         &self.config
     }
 
+    /// Arms (or disarms, with `None`) the pipelined executor's
+    /// encode-worker fail point at runtime — chaos tests save a healthy
+    /// checkpoint first, then kill a worker mid-steal on the next save.
+    /// See [`EcCheckConfig::with_fail_encode_task`].
+    #[doc(hidden)]
+    pub fn set_fail_encode_task(&mut self, n: Option<u64>) {
+        self.config = match n {
+            Some(n) => self.config.with_fail_encode_task(n),
+            None => self.config.without_fail_encode_task(),
+        };
+    }
+
     /// The node placement chosen at initialization.
     pub fn placement(&self) -> &Placement {
         &self.placement
@@ -448,12 +460,15 @@ impl EcCheck {
             None
         };
         if let Some(t) = trace {
+            // The worker count is deliberately absent: traces are
+            // byte-identical across stealing thread counts (see
+            // `tests/pipeline_determinism.rs`); threads live in
+            // `PipelineStats::encode_workers` instead.
             t.tracer.instant(
                 t.engine,
                 "save.pipeline",
                 format!(
-                    "threads={} buffer={} depth={} gated={}",
-                    self.config.coding_threads(),
+                    "buffer={} depth={} gated={}",
                     self.config.pipeline_buffer(),
                     self.config.pipeline_depth(),
                     gate.is_some()
@@ -474,6 +489,7 @@ impl EcCheck {
                 recorder: &self.recorder,
                 trace: trace.as_ref(),
                 gate,
+                fail_encode_task: self.config.fail_encode_task(),
             },
             cluster,
         );

@@ -35,6 +35,13 @@ pub enum EcCheckError {
         /// Node holding the corrupt chunk.
         node: usize,
     },
+    /// A save-executor stage thread died mid-save (e.g. a worker
+    /// panicked). The save is abandoned cleanly: nothing is committed,
+    /// and the previous checkpoint remains loadable.
+    StageFailed {
+        /// Which stage died and why.
+        detail: String,
+    },
     /// An underlying erasure-coding failure.
     Erasure(ecc_erasure::ErasureError),
     /// An underlying checkpoint (de)serialization failure.
@@ -60,6 +67,9 @@ impl fmt::Display for EcCheckError {
             EcCheckError::NoCheckpoint => write!(f, "no checkpoint has been saved"),
             EcCheckError::CorruptChunk { node } => {
                 write!(f, "chunk on node {node} failed its checksum; run load() to repair it")
+            }
+            EcCheckError::StageFailed { detail } => {
+                write!(f, "save executor stage failed: {detail}")
             }
             EcCheckError::Erasure(e) => write!(f, "erasure coding: {e}"),
             EcCheckError::Checkpoint(e) => write!(f, "checkpoint: {e}"),

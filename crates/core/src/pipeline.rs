@@ -6,14 +6,18 @@
 //! chunks before any byte moves. This module is the real-thread
 //! implementation of that pipeline over the in-memory data plane:
 //!
-//! * **Stage 1 — encode.** `coding_threads` workers walk a statically
-//!   assigned task list. For every (stripe, data chunk) pair they run the
-//!   single-column XOR schedule over the stripe's `w` sub-packet rows,
-//!   read in place straight out of the data chunk
-//!   ([`ecc_erasure::ErasureCode::encode_column_stripe_into`] — no gather
-//!   copy), and hand the flat contribution buffer to the reducer. Workers
-//!   also checksum the data chunks in fixed-size pieces so the CRC cost
-//!   rides the pipeline instead of serialising behind it.
+//! * **Stage 1 — encode.** `coding_threads` workers share the task list
+//!   through chunked work-stealing deques: tasks are seeded round-robin
+//!   into per-worker FIFO queues and an idle worker batch-steals the
+//!   oldest half of a busy worker's backlog, so a stalled core delays
+//!   only the task it is executing. For every (stripe, data chunk) pair
+//!   a worker runs the *fused* single-column XOR schedule over the
+//!   stripe's `w` sub-packet rows, read in place straight out of the
+//!   data chunk ([`ecc_erasure::ErasureCode::encode_column_stripe_into`]
+//!   — no gather copy), and hands the flat contribution buffer to the
+//!   reducer. Workers also checksum the data chunks in fixed-size pieces
+//!   so the CRC cost rides the pipeline instead of serialising behind
+//!   it.
 //! * **Stage 2 — XOR-reduce.** One reducer thread folds the `k` column
 //!   contributions of each stripe together (GF(2) linearity makes the
 //!   XOR of column encodings bit-identical to the full encode), computes
@@ -36,18 +40,30 @@
 //!
 //! Determinism: everything observable through the recorder snapshot or a
 //! [`ManualClock`](ecc_telemetry::ManualClock)-driven trace is invariant
-//! across runs *and* across thread counts. Task assignment is static
-//! (task `i` goes to worker `i % threads`), each trace track is written
-//! by exactly one thread, reduce spans are re-emitted by the driver in
-//! stripe order after the join, and every telemetry counter counts work
-//! items (stripes, pieces, bytes) — never scheduling accidents. The
-//! nondeterministic residue (busy times, queue waits) lands in
-//! [`PipelineStats`] instead.
+//! across runs *and* across thread counts — even though *which* worker
+//! executes a task is now a scheduling accident. Encode and reduce spans
+//! are recorded privately by the stage threads and re-emitted by the
+//! driver after the join, sorted by task/stripe order, on single
+//! `encode`/`reduce` tracks whose identity never depends on the thread
+//! count; every telemetry counter counts work items (stripes, pieces,
+//! bytes) — never scheduling accidents. The nondeterministic residue
+//! (busy times, queue waits, steal counts) lands in [`PipelineStats`]
+//! instead.
+//!
+//! Deadlock freedom under stealing: deques are FIFO and steals take from
+//! the front, so the globally oldest unexecuted task is always the next
+//! one some worker picks up. A worker blocked on the admission window
+//! holds a task for a stripe beyond the window; every task of the oldest
+//! open stripe is older, hence already executing or at a deque front
+//! where any free worker — including ones whose own deque is empty —
+//! will take it. The oldest stripe therefore always completes, the
+//! window advances, and blocked workers wake.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex};
 
+use crossbeam_deque::{Steal, Stealer, Worker};
 use ecc_checkpoint::{crc32, crc32_combine};
 use ecc_cluster::DataPlane;
 use ecc_erasure::{region, ErasureCode};
@@ -94,6 +110,10 @@ pub struct PipelineStats {
     /// Times an encode worker blocked on the stripe admission window
     /// (pipeline-depth backpressure).
     pub window_waits: u64,
+    /// Encode tasks obtained by stealing from another worker's deque
+    /// rather than popped from the worker's own. A scheduling accident
+    /// (varies run to run); deliberately not mirrored into telemetry.
+    pub encode_steals: u64,
     /// Virtual nanoseconds transfers spent parked behind profiled busy
     /// windows at the idle-slot gate (0 when no gate is attached).
     pub slot_wait_ns: u64,
@@ -146,6 +166,8 @@ pub(crate) struct PipelineJob<'a> {
     pub recorder: &'a Recorder,
     pub trace: Option<&'a TraceHandles>,
     pub gate: Option<SlotGate>,
+    /// Chaos fail point: the worker picking up global task `n` panics.
+    pub fail_encode_task: Option<u64>,
 }
 
 /// `(data chunks, parity chunks)` handed back when the caller asked to
@@ -167,9 +189,10 @@ pub(crate) struct PipelineOutcome {
     pub kept: Option<KeptChunks>,
 }
 
-/// Work items of the encode stage, in global order. Assignment is
-/// static: task `i` belongs to worker `i % threads`, which keeps every
-/// worker's span sequence a pure function of the save geometry.
+/// Work items of the encode stage. Seeded in global order round-robin
+/// across the per-worker deques; a task's *sequence number* (its global
+/// order index) travels with it so deferred trace spans can be re-emitted
+/// in an execution-independent order.
 enum Task {
     /// Checksum piece `piece` of data chunk `col`.
     DataCrc { col: usize, piece: usize, chunk: Arc<Vec<u8>> },
@@ -183,6 +206,11 @@ struct Contribution {
     stripe: usize,
     buf: Vec<u8>,
 }
+
+/// A deferred encode-stage span, recorded privately by a worker and
+/// re-emitted by the driver in `seq` order on the shared `encode` track:
+/// `(seq, name, detail, begin_ns, end_ns)`.
+type SpanRec = (u64, &'static str, String, u64, u64);
 
 /// Messages arriving at the transfer stage (the driver).
 enum DriverMsg {
@@ -344,16 +372,16 @@ impl Geometry {
 struct PipelineTracks {
     transfer: TrackId,
     reduce: TrackId,
-    workers: Vec<TrackId>,
+    /// One shared track for all deferred encode spans, whatever the
+    /// thread count — traces stay byte-identical across 1..n workers.
+    encode: TrackId,
 }
 
-fn make_tracks(trace: Option<&TraceHandles>, threads: usize) -> Option<PipelineTracks> {
+fn make_tracks(trace: Option<&TraceHandles>) -> Option<PipelineTracks> {
     trace.map(|t| PipelineTracks {
         transfer: t.tracer.track(DRIVER_PID, "driver", "pipeline"),
         reduce: t.tracer.track(CODING_PID, "coding", "reduce"),
-        workers: (0..threads)
-            .map(|i| t.tracer.track(CODING_PID, "coding", &format!("encode{i}")))
-            .collect(),
+        encode: t.tracer.track(CODING_PID, "coding", "encode"),
     })
 }
 
@@ -379,34 +407,41 @@ pub(crate) fn run(
         recorder,
         trace,
         mut gate,
+        fail_encode_task,
     } = job;
     let params = code.params();
     let geo =
         Geometry::new(params.k(), params.m(), params.w() as usize, data_chunks[0].len(), buffer);
     let threads = threads.max(1);
     let depth = depth.max(2);
-    let tracks = make_tracks(trace, threads);
+    let tracks = make_tracks(trace);
 
     let wall_begin = recorder.now_ns();
     let data: Vec<Arc<Vec<u8>>> = data_chunks.into_iter().map(Arc::new).collect();
 
-    // Static task list: data CRC pieces first (stores can start as soon
-    // as a chunk's pieces are stitched), then contributions stripe-major
-    // so stripes complete roughly in admission order.
-    let mut tasks: Vec<Vec<Task>> = (0..threads).map(|_| Vec::new()).collect();
-    let mut next = 0usize;
+    // Seed the work-stealing deques in global order, round-robin: data
+    // CRC pieces first (stores can start as soon as a chunk's pieces are
+    // stitched), then contributions stripe-major so stripes complete
+    // roughly in admission order. Deques are FIFO and steals take the
+    // oldest tasks, so execution tracks this order whatever the mix of
+    // pops and steals.
+    let locals: Vec<Worker<(u64, Task)>> = (0..threads).map(|_| Worker::new_fifo()).collect();
+    let mut next = 0u64;
     for (col, chunk) in data.iter().enumerate() {
         for piece in 0..geo.crc_pieces {
-            tasks[next % threads].push(Task::DataCrc { col, piece, chunk: Arc::clone(chunk) });
+            locals[(next as usize) % threads]
+                .push((next, Task::DataCrc { col, piece, chunk: Arc::clone(chunk) }));
             next += 1;
         }
     }
     for stripe in 0..geo.stripes {
         for (col, chunk) in data.iter().enumerate() {
-            tasks[next % threads].push(Task::Contrib { stripe, col, chunk: Arc::clone(chunk) });
+            locals[(next as usize) % threads]
+                .push((next, Task::Contrib { stripe, col, chunk: Arc::clone(chunk) }));
             next += 1;
         }
     }
+    let stealers: Vec<Stealer<(u64, Task)>> = locals.iter().map(Worker::stealer).collect();
 
     let contrib_len = geo.m * geo.w * geo.rows;
     let ring = Ring::new(threads + 2, contrib_len);
@@ -414,6 +449,8 @@ pub(crate) fn run(
     let encode_begin = AtomicU64::new(u64::MAX);
     let encode_end = AtomicU64::new(0);
     let encode_busy = AtomicU64::new(0);
+    let fail_counter = AtomicU64::new(0);
+    let worker_panicked = AtomicBool::new(false);
 
     let (contrib_tx, contrib_rx) = channel::<Contribution>();
     let (driver_tx, driver_rx) = channel::<DriverMsg>();
@@ -450,37 +487,58 @@ pub(crate) fn run(
         failed: None,
     };
 
-    let reduce_busy = std::thread::scope(|scope| {
+    let (reduce_busy, mut encode_spans, encode_steals) = std::thread::scope(|scope| {
         let reducer = {
             let driver_tx = driver_tx.clone();
             let (ring, geo) = (&ring, &geo);
             scope.spawn(move || reduce_stage(geo, contrib_rx, acc_rx, driver_tx, ring, recorder))
         };
-        for (worker, list) in tasks.into_iter().enumerate() {
-            let contrib_tx = contrib_tx.clone();
-            let driver_tx = driver_tx.clone();
-            let track =
-                tracks.as_ref().map(|t| (trace.expect("tracks imply trace"), t.workers[worker]));
-            let (ring, window, geo) = (&ring, &window, &geo);
-            let (encode_begin, encode_end, encode_busy) =
-                (&encode_begin, &encode_end, &encode_busy);
-            scope.spawn(move || {
-                encode_stage(
-                    geo,
-                    code,
-                    list,
-                    contrib_tx,
-                    driver_tx,
-                    ring,
-                    window,
-                    recorder,
-                    track,
-                    encode_begin,
-                    encode_end,
-                    encode_busy,
-                )
-            });
-        }
+        let handles: Vec<_> = locals
+            .into_iter()
+            .enumerate()
+            .map(|(worker, local)| {
+                let contrib_tx = contrib_tx.clone();
+                let driver_tx = driver_tx.clone();
+                let record_spans = tracks.is_some();
+                let (ring, window, geo) = (&ring, &window, &geo);
+                let (stealers, fail_counter, worker_panicked) =
+                    (&stealers, &fail_counter, &worker_panicked);
+                let (encode_begin, encode_end, encode_busy) =
+                    (&encode_begin, &encode_end, &encode_busy);
+                scope.spawn(move || {
+                    // A panicking worker (the chaos fail point, or a real
+                    // bug) must not wedge the pipeline: catch the unwind,
+                    // cancel the ring and the window so blocked peers
+                    // drain out, and let the driver fail the save.
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        encode_stage(
+                            geo,
+                            code,
+                            worker,
+                            local,
+                            stealers,
+                            contrib_tx,
+                            driver_tx,
+                            ring,
+                            window,
+                            recorder,
+                            record_spans,
+                            fail_encode_task,
+                            fail_counter,
+                            encode_begin,
+                            encode_end,
+                            encode_busy,
+                        )
+                    }));
+                    result.unwrap_or_else(|_| {
+                        worker_panicked.store(true, Ordering::SeqCst);
+                        ring.cancel();
+                        window.cancel();
+                        (Vec::new(), 0)
+                    })
+                })
+            })
+            .collect();
         drop(contrib_tx);
         drop(driver_tx);
 
@@ -496,13 +554,31 @@ pub(crate) fn run(
                 window.cancel();
             }
         }
-        reducer.join().expect("reduce stage panicked")
+        let mut spans = Vec::new();
+        let mut steals = 0u64;
+        for handle in handles {
+            let (recs, stolen) = handle.join().expect("encode worker joined after catch_unwind");
+            spans.extend(recs);
+            steals += stolen;
+        }
+        (reducer.join().expect("reduce stage panicked"), spans, steals)
     });
+    if worker_panicked.load(Ordering::SeqCst) && driver.failed.is_none() {
+        driver.failed = Some(EcCheckError::StageFailed {
+            detail: "an encode worker panicked mid-save".to_string(),
+        });
+    }
     driver.finish(cluster);
 
-    // Deferred reduce spans: re-emitted in stripe order so the trace is
-    // identical no matter how stripes raced through the reducer.
+    // Deferred encode and reduce spans: re-emitted in task/stripe order
+    // so the trace is identical no matter which worker ran (or stole) a
+    // task or how stripes raced through the reducer.
     if let (Some(t), Some(tr)) = (trace, tracks.as_ref()) {
+        encode_spans.sort_unstable_by_key(|&(seq, ..)| seq);
+        for (_, name, detail, begin_ns, end_ns) in encode_spans {
+            t.tracer.begin_at(tr.encode, name, detail, begin_ns);
+            t.tracer.end_at(tr.encode, end_ns);
+        }
         // Stripe order, not completion order: completions race.
         driver.reduce_spans.sort_unstable_by_key(|&(stripe, _, _)| stripe);
         for (stripe, begin_ns, end_ns) in &driver.reduce_spans {
@@ -530,6 +606,7 @@ pub(crate) fn run(
         wall_ns: wall_end.saturating_sub(wall_begin),
         ring_waits: ring.waits.load(Ordering::Relaxed),
         window_waits: window.waits.load(Ordering::Relaxed),
+        encode_steals,
         slot_wait_ns: driver.slot_wait_ns,
         slot_admissions: driver.slot_admissions,
         local_reduce_targets: reduction.local_target_hits() as u64,
@@ -581,35 +658,56 @@ pub(crate) fn run(
     })
 }
 
-/// Stage 1 worker: runs its static task list to completion (or until the
-/// save is cancelled).
+/// Stage 1 worker: drains its own deque, then steals, until every task
+/// is done (or the save is cancelled). Returns its deferred span records
+/// and how many of its tasks were stolen from other workers.
 #[allow(clippy::too_many_arguments)]
 fn encode_stage(
     geo: &Geometry,
     code: &ErasureCode,
-    tasks: Vec<Task>,
+    worker: usize,
+    local: Worker<(u64, Task)>,
+    stealers: &[Stealer<(u64, Task)>],
     contrib_tx: Sender<Contribution>,
     driver_tx: Sender<DriverMsg>,
     ring: &Ring,
     window: &Window,
     recorder: &Recorder,
-    track: Option<(&TraceHandles, TrackId)>,
+    record_spans: bool,
+    fail_at: Option<u64>,
+    fail_counter: &AtomicU64,
     encode_begin: &AtomicU64,
     encode_end: &AtomicU64,
     encode_busy: &AtomicU64,
-) {
-    for task in tasks {
+) -> (Vec<SpanRec>, u64) {
+    let mut spans = Vec::new();
+    let mut stolen = 0u64;
+    while let Some((seq, task)) = next_task(worker, &local, stealers, &mut stolen) {
+        if let Some(n) = fail_at {
+            // The fail point counts task *pick-ups*, so the panic lands
+            // right after a pop or steal — mid-steal, before any window
+            // or ring state is touched for this task.
+            if fail_counter.fetch_add(1, Ordering::SeqCst) == n {
+                panic!("injected fail point: encode worker dies at task pick-up {n}");
+            }
+        }
         let begin = recorder.now_ns();
         encode_begin.fetch_min(begin, Ordering::Relaxed);
         match task {
             Task::DataCrc { col, piece, chunk } => {
-                let span = track.map(|(t, tr)| {
-                    t.tracer.span(tr, "encode.crc", format!("chunk={col} piece={piece}"))
-                });
+                let span_begin = recorder.now_ns();
                 let lo = piece * geo.crc_piece;
                 let hi = (lo + geo.crc_piece).min(geo.chunk_len);
                 let crc = crc32(&chunk[lo..hi]);
-                drop(span);
+                if record_spans {
+                    spans.push((
+                        seq,
+                        "encode.crc",
+                        format!("chunk={col} piece={piece}"),
+                        span_begin,
+                        recorder.now_ns(),
+                    ));
+                }
                 if driver_tx.send(DriverMsg::DataCrc { col, piece, crc }).is_err() {
                     break;
                 }
@@ -619,9 +717,7 @@ fn encode_stage(
                     break;
                 }
                 let Some(mut buf) = ring.acquire() else { break };
-                let span = track.map(|(t, tr)| {
-                    t.tracer.span(tr, "encode.stripe", format!("stripe={stripe} chunk={col}"))
-                });
+                let span_begin = recorder.now_ns();
                 let (lo, hi) = geo.rows_of(stripe);
                 let rows = hi - lo;
                 code.encode_column_stripe_into(
@@ -632,7 +728,15 @@ fn encode_stage(
                     &mut buf[..geo.m * geo.w * rows],
                 )
                 .expect("stripe regions are aligned by construction");
-                drop(span);
+                if record_spans {
+                    spans.push((
+                        seq,
+                        "encode.stripe",
+                        format!("stripe={stripe} chunk={col}"),
+                        span_begin,
+                        recorder.now_ns(),
+                    ));
+                }
                 if contrib_tx.send(Contribution { stripe, buf }).is_err() {
                     break;
                 }
@@ -641,6 +745,42 @@ fn encode_stage(
         let end = recorder.now_ns();
         encode_end.fetch_max(end, Ordering::Relaxed);
         encode_busy.fetch_add(end.saturating_sub(begin), Ordering::Relaxed);
+    }
+    (spans, stolen)
+}
+
+/// Next task for encode worker `worker`: its own deque first (FIFO, so
+/// the oldest seeded task), then batch-steals the oldest half of another
+/// worker's backlog. `None` only once every deque is empty; a task still
+/// in flight is owned by the worker executing it, so exiting on
+/// all-empty never strands work.
+fn next_task(
+    worker: usize,
+    local: &Worker<(u64, Task)>,
+    stealers: &[Stealer<(u64, Task)>],
+    stolen: &mut u64,
+) -> Option<(u64, Task)> {
+    if let Some(task) = local.pop() {
+        return Some(task);
+    }
+    loop {
+        let mut retry = false;
+        for (si, stealer) in stealers.iter().enumerate() {
+            if si == worker {
+                continue;
+            }
+            match stealer.steal_batch_and_pop(local) {
+                Steal::Success(task) => {
+                    *stolen += 1;
+                    return Some(task);
+                }
+                Steal::Retry => retry = true,
+                Steal::Empty => {}
+            }
+        }
+        if !retry {
+            return None;
+        }
     }
 }
 

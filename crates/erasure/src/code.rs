@@ -2,7 +2,7 @@ use ecc_gf::{BitMatrix, GaloisField, Matrix};
 use ecc_telemetry::{Counter, Recorder};
 use ecc_trace::{Tracer, TrackId, CODING_PID};
 
-use crate::schedule::{ScheduleKind, XorOp, XorSchedule};
+use crate::schedule::{FusedSchedule, ScheduleKind, XorOp, XorSchedule};
 use crate::{cauchy, region, vandermonde, CodeParams, ErasureError};
 
 /// Cached telemetry handles, looked up once at attach time so the coding
@@ -80,12 +80,19 @@ pub struct ErasureCode {
     generator: Matrix,
     smart: XorSchedule,
     dumb: XorSchedule,
+    /// Fused forms of the cached schedules ([`XorSchedule::fuse`]): the
+    /// hot encode paths execute these so each source stripe is read once
+    /// per parity set. The unfused forms stay callable
+    /// ([`ErasureCode::encode_unfused`]) as the differential oracle.
+    smart_fused: FusedSchedule,
+    dumb_fused: FusedSchedule,
     /// Single-column smart schedules, one per data chunk: `columns[j]`
     /// produces the contribution of data chunk `j` alone to every parity
     /// chunk. By GF(2) linearity, XORing the `k` contributions equals a
     /// full encode — the decomposition the pipelined save executor and
     /// incremental updates are built on.
     columns: Vec<XorSchedule>,
+    columns_fused: Vec<FusedSchedule>,
     metrics: Option<CodeMetrics>,
     tracer: Option<(Tracer, TrackId)>,
 }
@@ -128,7 +135,7 @@ impl ErasureCode {
             XorSchedule::from_bitmatrix(&bits, params.k(), params.m(), w, ScheduleKind::Smart);
         let dumb =
             XorSchedule::from_bitmatrix(&bits, params.k(), params.m(), w, ScheduleKind::Dumb);
-        let columns = (0..params.k())
+        let columns: Vec<XorSchedule> = (0..params.k())
             .map(|chunk| {
                 let column =
                     Matrix::from_fn(params.m(), 1, |i, _| generator.get(params.k() + i, chunk));
@@ -136,7 +143,22 @@ impl ErasureCode {
                 XorSchedule::from_bitmatrix(&col_bits, 1, params.m(), w, ScheduleKind::Smart)
             })
             .collect();
-        Ok(Self { params, gf, generator, smart, dumb, columns, metrics: None, tracer: None })
+        let smart_fused = smart.fuse();
+        let dumb_fused = dumb.fuse();
+        let columns_fused = columns.iter().map(XorSchedule::fuse).collect();
+        Ok(Self {
+            params,
+            gf,
+            generator,
+            smart,
+            dumb,
+            smart_fused,
+            dumb_fused,
+            columns,
+            columns_fused,
+            metrics: None,
+            tracer: None,
+        })
     }
 
     /// Attaches a telemetry recorder: encode/decode calls, bytes, XOR-op
@@ -220,6 +242,15 @@ impl ErasureCode {
         }
     }
 
+    /// The cached fused form of the schedule of the given kind — what
+    /// the encode paths actually execute.
+    pub fn fused_schedule(&self, kind: ScheduleKind) -> &FusedSchedule {
+        match kind {
+            ScheduleKind::Smart => &self.smart_fused,
+            ScheduleKind::Dumb => &self.dumb_fused,
+        }
+    }
+
     /// Encodes `k` data chunks into `m` parity chunks using the smart
     /// schedule.
     ///
@@ -242,13 +273,42 @@ impl ErasureCode {
         data: &[&[u8]],
         kind: ScheduleKind,
     ) -> Result<Vec<Vec<u8>>, ErasureError> {
+        self.encode_impl(data, kind, true)
+    }
+
+    /// Encodes through the *unfused* op-at-a-time executor — the
+    /// reference path the fused executor is differentially tested
+    /// against (`tests/fused_equiv_prop.rs`). Bit-identical to
+    /// [`ErasureCode::encode_with`], just slower.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ErasureCode::encode`].
+    pub fn encode_unfused(
+        &self,
+        data: &[&[u8]],
+        kind: ScheduleKind,
+    ) -> Result<Vec<Vec<u8>>, ErasureError> {
+        self.encode_impl(data, kind, false)
+    }
+
+    fn encode_impl(
+        &self,
+        data: &[&[u8]],
+        kind: ScheduleKind,
+        fused: bool,
+    ) -> Result<Vec<Vec<u8>>, ErasureError> {
         let ps = self.validate_chunks(data, self.params.k())?;
         let timer = self.metrics.as_ref().map(|m| m.recorder.timer("erasure.encode.ns"));
         let span = self.tracer.as_ref().map(|(tracer, track)| {
             let bytes: usize = data.iter().map(|c| c.len()).sum();
             tracer.span(*track, "erasure.encode", format!("{kind:?}, {bytes} B"))
         });
-        let parity = self.run_schedule(self.schedule(kind), data, ps);
+        let parity = if fused {
+            run_fused_on(self.fused_schedule(kind), data, ps)
+        } else {
+            run_schedule_on(self.schedule(kind), data, ps)
+        };
         drop(span);
         drop(timer);
         if let Some(m) = &self.metrics {
@@ -274,6 +334,25 @@ impl ErasureCode {
     /// shards, and [`ErasureError::BadChunkLength`] on inconsistent chunk
     /// lengths.
     pub fn decode(&self, shards: &[Option<&[u8]>]) -> Result<Vec<Vec<u8>>, ErasureError> {
+        self.decode_impl(shards, true)
+    }
+
+    /// Decodes through the *unfused* op-at-a-time executor — the
+    /// reference path for the fused differential suite. Bit-identical to
+    /// [`ErasureCode::decode`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ErasureCode::decode`].
+    pub fn decode_unfused(&self, shards: &[Option<&[u8]>]) -> Result<Vec<Vec<u8>>, ErasureError> {
+        self.decode_impl(shards, false)
+    }
+
+    fn decode_impl(
+        &self,
+        shards: &[Option<&[u8]>],
+        fused: bool,
+    ) -> Result<Vec<Vec<u8>>, ErasureError> {
         let (k, n) = (self.params.k(), self.params.n());
         if shards.len() != n {
             return Err(ErasureError::BadChunkLength {
@@ -303,7 +382,13 @@ impl ErasureCode {
             let w = self.params.w() as usize;
             let schedule =
                 XorSchedule::from_bitmatrix(&bits, k, missing.len(), w, ScheduleKind::Smart);
-            let rebuilt = self.run_schedule(&schedule, &survivor_slices, ps);
+            // Ad-hoc decode schedules are fused on the fly (grouping is
+            // linear in the op count, noise next to the inversion).
+            let rebuilt = if fused {
+                run_fused_on(&schedule.fuse(), &survivor_slices, ps)
+            } else {
+                run_schedule_on(&schedule, &survivor_slices, ps)
+            };
             if let Some(m) = &self.metrics {
                 m.decode_xor_ops.add(schedule.xor_count() as u64);
             }
@@ -343,7 +428,7 @@ impl ErasureCode {
             let ps = data[0].len() / w;
             let schedule =
                 XorSchedule::from_bitmatrix(&bits, k, missing_parity.len(), w, ScheduleKind::Smart);
-            let rebuilt = self.run_schedule(&schedule, &data_refs, ps);
+            let rebuilt = run_fused_on(&schedule.fuse(), &data_refs, ps);
             if let Some(m) = &self.metrics {
                 m.decode_xor_ops.add(schedule.xor_count() as u64);
                 m.decode_rebuilt_chunks.add(missing_parity.len() as u64);
@@ -388,12 +473,6 @@ impl ErasureCode {
     /// the generator invertible). Exponential; use in tests only.
     pub fn verify_mds(&self) -> bool {
         self.generator.is_mds_generator(&self.gf)
-    }
-
-    /// Executes a schedule whose sources are the `k` chunks in `sources`,
-    /// producing `schedule.m()` output chunks of the same length.
-    fn run_schedule(&self, schedule: &XorSchedule, sources: &[&[u8]], ps: usize) -> Vec<Vec<u8>> {
-        run_schedule_on(schedule, sources, ps)
     }
 
     fn validate_chunks(&self, chunks: &[&[u8]], expect: usize) -> Result<usize, ErasureError> {
@@ -517,6 +596,78 @@ pub(crate) fn run_schedule_stripe(
                     XorOp::Xor { .. } => region::xor_into(&mut d[blo..bhi], &s[blo..bhi]),
                 }
             }
+        }
+        blo = bhi;
+    }
+    parity_subs
+}
+
+/// [`run_schedule_on`] for a fused schedule — the default encode
+/// executor.
+pub(crate) fn run_fused_on(fused: &FusedSchedule, sources: &[&[u8]], ps: usize) -> Vec<Vec<u8>> {
+    let (m, w) = (fused.m(), fused.w());
+    let parity_subs = run_fused_stripe(fused, sources, ps, 0, ps);
+    (0..m)
+        .map(|i| {
+            let mut chunk = Vec::with_capacity(w * ps);
+            for r in 0..w {
+                chunk.extend_from_slice(&parity_subs[i * w + r]);
+            }
+            chunk
+        })
+        .collect()
+}
+
+/// [`run_schedule_stripe`] for a fused schedule: every chain executes as
+/// one [`ecc_gf::Kernel::xor_chain`] sweep per L2 block, so each
+/// destination block is written once per parity set and stays in
+/// registers while its sources stream through. Bit-identical to the
+/// unfused executor (fusion only regroups an XOR-linear computation;
+/// property-tested in `tests/fused_equiv_prop.rs`).
+pub(crate) fn run_fused_stripe(
+    fused: &FusedSchedule,
+    sources: &[&[u8]],
+    ps: usize,
+    lo: usize,
+    hi: usize,
+) -> Vec<Vec<u8>> {
+    let (k, m, w) = (fused.k(), fused.m(), fused.w());
+    debug_assert_eq!(sources.len(), k);
+    debug_assert!(lo <= hi && hi <= ps);
+    let stripe = hi - lo;
+    let parity_base = k * w;
+    let mut parity_subs: Vec<Vec<u8>> = vec![vec![0u8; stripe]; m * w];
+    let kernel = ecc_gf::kernel::active_kernel();
+    let block = schedule_block_len(k, m, w);
+    let mut blo = 0usize;
+    while blo < stripe {
+        let bhi = (blo + block).min(stripe);
+        for chain in fused.chains() {
+            let dst = chain.dst - parity_base;
+            // Move the destination buffer out (a Vec header swap) so the
+            // chain's sources may borrow sibling parity rows — smart
+            // derivations read previously completed rows.
+            let mut dst_buf = std::mem::take(&mut parity_subs[dst]);
+            let srcs: Vec<&[u8]> = chain
+                .srcs
+                .iter()
+                .map(|&src| {
+                    if src < parity_base {
+                        let base = (src % w) * ps + lo;
+                        &sources[src / w][base + blo..base + bhi]
+                    } else {
+                        debug_assert_ne!(
+                            src - parity_base,
+                            dst,
+                            "chain must not read its own destination"
+                        );
+                        &parity_subs[src - parity_base][blo..bhi]
+                    }
+                })
+                .collect();
+            kernel.xor_chain(&mut dst_buf[blo..bhi], &srcs, chain.assign);
+            drop(srcs);
+            parity_subs[dst] = dst_buf;
         }
         blo = bhi;
     }
@@ -787,7 +938,7 @@ impl ErasureCode {
         // Single-column generator: parity rows restricted to `chunk`,
         // pre-built at construction time (see `Self::columns`).
         let ps = delta.len() / self.params.w() as usize;
-        Ok(run_schedule_on(&self.columns[chunk], &[delta], ps))
+        Ok(run_fused_on(&self.columns_fused[chunk], &[delta], ps))
     }
 
     /// Computes the contribution of data chunk `chunk` (with contents
@@ -814,6 +965,31 @@ impl ErasureCode {
         region: &[u8],
         out: &mut [u8],
     ) -> Result<(), ErasureError> {
+        self.encode_column_impl(chunk, region, out, true)
+    }
+
+    /// [`ErasureCode::encode_column_into`] through the *unfused*
+    /// executor — the reference path for the fused differential suite.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ErasureCode::encode_column_into`].
+    pub fn encode_column_into_unfused(
+        &self,
+        chunk: usize,
+        region: &[u8],
+        out: &mut [u8],
+    ) -> Result<(), ErasureError> {
+        self.encode_column_impl(chunk, region, out, false)
+    }
+
+    fn encode_column_impl(
+        &self,
+        chunk: usize,
+        region: &[u8],
+        out: &mut [u8],
+        fused: bool,
+    ) -> Result<(), ErasureError> {
         self.validate_column_region(chunk, region)?;
         let m = self.params.m();
         if out.len() != m * region.len() {
@@ -826,7 +1002,11 @@ impl ErasureCode {
             });
         }
         let ps = region.len() / self.params.w() as usize;
-        run_schedule_flat(&self.columns[chunk], region, out, ps);
+        if fused {
+            run_fused_strided(&self.columns_fused[chunk], region, ps, 0, out, ps);
+        } else {
+            run_schedule_flat(&self.columns[chunk], region, out, ps);
+        }
         if let Some(metrics) = &self.metrics {
             metrics.column_calls.incr();
             metrics.column_bytes.add(region.len() as u64);
@@ -899,7 +1079,7 @@ impl ErasureCode {
                 ),
             });
         }
-        run_schedule_strided(&self.columns[chunk_index], chunk, ps_total, lo, out, rows);
+        run_fused_strided(&self.columns_fused[chunk_index], chunk, ps_total, lo, out, rows);
         if let Some(metrics) = &self.metrics {
             metrics.column_calls.incr();
             metrics.column_bytes.add((w * rows) as u64);
@@ -980,6 +1160,54 @@ pub(crate) fn run_schedule_strided(
                 XorOp::Xor { .. } => region::xor_into(d, s),
             }
         }
+    }
+}
+
+/// [`run_schedule_strided`] for a fused schedule: every chain runs as a
+/// single [`ecc_gf::Kernel::xor_chain`] sweep over its stripe, writing
+/// straight into the caller's flat output buffer.
+pub(crate) fn run_fused_strided(
+    fused: &FusedSchedule,
+    source: &[u8],
+    src_stride: usize,
+    src_offset: usize,
+    out: &mut [u8],
+    ps: usize,
+) {
+    let w = fused.w();
+    debug_assert_eq!(fused.k(), 1);
+    debug_assert!(ps <= src_stride && src_offset + ps <= src_stride);
+    debug_assert_eq!(source.len(), w * src_stride);
+    debug_assert_eq!(out.len(), fused.m() * w * ps);
+    let parity_base = w; // k = 1, so source sub-packets occupy [0, w).
+    let kernel = ecc_gf::kernel::active_kernel();
+    // Pre-split the flat output into its sub-packet regions so a chain
+    // can hold its destination mutably while borrowing sibling rows as
+    // sources (smart derivations read previously completed rows); the
+    // destination slice is moved out for the sweep and put back after.
+    let mut subs: Vec<&mut [u8]> = out.chunks_mut(ps).collect();
+    for chain in fused.chains() {
+        let dst = chain.dst - parity_base;
+        let dst_slice = std::mem::take(&mut subs[dst]);
+        let srcs: Vec<&[u8]> = chain
+            .srcs
+            .iter()
+            .map(|&src| {
+                if src < parity_base {
+                    &source[src * src_stride + src_offset..][..ps]
+                } else {
+                    debug_assert_ne!(
+                        src - parity_base,
+                        dst,
+                        "chain must not read its own destination"
+                    );
+                    &*subs[src - parity_base]
+                }
+            })
+            .collect();
+        kernel.xor_chain(dst_slice, &srcs, chain.assign);
+        drop(srcs);
+        subs[dst] = dst_slice;
     }
 }
 

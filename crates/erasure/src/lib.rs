@@ -54,4 +54,4 @@ pub use error::ErasureError;
 pub use params::CodeParams;
 pub use pool::CodingPool;
 pub use region::{MulTable, MulTable16};
-pub use schedule::{ScheduleKind, SubPacket, XorOp, XorSchedule};
+pub use schedule::{FusedChain, FusedSchedule, ScheduleKind, SubPacket, XorOp, XorSchedule};

@@ -1,15 +1,31 @@
 //! The paper's thread-pool technique (§IV-A): region-coding tasks are
 //! split into sub-ranges executed concurrently on CPU cores.
 //!
-//! XOR schedules and GF(2^8) table multiplication act independently on
+//! XOR schedules and GF(2^w) table multiplication act independently on
 //! every byte column, so an encode over a large contiguous region can be
 //! cut into stripes, each stripe coded by a different thread, and the
 //! results concatenated — bit-identical to a single-threaded execution.
+//!
+//! Scheduling is *work-stealing*, not static: a pooled operation is cut
+//! into many more tasks than threads (a size-based grain, independent of
+//! the thread count), the tasks are seeded round-robin into per-worker
+//! FIFO deques, and an idle worker batch-steals the oldest half of a
+//! busy worker's backlog. A slow core — or a worker stalled behind an
+//! interrupt — therefore delays only the task it is executing, never the
+//! rest of its assignment. Results land in slots keyed by task index and
+//! are reassembled in task order, so the output (and every telemetry
+//! counter and deferred trace span) is a pure function of the operation
+//! geometry, regardless of which worker ran what.
+//!
+//! Stripe coding itself runs the *fused* XOR schedule
+//! ([`crate::FusedSchedule`]): each source sub-packet is read once per
+//! parity set rather than once per XOR op.
 
+use crossbeam_deque::{Steal, Stealer, Worker};
 use ecc_telemetry::{Counter, Recorder};
 use ecc_trace::{Tracer, TrackId, CODING_PID};
 
-use crate::code::run_schedule_stripe;
+use crate::code::run_fused_stripe;
 use crate::region::MulTable;
 use crate::schedule::ScheduleKind;
 use crate::{region, ErasureCode, ErasureError};
@@ -91,20 +107,19 @@ impl CodingPool {
 
     /// Attaches a span tracer: pooled encodes/decodes emit a
     /// `pool.{encode,decode}` span on the coding process's `pool` track
-    /// plus one `{encode,decode}.stripe` span per sub-range on that
-    /// stripe's `worker{i}` track.
+    /// plus one `{encode,decode}.stripe` span per task, re-emitted after
+    /// the join in task order on the `workers` track — so the trace
+    /// never depends on which worker executed (or stole) a task.
     pub fn set_tracer(&mut self, tracer: &Tracer) {
         self.tracer = Some(tracer.clone());
     }
 
     /// Pre-registers (single-threaded, so track ids are deterministic)
-    /// and returns the worker tracks for a `count`-stripe operation.
-    fn worker_tracks(&self, count: usize) -> Option<(Tracer, TrackId, Vec<TrackId>)> {
+    /// the pool-level and deferred-worker tracks.
+    fn pool_tracks(&self) -> Option<(Tracer, TrackId, TrackId)> {
         self.tracer.as_ref().map(|tracer| {
             let pool = tracer.track(CODING_PID, "coding", "pool");
-            let workers = (0..count)
-                .map(|i| tracer.track(CODING_PID, "coding", &format!("worker{i}")))
-                .collect();
+            let workers = tracer.track(CODING_PID, "coding", "workers");
             (tracer.clone(), pool, workers)
         })
     }
@@ -158,9 +173,10 @@ impl CodingPool {
         });
     }
 
-    /// Parallel systematic encode: splits the packet dimension into
-    /// stripes, codes each stripe on its own thread with the smart
-    /// schedule, and reassembles. Bit-identical to [`ErasureCode::encode`].
+    /// Parallel systematic encode: cuts the packet dimension into
+    /// work-stealing tasks, codes each task with the fused smart
+    /// schedule, and reassembles in task order. Bit-identical to
+    /// [`ErasureCode::encode`].
     ///
     /// # Errors
     ///
@@ -192,41 +208,35 @@ impl CodingPool {
             });
         }
         let ps = len / w;
-        let stripe = stripe_len(ps, self.threads);
-        if stripe == 0 {
+        let bounds = steal_bounds(ps);
+        if bounds.len() <= 1 {
             return code.encode(data);
         }
-        let schedule = code.schedule(ScheduleKind::Smart);
-        let mut bounds = Vec::new();
-        let mut lo = 0usize;
-        while lo < ps {
-            let hi = (lo + stripe).min(ps);
-            bounds.push((lo, hi));
-            lo = hi;
-        }
+        let fused = code.fused_schedule(ScheduleKind::Smart);
         let timer = self.metrics.as_ref().map(|m| m.recorder.timer("erasure.encode.ns"));
-        let trace = self.worker_tracks(bounds.len());
+        let trace = self.pool_tracks();
         let pool_span = trace.as_ref().map(|(tracer, pool, _)| {
             tracer.span(*pool, "pool.encode", format!("{} stripes", bounds.len()))
         });
-        let stripes: Vec<Vec<Vec<u8>>> = std::thread::scope(|s| {
-            let handles: Vec<_> = bounds
-                .iter()
-                .enumerate()
-                .map(|(i, &(lo, hi))| {
-                    let worker =
-                        trace.as_ref().map(|(tracer, _, workers)| (tracer.clone(), workers[i]));
-                    s.spawn(move || {
-                        let _span = worker.as_ref().map(|(tracer, track)| {
-                            tracer.span(*track, "encode.stripe", format!("rows {lo}..{hi}"))
-                        });
-                        run_schedule_stripe(schedule, data, ps, lo, hi)
-                    })
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().expect("stripe worker panicked")).collect()
+        let clock = trace.as_ref().map(|(tracer, _, _)| tracer.clone());
+        let (tasks, _steals) = run_stealing(self.threads, &bounds, |_, lo, hi| {
+            let begin = clock.as_ref().map(Tracer::now_ns);
+            let subs = run_fused_stripe(fused, data, ps, lo, hi);
+            let times = begin.map(|b| (b, clock.as_ref().expect("begin implies clock").now_ns()));
+            (subs, times)
         });
         drop(pool_span);
+        // Deferred stripe spans: re-emitted in task order so the trace
+        // never depends on which worker executed (or stole) a task.
+        if let Some((tracer, _, workers)) = &trace {
+            for (&(lo, hi), (_, times)) in bounds.iter().zip(&tasks) {
+                if let Some((begin, end)) = times {
+                    tracer.begin_at(*workers, "encode.stripe", format!("rows {lo}..{hi}"), *begin);
+                    tracer.end_at(*workers, *end);
+                }
+            }
+        }
+        let stripes: Vec<Vec<Vec<u8>>> = tasks.into_iter().map(|(subs, _)| subs).collect();
         // Reassemble: parity chunk i, sub-packet r = concat of stripes.
         let (m, _) = (params.m(), params.k());
         let mut parity: Vec<Vec<u8>> = (0..m).map(|_| Vec::with_capacity(w * ps)).collect();
@@ -243,7 +253,7 @@ impl CodingPool {
             metrics.encode_calls.incr();
             metrics.encode_bytes.add(payload);
             metrics.encode_parity_bytes.add(parity.iter().map(|c| c.len() as u64).sum());
-            metrics.encode_xor_ops.add(schedule.xor_count() as u64);
+            metrics.encode_xor_ops.add(fused.xor_count() as u64);
             metrics.encode_stripes.add(bounds.len() as u64);
             metrics.kernel_bytes.add(payload);
         }
@@ -260,12 +270,43 @@ impl Default for CodingPool {
     }
 }
 
-/// Minimum bytes a stripe worker is worth spawning for; also the floor
-/// for the trailing remainder stripe.
+/// Minimum bytes a coding task is worth scheduling for; also the floor
+/// for the trailing remainder task.
 const MIN_STRIPE: usize = 64;
 
+/// Task count a pooled operation aims for. Deliberately larger than any
+/// realistic thread count so idle workers always find something to
+/// steal, and size-based rather than thread-based so task boundaries —
+/// and with them telemetry counters, deferred trace spans, and the
+/// reassembly order — never depend on how many workers execute them.
+const STEAL_TASKS: usize = 32;
+
+/// Cuts `[0, total)` into up to [`STEAL_TASKS`] contiguous
+/// 8-byte-aligned work-stealing tasks of at least [`MIN_STRIPE`] bytes;
+/// a degenerate remainder is merged into the final task rather than
+/// scheduled alone. Returns a single task when the range is too small
+/// to be worth splitting.
+fn steal_bounds(total: usize) -> Vec<(usize, usize)> {
+    if total < 2 * MIN_STRIPE {
+        return vec![(0, total)];
+    }
+    let raw = total.div_ceil(STEAL_TASKS).max(MIN_STRIPE);
+    let len = (raw + 7) & !7;
+    let mut bounds = Vec::new();
+    let mut lo = 0usize;
+    while lo < total {
+        let hi = if total - lo < len + MIN_STRIPE { total } else { lo + len };
+        bounds.push((lo, hi));
+        lo = hi;
+    }
+    bounds
+}
+
 /// Stripe length per thread, 8-byte aligned; 0 when the region is too
-/// small to be worth splitting.
+/// small to be worth splitting. Used by the flat primitives
+/// ([`CodingPool::xor_into`], [`CodingPool::apply_table`]), which split
+/// statically — one stripe per thread is already optimal for a single
+/// memory-bound pass.
 ///
 /// The effective parallelism is *clamped* so no worker receives an empty
 /// or degenerate stripe: splitting `total` into 8-byte-aligned stripes
@@ -288,6 +329,92 @@ fn stripe_len(total: usize, threads: usize) -> usize {
         count -= 1;
     }
     0
+}
+
+/// Runs one closure invocation per `bounds` entry on a chunked
+/// work-stealing deque set: tasks are seeded round-robin into per-worker
+/// FIFO deques, each worker drains its own deque front-first and then
+/// batch-steals the oldest half of another worker's backlog, so a slow
+/// worker never strands its remaining tasks. Results come back
+/// slot-ordered by task index — independent of which worker ran what —
+/// along with the total number of successful steals.
+fn run_stealing<R, F>(threads: usize, bounds: &[(usize, usize)], run: F) -> (Vec<R>, u64)
+where
+    R: Send,
+    F: Fn(usize, usize, usize) -> R + Sync,
+{
+    let n = bounds.len();
+    let nworkers = threads.min(n).max(1);
+    let locals: Vec<Worker<(usize, usize, usize)>> =
+        (0..nworkers).map(|_| Worker::new_fifo()).collect();
+    for (id, &(lo, hi)) in bounds.iter().enumerate() {
+        locals[id % nworkers].push((id, lo, hi));
+    }
+    let stealers: Vec<Stealer<(usize, usize, usize)>> =
+        locals.iter().map(Worker::stealer).collect();
+    let mut slots: Vec<Option<R>> = std::iter::repeat_with(|| None).take(n).collect();
+    let mut steals = 0u64;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = locals
+            .into_iter()
+            .enumerate()
+            .map(|(wi, local)| {
+                let (stealers, run) = (&stealers, &run);
+                s.spawn(move || {
+                    let mut done: Vec<(usize, R)> = Vec::new();
+                    let mut stolen = 0u64;
+                    while let Some((id, lo, hi)) = next_task(wi, &local, stealers, &mut stolen) {
+                        done.push((id, run(id, lo, hi)));
+                    }
+                    (done, stolen)
+                })
+            })
+            .collect();
+        for handle in handles {
+            let (done, stolen) = handle.join().expect("pool worker panicked");
+            steals += stolen;
+            for (id, result) in done {
+                debug_assert!(slots[id].is_none(), "task {id} executed twice");
+                slots[id] = Some(result);
+            }
+        }
+    });
+    let results = slots.into_iter().map(|r| r.expect("every task executes exactly once")).collect();
+    (results, steals)
+}
+
+/// Next task for worker `wi`: its own deque first, then batch-steals
+/// from the other workers. `None` only once every deque is empty — any
+/// task still in flight is owned by the worker executing it, so exiting
+/// on all-empty never strands work.
+fn next_task(
+    wi: usize,
+    local: &Worker<(usize, usize, usize)>,
+    stealers: &[Stealer<(usize, usize, usize)>],
+    stolen: &mut u64,
+) -> Option<(usize, usize, usize)> {
+    if let Some(task) = local.pop() {
+        return Some(task);
+    }
+    loop {
+        let mut retry = false;
+        for (si, stealer) in stealers.iter().enumerate() {
+            if si == wi {
+                continue;
+            }
+            match stealer.steal_batch_and_pop(local) {
+                Steal::Success(task) => {
+                    *stolen += 1;
+                    return Some(task);
+                }
+                Steal::Retry => retry = true,
+                Steal::Empty => {}
+            }
+        }
+        if !retry {
+            return None;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -339,6 +466,29 @@ mod tests {
             let parallel = CodingPool::new(threads).encode(&code, &refs).unwrap();
             assert_eq!(parallel, serial, "threads={threads}");
         }
+    }
+
+    /// More workers than tasks: the surplus workers spin down on empty
+    /// deques and the pooled result still matches — the steal-storm
+    /// shape (threads ≫ tasks) loses and duplicates nothing.
+    #[test]
+    fn pool_encode_with_threads_exceeding_tasks() {
+        let code = ErasureCode::cauchy_good(CodeParams::new(2, 2, 8).unwrap()).unwrap();
+        let data: Vec<Vec<u8>> = (0..2).map(|i| random_bytes(8 * 256, i + 40)).collect();
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let serial = code.encode(&refs).unwrap();
+        assert_eq!(CodingPool::new(64).encode(&code, &refs).unwrap(), serial);
+    }
+
+    /// The pooled (fused, stolen) encode agrees with the *unfused*
+    /// sequential oracle, not just the fused one.
+    #[test]
+    fn pool_encode_matches_unfused_oracle() {
+        let code = ErasureCode::cauchy_good(CodeParams::new(4, 2, 8).unwrap()).unwrap();
+        let data: Vec<Vec<u8>> = (0..4).map(|i| random_bytes(64 * 64, i + 7)).collect();
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let oracle = code.encode_unfused(&refs, ScheduleKind::Smart).unwrap();
+        assert_eq!(CodingPool::new(4).encode(&code, &refs).unwrap(), oracle);
     }
 
     #[test]
@@ -421,12 +571,49 @@ mod tests {
             assert_eq!(serial, parallel, "total={total}");
         }
     }
+
+    /// The work-stealing task splitter tiles the range exactly, aligns
+    /// every interior boundary to 8 bytes, never schedules a degenerate
+    /// task, and — crucially — does not depend on any thread count.
+    #[test]
+    fn steal_bounds_tile_the_range() {
+        for total in (1..512usize).chain([513, 1000, 4096, 65_521, 1 << 20]) {
+            let bounds = steal_bounds(total);
+            assert!(!bounds.is_empty());
+            assert!(bounds.len() <= STEAL_TASKS + 1, "total={total}: {} tasks", bounds.len());
+            let mut covered = 0usize;
+            for (i, &(lo, hi)) in bounds.iter().enumerate() {
+                assert_eq!(lo, covered, "total={total}: tasks must tile");
+                assert!(hi > lo, "total={total}: empty task");
+                if bounds.len() > 1 {
+                    assert!(hi - lo >= MIN_STRIPE, "total={total}: degenerate task {i}");
+                }
+                if i + 1 < bounds.len() {
+                    assert_eq!(hi % 8, 0, "total={total}: unaligned boundary");
+                }
+                covered = hi;
+            }
+            assert_eq!(covered, total);
+        }
+    }
+
+    /// Direct contention test for the stealing executor: many tiny tasks
+    /// over many workers, every slot filled exactly once.
+    #[test]
+    fn run_stealing_executes_every_task_exactly_once() {
+        let bounds: Vec<(usize, usize)> = (0..257).map(|i| (i, i + 1)).collect();
+        let (results, _steals) = run_stealing(16, &bounds, |id, lo, hi| {
+            assert_eq!((lo, hi), (id, id + 1));
+            id
+        });
+        assert_eq!(results, (0..257).collect::<Vec<_>>());
+    }
 }
 
 impl CodingPool {
     /// Parallel any-k decode: reconstructs all `k` data chunks from the
-    /// surviving shards, striping the byte range across threads exactly
-    /// like [`CodingPool::encode`]. Bit-identical to
+    /// surviving shards, cutting the byte range into work-stealing tasks
+    /// exactly like [`CodingPool::encode`]. Bit-identical to
     /// [`ErasureCode::decode`].
     ///
     /// # Errors
@@ -454,63 +641,53 @@ impl CodingPool {
             return code.decode(shards); // let the serial path report errors
         }
         let ps = len / w;
-        let stripe = stripe_len(ps, self.threads);
-        if stripe == 0 {
+        let bounds = steal_bounds(ps);
+        if bounds.len() <= 1 {
             return code.decode(shards);
-        }
-        let mut bounds = Vec::new();
-        let mut lo = 0usize;
-        while lo < ps {
-            bounds.push((lo, (lo + stripe).min(ps)));
-            lo = (lo + stripe).min(ps);
         }
         if let Some(metrics) = &self.metrics {
             metrics.decode_stripes.add(bounds.len() as u64);
         }
-        let trace = self.worker_tracks(bounds.len());
+        let trace = self.pool_tracks();
         let pool_span = trace.as_ref().map(|(tracer, pool, _)| {
             tracer.span(*pool, "pool.decode", format!("{} stripes", bounds.len()))
         });
+        let clock = trace.as_ref().map(|(tracer, _, _)| tracer.clone());
         // Build per-stripe shard views: for each shard, gather the byte
         // range [lo, hi) of each of its w sub-packets.
-        let stripes: Vec<Result<Vec<Vec<u8>>, ErasureError>> = std::thread::scope(|s| {
-            let handles: Vec<_> = bounds
+        let (tasks, _steals) = run_stealing(self.threads, &bounds, |_, lo, hi| {
+            let begin = clock.as_ref().map(Tracer::now_ns);
+            let views: Vec<Option<Vec<u8>>> = shards
                 .iter()
-                .enumerate()
-                .map(|(i, &(lo, hi))| {
-                    let shards = &shards;
-                    let worker =
-                        trace.as_ref().map(|(tracer, _, workers)| (tracer.clone(), workers[i]));
-                    s.spawn(move || {
-                        let _span = worker.as_ref().map(|(tracer, track)| {
-                            tracer.span(*track, "decode.stripe", format!("rows {lo}..{hi}"))
-                        });
-                        let views: Vec<Option<Vec<u8>>> = shards
-                            .iter()
-                            .map(|sh| {
-                                sh.map(|bytes| {
-                                    let mut v = Vec::with_capacity(w * (hi - lo));
-                                    for c in 0..w {
-                                        v.extend_from_slice(&bytes[c * ps + lo..c * ps + hi]);
-                                    }
-                                    v
-                                })
-                            })
-                            .collect();
-                        let view_refs: Vec<Option<&[u8]>> =
-                            views.iter().map(|v| v.as_deref()).collect();
-                        code.decode(&view_refs)
+                .map(|sh| {
+                    sh.map(|bytes| {
+                        let mut v = Vec::with_capacity(w * (hi - lo));
+                        for c in 0..w {
+                            v.extend_from_slice(&bytes[c * ps + lo..c * ps + hi]);
+                        }
+                        v
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("decode worker panicked")).collect()
+            let view_refs: Vec<Option<&[u8]>> = views.iter().map(|v| v.as_deref()).collect();
+            let decoded = code.decode(&view_refs);
+            let times = begin.map(|b| (b, clock.as_ref().expect("begin implies clock").now_ns()));
+            (decoded, times)
         });
         drop(pool_span);
+        if let Some((tracer, _, workers)) = &trace {
+            for (&(lo, hi), (_, times)) in bounds.iter().zip(&tasks) {
+                if let Some((begin, end)) = times {
+                    tracer.begin_at(*workers, "decode.stripe", format!("rows {lo}..{hi}"), *begin);
+                    tracer.end_at(*workers, *end);
+                }
+            }
+        }
         // Reassemble: data chunk j sub-packet c = concat of stripes.
         let mut out: Vec<Vec<u8>> = (0..k).map(|_| Vec::with_capacity(len)).collect();
-        let mut stripe_chunks = Vec::with_capacity(stripes.len());
-        for s in stripes {
-            stripe_chunks.push(s?);
+        let mut stripe_chunks = Vec::with_capacity(tasks.len());
+        for (decoded, _) in tasks {
+            stripe_chunks.push(decoded?);
         }
         for (j, chunk) in out.iter_mut().enumerate() {
             for c in 0..w {

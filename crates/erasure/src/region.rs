@@ -6,7 +6,7 @@
 //! by a single generator coefficient (`e_ij · d`, paper Fig. 6) before the
 //! cross-node XOR reduction.
 
-use ecc_gf::kernel::{active_kernel, Split8};
+use ecc_gf::kernel::{active_kernel, Split16, Split8};
 use ecc_gf::{GaloisField, GfError};
 
 /// XORs `src` into `dst` (`dst[i] ^= src[i]`) through the dispatched
@@ -193,8 +193,15 @@ mod tests {
 /// coefficient with the low byte and with the high byte shifted — and
 /// combines them per element: `coef · x = low[x & 0xFF] ^ high[x >> 8]`
 /// (used by large-field codes such as G-CRS, which the paper cites).
+/// The tables live in [`ecc_gf::Split16`] so [`apply`] and [`apply_xor`]
+/// run through the dispatched kernel's w = 16 fast path (GFNI byte-plane
+/// affine multiply where the CPU supports it, the split-table scalar loop
+/// otherwise).
 ///
 /// Regions are interpreted as little-endian `u16` elements.
+///
+/// [`apply`]: MulTable16::apply
+/// [`apply_xor`]: MulTable16::apply_xor
 ///
 /// # Examples
 ///
@@ -212,9 +219,7 @@ mod tests {
 /// ```
 #[derive(Debug, Clone)]
 pub struct MulTable16 {
-    coef: u16,
-    low: [u16; 256],
-    high: [u16; 256],
+    split: Split16,
 }
 
 impl MulTable16 {
@@ -225,26 +230,18 @@ impl MulTable16 {
     /// Returns [`GfError::UnsupportedWidth`] when the field is not
     /// GF(2^16).
     pub fn new(gf: &GaloisField, coef: u16) -> Result<Self, GfError> {
-        if gf.w() != 16 {
-            return Err(GfError::UnsupportedWidth { w: gf.w() });
-        }
-        let mut low = [0u16; 256];
-        let mut high = [0u16; 256];
-        for b in 0..256u16 {
-            low[b as usize] = gf.mul(coef, b);
-            high[b as usize] = gf.mul(coef, b << 8);
-        }
-        Ok(Self { coef, low, high })
+        Ok(Self { split: Split16::new(gf, coef)? })
     }
 
     /// The coefficient these tables multiply by.
     pub fn coef(&self) -> u16 {
-        self.coef
+        self.split.coef()
     }
 
-    #[inline]
-    fn mul_element(&self, x: u16) -> u16 {
-        self.low[(x & 0xFF) as usize] ^ self.high[(x >> 8) as usize]
+    /// The underlying split tables, for callers that drive a
+    /// [`ecc_gf::Kernel`] directly (e.g. the kernel bench harness).
+    pub fn split(&self) -> &Split16 {
+        &self.split
     }
 
     /// `dst = coef · src`, element-wise over little-endian `u16`s.
@@ -255,10 +252,7 @@ impl MulTable16 {
     pub fn apply(&self, src: &[u8], dst: &mut [u8]) {
         assert_eq!(src.len(), dst.len(), "apply requires equal-length slices");
         assert_eq!(src.len() % 2, 0, "GF(2^16) regions hold 2-byte elements");
-        for (d, s) in dst.chunks_exact_mut(2).zip(src.chunks_exact(2)) {
-            let x = u16::from_le_bytes(s.try_into().expect("2-byte chunk"));
-            d.copy_from_slice(&self.mul_element(x).to_le_bytes());
-        }
+        active_kernel().mul16(&self.split, src, dst);
     }
 
     /// `dst ^= coef · src`, element-wise over little-endian `u16`s.
@@ -269,11 +263,7 @@ impl MulTable16 {
     pub fn apply_xor(&self, src: &[u8], dst: &mut [u8]) {
         assert_eq!(src.len(), dst.len(), "apply_xor requires equal-length slices");
         assert_eq!(src.len() % 2, 0, "GF(2^16) regions hold 2-byte elements");
-        for (d, s) in dst.chunks_exact_mut(2).zip(src.chunks_exact(2)) {
-            let x = u16::from_le_bytes(s.try_into().expect("2-byte chunk"));
-            let cur = u16::from_le_bytes((&*d).try_into().expect("2-byte chunk"));
-            d.copy_from_slice(&(cur ^ self.mul_element(x)).to_le_bytes());
-        }
+        active_kernel().mul16_xor(&self.split, src, dst);
     }
 }
 

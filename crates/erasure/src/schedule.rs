@@ -204,6 +204,113 @@ impl XorSchedule {
     pub fn w(&self) -> usize {
         self.w
     }
+
+    /// Fuses this schedule into multi-source chains — one
+    /// [`FusedChain`] per destination run. See [`FusedSchedule`].
+    pub fn fuse(&self) -> FusedSchedule {
+        FusedSchedule::from_schedule(self)
+    }
+}
+
+/// One fused operation: a run of schedule ops sharing a destination,
+/// collapsed into `dst = (⊕ srcs)` (`assign`) or `dst ⊕= (⊕ srcs)`.
+///
+/// The kernel executes the chain in a single sweep
+/// ([`ecc_gf::Kernel::xor_chain`]): the destination block stays in
+/// registers while every source is folded in, so each destination byte
+/// is written once per chain instead of once per op.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FusedChain {
+    /// Destination parity sub-packet.
+    pub dst: SubPacket,
+    /// `true` when the chain starts from a [`XorOp::Copy`] (the
+    /// destination is overwritten), `false` when it accumulates.
+    pub assign: bool,
+    /// Source sub-packets, in the original op order. Data sources are
+    /// `< k·w`; a smart derivation contributes one parity source.
+    pub srcs: Vec<SubPacket>,
+}
+
+/// A [`XorSchedule`] regrouped by destination: the fusion pass of the
+/// fused encode executor.
+///
+/// Both schedule builders emit every op for a parity row contiguously
+/// (a `Copy` that initialises the row, then its `Xor`s), so run-length
+/// grouping over consecutive same-destination ops captures each parity
+/// *set* in one [`FusedChain`] without reordering anything — execution
+/// order, and with it the smart schedule's row-derivation dependencies,
+/// is preserved exactly. Fusion is pure regrouping of an XOR-linear
+/// computation, so the result is bit-identical to the unfused schedule
+/// (property-tested in `tests/fused_equiv_prop.rs`).
+///
+/// # Examples
+///
+/// ```
+/// use ecc_erasure::{CodeParams, ErasureCode, ScheduleKind};
+///
+/// let code = ErasureCode::cauchy_good(CodeParams::new(2, 2, 8)?)?;
+/// let fused = code.schedule(ScheduleKind::Smart).fuse();
+/// // One chain per parity row: each source stripe is now read once
+/// // per parity set rather than once per schedule op.
+/// assert_eq!(fused.chains().len(), 2 * 8);
+/// # Ok::<(), ecc_erasure::ErasureError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FusedSchedule {
+    chains: Vec<FusedChain>,
+    k: usize,
+    m: usize,
+    w: usize,
+}
+
+impl FusedSchedule {
+    fn from_schedule(schedule: &XorSchedule) -> Self {
+        let mut chains: Vec<FusedChain> = Vec::new();
+        for op in schedule.ops() {
+            let start_new = match (op, chains.last()) {
+                // A Copy always opens a fresh chain: it overwrites dst.
+                (XorOp::Copy { .. }, _) => true,
+                (XorOp::Xor { dst, .. }, Some(last)) => *dst != last.dst,
+                (XorOp::Xor { .. }, None) => true,
+            };
+            if start_new {
+                chains.push(FusedChain {
+                    dst: op.dst(),
+                    assign: matches!(op, XorOp::Copy { .. }),
+                    srcs: vec![op.src()],
+                });
+            } else {
+                chains.last_mut().expect("chain opened above").srcs.push(op.src());
+            }
+        }
+        Self { chains, k: schedule.k(), m: schedule.m(), w: schedule.w() }
+    }
+
+    /// The fused chains in execution order.
+    pub fn chains(&self) -> &[FusedChain] {
+        &self.chains
+    }
+
+    /// Total number of source reads — identical to the unfused
+    /// schedule's [`XorSchedule::xor_count`].
+    pub fn xor_count(&self) -> usize {
+        self.chains.iter().map(|c| c.srcs.len()).sum()
+    }
+
+    /// Number of data chunks the schedule expects.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of parity chunks the schedule produces.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Field width (sub-packets per chunk).
+    pub fn w(&self) -> usize {
+        self.w
+    }
 }
 
 #[cfg(test)]
@@ -280,6 +387,48 @@ mod tests {
                 assert!(completed[op.src() - parity_base], "reads incomplete row");
             }
         }
+    }
+
+    #[test]
+    fn fuse_groups_each_parity_row_into_one_assign_chain() {
+        for (k, m) in [(2, 2), (4, 2), (6, 3)] {
+            let bits = parity_bits(k, m, 8);
+            for kind in [ScheduleKind::Dumb, ScheduleKind::Smart] {
+                let s = XorSchedule::from_bitmatrix(&bits, k, m, 8, kind);
+                let fused = s.fuse();
+                assert_eq!(fused.xor_count(), s.xor_count(), "fusion must not change reads");
+                assert_eq!((fused.k(), fused.m(), fused.w()), (k, m, 8));
+                // Both builders emit per-row runs opened by a Copy, so
+                // fusion yields exactly one assigning chain per parity
+                // row, in row order.
+                assert_eq!(fused.chains().len(), m * 8);
+                for (row, chain) in fused.chains().iter().enumerate() {
+                    assert_eq!(chain.dst, k * 8 + row);
+                    assert!(chain.assign, "row {row} must assign");
+                    assert!(!chain.srcs.is_empty());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fuse_handles_interleaved_destinations_without_reordering() {
+        // Hand-built interleaved schedule (no builder emits this shape,
+        // but fusion must stay semantics-preserving for any op list):
+        // a run returning to an earlier dst becomes an accumulate chain.
+        let ops = vec![
+            XorOp::Copy { src: 0, dst: 16 },
+            XorOp::Xor { src: 1, dst: 16 },
+            XorOp::Copy { src: 2, dst: 17 },
+            XorOp::Xor { src: 3, dst: 16 },
+            XorOp::Xor { src: 4, dst: 16 },
+        ];
+        let s = XorSchedule { ops, k: 2, m: 2, w: 8 };
+        let fused = s.fuse();
+        assert_eq!(fused.chains().len(), 3);
+        assert_eq!(fused.xor_count(), 5);
+        let last = &fused.chains()[2];
+        assert_eq!((last.dst, last.assign, last.srcs.as_slice()), (16, false, &[3, 4][..]));
     }
 
     #[test]

@@ -45,5 +45,5 @@ mod matrix;
 pub use bitmatrix::BitMatrix;
 pub use error::GfError;
 pub use field::{GaloisField, SUPPORTED_WIDTHS};
-pub use kernel::{Kernel, Split8};
+pub use kernel::{Kernel, Split16, Split8};
 pub use matrix::Matrix;

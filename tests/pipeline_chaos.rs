@@ -79,6 +79,63 @@ fn node_crash_mid_save_fails_cleanly_and_keeps_the_old_checkpoint() {
 }
 
 #[test]
+fn worker_killed_mid_steal_fails_cleanly_and_keeps_the_old_checkpoint() {
+    // Kill an encode worker at its n-th task pick-up — right after a
+    // pop or steal, before it touches window or ring state — and sweep
+    // n across the whole task stream so the panic lands while peers are
+    // blocked on every kind of shared state: deque stealing, the
+    // bounded contribution ring, the admission window. Each save must
+    // fail with `StageFailed` (never hang on the bounded rings, never
+    // commit a half-encoded version), and the previous checkpoint must
+    // load bit-exactly afterwards.
+    for threads in [1usize, 2, 4, 8] {
+        for fail_at in (0..24u64).step_by(3) {
+            let spec = ClusterSpec::tiny_test(4, 2);
+            let good = dicts(8, 1);
+            let mut plane = ChaosPlane::new(Cluster::new(spec), ChaosConfig::quiet(11));
+            let mut ecc = EcCheck::initialize(&spec, pipelined_config(threads)).unwrap();
+            ecc.save(&mut plane, &good).expect("fault-free save succeeds");
+
+            ecc.set_fail_encode_task(Some(fail_at));
+            match ecc.save(&mut plane, &dicts(8, 2)) {
+                Err(EcCheckError::StageFailed { detail }) => {
+                    assert!(
+                        detail.contains("worker"),
+                        "threads={threads} fail_at={fail_at}: {detail}"
+                    );
+                }
+                other => panic!(
+                    "threads={threads} fail_at={fail_at}: save must fail with StageFailed, \
+                     got {:?}",
+                    other.map(|r| r.version)
+                ),
+            }
+
+            // The previous checkpoint is untouched.
+            ecc.set_fail_encode_task(None);
+            let (restored, report) =
+                ecc.load(&mut plane).expect("previous checkpoint must survive");
+            assert_eq!(report.version, 1, "threads={threads} fail_at={fail_at}");
+            assert_eq!(restored, good, "threads={threads} fail_at={fail_at}");
+        }
+    }
+}
+
+#[test]
+fn disarmed_fail_point_never_fires() {
+    // A fail point beyond the task stream is a save that must succeed:
+    // the counter reaches every task without hitting the trigger.
+    let spec = ClusterSpec::tiny_test(4, 2);
+    let mut plane = ChaosPlane::new(Cluster::new(spec), ChaosConfig::quiet(13));
+    let mut ecc =
+        EcCheck::initialize(&spec, pipelined_config(4).with_fail_encode_task(u64::MAX)).unwrap();
+    let state = dicts(8, 7);
+    ecc.save(&mut plane, &state).expect("out-of-range fail point is inert");
+    let (restored, _) = ecc.load(&mut plane).unwrap();
+    assert_eq!(restored, state);
+}
+
+#[test]
 fn executor_written_checkpoints_uphold_the_m_fault_budget() {
     let spec = ClusterSpec::tiny_test(4, 2);
     let mut ecc = EcCheck::initialize(&spec, pipelined_config(4)).unwrap();

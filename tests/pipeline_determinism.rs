@@ -1,12 +1,14 @@
 //! Determinism of the pipelined save executor's observability.
 //!
-//! The executor runs on real worker threads, so nothing about thread
-//! scheduling may leak into the measurements: under a manual clock, a
-//! run's telemetry snapshot must be byte-identical across runs *and*
-//! across worker-thread counts (counters count work, not threads), and
-//! the exported Chrome trace must be byte-identical across runs at any
-//! fixed thread count (static task assignment, deterministically
-//! ordered track creation, driver-side span re-emission).
+//! The executor runs on real worker threads with work-stealing deques,
+//! so nothing about thread scheduling may leak into the measurements:
+//! under a manual clock, a run's telemetry snapshot *and* exported
+//! Chrome trace must be byte-identical across runs and across
+//! worker-thread counts (counters count work, not threads; encode spans
+//! are recorded per task, re-emitted by the driver in task order on a
+//! single thread-count-independent track). A steal storm — many tiny
+//! stripes, far more workers than stripes — must lose and duplicate
+//! nothing.
 
 use std::sync::Arc;
 
@@ -60,13 +62,71 @@ fn run_once(threads: usize) -> (String, String) {
 
 #[test]
 fn snapshot_and_trace_are_byte_identical_across_runs_at_every_thread_count() {
-    for threads in [1usize, 2, 8] {
+    for threads in [1usize, 2, 4, 8] {
         let (snap_a, trace_a) = run_once(threads);
         let (snap_b, trace_b) = run_once(threads);
         assert_eq!(snap_a, snap_b, "telemetry must be run-deterministic at threads={threads}");
         assert_eq!(trace_a, trace_b, "trace must be run-deterministic at threads={threads}");
         let stats = validate_chrome_trace(&trace_a).expect("exporter output must validate");
         assert!(stats.spans > 0 && stats.flows > 0, "threads={threads}: {stats:?}");
+    }
+}
+
+#[test]
+fn snapshot_and_trace_are_byte_identical_across_stealing_thread_counts() {
+    // Work-stealing moves tasks between workers nondeterministically,
+    // but the observability contract is stronger than run-determinism:
+    // the deferred, task-ordered span re-emission on a single `encode`
+    // track makes the whole trace identical whether 1 or 8 workers ran
+    // the deques (steal counts live in `SaveReport::pipeline` only).
+    let (snap_one, trace_one) = run_once(1);
+    for threads in [2usize, 4, 8] {
+        let (snap, trace) = run_once(threads);
+        assert_eq!(snap, snap_one, "telemetry diverged between 1 and {threads} threads");
+        assert_eq!(trace, trace_one, "trace diverged between 1 and {threads} threads");
+    }
+}
+
+#[test]
+fn steal_storm_loses_and_duplicates_nothing() {
+    // Many tiny stripes with threads >> stripes: every worker races the
+    // others' deques dry. A lost task would wedge the reducer (k
+    // contributions per stripe never arrive); a double-executed Contrib
+    // would XOR a stripe into its accumulator twice and cancel it,
+    // corrupting parity — so a bit-exact reload proves exactly-once
+    // execution, and the stats must agree with the 1-thread run.
+    let run = |threads: usize| {
+        let spec = ClusterSpec::tiny_test(4, 2);
+        let mut cluster = Cluster::new(spec);
+        let cfg = EcCheckConfig::paper_defaults()
+            .with_packet_size(1024)
+            .with_save_mode(SaveMode::Pipelined)
+            .with_coding_threads(threads)
+            .with_pipeline_buffer(64)
+            .with_pipeline_depth(2);
+        let mut ecc = EcCheck::initialize(&spec, cfg).unwrap();
+        let clock = Arc::new(ManualClock::new());
+        ecc.set_recorder(Recorder::with_clock(clock.clone()));
+        let current = dicts(8);
+        let report = ecc.save(&mut cluster, &current).unwrap();
+        let (restored, _) = ecc.load(&mut cluster).unwrap();
+        assert_eq!(restored, current, "steal storm corrupted the checkpoint at {threads} threads");
+        let stats = report.pipeline.expect("pipelined saves carry stage stats");
+        (stats, ecc.recorder().snapshot().to_json())
+    };
+    let (base, snap_base) = run(1);
+    assert!(base.stripes >= 4, "shape must produce a real stripe stream, got {}", base.stripes);
+    assert_eq!(base.encode_steals, 0, "a single worker has nobody to steal from");
+    for threads in [4usize, 16, 64] {
+        let (stats, snap) = run(threads);
+        assert_eq!(stats.stripes, base.stripes, "stripe count drifted at {threads} threads");
+        assert_eq!(
+            stats.encode_tasks, base.encode_tasks,
+            "task count drifted at {threads} threads"
+        );
+        assert_eq!(stats.stripe_rows, base.stripe_rows);
+        assert_eq!(stats.encode_workers, threads);
+        assert_eq!(snap, snap_base, "telemetry drifted at {threads} threads");
     }
 }
 
