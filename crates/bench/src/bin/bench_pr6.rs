@@ -18,12 +18,18 @@
 //!
 //! Flags: `--out <path>` (default `BENCH_PR6.json`), `--summary <path>`
 //! for a GitHub-flavoured-markdown job summary, `--threads <n>`
-//! (default: host parallelism capped at 4). Exits non-zero on any
-//! enforced gate failure.
+//! (default: host parallelism capped at 4), `--obs HOST:PORT` to serve
+//! live `/metrics` (gate downgrades surface as `bench_gate_*` /
+//! `bench_pool_gate_*` counters and `/events` entries) with
+//! `--obs-hold-ms N` holding the exporter after the run. Exits non-zero
+//! on any enforced gate failure.
 
 use std::process::ExitCode;
 
-use ecc_bench::{arg_value, default_threads, KernelBenchReport, PipelineBenchReport};
+use ecc_bench::{
+    arg_value, default_threads, obs_session_from_args, KernelBenchReport, PipelineBenchReport,
+};
+use ecc_telemetry::Recorder;
 
 /// Indents every line of a serialized JSON document so it nests inside
 /// the combined report.
@@ -41,10 +47,14 @@ fn main() -> ExitCode {
     let threads = arg_value("--threads")
         .map(|v| v.parse().expect("--threads takes a positive integer"))
         .unwrap_or_else(default_threads);
+    let recorder = Recorder::new();
+    let obs = obs_session_from_args(&recorder);
     println!("# bench-pr6: combined kernel + pipeline baseline ({threads} threads)\n");
 
     let kernel = KernelBenchReport::collect_with_threads(threads);
     let pipeline = PipelineBenchReport::collect_with_threads(threads);
+    kernel.record_gate_telemetry(&recorder);
+    pipeline.record_gate_telemetry(&recorder);
 
     let mut warnings = Vec::new();
     if let Some(w) = pipeline.gate_warning() {
@@ -94,6 +104,10 @@ fn main() -> ExitCode {
 
     for w in &warnings {
         eprintln!("{w}");
+    }
+
+    if let Some(obs) = obs {
+        obs.finish();
     }
 
     let mut failed = false;

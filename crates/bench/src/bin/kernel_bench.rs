@@ -10,7 +10,10 @@
 //! Flags: `--out <path>` (default `BENCH_PR4.json`) for the JSON
 //! report, `--summary <path>` to also write a GitHub-flavoured-markdown
 //! summary (CI appends it to the job summary), `--threads <n>` for the
-//! coding-pool worker count (default: host parallelism capped at 4).
+//! coding-pool worker count (default: host parallelism capped at 4),
+//! `--obs HOST:PORT` to serve live `/metrics` (gate outcomes surface as
+//! `bench_pool_gate_*` counters and `/events` entries) with
+//! `--obs-hold-ms N` keeping the exporter up after the sweep.
 //! Exits non-zero when the dispatched kernel measurably loses to scalar
 //! anywhere in the sweep, or when the pooled encode falls past the
 //! kernel→pool gap gate (enforced with ≥ 2 pool threads on a host with
@@ -18,15 +21,21 @@
 
 use std::process::ExitCode;
 
-use ecc_bench::{arg_value, default_threads, fmt_bytes, print_table, KernelBenchReport};
+use ecc_bench::{
+    arg_value, default_threads, fmt_bytes, obs_session_from_args, print_table, KernelBenchReport,
+};
+use ecc_telemetry::Recorder;
 
 fn main() -> ExitCode {
     let out = arg_value("--out").unwrap_or_else(|| "BENCH_PR4.json".to_string());
     let threads = arg_value("--threads")
         .map(|v| v.parse().expect("--threads takes a positive integer"))
         .unwrap_or_else(default_threads);
+    let recorder = Recorder::new();
+    let obs = obs_session_from_args(&recorder);
     println!("# kernel-bench: coding-kernel sweep\n");
     let report = KernelBenchReport::collect_with_threads(threads);
+    report.record_gate_telemetry(&recorder);
     println!(
         "arch {}, selected kernel {}, available [{}], {} pool threads\n",
         report.arch,
@@ -90,6 +99,10 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         println!("markdown summary written to {path}");
+    }
+
+    if let Some(obs) = obs {
+        obs.finish();
     }
 
     let regressions = report.dispatch_regressions();

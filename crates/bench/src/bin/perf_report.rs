@@ -8,16 +8,35 @@
 //!
 //! Flags: `--out <path>` (default `BENCH_PR2.json`) for the JSON
 //! report, `--trace <path>` to also write the deterministic simulated
-//! save timeline (Chrome Trace Event JSON, Perfetto-loadable).
+//! save timeline (Chrome Trace Event JSON, Perfetto-loadable),
+//! `--obs HOST:PORT` to serve live `/metrics` with the ladder's traffic
+//! accounting (`--obs-hold-ms N` holds the exporter after the run).
 
 use std::process::ExitCode;
 
-use ecc_bench::{arg_value, print_table, sim_save_trace_json, trace_path_from_args, PerfReport};
+use ecc_bench::{
+    arg_value, obs_session_from_args, print_table, sim_save_trace_json, trace_path_from_args,
+    PerfReport,
+};
+use ecc_telemetry::Recorder;
 
 fn main() -> ExitCode {
     let out = arg_value("--out").unwrap_or_else(|| "BENCH_PR2.json".to_string());
+    let recorder = Recorder::new();
+    let obs = obs_session_from_args(&recorder);
     println!("# perf-report: standard shape ladder\n");
     let report = PerfReport::collect();
+    for s in &report.shapes {
+        recorder.counter("ecc.save.traffic_bytes").add(s.traffic_bytes);
+        recorder.counter("perf.report.traffic_bound_bytes").add(s.traffic_bound_bytes);
+        if !s.within_bound() {
+            recorder.event(
+                "perf.report.bound_exceeded",
+                format!("({},{},{}) {}: traffic over m·s·W bound", s.k, s.m, s.w, s.model),
+            );
+        }
+    }
+    recorder.counter("perf.report.shapes").add(report.shapes.len() as u64);
 
     let rows: Vec<Vec<String>> = report
         .shapes
@@ -65,6 +84,10 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+    }
+
+    if let Some(obs) = obs {
+        obs.finish();
     }
 
     if !report.within_traffic_bound() {

@@ -15,18 +15,27 @@
 //! two threads, where stage overlap is physically possible; single-core
 //! hosts get an advisory report instead, plus a loud warning whenever
 //! `--threads >= 2` was requested so CI can assert `gate_enforced`.
+//! `--obs HOST:PORT` serves live `/metrics` (gate outcomes surface as
+//! `bench_gate_*` counters and `/events` entries); `--obs-hold-ms N`
+//! keeps the exporter up after the run.
 
 use std::process::ExitCode;
 
-use ecc_bench::{arg_value, default_threads, fmt_bytes, print_table, PipelineBenchReport};
+use ecc_bench::{
+    arg_value, default_threads, fmt_bytes, obs_session_from_args, print_table, PipelineBenchReport,
+};
+use ecc_telemetry::Recorder;
 
 fn main() -> ExitCode {
     let out = arg_value("--out").unwrap_or_else(|| "BENCH_PR5.json".to_string());
     let threads = arg_value("--threads")
         .map(|v| v.parse().expect("--threads takes a positive integer"))
         .unwrap_or_else(default_threads);
+    let recorder = Recorder::new();
+    let obs = obs_session_from_args(&recorder);
     println!("# pipeline-bench: pipelined vs sequential save\n");
     let report = PipelineBenchReport::collect_with_threads(threads);
+    report.record_gate_telemetry(&recorder);
     println!(
         "arch {}, {} host threads, {} requested\n",
         report.arch, report.host_threads, report.requested_threads
@@ -75,6 +84,10 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         println!("markdown summary written to {path}");
+    }
+
+    if let Some(obs) = obs {
+        obs.finish();
     }
 
     let regressions = report.regressions();

@@ -289,6 +289,23 @@ impl KernelBenchReport {
         })
     }
 
+    /// Reports the pool gate's disposition into a telemetry recorder:
+    /// an enforced gate bumps `bench.pool_gate.enforced`, an advisory
+    /// downgrade bumps `bench.pool_gate.advisory` and appends a
+    /// `gate.warning` event (surfaced as a warning on the
+    /// observability plane's `/events`).
+    pub fn record_gate_telemetry(&self, recorder: &ecc_telemetry::Recorder) {
+        match self.pool_gate_warning() {
+            Some(warning) => {
+                recorder.counter("bench.pool_gate.advisory").incr();
+                recorder.event("gate.warning", format!("kernel-bench: {warning}"));
+            }
+            None => {
+                recorder.counter("bench.pool_gate.enforced").incr();
+            }
+        }
+    }
+
     /// Sweep points where the *dispatched* kernel measurably loses to
     /// scalar (beyond the documented noise tolerances); empty on a
     /// healthy host. CI fails when this is non-empty.
@@ -520,5 +537,17 @@ mod tests {
         assert!(!report.pool_gate_enforced(), "single-thread pools stay advisory");
         assert!(report.pool_gate_warning().is_none(), "one requested worker is not a surprise");
         assert!(report.to_json().contains("\"min_pool_ratio\": null"));
+
+        // The telemetry hook mirrors the warning state exactly.
+        let recorder = ecc_telemetry::Recorder::new();
+        report.record_gate_telemetry(&recorder);
+        let snap = recorder.snapshot();
+        if report.pool_gate_warning().is_some() {
+            assert_eq!(snap.counter("bench.pool_gate.advisory"), 1);
+            assert!(snap.events.iter().any(|e| e.name == "gate.warning"));
+        } else {
+            assert_eq!(snap.counter("bench.pool_gate.enforced"), 1);
+            assert!(snap.events.is_empty());
+        }
     }
 }

@@ -10,6 +10,7 @@
 #![warn(missing_docs)]
 
 mod kernelbench;
+mod obs;
 mod perf;
 mod pipelinebench;
 mod telemetry;
@@ -18,6 +19,7 @@ mod trace;
 pub use kernelbench::{
     default_threads, EncodePerf, KernelBenchReport, RegionOpPerf, DEFAULT_REGION_SIZES, POOL_GATE,
 };
+pub use obs::{obs_session_from_args, ObsSession};
 pub use perf::{PerfReport, ShapePerf};
 pub use pipelinebench::{PipelineBenchReport, PipelineShapePerf};
 pub use telemetry::{print_live_telemetry, print_schedule_comparison};

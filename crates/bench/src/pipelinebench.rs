@@ -199,6 +199,23 @@ impl PipelineBenchReport {
         })
     }
 
+    /// Reports the gate's disposition into a telemetry recorder, so an
+    /// attached exporter surfaces advisory downgrades: an enforced gate
+    /// bumps `bench.gate.enforced`, a downgrade bumps
+    /// `bench.gate.advisory` and appends a `gate.warning` event (which
+    /// the observability plane classifies as a warning on `/events`).
+    pub fn record_gate_telemetry(&self, recorder: &ecc_telemetry::Recorder) {
+        match self.gate_warning() {
+            Some(warning) => {
+                recorder.counter("bench.gate.advisory").incr();
+                recorder.event("gate.warning", format!("pipeline-bench: {warning}"));
+            }
+            None => {
+                recorder.counter("bench.gate.enforced").incr();
+            }
+        }
+    }
+
     /// The ROADMAP pipeline target — ≥ 2× pipelined-vs-sequential —
     /// evaluated only where it applies: 4+ coding threads on a host
     /// that can actually overlap them. `None` when not applicable.
@@ -345,5 +362,20 @@ mod tests {
         // An honest single-thread run carries no warning.
         let solo = PipelineBenchReport::collect_custom(&[("tiny", 1 << 10, 1 << 12)], 1);
         assert!(solo.gate_warning().is_none());
+    }
+
+    #[test]
+    fn gate_telemetry_mirrors_the_warning_state() {
+        let report = PipelineBenchReport::collect_custom(&[("tiny", 1 << 10, 1 << 12)], 2);
+        let recorder = ecc_telemetry::Recorder::new();
+        report.record_gate_telemetry(&recorder);
+        let snap = recorder.snapshot();
+        if report.gate_warning().is_some() {
+            assert_eq!(snap.counter("bench.gate.advisory"), 1);
+            assert!(snap.events.iter().any(|e| e.name == "gate.warning"));
+        } else {
+            assert_eq!(snap.counter("bench.gate.enforced"), 1);
+            assert!(snap.events.is_empty());
+        }
     }
 }

@@ -6,12 +6,23 @@
 //!
 //! ```text
 //! chaos-campaign [--seeds 0,1,2,3] [--rounds 8] [--save-mode pipelined] \
-//!     [--fault-log faults.json] [--telemetry telemetry.json]
+//!     [--fault-log faults.json] [--telemetry telemetry.json] \
+//!     [--obs 127.0.0.1:9184] [--obs-hold-ms 2000]
 //! ```
+//!
+//! With `--obs ADDR` the campaign serves the live observability plane
+//! (`/metrics`, `/health`, `/ready`, `/events`) while it runs; the
+//! engine reports into the exporter's recorder, crashes drive the
+//! node-health registry, and `--obs-hold-ms` keeps the exporter up
+//! after the last seed so a scraper can grab a final state.
 
 use std::process::ExitCode;
+use std::sync::Arc;
 
-use ecc_chaos::{run_campaign, CampaignConfig};
+use ecc_chaos::{campaign_slos, run_campaign, run_campaign_observed, CampaignConfig};
+use ecc_cluster::{HealthConfig, HealthRegistry};
+use ecc_obs::{ObsHub, ObsHubConfig, ObsServer};
+use ecc_telemetry::Recorder;
 use eccheck::SaveMode;
 
 fn main() -> ExitCode {
@@ -19,6 +30,8 @@ fn main() -> ExitCode {
     let mut cfg = CampaignConfig::standard();
     let mut fault_log_path: Option<String> = None;
     let mut telemetry_path: Option<String> = None;
+    let mut obs_addr: Option<String> = None;
+    let mut obs_hold_ms: u64 = 0;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -48,6 +61,13 @@ fn main() -> ExitCode {
             }
             "--fault-log" => fault_log_path = Some(value("--fault-log")),
             "--telemetry" => telemetry_path = Some(value("--telemetry")),
+            "--obs" => obs_addr = Some(value("--obs")),
+            "--obs-hold-ms" => {
+                obs_hold_ms = value("--obs-hold-ms").parse().unwrap_or_else(|_| {
+                    eprintln!("--obs-hold-ms wants an integer");
+                    std::process::exit(2);
+                });
+            }
             "--save-mode" => {
                 cfg.save_mode = match value("--save-mode").as_str() {
                     "sequential" => SaveMode::Sequential,
@@ -61,7 +81,8 @@ fn main() -> ExitCode {
             "--help" | "-h" => {
                 println!(
                     "usage: chaos-campaign [--seeds 0,1,2] [--rounds N] \
-                     [--save-mode sequential|pipelined] [--fault-log FILE] [--telemetry FILE]"
+                     [--save-mode sequential|pipelined] [--fault-log FILE] [--telemetry FILE] \
+                     [--obs HOST:PORT] [--obs-hold-ms N]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -72,6 +93,30 @@ fn main() -> ExitCode {
         }
     }
 
+    let server = match &obs_addr {
+        Some(addr) => {
+            let hub_cfg = ObsHubConfig { slos: campaign_slos(&cfg), ..ObsHubConfig::default() };
+            let hub = Arc::new(
+                ObsHub::new(Recorder::new(), hub_cfg)
+                    .with_health(HealthRegistry::new(cfg.nodes, HealthConfig::default())),
+            );
+            match ObsServer::serve(hub, addr) {
+                Ok(server) => {
+                    eprintln!(
+                        "obs: serving /metrics /health /ready /events on {}",
+                        server.local_addr()
+                    );
+                    Some(server)
+                }
+                Err(e) => {
+                    eprintln!("obs: failed to bind {addr}: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        None => None,
+    };
+
     let mut all_passed = true;
     let mut recovered = 0;
     let mut refused = 0;
@@ -79,7 +124,10 @@ fn main() -> ExitCode {
     let mut telemetry = String::new();
 
     for (i, &seed) in seeds.iter().enumerate() {
-        let report = run_campaign(&cfg, seed);
+        let report = match &server {
+            Some(server) => run_campaign_observed(&cfg, seed, Some(server.hub())),
+            None => run_campaign(&cfg, seed),
+        };
         recovered += report.recovered();
         refused += report.refused();
         print!("{}", report.summary_json());
@@ -116,6 +164,14 @@ fn main() -> ExitCode {
             eprintln!("failed to write telemetry snapshot {path}: {e}");
             return ExitCode::from(2);
         }
+    }
+
+    if let Some(server) = server {
+        if obs_hold_ms > 0 {
+            eprintln!("obs: holding exporter for {obs_hold_ms}ms");
+            std::thread::sleep(std::time::Duration::from_millis(obs_hold_ms));
+        }
+        server.shutdown();
     }
 
     if all_passed {

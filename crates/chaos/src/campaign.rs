@@ -17,6 +17,7 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use ecc_checkpoint::{StateDict, Value};
 use ecc_cluster::{Cluster, ClusterSpec, FailureModel, NodeId};
+use ecc_obs::{ObsHub, SloSpec};
 use eccheck::{keys, EcCheck, EcCheckConfig, EcCheckError, SaveMode};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -227,6 +228,55 @@ impl CampaignReport {
 /// `k + m != nodes`) or a save fails outright — campaign setup bugs,
 /// not contract violations.
 pub fn run_campaign(cfg: &CampaignConfig, seed: u64) -> CampaignReport {
+    run_campaign_observed(cfg, seed, None)
+}
+
+/// The default objectives a campaign exposes when observed: the
+/// engine's headline SLOs (save stall, recovery latency) plus the
+/// paper's traffic bound expressed over the campaign's `k`.
+pub fn campaign_slos(cfg: &CampaignConfig) -> Vec<SloSpec> {
+    vec![
+        SloSpec::latency(
+            "save_stall",
+            "99% of saves stall training for at most 250ms",
+            "ecc.save.ns",
+            250_000_000,
+            0.99,
+        ),
+        SloSpec::latency(
+            "recovery",
+            "99% of restores complete within 1s",
+            "ecc.load.ns",
+            1_000_000_000,
+            0.99,
+        ),
+        SloSpec::ratio(
+            "traffic",
+            "per-save network traffic stays within the m*s*W bound",
+            "ecc.save.traffic_bytes",
+            "ecc.save.bytes_encoded",
+            cfg.k as f64,
+        ),
+    ]
+}
+
+/// [`run_campaign`], optionally reporting into a live observability
+/// hub: the engine adopts the hub's recorder (so `/metrics` scrapes
+/// taken mid-campaign see every phase histogram and fault event), the
+/// hub's health registry — if attached — receives heartbeats from
+/// alive nodes each round and `mark_dead` on every injected crash.
+///
+/// With `obs = None` this is byte-for-byte the unobserved campaign:
+/// same faults, same outcomes, same telemetry and fault-log artifacts.
+///
+/// # Panics
+///
+/// As [`run_campaign`].
+pub fn run_campaign_observed(
+    cfg: &CampaignConfig,
+    seed: u64,
+    obs: Option<&ObsHub>,
+) -> CampaignReport {
     let world = cfg.nodes * cfg.gpus_per_node;
     let spec = ClusterSpec::tiny_test(cfg.nodes, cfg.gpus_per_node);
     let engine_cfg = EcCheckConfig::paper_defaults()
@@ -238,6 +288,12 @@ pub fn run_campaign(cfg: &CampaignConfig, seed: u64) -> CampaignReport {
         .with_remote_flush_every(0)
         .with_fetch_retries(cfg.fetch_retries);
     let mut ecc = EcCheck::initialize(&spec, engine_cfg).expect("campaign config must be valid");
+    if let Some(hub) = obs {
+        // Report into the hub's recorder so live scrapes see the
+        // campaign's histograms and fault events as they happen.
+        ecc.set_recorder(hub.recorder().clone());
+        heartbeat_all(hub, cfg.nodes);
+    }
 
     let chaos_cfg = ChaosConfig {
         seed: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1),
@@ -313,6 +369,11 @@ pub fn run_campaign(cfg: &CampaignConfig, seed: u64) -> CampaignReport {
                         plane.crash_now(node);
                         crashed.insert(node);
                         casualties.insert(node);
+                        if let Some(hub) = obs {
+                            if let Some(health) = hub.health() {
+                                health.mark_dead(node, hub.recorder().now_ns());
+                            }
+                        }
                     }
                 }
                 ChaosEvent::CorruptChunks(nodes) => {
@@ -398,6 +459,9 @@ pub fn run_campaign(cfg: &CampaignConfig, seed: u64) -> CampaignReport {
         for node in 0..cfg.nodes {
             plane.heal(node);
         }
+        if let Some(hub) = obs {
+            heartbeat_all(hub, cfg.nodes);
+        }
     }
 
     CampaignReport {
@@ -406,6 +470,17 @@ pub fn run_campaign(cfg: &CampaignConfig, seed: u64) -> CampaignReport {
         violations,
         fault_log: plane.fault_log(),
         telemetry_json: ecc.recorder().snapshot().to_json(),
+    }
+}
+
+/// Heartbeats every node on the hub's health registry at the current
+/// clock (healed nodes revive; the next crash re-kills its target).
+fn heartbeat_all(hub: &ObsHub, nodes: usize) {
+    if let Some(health) = hub.health() {
+        let now = hub.recorder().now_ns();
+        for node in 0..nodes {
+            health.record_heartbeat(node, now);
+        }
     }
 }
 
@@ -477,6 +552,40 @@ mod tests {
         assert!(b.passed(), "sequential violations: {:?}", b.violations);
         assert_eq!(a.outcomes, b.outcomes);
         assert_eq!(a.fault_log, b.fault_log);
+    }
+
+    #[test]
+    fn observed_campaign_matches_the_unobserved_one() {
+        use ecc_cluster::{HealthConfig, HealthRegistry};
+        use ecc_obs::ObsHubConfig;
+        use ecc_telemetry::Recorder;
+
+        let cfg = CampaignConfig::standard();
+        let plain = run_campaign(&cfg, 5);
+
+        let hub_cfg = ObsHubConfig { slos: campaign_slos(&cfg), ..ObsHubConfig::default() };
+        let hub = ObsHub::new(Recorder::new(), hub_cfg)
+            .with_health(HealthRegistry::new(cfg.nodes, HealthConfig::default()));
+        let observed = run_campaign_observed(&cfg, 5, Some(&hub));
+
+        assert_eq!(plain.outcomes, observed.outcomes, "observation must not steer the campaign");
+        assert_eq!(plain.fault_log, observed.fault_log);
+
+        // A scrape taken after the campaign sees the engine's phase
+        // histograms, injected faults, health counters and SLO burn.
+        let metrics = hub.render_metrics();
+        let scrape = ecc_obs::parse_exposition(&metrics).expect("valid exposition");
+        assert!(scrape.value("ecc_save_calls_total").is_some());
+        assert!(metrics.contains("chaos_fault_"), "injected faults must surface as counters");
+        assert!(scrape.labeled("ecc_slo_burn_rate", &[("slo", "traffic")]).is_some());
+        assert!(
+            scrape
+                .labeled("ecc_health_transitions_total", &[("to", "dead")])
+                .is_some_and(|s| s.value != ecc_obs::MetricValue::Int(0)),
+            "campaign crashes must drive health transitions"
+        );
+        let events = hub.render_events_json();
+        assert!(events.contains("chaos.fault."), "fault events must reach /events");
     }
 
     #[test]

@@ -49,6 +49,9 @@ pub mod campaign;
 mod plane;
 pub mod scenario;
 
-pub use campaign::{run_campaign, CampaignConfig, CampaignReport, RoundOutcome, RoundResult};
+pub use campaign::{
+    campaign_slos, run_campaign, run_campaign_observed, CampaignConfig, CampaignReport,
+    RoundOutcome, RoundResult,
+};
 pub use plane::{ChaosConfig, ChaosPlane, FaultKind, FaultRecord};
 pub use scenario::{ChaosEvent, ScenarioSchedule};

@@ -37,11 +37,13 @@
 mod data;
 mod error;
 mod failure;
+mod health;
 mod timeline;
 mod topology;
 
 pub use data::{Cluster, ClusterView, DataPlane};
 pub use error::ClusterError;
 pub use failure::{FailureModel, FailureScenario};
+pub use health::{HealthConfig, HealthRegistry, HealthTransition, NodeHealth};
 pub use timeline::ClusterTimeline;
 pub use topology::{ClusterSpec, NodeId};

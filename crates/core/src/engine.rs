@@ -14,8 +14,9 @@
 use ecc_checkpoint::{
     checksum_frame, decompose, verify_checksum, Decomposition, Packer, Packet, StateDict,
 };
-use ecc_cluster::{ClusterError, ClusterSpec, DataPlane};
+use ecc_cluster::{ClusterError, ClusterSpec, DataPlane, HealthConfig, HealthRegistry};
 use ecc_erasure::{CodeParams, CodingPool, ErasureCode};
+use ecc_obs::{ObsHub, ObsHubConfig, ObsServer, SloSpec};
 use ecc_sim::{Bandwidth, BusyWindows, SlotGate};
 use ecc_telemetry::Recorder;
 use ecc_trace::{Tracer, TrackId, DRIVER_PID};
@@ -63,6 +64,11 @@ pub struct EcCheck {
     /// Profiled network-busy windows + wire bandwidth for idle-slot
     /// gating of pipelined transfers (paper §IV-B-3).
     idle_profile: Option<(BusyWindows, Bandwidth)>,
+    /// The health registry handed out by [`EcCheck::obs_hub`], if any.
+    /// Checkpoint traffic doubles as liveness evidence: a successful
+    /// save heartbeats every node, a load heartbeats each node whose
+    /// chunk arrived intact.
+    health: Option<HealthRegistry>,
 }
 
 /// Tracing handles for the engine: the driver's `engine` track hosts the
@@ -119,6 +125,7 @@ impl EcCheck {
             recorder,
             trace: None,
             idle_profile: None,
+            health: None,
         })
     }
 
@@ -190,6 +197,84 @@ impl EcCheck {
     /// The active configuration.
     pub fn config(&self) -> &EcCheckConfig {
         &self.config
+    }
+
+    /// The default service-level objectives for this deployment,
+    /// covering the paper's three headline claims (§IV, Table I):
+    ///
+    /// * `save_stall` — 99% of saves stall training for ≤ 250 ms;
+    /// * `recovery` — 99% of restores complete within 1 s;
+    /// * `traffic` — per-save network traffic stays within the m·s·W
+    ///   bound, expressed as `ecc.save.traffic_bytes` ≤ k ×
+    ///   `ecc.save.bytes_encoded` (encoded parity bytes are m·s·W/k).
+    pub fn default_slos(&self) -> Vec<SloSpec> {
+        vec![
+            SloSpec::latency(
+                "save_stall",
+                "99% of saves stall training for at most 250ms",
+                "ecc.save.ns",
+                250_000_000,
+                0.99,
+            ),
+            SloSpec::latency(
+                "recovery",
+                "99% of restores complete within 1s",
+                "ecc.load.ns",
+                1_000_000_000,
+                0.99,
+            ),
+            SloSpec::ratio(
+                "traffic",
+                "per-save network traffic stays within the m*s*W bound",
+                "ecc.save.traffic_bytes",
+                "ecc.save.bytes_encoded",
+                self.config.k() as f64,
+            ),
+        ]
+    }
+
+    /// Builds the observability hub for this engine: a read-only view
+    /// over the recorder with the default windowed histograms, the
+    /// [`EcCheck::default_slos`] objectives, and a heartbeat-driven
+    /// [`HealthRegistry`] spanning every cluster node (seeded alive at
+    /// the current clock; drive it via [`ObsHub::health`]). The engine
+    /// keeps a handle to the registry: each successful save heartbeats
+    /// every node, and each load heartbeats the nodes whose chunks
+    /// arrived intact — checkpoint traffic doubles as liveness
+    /// evidence, so a quiet engine goes `Suspect` and a failed node
+    /// stops heartbeating on its own.
+    ///
+    /// The hub never writes to the recorder, so attaching it leaves
+    /// telemetry snapshots and traces byte-identical.
+    pub fn obs_hub(&mut self) -> ObsHub {
+        let config = ObsHubConfig { slos: self.default_slos(), ..ObsHubConfig::default() };
+        let health = HealthRegistry::new(self.spec.nodes(), HealthConfig::default());
+        let now = self.recorder.now_ns();
+        for node in 0..self.spec.nodes() {
+            health.record_heartbeat(node, now);
+        }
+        self.health = Some(health.clone());
+        ObsHub::new(self.recorder.clone(), config).with_health(health)
+    }
+
+    /// Records a liveness heartbeat for `node` on the registry handed
+    /// out by [`EcCheck::obs_hub`]; a no-op when none is attached.
+    fn heartbeat(&self, node: usize) {
+        if let Some(health) = &self.health {
+            health.record_heartbeat(node, self.recorder.now_ns());
+        }
+    }
+
+    /// Starts the live observability exporter on `addr` (use port 0 for
+    /// an ephemeral port), serving `/metrics`, `/health`, `/ready` and
+    /// `/events` over this engine's recorder. The returned server owns
+    /// its threads; drop it (or call [`ObsServer::shutdown`]) to stop.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error if the address is unavailable.
+    pub fn serve_obs(&mut self, addr: &str) -> std::io::Result<ObsServer> {
+        ObsServer::serve(std::sync::Arc::new(self.obs_hub()), addr)
     }
 
     /// Arms (or disarms, with `None`) the pipelined executor's
@@ -372,6 +457,11 @@ impl EcCheck {
             "ecc.save",
             format!("version={version} packets_per_worker={max_packets} flushed={remote_flushed}"),
         );
+        // A completed save placed chunks on every node — that's a
+        // liveness proof for each of them.
+        for node in 0..self.spec.nodes() {
+            self.heartbeat(node);
+        }
         Ok(SaveReport {
             version,
             packet_size: ps,
@@ -551,6 +641,7 @@ impl EcCheck {
                     let chunk_id = self.chunk_id_of_node(node);
                     trace_fetch(&trace, node, &format!("chunk {chunk_id}"));
                     shards[chunk_id] = Some(blob);
+                    self.heartbeat(node);
                 }
                 ChunkFetch::Missing => failed_nodes.push(node),
                 ChunkFetch::Corrupt => {

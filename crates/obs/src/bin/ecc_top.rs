@@ -1,0 +1,240 @@
+//! `ecc-top` — a one-screen terminal dashboard over a live exporter.
+//!
+//! Scrapes `/metrics` (and `/events`) from a running `ecc-obs` endpoint
+//! and renders windowed phase quantiles, per-node health, and SLO burn
+//! rates. `--once` prints a single frame and exits (used by CI and the
+//! README sample); otherwise the screen refreshes every
+//! `--interval-ms`.
+//!
+//! ```text
+//! ecc-top --addr 127.0.0.1:9184 --interval-ms 2000
+//! ```
+
+use std::collections::BTreeMap;
+
+use ecc_obs::{http_get, parse_exposition, MetricValue};
+use ecc_telemetry::fmt_ns;
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    let prefix = format!("{flag}=");
+    for (i, a) in args.iter().enumerate() {
+        if a == flag {
+            return args.get(i + 1).cloned();
+        }
+        if let Some(v) = a.strip_prefix(&prefix) {
+            return Some(v.to_string());
+        }
+    }
+    None
+}
+
+fn as_f64(v: &MetricValue) -> f64 {
+    match v {
+        MetricValue::Int(i) => *i as f64,
+        MetricValue::Float(f) => *f,
+        MetricValue::Inf => f64::INFINITY,
+    }
+}
+
+fn fmt_count(v: f64) -> String {
+    if v >= 1e9 {
+        format!("{:.2}G", v / 1e9)
+    } else if v >= 1e6 {
+        format!("{:.2}M", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.1}k", v / 1e3)
+    } else {
+        format!("{v:.0}")
+    }
+}
+
+fn render_frame(addr: &str) -> Result<String, std::io::Error> {
+    let metrics = http_get(addr, "/metrics")?;
+    let scrape = parse_exposition(&metrics)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    let events = http_get(addr, "/events").unwrap_or_default();
+
+    let mut out = String::new();
+    let scrapes = scrape.value("ecc_obs_scrapes_total").map(as_f64).unwrap_or(0.0);
+    out.push_str(&format!("ecc-top — {addr}  (scrape #{scrapes:.0})\n\n"));
+
+    // Headline counters.
+    let counter = |name: &str| scrape.value(name).map(as_f64).unwrap_or(0.0);
+    out.push_str(&format!(
+        "saves {}   loads {}   encoded {}B   traffic {}B   recoveries {}\n\n",
+        fmt_count(counter("ecc_save_calls_total")),
+        fmt_count(counter("ecc_load_calls_total")),
+        fmt_count(counter("ecc_save_bytes_encoded_total")),
+        fmt_count(counter("ecc_save_traffic_bytes_total")),
+        fmt_count(counter("ecc_load_recovered_total")),
+    ));
+
+    // Windowed phase quantiles: every `<base>_window` family.
+    out.push_str(&format!(
+        "{:<28} {:>10} {:>10} {:>10} {:>10}\n",
+        "phase (window)", "p50", "p95", "p99", "samples"
+    ));
+    let mut families: BTreeMap<&str, BTreeMap<&str, f64>> = BTreeMap::new();
+    for s in &scrape.samples {
+        if let Some(base) = s.name.strip_suffix("_window") {
+            let entry = families.entry(base).or_default();
+            if let Some(q) = s.labels.get("quantile") {
+                entry.insert(
+                    match q.as_str() {
+                        "0.5" => "p50",
+                        "0.95" => "p95",
+                        "0.99" => "p99",
+                        _ => continue,
+                    },
+                    as_f64(&s.value),
+                );
+            } else if s.labels.get("stat").map(String::as_str) == Some("count") {
+                entry.insert("count", as_f64(&s.value));
+            }
+        }
+    }
+    for (base, stats) in &families {
+        let q = |k: &str| stats.get(k).map(|v| fmt_ns(*v)).unwrap_or_else(|| "-".into());
+        out.push_str(&format!(
+            "{:<28} {:>10} {:>10} {:>10} {:>10}\n",
+            base,
+            q("p50"),
+            q("p95"),
+            q("p99"),
+            fmt_count(stats.get("count").copied().unwrap_or(0.0)),
+        ));
+    }
+
+    // Node health.
+    let nodes = scrape.series("ecc_node_health");
+    if !nodes.is_empty() {
+        out.push_str("\nnodes: ");
+        for s in &nodes {
+            let state = match s.value {
+                MetricValue::Int(2) => "alive",
+                MetricValue::Int(1) => "SUSPECT",
+                MetricValue::Int(0) => "DEAD",
+                _ => "?",
+            };
+            out.push_str(&format!(
+                "{}:{} ",
+                s.labels.get("node").map(String::as_str).unwrap_or("?"),
+                state
+            ));
+        }
+        out.push('\n');
+    }
+
+    // SLOs.
+    let burns = scrape.series("ecc_slo_burn_rate");
+    if !burns.is_empty() {
+        out.push_str(&format!(
+            "\n{:<20} {:>8} {:>12} {:>9}\n",
+            "SLO", "burn", "compliance", "breached"
+        ));
+        for s in &burns {
+            let name = s.labels.get("slo").map(String::as_str).unwrap_or("?");
+            let compliance =
+                scrape.labeled("ecc_slo_compliance", &[("slo", name)]).map(|c| as_f64(&c.value));
+            let breached = scrape
+                .labeled("ecc_slo_breached", &[("slo", name)])
+                .map(|b| as_f64(&b.value) > 0.0)
+                .unwrap_or(false);
+            out.push_str(&format!(
+                "{:<20} {:>8} {:>12} {:>9}\n",
+                name,
+                format_burn(as_f64(&s.value)),
+                compliance.map(|c| format!("{c:.4}")).unwrap_or_else(|| "-".into()),
+                if breached { "YES" } else { "no" },
+            ));
+        }
+    }
+
+    // Event severity tallies from /events.
+    let tally = |needle: &str| events.matches(needle).count();
+    out.push_str(&format!(
+        "\nevents: {} error  {} warn  {} info\n",
+        tally("\"severity\":\"error\""),
+        tally("\"severity\":\"warn\""),
+        tally("\"severity\":\"info\"")
+    ));
+    Ok(out)
+}
+
+fn format_burn(burn: f64) -> String {
+    if burn.is_nan() {
+        "-".into()
+    } else {
+        format!("{burn:.2}")
+    }
+}
+
+#[cfg(test)]
+fn dashboard_scrape_is_wellformed(scrape: &ecc_obs::Scrape) -> bool {
+    scrape.value("ecc_obs_scrapes_total").is_some()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!(
+            "ecc-top: terminal dashboard for an ecc-obs exporter\n\n\
+             USAGE: ecc-top [--addr HOST:PORT] [--interval-ms N] [--once]\n\n\
+             --addr HOST:PORT   exporter address (default 127.0.0.1:9184)\n\
+             --interval-ms N    refresh period (default 2000)\n\
+             --once             print one frame and exit"
+        );
+        return;
+    }
+    let addr = arg_value(&args, "--addr").unwrap_or_else(|| "127.0.0.1:9184".to_string());
+    let interval_ms: u64 = arg_value(&args, "--interval-ms")
+        .map(|v| v.parse().expect("--interval-ms must be an integer"))
+        .unwrap_or(2000);
+    let once = args.iter().any(|a| a == "--once");
+
+    loop {
+        match render_frame(&addr) {
+            Ok(frame) => {
+                if !once {
+                    print!("\x1b[2J\x1b[H");
+                }
+                print!("{frame}");
+            }
+            Err(e) => {
+                eprintln!("ecc-top: scrape of {addr} failed: {e}");
+                if once {
+                    std::process::exit(1);
+                }
+            }
+        }
+        if once {
+            return;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arg_parsing_supports_both_forms() {
+        let args =
+            vec!["--addr".to_string(), "1.2.3.4:9".to_string(), "--interval-ms=5".to_string()];
+        assert_eq!(arg_value(&args, "--addr").as_deref(), Some("1.2.3.4:9"));
+        assert_eq!(arg_value(&args, "--interval-ms").as_deref(), Some("5"));
+        assert_eq!(arg_value(&args, "--missing"), None);
+    }
+
+    #[test]
+    fn frame_renders_from_a_synthetic_scrape() {
+        let text = "\
+# HELP ecc_obs_scrapes_total t\n# TYPE ecc_obs_scrapes_total counter\necc_obs_scrapes_total 3\n\
+# HELP ecc_save_ns_window t\n# TYPE ecc_save_ns_window gauge\n\
+ecc_save_ns_window{quantile=\"0.5\"} 1000\n\
+ecc_save_ns_window{stat=\"count\"} 10\n";
+        let scrape = parse_exposition(text).expect("parses");
+        assert!(dashboard_scrape_is_wellformed(&scrape));
+    }
+}

@@ -1,0 +1,556 @@
+//! Prometheus text exposition format: a writer and a validating parser.
+//!
+//! The writer produces [version 0.0.4 text
+//! exposition](https://prometheus.io/docs/instrumenting/exposition_formats/):
+//! one `# HELP` and `# TYPE` line per metric family, immediately
+//! followed by that family's samples, families in sorted order so the
+//! output is deterministic. Metric names are sanitized from the
+//! recorder's dotted-path names (`ecc.save.ns` → `ecc_save_ns`); label
+//! values are escaped per the spec (`\\`, `\"`, `\n`).
+//!
+//! The parser is the same format read back — used by `ecc-top` to
+//! consume a live scrape and by the test suite to prove the
+//! snapshot → exposition → parse round trip is bit-exact for every
+//! counter and histogram bucket.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Converts a recorder metric name (dotted path) into a valid
+/// Prometheus metric name: `[a-zA-Z_:][a-zA-Z0-9_:]*`, with every
+/// invalid character mapped to `_`.
+pub fn sanitize_metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        let valid =
+            c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        out.push(if valid { c } else { '_' });
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Escapes a label value per the exposition spec: backslash, double
+/// quote and newline get backslash escapes; everything else (including
+/// non-ASCII UTF-8) passes through.
+pub fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escapes a HELP text: only backslash and newline per the spec.
+fn escape_help(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A metric value that renders without precision loss: counters and
+/// bucket counts stay exact `u64` integers, gauges may be floats.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MetricValue {
+    /// Rendered as a decimal integer — round-trips bit-exactly.
+    Int(u64),
+    /// Rendered via Rust's shortest-roundtrip `{}` float formatting.
+    Float(f64),
+    /// Rendered as `+Inf` (the terminal histogram bucket bound).
+    Inf,
+}
+
+impl MetricValue {
+    fn render(&self) -> String {
+        match self {
+            MetricValue::Int(v) => v.to_string(),
+            MetricValue::Float(v) => {
+                if v.is_infinite() {
+                    if *v > 0.0 {
+                        "+Inf".into()
+                    } else {
+                        "-Inf".into()
+                    }
+                } else if v.is_nan() {
+                    "NaN".into()
+                } else {
+                    format!("{v}")
+                }
+            }
+            MetricValue::Inf => "+Inf".into(),
+        }
+    }
+}
+
+/// One sample line: name, sorted labels, value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Full sample name (family name plus `_bucket`/`_sum`/… suffix).
+    pub name: String,
+    /// Label pairs, sorted by key.
+    pub labels: BTreeMap<String, String>,
+    /// The value.
+    pub value: MetricValue,
+}
+
+/// An exposition document under construction. Families render in
+/// insertion order; [`ExpositionBuilder::finish`] yields the text.
+#[derive(Debug, Default)]
+pub struct ExpositionBuilder {
+    out: String,
+}
+
+impl ExpositionBuilder {
+    /// An empty document.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts a metric family: emits `# HELP` then `# TYPE`, in that
+    /// order, as the spec requires. `name` must already be sanitized.
+    pub fn family(&mut self, name: &str, metric_type: &str, help: &str) {
+        let _ = writeln!(self.out, "# HELP {name} {}", escape_help(help));
+        let _ = writeln!(self.out, "# TYPE {name} {metric_type}");
+    }
+
+    /// Emits one sample line under the current family.
+    pub fn sample(&mut self, name: &str, labels: &[(&str, &str)], value: MetricValue) {
+        self.out.push_str(name);
+        if !labels.is_empty() {
+            self.out.push('{');
+            for (i, (k, v)) in labels.iter().enumerate() {
+                if i > 0 {
+                    self.out.push(',');
+                }
+                let _ = write!(self.out, "{k}=\"{}\"", escape_label_value(v));
+            }
+            self.out.push('}');
+        }
+        let _ = writeln!(self.out, " {}", value.render());
+    }
+
+    /// The finished document.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+/// A parsed scrape: samples in document order plus the HELP/TYPE
+/// metadata per family.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Scrape {
+    /// Every sample line, in order.
+    pub samples: Vec<Sample>,
+    /// `# HELP` text per family.
+    pub help: BTreeMap<String, String>,
+    /// `# TYPE` per family.
+    pub types: BTreeMap<String, String>,
+}
+
+impl Scrape {
+    /// The first sample with this exact name and no labels.
+    pub fn value(&self, name: &str) -> Option<&MetricValue> {
+        self.samples.iter().find(|s| s.name == name && s.labels.is_empty()).map(|s| &s.value)
+    }
+
+    /// All samples of `name` (any labels), in order.
+    pub fn series(&self, name: &str) -> Vec<&Sample> {
+        self.samples.iter().filter(|s| s.name == name).collect()
+    }
+
+    /// The sample of `name` whose labels contain every `(k, v)` pair.
+    pub fn labeled(&self, name: &str, pairs: &[(&str, &str)]) -> Option<&Sample> {
+        self.samples.iter().find(|s| {
+            s.name == name
+                && pairs.iter().all(|(k, v)| s.labels.get(*k).map(String::as_str) == Some(*v))
+        })
+    }
+}
+
+/// A structural violation found while parsing (or validating) a scrape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What was wrong.
+    pub detail: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "exposition line {}: {}", self.line, self.detail)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(line: usize, detail: impl Into<String>) -> ParseError {
+    ParseError { line, detail: detail.into() }
+}
+
+/// Base family name of a sample: strips the canonical suffixes so
+/// `foo_bucket`/`foo_sum`/`foo_count` group under family `foo` when
+/// that family was declared.
+fn family_of<'a>(sample_name: &'a str, declared: &BTreeMap<String, String>) -> &'a str {
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(base) = sample_name.strip_suffix(suffix) {
+            if declared.contains_key(base) {
+                return base;
+            }
+        }
+    }
+    sample_name
+}
+
+/// Parses and structurally validates a text exposition document.
+///
+/// Beyond tokenizing, this enforces the properties the golden-scrape
+/// test cares about:
+///
+/// * every sample's family has a `# TYPE` (and `# HELP`) line, and the
+///   HELP line precedes the TYPE line;
+/// * metadata precedes the family's first sample, and a family's
+///   samples are contiguous (no interleaving);
+/// * sample names are valid, labels are well-formed and escaped, and
+///   values parse;
+/// * the document is valid UTF-8 by construction (`&str` input) and
+///   every line is either a comment, blank, or a sample.
+///
+/// # Errors
+///
+/// Returns the first [`ParseError`] encountered.
+pub fn parse_exposition(text: &str) -> Result<Scrape, ParseError> {
+    let mut scrape = Scrape::default();
+    // Family name -> whether we've seen its first sample; used to catch
+    // metadata arriving after samples and non-contiguous families.
+    let mut finished_families: Vec<String> = Vec::new();
+    let mut current_family: Option<String> = None;
+
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.trim_end_matches('\r');
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# ") {
+            let (kind, rest) = rest.split_once(' ').ok_or_else(|| err(lineno, "bare comment"))?;
+            match kind {
+                "HELP" => {
+                    let (name, help) = rest.split_once(' ').unwrap_or((rest, ""));
+                    validate_name(name, lineno)?;
+                    if scrape.help.insert(name.to_string(), unescape_help(help)).is_some() {
+                        return Err(err(lineno, format!("duplicate HELP for {name}")));
+                    }
+                    if scrape.types.contains_key(name) {
+                        return Err(err(lineno, format!("HELP for {name} after its TYPE")));
+                    }
+                    if finished_families.iter().any(|f| f == name)
+                        || current_family.as_deref() == Some(name)
+                    {
+                        return Err(err(lineno, format!("HELP for {name} after its samples")));
+                    }
+                }
+                "TYPE" => {
+                    let (name, ty) = rest
+                        .split_once(' ')
+                        .ok_or_else(|| err(lineno, "TYPE line missing a type"))?;
+                    validate_name(name, lineno)?;
+                    if !["counter", "gauge", "histogram", "summary", "untyped"].contains(&ty) {
+                        return Err(err(lineno, format!("unknown type {ty:?} for {name}")));
+                    }
+                    if scrape.types.insert(name.to_string(), ty.to_string()).is_some() {
+                        return Err(err(lineno, format!("duplicate TYPE for {name}")));
+                    }
+                    if finished_families.iter().any(|f| f == name)
+                        || current_family.as_deref() == Some(name)
+                    {
+                        return Err(err(lineno, format!("TYPE for {name} after its samples")));
+                    }
+                }
+                other => return Err(err(lineno, format!("unknown comment keyword {other:?}"))),
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            // Plain comment; legal, ignored.
+            continue;
+        }
+
+        let sample = parse_sample_line(line, lineno)?;
+        let family = family_of(&sample.name, &scrape.types).to_string();
+        if !scrape.types.contains_key(&family) {
+            return Err(err(lineno, format!("sample {} has no TYPE metadata", sample.name)));
+        }
+        if !scrape.help.contains_key(&family) {
+            return Err(err(lineno, format!("sample {} has no HELP metadata", sample.name)));
+        }
+        match &current_family {
+            Some(cur) if *cur == family => {}
+            _ => {
+                if finished_families.contains(&family) {
+                    return Err(err(
+                        lineno,
+                        format!("family {family} is not contiguous (interleaved samples)"),
+                    ));
+                }
+                if let Some(prev) = current_family.take() {
+                    finished_families.push(prev);
+                }
+                current_family = Some(family);
+            }
+        }
+        scrape.samples.push(sample);
+    }
+    Ok(scrape)
+}
+
+fn validate_name(name: &str, lineno: usize) -> Result<(), ParseError> {
+    let mut chars = name.chars();
+    let ok_first = chars.next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':');
+    let ok_rest = chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':');
+    if ok_first && ok_rest {
+        Ok(())
+    } else {
+        Err(err(lineno, format!("invalid metric name {name:?}")))
+    }
+}
+
+fn unescape_help(text: &str) -> String {
+    unescape(text, false)
+}
+
+fn unescape(text: &str, in_label: bool) -> String {
+    let mut out = String::with_capacity(text.len());
+    let mut chars = text.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('n') => out.push('\n'),
+            Some('"') if in_label => out.push('"'),
+            Some(other) => {
+                out.push('\\');
+                out.push(other);
+            }
+            None => out.push('\\'),
+        }
+    }
+    out
+}
+
+fn parse_sample_line(line: &str, lineno: usize) -> Result<Sample, ParseError> {
+    let bytes = line.as_bytes();
+    let name_end = bytes
+        .iter()
+        .position(|&b| b == b'{' || b == b' ')
+        .ok_or_else(|| err(lineno, "sample line has no value"))?;
+    let name = &line[..name_end];
+    validate_name(name, lineno)?;
+
+    let mut labels = BTreeMap::new();
+    let mut rest = &line[name_end..];
+    if let Some(after_brace) = rest.strip_prefix('{') {
+        let mut chars = after_brace.char_indices();
+        let mut consumed = 0usize;
+        loop {
+            // Label key (or closing brace).
+            let mut key = String::new();
+            let mut closed = false;
+            for (i, c) in chars.by_ref() {
+                consumed = i + c.len_utf8();
+                match c {
+                    '}' => {
+                        closed = true;
+                        break;
+                    }
+                    '=' => break,
+                    ',' if key.is_empty() => continue,
+                    c => key.push(c),
+                }
+            }
+            if closed {
+                if !key.is_empty() {
+                    return Err(err(lineno, format!("label {key:?} missing a value")));
+                }
+                break;
+            }
+            if key.is_empty() {
+                return Err(err(lineno, "empty label name"));
+            }
+            // Opening quote.
+            match chars.next() {
+                Some((i, '"')) => consumed = i + 1,
+                _ => return Err(err(lineno, format!("label {key} value must be quoted"))),
+            }
+            // Escaped value until the closing quote.
+            let mut value = String::new();
+            let mut escaped = false;
+            let mut terminated = false;
+            for (i, c) in chars.by_ref() {
+                consumed = i + c.len_utf8();
+                if escaped {
+                    match c {
+                        '\\' => value.push('\\'),
+                        '"' => value.push('"'),
+                        'n' => value.push('\n'),
+                        other => {
+                            value.push('\\');
+                            value.push(other);
+                        }
+                    }
+                    escaped = false;
+                } else if c == '\\' {
+                    escaped = true;
+                } else if c == '"' {
+                    terminated = true;
+                    break;
+                } else {
+                    value.push(c);
+                }
+            }
+            if !terminated {
+                return Err(err(lineno, format!("unterminated value for label {key}")));
+            }
+            labels.insert(key, value);
+        }
+        rest = &after_brace[consumed..];
+    }
+
+    let value_str = rest.trim();
+    // A timestamp field after the value is legal in the format; we never
+    // emit one, so reject it to keep the golden scrapes strict.
+    if value_str.contains(' ') {
+        return Err(err(lineno, "unexpected timestamp field"));
+    }
+    if value_str.is_empty() {
+        return Err(err(lineno, "sample line has no value"));
+    }
+    let value = match value_str {
+        "+Inf" => MetricValue::Inf,
+        s => {
+            // Preserve bit-exactness: bare integers stay integers.
+            if let Ok(v) = s.parse::<u64>() {
+                MetricValue::Int(v)
+            } else {
+                MetricValue::Float(
+                    s.parse::<f64>()
+                        .map_err(|_| err(lineno, format!("unparseable value {s:?}")))?,
+                )
+            }
+        }
+    };
+    Ok(Sample { name: name.to_string(), labels, value })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sanitize_maps_dots_and_leading_digits() {
+        assert_eq!(sanitize_metric_name("ecc.save.ns"), "ecc_save_ns");
+        assert_eq!(sanitize_metric_name("9lives"), "_lives");
+        assert_eq!(sanitize_metric_name("a-b c"), "a_b_c");
+        assert_eq!(sanitize_metric_name(""), "_");
+    }
+
+    #[test]
+    fn label_escaping_round_trips() {
+        let nasty = "a\"b\\c\nd — ünïcode";
+        let mut b = ExpositionBuilder::new();
+        b.family("m", "gauge", "help");
+        b.sample("m", &[("k", nasty)], MetricValue::Int(1));
+        let text = b.finish();
+        let scrape = parse_exposition(&text).expect("parses");
+        assert_eq!(scrape.samples[0].labels["k"], nasty);
+    }
+
+    #[test]
+    fn builder_output_parses_and_orders_help_before_type() {
+        let mut b = ExpositionBuilder::new();
+        b.family("ecc_save_calls", "counter", "Total save calls");
+        b.sample("ecc_save_calls", &[], MetricValue::Int(42));
+        b.family("ecc_hist", "histogram", "A histogram");
+        b.sample("ecc_hist_bucket", &[("le", "1")], MetricValue::Int(2));
+        b.sample("ecc_hist_bucket", &[("le", "+Inf")], MetricValue::Int(3));
+        b.sample("ecc_hist_sum", &[], MetricValue::Int(99));
+        b.sample("ecc_hist_count", &[], MetricValue::Int(3));
+        let text = b.finish();
+        let scrape = parse_exposition(&text).expect("parses");
+        assert_eq!(scrape.value("ecc_save_calls"), Some(&MetricValue::Int(42)));
+        assert_eq!(scrape.types["ecc_hist"], "histogram");
+        assert_eq!(scrape.series("ecc_hist_bucket").len(), 2);
+        assert_eq!(
+            scrape.labeled("ecc_hist_bucket", &[("le", "+Inf")]).unwrap().value,
+            MetricValue::Int(3)
+        );
+    }
+
+    #[test]
+    fn parser_rejects_samples_without_metadata() {
+        let e = parse_exposition("orphan 1\n").unwrap_err();
+        assert!(e.detail.contains("no TYPE"), "{e}");
+    }
+
+    #[test]
+    fn parser_rejects_type_after_samples() {
+        let text = "# HELP m h\n# TYPE m counter\nm 1\n# TYPE m counter\n";
+        let e = parse_exposition(text).unwrap_err();
+        assert!(e.detail.contains("duplicate TYPE"), "{e}");
+
+        let text = "# HELP m h\n# TYPE m counter\nm 1\n# HELP n h\n# TYPE n counter\nn 1\nm 2\n";
+        let e = parse_exposition(text).unwrap_err();
+        assert!(e.detail.contains("not contiguous"), "{e}");
+    }
+
+    #[test]
+    fn parser_rejects_help_after_type() {
+        let text = "# TYPE m counter\n# HELP m h\nm 1\n";
+        let e = parse_exposition(text).unwrap_err();
+        assert!(e.detail.contains("after its TYPE"), "{e}");
+    }
+
+    #[test]
+    fn integer_values_round_trip_bit_exactly() {
+        for v in [0u64, 1, u64::MAX, 1 << 53, (1 << 53) + 1] {
+            let mut b = ExpositionBuilder::new();
+            b.family("m", "counter", "h");
+            b.sample("m", &[], MetricValue::Int(v));
+            let scrape = parse_exposition(&b.finish()).expect("parses");
+            assert_eq!(scrape.value("m"), Some(&MetricValue::Int(v)), "value {v}");
+        }
+    }
+
+    #[test]
+    fn float_and_inf_values_parse() {
+        let mut b = ExpositionBuilder::new();
+        b.family("m", "gauge", "h");
+        b.sample("m", &[("q", "0.99")], MetricValue::Float(1.25));
+        b.sample("m", &[("q", "inf")], MetricValue::Inf);
+        let scrape = parse_exposition(&b.finish()).expect("parses");
+        assert_eq!(scrape.labeled("m", &[("q", "0.99")]).unwrap().value, MetricValue::Float(1.25));
+        assert_eq!(scrape.labeled("m", &[("q", "inf")]).unwrap().value, MetricValue::Inf);
+    }
+
+    #[test]
+    fn timestamps_are_rejected() {
+        let text = "# HELP m h\n# TYPE m counter\nm 1 1234567890\n";
+        assert!(parse_exposition(text).is_err());
+    }
+}

@@ -1,0 +1,68 @@
+//! # ecc-obs — live observability plane for ECCheck
+//!
+//! Everything a running checkpoint stack exposes over HTTP, with zero
+//! dependencies beyond the workspace:
+//!
+//! * [`ObsServer`] — a [`std::net::TcpListener`] HTTP server with a
+//!   small worker pool serving `/metrics` (Prometheus text exposition
+//!   0.0.4), `/health` and `/ready` (JSON probes), and `/events` (a
+//!   bounded ring of severity-classified events).
+//! * [`ObsHub`] — the read-only view behind those endpoints: it derives
+//!   sliding-window quantiles ([`SlidingWindow`]), SLO burn rates
+//!   ([`SloTracker`]), and classified events ([`EventRing`]) purely
+//!   from successive [`ecc_telemetry::Recorder`] snapshots. The hub
+//!   never writes to the recorder, so attaching the exporter leaves
+//!   core telemetry byte-identical; under a
+//!   [`ecc_telemetry::ManualClock`] the whole `/metrics` document is
+//!   deterministic.
+//! * [`SloSpec`] — declarative objectives covering the paper's claims:
+//!   latency budgets (save stall, recovery) and counter-ratio bounds
+//!   (network traffic ≤ m·s·W, expressed as traffic ≤ k × encoded
+//!   parity bytes).
+//! * [`expo`] — the exposition writer and a validating parser, shared
+//!   by the exporter, the `ecc-top` terminal dashboard, and the
+//!   golden-scrape tests.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use ecc_obs::{ObsHub, ObsHubConfig, ObsServer, SloSpec};
+//! use ecc_telemetry::Recorder;
+//!
+//! let recorder = Recorder::new();
+//! let config = ObsHubConfig {
+//!     slos: vec![SloSpec::latency(
+//!         "save_stall",
+//!         "99% of saves stall training for at most 250ms",
+//!         "ecc.save.ns",
+//!         250_000_000,
+//!         0.99,
+//!     )],
+//!     ..ObsHubConfig::default()
+//! };
+//! let server = ObsServer::serve(Arc::new(ObsHub::new(recorder.clone(), config)), "127.0.0.1:0")
+//!     .expect("bind");
+//! recorder.counter("ecc.save.calls").incr();
+//! let body = ecc_obs::http_get(&server.local_addr().to_string(), "/metrics").expect("scrape");
+//! assert!(body.contains("ecc_save_calls_total 1"));
+//! server.shutdown();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod events;
+pub mod expo;
+pub mod hub;
+pub mod server;
+pub mod slo;
+pub mod window;
+
+pub use events::{classify, EventRing, ObsEvent, Severity};
+pub use expo::{
+    parse_exposition, sanitize_metric_name, ExpositionBuilder, MetricValue, ParseError, Sample,
+    Scrape,
+};
+pub use hub::{default_windowed, ObsHub, ObsHubConfig};
+pub use server::{http_get, ObsServer};
+pub use slo::{SloKind, SloSpec, SloStatus, SloTracker};
+pub use window::{SlidingWindow, WindowDelta, DEFAULT_WINDOW_NS};

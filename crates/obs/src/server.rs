@@ -1,0 +1,264 @@
+//! A dependency-free HTTP/1.1 server for the observability endpoints.
+//!
+//! Built directly on [`std::net::TcpListener`]: one accept thread hands
+//! connections to a small fixed pool of workers over an `mpsc` channel.
+//! Only `GET` is supported and every response closes the connection —
+//! exactly what a Prometheus scraper or `curl` needs, with nothing a
+//! real web framework would add.
+//!
+//! | Path       | Content type                        | Body                          |
+//! |------------|-------------------------------------|-------------------------------|
+//! | `/metrics` | `text/plain; version=0.0.4`         | Prometheus text exposition    |
+//! | `/health`  | `application/json`                  | node states + overall status  |
+//! | `/ready`   | `application/json`                  | readiness probe (503 until)   |
+//! | `/events`  | `application/json`                  | classified event ring         |
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::hub::ObsHub;
+
+/// Worker threads serving requests.
+const WORKERS: usize = 3;
+
+/// Per-connection socket timeout so a stuck client cannot pin a worker.
+const SOCKET_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// A running exporter. Dropping it (or calling [`ObsServer::shutdown`])
+/// stops the accept loop and joins every thread.
+pub struct ObsServer {
+    addr: SocketAddr,
+    hub: Arc<ObsHub>,
+    stop: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl ObsServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// starts serving `hub`. Marks the hub ready once listening.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error if the address is unavailable.
+    pub fn serve(hub: Arc<ObsHub>, addr: &str) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let (tx, rx) = mpsc::channel::<TcpStream>();
+        let rx = Arc::new(Mutex::new(rx));
+
+        let mut threads = Vec::with_capacity(WORKERS + 1);
+        for _ in 0..WORKERS {
+            let rx = Arc::clone(&rx);
+            let hub = Arc::clone(&hub);
+            threads.push(std::thread::spawn(move || loop {
+                let stream = match rx.lock().expect("obs worker queue poisoned").recv() {
+                    Ok(s) => s,
+                    Err(_) => return, // accept loop gone: drain and exit
+                };
+                let _ = handle_connection(stream, &hub);
+            }));
+        }
+
+        {
+            let stop = Arc::clone(&stop);
+            threads.push(std::thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if stop.load(Ordering::SeqCst) {
+                        return; // dropping `tx` shuts the workers down
+                    }
+                    if let Ok(stream) = stream {
+                        let _ = tx.send(stream);
+                    }
+                }
+            }));
+        }
+
+        hub.set_ready(true);
+        Ok(Self { addr: local, hub, stop, threads })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The served hub.
+    pub fn hub(&self) -> &Arc<ObsHub> {
+        &self.hub
+    }
+
+    /// Stops accepting, wakes the accept loop, and joins all threads.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.hub.set_ready(false);
+        // The accept loop blocks in `incoming()`; poke it with a
+        // connection so it observes the stop flag.
+        let _ = TcpStream::connect(self.addr);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ObsServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn handle_connection(stream: TcpStream, hub: &ObsHub) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(SOCKET_TIMEOUT))?;
+    stream.set_write_timeout(Some(SOCKET_TIMEOUT))?;
+    let mut reader = BufReader::new(stream);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    // Drain headers; we route purely on the request line.
+    let mut header = String::new();
+    while reader.read_line(&mut header)? > 2 {
+        header.clear();
+    }
+
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let path = path.split('?').next().unwrap_or(path);
+
+    let (status, content_type, body) = if method != "GET" {
+        ("405 Method Not Allowed", "text/plain; charset=utf-8", "method not allowed\n".to_string())
+    } else {
+        match path {
+            "/metrics" => {
+                ("200 OK", "text/plain; version=0.0.4; charset=utf-8", hub.render_metrics())
+            }
+            "/health" => ("200 OK", "application/json", hub.render_health_json()),
+            "/ready" => {
+                let status = if hub.is_ready() { "200 OK" } else { "503 Service Unavailable" };
+                (status, "application/json", hub.render_ready_json())
+            }
+            "/events" => ("200 OK", "application/json", hub.render_events_json()),
+            "/" => (
+                "200 OK",
+                "text/plain; charset=utf-8",
+                "ecc-obs: /metrics /health /ready /events\n".to_string(),
+            ),
+            _ => ("404 Not Found", "text/plain; charset=utf-8", "not found\n".to_string()),
+        }
+    };
+
+    let mut stream = reader.into_inner();
+    write!(
+        stream,
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// A minimal HTTP GET against an exporter, returning the body on a 2xx
+/// status. Used by `ecc-top` and the integration tests; kept here so
+/// the client and server agree on the protocol subset.
+///
+/// # Errors
+///
+/// I/O errors, malformed responses, and non-2xx statuses all surface as
+/// `std::io::Error`.
+pub fn http_get(addr: &str, path: &str) -> std::io::Result<String> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(SOCKET_TIMEOUT))?;
+    stream.set_write_timeout(Some(SOCKET_TIMEOUT))?;
+    let mut stream = stream;
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n")?;
+    stream.flush()?;
+    let mut response = Vec::new();
+    BufReader::new(stream).read_to_end(&mut response)?;
+    let text = String::from_utf8(response)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+    let (head, body) = text
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "no header break"))?;
+    let status = head.lines().next().and_then(|l| l.split_whitespace().nth(1)).unwrap_or("");
+    if !status.starts_with('2') {
+        return Err(std::io::Error::other(format!("HTTP status {status} for {path}")));
+    }
+    Ok(body.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expo::parse_exposition;
+    use crate::hub::ObsHubConfig;
+    use ecc_telemetry::Recorder;
+
+    fn serve() -> (ObsServer, Recorder) {
+        let rec = Recorder::new();
+        let hub = Arc::new(ObsHub::new(rec.clone(), ObsHubConfig::default()));
+        let server = ObsServer::serve(hub, "127.0.0.1:0").expect("bind");
+        (server, rec)
+    }
+
+    #[test]
+    fn serves_metrics_health_ready_events_and_404() {
+        let (server, rec) = serve();
+        rec.counter("ecc.save.calls").add(7);
+        rec.event("chaos.fault.crash", "node 3");
+        let addr = server.local_addr().to_string();
+
+        let metrics = http_get(&addr, "/metrics").expect("/metrics");
+        let scrape = parse_exposition(&metrics).expect("valid exposition");
+        assert_eq!(scrape.value("ecc_save_calls_total"), Some(&crate::expo::MetricValue::Int(7)));
+
+        let health = http_get(&addr, "/health").expect("/health");
+        assert!(health.contains("\"status\":\"ok\""));
+
+        let ready = http_get(&addr, "/ready").expect("/ready");
+        assert!(ready.contains("\"ready\":true"));
+
+        let events = http_get(&addr, "/events").expect("/events");
+        assert!(events.contains("chaos.fault.crash"));
+
+        assert!(http_get(&addr, "/nope").is_err(), "404 surfaces as an error");
+        server.shutdown();
+    }
+
+    #[test]
+    fn concurrent_scrapes_all_succeed() {
+        let (server, rec) = serve();
+        rec.counter("c").add(1);
+        let addr = server.local_addr().to_string();
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let addr = addr.clone();
+                std::thread::spawn(move || http_get(&addr, "/metrics").expect("scrape"))
+            })
+            .collect();
+        for h in handles {
+            let body = h.join().expect("thread");
+            assert!(body.contains("c_total 1"));
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_joins_and_port_closes() {
+        let (server, _rec) = serve();
+        let addr = server.local_addr().to_string();
+        assert!(http_get(&addr, "/ready").is_ok());
+        server.shutdown();
+        // After shutdown the connection must fail (or be refused fast).
+        assert!(http_get(&addr, "/ready").is_err());
+    }
+}

@@ -1,0 +1,381 @@
+//! Declarative service-level objectives with error-budget burn rates.
+//!
+//! Two objective shapes cover the paper's claims:
+//!
+//! * [`SloKind::LatencyBudget`] — "at least `target` of recent samples
+//!   of `histogram` finish within `threshold_ns`". Save-stall and
+//!   recovery-latency objectives are this shape. The burn rate is the
+//!   classic multi-window formula `error_rate / (1 - target)`: 1.0
+//!   means the error budget is being spent exactly as provisioned,
+//!   above 1.0 it will exhaust early.
+//! * [`SloKind::RatioBound`] — "counter `numerator` stays within
+//!   `multiplier` × counter `reference`". The paper's traffic bound
+//!   (network bytes ≤ m·s·W per save) is this shape: encoded parity
+//!   bytes are m·s·W/k, so traffic ≤ k × bytes_encoded. Burn is the
+//!   observed ratio over the allowed ratio; 1.0 is exactly at the
+//!   bound.
+//!
+//! Objectives are evaluated over the same sliding window as the
+//! exporter's quantiles, purely from successive [`Snapshot`]s — the
+//! tracker never writes to the recorder, so attaching it cannot perturb
+//! the core's deterministic telemetry.
+
+use std::collections::VecDeque;
+
+use ecc_telemetry::Snapshot;
+
+use crate::window::{SlidingWindow, WindowDelta};
+
+/// What an objective demands.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SloKind {
+    /// `target` fraction of samples of `histogram` must be
+    /// `<= threshold_ns`.
+    LatencyBudget {
+        /// Histogram name in the recorder (e.g. `ecc.save.ns`).
+        histogram: String,
+        /// Budgeted latency in nanoseconds.
+        threshold_ns: u64,
+        /// Required compliant fraction in `(0, 1)` (e.g. 0.99).
+        target: f64,
+    },
+    /// Counter `numerator` must stay `<= multiplier * reference`.
+    RatioBound {
+        /// Bounded counter (e.g. `ecc.save.traffic_bytes`).
+        numerator: String,
+        /// Reference counter (e.g. `ecc.save.bytes_encoded`).
+        reference: String,
+        /// Allowed ratio (e.g. `k`, since parity bytes are m·s·W/k and
+        /// the bound is m·s·W).
+        multiplier: f64,
+    },
+}
+
+/// A named objective.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloSpec {
+    /// Stable identifier, used as the `slo` label on `/metrics`.
+    pub name: String,
+    /// Human-readable statement of the objective.
+    pub objective: String,
+    /// The evaluated rule.
+    pub kind: SloKind,
+}
+
+impl SloSpec {
+    /// A latency-budget objective.
+    pub fn latency(
+        name: impl Into<String>,
+        objective: impl Into<String>,
+        histogram: impl Into<String>,
+        threshold_ns: u64,
+        target: f64,
+    ) -> Self {
+        assert!(target > 0.0 && target < 1.0, "latency SLO target must be in (0, 1), got {target}");
+        Self {
+            name: name.into(),
+            objective: objective.into(),
+            kind: SloKind::LatencyBudget { histogram: histogram.into(), threshold_ns, target },
+        }
+    }
+
+    /// A counter-ratio bound objective.
+    pub fn ratio(
+        name: impl Into<String>,
+        objective: impl Into<String>,
+        numerator: impl Into<String>,
+        reference: impl Into<String>,
+        multiplier: f64,
+    ) -> Self {
+        assert!(multiplier > 0.0, "ratio SLO multiplier must be positive, got {multiplier}");
+        Self {
+            name: name.into(),
+            objective: objective.into(),
+            kind: SloKind::RatioBound {
+                numerator: numerator.into(),
+                reference: reference.into(),
+                multiplier,
+            },
+        }
+    }
+}
+
+/// Point-in-time evaluation of one objective.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloStatus {
+    /// The spec's name.
+    pub name: String,
+    /// The spec's human-readable objective.
+    pub objective: String,
+    /// Compliant fraction in the window (`None` with no data yet).
+    pub compliance: Option<f64>,
+    /// Error-budget burn rate (`None` with no data yet). `<= 1.0` is
+    /// within budget.
+    pub burn_rate: Option<f64>,
+    /// `true` when the window has data and the burn rate exceeds 1.0.
+    pub breached: bool,
+    /// Samples (latency) or reference units (ratio) in the window.
+    pub window_units: u64,
+}
+
+/// Sliding window over a pair of cumulative counters.
+#[derive(Debug, Clone)]
+struct CounterWindow {
+    window_ns: u64,
+    history: VecDeque<(u64, u64, u64)>,
+}
+
+impl CounterWindow {
+    fn new(window_ns: u64) -> Self {
+        Self { window_ns: window_ns.max(1), history: VecDeque::new() }
+    }
+
+    fn observe(&mut self, at_ns: u64, numerator: u64, reference: u64) {
+        if self.history.back().is_some_and(|(t, _, _)| *t > at_ns) {
+            self.history.clear();
+        }
+        self.history.push_back((at_ns, numerator, reference));
+        let start = at_ns.saturating_sub(self.window_ns);
+        while self.history.len() > 1 && self.history[1].0 <= start {
+            self.history.pop_front();
+        }
+    }
+
+    /// `(Δnumerator, Δreference)` across the window, saturating on
+    /// counter resets. Mirrors [`SlidingWindow::delta`]: the front
+    /// observation is only an anchor once it predates the window start;
+    /// before that, everything seen so far counts as recent.
+    fn delta(&self) -> (u64, u64) {
+        let Some((now, n1, r1)) = self.history.back() else {
+            return (0, 0);
+        };
+        let start = now.saturating_sub(self.window_ns);
+        match self.history.front() {
+            Some((t0, n0, r0)) if *t0 <= start => (n1.saturating_sub(*n0), r1.saturating_sub(*r0)),
+            _ => (*n1, *r1),
+        }
+    }
+}
+
+enum TrackerState {
+    Latency(SlidingWindow),
+    Ratio(CounterWindow),
+}
+
+/// Evaluates a fixed set of [`SloSpec`]s over a sliding window of
+/// recorder snapshots.
+pub struct SloTracker {
+    specs: Vec<SloSpec>,
+    states: Vec<TrackerState>,
+    window_ns: u64,
+}
+
+impl SloTracker {
+    /// A tracker for `specs`, evaluated over `window_ns`-wide windows.
+    pub fn new(specs: Vec<SloSpec>, window_ns: u64) -> Self {
+        let states = specs
+            .iter()
+            .map(|s| match s.kind {
+                SloKind::LatencyBudget { .. } => {
+                    TrackerState::Latency(SlidingWindow::new(window_ns))
+                }
+                SloKind::RatioBound { .. } => TrackerState::Ratio(CounterWindow::new(window_ns)),
+            })
+            .collect();
+        Self { specs, states, window_ns }
+    }
+
+    /// The configured specs.
+    pub fn specs(&self) -> &[SloSpec] {
+        &self.specs
+    }
+
+    /// The window width in nanoseconds.
+    pub fn window_ns(&self) -> u64 {
+        self.window_ns
+    }
+
+    /// Feeds one cumulative snapshot observed at `at_ns`.
+    pub fn observe(&mut self, at_ns: u64, snapshot: &Snapshot) {
+        for (spec, state) in self.specs.iter().zip(self.states.iter_mut()) {
+            match (&spec.kind, state) {
+                (SloKind::LatencyBudget { histogram, .. }, TrackerState::Latency(w)) => {
+                    let hist = snapshot.histogram(histogram).cloned().unwrap_or_default();
+                    w.observe(at_ns, hist);
+                }
+                (SloKind::RatioBound { numerator, reference, .. }, TrackerState::Ratio(w)) => {
+                    w.observe(at_ns, snapshot.counter(numerator), snapshot.counter(reference));
+                }
+                _ => unreachable!("tracker state built from the same spec list"),
+            }
+        }
+    }
+
+    /// Evaluates every objective against the current window.
+    pub fn statuses(&self) -> Vec<SloStatus> {
+        self.specs
+            .iter()
+            .zip(self.states.iter())
+            .map(|(spec, state)| match (&spec.kind, state) {
+                (SloKind::LatencyBudget { threshold_ns, target, .. }, TrackerState::Latency(w)) => {
+                    latency_status(spec, w.delta(), *threshold_ns, *target)
+                }
+                (SloKind::RatioBound { multiplier, .. }, TrackerState::Ratio(w)) => {
+                    ratio_status(spec, w.delta(), *multiplier)
+                }
+                _ => unreachable!("tracker state built from the same spec list"),
+            })
+            .collect()
+    }
+}
+
+fn latency_status(spec: &SloSpec, delta: WindowDelta, threshold_ns: u64, target: f64) -> SloStatus {
+    if delta.count == 0 {
+        return SloStatus {
+            name: spec.name.clone(),
+            objective: spec.objective.clone(),
+            compliance: None,
+            burn_rate: None,
+            breached: false,
+            window_units: 0,
+        };
+    }
+    let good = delta.count_le(threshold_ns).min(delta.count as f64);
+    let compliance = good / delta.count as f64;
+    let burn = (1.0 - compliance) / (1.0 - target);
+    SloStatus {
+        name: spec.name.clone(),
+        objective: spec.objective.clone(),
+        compliance: Some(compliance),
+        burn_rate: Some(burn),
+        breached: burn > 1.0,
+        window_units: delta.count,
+    }
+}
+
+fn ratio_status(spec: &SloSpec, (num, reference): (u64, u64), multiplier: f64) -> SloStatus {
+    if reference == 0 {
+        return SloStatus {
+            name: spec.name.clone(),
+            objective: spec.objective.clone(),
+            compliance: None,
+            burn_rate: None,
+            breached: false,
+            window_units: 0,
+        };
+    }
+    let allowed = multiplier * reference as f64;
+    let burn = num as f64 / allowed;
+    SloStatus {
+        name: spec.name.clone(),
+        objective: spec.objective.clone(),
+        compliance: Some((allowed / num.max(1) as f64).min(1.0)),
+        burn_rate: Some(burn),
+        breached: burn > 1.0,
+        window_units: reference,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecc_telemetry::Recorder;
+
+    fn tracker(specs: Vec<SloSpec>) -> SloTracker {
+        SloTracker::new(specs, 1_000_000)
+    }
+
+    #[test]
+    fn latency_slo_within_budget_has_low_burn() {
+        let rec = Recorder::new();
+        // 100 samples at 100ns, threshold 1000ns: full compliance.
+        for _ in 0..100 {
+            rec.record("save.ns", 100);
+        }
+        let mut t =
+            tracker(vec![SloSpec::latency("stall", "saves finish fast", "save.ns", 1000, 0.99)]);
+        t.observe(10, &rec.snapshot());
+        let s = &t.statuses()[0];
+        assert_eq!(s.compliance, Some(1.0));
+        assert_eq!(s.burn_rate, Some(0.0));
+        assert!(!s.breached);
+        assert_eq!(s.window_units, 100);
+    }
+
+    #[test]
+    fn latency_slo_breaches_when_error_budget_exceeded() {
+        let rec = Recorder::new();
+        // Half the samples far above the threshold with a 99% target.
+        for _ in 0..50 {
+            rec.record("save.ns", 100);
+        }
+        for _ in 0..50 {
+            rec.record("save.ns", 1_000_000);
+        }
+        let mut t = tracker(vec![SloSpec::latency("stall", "", "save.ns", 1000, 0.99)]);
+        t.observe(10, &rec.snapshot());
+        let s = &t.statuses()[0];
+        let burn = s.burn_rate.unwrap();
+        assert!(burn > 1.0, "50% error rate vs 1% budget should burn hot, got {burn}");
+        assert!(s.breached);
+    }
+
+    #[test]
+    fn latency_slo_is_windowed() {
+        let (rec, clock) = Recorder::with_manual_clock();
+        for _ in 0..100 {
+            rec.record("save.ns", 1_000_000); // slow era
+        }
+        let mut t =
+            SloTracker::new(vec![SloSpec::latency("stall", "", "save.ns", 1000, 0.99)], 1_000);
+        t.observe(0, &rec.snapshot());
+        clock.advance_ns(10_000);
+        for _ in 0..100 {
+            rec.record("save.ns", 10); // fast era
+        }
+        t.observe(5_000, &rec.snapshot());
+        t.observe(10_000, &rec.snapshot());
+        let s = &t.statuses()[0];
+        assert!(!s.breached, "old slow samples must age out of the window: {:?}", s);
+    }
+
+    #[test]
+    fn ratio_slo_tracks_the_traffic_bound() {
+        let rec = Recorder::new();
+        rec.counter("traffic").add(4_000);
+        rec.counter("encoded").add(1_000);
+        // Bound: traffic <= 4 x encoded (k = 4). Exactly at the bound.
+        let mut t = tracker(vec![SloSpec::ratio("traffic", "", "traffic", "encoded", 4.0)]);
+        t.observe(10, &rec.snapshot());
+        let s = &t.statuses()[0];
+        assert_eq!(s.burn_rate, Some(1.0));
+        assert!(!s.breached, "exactly at the bound is compliant");
+
+        rec.counter("traffic").add(4_001);
+        rec.counter("encoded").add(1_000);
+        t.observe(20, &rec.snapshot());
+        let s = &t.statuses()[0];
+        assert!(s.burn_rate.unwrap() > 1.0);
+        assert!(s.breached);
+    }
+
+    #[test]
+    fn empty_windows_report_no_data_rather_than_breach() {
+        let rec = Recorder::new();
+        let mut t = tracker(vec![
+            SloSpec::latency("stall", "", "save.ns", 1000, 0.99),
+            SloSpec::ratio("traffic", "", "traffic", "encoded", 4.0),
+        ]);
+        t.observe(10, &rec.snapshot());
+        for s in t.statuses() {
+            assert_eq!(s.burn_rate, None);
+            assert!(!s.breached);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "target must be in (0, 1)")]
+    fn latency_target_validated() {
+        SloSpec::latency("x", "", "h", 1, 1.0);
+    }
+}

@@ -1,0 +1,255 @@
+//! Sliding-window views over the recorder's cumulative histograms.
+//!
+//! The recorder's histograms are monotone since process start; a live
+//! dashboard wants *recent* behaviour. [`SlidingWindow`] keeps a short
+//! history of `(at_ns, HistogramSnapshot)` observations — one per
+//! refresh/scrape — and exposes the **delta** between now and the
+//! oldest observation still inside the window: recent sample count,
+//! sum, and quantiles estimated from the power-of-two bucket layout
+//! (bounds read from [`HistogramSnapshot::bucket_bounds`], with linear
+//! interpolation inside the quantile's bucket).
+//!
+//! Everything is a pure function of the observed snapshots and
+//! timestamps, so a `ManualClock`-driven run renders byte-identical
+//! windows on every execution.
+
+use std::collections::VecDeque;
+
+use ecc_telemetry::HistogramSnapshot;
+
+/// Default window width: the last 60 (simulated or wall) seconds.
+pub const DEFAULT_WINDOW_NS: u64 = 60_000_000_000;
+
+/// The delta of one histogram over the active window.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct WindowDelta {
+    /// Samples recorded inside the window.
+    pub count: u64,
+    /// Sum of the samples recorded inside the window.
+    pub sum: u64,
+    /// Sparse `(bucket_index, count)` pairs of the window's samples.
+    pub buckets: Vec<(u8, u64)>,
+}
+
+impl WindowDelta {
+    /// Estimated value at quantile `q` (0.0 ..= 1.0) from the bucket
+    /// populations: finds the bucket holding the q-th sample and
+    /// interpolates linearly inside it. `None` when the window is
+    /// empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
+        if self.count == 0 {
+            return None;
+        }
+        let rank = q * self.count as f64;
+        let mut seen = 0.0;
+        for &(index, n) in &self.buckets {
+            let n = n as f64;
+            if seen + n >= rank {
+                let (lo, hi) = HistogramSnapshot::bucket_bounds(index);
+                let within = if n > 0.0 { ((rank - seen) / n).clamp(0.0, 1.0) } else { 0.0 };
+                return Some(lo as f64 + (hi - lo) as f64 * within);
+            }
+            seen += n;
+        }
+        // q == 1.0 (or rounding): the top of the last populated bucket.
+        let (_, hi) = HistogramSnapshot::bucket_bounds(self.buckets.last()?.0);
+        Some(hi as f64)
+    }
+
+    /// Mean of the window's samples, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// Samples `<= bound` in the window (interpolated within the
+    /// straddling bucket), for SLO compliance accounting.
+    pub fn count_le(&self, bound: u64) -> f64 {
+        let snap = HistogramSnapshot {
+            count: self.count,
+            sum: self.sum,
+            min: 0,
+            max: 0,
+            buckets: self.buckets.clone(),
+        };
+        snap.count_le(bound)
+    }
+}
+
+/// Bucket-wise `current - past`, saturating so a reset (fresh recorder
+/// behind the same window) degrades to "everything is recent" instead
+/// of underflowing.
+fn subtract(current: &HistogramSnapshot, past: &HistogramSnapshot) -> WindowDelta {
+    let mut buckets = Vec::with_capacity(current.buckets.len());
+    for &(index, n) in &current.buckets {
+        let prior = past.buckets.iter().find_map(|&(i, p)| (i == index).then_some(p)).unwrap_or(0);
+        let delta = n.saturating_sub(prior);
+        if delta > 0 {
+            buckets.push((index, delta));
+        }
+    }
+    WindowDelta {
+        count: current.count.saturating_sub(past.count),
+        sum: current.sum.saturating_sub(past.sum),
+        buckets,
+    }
+}
+
+/// A bounded history of cumulative snapshots of one histogram, exposing
+/// the window delta. Observations older than the window (keeping one
+/// anchor just outside it) are discarded.
+#[derive(Debug, Clone)]
+pub struct SlidingWindow {
+    window_ns: u64,
+    history: VecDeque<(u64, HistogramSnapshot)>,
+}
+
+impl SlidingWindow {
+    /// A window of `window_ns` nanoseconds.
+    pub fn new(window_ns: u64) -> Self {
+        Self { window_ns: window_ns.max(1), history: VecDeque::new() }
+    }
+
+    /// The configured width.
+    pub fn window_ns(&self) -> u64 {
+        self.window_ns
+    }
+
+    /// Records the cumulative snapshot observed at `at_ns`. Out-of-order
+    /// observations (clock went backwards) replace the history.
+    pub fn observe(&mut self, at_ns: u64, snapshot: HistogramSnapshot) {
+        if self.history.back().is_some_and(|(t, _)| *t > at_ns) {
+            self.history.clear();
+        }
+        self.history.push_back((at_ns, snapshot));
+        // Keep exactly one observation at or before the window start as
+        // the subtraction anchor.
+        let start = at_ns.saturating_sub(self.window_ns);
+        while self.history.len() > 1 && self.history[1].0 <= start {
+            self.history.pop_front();
+        }
+    }
+
+    /// The delta between the latest observation and the anchor at the
+    /// window start. Until an observation ages past the window start
+    /// there is no anchor to subtract, so the whole cumulative histogram
+    /// is "recent" — the window covers everything seen so far. This
+    /// keeps consecutive scrapes consistent: samples recorded just
+    /// before the first scrape stay visible in the second, rather than
+    /// vanishing because the first scrape became the subtraction base.
+    pub fn delta(&self) -> WindowDelta {
+        let Some((now, latest)) = self.history.back() else {
+            return WindowDelta::default();
+        };
+        let start = now.saturating_sub(self.window_ns);
+        match self.history.front() {
+            Some((t0, oldest)) if *t0 <= start => subtract(latest, oldest),
+            _ => subtract(latest, &HistogramSnapshot::default()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(buckets: &[(u8, u64)]) -> HistogramSnapshot {
+        let count = buckets.iter().map(|(_, n)| n).sum();
+        HistogramSnapshot { count, sum: count * 10, min: 0, max: 0, buckets: buckets.to_vec() }
+    }
+
+    #[test]
+    fn first_observation_is_entirely_recent() {
+        let mut w = SlidingWindow::new(100);
+        w.observe(50, snap(&[(3, 4)]));
+        let d = w.delta();
+        assert_eq!(d.count, 4);
+        assert_eq!(d.buckets, vec![(3, 4)]);
+    }
+
+    #[test]
+    fn delta_subtracts_the_window_anchor() {
+        let mut w = SlidingWindow::new(100);
+        w.observe(0, snap(&[(3, 4)]));
+        w.observe(60, snap(&[(3, 6), (5, 1)]));
+        let d = w.delta();
+        assert_eq!(d.count, 3);
+        assert_eq!(d.buckets, vec![(3, 2), (5, 1)]);
+    }
+
+    #[test]
+    fn consecutive_scrapes_inside_the_window_keep_early_samples() {
+        let mut w = SlidingWindow::new(100);
+        // All 12 samples landed before the first scrape; a second scrape
+        // moments later (no new samples in between) must still see them
+        // — the first observation is inside the window, not an anchor.
+        w.observe(1_000, snap(&[(3, 12)]));
+        w.observe(1_010, snap(&[(3, 12)]));
+        assert_eq!(w.delta().count, 12, "pre-first-scrape samples are still recent");
+        // Once an observation ages past the window start it becomes the
+        // anchor, and the idle window correctly reads empty.
+        w.observe(1_200, snap(&[(3, 12)]));
+        assert_eq!(w.delta().count, 0, "idle window after expiry is empty");
+    }
+
+    #[test]
+    fn old_observations_expire() {
+        let mut w = SlidingWindow::new(100);
+        w.observe(0, snap(&[(3, 4)]));
+        w.observe(50, snap(&[(3, 5)]));
+        w.observe(200, snap(&[(3, 9)]));
+        // Window [100, 200]: the anchor is the observation at 50 (the
+        // last one at or before the window start), so delta = 9 - 5.
+        assert_eq!(w.delta().count, 4);
+        assert!(w.history.len() <= 2);
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        // 100 samples uniformly in bucket 6 ([64, 127]).
+        let d = WindowDelta { count: 100, sum: 0, buckets: vec![(6, 100)] };
+        let p50 = d.quantile(0.5).unwrap();
+        assert!((64.0..=127.0).contains(&p50));
+        assert!((p50 - 95.5).abs() < 1.0, "p50 ~ bucket midpoint, got {p50}");
+        assert_eq!(d.quantile(1.0), Some(127.0));
+        assert!(d.quantile(0.0).unwrap() <= 65.0);
+    }
+
+    #[test]
+    fn quantiles_pick_the_right_bucket_across_populations() {
+        // 90 samples in bucket 3 ([8, 15]), 10 in bucket 10 ([1024, 2047]).
+        let d = WindowDelta { count: 100, sum: 0, buckets: vec![(3, 90), (10, 10)] };
+        assert!(d.quantile(0.5).unwrap() <= 15.0);
+        assert!(d.quantile(0.95).unwrap() >= 1024.0);
+        assert!(d.quantile(0.99).unwrap() >= 1024.0);
+    }
+
+    #[test]
+    fn empty_window_has_no_quantiles() {
+        let d = WindowDelta::default();
+        assert_eq!(d.quantile(0.99), None);
+        assert_eq!(d.mean(), None);
+    }
+
+    #[test]
+    fn clock_regression_resets_history() {
+        let mut w = SlidingWindow::new(100);
+        w.observe(1_000, snap(&[(3, 50)]));
+        w.observe(10, snap(&[(3, 2)]));
+        assert_eq!(w.delta().count, 2, "reset: fresh history treats everything as recent");
+    }
+
+    #[test]
+    fn counter_reset_saturates_instead_of_underflowing() {
+        let mut w = SlidingWindow::new(100);
+        w.observe(0, snap(&[(3, 50)]));
+        w.observe(50, snap(&[(3, 2)])); // impossible for a monotone counter; saturate
+        let d = w.delta();
+        assert_eq!(d.count, 0);
+        assert!(d.buckets.is_empty());
+    }
+}

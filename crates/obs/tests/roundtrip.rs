@@ -1,0 +1,128 @@
+//! Bit-exact snapshot → exposition → parse round trip.
+//!
+//! Every counter and every histogram bucket/sum/count in a
+//! [`Recorder`] snapshot must survive rendering to the Prometheus text
+//! format and parsing back with its exact `u64` value — no float
+//! precision loss anywhere on the scrape path.
+
+use ecc_obs::{parse_exposition, sanitize_metric_name, MetricValue, ObsHub, ObsHubConfig};
+use ecc_telemetry::{HistogramSnapshot, Recorder};
+
+#[test]
+fn snapshot_round_trips_bit_exactly_through_the_exposition() {
+    let (recorder, clock) = Recorder::with_manual_clock();
+    clock.set_ns(7);
+
+    // Counters crossing the f64 exact-integer boundary (2^53) — the
+    // round trip must preserve them anyway, because integral values
+    // render and parse as u64, never through a float.
+    let counters = [
+        ("ecc.save.calls", 3u64),
+        ("ecc.save.bytes_encoded", (1u64 << 53) + 1),
+        ("ecc.save.traffic_bytes", u64::MAX),
+    ];
+    for (name, v) in counters {
+        recorder.counter(name).add(v);
+    }
+
+    // Histogram samples spread across many power-of-two buckets,
+    // including 0, bucket edges, and a huge outlier.
+    let samples = [0u64, 1, 2, 3, 4, 1023, 1024, 1025, 250_000_000, (1u64 << 53) + 5];
+    for &s in &samples {
+        recorder.record("ecc.save.ns", s);
+    }
+
+    let snapshot = recorder.snapshot();
+    let hub = ObsHub::new(recorder, ObsHubConfig::default());
+    let text = hub.render_metrics();
+    let scrape = parse_exposition(&text).expect("rendered exposition must parse");
+
+    // Every counter: exact u64 equality.
+    for (name, _) in counters {
+        let value = snapshot.counters.get(name).copied().expect("counter in snapshot");
+        let fam = format!("{}_total", sanitize_metric_name(name));
+        assert_eq!(
+            scrape.value(&fam),
+            Some(&MetricValue::Int(value)),
+            "counter {name} must round-trip exactly"
+        );
+    }
+
+    // Every histogram: per-bucket cumulative counts, sum, and count.
+    for (name, hist) in &snapshot.histograms {
+        let fam = sanitize_metric_name(name);
+        assert_eq!(
+            scrape.value(&format!("{fam}_sum")),
+            Some(&MetricValue::Int(hist.sum)),
+            "histogram {name} sum must round-trip exactly"
+        );
+        assert_eq!(
+            scrape.value(&format!("{fam}_count")),
+            Some(&MetricValue::Int(hist.count)),
+            "histogram {name} count must round-trip exactly"
+        );
+        let mut buckets = hist.buckets.clone();
+        buckets.sort_unstable_by_key(|&(i, _)| i);
+        let mut cumulative = 0u64;
+        for (index, count) in buckets {
+            cumulative += count;
+            let le = HistogramSnapshot::bucket_upper_bound(index).to_string();
+            let sample = scrape
+                .labeled(&format!("{fam}_bucket"), &[("le", &le)])
+                .unwrap_or_else(|| panic!("bucket le={le} of {name} missing"));
+            assert_eq!(sample.value, MetricValue::Int(cumulative));
+            // The bucket's cumulative count must agree with the
+            // snapshot-side accessor used by the SLO tracker.
+            assert_eq!(
+                cumulative as f64,
+                hist.count_le(HistogramSnapshot::bucket_upper_bound(index))
+            );
+        }
+        let inf = scrape
+            .labeled(&format!("{fam}_bucket"), &[("le", "+Inf")])
+            .expect("terminal +Inf bucket");
+        assert_eq!(inf.value, MetricValue::Int(hist.count));
+    }
+
+    // The sum here exceeds 2^53: a float-mediated path would corrupt it.
+    let save_ns = snapshot.histograms.get("ecc.save.ns").expect("histogram");
+    assert!(save_ns.sum > (1u64 << 53));
+}
+
+#[test]
+fn label_escaping_and_utf8_survive_the_parser() {
+    use ecc_obs::ExpositionBuilder;
+
+    let cases = [
+        ("backslash", r"a\b"),
+        ("quote", r#"say "hi""#),
+        ("newline", "line\nbreak"),
+        ("utf8", "héllo→世界"),
+        ("mixed", "q\"\\\nü"),
+    ];
+    let mut b = ExpositionBuilder::new();
+    b.family("escaping_probe", "gauge", "Label-escaping probe.");
+    for (key, value) in cases {
+        b.sample("escaping_probe", &[("case", key), ("payload", value)], MetricValue::Int(1));
+    }
+    let text = b.finish();
+
+    // Escapes on the wire: backslash, quote, and newline must appear in
+    // their escaped forms, never raw inside a label value.
+    assert!(text.contains(r#"payload="a\\b""#), "backslash must escape: {text}");
+    assert!(text.contains(r#"\"hi\""#), "quotes must escape: {text}");
+    assert!(text.contains(r#"line\nbreak"#), "newlines must escape: {text}");
+    assert!(text.contains("héllo→世界"), "UTF-8 passes through unescaped: {text}");
+
+    let scrape = parse_exposition(&text).expect("escaped document parses");
+    for (key, value) in cases {
+        let sample = scrape
+            .labeled("escaping_probe", &[("case", key)])
+            .unwrap_or_else(|| panic!("case {key} missing"));
+        assert_eq!(
+            sample.labels.get("payload").map(String::as_str),
+            Some(value),
+            "payload for case {key} must round-trip"
+        );
+    }
+}

@@ -9,7 +9,7 @@
 use std::collections::BTreeMap;
 
 /// Summary statistics for one latency/size histogram.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct HistogramSnapshot {
     /// Number of recorded samples.
     pub count: u64,
@@ -26,6 +26,10 @@ pub struct HistogramSnapshot {
 }
 
 impl HistogramSnapshot {
+    /// Number of buckets a histogram can populate (`u64` has 64 bit
+    /// positions, and bucket index = highest set bit of the sample).
+    pub const BUCKET_COUNT: usize = 64;
+
     /// Arithmetic mean of the recorded values, or 0.0 when empty.
     pub fn mean(&self) -> f64 {
         if self.count == 0 {
@@ -33,6 +37,57 @@ impl HistogramSnapshot {
         } else {
             self.sum as f64 / self.count as f64
         }
+    }
+
+    /// The explicit inclusive value range `[lo, hi]` covered by bucket
+    /// `index`. Bucket 0 holds `{0, 1}`; bucket `i >= 1` holds
+    /// `[2^i, 2^(i+1) - 1]`; the final bucket saturates at `u64::MAX`.
+    /// Exporters that re-render the power-of-two layout (e.g. the
+    /// Prometheus text exposition) must read the bounds from here
+    /// rather than re-deriving them.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index >= Self::BUCKET_COUNT`.
+    pub fn bucket_bounds(index: u8) -> (u64, u64) {
+        assert!(
+            (index as usize) < Self::BUCKET_COUNT,
+            "bucket index {index} out of range 0..{}",
+            Self::BUCKET_COUNT
+        );
+        match index {
+            0 => (0, 1),
+            63 => (1 << 63, u64::MAX),
+            i => (1 << i, (1 << (i + 1)) - 1),
+        }
+    }
+
+    /// The inclusive upper bound of bucket `index` — the `le` boundary
+    /// a cumulative exposition format needs.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index >= Self::BUCKET_COUNT`.
+    pub fn bucket_upper_bound(index: u8) -> u64 {
+        Self::bucket_bounds(index).1
+    }
+
+    /// Number of recorded samples `<= bound`, derived from the bucket
+    /// layout: buckets entirely at or below `bound` count fully; the
+    /// bucket straddling `bound` contributes a linear interpolation of
+    /// its population. Exact when `bound` is a bucket upper bound.
+    pub fn count_le(&self, bound: u64) -> f64 {
+        let mut total = 0.0;
+        for &(index, n) in &self.buckets {
+            let (lo, hi) = Self::bucket_bounds(index);
+            if hi <= bound {
+                total += n as f64;
+            } else if lo <= bound {
+                let width = (hi - lo + 1) as f64;
+                total += n as f64 * ((bound - lo + 1) as f64 / width);
+            }
+        }
+        total
     }
 }
 
@@ -270,6 +325,50 @@ mod tests {
         // Beyond TiB/s the unit saturates instead of indexing out of range.
         let huge = 1024f64.powi(5) * 3.0;
         assert_eq!(fmt_rate(huge), "3072.00 TiB/s");
+    }
+
+    #[test]
+    fn bucket_bounds_match_recording_layout() {
+        // The accessor must agree with where `Histogram::record` puts
+        // samples: both edges of every bucket land inside the bounds.
+        for i in 0..HistogramSnapshot::BUCKET_COUNT as u8 {
+            let (lo, hi) = HistogramSnapshot::bucket_bounds(i);
+            assert!(lo <= hi, "bucket {i} bounds inverted");
+            let expect_index = |v: u64| (64 - v.leading_zeros()).saturating_sub(1) as u8;
+            assert_eq!(expect_index(lo.max(1)), i, "lower edge of bucket {i}");
+            assert_eq!(expect_index(hi), i, "upper edge of bucket {i}");
+            if i > 0 {
+                let (_, prev_hi) = HistogramSnapshot::bucket_bounds(i - 1);
+                assert_eq!(prev_hi + 1, lo, "buckets {i} and {} must tile", i - 1);
+            }
+        }
+        assert_eq!(HistogramSnapshot::bucket_bounds(0), (0, 1));
+        assert_eq!(HistogramSnapshot::bucket_bounds(63).1, u64::MAX);
+        assert_eq!(HistogramSnapshot::bucket_upper_bound(10), 2047);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bucket_bounds_reject_out_of_range() {
+        let _ = HistogramSnapshot::bucket_bounds(64);
+    }
+
+    #[test]
+    fn count_le_interpolates_within_buckets() {
+        let hist = HistogramSnapshot {
+            count: 4,
+            sum: 0,
+            min: 0,
+            max: 1024,
+            buckets: vec![(0, 2), (10, 2)], // {0,1} x2 and [1024,2047] x2
+        };
+        assert_eq!(hist.count_le(1), 2.0);
+        assert_eq!(hist.count_le(2047), 4.0);
+        assert_eq!(hist.count_le(1023), 2.0);
+        // Halfway through bucket 10 attributes half its population.
+        let mid = hist.count_le(1024 + 511);
+        assert!(mid > 2.9 && mid < 3.1, "linear interpolation, got {mid}");
+        assert_eq!(hist.count_le(u64::MAX), 4.0);
     }
 
     #[test]

@@ -7,6 +7,10 @@
 //! §V-G). This drill demonstrates that gap on real bytes.
 //!
 //! Run with: `cargo run --example failure_drill`
+//!
+//! Add `--obs <host:port>` to serve live `/metrics` aggregated across
+//! every drill pattern (`--obs-hold-ms <n>` keeps the exporter up after
+//! the drill so a scraper can catch the final state).
 
 use ecc_baselines::Base3;
 use ecc_cluster::{Cluster, ClusterSpec};
@@ -14,6 +18,10 @@ use ecc_dnn::{build_worker_state_dict, ModelConfig, ParallelismSpec, StateDictSp
 use eccheck::{EcCheck, EcCheckConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // One recorder spans the whole drill: each per-pattern engine reports
+    // into it, so a live scrape sees the aggregate save/load telemetry.
+    let recorder = ecc_telemetry::Recorder::new();
+    let obs = ecc_bench::obs_session_from_args(&recorder);
     let spec = ClusterSpec::tiny_test(4, 2);
     let model = ModelConfig::gpt2(64, 4, 4).with_vocab(512).with_seq_len(32);
     let par = ParallelismSpec::new(2, 2, 2)?;
@@ -34,6 +42,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let mut cluster = Cluster::new(spec);
             let mut ecc =
                 EcCheck::initialize(&spec, EcCheckConfig::paper_defaults().with_packet_size(4096))?;
+            ecc.set_recorder(recorder.clone());
             ecc.save(&mut cluster, &dicts)?;
             cluster.fail_node(a);
             cluster.fail_node(b);
@@ -70,5 +79,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("replication survived {rep_ok}/{patterns} — identical memory overhead.");
     assert_eq!(ecc_ok, patterns);
     assert_eq!(rep_ok, patterns - 2); // pairs {0,1} and {2,3} are fatal
+
+    if let Some(obs) = obs {
+        obs.finish();
+    }
     Ok(())
 }

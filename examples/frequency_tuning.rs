@@ -9,6 +9,11 @@
 //! shifts the optimum toward very frequent saves.
 //!
 //! Run with: `cargo run --example frequency_tuning`
+//!
+//! Add `--obs <host:port>` to serve the sweep's results as live
+//! `/metrics` (each system's best interval as a counter, the sweep
+//! verdict under `/events`); `--obs-hold-ms <n>` keeps the exporter up
+//! afterwards.
 
 use ecc_baselines::timing::{
     average_iteration_time, base1_save, base2_save, base3_save, BaselineConstants, SaveCost,
@@ -31,6 +36,8 @@ fn expected_cost(iteration: SimDuration, interval: u64, cost: SaveCost, mtbf: Si
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let recorder = ecc_telemetry::Recorder::new();
+    let obs = ecc_bench::obs_session_from_args(&recorder);
     let spec = ClusterSpec::paper_testbed();
     let model = ModelConfig::gpt2(2560, 40, 64);
     let par = ParallelismSpec::new(4, 4, 1)?;
@@ -81,6 +88,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "{name:>8}: best interval = every {interval} iterations \
              (expected overhead {cost:.4} s/iter)"
         );
+        recorder.counter(&format!("tuning.best_interval.{name}")).add(*interval);
+        recorder.event(
+            "tuning.result",
+            format!("{name}: best interval {interval}, overhead {cost:.4} s/iter"),
+        );
     }
     let ecc_best = best[3].1;
     let base1_best = best[0].1;
@@ -90,5 +102,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!("\nIn-memory checkpointing makes very frequent saves affordable, which is");
     println!("exactly why it reduces wasted GPU-hours after failures (paper §I, §V-D).");
+
+    if let Some(obs) = obs {
+        obs.finish();
+    }
     Ok(())
 }

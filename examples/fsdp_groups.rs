@@ -7,12 +7,18 @@
 //! shard is patched incrementally through the code's linearity.
 //!
 //! Run with: `cargo run --example fsdp_groups`
+//!
+//! Add `--obs <host:port>` to serve live `/metrics` over the tour's
+//! shared recorder (the incremental-update engine reports into it);
+//! `--obs-hold-ms <n>` keeps the exporter up afterwards.
 
 use ecc_cluster::{Cluster, ClusterSpec};
 use ecc_dnn::{build_worker_state_dict, ModelConfig, ParallelismSpec, StateDictSpec};
 use eccheck::{optimal_group_size, EcCheck, EcCheckConfig, GroupedEcCheck};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let recorder = ecc_telemetry::Recorder::new();
+    let obs = ecc_bench::obs_session_from_args(&recorder);
     let spec = ClusterSpec::tiny_test(8, 2);
 
     // FSDP over the data-parallel dimension: every one of the 16 workers
@@ -54,6 +60,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "recovered concurrent failures in both groups (workflows: {:?}, {:?})",
         reports[0].workflow, reports[1].workflow
     );
+    recorder.counter("groups.recovered").add(reports.len() as u64);
 
     // Incremental updates on a single (non-grouped) engine: only the
     // changed worker's region and the parity deltas move.
@@ -65,6 +72,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .collect::<Result<Vec<_>, _>>()?;
     let mut cluster4 = Cluster::new(spec4);
     let mut ecc = EcCheck::initialize(&spec4, config)?;
+    ecc.set_recorder(recorder.clone());
     ecc.save(&mut cluster4, &dicts4)?;
     let updated = build_worker_state_dict(&StateDictSpec { seed: 42, ..sd4 }, 5)?;
     let changed = ecc.update_worker(&mut cluster4, 5, &updated)?;
@@ -86,5 +94,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          (expected cost {:.3} s/checkpoint)",
         costs[best].group_nodes, costs[best].expected_cost
     );
+
+    if let Some(obs) = obs {
+        obs.finish();
+    }
     Ok(())
 }

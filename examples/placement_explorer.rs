@@ -7,11 +7,17 @@
 //! `m·s·W`, §V-F).
 //!
 //! Run with: `cargo run --example placement_explorer`
+//!
+//! Add `--obs <host:port>` to serve the explored shapes' traffic
+//! accounting as live `/metrics` (`--obs-hold-ms <n>` keeps the
+//! exporter up afterwards).
 
 use ecc_cluster::ClusterSpec;
 use eccheck::{select_data_parity_nodes, ReductionPlan};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let recorder = ecc_telemetry::Recorder::new();
+    let obs = ecc_bench::obs_session_from_args(&recorder);
     let shapes = [
         ("paper testbed (Fig. 6)", 4usize, 4usize, 2usize),
         ("Fig. 9 shape", 3, 2, 2),
@@ -57,9 +63,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             m as u64 * s * world
         );
         assert_eq!(t.total(), m as u64 * s * world);
+        recorder.counter("ecc.save.traffic_bytes").add(t.total());
+        recorder.counter("placement.shapes_explored").incr();
+        recorder.event("placement.shape", format!("{name}: traffic {} = m*s*W", t.total()));
         println!();
     }
     println!("Every shape satisfies the paper's §V-F invariant: total checkpoint");
     println!("traffic = m x model size, independent of node count.");
+
+    if let Some(obs) = obs {
+        obs.finish();
+    }
     Ok(())
 }

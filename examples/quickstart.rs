@@ -9,6 +9,10 @@
 //!
 //! Add `--trace <path>` to also write a Chrome Trace Event JSON span
 //! timeline of the run (load it in Perfetto or `chrome://tracing`).
+//! Add `--obs <host:port>` to serve the live observability plane
+//! (`/metrics`, `/health`, `/ready`, `/events`) during the run — point
+//! `ecc-top --addr <host:port>` at it; `--obs-hold-ms <n>` keeps the
+//! exporter up after the run finishes so a scraper can catch it.
 
 use ecc_cluster::{Cluster, ClusterSpec};
 use ecc_dnn::{build_worker_state_dict, ModelConfig, ParallelismSpec, StateDictSpec};
@@ -34,6 +38,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // buffers for the toy scale) and save.
     let config = EcCheckConfig::paper_defaults().with_packet_size(4096);
     let mut ecc = EcCheck::initialize(&spec, config)?;
+    // With `--obs <host:port>`, serve live /metrics over the engine's
+    // recorder while the run proceeds (scrape it with `ecc-top`).
+    let obs = match ecc_bench::arg_value("--obs") {
+        Some(addr) => {
+            let server = ecc.serve_obs(&addr)?;
+            println!("obs: serving /metrics /health /ready /events on {}", server.local_addr());
+            Some(server)
+        }
+        None => None,
+    };
     // The tracer records a causal span timeline (save phases, coding-pool
     // workers, P2P transfers) on the same clock as the recorder below.
     let tracer = ecc.attach_tracer();
@@ -82,6 +96,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         std::fs::write(&path, tracer.chrome_trace_json())?;
         println!("\nspan trace written to {} (load in Perfetto)", path.display());
         print!("\n{}", tracer.critical_path_summary("ecc.save"));
+    }
+
+    if let Some(server) = obs {
+        let hold_ms: u64 = ecc_bench::arg_value("--obs-hold-ms")
+            .map(|v| v.parse().expect("--obs-hold-ms takes an integer"))
+            .unwrap_or(0);
+        if hold_ms > 0 {
+            println!("obs: holding exporter for {hold_ms}ms");
+            std::thread::sleep(std::time::Duration::from_millis(hold_ms));
+        }
+        server.shutdown();
     }
     Ok(())
 }

@@ -1,0 +1,121 @@
+//! Exporter non-interference: attaching the live observability plane
+//! (and scraping it, hard) must leave the engine's telemetry snapshot
+//! and span trace byte-identical to a run without it. The exporter is a
+//! read-only consumer of `Recorder::snapshot()` — these tests hold it
+//! to that contract end to end through `EcCheck::serve_obs`.
+
+use ecc_cluster::{Cluster, ClusterSpec};
+use ecc_dnn::{build_worker_state_dict, ModelConfig, ParallelismSpec, StateDictSpec};
+use ecc_obs::{http_get, parse_exposition};
+use ecc_telemetry::Recorder;
+use eccheck::{EcCheck, EcCheckConfig};
+
+fn dicts(iteration: u64) -> Vec<ecc_checkpoint::StateDict> {
+    let model = ModelConfig::gpt2(64, 4, 4).with_vocab(256).with_seq_len(16);
+    let par = ParallelismSpec::new(2, 2, 2).unwrap();
+    let spec = StateDictSpec { iteration, ..StateDictSpec::new(model, par) };
+    (0..8).map(|w| build_worker_state_dict(&spec, w).unwrap()).collect()
+}
+
+/// The standard save → failure → recover workload on a manual clock.
+/// With `scrapes > 0`, serves the observability plane and scrapes
+/// `/metrics` + `/health` + `/events` that many times mid-run. Returns
+/// the snapshot JSON and the Chrome trace JSON.
+fn run_workload(scrapes: usize) -> (String, String) {
+    let spec = ClusterSpec::tiny_test(4, 2);
+    let mut cluster = Cluster::new(spec);
+    let mut ecc =
+        EcCheck::initialize(&spec, EcCheckConfig::paper_defaults().with_packet_size(2048)).unwrap();
+    let (recorder, clock) = Recorder::with_manual_clock();
+    ecc.set_recorder(recorder);
+    let tracer = ecc.attach_tracer();
+
+    let server = if scrapes > 0 {
+        Some(ecc.serve_obs("127.0.0.1:0").expect("ephemeral bind"))
+    } else {
+        None
+    };
+    let addr = server.as_ref().map(|s| s.local_addr().to_string());
+
+    let current = dicts(7);
+    for round in 0..3u64 {
+        clock.advance_ns(1_000_000);
+        ecc.save(&mut cluster, &current).unwrap();
+        if let Some(addr) = &addr {
+            for _ in 0..scrapes {
+                let body = http_get(addr, "/metrics").expect("mid-run scrape");
+                parse_exposition(&body).expect("valid exposition mid-run");
+                http_get(addr, "/health").expect("health probe");
+                http_get(addr, "/events").expect("events probe");
+            }
+        }
+        if round == 1 {
+            cluster.fail_node(1);
+            cluster.fail_node(2);
+            cluster.replace_node(1);
+            cluster.replace_node(2);
+            clock.advance_ns(250_000);
+            let (restored, _) = ecc.load(&mut cluster).unwrap();
+            assert_eq!(restored, current);
+        }
+    }
+
+    let out = (ecc.recorder().snapshot().to_json(), tracer.chrome_trace_json());
+    if let Some(server) = server {
+        server.shutdown();
+    }
+    out
+}
+
+#[test]
+fn snapshots_and_traces_are_byte_identical_with_exporter_attached() {
+    let (plain_snap, plain_trace) = run_workload(0);
+    let (obs_snap, obs_trace) = run_workload(3);
+    assert_eq!(
+        plain_snap, obs_snap,
+        "attaching and scraping the exporter must not perturb the telemetry snapshot"
+    );
+    assert_eq!(
+        plain_trace, obs_trace,
+        "attaching and scraping the exporter must not perturb the span trace"
+    );
+    // And the run measured real work — not two empty shells agreeing.
+    for key in ["ecc.save.calls", "ecc.load.calls", "ecc.save.ns"] {
+        assert!(plain_snap.contains(key), "snapshot JSON must include {key}");
+    }
+}
+
+#[test]
+fn live_scrape_reports_the_engines_progress() {
+    let spec = ClusterSpec::tiny_test(4, 2);
+    let mut cluster = Cluster::new(spec);
+    let mut ecc =
+        EcCheck::initialize(&spec, EcCheckConfig::paper_defaults().with_packet_size(2048)).unwrap();
+    let server = ecc.serve_obs("127.0.0.1:0").expect("ephemeral bind");
+    let addr = server.local_addr().to_string();
+
+    let current = dicts(11);
+    ecc.save(&mut cluster, &current).unwrap();
+    ecc.save(&mut cluster, &current).unwrap();
+
+    let scrape = parse_exposition(&http_get(&addr, "/metrics").expect("scrape")).expect("valid");
+    assert_eq!(
+        scrape.value("ecc_save_calls_total"),
+        Some(&ecc_obs::MetricValue::Int(2)),
+        "scrape must see both saves"
+    );
+    // Saves heartbeat every node: all four report alive.
+    for node in 0..4 {
+        assert_eq!(
+            scrape.labeled("ecc_node_health", &[("node", &node.to_string())]).map(|s| &s.value),
+            Some(&ecc_obs::MetricValue::Int(2)),
+            "node {node} must be alive right after a save"
+        );
+    }
+    // The engine's default SLOs ride along, burn rates included.
+    assert!(
+        scrape.labeled("ecc_slo_burn_rate", &[("slo", "traffic")]).is_some(),
+        "traffic SLO must be exported"
+    );
+    server.shutdown();
+}
