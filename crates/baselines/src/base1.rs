@@ -71,7 +71,7 @@ impl Base1 {
             .map(|w| {
                 let bytes =
                     cluster.get_remote(&key(self.version, w)).ok_or(BaselineError::NoCheckpoint)?;
-                Ok(serialize::dict_from_bytes(bytes)?)
+                Ok(serialize::dict_from_bytes(&bytes)?)
             })
             .collect()
     }

@@ -83,8 +83,7 @@ impl Base2 {
             let node: NodeId = w / self.gpus_per_node;
             let bytes = cluster
                 .get_local(node, &snap_key(version, w))
-                .ok_or(BaselineError::NoCheckpoint)?
-                .to_vec();
+                .ok_or(BaselineError::NoCheckpoint)?;
             cluster.put_remote(&remote_key(version, w), bytes);
         }
         self.persisted_version = version;
@@ -120,7 +119,7 @@ impl Base2 {
                 let bytes = cluster
                     .get_remote(&remote_key(self.persisted_version, w))
                     .ok_or(BaselineError::NoCheckpoint)?;
-                Ok(serialize::dict_from_bytes(bytes)?)
+                Ok(serialize::dict_from_bytes(&bytes)?)
             })
             .collect()
     }

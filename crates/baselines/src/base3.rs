@@ -111,7 +111,7 @@ impl Base3 {
                     .get_local(node, &key(self.version, w))
                     .or_else(|| cluster.get_local(self.partner(node), &key(self.version, w)))
                     .ok_or(BaselineError::GroupLost { group: self.group_of(node) })?;
-                Ok(serialize::dict_from_bytes(bytes)?)
+                Ok(serialize::dict_from_bytes(&bytes)?)
             })
             .collect()
     }

@@ -162,7 +162,7 @@ impl Base3Grouped {
                     .group_members(node)
                     .find_map(|member| cluster.get_local(member, &key(self.version, w)))
                     .ok_or(BaselineError::GroupLost { group: self.group_of(node) })?;
-                Ok(serialize::dict_from_bytes(bytes)?)
+                Ok(serialize::dict_from_bytes(&bytes)?)
             })
             .collect()
     }

@@ -16,7 +16,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use ecc_checkpoint::{StateDict, Value};
-use ecc_cluster::{Cluster, ClusterSpec, FailureModel, NodeId};
+use ecc_cluster::{Cluster, ClusterSpec, DataPlane, FailureModel, NodeId};
 use ecc_obs::{ObsHub, SloSpec};
 use eccheck::{keys, EcCheck, EcCheckConfig, EcCheckError, SaveMode};
 use rand::rngs::StdRng;
@@ -277,6 +277,36 @@ pub fn run_campaign_observed(
     seed: u64,
     obs: Option<&ObsHub>,
 ) -> CampaignReport {
+    let spec = ClusterSpec::tiny_test(cfg.nodes, cfg.gpus_per_node);
+    run_campaign_on_plane(cfg, seed, obs, Cluster::new(spec))
+}
+
+/// [`run_campaign_observed`] against an arbitrary inner data plane —
+/// e.g. an `ecc-net` `RemotePlane`, so the identical fault campaign
+/// runs over real sockets. The engine drives the same sequence of
+/// data-plane operations whatever the transport, so a given (config,
+/// seed) pair produces the identical fault log and outcomes on every
+/// backend — a cross-plane differential the socket tests assert.
+///
+/// `inner` must expose exactly `cfg.nodes` all-alive nodes and start
+/// with no blobs under the engine's key namespace.
+///
+/// # Panics
+///
+/// As [`run_campaign`], plus when `inner` has the wrong node count.
+pub fn run_campaign_on_plane<P: DataPlane>(
+    cfg: &CampaignConfig,
+    seed: u64,
+    obs: Option<&ObsHub>,
+    inner: P,
+) -> CampaignReport {
+    assert_eq!(
+        inner.nodes(),
+        cfg.nodes,
+        "inner plane has {} nodes, campaign wants {}",
+        inner.nodes(),
+        cfg.nodes
+    );
     let world = cfg.nodes * cfg.gpus_per_node;
     let spec = ClusterSpec::tiny_test(cfg.nodes, cfg.gpus_per_node);
     let engine_cfg = EcCheckConfig::paper_defaults()
@@ -304,7 +334,7 @@ pub fn run_campaign_observed(
         transient_get_failures: 1,
         max_bit_flips: 8,
     };
-    let mut plane = ChaosPlane::new(Cluster::new(spec), chaos_cfg);
+    let mut plane = ChaosPlane::new(inner, chaos_cfg);
     plane.set_recorder(ecc.recorder().clone());
     let tracer = ecc.attach_tracer();
     plane.set_tracer(&tracer);

@@ -50,8 +50,8 @@ mod plane;
 pub mod scenario;
 
 pub use campaign::{
-    campaign_slos, run_campaign, run_campaign_observed, CampaignConfig, CampaignReport,
-    RoundOutcome, RoundResult,
+    campaign_slos, run_campaign, run_campaign_observed, run_campaign_on_plane, CampaignConfig,
+    CampaignReport, RoundOutcome, RoundResult,
 };
 pub use plane::{ChaosConfig, ChaosPlane, FaultKind, FaultRecord};
 pub use scenario::{ChaosEvent, ScenarioSchedule};

@@ -275,10 +275,9 @@ impl<P: DataPlane> ChaosPlane<P> {
         if self.state.borrow().dead.contains(&node) {
             return false;
         }
-        let Some(blob) = self.inner.get_local(node, key) else {
+        let Some(mut blob) = self.inner.get_local(node, key) else {
             return false;
         };
-        let mut blob = blob.to_vec();
         if blob.is_empty() {
             return false;
         }
@@ -427,7 +426,7 @@ impl<P: DataPlane> DataPlane for ChaosPlane<P> {
         self.inner.put_local(node, key, bytes)
     }
 
-    fn get_local(&self, node: NodeId, key: &str) -> Option<&[u8]> {
+    fn get_local(&self, node: NodeId, key: &str) -> Option<Vec<u8>> {
         self.tick();
         {
             let mut st = self.state.borrow_mut();
@@ -491,8 +490,17 @@ impl<P: DataPlane> DataPlane for ChaosPlane<P> {
         self.inner.put_remote(key, bytes);
     }
 
-    fn get_remote(&self, key: &str) -> Option<&[u8]> {
+    fn get_remote(&self, key: &str) -> Option<Vec<u8>> {
         self.inner.get_remote(key)
+    }
+
+    fn local_keys(&self, node: NodeId) -> Vec<String> {
+        // Key listing is a control-plane query, not a storage op: no
+        // tick, no faults — but the dead overlay still hides the node.
+        if self.state.borrow().dead.contains(&node) {
+            return Vec::new();
+        }
+        self.inner.local_keys(node)
     }
 }
 
@@ -509,7 +517,7 @@ mod tests {
     fn quiet_plane_is_transparent() {
         let mut p = plane(ChaosConfig::quiet(1));
         p.put_local(0, "a", vec![1, 2, 3]).unwrap();
-        assert_eq!(p.get_local(0, "a"), Some(&[1u8, 2, 3][..]));
+        assert_eq!(p.get_local(0, "a"), Some(vec![1u8, 2, 3]));
         p.delete_local(0, "a");
         assert!(p.get_local(0, "a").is_none());
         assert!(p.fault_log().is_empty());
@@ -538,7 +546,7 @@ mod tests {
         let mut p = plane(ChaosConfig::quiet(1));
         p.put_local(1, "a", vec![7; 8]).unwrap();
         p.schedule_crash_at_op(1, p.op() + 2);
-        assert_eq!(p.get_local(1, "a"), Some(&[7u8; 8][..])); // op+1: alive
+        assert_eq!(p.get_local(1, "a"), Some(vec![7u8; 8])); // op+1: alive
         assert!(p.get_local(1, "a").is_none()); // op+2: crash fires
         assert!(!p.alive(1));
         // The wipe was queued from the `&self` read path and runs at
@@ -561,7 +569,7 @@ mod tests {
         let mut p = plane(ChaosConfig::quiet(3).with_corrupt_put(1.0));
         let original = vec![0u8; 64];
         p.put_local(0, "a", original.clone()).unwrap();
-        let stored = p.get_local(0, "a").unwrap().to_vec();
+        let stored = p.get_local(0, "a").unwrap();
         assert_eq!(stored.len(), original.len());
         assert_ne!(stored, original);
         assert!(p.fault_log().iter().any(|f| f.kind == FaultKind::CorruptPut));
@@ -571,7 +579,7 @@ mod tests {
     fn duplicated_put_is_idempotent() {
         let mut p = plane(ChaosConfig::quiet(3).with_duplicate_put(1.0));
         p.put_local(0, "a", vec![5; 32]).unwrap();
-        assert_eq!(p.get_local(0, "a"), Some(&[5u8; 32][..]));
+        assert_eq!(p.get_local(0, "a"), Some(vec![5u8; 32]));
         assert!(p.fault_log().iter().any(|f| f.kind == FaultKind::DuplicatePut));
     }
 
@@ -581,8 +589,8 @@ mod tests {
         p.put_local(0, "a", vec![1]).unwrap();
         assert!(p.get_local(0, "a").is_none());
         assert!(p.get_local(0, "a").is_none());
-        assert_eq!(p.get_local(0, "a"), Some(&[1u8][..]));
-        assert_eq!(p.get_local(0, "a"), Some(&[1u8][..]));
+        assert_eq!(p.get_local(0, "a"), Some(vec![1u8]));
+        assert_eq!(p.get_local(0, "a"), Some(vec![1u8]));
         let transients = p.fault_log().iter().filter(|f| f.kind == FaultKind::TransientGet).count();
         assert_eq!(transients, 2);
     }

@@ -162,12 +162,16 @@ impl Cluster {
     }
 
     /// Reads a blob from a live node's host memory.
-    pub fn get_local(&self, node: NodeId, key: &str) -> Option<&[u8]> {
+    ///
+    /// Returns an owned copy: the [`DataPlane`] contract is
+    /// owned-bytes so socket-backed planes can satisfy it, and the
+    /// in-memory plane plays by the same rules.
+    pub fn get_local(&self, node: NodeId, key: &str) -> Option<Vec<u8>> {
         let n = self.nodes.get(node)?;
         if !n.alive {
             return None;
         }
-        n.store.get(key)
+        n.store.get(key).map(<[u8]>::to_vec)
     }
 
     /// Removes and returns a blob from a live node's host memory.
@@ -244,9 +248,10 @@ impl Cluster {
         self.remote.put(key, bytes);
     }
 
-    /// Reads a blob from remote storage.
-    pub fn get_remote(&self, key: &str) -> Option<&[u8]> {
-        self.remote.get(key)
+    /// Reads a blob from remote storage (owned copy; see
+    /// [`Cluster::get_local`]).
+    pub fn get_remote(&self, key: &str) -> Option<Vec<u8>> {
+        self.remote.get(key).map(<[u8]>::to_vec)
     }
 
     /// Bytes held in remote storage.
@@ -386,7 +391,13 @@ pub trait DataPlane {
     fn put_local(&mut self, node: NodeId, key: &str, bytes: Vec<u8>) -> Result<(), ClusterError>;
 
     /// Reads a blob from a live node's host memory.
-    fn get_local(&self, node: NodeId, key: &str) -> Option<&[u8]>;
+    ///
+    /// Returns *owned* bytes. A borrowed return (`Option<&[u8]>`) would
+    /// tie the blob's lifetime to the plane's own storage — impossible
+    /// for a socket-backed plane, whose bytes arrive off the wire and
+    /// belong to no long-lived buffer. Owned bytes are the only
+    /// signature every transport can satisfy.
+    fn get_local(&self, node: NodeId, key: &str) -> Option<Vec<u8>>;
 
     /// Deletes a blob if present (no error when absent or node dead).
     fn delete_local(&mut self, node: NodeId, key: &str);
@@ -394,8 +405,14 @@ pub trait DataPlane {
     /// Stores a blob in persistent remote storage.
     fn put_remote(&mut self, key: &str, bytes: Vec<u8>);
 
-    /// Reads a blob from remote storage.
-    fn get_remote(&self, key: &str) -> Option<&[u8]>;
+    /// Reads a blob from remote storage (owned bytes; see
+    /// [`DataPlane::get_local`]).
+    fn get_remote(&self, key: &str) -> Option<Vec<u8>>;
+
+    /// Keys stored on a live node, sorted. Empty for dead or
+    /// out-of-range nodes. Used for cross-process checkpoint-version
+    /// discovery.
+    fn local_keys(&self, node: NodeId) -> Vec<String>;
 }
 
 impl DataPlane for Cluster {
@@ -411,7 +428,7 @@ impl DataPlane for Cluster {
         Cluster::put_local(self, node, key, bytes)
     }
 
-    fn get_local(&self, node: NodeId, key: &str) -> Option<&[u8]> {
+    fn get_local(&self, node: NodeId, key: &str) -> Option<Vec<u8>> {
         Cluster::get_local(self, node, key)
     }
 
@@ -423,8 +440,12 @@ impl DataPlane for Cluster {
         Cluster::put_remote(self, key, bytes)
     }
 
-    fn get_remote(&self, key: &str) -> Option<&[u8]> {
+    fn get_remote(&self, key: &str) -> Option<Vec<u8>> {
         Cluster::get_remote(self, key)
+    }
+
+    fn local_keys(&self, node: NodeId) -> Vec<String> {
+        Cluster::local_keys(self, node)
     }
 }
 
@@ -498,7 +519,7 @@ impl DataPlane for ClusterView<'_> {
         self.cluster.put_local(node, &key, bytes)
     }
 
-    fn get_local(&self, node: NodeId, key: &str) -> Option<&[u8]> {
+    fn get_local(&self, node: NodeId, key: &str) -> Option<Vec<u8>> {
         let node = self.global(node);
         let key = self.key(key);
         self.cluster.get_local(node, &key)
@@ -515,9 +536,21 @@ impl DataPlane for ClusterView<'_> {
         self.cluster.put_remote(&key, bytes)
     }
 
-    fn get_remote(&self, key: &str) -> Option<&[u8]> {
+    fn get_remote(&self, key: &str) -> Option<Vec<u8>> {
         let key = self.key(key);
         self.cluster.get_remote(&key)
+    }
+
+    fn local_keys(&self, node: NodeId) -> Vec<String> {
+        let global = self.global(node);
+        let mut keys: Vec<String> = self
+            .cluster
+            .local_keys(global)
+            .into_iter()
+            .filter_map(|k| k.strip_prefix(&self.prefix).map(str::to_string))
+            .collect();
+        keys.sort_unstable();
+        keys
     }
 }
 

@@ -31,6 +31,13 @@ pub enum ClusterError {
         /// Bytes still available.
         available: u64,
     },
+    /// The data plane's transport failed (connection refused, reset,
+    /// timed out, or spoke a malformed protocol). Only socket-backed
+    /// planes produce this; the in-memory plane never does.
+    Transport {
+        /// Human-readable cause.
+        detail: String,
+    },
 }
 
 impl fmt::Display for ClusterError {
@@ -43,6 +50,7 @@ impl fmt::Display for ClusterError {
                 f,
                 "node {node} host memory exhausted: requested {requested} bytes, {available} available"
             ),
+            ClusterError::Transport { detail } => write!(f, "data-plane transport failed: {detail}"),
         }
     }
 }

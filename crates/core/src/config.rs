@@ -48,6 +48,8 @@ pub struct EcCheckConfig {
     remote_flush_every: u64,
     use_idle_slots: bool,
     fetch_retries: usize,
+    fetch_backoff_base_ns: u64,
+    fetch_backoff_cap_ns: u64,
     save_mode: SaveMode,
     pipeline_buffer: usize,
     pipeline_depth: usize,
@@ -71,6 +73,8 @@ impl EcCheckConfig {
             remote_flush_every: 50,
             use_idle_slots: true,
             fetch_retries: 2,
+            fetch_backoff_base_ns: 200_000,
+            fetch_backoff_cap_ns: 50_000_000,
             save_mode: SaveMode::Pipelined,
             pipeline_buffer: 4 << 20,
             pipeline_depth: 8,
@@ -184,6 +188,17 @@ impl EcCheckConfig {
         self
     }
 
+    /// Overrides the fetch-retry backoff policy: attempt `n` (0-based)
+    /// waits `min(base << n, cap)` nanoseconds before retrying. Instant
+    /// retries were correct against the in-memory plane but hot-spin
+    /// against a real server; `base = 0` restores them for tests that
+    /// must not sleep.
+    pub fn with_fetch_backoff(mut self, base_ns: u64, cap_ns: u64) -> Self {
+        self.fetch_backoff_base_ns = base_ns;
+        self.fetch_backoff_cap_ns = cap_ns;
+        self
+    }
+
     /// Number of data nodes.
     pub fn k(&self) -> usize {
         self.k
@@ -237,6 +252,16 @@ impl EcCheckConfig {
     /// Bounded retry budget for recovery fetches.
     pub fn fetch_retries(&self) -> usize {
         self.fetch_retries
+    }
+
+    /// First-retry backoff delay in nanoseconds (0 = no backoff).
+    pub fn fetch_backoff_base_ns(&self) -> u64 {
+        self.fetch_backoff_base_ns
+    }
+
+    /// Ceiling on a single backoff delay in nanoseconds.
+    pub fn fetch_backoff_cap_ns(&self) -> u64 {
+        self.fetch_backoff_cap_ns
     }
 
     /// How the save path executes.
@@ -356,6 +381,7 @@ mod tests {
             .with_remote_flush_every(10)
             .with_idle_slots(false)
             .with_fetch_retries(5)
+            .with_fetch_backoff(1_000, 8_000)
             .with_save_mode(SaveMode::Sequential)
             .with_pipeline_buffer(1 << 16)
             .with_pipeline_depth(1);
@@ -365,6 +391,7 @@ mod tests {
         assert_eq!(c.remote_flush_every(), 10);
         assert!(!c.use_idle_slots());
         assert_eq!(c.fetch_retries(), 5);
+        assert_eq!((c.fetch_backoff_base_ns(), c.fetch_backoff_cap_ns()), (1_000, 8_000));
         assert_eq!(c.save_mode(), SaveMode::Sequential);
         assert_eq!(c.pipeline_buffer(), 1 << 16);
         assert_eq!(c.pipeline_depth(), 2, "depth clamps to a working minimum");

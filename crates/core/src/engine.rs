@@ -309,6 +309,41 @@ impl EcCheck {
         self.version
     }
 
+    /// Adopts a checkpoint this engine did not write, so a fresh
+    /// process can [`EcCheck::load`] state saved by another one (e.g.
+    /// over a socket-backed plane). Reads `version`'s packet-layout
+    /// manifest from any alive node — falling back to the remote copy —
+    /// and fast-forwards the engine to that version. Use
+    /// [`crate::keys::latest_manifest_version`] to discover the newest
+    /// version on a plane.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EcCheckError::NoCheckpoint`] when no alive node (and
+    /// not remote storage either) holds a manifest for `version`, and
+    /// [`EcCheckError::Config`] when the manifest bytes are malformed.
+    pub fn adopt_version(
+        &mut self,
+        cluster: &impl DataPlane,
+        version: u64,
+    ) -> Result<(), EcCheckError> {
+        let key = manifest_key(version);
+        let blob = (0..cluster.nodes())
+            .filter(|&node| cluster.alive(node))
+            .find_map(|node| cluster.get_local(node, &key))
+            .or_else(|| cluster.get_remote(&remote_manifest_key(version)))
+            .ok_or(EcCheckError::NoCheckpoint)?;
+        let bytes: [u8; 8] = blob.as_slice().try_into().map_err(|_| EcCheckError::Config {
+            detail: format!("manifest for v{version} is {} bytes, expected 8", blob.len()),
+        })?;
+        self.packets_per_worker = u64::from_le_bytes(bytes) as usize;
+        self.version = version;
+        self.saves = version;
+        self.recorder.counter("ecc.adopt.calls").incr();
+        self.recorder.event("ecc.adopt", format!("adopted checkpoint v{version}"));
+        Ok(())
+    }
+
     /// `eccheck.save`: checkpoints all workers' `state_dict`s into
     /// erasure-coded host memory across the cluster.
     ///
@@ -762,6 +797,25 @@ impl EcCheck {
         ))
     }
 
+    /// Sleeps the bounded exponential backoff before retry `attempt + 1`
+    /// (`attempt` is 0-based): `min(base << attempt, cap)` nanoseconds.
+    /// Instant retries are correct against the in-memory plane but
+    /// hot-spin a real server. The nominal delay is pure config — the
+    /// counters below advance identically on every run with the same
+    /// fault pattern, so ManualClock tests stay byte-identical; only
+    /// the sleep itself touches wall time.
+    fn backoff_wait(&self, attempt: usize) {
+        let base = self.config.fetch_backoff_base_ns();
+        if base == 0 {
+            return;
+        }
+        let shift = attempt.min(20) as u32;
+        let delay = base.saturating_mul(1 << shift).min(self.config.fetch_backoff_cap_ns());
+        self.recorder.counter("ecc.load.backoff.waits").incr();
+        self.recorder.counter("ecc.load.backoff.budget_ns").add(delay);
+        std::thread::sleep(std::time::Duration::from_nanos(delay));
+    }
+
     /// Fetches and checksum-verifies one node's chunk, retrying a
     /// transiently missing blob up to `fetch_retries` times before
     /// declaring the node's chunk lost.
@@ -780,8 +834,8 @@ impl EcCheck {
             let blob = cluster.get_local(node, &chunk_key(version));
             let crc = cluster.get_local(node, &chunk_crc_key(version));
             if let (Some(blob), Some(crc)) = (blob, crc) {
-                if verify_checksum(blob, crc) {
-                    return ChunkFetch::Intact(blob.to_vec());
+                if verify_checksum(&blob, &crc) {
+                    return ChunkFetch::Intact(blob);
                 }
                 return ChunkFetch::Corrupt;
             }
@@ -794,6 +848,7 @@ impl EcCheck {
                         format!("node {node} chunk, attempt {}", attempt + 1),
                     );
                 }
+                self.backoff_wait(attempt);
             }
         }
         ChunkFetch::Missing
@@ -829,7 +884,7 @@ impl EcCheck {
                     let blob = cluster.get_local(node, &header_key(version, w));
                     let crc = cluster.get_local(node, &header_crc_key(version, w));
                     let (Some(blob), Some(crc)) = (blob, crc) else { continue };
-                    if !verify_checksum(blob, crc) {
+                    if !verify_checksum(&blob, &crc) {
                         if attempt == 0 {
                             self.recorder.counter("ecc.load.corrupt_headers").incr();
                             self.recorder.event(
@@ -849,11 +904,12 @@ impl EcCheck {
                             );
                         }
                     }
-                    found = Some(blob.to_vec());
+                    found = Some(blob);
                     break 'attempts;
                 }
                 if attempt < retries {
                     self.recorder.counter("ecc.load.fetch_retries").incr();
+                    self.backoff_wait(attempt);
                 }
             }
             if found.is_none() {
@@ -861,9 +917,9 @@ impl EcCheck {
                 let blob = cluster.get_remote(&remote_header_key(version, w));
                 let crc = cluster.get_remote(&remote_header_crc_key(version, w));
                 if let (Some(blob), Some(crc)) = (blob, crc) {
-                    if verify_checksum(blob, crc) {
+                    if verify_checksum(&blob, &crc) {
                         self.recorder.counter("ecc.load.header_remote").incr();
-                        found = Some(blob.to_vec());
+                        found = Some(blob);
                     }
                 }
             }
@@ -899,12 +955,12 @@ impl EcCheck {
             cluster.get_local(node, &chunk_key(version)).ok_or(EcCheckError::NoCheckpoint)?;
         let crc =
             cluster.get_local(node, &chunk_crc_key(version)).ok_or(EcCheckError::NoCheckpoint)?;
-        if !verify_checksum(blob, crc) {
+        if !verify_checksum(&blob, &crc) {
             self.recorder.counter("ecc.update.corrupt_chunks").incr();
             self.recorder.event("ecc.update.corrupt", format!("node {node} chunk failed checksum"));
             return Err(EcCheckError::CorruptChunk { node });
         }
-        Ok(blob.to_vec())
+        Ok(blob)
     }
 
     /// Incrementally updates one worker's shard in the *current*
@@ -1052,7 +1108,7 @@ impl EcCheck {
             let blob = cluster.get_local(node, &chunk_key(version));
             let crc = cluster.get_local(node, &chunk_crc_key(version));
             let (Some(blob), Some(crc)) = (blob, crc) else { continue };
-            if !verify_checksum(blob, crc) {
+            if !verify_checksum(&blob, &crc) {
                 // Never propagate a corrupt chunk into the remote copy
                 // of last resort.
                 self.recorder.counter("ecc.flush.skipped_corrupt").incr();
@@ -1060,7 +1116,6 @@ impl EcCheck {
                     .event("ecc.flush.corrupt", format!("node {node} chunk failed checksum"));
                 continue;
             }
-            let (blob, crc) = (blob.to_vec(), crc.to_vec());
             cluster.put_remote(&remote_chunk_key(version, node), blob);
             cluster.put_remote(&remote_chunk_crc_key(version, node), crc);
         }
@@ -1073,10 +1128,9 @@ impl EcCheck {
                 let h = cluster.get_local(node, &header_key(version, w));
                 let crc = cluster.get_local(node, &header_crc_key(version, w));
                 let (Some(h), Some(crc)) = (h, crc) else { continue };
-                if !verify_checksum(h, crc) {
+                if !verify_checksum(&h, &crc) {
                     continue;
                 }
-                let (h, crc) = (h.to_vec(), crc.to_vec());
                 cluster.put_remote(&remote_header_key(version, w), h);
                 cluster.put_remote(&remote_header_crc_key(version, w), crc);
                 break;
@@ -1135,7 +1189,7 @@ impl EcCheck {
             let blob = cluster.get_remote(&remote_chunk_key(version, node));
             let crc = cluster.get_remote(&remote_chunk_crc_key(version, node));
             let (Some(blob), Some(crc)) = (blob, crc) else { continue };
-            if !verify_checksum(blob, crc) {
+            if !verify_checksum(&blob, &crc) {
                 self.recorder.counter("ecc.load.corrupt_chunks").incr();
                 self.recorder.event(
                     "ecc.load.corrupt",
@@ -1143,7 +1197,7 @@ impl EcCheck {
                 );
                 continue;
             }
-            shards[self.chunk_id_of_node(node)] = Some(blob.to_vec());
+            shards[self.chunk_id_of_node(node)] = Some(blob);
         }
         let survivors = shards.iter().filter(|s| s.is_some()).count();
         if survivors < k {
@@ -1176,8 +1230,8 @@ impl EcCheck {
             let blob = cluster.get_remote(&remote_header_key(version, w));
             let crc = cluster.get_remote(&remote_header_crc_key(version, w));
             match (blob, crc) {
-                (Some(blob), Some(crc)) if verify_checksum(blob, crc) => {
-                    headers.push(blob.to_vec());
+                (Some(blob), Some(crc)) if verify_checksum(&blob, &crc) => {
+                    headers.push(blob);
                 }
                 _ => lost_workers.push(w),
             }

@@ -100,6 +100,29 @@ pub fn key_version(key: &str) -> Option<u64> {
     tail[..end].parse().ok()
 }
 
+/// Scans a data plane for the newest checkpoint version that has a
+/// manifest on some alive node, so a fresh process can adopt a
+/// checkpoint it did not write (see `EcCheck::adopt_version`). Returns
+/// `None` when no alive node holds a manifest. Remote storage is not
+/// probed: it has no key listing and is only flushed periodically, so
+/// its newest manifest may lag the cluster's.
+pub fn latest_manifest_version(plane: &impl ecc_cluster::DataPlane) -> Option<u64> {
+    let mut latest = None;
+    for node in 0..plane.nodes() {
+        if !plane.alive(node) {
+            continue;
+        }
+        for key in plane.local_keys(node) {
+            if let Some(rest) = key.strip_prefix("ecc/v") {
+                if let Some(v) = rest.strip_suffix("/manifest").and_then(|v| v.parse().ok()) {
+                    latest = latest.max(Some(v));
+                }
+            }
+        }
+    }
+    latest
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

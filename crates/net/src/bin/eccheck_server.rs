@@ -1,0 +1,61 @@
+//! `eccheck-server`: hosts an in-memory cluster data plane over TCP.
+//!
+//! ```text
+//! eccheck-server [--addr HOST:PORT] [--nodes N] [--gpus G]
+//!                [--fail-after-requests R]
+//! ```
+//!
+//! Prints the bound address on stdout (one line, flushed) so scripts
+//! using port 0 can discover the ephemeral port, then serves until
+//! killed. `--fail-after-requests` wedges the server after serving
+//! that many requests — the fault-injection mode the CI connection-
+//! drop drill uses.
+
+use ecc_cluster::{Cluster, ClusterSpec};
+use ecc_net::{CheckpointServer, ServerConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: eccheck-server [--addr HOST:PORT] [--nodes N] [--gpus G] \
+         [--fail-after-requests R]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut addr = "127.0.0.1:7070".to_string();
+    let mut nodes = 4usize;
+    let mut gpus = 2usize;
+    let mut cfg = ServerConfig::default();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = || args.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--addr" => addr = value(),
+            "--nodes" => nodes = value().parse().unwrap_or_else(|_| usage()),
+            "--gpus" => gpus = value().parse().unwrap_or_else(|_| usage()),
+            "--fail-after-requests" => {
+                cfg.fail_after_requests = Some(value().parse().unwrap_or_else(|_| usage()));
+            }
+            _ => usage(),
+        }
+    }
+
+    let cluster = Cluster::new(ClusterSpec::tiny_test(nodes, gpus));
+    let server = match CheckpointServer::serve(cluster, &addr, cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("eccheck-server: cannot bind {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("{}", server.local_addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    eprintln!("eccheck-server: serving {nodes} nodes x {gpus} GPUs on {}", server.local_addr());
+
+    loop {
+        std::thread::park();
+    }
+}

@@ -1,0 +1,127 @@
+//! Hostile-input property suite for the wire codec.
+//!
+//! The decode path faces bytes from an arbitrary peer, so the
+//! properties are absolute: **no panic, no unbounded allocation** on
+//! any input — garbage decodes to a structured [`WireError`] — and
+//! every legitimately encoded frame round-trips to an equal value.
+
+use std::io::Cursor;
+
+use ecc_net::codec::{
+    decode_request, decode_response, encode_request, encode_response, read_frame, Request,
+    Response, WireError,
+};
+use ecc_net::MAX_FRAME;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary payload bytes never panic the request decoder; they
+    /// either parse (the fuzzer stumbled onto a valid encoding) or
+    /// yield a structured error.
+    #[test]
+    fn garbage_never_panics_request_decode(
+        payload in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let _ = decode_request(&payload);
+    }
+
+    /// Same for the response decoder.
+    #[test]
+    fn garbage_never_panics_response_decode(
+        payload in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let _ = decode_response(&payload);
+    }
+
+    /// Arbitrary *streams* never panic the framer, and a hostile
+    /// length prefix can never make it allocate past the cap: either
+    /// the stream happens to contain a full in-cap frame, or the
+    /// framer reports Truncated/Oversized.
+    #[test]
+    fn garbage_streams_never_panic_read_frame(
+        stream in proptest::collection::vec(any::<u8>(), 0..256),
+        cap in 0usize..64,
+    ) {
+        match read_frame(&mut Cursor::new(&stream), cap) {
+            Ok(frame) => prop_assert!(frame.len() <= cap),
+            Err(WireError::Truncated | WireError::Oversized { .. } | WireError::Io(_)) => {}
+            Err(other) => prop_assert!(false, "unexpected framer error {other:?}"),
+        }
+    }
+
+    /// Every encodable request survives encode → decode unchanged.
+    #[test]
+    fn requests_round_trip(
+        op in 0usize..6,
+        node in any::<u32>(),
+        key in proptest::collection::vec(any::<u8>(), 0..40),
+        blob in proptest::collection::vec(any::<u8>(), 0..200),
+    ) {
+        let key: String = key.into_iter().map(|b| char::from(b'a' + b % 26)).collect();
+        let req = match op {
+            0 => Request::PutLocal { node, key, blob },
+            1 => Request::GetLocal { node, key },
+            2 => Request::DeleteLocal { node, key },
+            3 => Request::PutRemote { key, blob },
+            4 => Request::GetRemote { key },
+            _ => Request::ListKeys { node },
+        };
+        prop_assert_eq!(decode_request(&encode_request(&req)).unwrap(), req);
+    }
+
+    /// Every encodable response survives encode → decode unchanged,
+    /// including structured cluster errors.
+    #[test]
+    fn responses_round_trip(
+        kind in 0usize..5,
+        blob in proptest::collection::vec(any::<u8>(), 0..200),
+        n in any::<u32>(),
+    ) {
+        let resp = match kind {
+            0 => Response::Ok,
+            1 => Response::Blob(blob),
+            2 => Response::NotFound,
+            3 => Response::Count(n),
+            _ => Response::Err(ecc_cluster::ClusterError::NodeDown { node: n as usize }),
+        };
+        prop_assert_eq!(decode_response(&encode_response(&resp)).unwrap(), resp);
+    }
+
+    /// A blob with any single bit flipped anywhere in its CRC-framed
+    /// body must decode to CrcMismatch — never to a different blob.
+    #[test]
+    fn bit_flips_cannot_forge_blobs(
+        blob in proptest::collection::vec(any::<u8>(), 1..64),
+        flip_pos in any::<u16>(),
+        flip_bit in 0u8..8,
+    ) {
+        let mut encoded = encode_response(&Response::Blob(blob.clone()));
+        // Flip within the blob body + CRC trailer (skip the status tag:
+        // flipping that legitimately changes the response kind).
+        let pos = 1 + (flip_pos as usize) % (encoded.len() - 1);
+        encoded[pos] ^= 1 << flip_bit;
+        match decode_response(&encoded) {
+            Ok(Response::Blob(decoded)) => prop_assert_eq!(decoded, blob),
+            Ok(other) => prop_assert!(false, "forged {other:?}"),
+            Err(WireError::CrcMismatch | WireError::Truncated) => {}
+            Err(other) => prop_assert!(false, "unexpected error {other:?}"),
+        }
+    }
+
+    /// The framer caps allocation strictly: a prefix advertising more
+    /// than the cap is rejected even when the cap is MAX_FRAME.
+    #[test]
+    fn oversized_prefixes_rejected_at_full_cap(extra in 1u64..1_000_000) {
+        let len = (MAX_FRAME as u64 + extra).min(u32::MAX as u64) as u32;
+        let bytes = len.to_le_bytes();
+        match read_frame(&mut Cursor::new(&bytes[..]), MAX_FRAME) {
+            Err(WireError::Oversized { len: l, max }) => {
+                prop_assert_eq!(l, u64::from(len));
+                prop_assert_eq!(max, MAX_FRAME);
+            }
+            other => prop_assert!(false, "expected Oversized, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,234 @@
+//! Cross-process contract tests over a loopback checkpoint server.
+//!
+//! Everything the engine promises on the in-memory plane must hold
+//! verbatim when the plane lives behind a socket: bit-exact restore
+//! in a *different* engine (standing in for a different OS process —
+//! the CI `net` job repeats the drill with real processes), recovery
+//! under ≤ m crashes, clean refusal past m, survival of the previous
+//! checkpoint when the server dies mid-save, and an identical chaos
+//! fault log whatever the transport.
+
+use ecc_chaos::{run_campaign, run_campaign_on_plane, CampaignConfig, ChaosConfig, ChaosPlane};
+use ecc_checkpoint::{StateDict, Value};
+use ecc_cluster::{Cluster, ClusterError, ClusterSpec, DataPlane};
+use ecc_net::{CheckpointServer, RemotePlane, ServerConfig};
+use eccheck::{keys, EcCheck, EcCheckConfig, EcCheckError};
+
+const NODES: usize = 4;
+const GPUS: usize = 2;
+const K: usize = 2;
+const M: usize = 2;
+
+fn start_server() -> (CheckpointServer<Cluster>, String) {
+    let cluster = Cluster::new(ClusterSpec::tiny_test(NODES, GPUS));
+    let server = CheckpointServer::serve(cluster, "127.0.0.1:0", ServerConfig::default())
+        .expect("loopback bind");
+    let addr = server.local_addr().to_string();
+    (server, addr)
+}
+
+fn engine() -> EcCheck {
+    let spec = ClusterSpec::tiny_test(NODES, GPUS);
+    let cfg = EcCheckConfig::paper_defaults()
+        .with_km(K, M)
+        .with_packet_size(256)
+        .with_remote_flush_every(0)
+        .with_fetch_retries(2)
+        .with_fetch_backoff(0, 0);
+    EcCheck::initialize(&spec, cfg).expect("valid engine config")
+}
+
+fn dicts(tag: &str) -> Vec<StateDict> {
+    (0..NODES * GPUS)
+        .map(|w| {
+            let mut sd = StateDict::new();
+            sd.insert("rank", Value::Int(w as i64));
+            sd.insert("tag", Value::Str(format!("{tag}-{w}")));
+            sd.insert("payload", Value::Bytes((0..=200u8).map(|b| b ^ (w as u8)).collect()));
+            sd
+        })
+        .collect()
+}
+
+/// A checkpoint saved by one engine restores bit-exactly in a fresh
+/// engine that discovers and adopts it over the wire — the in-process
+/// version of the two-OS-process CI drill.
+#[test]
+fn fresh_engine_adopts_and_restores_over_tcp() {
+    let (server, addr) = start_server();
+
+    let mut saver = RemotePlane::connect(&addr).expect("connect saver");
+    let mut ecc_a = engine();
+    let state = dicts("xproc");
+    let report = ecc_a.save(&mut saver, &state).expect("save over tcp");
+    assert_eq!(report.version, 1);
+    drop(saver); // "process A" exits
+
+    let mut loader = RemotePlane::connect(&addr).expect("connect loader");
+    let mut ecc_b = engine();
+    let version = keys::latest_manifest_version(&loader).expect("manifest is discoverable");
+    assert_eq!(version, 1);
+    ecc_b.adopt_version(&loader, version).expect("adopt");
+    let (restored, _) = ecc_b.load(&mut loader).expect("load over tcp");
+    assert_eq!(restored, state, "cross-engine restore must be bit-exact");
+
+    server.shutdown();
+}
+
+/// ChaosPlane wraps the socket plane exactly like the in-memory one:
+/// up to `m` crashes recover bit-exactly...
+#[test]
+fn chaos_over_tcp_recovers_within_budget() {
+    let (server, addr) = start_server();
+    let remote = RemotePlane::connect(&addr).expect("connect");
+    let mut chaos = ChaosPlane::new(remote, ChaosConfig::quiet(11));
+
+    let mut ecc = engine();
+    let state = dicts("budget");
+    ecc.save(&mut chaos, &state).expect("save");
+    for node in 0..M {
+        chaos.crash_now(node);
+    }
+    let (restored, report) = ecc.load(&mut chaos).expect("m crashes are survivable");
+    assert_eq!(restored, state);
+    assert!(report.rebuilt_chunks >= M);
+
+    server.shutdown();
+}
+
+/// ...and past `m` the engine refuses cleanly, never returns garbage.
+#[test]
+fn chaos_over_tcp_refuses_past_budget() {
+    let (server, addr) = start_server();
+    let remote = RemotePlane::connect(&addr).expect("connect");
+    let mut chaos = ChaosPlane::new(remote, ChaosConfig::quiet(13));
+
+    let mut ecc = engine();
+    ecc.save(&mut chaos, &dicts("pastm")).expect("save");
+    for node in 0..=M {
+        chaos.crash_now(node);
+    }
+    match ecc.load(&mut chaos) {
+        Err(EcCheckError::Unrecoverable { survivors, needed, .. }) => {
+            assert!(survivors < needed);
+        }
+        other => panic!("expected clean Unrecoverable, got {other:?}"),
+    }
+
+    server.shutdown();
+}
+
+/// A server that dies mid-save must fail the save with a structured
+/// transport error — and the *previous* checkpoint must still restore
+/// bit-exactly once the server is back.
+#[test]
+fn old_checkpoint_survives_connection_drop_mid_save() {
+    let plane = std::sync::Arc::new(std::sync::Mutex::new(Cluster::new(ClusterSpec::tiny_test(
+        NODES, GPUS,
+    ))));
+
+    // Healthy server: checkpoint v1 lands.
+    let server = CheckpointServer::serve_shared(
+        std::sync::Arc::clone(&plane),
+        "127.0.0.1:0",
+        ServerConfig::default(),
+    )
+    .expect("bind");
+    let addr = server.local_addr().to_string();
+    let mut remote = RemotePlane::connect(&addr).expect("connect");
+    let mut ecc = engine();
+    let v1_state = dicts("v1");
+    ecc.save(&mut remote, &v1_state).expect("v1 save");
+    server.shutdown();
+
+    // Restart over the same plane, rigged to wedge almost immediately:
+    // the v2 save dies mid-flight with a Transport error.
+    let rigged = ServerConfig { fail_after_requests: Some(3), ..ServerConfig::default() };
+    let server = CheckpointServer::serve_shared(std::sync::Arc::clone(&plane), &addr, rigged)
+        .expect("rebind");
+    let mut remote = RemotePlane::connect(&addr).expect("reconnect");
+    let err = ecc.save(&mut remote, &dicts("v2")).expect_err("wedged server must fail the save");
+    let is_transport = matches!(&err, EcCheckError::Cluster(ClusterError::Transport { .. }));
+    assert!(is_transport, "expected a transport failure, got {err:?}");
+    assert_eq!(ecc.version(), 1, "a failed save must not advance the version");
+    server.shutdown();
+
+    // Healthy again: v1 is still the latest manifest and restores
+    // bit-exactly in a fresh engine.
+    let server = CheckpointServer::serve_shared(
+        std::sync::Arc::clone(&plane),
+        &addr,
+        ServerConfig::default(),
+    )
+    .expect("rebind healthy");
+    let mut remote = RemotePlane::connect(&addr).expect("reconnect healthy");
+    let mut fresh = engine();
+    let version = keys::latest_manifest_version(&remote).expect("manifest survives");
+    assert_eq!(version, 1, "the half-written v2 must not be discoverable");
+    fresh.adopt_version(&remote, version).expect("adopt v1");
+    let (restored, _) = fresh.load(&mut remote).expect("v1 still loads");
+    assert_eq!(restored, v1_state);
+    server.shutdown();
+}
+
+/// The full seeded chaos campaign, ChaosPlane-over-socket: same
+/// (config, seed) must produce the identical fault log and outcome
+/// sequence as the in-memory campaign — the transport is invisible.
+#[test]
+fn campaign_fault_log_is_transport_invariant() {
+    let cfg = CampaignConfig { rounds: 3, ..CampaignConfig::standard() };
+    let seed = 21;
+
+    let (server, addr) = start_server();
+    let remote = RemotePlane::connect(&addr).expect("connect");
+    let socket_report = run_campaign_on_plane(&cfg, seed, None, remote);
+    server.shutdown();
+
+    assert!(socket_report.passed(), "violations: {:?}", socket_report.violations);
+
+    let memory_report = run_campaign(&cfg, seed);
+    assert_eq!(
+        socket_report.fault_log, memory_report.fault_log,
+        "identical seeds must inject identical faults on both transports"
+    );
+    assert_eq!(socket_report.outcomes, memory_report.outcomes);
+}
+
+/// Raw plane semantics over the wire: quota errors round-trip as
+/// structured `ClusterError`s, absent keys are `None`, key listing
+/// and liveness work, and out-of-range admin ops are refused rather
+/// than panicking the server.
+#[test]
+fn wire_plane_preserves_data_plane_semantics() {
+    let (server, addr) = start_server();
+    let mut remote = RemotePlane::connect(&addr).expect("connect");
+
+    assert_eq!(remote.nodes(), NODES);
+    assert!(remote.ping());
+    assert!(remote.alive(0));
+    assert!(!remote.alive(NODES + 5), "out-of-range node is not alive");
+
+    assert_eq!(remote.get_local(0, "nope"), None);
+    remote.put_local(0, "a", vec![1, 2, 3]).expect("put");
+    remote.put_local(0, "b", vec![4]).expect("put");
+    assert_eq!(remote.get_local(0, "a"), Some(vec![1, 2, 3]));
+    assert_eq!(remote.local_keys(0), vec!["a".to_string(), "b".to_string()]);
+    remote.delete_local(0, "a");
+    assert_eq!(remote.get_local(0, "a"), None);
+
+    remote.put_remote("r", vec![9, 9]);
+    assert_eq!(remote.get_remote("r"), Some(vec![9, 9]));
+
+    // A structured error survives the wire as the same variant.
+    remote.fail_node(1).expect("fail in range");
+    let err = remote.put_local(1, "x", vec![0]).expect_err("dead node refuses writes");
+    assert_eq!(err, ClusterError::NodeDown { node: 1 });
+    remote.replace_node(1).expect("replace in range");
+    assert!(remote.alive(1));
+
+    // Hostile admin input is refused, not a server panic.
+    assert!(remote.fail_node(10_000).is_err());
+    assert!(remote.replace_node(10_000).is_err());
+
+    server.shutdown();
+}
