@@ -21,6 +21,12 @@
 //!   at most `m` chunk-class faults must round-trip **bit-exactly**;
 //!   more than `m` must fail with a clean
 //!   [`eccheck::EcCheckError::Unrecoverable`] — never garbage state.
+//! * [`churn`] attacks the *elastic* half of the contract: rounds of
+//!   node drains, crashes, and replacement joins driven through an
+//!   `ecc_membership::PlacementController`, asserting that the m-fault
+//!   guarantee holds at every instant, placement epochs stay strictly
+//!   monotone, stale engines are fenced, and chunk migration traffic
+//!   never exceeds the naive full-re-encode bound.
 //!
 //! # Examples
 //!
@@ -46,6 +52,7 @@
 #![warn(missing_docs)]
 
 pub mod campaign;
+pub mod churn;
 mod plane;
 pub mod scenario;
 
@@ -53,5 +60,6 @@ pub use campaign::{
     campaign_slos, run_campaign, run_campaign_observed, run_campaign_on_plane, CampaignConfig,
     CampaignReport, RoundOutcome, RoundResult,
 };
+pub use churn::{run_churn_campaign, ChurnConfig, ChurnReport, ChurnRound};
 pub use plane::{ChaosConfig, ChaosPlane, FaultKind, FaultRecord};
 pub use scenario::{ChaosEvent, ScenarioSchedule};

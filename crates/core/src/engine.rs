@@ -23,8 +23,9 @@ use ecc_trace::{Tracer, TrackId, DRIVER_PID};
 
 use crate::config::SaveMode;
 use crate::keys::{
-    chunk_crc_key, chunk_key, header_crc_key, header_key, manifest_key, remote_chunk_crc_key,
-    remote_chunk_key, remote_header_crc_key, remote_header_key, remote_manifest_key,
+    chunk_crc_key, chunk_key, committed_epoch, encode_epoch, epoch_key, header_crc_key, header_key,
+    manifest_key, remote_chunk_crc_key, remote_chunk_key, remote_header_crc_key, remote_header_key,
+    remote_manifest_key,
 };
 use crate::pipeline::{self, PipelineJob, PipelineOutcome, PipelineStats};
 use crate::{
@@ -58,6 +59,13 @@ pub struct EcCheck {
     packer: Packer,
     version: u64,
     saves: u64,
+    /// The placement epoch this engine operates under. 0 until a
+    /// membership controller commits a rebalance; strictly monotone
+    /// thereafter (see [`EcCheck::apply_placement`]). Save and load
+    /// refuse to move chunks when the plane's committed epoch is newer
+    /// — a stale engine writing through an outdated assignment would
+    /// silently break the m-fault guarantee.
+    placement_epoch: u64,
     packets_per_worker: usize,
     recorder: Recorder,
     trace: Option<TraceHandles>,
@@ -121,6 +129,7 @@ impl EcCheck {
             packer,
             version: 0,
             saves: 0,
+            placement_epoch: 0,
             packets_per_worker: 0,
             recorder,
             trace: None,
@@ -294,6 +303,86 @@ impl EcCheck {
         &self.placement
     }
 
+    /// The placement epoch this engine operates under (0 = no
+    /// membership controller has ever rebalanced this cluster).
+    pub fn placement_epoch(&self) -> u64 {
+        self.placement_epoch
+    }
+
+    /// Adopts a new placement committed by a membership controller.
+    /// Rebuilds the reduction plan for the new assignment and
+    /// fast-forwards the engine to `epoch`. Epochs are strictly
+    /// monotone: the controller bumps the epoch only after verifying
+    /// the m-fault guarantee on the new layout, so accepting an old
+    /// epoch would rewind the engine onto a layout the chunks no
+    /// longer match.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EcCheckError::StaleEpoch`] when `epoch` is not
+    /// strictly newer than the engine's, and [`EcCheckError::Config`]
+    /// when the placement's (k, m) split or node ids do not fit this
+    /// engine's configuration and cluster.
+    pub fn apply_placement(
+        &mut self,
+        epoch: u64,
+        placement: Placement,
+    ) -> Result<(), EcCheckError> {
+        if epoch <= self.placement_epoch {
+            return Err(EcCheckError::StaleEpoch {
+                engine: self.placement_epoch,
+                committed: epoch,
+            });
+        }
+        let (k, m, n) = (self.config.k(), self.config.m(), self.spec.nodes());
+        if placement.k() != k || placement.m() != m {
+            return Err(EcCheckError::Config {
+                detail: format!(
+                    "placement is ({}, {}) but the engine encodes ({k}, {m})",
+                    placement.k(),
+                    placement.m()
+                ),
+            });
+        }
+        if let Some(&bad) =
+            placement.data_nodes().iter().chain(placement.parity_nodes()).find(|&&id| id >= n)
+        {
+            return Err(EcCheckError::Config {
+                detail: format!("placement names node {bad}, cluster has {n}"),
+            });
+        }
+        let reduction = ReductionPlan::build(&self.spec, &placement, m)?;
+        let old = self.placement_epoch;
+        self.placement = placement;
+        self.reduction = reduction;
+        self.placement_epoch = epoch;
+        self.recorder.counter("ecc.placement.applied").incr();
+        self.recorder.counter("ecc.placement.epoch").add(epoch - old);
+        self.recorder.event("ecc.placement", format!("applied placement epoch {old} -> {epoch}"));
+        Ok(())
+    }
+
+    /// Refuses to proceed when the plane's committed placement epoch is
+    /// newer than this engine's — the stale-epoch fence guarding every
+    /// operation that moves chunks by placement.
+    fn ensure_fresh_epoch(&self, cluster: &impl DataPlane) -> Result<(), EcCheckError> {
+        self.recorder.counter("ecc.epoch.checks").incr();
+        match committed_epoch(cluster) {
+            Some(committed) if committed > self.placement_epoch => {
+                self.recorder.counter("ecc.epoch.stale_refusals").incr();
+                self.recorder.event(
+                    "ecc.epoch.stale",
+                    format!(
+                        "engine at epoch {}, plane committed {committed}",
+                        self.placement_epoch
+                    ),
+                );
+                Err(EcCheckError::StaleEpoch { engine: self.placement_epoch, committed })
+            }
+            _ => Ok(()),
+        }
+    }
+
     /// The reduction plan chosen at initialization.
     pub fn reduction(&self) -> &ReductionPlan {
         &self.reduction
@@ -339,8 +428,23 @@ impl EcCheck {
         self.packets_per_worker = u64::from_le_bytes(bytes) as usize;
         self.version = version;
         self.saves = version;
+        // Adopt the plane's committed placement epoch alongside the
+        // checkpoint. The committed layout is always the sweep-line
+        // assignment over the (unchanged) origin group — rebalances
+        // swap node *incarnations*, not chunk positions — so a freshly
+        // initialized engine's placement already matches it and only
+        // the epoch number needs fast-forwarding.
+        if let Some(committed) = committed_epoch(cluster) {
+            if committed > self.placement_epoch {
+                self.recorder.counter("ecc.placement.epoch").add(committed - self.placement_epoch);
+                self.placement_epoch = committed;
+            }
+        }
         self.recorder.counter("ecc.adopt.calls").incr();
-        self.recorder.event("ecc.adopt", format!("adopted checkpoint v{version}"));
+        self.recorder.event(
+            "ecc.adopt",
+            format!("adopted checkpoint v{version} @ epoch {}", self.placement_epoch),
+        );
         Ok(())
     }
 
@@ -366,6 +470,7 @@ impl EcCheck {
                 detail: format!("expected {world} state_dicts, got {}", state_dicts.len()),
             });
         }
+        self.ensure_fresh_epoch(cluster)?;
         let version = self.version + 1;
         let ps = self.config.packet_size();
         let save_timer = self.recorder.timer("ecc.save.ns");
@@ -451,6 +556,7 @@ impl EcCheck {
                 cluster.put_local(node, &header_crc_key(version, w), header_frames[w].clone())?;
             }
             cluster.put_local(node, &manifest_key(version), manifest(max_packets))?;
+            cluster.put_local(node, &epoch_key(version), encode_epoch(self.placement_epoch))?;
         }
         drop(span);
 
@@ -471,6 +577,7 @@ impl EcCheck {
                 cluster.delete_local(node, &chunk_key(old));
                 cluster.delete_local(node, &chunk_crc_key(old));
                 cluster.delete_local(node, &manifest_key(old));
+                cluster.delete_local(node, &epoch_key(old));
                 for w in 0..world {
                     cluster.delete_local(node, &header_key(old, w));
                     cluster.delete_local(node, &header_crc_key(old, w));
@@ -653,6 +760,7 @@ impl EcCheck {
         if self.version == 0 {
             return Err(EcCheckError::NoCheckpoint);
         }
+        self.ensure_fresh_epoch(cluster)?;
         let version = self.version;
         let (k, n) = (self.config.k(), self.spec.nodes());
         self.recorder.counter("ecc.load.calls").incr();
@@ -752,6 +860,7 @@ impl EcCheck {
                 puts.push((header_crc_key(version, w), header_frames[w].clone()));
             }
             puts.push((manifest_key(version), manifest(self.packets_per_worker)));
+            puts.push((epoch_key(version), encode_epoch(self.placement_epoch)));
             for (key, bytes) in puts {
                 match cluster.put_local(node, &key, bytes) {
                     Ok(()) => {}
@@ -1002,6 +1111,7 @@ impl EcCheck {
         if let Some(dead) = (0..self.spec.nodes()).find(|&node| !cluster.alive(node)) {
             return Err(ClusterError::NodeDown { node: dead }.into());
         }
+        self.ensure_fresh_epoch(cluster)?;
         let version = self.version;
         let ps = self.config.packet_size();
         let max_packets = self.packets_per_worker;
@@ -1402,6 +1512,102 @@ mod tests {
         let summary = tracer.critical_path_summary("ecc.save");
         assert!(summary.contains("save.encode"), "{summary}");
         assert!(summary.contains("(self)"), "{summary}");
+    }
+
+    #[test]
+    fn placement_epochs_are_strictly_monotone() {
+        let (_, _, mut ecc, _) = setup();
+        assert_eq!(ecc.placement_epoch(), 0);
+        let next = ecc.placement().clone();
+        ecc.apply_placement(1, next.clone()).unwrap();
+        assert_eq!(ecc.placement_epoch(), 1);
+        // Equal and older epochs are refused.
+        assert!(matches!(
+            ecc.apply_placement(1, next.clone()),
+            Err(EcCheckError::StaleEpoch { engine: 1, committed: 1 })
+        ));
+        assert!(matches!(
+            ecc.apply_placement(0, next.clone()),
+            Err(EcCheckError::StaleEpoch { .. })
+        ));
+        // Gaps are fine — only monotonicity matters.
+        ecc.apply_placement(7, next).unwrap();
+        assert_eq!(ecc.placement_epoch(), 7);
+    }
+
+    #[test]
+    fn apply_placement_rejects_misfit_layouts() {
+        let (_, _, mut ecc, _) = setup();
+        let g = ecc.placement().group_size();
+        // Wrong (k, m) split for a (2, 2) engine.
+        let wrong_km = Placement::new(vec![0, 1, 2], vec![3], g).unwrap();
+        assert!(matches!(ecc.apply_placement(1, wrong_km), Err(EcCheckError::Config { .. })));
+        // Node id outside the 4-node cluster.
+        let out_of_range = Placement::new(vec![0, 5], vec![1, 2], g).unwrap();
+        assert!(matches!(ecc.apply_placement(1, out_of_range), Err(EcCheckError::Config { .. })));
+        assert_eq!(ecc.placement_epoch(), 0, "failed applies must not advance the epoch");
+    }
+
+    #[test]
+    fn stale_engine_refuses_to_save_load_or_patch() {
+        let (spec, mut cluster, mut ecc, dicts) = setup();
+        ecc.save(&mut cluster, &dicts).unwrap();
+        // A membership controller commits epoch 3 behind this engine's
+        // back: every chunk-moving operation must refuse.
+        let marker = crate::keys::encode_epoch(3);
+        for node in 0..spec.nodes() {
+            cluster.put_local(node, &crate::keys::placement_epoch_key(), marker.clone()).unwrap();
+        }
+        assert!(matches!(
+            ecc.save(&mut cluster, &dicts),
+            Err(EcCheckError::StaleEpoch { engine: 0, committed: 3 })
+        ));
+        assert!(matches!(ecc.load(&mut cluster), Err(EcCheckError::StaleEpoch { .. })));
+        assert!(matches!(
+            ecc.update_worker(&mut cluster, 0, &dicts[0]),
+            Err(EcCheckError::StaleEpoch { .. })
+        ));
+        // Refreshing the placement to the committed epoch unblocks it.
+        let placement = ecc.placement().clone();
+        ecc.apply_placement(3, placement).unwrap();
+        ecc.save(&mut cluster, &dicts).unwrap();
+        let (restored, _) = ecc.load(&mut cluster).unwrap();
+        assert_eq!(restored, dicts);
+    }
+
+    #[test]
+    fn adopt_version_fast_forwards_the_committed_epoch() {
+        let (spec, mut cluster, mut ecc, dicts) = setup();
+        let placement = ecc.placement().clone();
+        ecc.apply_placement(2, placement).unwrap();
+        ecc.save(&mut cluster, &dicts).unwrap();
+        let marker = crate::keys::encode_epoch(2);
+        for node in 0..spec.nodes() {
+            cluster.put_local(node, &crate::keys::placement_epoch_key(), marker.clone()).unwrap();
+        }
+        let mut fresh = EcCheck::initialize(&spec, tiny_config()).unwrap();
+        fresh.adopt_version(&cluster, 1).unwrap();
+        assert_eq!(fresh.placement_epoch(), 2);
+        let (restored, _) = fresh.load(&mut cluster).unwrap();
+        assert_eq!(restored, dicts);
+    }
+
+    #[test]
+    fn save_stamps_epoch_provenance_per_version() {
+        let (spec, mut cluster, mut ecc, dicts) = setup();
+        ecc.save(&mut cluster, &dicts).unwrap();
+        for node in 0..spec.nodes() {
+            let blob = cluster.get_local(node, &crate::keys::epoch_key(1)).unwrap();
+            assert_eq!(crate::keys::decode_epoch(&blob), Some(0));
+        }
+        ecc.save(&mut cluster, &dicts).unwrap();
+        for node in 0..spec.nodes() {
+            assert!(
+                cluster.get_local(node, &crate::keys::epoch_key(1)).is_none(),
+                "old version swept"
+            );
+            assert!(cluster.get_local(node, &crate::keys::epoch_key(2)).is_some());
+        }
     }
 
     #[test]

@@ -42,6 +42,18 @@ pub enum EcCheckError {
         /// Which stage died and why.
         detail: String,
     },
+    /// The engine's placement epoch lags the epoch committed on the
+    /// data plane (a membership controller rebalanced behind this
+    /// engine's back), or [`crate::EcCheck::apply_placement`] was
+    /// offered a non-monotone epoch. A stale engine must not move
+    /// chunks under an outdated assignment; refresh the placement via
+    /// `apply_placement` (or re-adopt the checkpoint) and retry.
+    StaleEpoch {
+        /// The epoch this engine believes is current.
+        engine: u64,
+        /// The newer (or for `apply_placement`, the rejected) epoch.
+        committed: u64,
+    },
     /// An underlying erasure-coding failure.
     Erasure(ecc_erasure::ErasureError),
     /// An underlying checkpoint (de)serialization failure.
@@ -70,6 +82,13 @@ impl fmt::Display for EcCheckError {
             }
             EcCheckError::StageFailed { detail } => {
                 write!(f, "save executor stage failed: {detail}")
+            }
+            EcCheckError::StaleEpoch { engine, committed } => {
+                write!(
+                    f,
+                    "stale placement epoch: engine at {engine}, plane committed {committed}; \
+                     refresh the placement before moving chunks"
+                )
             }
             EcCheckError::Erasure(e) => write!(f, "erasure coding: {e}"),
             EcCheckError::Checkpoint(e) => write!(f, "checkpoint: {e}"),

@@ -58,6 +58,44 @@ pub fn remote_manifest_key(version: u64) -> String {
     format!("remote/ecc/v{version}/manifest")
 }
 
+/// Key of the cluster-wide committed placement epoch marker, written
+/// to every alive node by the membership controller after a verified
+/// rebalance. Unversioned: there is exactly one current epoch per
+/// cluster, and checkpoints of any version are migrated forward to
+/// match it before it commits.
+pub fn placement_epoch_key() -> String {
+    "ecc/placement/epoch".to_string()
+}
+
+/// Key of the provenance marker recording the placement epoch a
+/// checkpoint `version` was saved (or last migrated) under.
+pub fn epoch_key(version: u64) -> String {
+    format!("ecc/v{version}/epoch")
+}
+
+/// Serializes a placement epoch for storage under
+/// [`placement_epoch_key`] / [`epoch_key`].
+pub fn encode_epoch(epoch: u64) -> Vec<u8> {
+    epoch.to_le_bytes().to_vec()
+}
+
+/// Parses an epoch blob written by [`encode_epoch`]. `None` for blobs
+/// of the wrong width (treat as "no epoch committed").
+pub fn decode_epoch(bytes: &[u8]) -> Option<u64> {
+    Some(u64::from_le_bytes(bytes.try_into().ok()?))
+}
+
+/// Reads the committed placement epoch from the first alive node that
+/// holds the marker. `None` means no membership controller has ever
+/// committed a rebalance on this plane (implicit epoch 0).
+pub fn committed_epoch(plane: &impl ecc_cluster::DataPlane) -> Option<u64> {
+    let key = placement_epoch_key();
+    (0..plane.nodes())
+        .filter(|&node| plane.alive(node))
+        .find_map(|node| plane.get_local(node, &key))
+        .and_then(|blob| decode_epoch(&blob))
+}
+
 /// `true` when `key` addresses a chunk blob or its checksum frame —
 /// the blobs whose loss or corruption consumes one unit of the code's
 /// `m`-failure budget. Used by fault-injection accounting.
@@ -140,6 +178,7 @@ mod tests {
             remote_header_key(3, 0),
             remote_header_crc_key(3, 0),
             remote_manifest_key(3),
+            epoch_key(3),
         ];
         for (i, a) in keys.iter().enumerate() {
             for b in &keys[i + 1..] {
@@ -168,6 +207,19 @@ mod tests {
         assert_eq!(header_worker(&remote_header_key(4, 3)), Some(3));
         assert_eq!(header_worker(&chunk_key(4)), None);
         assert_eq!(header_worker("ecc/v1/hdr/notanumber"), None);
+    }
+
+    #[test]
+    fn epoch_blob_round_trip() {
+        assert_eq!(decode_epoch(&encode_epoch(0)), Some(0));
+        assert_eq!(decode_epoch(&encode_epoch(u64::MAX)), Some(u64::MAX));
+        assert_eq!(decode_epoch(&[1, 2, 3]), None);
+        assert_eq!(decode_epoch(&[]), None);
+        // The cluster-wide marker is outside any version namespace, so
+        // per-version cleanup can never reap it.
+        assert_eq!(key_version(&placement_epoch_key()), None);
+        assert!(!is_chunk_class(&placement_epoch_key()));
+        assert_eq!(key_version(&epoch_key(9)), Some(9));
     }
 
     #[test]

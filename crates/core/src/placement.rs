@@ -40,6 +40,41 @@ pub struct Placement {
 }
 
 impl Placement {
+    /// Builds a placement from an explicit chunk→node assignment, for
+    /// callers that remap roles outside the sweep line — a membership
+    /// controller rebinding chunks after churn, or tests constructing
+    /// adversarial layouts. [`select_data_parity_nodes`] remains the
+    /// paper's optimal assignment; this constructor only checks the
+    /// structural invariants that the rest of the engine relies on.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EcCheckError::Config`] when `data_nodes` is empty,
+    /// `group_size` is zero, or any node appears twice across the two
+    /// role lists (a co-located pair of chunks would halve the fault
+    /// budget, violating the m-fault guarantee).
+    pub fn new(
+        data_nodes: Vec<NodeId>,
+        parity_nodes: Vec<NodeId>,
+        group_size: usize,
+    ) -> Result<Self, EcCheckError> {
+        if data_nodes.is_empty() {
+            return Err(EcCheckError::Config { detail: "placement needs k >= 1".into() });
+        }
+        if group_size == 0 {
+            return Err(EcCheckError::Config { detail: "placement group_size must be > 0".into() });
+        }
+        let mut seen = std::collections::BTreeSet::new();
+        for &node in data_nodes.iter().chain(&parity_nodes) {
+            if !seen.insert(node) {
+                return Err(EcCheckError::Config {
+                    detail: format!("node {node} would hold two chunks of one parity group"),
+                });
+            }
+        }
+        Ok(Self { data_nodes, parity_nodes, group_size })
+    }
+
     /// `data_nodes()[j]` stores data chunk `j`.
     pub fn data_nodes(&self) -> &[NodeId] {
         &self.data_nodes
@@ -192,6 +227,34 @@ mod tests {
 
     fn uniform_origin(nodes: usize, g: usize) -> Vec<Range<usize>> {
         (0..nodes).map(|i| i * g..(i + 1) * g).collect()
+    }
+
+    #[test]
+    fn explicit_constructor_enforces_invariants() {
+        let p = Placement::new(vec![3, 0], vec![1, 2], 2).unwrap();
+        assert_eq!(p.k(), 2);
+        assert_eq!(p.m(), 2);
+        assert_eq!(p.role_of(3), Some((true, 0)));
+        assert_eq!(p.role_of(2), Some((false, 1)));
+        assert_eq!(p.role_of(9), None);
+        assert!(Placement::new(vec![], vec![1], 2).is_err());
+        assert!(Placement::new(vec![0], vec![1], 0).is_err());
+        // Co-location of two chunks on one node is refused.
+        assert!(Placement::new(vec![0, 1], vec![1], 2).is_err());
+        assert!(Placement::new(vec![0, 0], vec![1], 2).is_err());
+    }
+
+    #[test]
+    fn explicit_constructor_matches_sweep_line() {
+        let origin = uniform_origin(4, 2);
+        let swept = select_data_parity_nodes(&origin, 2).unwrap();
+        let built = Placement::new(
+            swept.data_nodes().to_vec(),
+            swept.parity_nodes().to_vec(),
+            swept.group_size(),
+        )
+        .unwrap();
+        assert_eq!(built, swept);
     }
 
     #[test]

@@ -1,0 +1,95 @@
+//! Control-plane error taxonomy.
+
+use std::error::Error;
+use std::fmt;
+
+use ecc_cluster::ClusterError;
+use eccheck::EcCheckError;
+
+/// Errors produced by the membership control plane.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum MembershipError {
+    /// A slot id outside the cluster's slot universe.
+    SlotOutOfRange {
+        /// The offending slot.
+        slot: usize,
+        /// Number of slots in the universe.
+        universe: usize,
+    },
+    /// A lifecycle transition was requested from the wrong state (e.g.
+    /// admitting a replacement into a slot that is still active).
+    SlotState {
+        /// The slot whose transition was refused.
+        slot: usize,
+        /// The state the transition requires.
+        expected: &'static str,
+        /// The state the slot is actually in.
+        actual: &'static str,
+    },
+    /// Too few intact chunks survive to rebuild the churned ones: the
+    /// rebalance cannot proceed, and neither the shard map nor the
+    /// epoch advances.
+    NotEnoughSurvivors {
+        /// Intact chunks found.
+        survivors: usize,
+        /// Chunks needed (`k`).
+        needed: usize,
+    },
+    /// Post-migration verification found the m-fault guarantee broken
+    /// on the candidate layout; the epoch was *not* bumped.
+    GuaranteeViolated {
+        /// The checkpoint version that failed verification.
+        version: u64,
+        /// What exactly was missing or corrupt.
+        detail: String,
+    },
+    /// An underlying data-plane failure.
+    Plane(ClusterError),
+    /// An underlying engine failure (placement construction, erasure
+    /// coding).
+    Engine(EcCheckError),
+}
+
+impl fmt::Display for MembershipError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MembershipError::SlotOutOfRange { slot, universe } => {
+                write!(f, "slot {slot} out of range (universe has {universe} slots)")
+            }
+            MembershipError::SlotState { slot, expected, actual } => {
+                write!(f, "slot {slot} is {actual}, transition requires {expected}")
+            }
+            MembershipError::NotEnoughSurvivors { survivors, needed } => {
+                write!(f, "cannot rebuild: only {survivors} intact chunks survive, {needed} needed")
+            }
+            MembershipError::GuaranteeViolated { version, detail } => {
+                write!(f, "m-fault guarantee violated on candidate layout for v{version}: {detail}")
+            }
+            MembershipError::Plane(e) => write!(f, "data plane: {e}"),
+            MembershipError::Engine(e) => write!(f, "engine: {e}"),
+        }
+    }
+}
+
+impl Error for MembershipError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            MembershipError::Plane(e) => Some(e),
+            MembershipError::Engine(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ClusterError> for MembershipError {
+    fn from(e: ClusterError) -> Self {
+        MembershipError::Plane(e)
+    }
+}
+
+impl From<EcCheckError> for MembershipError {
+    fn from(e: EcCheckError) -> Self {
+        MembershipError::Engine(e)
+    }
+}

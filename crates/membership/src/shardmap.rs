@@ -1,0 +1,223 @@
+//! The epoch-versioned shard map: which slot incarnation holds which
+//! chunk.
+//!
+//! The map binds the paper's sweep-line placement (chunk → slot) to
+//! the registry's incarnation counters (slot → process). A chunk's
+//! assignment *changes* — and only then must it migrate — when either
+//! side moves: the sweep line hands the chunk to a different slot, or
+//! the slot's incarnation bumps (a replacement process holds it, so
+//! the bytes stored under the old incarnation are gone or going).
+//! [`ShardMap::diff`] computes exactly that set, which is what keeps
+//! rebalance traffic proportional to churn instead of to cluster size.
+
+use ecc_cluster::NodeId;
+use eccheck::Placement;
+
+use crate::{MembershipError, MembershipTable};
+
+/// One chunk's current binding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardEntry {
+    /// Chunk id: data chunk `j` is `j`, parity chunk `i` is `k + i`
+    /// (the engine's `chunk_id_of_node` convention).
+    pub chunk: usize,
+    /// The slot assigned to store it.
+    pub slot: NodeId,
+    /// The slot incarnation the bytes were last written under.
+    pub incarnation: u64,
+}
+
+/// The authoritative chunk → (slot, incarnation) map at one placement
+/// epoch. Advanced only by [`ShardMap::advance`] after the controller
+/// has verified the new layout; epochs are strictly monotone.
+#[derive(Debug, Clone)]
+pub struct ShardMap {
+    epoch: u64,
+    placement: Placement,
+    entries: Vec<ShardEntry>,
+}
+
+impl ShardMap {
+    /// Binds `placement` to the current incarnations in `table`, at
+    /// epoch 0.
+    ///
+    /// # Errors
+    ///
+    /// [`MembershipError::SlotOutOfRange`] when the placement names a
+    /// slot outside the table's universe.
+    pub fn new(placement: Placement, table: &MembershipTable) -> Result<Self, MembershipError> {
+        let entries = bind(&placement, table)?;
+        Ok(Self { epoch: 0, placement, entries })
+    }
+
+    /// The current placement epoch (0 until the first rebalance).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The placement behind the map.
+    pub fn placement(&self) -> &Placement {
+        &self.placement
+    }
+
+    /// All bindings in chunk order.
+    pub fn entries(&self) -> &[ShardEntry] {
+        &self.entries
+    }
+
+    /// The slot assigned to `chunk`.
+    ///
+    /// # Panics
+    ///
+    /// Panics for chunk ids `>= k + m`.
+    pub fn slot_of(&self, chunk: usize) -> NodeId {
+        self.entries[chunk].slot
+    }
+
+    /// The chunk assigned to `slot`, if any.
+    pub fn chunk_of(&self, slot: NodeId) -> Option<usize> {
+        self.entries.iter().find(|e| e.slot == slot).map(|e| e.chunk)
+    }
+
+    /// The chunks whose assignment under (`placement`, `table`) differs
+    /// from this map — the only chunks a rebalance may move. A chunk
+    /// appears when the sweep line reassigned it to another slot *or*
+    /// its slot's incarnation bumped.
+    ///
+    /// # Errors
+    ///
+    /// [`MembershipError::SlotOutOfRange`] when the placement names a
+    /// slot outside the table's universe.
+    pub fn diff(
+        &self,
+        placement: &Placement,
+        table: &MembershipTable,
+    ) -> Result<Vec<usize>, MembershipError> {
+        let next = bind(placement, table)?;
+        Ok(next
+            .iter()
+            .zip(&self.entries)
+            .filter(|(new, old)| new != old)
+            .map(|(new, _)| new.chunk)
+            .collect())
+    }
+
+    /// Rebinds the map to (`placement`, `table`) and bumps the epoch.
+    /// Call only after the controller verified the m-fault guarantee
+    /// on the migrated layout. Returns the new epoch.
+    ///
+    /// # Errors
+    ///
+    /// [`MembershipError::SlotOutOfRange`] when the placement names a
+    /// slot outside the table's universe (the map is unchanged).
+    pub fn advance(
+        &mut self,
+        placement: Placement,
+        table: &MembershipTable,
+    ) -> Result<u64, MembershipError> {
+        self.entries = bind(&placement, table)?;
+        self.placement = placement;
+        self.epoch += 1;
+        Ok(self.epoch)
+    }
+}
+
+/// Chunk → (slot, incarnation) bindings for a placement, in chunk-id
+/// order (data chunks first, then parity).
+fn bind(
+    placement: &Placement,
+    table: &MembershipTable,
+) -> Result<Vec<ShardEntry>, MembershipError> {
+    let slots = placement.data_nodes().iter().chain(placement.parity_nodes());
+    slots
+        .enumerate()
+        .map(|(chunk, &slot)| {
+            let info = table.info(slot)?;
+            Ok(ShardEntry { chunk, slot, incarnation: info.incarnation })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eccheck::select_data_parity_nodes;
+
+    fn sweep(nodes: usize, g: usize, k: usize) -> Placement {
+        let origin: Vec<_> = (0..nodes).map(|i| i * g..(i + 1) * g).collect();
+        select_data_parity_nodes(&origin, k).unwrap()
+    }
+
+    #[test]
+    fn initial_map_binds_every_chunk_to_a_distinct_slot() {
+        let table = MembershipTable::new(4);
+        let map = ShardMap::new(sweep(4, 2, 2), &table).unwrap();
+        assert_eq!(map.epoch(), 0);
+        assert_eq!(map.entries().len(), 4);
+        let mut slots: Vec<_> = map.entries().iter().map(|e| e.slot).collect();
+        slots.sort_unstable();
+        slots.dedup();
+        assert_eq!(slots.len(), 4, "no two chunks share a slot");
+        for e in map.entries() {
+            assert_eq!(e.incarnation, 0);
+            assert_eq!(map.slot_of(e.chunk), e.slot);
+            assert_eq!(map.chunk_of(e.slot), Some(e.chunk));
+        }
+    }
+
+    #[test]
+    fn diff_is_exactly_the_churned_chunks() {
+        let mut table = MembershipTable::new(4);
+        let placement = sweep(4, 2, 2);
+        let map = ShardMap::new(placement.clone(), &table).unwrap();
+        assert!(map.diff(&placement, &table).unwrap().is_empty(), "no churn, no moves");
+
+        // Slot 2's incarnation bumps: only its chunk must move.
+        table.mark_dead(2);
+        table.admit(2).unwrap();
+        let moved = map.diff(&placement, &table).unwrap();
+        assert_eq!(moved, vec![map.chunk_of(2).unwrap()]);
+    }
+
+    #[test]
+    fn diff_detects_slot_reassignment() {
+        let table = MembershipTable::new(4);
+        let placement = sweep(4, 2, 2);
+        let map = ShardMap::new(placement.clone(), &table).unwrap();
+        // Swap the two parity slots: exactly those chunks move even
+        // though every incarnation is unchanged.
+        let swapped = Placement::new(
+            placement.data_nodes().to_vec(),
+            placement.parity_nodes().iter().rev().copied().collect(),
+            placement.group_size(),
+        )
+        .unwrap();
+        let moved = map.diff(&swapped, &table).unwrap();
+        assert_eq!(moved.len(), 2);
+        assert!(moved.iter().all(|&c| c >= placement.k()));
+    }
+
+    #[test]
+    fn advance_is_strictly_monotone_and_rebinds() {
+        let mut table = MembershipTable::new(4);
+        let placement = sweep(4, 2, 2);
+        let mut map = ShardMap::new(placement.clone(), &table).unwrap();
+        table.mark_dead(0);
+        table.admit(0).unwrap();
+        assert_eq!(map.advance(placement.clone(), &table).unwrap(), 1);
+        assert_eq!(map.advance(placement.clone(), &table).unwrap(), 2);
+        let rebound = map.entries().iter().find(|e| e.slot == 0).unwrap();
+        assert_eq!(rebound.incarnation, 1);
+        assert!(map.diff(&placement, &table).unwrap().is_empty());
+    }
+
+    #[test]
+    fn out_of_range_slots_are_refused() {
+        let table = MembershipTable::new(2);
+        let placement = sweep(4, 2, 2);
+        assert!(matches!(
+            ShardMap::new(placement, &table),
+            Err(MembershipError::SlotOutOfRange { .. })
+        ));
+    }
+}

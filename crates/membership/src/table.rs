@@ -1,0 +1,247 @@
+//! The authoritative node registry.
+//!
+//! One entry per cluster *slot* (a logical rack position; the engine's
+//! `NodeId` space), tracking which process *incarnation* currently
+//! holds the slot and where it is in the membership lifecycle. The
+//! shape follows the placement-center idiom (a keyed registry of node
+//! records owned by one controller) rather than gossip: ECCheck's
+//! clusters are small and the save path already produces the
+//! heartbeats, so a single authority is simpler and sufficient.
+
+use std::collections::BTreeMap;
+
+use ecc_cluster::NodeId;
+
+use crate::MembershipError;
+
+/// Lifecycle state of a slot's current incarnation.
+///
+/// ```text
+///            retire()           admit()          activate()
+///   Active ----------> Leaving --------> Joining ----------> Active
+///      |                  |                 ^
+///      | mark_dead()      | mark_dead()    | admit()
+///      +------------> Dead +---------------+
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemberState {
+    /// Serving: holds its chunk, counts toward the fault budget.
+    Active,
+    /// Graceful drain announced; bytes still readable, replacement
+    /// pending. Its chunk migrates by [`crate::Move::Copy`].
+    Leaving,
+    /// Crashed or written off by the health registry; its in-memory
+    /// chunk is lost and must be rebuilt ([`crate::Move::Rebuild`]).
+    Dead,
+    /// A fresh (empty) replacement process holds the slot but has not
+    /// yet been handed its chunk; activated by a verified rebalance.
+    Joining,
+}
+
+impl MemberState {
+    /// Stable lowercase label (used in metrics, events, and errors).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MemberState::Active => "active",
+            MemberState::Leaving => "leaving",
+            MemberState::Dead => "dead",
+            MemberState::Joining => "joining",
+        }
+    }
+}
+
+/// One slot's registry record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeInfo {
+    /// How many processes have held this slot (0 = the original).
+    /// Bumped by [`MembershipTable::admit`]; a chunk stored under an
+    /// older incarnation is *not* trusted to exist.
+    pub incarnation: u64,
+    /// Lifecycle state.
+    pub state: MemberState,
+}
+
+/// The authoritative slot registry. See the module docs.
+#[derive(Debug, Clone)]
+pub struct MembershipTable {
+    slots: BTreeMap<NodeId, NodeInfo>,
+}
+
+impl MembershipTable {
+    /// A registry of `universe` slots, all active at incarnation 0.
+    pub fn new(universe: usize) -> Self {
+        let slots = (0..universe)
+            .map(|slot| (slot, NodeInfo { incarnation: 0, state: MemberState::Active }))
+            .collect();
+        Self { slots }
+    }
+
+    /// Number of slots in the universe.
+    pub fn universe(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// One slot's record.
+    ///
+    /// # Errors
+    ///
+    /// [`MembershipError::SlotOutOfRange`] for unknown slots.
+    pub fn info(&self, slot: NodeId) -> Result<NodeInfo, MembershipError> {
+        self.slots
+            .get(&slot)
+            .copied()
+            .ok_or(MembershipError::SlotOutOfRange { slot, universe: self.slots.len() })
+    }
+
+    /// One slot's lifecycle state (out-of-range slots read as `Dead`:
+    /// they certainly are not serving).
+    pub fn state(&self, slot: NodeId) -> MemberState {
+        self.slots.get(&slot).map_or(MemberState::Dead, |i| i.state)
+    }
+
+    /// One slot's incarnation (0 for out-of-range slots).
+    pub fn incarnation(&self, slot: NodeId) -> u64 {
+        self.slots.get(&slot).map_or(0, |i| i.incarnation)
+    }
+
+    /// All records in slot order.
+    pub fn entries(&self) -> impl Iterator<Item = (NodeId, NodeInfo)> + '_ {
+        self.slots.iter().map(|(&slot, &info)| (slot, info))
+    }
+
+    /// Slots currently not `Active`, in slot order — what stands
+    /// between the cluster and its full m-fault budget.
+    pub fn degraded_slots(&self) -> Vec<NodeId> {
+        self.slots
+            .iter()
+            .filter(|(_, i)| i.state != MemberState::Active)
+            .map(|(&slot, _)| slot)
+            .collect()
+    }
+
+    /// `true` when every slot is `Active` (full fault budget).
+    pub fn fully_active(&self) -> bool {
+        self.slots.values().all(|i| i.state == MemberState::Active)
+    }
+
+    /// Writes a slot off as dead (idempotent). Returns `true` when the
+    /// state actually changed. Joining slots can die too — a
+    /// replacement may crash before its rebalance commits.
+    pub fn mark_dead(&mut self, slot: NodeId) -> bool {
+        match self.slots.get_mut(&slot) {
+            Some(info) if info.state != MemberState::Dead => {
+                info.state = MemberState::Dead;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Announces a graceful drain: `Active → Leaving`. The caller must
+    /// stage the slot's bytes *before* admitting a replacement (the
+    /// admission wipes them).
+    ///
+    /// # Errors
+    ///
+    /// [`MembershipError::SlotState`] unless the slot is `Active`,
+    /// [`MembershipError::SlotOutOfRange`] for unknown slots.
+    pub fn retire(&mut self, slot: NodeId) -> Result<(), MembershipError> {
+        self.transition(slot, MemberState::Leaving, |s| s == MemberState::Active, "active")
+    }
+
+    /// Admits a replacement process into a vacated slot:
+    /// `Dead | Leaving → Joining`, bumping the incarnation. Returns the
+    /// new incarnation.
+    ///
+    /// # Errors
+    ///
+    /// [`MembershipError::SlotState`] when the slot is still `Active`
+    /// (evict it first) or already `Joining` (one replacement at a
+    /// time), [`MembershipError::SlotOutOfRange`] for unknown slots.
+    pub fn admit(&mut self, slot: NodeId) -> Result<u64, MembershipError> {
+        self.transition(
+            slot,
+            MemberState::Joining,
+            |s| matches!(s, MemberState::Dead | MemberState::Leaving),
+            "dead or leaving",
+        )?;
+        let info = self.slots.get_mut(&slot).expect("checked by transition");
+        info.incarnation += 1;
+        Ok(info.incarnation)
+    }
+
+    /// Activates a joining slot after its chunk has been migrated and
+    /// the layout verified: `Joining → Active`.
+    ///
+    /// # Errors
+    ///
+    /// [`MembershipError::SlotState`] unless the slot is `Joining`,
+    /// [`MembershipError::SlotOutOfRange`] for unknown slots.
+    pub fn activate(&mut self, slot: NodeId) -> Result<(), MembershipError> {
+        self.transition(slot, MemberState::Active, |s| s == MemberState::Joining, "joining")
+    }
+
+    fn transition(
+        &mut self,
+        slot: NodeId,
+        to: MemberState,
+        ok: impl Fn(MemberState) -> bool,
+        expected: &'static str,
+    ) -> Result<(), MembershipError> {
+        let universe = self.slots.len();
+        let info =
+            self.slots.get_mut(&slot).ok_or(MembershipError::SlotOutOfRange { slot, universe })?;
+        if !ok(info.state) {
+            return Err(MembershipError::SlotState { slot, expected, actual: info.state.as_str() });
+        }
+        info.state = to;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle_happy_path_bumps_incarnations() {
+        let mut t = MembershipTable::new(4);
+        assert!(t.fully_active());
+        assert!(t.mark_dead(2));
+        assert!(!t.mark_dead(2), "idempotent");
+        assert_eq!(t.degraded_slots(), vec![2]);
+        assert_eq!(t.admit(2).unwrap(), 1);
+        assert_eq!(t.state(2), MemberState::Joining);
+        t.activate(2).unwrap();
+        assert!(t.fully_active());
+        assert_eq!(t.incarnation(2), 1);
+        // A second churn keeps counting.
+        t.mark_dead(2);
+        assert_eq!(t.admit(2).unwrap(), 2);
+    }
+
+    #[test]
+    fn graceful_drain_goes_through_leaving() {
+        let mut t = MembershipTable::new(3);
+        t.retire(1).unwrap();
+        assert_eq!(t.state(1), MemberState::Leaving);
+        assert!(t.retire(1).is_err(), "cannot retire twice");
+        assert_eq!(t.admit(1).unwrap(), 1);
+        t.activate(1).unwrap();
+    }
+
+    #[test]
+    fn illegal_transitions_are_refused() {
+        let mut t = MembershipTable::new(2);
+        assert!(matches!(t.admit(0), Err(MembershipError::SlotState { .. })));
+        t.mark_dead(0);
+        t.admit(0).unwrap();
+        assert!(matches!(t.admit(0), Err(MembershipError::SlotState { .. })));
+        assert!(matches!(t.retire(0), Err(MembershipError::SlotState { .. })));
+        assert!(matches!(t.activate(1), Err(MembershipError::SlotState { .. })));
+        assert!(matches!(t.admit(9), Err(MembershipError::SlotOutOfRange { .. })));
+        // A joining replacement can itself die.
+        assert!(t.mark_dead(0));
+        assert_eq!(t.admit(0).unwrap(), 2);
+    }
+}

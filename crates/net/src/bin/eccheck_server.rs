@@ -2,22 +2,26 @@
 //!
 //! ```text
 //! eccheck-server [--addr HOST:PORT] [--nodes N] [--gpus G]
-//!                [--fail-after-requests R]
+//!                [--fail-after-requests R] [--membership] [--k K] [--m M]
 //! ```
 //!
 //! Prints the bound address on stdout (one line, flushed) so scripts
 //! using port 0 can discover the ephemeral port, then serves until
 //! killed. `--fail-after-requests` wedges the server after serving
 //! that many requests — the fault-injection mode the CI connection-
-//! drop drill uses.
+//! drop drill uses. `--membership` serves the cluster behind a
+//! placement controller so the `Join`/`Leave`/`GetPlacement` wire ops
+//! work (`--k`/`--m` set its erasure split; they must sum to
+//! `--nodes`).
 
 use ecc_cluster::{Cluster, ClusterSpec};
-use ecc_net::{CheckpointServer, ServerConfig};
+use ecc_net::{CheckpointServer, MembershipPlane, ServerConfig};
+use eccheck::EcCheckConfig;
 
 fn usage() -> ! {
     eprintln!(
         "usage: eccheck-server [--addr HOST:PORT] [--nodes N] [--gpus G] \
-         [--fail-after-requests R]"
+         [--fail-after-requests R] [--membership] [--k K] [--m M]"
     );
     std::process::exit(2);
 }
@@ -26,6 +30,9 @@ fn main() {
     let mut addr = "127.0.0.1:7070".to_string();
     let mut nodes = 4usize;
     let mut gpus = 2usize;
+    let mut membership = false;
+    let mut k = 2usize;
+    let mut m = 2usize;
     let mut cfg = ServerConfig::default();
 
     let mut args = std::env::args().skip(1);
@@ -35,6 +42,9 @@ fn main() {
             "--addr" => addr = value(),
             "--nodes" => nodes = value().parse().unwrap_or_else(|_| usage()),
             "--gpus" => gpus = value().parse().unwrap_or_else(|_| usage()),
+            "--membership" => membership = true,
+            "--k" => k = value().parse().unwrap_or_else(|_| usage()),
+            "--m" => m = value().parse().unwrap_or_else(|_| usage()),
             "--fail-after-requests" => {
                 cfg.fail_after_requests = Some(value().parse().unwrap_or_else(|_| usage()));
             }
@@ -42,8 +52,33 @@ fn main() {
         }
     }
 
-    let cluster = Cluster::new(ClusterSpec::tiny_test(nodes, gpus));
-    let server = match CheckpointServer::serve(cluster, &addr, cfg) {
+    let spec = ClusterSpec::tiny_test(nodes, gpus);
+    let cluster = Cluster::new(spec);
+    if membership {
+        let ecc_cfg = EcCheckConfig::paper_defaults().with_km(k, m).with_packet_size(256);
+        let plane = match MembershipPlane::new(cluster, &spec, &ecc_cfg) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!(
+                    "eccheck-server: bad membership split (k={k}, m={m}, nodes={nodes}): {e}"
+                );
+                std::process::exit(1);
+            }
+        };
+        run(CheckpointServer::serve(plane, &addr, cfg), &addr, nodes, gpus, "with membership");
+    } else {
+        run(CheckpointServer::serve(cluster, &addr, cfg), &addr, nodes, gpus, "");
+    }
+}
+
+fn run<P: ecc_net::ServePlane + Send + 'static>(
+    server: std::io::Result<CheckpointServer<P>>,
+    addr: &str,
+    nodes: usize,
+    gpus: usize,
+    mode: &str,
+) -> ! {
+    let server = match server {
         Ok(s) => s,
         Err(e) => {
             eprintln!("eccheck-server: cannot bind {addr}: {e}");
@@ -53,7 +88,10 @@ fn main() {
     println!("{}", server.local_addr());
     use std::io::Write as _;
     let _ = std::io::stdout().flush();
-    eprintln!("eccheck-server: serving {nodes} nodes x {gpus} GPUs on {}", server.local_addr());
+    eprintln!(
+        "eccheck-server: serving {nodes} nodes x {gpus} GPUs on {} {mode}",
+        server.local_addr()
+    );
 
     loop {
         std::thread::park();

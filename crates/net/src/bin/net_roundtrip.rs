@@ -6,6 +6,7 @@
 //! net-roundtrip save  ADDR [--seed S] [--gpus G] [--k K] [--m M]
 //! net-roundtrip load  ADDR [--seed S] [--gpus G] [--k K] [--m M] [--fail-node N]
 //! net-roundtrip chaos ADDR [--seed S] [--rounds R] [--out FILE]
+//! net-roundtrip churn ADDR [--seed S] [--gpus G] [--k K] [--m M] [--rounds R] [--out FILE]
 //! ```
 //!
 //! * `save` checkpoints a deterministic, seed-derived state through a
@@ -20,6 +21,13 @@
 //!   in-memory and asserts the two fault logs and outcome sequences
 //!   match — the cross-plane differential. `--out` writes the socket
 //!   run's fault log as a JSON artifact.
+//! * `churn` drives the elastic-membership protocol end to end
+//!   against a server started with `--membership`: each round kills a
+//!   node over the wire, `Join`s a replacement (the server rebuilds
+//!   the lost chunk and commits a new placement epoch), proves the
+//!   engine's epoch fence refuses the now-stale engine, refreshes it
+//!   with `GetPlacement`, and restores bit-exactly. `--out` writes a
+//!   per-round epoch log as a JSON artifact.
 //!
 //! Exit status: 0 on success, 1 on any contract violation or
 //! transport failure, 2 on usage errors.
@@ -36,7 +44,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: net-roundtrip save  ADDR [--seed S] [--gpus G] [--k K] [--m M]\n\
          \u{20}      net-roundtrip load  ADDR [--seed S] [--gpus G] [--k K] [--m M] [--fail-node N]\n\
-         \u{20}      net-roundtrip chaos ADDR [--seed S] [--rounds R] [--out FILE]"
+         \u{20}      net-roundtrip chaos ADDR [--seed S] [--rounds R] [--out FILE]\n\
+         \u{20}      net-roundtrip churn ADDR [--seed S] [--gpus G] [--k K] [--m M] [--rounds R] [--out FILE]"
     );
     std::process::exit(2);
 }
@@ -202,6 +211,74 @@ fn cmd_chaos(opts: &Opts) {
     );
 }
 
+/// Drives the full membership protocol over the wire: kill → Join →
+/// epoch fence trips → GetPlacement refresh → bit-exact restore, once
+/// per round, each round retiring a different slot.
+fn cmd_churn(opts: &Opts) {
+    use eccheck::EcCheckError;
+
+    let mut plane = connect(&opts.addr);
+    let (mut ecc, _spec, world) = engine_for(&plane, opts);
+    let nodes = opts.k + opts.m;
+    let dicts = expected_dicts(world, opts.seed);
+    ecc.save(&mut plane, &dicts).unwrap_or_else(|e| fail(&format!("initial save failed: {e}")));
+
+    let mut rounds_json = Vec::new();
+    for round in 1..=opts.rounds {
+        let victim = (round - 1) % nodes;
+        plane
+            .fail_node(victim)
+            .unwrap_or_else(|e| fail(&format!("round {round}: cannot kill node {victim}: {e}")));
+        let (epoch, _) = plane.join(victim).unwrap_or_else(|e| {
+            fail(&format!("round {round}: join of slot {victim} refused: {e}"))
+        });
+        if epoch != round as u64 {
+            fail(&format!("round {round}: epoch is {epoch}, not strictly monotone"));
+        }
+
+        // The engine has not heard about the new epoch: the fence must
+        // refuse its save rather than write under a retired layout.
+        match ecc.save(&mut plane, &dicts) {
+            Err(EcCheckError::StaleEpoch { .. }) => {}
+            Ok(_) => fail(&format!("round {round}: stale engine saved anyway — fence broken")),
+            Err(e) => fail(&format!("round {round}: expected a stale-epoch refusal, got: {e}")),
+        }
+        let (fresh_epoch, placement) = plane
+            .get_placement()
+            .unwrap_or_else(|e| fail(&format!("round {round}: GetPlacement failed: {e}")));
+        ecc.apply_placement(fresh_epoch, placement)
+            .unwrap_or_else(|e| fail(&format!("round {round}: cannot apply placement: {e}")));
+
+        let (restored, _) = ecc
+            .load(&mut plane)
+            .unwrap_or_else(|e| fail(&format!("round {round}: load after churn failed: {e}")));
+        if restored != dicts {
+            fail(&format!("round {round}: restore after churn is NOT bit-exact"));
+        }
+        ecc.save(&mut plane, &dicts)
+            .unwrap_or_else(|e| fail(&format!("round {round}: refreshed save failed: {e}")));
+        rounds_json.push(format!("{{\"round\":{round},\"victim\":{victim},\"epoch\":{epoch}}}"));
+        eprintln!("net-roundtrip: round {round}: slot {victim} churned, epoch {epoch}");
+    }
+
+    if let Some(path) = &opts.out {
+        let json = format!(
+            "{{\"seed\":{},\"rounds\":[{}],\"final_epoch\":{}}}\n",
+            opts.seed,
+            rounds_json.join(","),
+            opts.rounds
+        );
+        if let Err(e) = std::fs::write(path, json) {
+            fail(&format!("cannot write epoch log to {path}: {e}"));
+        }
+    }
+    println!(
+        "churned {} rounds over {}: every join committed a monotone epoch, \
+         every stale save was fenced, every restore was bit-exact",
+        opts.rounds, opts.addr
+    );
+}
+
 fn main() {
     let mut args = std::env::args();
     let _argv0 = args.next();
@@ -211,6 +288,7 @@ fn main() {
         "save" => cmd_save(&opts),
         "load" => cmd_load(&opts),
         "chaos" => cmd_chaos(&opts),
+        "churn" => cmd_churn(&opts),
         _ => usage(),
     }
 }

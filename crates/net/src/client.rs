@@ -18,6 +18,7 @@ use std::sync::Mutex;
 use std::time::Duration;
 
 use ecc_cluster::{ClusterError, DataPlane, NodeId};
+use eccheck::Placement;
 
 use crate::codec::{
     decode_response, encode_request, read_frame, write_frame, Request, Response, WireError,
@@ -107,6 +108,57 @@ impl RemotePlane {
     /// Same contract as [`RemotePlane::fail_node`].
     pub fn replace_node(&self, node: NodeId) -> Result<(), ClusterError> {
         self.expect_ok(Request::ReplaceNode { node: wire_node(node) })
+    }
+
+    /// Asks the server to admit a replacement into `node`'s slot,
+    /// migrate its chunk, and commit a new placement epoch. Returns
+    /// the committed epoch and placement.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::Transport`] when unreachable or when the server
+    /// refuses (slot still active, guarantee not restorable yet,
+    /// membership not enabled).
+    pub fn join(&self, node: NodeId) -> Result<(u64, Placement), ClusterError> {
+        self.expect_placement(Request::Join { node: wire_node(node) })
+    }
+
+    /// Announces a graceful drain of `node`'s slot: the server stages
+    /// its bytes before a replacement wipes them. Returns the (still
+    /// unchanged) epoch and placement.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`RemotePlane::join`].
+    pub fn leave(&self, node: NodeId) -> Result<(u64, Placement), ClusterError> {
+        self.expect_placement(Request::Leave { node: wire_node(node) })
+    }
+
+    /// The server's committed placement and epoch — what a stale
+    /// engine applies (`EcCheck::apply_placement`) after an epoch
+    /// fence refused its save or load.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`RemotePlane::join`].
+    pub fn get_placement(&self) -> Result<(u64, Placement), ClusterError> {
+        self.expect_placement(Request::GetPlacement)
+    }
+
+    fn expect_placement(&self, req: Request) -> Result<(u64, Placement), ClusterError> {
+        match self.rpc(&req)? {
+            Response::Placement { epoch, data_nodes, parity_nodes, group_size } => {
+                let placement = Placement::new(
+                    data_nodes.into_iter().map(|n| n as usize).collect(),
+                    parity_nodes.into_iter().map(|n| n as usize).collect(),
+                    group_size as usize,
+                )
+                .map_err(|e| transport(format!("server sent an invalid placement: {e}")))?;
+                Ok((epoch, placement))
+            }
+            Response::Err(e) => Err(e),
+            other => Err(transport(format!("unexpected response {other:?}"))),
+        }
     }
 
     fn expect_ok(&self, req: Request) -> Result<(), ClusterError> {

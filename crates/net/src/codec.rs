@@ -90,6 +90,22 @@ pub enum Request {
         /// Target node.
         node: u32,
     },
+    /// Membership: admit a replacement process into a vacated slot and
+    /// rebalance. Answered with [`Response::Placement`] on success.
+    Join {
+        /// Target slot.
+        node: u32,
+    },
+    /// Membership: announce a graceful drain of a slot (its bytes are
+    /// staged before the replacement wipes them). Answered with
+    /// [`Response::Placement`].
+    Leave {
+        /// Target slot.
+        node: u32,
+    },
+    /// Membership: the current placement and epoch, for engines that
+    /// were refused with a stale epoch and need to refresh.
+    GetPlacement,
     /// Liveness probe of the server itself.
     Ping,
 }
@@ -105,10 +121,13 @@ impl Request {
             | Request::Alive { node }
             | Request::ListKeys { node }
             | Request::FailNode { node }
-            | Request::ReplaceNode { node } => Some(*node),
+            | Request::ReplaceNode { node }
+            | Request::Join { node }
+            | Request::Leave { node } => Some(*node),
             Request::PutRemote { .. }
             | Request::GetRemote { .. }
             | Request::Nodes
+            | Request::GetPlacement
             | Request::Ping => None,
         }
     }
@@ -129,6 +148,19 @@ pub enum Response {
     Count(u32),
     /// A key listing (`ListKeys`).
     Keys(Vec<String>),
+    /// The committed placement at an epoch (`Join`/`Leave`/
+    /// `GetPlacement`). Node ids are slots; `group_size` is the GPUs
+    /// per node the sweep-line placement grouped over.
+    Placement {
+        /// The placement epoch this layout was committed at.
+        epoch: u64,
+        /// Slots holding data chunks, in chunk order.
+        data_nodes: Vec<u32>,
+        /// Slots holding parity chunks, in chunk order.
+        parity_nodes: Vec<u32>,
+        /// GPUs per node.
+        group_size: u32,
+    },
     /// A structured data-plane error, round-tripped losslessly.
     Err(ClusterError),
 }
@@ -200,6 +232,9 @@ const OP_LIST_KEYS: u8 = 0x08;
 const OP_FAIL_NODE: u8 = 0x09;
 const OP_REPLACE_NODE: u8 = 0x0A;
 const OP_PING: u8 = 0x0B;
+const OP_JOIN: u8 = 0x0C;
+const OP_LEAVE: u8 = 0x0D;
+const OP_GET_PLACEMENT: u8 = 0x0E;
 
 // Response status tags.
 const ST_OK: u8 = 0x80;
@@ -208,6 +243,7 @@ const ST_NOT_FOUND: u8 = 0x82;
 const ST_BOOL: u8 = 0x83;
 const ST_COUNT: u8 = 0x84;
 const ST_KEYS: u8 = 0x85;
+const ST_PLACEMENT: u8 = 0x86;
 const ST_ERR: u8 = 0x8F;
 
 // ClusterError variant tags inside an ST_ERR payload.
@@ -388,6 +424,15 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             out.push(OP_REPLACE_NODE);
             out.extend_from_slice(&node.to_le_bytes());
         }
+        Request::Join { node } => {
+            out.push(OP_JOIN);
+            out.extend_from_slice(&node.to_le_bytes());
+        }
+        Request::Leave { node } => {
+            out.push(OP_LEAVE);
+            out.extend_from_slice(&node.to_le_bytes());
+        }
+        Request::GetPlacement => out.push(OP_GET_PLACEMENT),
         Request::Ping => out.push(OP_PING),
     }
     out
@@ -421,6 +466,9 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
         OP_LIST_KEYS => Request::ListKeys { node: c.u32()? },
         OP_FAIL_NODE => Request::FailNode { node: c.u32()? },
         OP_REPLACE_NODE => Request::ReplaceNode { node: c.u32()? },
+        OP_JOIN => Request::Join { node: c.u32()? },
+        OP_LEAVE => Request::Leave { node: c.u32()? },
+        OP_GET_PLACEMENT => Request::GetPlacement,
         OP_PING => Request::Ping,
         other => return Err(WireError::UnknownOp(other)),
     };
@@ -454,12 +502,26 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
                 push_key(&mut out, key);
             }
         }
+        Response::Placement { epoch, data_nodes, parity_nodes, group_size } => {
+            out.push(ST_PLACEMENT);
+            out.extend_from_slice(&epoch.to_le_bytes());
+            out.extend_from_slice(&group_size.to_le_bytes());
+            push_nodes(&mut out, data_nodes);
+            push_nodes(&mut out, parity_nodes);
+        }
         Response::Err(e) => {
             out.push(ST_ERR);
             encode_cluster_error(&mut out, e);
         }
     }
     out
+}
+
+fn push_nodes(out: &mut Vec<u8>, nodes: &[u32]) {
+    out.extend_from_slice(&(nodes.len().min(u32::MAX as usize) as u32).to_le_bytes());
+    for node in nodes {
+        out.extend_from_slice(&node.to_le_bytes());
+    }
 }
 
 fn encode_cluster_error(out: &mut Vec<u8>, e: &ClusterError) {
@@ -511,6 +573,18 @@ fn decode_cluster_error(c: &mut Cursor<'_>) -> Result<ClusterError, WireError> {
     })
 }
 
+/// A length-prefixed `u32` slot list. Like `Keys`, a hostile count
+/// cannot force an allocation beyond what the cap-checked payload can
+/// actually hold.
+fn take_nodes(c: &mut Cursor<'_>, payload_len: usize) -> Result<Vec<u32>, WireError> {
+    let count = c.u32()? as usize;
+    let mut nodes = Vec::with_capacity(count.min(payload_len / 4 + 1));
+    for _ in 0..count {
+        nodes.push(c.u32()?);
+    }
+    Ok(nodes)
+}
+
 /// Decodes a response payload.
 ///
 /// # Errors
@@ -534,6 +608,13 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, WireError> {
                 keys.push(c.key()?);
             }
             Response::Keys(keys)
+        }
+        ST_PLACEMENT => {
+            let epoch = c.u64()?;
+            let group_size = c.u32()?;
+            let data_nodes = take_nodes(&mut c, payload.len())?;
+            let parity_nodes = take_nodes(&mut c, payload.len())?;
+            Response::Placement { epoch, data_nodes, parity_nodes, group_size }
         }
         ST_ERR => Response::Err(decode_cluster_error(&mut c)?),
         other => return Err(WireError::UnknownStatus(other)),
@@ -572,6 +653,9 @@ mod tests {
         round_trip_request(Request::ListKeys { node: 2 });
         round_trip_request(Request::FailNode { node: 2 });
         round_trip_request(Request::ReplaceNode { node: 2 });
+        round_trip_request(Request::Join { node: 3 });
+        round_trip_request(Request::Leave { node: 0 });
+        round_trip_request(Request::GetPlacement);
         round_trip_request(Request::Ping);
     }
 
@@ -585,6 +669,18 @@ mod tests {
         round_trip_response(Response::Bool(false));
         round_trip_response(Response::Count(4));
         round_trip_response(Response::Keys(vec!["a".into(), "b/c".into(), String::new()]));
+        round_trip_response(Response::Placement {
+            epoch: 7,
+            data_nodes: vec![0, 1],
+            parity_nodes: vec![3, 2],
+            group_size: 2,
+        });
+        round_trip_response(Response::Placement {
+            epoch: 0,
+            data_nodes: Vec::new(),
+            parity_nodes: Vec::new(),
+            group_size: 1,
+        });
         round_trip_response(Response::Err(ClusterError::NodeDown { node: 2 }));
         round_trip_response(Response::Err(ClusterError::NoSuchNode { node: 7 }));
         round_trip_response(Response::Err(ClusterError::NoSuchBlob { key: "gone".into() }));
@@ -646,6 +742,17 @@ mod tests {
         let mut payload = encode_request(&Request::Ping);
         payload.push(0);
         assert_eq!(decode_request(&payload), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn hostile_placement_counts_cannot_over_allocate() {
+        // Claims 2^32 - 1 slots but carries none: must fail with
+        // Truncated, not OOM or panic.
+        let mut payload = vec![ST_PLACEMENT];
+        payload.extend_from_slice(&7u64.to_le_bytes());
+        payload.extend_from_slice(&2u32.to_le_bytes());
+        payload.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(decode_response(&payload), Err(WireError::Truncated));
     }
 
     #[test]

@@ -17,6 +17,14 @@
 //! frames and unknown tags decode to structured [`WireError`]s, and
 //! nothing in the decode path panics.
 //!
+//! The protocol also carries the elastic-membership control plane:
+//! `Join`, `Leave`, and `GetPlacement` ops let processes enter and
+//! drain cluster slots at runtime. Serve a [`MembershipPlane`] to
+//! accept them — it drives an `ecc_membership::PlacementController`
+//! that migrates only the churned chunks, re-verifies the m-fault
+//! guarantee, and commits monotone placement epochs that engines pick
+//! up through [`RemotePlane::get_placement`].
+//!
 //! Like `ecc-obs`, the crate is dependency-free (`std::net` +
 //! threads): the crates.io registry is unreachable in this
 //! environment, so no async runtime, serde, or protobuf.
@@ -43,8 +51,10 @@
 
 mod client;
 pub mod codec;
+mod member;
 mod server;
 
 pub use client::{ClientConfig, RemotePlane};
 pub use codec::{Request, Response, WireError, MAX_FRAME, MAX_KEY};
-pub use server::{CheckpointServer, ServePlane, ServerConfig};
+pub use member::MembershipPlane;
+pub use server::{CheckpointServer, PlacementInfo, ServePlane, ServerConfig};

@@ -1,0 +1,171 @@
+//! [`MembershipPlane`]: a served plane with an elastic control plane.
+//!
+//! Wraps any [`ServePlane`] together with an
+//! [`ecc_membership::PlacementController`], turning the `Join`/
+//! `Leave`/`GetPlacement` wire ops into real membership changes: a
+//! `Leave` stages the slot's bytes while they are still readable, a
+//! `Join` brings a fresh process into the slot (via the inner plane's
+//! `admin_replace_node`), migrates exactly the churned chunk, verifies
+//! the m-fault guarantee, and commits a new placement epoch — which
+//! every engine then observes through the epoch fence on its next
+//! save/load and refreshes with `GetPlacement`.
+//!
+//! Crash drills stay coherent: a `FailNode` wire op both kills the
+//! inner node *and* writes the slot off in the registry, so a later
+//! `Join` knows the bytes are gone and rebuilds instead of copying.
+
+use ecc_cluster::{ClusterError, ClusterSpec, DataPlane, NodeId};
+use ecc_membership::{MemberState, MembershipError, PlacementController, RebalanceReport};
+use eccheck::EcCheckConfig;
+
+use crate::server::{PlacementInfo, ServePlane};
+
+/// A [`ServePlane`] that accepts the membership wire ops. See the
+/// module docs.
+pub struct MembershipPlane<P: ServePlane> {
+    inner: P,
+    ctl: PlacementController,
+    last_report: Option<RebalanceReport>,
+}
+
+impl<P: ServePlane> MembershipPlane<P> {
+    /// Wraps `inner` with a placement controller for `spec` and
+    /// `config`'s (k, m) split.
+    ///
+    /// # Errors
+    ///
+    /// [`MembershipError`] when the split does not cover the spec's
+    /// node count or the code parameters are invalid.
+    pub fn new(
+        inner: P,
+        spec: &ClusterSpec,
+        config: &EcCheckConfig,
+    ) -> Result<Self, MembershipError> {
+        let ctl = PlacementController::new(spec, config)?;
+        Ok(Self { inner, ctl, last_report: None })
+    }
+
+    /// The placement controller, for inspection.
+    pub fn controller(&self) -> &PlacementController {
+        &self.ctl
+    }
+
+    /// The report of the last committed rebalance, if any — the
+    /// migration-traffic evidence the churn drills export.
+    pub fn last_report(&self) -> Option<&RebalanceReport> {
+        self.last_report.as_ref()
+    }
+
+    /// The wrapped plane.
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+
+    /// Unwraps the plane, dropping the controller.
+    pub fn into_inner(self) -> P {
+        self.inner
+    }
+
+    fn placement_info(&self) -> PlacementInfo {
+        let p = self.ctl.placement();
+        PlacementInfo {
+            epoch: self.ctl.epoch(),
+            data_nodes: p.data_nodes().iter().map(|&n| n as u32).collect(),
+            parity_nodes: p.parity_nodes().iter().map(|&n| n as u32).collect(),
+            group_size: p.group_size().min(u32::MAX as usize) as u32,
+        }
+    }
+}
+
+impl<P: ServePlane> DataPlane for MembershipPlane<P> {
+    fn nodes(&self) -> usize {
+        self.inner.nodes()
+    }
+
+    fn alive(&self, node: NodeId) -> bool {
+        self.inner.alive(node)
+    }
+
+    fn put_local(&mut self, node: NodeId, key: &str, bytes: Vec<u8>) -> Result<(), ClusterError> {
+        self.inner.put_local(node, key, bytes)
+    }
+
+    fn get_local(&self, node: NodeId, key: &str) -> Option<Vec<u8>> {
+        self.inner.get_local(node, key)
+    }
+
+    fn delete_local(&mut self, node: NodeId, key: &str) {
+        self.inner.delete_local(node, key);
+    }
+
+    fn put_remote(&mut self, key: &str, bytes: Vec<u8>) {
+        self.inner.put_remote(key, bytes);
+    }
+
+    fn get_remote(&self, key: &str) -> Option<Vec<u8>> {
+        self.inner.get_remote(key)
+    }
+
+    fn local_keys(&self, node: NodeId) -> Vec<String> {
+        self.inner.local_keys(node)
+    }
+}
+
+impl<P: ServePlane> ServePlane for MembershipPlane<P> {
+    /// Kills the node *and* writes its slot off in the registry, so a
+    /// later `Join` rebuilds instead of trusting vanished bytes.
+    fn admin_fail_node(&mut self, node: NodeId) -> bool {
+        let ok = self.inner.admin_fail_node(node);
+        if ok {
+            self.ctl.force_dead(node);
+        }
+        ok
+    }
+
+    /// Raw physical replacement, registry-blind — chunkless until a
+    /// `Join` migrates and certifies. Prefer the `Join` wire op.
+    fn admin_replace_node(&mut self, node: NodeId) -> bool {
+        self.inner.admin_replace_node(node)
+    }
+
+    fn admin_join(&mut self, node: NodeId) -> Result<PlacementInfo, String> {
+        // An active slot whose process is gone (killed out-of-band)
+        // is written off first; an active *living* slot must drain
+        // through Leave.
+        if self.ctl.table().state(node) == MemberState::Active {
+            if self.inner.alive(node) {
+                return Err(format!("slot {node} is active and alive; Leave it first"));
+            }
+            self.ctl.force_dead(node);
+        }
+        // A Joining slot means an earlier rebalance was refused (e.g.
+        // too many dead slots at once): retry it without re-admitting.
+        if self.ctl.table().state(node) != MemberState::Joining {
+            if !self.inner.admin_replace_node(node) {
+                return Err(format!("plane cannot bring a replacement online for slot {node}"));
+            }
+            self.ctl.join(node).map_err(|e| e.to_string())?;
+        }
+        let report = self.ctl.rebalance(&mut self.inner).map_err(|e| e.to_string())?;
+        self.last_report = Some(report);
+        Ok(self.placement_info())
+    }
+
+    fn admin_leave(&mut self, node: NodeId) -> Result<PlacementInfo, String> {
+        self.ctl.leave(&self.inner, node).map_err(|e| e.to_string())?;
+        Ok(self.placement_info())
+    }
+
+    fn admin_placement(&self) -> Result<PlacementInfo, String> {
+        Ok(self.placement_info())
+    }
+}
+
+impl<P: ServePlane> std::fmt::Debug for MembershipPlane<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MembershipPlane")
+            .field("epoch", &self.ctl.epoch())
+            .field("degraded", &self.ctl.table().degraded_slots())
+            .finish_non_exhaustive()
+    }
+}

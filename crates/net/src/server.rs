@@ -32,10 +32,28 @@ use crate::codec::{
     MAX_FRAME,
 };
 
+/// The placement view the membership wire ops carry: a mirror of
+/// [`Response::Placement`]'s fields, so planes can answer them without
+/// the codec (or the engine crates) in their signatures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlacementInfo {
+    /// The committed placement epoch.
+    pub epoch: u64,
+    /// Slots holding data chunks, in chunk order.
+    pub data_nodes: Vec<u32>,
+    /// Slots holding parity chunks, in chunk order.
+    pub parity_nodes: Vec<u32>,
+    /// GPUs per node.
+    pub group_size: u32,
+}
+
 /// A [`DataPlane`] the server can host. The admin hooks back the
 /// `FailNode`/`ReplaceNode` wire ops (used by cross-process recovery
 /// drills); planes without real machines to kill keep the defaults,
-/// which refuse.
+/// which refuse. The membership hooks back the `Join`/`Leave`/
+/// `GetPlacement` ops; planes without a placement controller keep the
+/// defaults, which refuse with a readable reason (see
+/// [`crate::MembershipPlane`] for a plane that accepts them).
 pub trait ServePlane: DataPlane {
     /// Fails a node, destroying its volatile blobs. Returns `false`
     /// when unsupported or out of range.
@@ -49,6 +67,27 @@ pub trait ServePlane: DataPlane {
     fn admin_replace_node(&mut self, node: NodeId) -> bool {
         let _ = node;
         false
+    }
+
+    /// Admits a replacement process into `node`'s slot, migrates its
+    /// chunk, and commits a new placement epoch. `Err` carries the
+    /// refusal reason (unsupported, slot still active, guarantee not
+    /// restorable yet, ...).
+    fn admin_join(&mut self, node: NodeId) -> Result<PlacementInfo, String> {
+        let _ = node;
+        Err("membership is not enabled on this plane".into())
+    }
+
+    /// Announces a graceful drain of `node`'s slot, staging its bytes
+    /// before a replacement wipes them.
+    fn admin_leave(&mut self, node: NodeId) -> Result<PlacementInfo, String> {
+        let _ = node;
+        Err("membership is not enabled on this plane".into())
+    }
+
+    /// The committed placement and epoch.
+    fn admin_placement(&self) -> Result<PlacementInfo, String> {
+        Err("membership is not enabled on this plane".into())
     }
 }
 
@@ -348,6 +387,21 @@ fn handle<P: ServePlane>(plane: &Mutex<P>, req: Request) -> Response {
                 Response::Err(ecc_cluster::ClusterError::NoSuchNode { node: node as usize })
             }
         }
+        Request::Join { node } => membership_response(p.admin_join(node as usize)),
+        Request::Leave { node } => membership_response(p.admin_leave(node as usize)),
+        Request::GetPlacement => membership_response(p.admin_placement()),
         Request::Ping => Response::Ok,
+    }
+}
+
+fn membership_response(result: Result<PlacementInfo, String>) -> Response {
+    match result {
+        Ok(info) => Response::Placement {
+            epoch: info.epoch,
+            data_nodes: info.data_nodes,
+            parity_nodes: info.parity_nodes,
+            group_size: info.group_size,
+        },
+        Err(detail) => Response::Err(ecc_cluster::ClusterError::Transport { detail }),
     }
 }

@@ -232,3 +232,86 @@ fn wire_plane_preserves_data_plane_semantics() {
 
     server.shutdown();
 }
+
+/// The elastic-membership protocol, end to end over loopback TCP: a
+/// node dies, a `Join` rebuilds its chunk and commits epoch 1, the
+/// stale engine is fenced off until it applies the `GetPlacement`
+/// answer, and the checkpoint restores bit-exactly throughout.
+#[test]
+fn membership_churn_over_tcp_commits_epochs_and_fences_stale_engines() {
+    use ecc_net::MembershipPlane;
+
+    let spec = ClusterSpec::tiny_test(NODES, GPUS);
+    let cfg = EcCheckConfig::paper_defaults().with_km(K, M).with_packet_size(256);
+    let plane =
+        MembershipPlane::new(Cluster::new(spec), &spec, &cfg).expect("k + m covers the node count");
+    let server =
+        CheckpointServer::serve(plane, "127.0.0.1:0", ServerConfig::default()).expect("bind");
+    let addr = server.local_addr().to_string();
+
+    let mut remote = RemotePlane::connect(&addr).expect("connect");
+    let mut ecc = engine();
+    let state = dicts("churn");
+    ecc.save(&mut remote, &state).expect("initial save");
+
+    // A plain server refuses membership ops; this one answers.
+    let (epoch0, placement0) = remote.get_placement().expect("placement is served");
+    assert_eq!(epoch0, 0);
+    assert_eq!(placement0.k(), K);
+    assert_eq!(placement0.m(), M);
+
+    // Joining a healthy, living slot is refused — drain it instead.
+    assert!(remote.join(1).is_err(), "a live active slot cannot be usurped");
+
+    // Kill node 1 over the wire, then admit a replacement: the server
+    // rebuilds the lost chunk from survivors and commits epoch 1.
+    remote.fail_node(1).expect("kill node 1");
+    let (epoch1, _) = remote.join(1).expect("join rebuilds and commits");
+    assert_eq!(epoch1, 1);
+
+    // The engine still believes epoch 0: the fence must refuse it.
+    match ecc.save(&mut remote, &state) {
+        Err(EcCheckError::StaleEpoch { engine, committed }) => {
+            assert_eq!((engine, committed), (0, 1));
+        }
+        other => panic!("stale engine must be fenced, got {other:?}"),
+    }
+
+    // GetPlacement → apply → everything works again, bit-exactly.
+    let (epoch, placement) = remote.get_placement().expect("refresh");
+    ecc.apply_placement(epoch, placement).expect("apply");
+    let (restored, _) = ecc.load(&mut remote).expect("load after churn");
+    assert_eq!(restored, state, "checkpoint survives wire-driven churn bit-exactly");
+    ecc.save(&mut remote, &state).expect("refreshed engine saves again");
+
+    // A graceful drain stages bytes, then the replacement copies them.
+    let (leave_epoch, _) = remote.leave(2).expect("drain slot 2");
+    assert_eq!(leave_epoch, 1, "a drain alone does not move the epoch");
+    remote.fail_node(2).expect("drained process exits");
+    let (epoch2, _) = remote.join(2).expect("replacement joins");
+    assert_eq!(epoch2, 2);
+
+    let (epoch, placement) = remote.get_placement().expect("refresh again");
+    ecc.apply_placement(epoch, placement).expect("apply again");
+    let (restored, _) = ecc.load(&mut remote).expect("load after drain");
+    assert_eq!(restored, state);
+
+    server.shutdown();
+}
+
+/// A plane without a controller refuses the membership ops with a
+/// readable transport error instead of a panic or a bogus answer.
+#[test]
+fn plain_server_refuses_membership_ops() {
+    let (server, addr) = start_server();
+    let remote = RemotePlane::connect(&addr).expect("connect");
+    for result in [remote.get_placement(), remote.join(0), remote.leave(0)] {
+        match result {
+            Err(ClusterError::Transport { detail }) => {
+                assert!(detail.contains("membership"), "unhelpful refusal: {detail}");
+            }
+            other => panic!("expected a structured refusal, got {other:?}"),
+        }
+    }
+    server.shutdown();
+}

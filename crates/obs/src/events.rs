@@ -40,12 +40,14 @@ impl Severity {
 /// the stack's naming conventions:
 ///
 /// * anything mentioning corruption (`ecc.load.corrupt`,
-///   `chaos.fault.corrupt_put`, …) or a crash/death is an error;
+///   `chaos.fault.corrupt_put`, …) or a crash/death — including the
+///   placement controller writing a slot off (`membership.dead`) — is
+///   an error;
 /// * injected faults, retries, fallbacks and perf-gate warnings are
 ///   warnings;
 /// * everything else is informational.
 pub fn classify(name: &str, detail: &str) -> Severity {
-    if name.contains("corrupt") || name.contains("crash") {
+    if name.contains("corrupt") || name.contains("crash") || name == "membership.dead" {
         return Severity::Error;
     }
     if name == "health.transition" {
@@ -202,6 +204,9 @@ mod tests {
         assert_eq!(classify("health.transition", "node 2 alive -> dead"), Severity::Error);
         assert_eq!(classify("health.transition", "node 2 alive -> suspect"), Severity::Warn);
         assert_eq!(classify("health.transition", "node 2 dead -> alive"), Severity::Info);
+        assert_eq!(classify("membership.dead", "slot 1 written off"), Severity::Error);
+        assert_eq!(classify("membership.join", "slot 1 admitted incarnation 2"), Severity::Info);
+        assert_eq!(classify("membership.leave", "slot 3 draining"), Severity::Info);
         assert_eq!(classify("ecc.save", "version=3"), Severity::Info);
         assert_eq!(classify("kernel.selected", "avx2"), Severity::Info);
     }
