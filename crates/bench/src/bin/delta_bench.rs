@@ -1,0 +1,111 @@
+//! `delta-bench`: the delta-vs-full save comparison behind `BENCH_PR10.json`.
+//!
+//! Times `EcCheck::save_delta` against a full `EcCheck::save` of the
+//! same mutated state over a ladder of dirty-set densities and reports
+//! wall time, the delta/full speedup, and the data-plane traffic of
+//! each path against the full-save `m·s·W` parity bound. See
+//! `DESIGN.md` §18 and `EXPERIMENTS.md` for how to read the numbers.
+//!
+//! Flags: `--out <path>` (default `BENCH_PR10.json`) for the JSON
+//! report, `--summary <path>` to also write a GitHub-flavoured-markdown
+//! summary (CI appends it to the job summary), `--threads <n>` for the
+//! coding thread count (default: host parallelism capped at 4). Exits
+//! non-zero when delta traffic reaches the full-save bound on any
+//! sparse shape (enforced on every host — byte accounting is
+//! deterministic) or, on hosts with at least two threads, when the
+//! delta path is more than 10% slower than the full save on a sparse
+//! shape; single-core hosts get an advisory latency report instead.
+//! `--obs HOST:PORT` serves live `/metrics`; `--obs-hold-ms N` keeps
+//! the exporter up after the run.
+
+use std::process::ExitCode;
+
+use ecc_bench::{
+    arg_value, default_threads, fmt_bytes, obs_session_from_args, print_table, DeltaBenchReport,
+};
+use ecc_telemetry::Recorder;
+
+fn main() -> ExitCode {
+    let out = arg_value("--out").unwrap_or_else(|| "BENCH_PR10.json".to_string());
+    let threads = arg_value("--threads")
+        .map(|v| v.parse().expect("--threads takes a positive integer"))
+        .unwrap_or_else(default_threads);
+    let recorder = Recorder::new();
+    let obs = obs_session_from_args(&recorder);
+    println!("# delta-bench: GF-linear delta save vs full save\n");
+    let report = DeltaBenchReport::collect_with_threads(threads);
+    report.record_gate_telemetry(&recorder);
+    println!(
+        "arch {}, {} host threads, {} requested\n",
+        report.arch, report.host_threads, report.requested_threads
+    );
+
+    let rows: Vec<Vec<String>> = report
+        .shapes
+        .iter()
+        .map(|s| {
+            vec![
+                s.name.clone(),
+                format!("{}/{}", s.dirty_workers, s.world),
+                format!("{:.2}", s.full_ms),
+                format!("{:.2}", s.delta_ms),
+                format!("{:.2}x", s.speedup),
+                fmt_bytes(s.delta_traffic_bytes),
+                fmt_bytes(s.full_traffic_bytes),
+                format!("{:.2}{}", s.traffic_ratio, if s.sparse { "" } else { " (dense)" }),
+            ]
+        })
+        .collect();
+    print_table(
+        &["shape", "dirty", "full ms", "delta ms", "speedup", "delta traffic", "bound", "ratio"],
+        &rows,
+    );
+    if let Some(saving) = report.best_traffic_saving() {
+        println!("\nbest sparse traffic saving: {saving:.1}x under the m·s·W bound");
+    }
+    if let Some(warning) = report.gate_warning() {
+        eprintln!("\n{warning}");
+    }
+
+    if let Err(err) = std::fs::write(&out, report.to_json()) {
+        eprintln!("could not write {out}: {err}");
+        return ExitCode::FAILURE;
+    }
+    println!("report written to {out}");
+
+    if let Some(path) = arg_value("--summary") {
+        if let Err(err) = std::fs::write(&path, report.summary_markdown()) {
+            eprintln!("could not write {path}: {err}");
+            return ExitCode::FAILURE;
+        }
+        println!("markdown summary written to {path}");
+    }
+
+    if let Some(obs) = obs {
+        obs.finish();
+    }
+
+    let traffic = report.traffic_regressions();
+    if !traffic.is_empty() {
+        eprintln!("\nFAIL: delta traffic reached the full-save bound (enforced on every host):");
+        for r in &traffic {
+            eprintln!("  {r}");
+        }
+        return ExitCode::FAILURE;
+    }
+    let latency = report.latency_regressions();
+    if !latency.is_empty() {
+        if report.gate_enforced() {
+            eprintln!("\nFAIL: delta save regressed past the latency gate:");
+            for r in &latency {
+                eprintln!("  {r}");
+            }
+            return ExitCode::FAILURE;
+        }
+        println!("\nADVISORY (single-core host — latency gate not enforced):");
+        for r in &latency {
+            println!("  {r}");
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -9,6 +9,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod deltabench;
 mod kernelbench;
 mod obs;
 mod perf;
@@ -16,6 +17,7 @@ mod pipelinebench;
 mod telemetry;
 mod trace;
 
+pub use deltabench::{DeltaBenchReport, DeltaShapePerf};
 pub use kernelbench::{
     default_threads, EncodePerf, KernelBenchReport, RegionOpPerf, DEFAULT_REGION_SIZES, POOL_GATE,
 };

@@ -6,9 +6,15 @@
 //!
 //! ```text
 //! chaos-campaign [--seeds 0,1,2,3] [--rounds 8] [--save-mode pipelined] \
-//!     [--fault-log faults.json] [--telemetry telemetry.json] \
+//!     [--tiered] [--fault-log faults.json] [--fetch-log fetches.json] \
+//!     [--telemetry telemetry.json] \
 //!     [--obs 127.0.0.1:9184] [--obs-hold-ms 2000]
 //! ```
+//!
+//! `--tiered` swaps in the tiered-store campaign (mid-drain crashes,
+//! tier-1 loss, tier-0 heavy loss, delta torn-update refusal);
+//! `--fetch-log` writes each seed's tier-provenance fetch log, the
+//! artifact CI diffs across save executors.
 //!
 //! With `--obs ADDR` the campaign serves the live observability plane
 //! (`/metrics`, `/health`, `/ready`, `/events`) while it runs; the
@@ -19,7 +25,9 @@
 use std::process::ExitCode;
 use std::sync::Arc;
 
-use ecc_chaos::{campaign_slos, run_campaign, run_campaign_observed, CampaignConfig};
+use ecc_chaos::{
+    campaign_slos, run_campaign, run_campaign_observed, run_tiered_campaign, CampaignConfig,
+};
 use ecc_cluster::{HealthConfig, HealthRegistry};
 use ecc_obs::{ObsHub, ObsHubConfig, ObsServer};
 use ecc_telemetry::Recorder;
@@ -29,7 +37,9 @@ fn main() -> ExitCode {
     let mut seeds: Vec<u64> = (0..4).collect();
     let mut cfg = CampaignConfig::standard();
     let mut fault_log_path: Option<String> = None;
+    let mut fetch_log_path: Option<String> = None;
     let mut telemetry_path: Option<String> = None;
+    let mut tiered = false;
     let mut obs_addr: Option<String> = None;
     let mut obs_hold_ms: u64 = 0;
 
@@ -60,7 +70,9 @@ fn main() -> ExitCode {
                 });
             }
             "--fault-log" => fault_log_path = Some(value("--fault-log")),
+            "--fetch-log" => fetch_log_path = Some(value("--fetch-log")),
             "--telemetry" => telemetry_path = Some(value("--telemetry")),
+            "--tiered" => tiered = true,
             "--obs" => obs_addr = Some(value("--obs")),
             "--obs-hold-ms" => {
                 obs_hold_ms = value("--obs-hold-ms").parse().unwrap_or_else(|_| {
@@ -81,7 +93,8 @@ fn main() -> ExitCode {
             "--help" | "-h" => {
                 println!(
                     "usage: chaos-campaign [--seeds 0,1,2] [--rounds N] \
-                     [--save-mode sequential|pipelined] [--fault-log FILE] [--telemetry FILE] \
+                     [--save-mode sequential|pipelined] [--tiered] [--fault-log FILE] \
+                     [--fetch-log FILE] [--telemetry FILE] \
                      [--obs HOST:PORT] [--obs-hold-ms N]"
                 );
                 return ExitCode::SUCCESS;
@@ -121,12 +134,19 @@ fn main() -> ExitCode {
     let mut recovered = 0;
     let mut refused = 0;
     let mut fault_logs = String::from("[\n");
+    let mut fetch_logs = String::from("[\n");
     let mut telemetry = String::new();
 
     for (i, &seed) in seeds.iter().enumerate() {
-        let report = match &server {
-            Some(server) => run_campaign_observed(&cfg, seed, Some(server.hub())),
-            None => run_campaign(&cfg, seed),
+        let report = if tiered {
+            // The tiered legs inject their faults explicitly, so the
+            // run is unobserved (no health registry to drive).
+            run_tiered_campaign(&cfg, seed)
+        } else {
+            match &server {
+                Some(server) => run_campaign_observed(&cfg, seed, Some(server.hub())),
+                None => run_campaign(&cfg, seed),
+            }
         };
         recovered += report.recovered();
         refused += report.refused();
@@ -137,14 +157,20 @@ fn main() -> ExitCode {
         }
         if i > 0 {
             fault_logs.push_str(",\n");
+            fetch_logs.push_str(",\n");
         }
         fault_logs.push_str(&format!(
             "{{\"seed\": {seed}, \"faults\": {}}}",
             report.fault_log_json().trim_end()
         ));
+        fetch_logs.push_str(&format!(
+            "{{\"seed\": {seed}, \"fetches\": {}}}",
+            report.fetch_log_json().trim_end()
+        ));
         telemetry = report.telemetry_json;
     }
     fault_logs.push_str("\n]\n");
+    fetch_logs.push_str("\n]\n");
 
     println!(
         "campaign ({:?} saves): {} seeds x {} rounds, {recovered} recovered, {refused} refused",
@@ -156,6 +182,12 @@ fn main() -> ExitCode {
     if let Some(path) = fault_log_path {
         if let Err(e) = std::fs::write(&path, &fault_logs) {
             eprintln!("failed to write fault log {path}: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    if let Some(path) = fetch_log_path {
+        if let Err(e) = std::fs::write(&path, &fetch_logs) {
+            eprintln!("failed to write fetch log {path}: {e}");
             return ExitCode::from(2);
         }
     }

@@ -18,11 +18,12 @@ use std::collections::{BTreeMap, BTreeSet};
 use ecc_checkpoint::{StateDict, Value};
 use ecc_cluster::{Cluster, ClusterSpec, DataPlane, FailureModel, NodeId};
 use ecc_obs::{ObsHub, SloSpec};
-use eccheck::{keys, EcCheck, EcCheckConfig, EcCheckError, SaveMode};
+use eccheck::store::{self, WorkerDirtySet};
+use eccheck::{keys, EcCheck, EcCheckConfig, EcCheckError, RecoveryWorkflow, SaveMode};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::plane::{ChaosConfig, ChaosPlane, FaultKind, FaultRecord};
+use crate::plane::{ChaosConfig, ChaosPlane, FaultKind, FaultRecord, FetchRecord, Tier};
 use crate::scenario::{ChaosEvent, ScenarioSchedule};
 
 /// Shape and fault intensities of a chaos campaign.
@@ -158,6 +159,11 @@ pub struct CampaignReport {
     pub violations: Vec<String>,
     /// Every fault the chaos plane injected, in firing order.
     pub fault_log: Vec<FaultRecord>,
+    /// Every successful blob fetch with the tier that served it, in
+    /// order — which restores were answered by the peer EC group and
+    /// which fell back to the remote store. Like the fault log, this
+    /// must be identical across save executors for a given seed.
+    pub fetch_log: Vec<FetchRecord>,
     /// Final telemetry snapshot (engine + chaos counters), as JSON.
     pub telemetry_json: String,
 }
@@ -191,6 +197,33 @@ impl CampaignReport {
                 f.kind.label(),
                 f.node,
                 f.key
+            ));
+        }
+        out.push_str("\n]\n");
+        out
+    }
+
+    /// The fetch log as a JSON array: one object per served fetch with
+    /// its tier provenance (`"peer"` or `"remote"`; remote fetches have
+    /// a `null` node). Diffable across save executors the same way the
+    /// fault log is.
+    pub fn fetch_log_json(&self) -> String {
+        let mut out = String::from("[\n");
+        for (i, f) in self.fetch_log.iter().enumerate() {
+            if i > 0 {
+                out.push_str(",\n");
+            }
+            let tier = match f.tier {
+                Tier::Peer => "peer",
+                Tier::Remote => "remote",
+            };
+            let node = match f.node {
+                Some(n) => n.to_string(),
+                None => String::from("null"),
+            };
+            out.push_str(&format!(
+                "  {{\"op\": {}, \"tier\": \"{}\", \"node\": {}, \"key\": \"{}\"}}",
+                f.op, tier, node, f.key
             ));
         }
         out.push_str("\n]\n");
@@ -499,6 +532,221 @@ pub fn run_campaign_on_plane<P: DataPlane>(
         outcomes,
         violations,
         fault_log: plane.fault_log(),
+        fetch_log: plane.fetch_log(),
+        telemetry_json: ecc.recorder().snapshot().to_json(),
+    }
+}
+
+/// Runs the tiered-store chaos campaign: `cfg.rounds` rounds cycling
+/// through four fault legs that attack the tier-0 ↔ tier-1 boundary
+/// the plain campaign never touches:
+///
+/// * **Mid-drain crash** — a node crash is armed to strike in the
+///   middle of the tier-0 → tier-1 drain copy. The drain must skip the
+///   dead node (never publish unverified bytes) and the next `load`
+///   must still restore bit-exactly from the surviving peers.
+/// * **Tier-1 loss, tier-0 intact** — the remote store is wiped after
+///   a full drain and one node crashes. Recovery must be served
+///   entirely by the peer tier: every fetch in the log says `Peer`.
+/// * **Tier-0 heavy loss, tier-1 drained** — more than `m` nodes crash
+///   after a full drain, so fewer than `k` chunks survive in memory.
+///   Recovery must fall back to the drained copy: the load reports the
+///   `Remote` workflow and the fetch log shows `Remote`-tier fetches.
+/// * **Delta torn-update refusal** — a parity chunk is corrupted at
+///   rest, then a delta save runs. The patch must refuse with
+///   [`EcCheckError::CorruptChunk`] *before writing anything* (all
+///   reads precede all stores), leaving the sealed version untouched,
+///   and the next `load` must repair the corruption bit-exactly.
+///
+/// The legs are deterministic per seed, and — like
+/// [`run_campaign`] — the whole report (outcomes, fault log, **and**
+/// fetch log) must be identical under the sequential and pipelined
+/// save executors.
+///
+/// # Panics
+///
+/// Panics when `cfg` is not a valid engine configuration or a
+/// save/drain that must succeed fails outright — setup bugs, not
+/// contract violations. Requires `cfg.nodes > cfg.m + 1` so the
+/// heavy-loss leg leaves a survivor.
+pub fn run_tiered_campaign(cfg: &CampaignConfig, seed: u64) -> CampaignReport {
+    assert!(cfg.nodes > cfg.m + 1, "heavy-loss leg needs a surviving node");
+    let world = cfg.nodes * cfg.gpus_per_node;
+    let spec = ClusterSpec::tiny_test(cfg.nodes, cfg.gpus_per_node);
+    let engine_cfg = EcCheckConfig::paper_defaults()
+        .with_km(cfg.k, cfg.m)
+        .with_packet_size(cfg.packet_size)
+        .with_coding_threads(cfg.coding_threads)
+        .with_save_mode(cfg.save_mode)
+        .with_pipeline_buffer(64)
+        .with_remote_flush_every(0)
+        .with_fetch_retries(cfg.fetch_retries);
+    let mut ecc = EcCheck::initialize(&spec, engine_cfg).expect("campaign config must be valid");
+    // Quiet chaos: the tiered legs inject every fault explicitly, so
+    // the tier that serves each fetch is the leg's doing alone.
+    let chaos_cfg = ChaosConfig::quiet(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1));
+    let mut plane = ChaosPlane::new(Cluster::new(spec), chaos_cfg);
+    plane.set_recorder(ecc.recorder().clone());
+    let tracer = ecc.attach_tracer();
+    plane.set_tracer(&tracer);
+
+    let mut outcomes = Vec::new();
+    let mut violations = Vec::new();
+
+    for round in 0..cfg.rounds {
+        let leg = round % 4;
+        let dicts = round_dicts(world, seed, round);
+        let report = ecc.save(&mut plane, &dicts).expect("save on an all-alive cluster succeeds");
+        let version = report.version;
+        let victim = round % cfg.nodes;
+        let mut casualties: BTreeSet<NodeId> = BTreeSet::new();
+
+        match leg {
+            0 => {
+                // Leg A: crash strikes mid-drain. The drain's per-node
+                // reads tick the op counter, so op+3 lands inside the
+                // copy loop; the victim's blobs vanish underneath it.
+                plane.schedule_crash_at_op(victim, plane.op() + 3);
+                casualties.insert(victim);
+                match store::drain_version(&mut plane, version, world, ecc.recorder()) {
+                    Ok(outcome) => {
+                        if outcome.chunks_copied < cfg.k {
+                            violations.push(format!(
+                                "seed {seed} round {round}: mid-drain crash left only {} \
+                                 chunks in tier 1 (< k = {})",
+                                outcome.chunks_copied, cfg.k
+                            ));
+                        }
+                    }
+                    Err(err) => violations.push(format!(
+                        "seed {seed} round {round}: drain died on a one-node crash: {err}"
+                    )),
+                }
+            }
+            1 => {
+                // Leg B: tier 1 lost after a full drain, one peer down
+                // — recovery must be served entirely by tier 0.
+                store::drain_version(&mut plane, version, world, ecc.recorder())
+                    .expect("drain of a sealed version succeeds");
+                plane.inner_mut().wipe_remote();
+                plane.crash_now(victim);
+                casualties.insert(victim);
+            }
+            2 => {
+                // Leg C: tier 0 loses more than m nodes after a full
+                // drain — recovery must fall back to tier 1.
+                store::drain_version(&mut plane, version, world, ecc.recorder())
+                    .expect("drain of a sealed version succeeds");
+                for offset in 0..=cfg.m {
+                    let node = (victim + offset) % cfg.nodes;
+                    plane.crash_now(node);
+                    casualties.insert(node);
+                }
+            }
+            _ => {
+                // Leg D: corrupt a parity chunk at rest, then attempt a
+                // delta save. The patch reads every parity chunk before
+                // writing anything, so it must refuse cleanly.
+                let parity = ecc.placement().parity_nodes()[0];
+                assert!(
+                    plane.corrupt_blob(parity, &keys::chunk_key(version)),
+                    "parity node must hold the sealed chunk"
+                );
+                casualties.insert(parity);
+                let mut mutated = dicts[0].clone();
+                mutated.insert("iteration", Value::Int(round as i64 + 0x7A57));
+                let dirty = [WorkerDirtySet { worker: 0, state: &mutated }];
+                match ecc.save_delta(&mut plane, &dirty) {
+                    Err(EcCheckError::CorruptChunk { node }) => {
+                        if node != parity {
+                            violations.push(format!(
+                                "seed {seed} round {round}: delta refusal blamed node \
+                                 {node}, corrupted {parity}"
+                            ));
+                        }
+                    }
+                    Ok(_) => violations.push(format!(
+                        "seed {seed} round {round}: delta save patched through a \
+                         corrupt parity chunk"
+                    )),
+                    Err(other) => violations.push(format!(
+                        "seed {seed} round {round}: delta refusal raised {other} \
+                         instead of CorruptChunk"
+                    )),
+                }
+            }
+        }
+
+        let fetches_before = plane.fetch_log().len();
+        let result = match ecc.load(&mut plane) {
+            Ok((restored, load_report)) => {
+                if restored != dicts {
+                    violations.push(format!(
+                        "seed {seed} round {round} leg {leg}: load returned GARBAGE state"
+                    ));
+                }
+                if leg == 2 && load_report.workflow != RecoveryWorkflow::Remote {
+                    violations.push(format!(
+                        "seed {seed} round {round}: {} crashed nodes but recovery ran \
+                         {:?} instead of Remote",
+                        casualties.len(),
+                        load_report.workflow
+                    ));
+                }
+                RoundResult::Recovered {
+                    rebuilt_chunks: load_report.rebuilt_chunks,
+                    corrupt_detected: load_report.corrupt_nodes.len(),
+                }
+            }
+            Err(err) => {
+                violations.push(format!(
+                    "seed {seed} round {round} leg {leg}: tiered recovery failed: {err}"
+                ));
+                RoundResult::Refused { survivors: 0, needed: cfg.k, lost_workers: Vec::new() }
+            }
+        };
+
+        // Tier provenance: leg B must never touch tier 1 (it is gone);
+        // leg C must visibly lean on it.
+        let fetches = plane.fetch_log();
+        let round_fetches = &fetches[fetches_before..];
+        let touched_remote = round_fetches.iter().any(|f| f.tier == Tier::Remote);
+        match leg {
+            1 if touched_remote => {
+                violations.push(format!(
+                    "seed {seed} round {round}: recovery read tier 1 after it was wiped"
+                ));
+            }
+            2 if !touched_remote => {
+                violations.push(format!(
+                    "seed {seed} round {round}: remote-workflow recovery shows no \
+                     tier-1 fetches"
+                ));
+            }
+            _ => {}
+        }
+
+        outcomes.push(RoundOutcome {
+            round,
+            version,
+            chunk_casualties: casualties.into_iter().collect(),
+            header_catastrophe: false,
+            ambiguous: false,
+            result,
+        });
+
+        plane.cancel_scheduled_crashes();
+        for node in 0..cfg.nodes {
+            plane.heal(node);
+        }
+    }
+
+    CampaignReport {
+        seed,
+        outcomes,
+        violations,
+        fault_log: plane.fault_log(),
+        fetch_log: plane.fetch_log(),
         telemetry_json: ecc.recorder().snapshot().to_json(),
     }
 }
@@ -582,6 +830,34 @@ mod tests {
         assert!(b.passed(), "sequential violations: {:?}", b.violations);
         assert_eq!(a.outcomes, b.outcomes);
         assert_eq!(a.fault_log, b.fault_log);
+        assert_eq!(a.fetch_log, b.fetch_log);
+    }
+
+    #[test]
+    fn tiered_campaign_passes_and_proves_tier_provenance() {
+        let cfg = CampaignConfig::standard();
+        let report = run_tiered_campaign(&cfg, 3);
+        assert!(report.passed(), "violations: {:?}", report.violations);
+        assert_eq!(report.outcomes.len(), cfg.rounds);
+        // Every leg recovers (leg D's refusal is the delta save's, not
+        // the load's), and both tiers visibly served fetches.
+        assert_eq!(report.recovered(), cfg.rounds);
+        assert!(report.fetch_log.iter().any(|f| f.tier == Tier::Peer));
+        assert!(report.fetch_log.iter().any(|f| f.tier == Tier::Remote));
+    }
+
+    #[test]
+    fn tiered_campaign_is_executor_agnostic_fetch_for_fetch() {
+        // The delta path and the drain issue the same plane-op
+        // sequence under either save executor, so the tiered legs must
+        // agree fault-for-fault AND fetch-for-fetch across modes.
+        let a = run_tiered_campaign(&CampaignConfig::standard(), 9);
+        let b = run_tiered_campaign(&CampaignConfig::sequential(), 9);
+        assert!(a.passed(), "pipelined violations: {:?}", a.violations);
+        assert!(b.passed(), "sequential violations: {:?}", b.violations);
+        assert_eq!(a.outcomes, b.outcomes);
+        assert_eq!(a.fault_log, b.fault_log);
+        assert_eq!(a.fetch_log, b.fetch_log);
     }
 
     #[test]
@@ -626,5 +902,8 @@ mod tests {
         let summary = report.summary_json();
         assert!(summary.contains("\"seed\": 2"));
         assert!(summary.contains("\"violations\": []"));
+        let fetches = report.fetch_log_json();
+        assert!(fetches.starts_with('[') && fetches.trim_end().ends_with(']'));
+        assert!(fetches.contains("\"tier\": \"peer\""));
     }
 }

@@ -57,9 +57,9 @@ mod plane;
 pub mod scenario;
 
 pub use campaign::{
-    campaign_slos, run_campaign, run_campaign_observed, run_campaign_on_plane, CampaignConfig,
-    CampaignReport, RoundOutcome, RoundResult,
+    campaign_slos, run_campaign, run_campaign_observed, run_campaign_on_plane, run_tiered_campaign,
+    CampaignConfig, CampaignReport, RoundOutcome, RoundResult,
 };
 pub use churn::{run_churn_campaign, ChurnConfig, ChurnReport, ChurnRound};
-pub use plane::{ChaosConfig, ChaosPlane, FaultKind, FaultRecord};
+pub use plane::{ChaosConfig, ChaosPlane, FaultKind, FaultRecord, FetchRecord, Tier};
 pub use scenario::{ChaosEvent, ScenarioSchedule};

@@ -60,6 +60,43 @@ pub struct FaultRecord {
     pub key: String,
 }
 
+/// Which storage tier served a successful fetch (see
+/// [`ChaosPlane::fetch_log`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Tier {
+    /// Tier 0: a peer node's host memory (`get_local`).
+    Peer,
+    /// Tier 1: the remote store of last resort (`get_remote`).
+    Remote,
+}
+
+impl Tier {
+    /// Telemetry counter name for fetches served by this tier.
+    pub fn label(self) -> &'static str {
+        match self {
+            Tier::Peer => "chaos.fetch.peer",
+            Tier::Remote => "chaos.fetch.remote",
+        }
+    }
+}
+
+/// One successful blob fetch, with the tier that served it — the
+/// provenance record the tiered-store campaigns compare across save
+/// modes (like the fault log, the sequence must be executor-agnostic).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FetchRecord {
+    /// Storage-op counter value at the fetch. Remote fetches do not
+    /// tick the counter (tier 1 is outside the peer op clock), so
+    /// theirs is the op of the last local operation before them.
+    pub op: u64,
+    /// The tier that served the bytes.
+    pub tier: Tier,
+    /// The serving node for [`Tier::Peer`]; `None` for remote fetches.
+    pub node: Option<NodeId>,
+    /// The blob key fetched.
+    pub key: String,
+}
+
 /// Probabilities and knobs of a [`ChaosPlane`].
 ///
 /// All randomness derives from `seed`, so a given (config, workload)
@@ -157,6 +194,7 @@ struct State {
     /// Scheduled `(fire_at_op, node)` crashes, unordered.
     crashes_at: Vec<(u64, NodeId)>,
     log: Vec<FaultRecord>,
+    fetches: Vec<FetchRecord>,
 }
 
 /// A deterministic fault-injecting wrapper around any [`DataPlane`].
@@ -193,6 +231,7 @@ impl<P: DataPlane> ChaosPlane<P> {
                 transient: BTreeMap::new(),
                 crashes_at: Vec::new(),
                 log: Vec::new(),
+                fetches: Vec::new(),
             }),
             recorder: Recorder::new(),
             trace: None,
@@ -237,6 +276,21 @@ impl<P: DataPlane> ChaosPlane<P> {
     /// Everything injected so far, in firing order.
     pub fn fault_log(&self) -> Vec<FaultRecord> {
         self.state.borrow().log.clone()
+    }
+
+    /// Every successful fetch so far with its tier provenance, in
+    /// serving order — which tier (peer memory vs remote store)
+    /// produced each blob the workload read.
+    pub fn fetch_log(&self) -> Vec<FetchRecord> {
+        self.state.borrow().fetches.clone()
+    }
+
+    /// Appends a fetch-provenance record and mirrors it to telemetry.
+    fn record_fetch(&self, tier: Tier, node: Option<NodeId>, key: &str) {
+        let mut st = self.state.borrow_mut();
+        let op = st.op;
+        self.recorder.counter(tier.label()).incr();
+        st.fetches.push(FetchRecord { op, tier, node, key: key.to_string() });
     }
 
     /// Crashes `node` immediately: it stops serving and its volatile
@@ -471,7 +525,11 @@ impl<P: DataPlane> DataPlane for ChaosPlane<P> {
                 }
             }
         }
-        self.inner.get_local(node, key)
+        let got = self.inner.get_local(node, key);
+        if got.is_some() {
+            self.record_fetch(Tier::Peer, Some(node), key);
+        }
+        got
     }
 
     fn delete_local(&mut self, node: NodeId, key: &str) {
@@ -491,7 +549,14 @@ impl<P: DataPlane> DataPlane for ChaosPlane<P> {
     }
 
     fn get_remote(&self, key: &str) -> Option<Vec<u8>> {
-        self.inner.get_remote(key)
+        // Remote passthrough stays untouched by faults, but its
+        // provenance is recorded: a restore that was served by tier 1
+        // must say so, identically under either save executor.
+        let got = self.inner.get_remote(key);
+        if got.is_some() {
+            self.record_fetch(Tier::Remote, None, key);
+        }
+        got
     }
 
     fn local_keys(&self, node: NodeId) -> Vec<String> {

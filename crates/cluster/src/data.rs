@@ -258,6 +258,13 @@ impl Cluster {
     pub fn remote_used(&self) -> u64 {
         self.remote.used
     }
+
+    /// Destroys the remote store (a tier-1 outage: the persistent
+    /// backend is lost while peer memories survive). Chaos campaigns
+    /// use this to prove tier-0 alone still restores a checkpoint.
+    pub fn wipe_remote(&mut self) {
+        self.remote.clear();
+    }
 }
 
 #[cfg(test)]

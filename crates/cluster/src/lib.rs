@@ -38,6 +38,7 @@ mod data;
 mod error;
 mod failure;
 mod health;
+mod shared;
 mod timeline;
 mod topology;
 
@@ -45,5 +46,6 @@ pub use data::{Cluster, ClusterView, DataPlane};
 pub use error::ClusterError;
 pub use failure::{FailureModel, FailureScenario};
 pub use health::{HealthConfig, HealthRegistry, HealthTransition, NodeHealth};
+pub use shared::SharedPlane;
 pub use timeline::ClusterTimeline;
 pub use topology::{ClusterSpec, NodeId};

@@ -1,0 +1,145 @@
+//! A cloneable, thread-safe handle over any [`DataPlane`].
+//!
+//! The tiered store's drain worker copies sealed checkpoint versions
+//! from peer memory to remote storage on its own thread, while the
+//! training loop keeps saving on the main thread. Both need the *same*
+//! plane — the drainer must see the blobs the engine just placed — so
+//! the plane goes behind a mutex and every party holds a clone of this
+//! handle.
+//!
+//! Lock granularity is one plane operation: the engine and the drainer
+//! interleave at blob boundaries, never mid-blob, which is exactly the
+//! atomicity the in-memory [`crate::Cluster`] already provides. No
+//! operation holds the lock while blocking on anything else, so the
+//! handle cannot deadlock against its own clones.
+
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use crate::{ClusterError, DataPlane, NodeId};
+
+/// A `Clone + Send` wrapper sharing one [`DataPlane`] across threads.
+///
+/// # Examples
+///
+/// ```
+/// use ecc_cluster::{Cluster, ClusterSpec, DataPlane, SharedPlane};
+///
+/// let shared = SharedPlane::new(Cluster::new(ClusterSpec::tiny_test(2, 1)));
+/// let mut a = shared.clone();
+/// a.put_local(0, "chunk", vec![7; 4])?;
+/// assert_eq!(shared.get_local(0, "chunk").unwrap(), &[7; 4]);
+/// # Ok::<(), ecc_cluster::ClusterError>(())
+/// ```
+#[derive(Debug)]
+pub struct SharedPlane<P> {
+    inner: Arc<Mutex<P>>,
+}
+
+impl<P> Clone for SharedPlane<P> {
+    fn clone(&self) -> Self {
+        Self { inner: Arc::clone(&self.inner) }
+    }
+}
+
+impl<P> SharedPlane<P> {
+    /// Wraps a plane for shared cross-thread access.
+    pub fn new(plane: P) -> Self {
+        Self { inner: Arc::new(Mutex::new(plane)) }
+    }
+
+    /// Locks the plane for a multi-operation critical section (e.g.
+    /// fault injection that must not interleave with a drain step).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a previous holder panicked while holding the lock.
+    pub fn lock(&self) -> MutexGuard<'_, P> {
+        self.inner.lock().expect("shared plane poisoned")
+    }
+
+    /// Recovers the inner plane once all other handles are dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics while clones of this handle are still alive, or if the
+    /// lock was poisoned.
+    pub fn into_inner(self) -> P {
+        Arc::into_inner(self.inner)
+            .expect("shared plane still has live clones")
+            .into_inner()
+            .expect("shared plane poisoned")
+    }
+}
+
+impl<P: DataPlane> DataPlane for SharedPlane<P> {
+    fn nodes(&self) -> usize {
+        self.lock().nodes()
+    }
+
+    fn alive(&self, node: NodeId) -> bool {
+        self.lock().alive(node)
+    }
+
+    fn put_local(&mut self, node: NodeId, key: &str, bytes: Vec<u8>) -> Result<(), ClusterError> {
+        self.lock().put_local(node, key, bytes)
+    }
+
+    fn get_local(&self, node: NodeId, key: &str) -> Option<Vec<u8>> {
+        self.lock().get_local(node, key)
+    }
+
+    fn delete_local(&mut self, node: NodeId, key: &str) {
+        self.lock().delete_local(node, key)
+    }
+
+    fn put_remote(&mut self, key: &str, bytes: Vec<u8>) {
+        self.lock().put_remote(key, bytes)
+    }
+
+    fn get_remote(&self, key: &str) -> Option<Vec<u8>> {
+        self.lock().get_remote(key)
+    }
+
+    fn local_keys(&self, node: NodeId) -> Vec<String> {
+        self.lock().local_keys(node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Cluster, ClusterSpec};
+
+    #[test]
+    fn clones_see_each_others_writes() {
+        let shared = SharedPlane::new(Cluster::new(ClusterSpec::tiny_test(2, 1)));
+        let mut a = shared.clone();
+        let b = shared.clone();
+        a.put_local(1, "k", vec![3; 8]).unwrap();
+        assert_eq!(b.get_local(1, "k").unwrap(), &[3; 8]);
+        b.lock().fail_node(1);
+        assert!(!a.alive(1));
+    }
+
+    #[test]
+    fn into_inner_recovers_the_plane() {
+        let shared = SharedPlane::new(Cluster::new(ClusterSpec::tiny_test(1, 1)));
+        let mut a = shared.clone();
+        a.put_remote("r", vec![1, 2]);
+        drop(a);
+        let plane = shared.into_inner();
+        assert_eq!(plane.get_remote("r").unwrap(), &[1, 2]);
+    }
+
+    #[test]
+    fn works_across_threads() {
+        let shared = SharedPlane::new(Cluster::new(ClusterSpec::tiny_test(1, 1)));
+        let mut writer = shared.clone();
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                writer.put_local(0, "t", vec![9; 4]).unwrap();
+            });
+        });
+        assert_eq!(shared.get_local(0, "t").unwrap(), &[9; 4]);
+    }
+}

@@ -53,6 +53,8 @@ pub struct EcCheckConfig {
     save_mode: SaveMode,
     pipeline_buffer: usize,
     pipeline_depth: usize,
+    retain_last: usize,
+    retain_every: u64,
     fail_encode_task: Option<u64>,
 }
 
@@ -78,6 +80,8 @@ impl EcCheckConfig {
             save_mode: SaveMode::Pipelined,
             pipeline_buffer: 4 << 20,
             pipeline_depth: 8,
+            retain_last: 1,
+            retain_every: 0,
             fail_encode_task: None,
         }
     }
@@ -179,6 +183,24 @@ impl EcCheckConfig {
         self
     }
 
+    /// Overrides how many sealed checkpoint versions the retention
+    /// policy keeps in peer memory (the tier-0 EC group). The default
+    /// of 1 reproduces the original rotate-on-save behavior: each save
+    /// garbage-collects its predecessor. Clamped to at least 1 — the
+    /// newest restorable version is never collectible.
+    pub fn with_retain_last(mut self, n: usize) -> Self {
+        self.retain_last = n.max(1);
+        self
+    }
+
+    /// Additionally pins every version divisible by `every` (0 = off),
+    /// so long-horizon restore points survive the keep-last-N window —
+    /// the classic "keep every Kth" checkpoint ladder.
+    pub fn with_retain_every(mut self, every: u64) -> Self {
+        self.retain_every = every;
+        self
+    }
+
     /// Overrides how many times a recovery fetch is retried before the
     /// holding node is declared failed (0 = fail on the first miss).
     /// Retries absorb transient data-plane glitches — a blob that is
@@ -277,6 +299,16 @@ impl EcCheckConfig {
     /// Pipeline depth (in-flight stripes between encode and transfer).
     pub fn pipeline_depth(&self) -> usize {
         self.pipeline_depth
+    }
+
+    /// How many newest sealed versions the tier-0 retention keeps.
+    pub fn retain_last(&self) -> usize {
+        self.retain_last
+    }
+
+    /// Keep-every-Kth pinning period for retention (0 = off).
+    pub fn retain_every(&self) -> u64 {
+        self.retain_every
     }
 
     /// Validates the configuration against a cluster size.
@@ -402,6 +434,16 @@ mod tests {
         let c = EcCheckConfig::paper_defaults();
         assert_eq!(c.save_mode(), SaveMode::Pipelined);
         assert!(c.pipeline_buffer() > 0 && c.pipeline_depth() >= 2);
+    }
+
+    #[test]
+    fn retention_defaults_reproduce_rotate_on_save() {
+        let c = EcCheckConfig::paper_defaults();
+        assert_eq!((c.retain_last(), c.retain_every()), (1, 0));
+        let c = c.with_retain_last(0);
+        assert_eq!(c.retain_last(), 1, "the newest version is never collectible");
+        let c = c.with_retain_last(4).with_retain_every(10);
+        assert_eq!((c.retain_last(), c.retain_every()), (4, 10));
     }
 
     #[test]

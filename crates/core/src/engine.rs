@@ -11,6 +11,8 @@
 //! Timing is *not* modelled here — see [`crate::timing`]; this module is
 //! the correctness plane.
 
+use std::collections::BTreeMap;
+
 use ecc_checkpoint::{
     checksum_frame, decompose, verify_checksum, Decomposition, Packer, Packet, StateDict,
 };
@@ -27,10 +29,11 @@ use crate::keys::{
     manifest_key, remote_chunk_crc_key, remote_chunk_key, remote_header_crc_key, remote_header_key,
     remote_manifest_key,
 };
-use crate::pipeline::{self, PipelineJob, PipelineOutcome, PipelineStats};
+use crate::pipeline::{self, DeltaColumn, DeltaJob, PipelineJob, PipelineOutcome, PipelineStats};
+use crate::store::{DrainHandle, RetentionPolicy, VersionIndex, WorkerDirtySet};
 use crate::{
-    select_data_parity_nodes, EcCheckConfig, EcCheckError, LoadReport, Placement, RecoveryWorkflow,
-    ReductionPlan, SaveReport,
+    select_data_parity_nodes, DeltaReport, EcCheckConfig, EcCheckError, LoadReport, Placement,
+    RecoveryWorkflow, ReductionPlan, SaveReport,
 };
 
 /// Outcome of one checksum-verified chunk fetch during recovery.
@@ -43,6 +46,16 @@ enum ChunkFetch {
     /// The blob is present but fails its checksum: silent corruption,
     /// reclassified as an erasure.
     Corrupt,
+}
+
+/// Which public entry point a delta patch serves — selects its
+/// telemetry and trace namespace (`ecc.update.*` vs `ecc.delta.*`).
+#[derive(Clone, Copy)]
+enum DeltaOp {
+    /// [`EcCheck::update_worker`]: the single-worker patch.
+    Update,
+    /// [`EcCheck::save_delta`]: an arbitrary dirty set.
+    Save,
 }
 
 /// The ECCheck checkpointing system (paper §III).
@@ -77,6 +90,15 @@ pub struct EcCheck {
     /// save heartbeats every node, a load heartbeats each node whose
     /// chunk arrived intact.
     health: Option<HealthRegistry>,
+    /// Tier-0 retention index: every checkpoint version currently
+    /// restorable from cluster memory, ascending. Saves append to it;
+    /// the retention GC pass prunes it (never the newest entry).
+    index: VersionIndex,
+    /// Handle to an asynchronous tier-0 → tier-1 drain worker, if one
+    /// is attached (see [`EcCheck::set_drainer`]). Every sealed save is
+    /// enqueued here, and versions still pending a drain are pinned
+    /// against GC so the copy source cannot vanish mid-drain.
+    drain: Option<DrainHandle>,
 }
 
 /// Tracing handles for the engine: the driver's `engine` track hosts the
@@ -135,6 +157,8 @@ impl EcCheck {
             trace: None,
             idle_profile: None,
             health: None,
+            index: VersionIndex::new(),
+            drain: None,
         })
     }
 
@@ -398,6 +422,33 @@ impl EcCheck {
         self.version
     }
 
+    /// Every checkpoint version currently restorable from tier 0
+    /// (cluster memory), ascending — the retention index. The newest
+    /// entry is never garbage-collected; older entries survive
+    /// according to the configured retention policy (see
+    /// [`EcCheckConfig::with_retain_last`] and
+    /// [`EcCheckConfig::with_retain_every`]). Restore any of them with
+    /// [`EcCheck::load_version`].
+    pub fn retained_versions(&self) -> Vec<u64> {
+        self.index.versions().to_vec()
+    }
+
+    /// Attaches a drain worker: from now on every sealed save version
+    /// is enqueued for an asynchronous tier-0 → tier-1 copy (see
+    /// [`crate::store::Drainer`]), and versions still pending a drain
+    /// are pinned against garbage collection. The handle's plane must
+    /// view the same storage this engine saves through (e.g. a
+    /// [`ecc_cluster::SharedPlane`] clone).
+    pub fn set_drainer(&mut self, drain: DrainHandle) {
+        self.drain = Some(drain);
+    }
+
+    /// Detaches the drain worker handle, returning it; subsequent saves
+    /// stay tier-0 only (plus the periodic synchronous remote flush).
+    pub fn clear_drainer(&mut self) -> Option<DrainHandle> {
+        self.drain.take()
+    }
+
     /// Adopts a checkpoint this engine did not write, so a fresh
     /// process can [`EcCheck::load`] state saved by another one (e.g.
     /// over a socket-backed plane). Reads `version`'s packet-layout
@@ -428,6 +479,10 @@ impl EcCheck {
         self.packets_per_worker = u64::from_le_bytes(bytes) as usize;
         self.version = version;
         self.saves = version;
+        // Rebuild the retention index from what the plane actually
+        // holds — the adopting engine did not watch the saves happen.
+        self.index = VersionIndex::rebuild(cluster);
+        self.index.record(version);
         // Adopt the plane's committed placement epoch alongside the
         // checkpoint. The committed layout is always the sweep-line
         // assignment over the (unchanged) origin group — rebalances
@@ -569,21 +624,16 @@ impl EcCheck {
             self.flush_remote_chunks(cluster, version, &flush_data, &flush_parity, &headers);
         }
 
-        // Drop the previous version only after the new one is complete.
-        let old = self.version;
+        // Seal the new version in the retention index, hand it to the
+        // drain worker (tier-0 → tier-1 copy, off the critical path),
+        // then collect whatever the retention policy allows — never
+        // the version just sealed, never one still pending a drain.
         self.version = version;
-        if old > 0 {
-            for node in 0..self.spec.nodes() {
-                cluster.delete_local(node, &chunk_key(old));
-                cluster.delete_local(node, &chunk_crc_key(old));
-                cluster.delete_local(node, &manifest_key(old));
-                cluster.delete_local(node, &epoch_key(old));
-                for w in 0..world {
-                    cluster.delete_local(node, &header_key(old, w));
-                    cluster.delete_local(node, &header_crc_key(old, w));
-                }
-            }
+        self.index.record(version);
+        if let Some(drain) = &self.drain {
+            drain.enqueue(version, world);
         }
+        self.collect_garbage(cluster, world);
 
         let payload = (max_packets * ps) as u64;
         let traffic = self.reduction.traffic(payload);
@@ -613,6 +663,34 @@ impl EcCheck {
             remote_flushed,
             pipeline: pipeline_stats,
         })
+    }
+
+    /// One retention GC pass over tier 0: deletes every version the
+    /// policy lets go (see [`VersionIndex::collectible`]) and prunes
+    /// the index. Safety invariant: the newest restorable version is
+    /// never collected (the policy clamps `keep_last >= 1`), and a
+    /// version still queued for a tier-1 drain is pinned until its
+    /// copy completes. Tier-1 copies are never deleted here — the
+    /// remote store is append-only by design, so a catastrophic
+    /// restore always has every drained version to fall back on.
+    fn collect_garbage(&mut self, cluster: &mut impl DataPlane, world: usize) {
+        let policy = RetentionPolicy::from_config(&self.config);
+        let pinned = self.drain.as_ref().map(DrainHandle::pending).unwrap_or_default();
+        for old in self.index.collectible(&policy, &pinned) {
+            for node in 0..self.spec.nodes() {
+                cluster.delete_local(node, &chunk_key(old));
+                cluster.delete_local(node, &chunk_crc_key(old));
+                cluster.delete_local(node, &manifest_key(old));
+                cluster.delete_local(node, &epoch_key(old));
+                for w in 0..world {
+                    cluster.delete_local(node, &header_key(old, w));
+                    cluster.delete_local(node, &header_crc_key(old, w));
+                }
+            }
+            self.index.remove(old);
+            self.recorder.counter("ecc.gc.collected").incr();
+            self.recorder.event("ecc.gc", format!("collected tier-0 v{old}"));
+        }
     }
 
     /// Steps 3c + 3d, sequential executor: one monolithic encode, then
@@ -760,8 +838,69 @@ impl EcCheck {
         if self.version == 0 {
             return Err(EcCheckError::NoCheckpoint);
         }
+        self.load_version_inner(cluster, self.version, self.packets_per_worker)
+    }
+
+    /// Restores a specific retained checkpoint version — any entry of
+    /// [`EcCheck::retained_versions`], not just the newest — through
+    /// the same two recovery workflows as [`EcCheck::load`] (falling
+    /// back to the tier-1 remote copy when fewer than `k` chunks
+    /// survive in memory). The packet layout of an older version is
+    /// read back from its stored manifest, so restores work even after
+    /// later saves changed the layout.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EcCheckError::NoCheckpoint`] before the first save,
+    /// [`EcCheckError::VersionGone`] when `version` is not in the
+    /// retention index (collected, or never saved), and otherwise the
+    /// same errors as [`EcCheck::load`].
+    pub fn load_version(
+        &self,
+        cluster: &mut impl DataPlane,
+        version: u64,
+    ) -> Result<(Vec<StateDict>, LoadReport), EcCheckError> {
+        if self.version == 0 {
+            return Err(EcCheckError::NoCheckpoint);
+        }
+        if !self.index.contains(version) {
+            return Err(EcCheckError::VersionGone { version });
+        }
+        let ppw = if version == self.version {
+            self.packets_per_worker
+        } else {
+            self.manifest_ppw(cluster, version)?
+        };
+        self.load_version_inner(cluster, version, ppw)
+    }
+
+    /// Reads back the packet-layout manifest of a retained (but not
+    /// current) `version` from any alive node, falling back to the
+    /// tier-1 remote copy.
+    fn manifest_ppw(&self, cluster: &impl DataPlane, version: u64) -> Result<usize, EcCheckError> {
+        let key = manifest_key(version);
+        let blob = (0..cluster.nodes())
+            .filter(|&node| cluster.alive(node))
+            .find_map(|node| cluster.get_local(node, &key))
+            .or_else(|| cluster.get_remote(&remote_manifest_key(version)))
+            .ok_or(EcCheckError::VersionGone { version })?;
+        let bytes: [u8; 8] = blob.as_slice().try_into().map_err(|_| EcCheckError::Config {
+            detail: format!("manifest for v{version} is {} bytes, expected 8", blob.len()),
+        })?;
+        Ok(u64::from_le_bytes(bytes) as usize)
+    }
+
+    /// Shared body of [`EcCheck::load`] and [`EcCheck::load_version`]:
+    /// gather → (decode | resend | remote fallback) → restore fault
+    /// tolerance → reassemble, all against an explicit `version` whose
+    /// packet layout is `ppw` packets per worker.
+    fn load_version_inner(
+        &self,
+        cluster: &mut impl DataPlane,
+        version: u64,
+        ppw: usize,
+    ) -> Result<(Vec<StateDict>, LoadReport), EcCheckError> {
         self.ensure_fresh_epoch(cluster)?;
-        let version = self.version;
         let (k, n) = (self.config.k(), self.spec.nodes());
         self.recorder.counter("ecc.load.calls").incr();
         let load_timer = self.recorder.timer("ecc.load.ns");
@@ -805,7 +944,14 @@ impl EcCheck {
         if survivors < k {
             // Catastrophic: fall back to the remote copy if one exists.
             // (load_timer drops after the call, timing the remote path too.)
-            return self.load_from_remote(cluster, failed_nodes, corrupt_nodes, &shards);
+            return self.load_from_remote(
+                cluster,
+                version,
+                ppw,
+                failed_nodes,
+                corrupt_nodes,
+                &shards,
+            );
         }
 
         let data_lost = (0..k).any(|j| shards[j].is_none());
@@ -859,7 +1005,7 @@ impl EcCheck {
                 puts.push((header_key(version, w), header.clone()));
                 puts.push((header_crc_key(version, w), header_frames[w].clone()));
             }
-            puts.push((manifest_key(version), manifest(self.packets_per_worker)));
+            puts.push((manifest_key(version), manifest(ppw)));
             puts.push((epoch_key(version), encode_epoch(self.placement_epoch)));
             for (key, bytes) in puts {
                 match cluster.put_local(node, &key, bytes) {
@@ -885,7 +1031,7 @@ impl EcCheck {
 
         // Reassemble every worker's state_dict from the data chunks.
         let span = trace.as_ref().map(|t| t.tracer.span(t.engine, "load.reassemble", ""));
-        let dicts = self.reassemble_all(&all_chunks[..k], &headers)?;
+        let dicts = self.reassemble_all(&all_chunks[..k], &headers, ppw)?;
         let restored_bytes: u64 = dicts.iter().map(|d| d.tensor_bytes() as u64).sum();
         drop(span);
         load_timer.stop();
@@ -1093,65 +1239,184 @@ impl EcCheck {
     /// [`EcCheckError::CorruptChunk`] when a stored chunk fails its
     /// checksum (patching it would launder the corruption under a
     /// fresh, valid checksum — run [`EcCheck::load`] to repair).
+    ///
+    /// Since the tiered store landed this is sugar for a single-worker
+    /// [`EcCheck::save_delta`]: both share one parity-patch
+    /// implementation (and its all-or-nothing torn-update guard).
     pub fn update_worker(
         &mut self,
         cluster: &mut impl DataPlane,
         worker: usize,
         state_dict: &StateDict,
     ) -> Result<u64, EcCheckError> {
+        let dirty = [WorkerDirtySet { worker, state: state_dict }];
+        let report = self.delta_inner(cluster, &dirty, DeltaOp::Update)?;
+        self.recorder.counter("ecc.update.calls").incr();
+        self.recorder.counter("ecc.update.changed_bytes").add(report.changed_bytes);
+        Ok(report.changed_bytes)
+    }
+
+    /// Incrementally checkpoints an arbitrary *dirty set* of workers
+    /// into the current version: only the dirty regions and the
+    /// corresponding parity deltas move. For each touched data chunk,
+    /// the delta `old ⊕ new` (zero outside the dirty slices) is
+    /// encoded and the result XORed onto the stored parity — by the
+    /// code's GF(2)-linearity, the patched parity equals what a full
+    /// re-encode would produce, at a fraction of the traffic
+    /// (`region × (1 + m)` instead of the full save's `m·s·W`; see
+    /// [`DeltaReport::traffic_bytes`]). Like a full save, the patch
+    /// streams through the configured executor:
+    /// [`SaveMode::Pipelined`] runs the dirty columns through the same
+    /// encode → reduce → transfer rings, with all stores deferred to
+    /// the end so a mid-flight failure cannot tear the in-place update.
+    ///
+    /// Delta saves do not bump the version — they evolve the newest
+    /// retained checkpoint in place. Tensor shapes must be unchanged
+    /// since the last full [`EcCheck::save`].
+    ///
+    /// An empty dirty set is a no-op returning a zeroed report.
+    ///
+    /// # Errors
+    ///
+    /// Exactly [`EcCheck::update_worker`]'s, plus
+    /// [`EcCheckError::Config`] when a worker appears twice in `dirty`.
+    pub fn save_delta(
+        &mut self,
+        cluster: &mut impl DataPlane,
+        dirty: &[WorkerDirtySet<'_>],
+    ) -> Result<DeltaReport, EcCheckError> {
+        if self.version == 0 {
+            return Err(EcCheckError::NoCheckpoint);
+        }
+        if dirty.is_empty() {
+            return Ok(DeltaReport {
+                version: self.version,
+                workers: Vec::new(),
+                chunks_patched: 0,
+                changed_bytes: 0,
+                region_bytes: 0,
+                traffic_bytes: 0,
+                encoded_bytes: 0,
+                pipeline: None,
+            });
+        }
+        let report = self.delta_inner(cluster, dirty, DeltaOp::Save)?;
+        self.recorder.counter("ecc.delta.calls").incr();
+        self.recorder.counter("ecc.delta.changed_bytes").add(report.changed_bytes);
+        self.recorder.counter("ecc.delta.traffic_bytes").add(report.traffic_bytes);
+        self.recorder.counter("ecc.delta.encoded_bytes").add(report.encoded_bytes);
+        self.recorder.event(
+            "ecc.delta",
+            format!(
+                "version={} workers={:?} changed={} traffic={}",
+                report.version, report.workers, report.changed_bytes, report.traffic_bytes
+            ),
+        );
+        Ok(report)
+    }
+
+    /// Shared core of [`EcCheck::update_worker`] and
+    /// [`EcCheck::save_delta`]: verify every chunk the patch touches,
+    /// build whole-chunk deltas (zero outside the dirty regions), then
+    /// patch the data chunks and XOR the encoded parity deltas onto
+    /// the stored parity. Both executors produce the same plane-op
+    /// sequence — all reads up front, then data columns ascending,
+    /// then parity, then headers — because in-place patches lack the
+    /// full save's version-rotation safety net, so no store may happen
+    /// until everything that could fail has succeeded.
+    fn delta_inner(
+        &mut self,
+        cluster: &mut impl DataPlane,
+        dirty: &[WorkerDirtySet<'_>],
+        op: DeltaOp,
+    ) -> Result<DeltaReport, EcCheckError> {
         if self.version == 0 {
             return Err(EcCheckError::NoCheckpoint);
         }
         let world = self.spec.world_size();
-        if worker >= world {
+        for d in dirty {
+            if d.worker >= world {
+                return Err(EcCheckError::Config {
+                    detail: format!("worker {} out of range (world size {world})", d.worker),
+                });
+            }
+        }
+        let mut sorted: Vec<&WorkerDirtySet<'_>> = dirty.iter().collect();
+        sorted.sort_by_key(|d| d.worker);
+        if let Some(pair) = sorted.windows(2).find(|pair| pair[0].worker == pair[1].worker) {
             return Err(EcCheckError::Config {
-                detail: format!("worker {worker} out of range (world size {world})"),
+                detail: format!("worker {} appears twice in the dirty set", pair[0].worker),
             });
         }
         if let Some(dead) = (0..self.spec.nodes()).find(|&node| !cluster.alive(node)) {
             return Err(ClusterError::NodeDown { node: dead }.into());
         }
         self.ensure_fresh_epoch(cluster)?;
+
         let version = self.version;
+        let workers: Vec<usize> = sorted.iter().map(|d| d.worker).collect();
         let ps = self.config.packet_size();
         let max_packets = self.packets_per_worker;
-        let update_timer = self.recorder.timer("ecc.update.ns");
+        let (timer_name, span_name) = match op {
+            DeltaOp::Update => ("ecc.update.ns", "ecc.update"),
+            DeltaOp::Save => ("ecc.delta.ns", "ecc.delta"),
+        };
+        let timer = self.recorder.timer(timer_name);
         let trace = self.trace.clone();
-        let root_span = trace
-            .as_ref()
-            .map(|t| t.tracer.span(t.engine, "ecc.update", format!("worker {worker}")));
+        let detail = match op {
+            DeltaOp::Update => format!("worker {}", workers[0]),
+            DeltaOp::Save => format!("version={version} workers={workers:?}"),
+        };
+        let root_span = trace.as_ref().map(|t| t.tracer.span(t.engine, span_name, detail));
 
-        // Re-pack the worker's tensor data into its (fixed) packet count.
-        let d = decompose(state_dict);
-        let header = d.header_to_bytes();
-        let (mut packets, _) = self.packer.pack(d.tensor_data());
-        if packets.len() > max_packets {
-            return Err(EcCheckError::Config {
-                detail: format!(
-                    "worker {worker} now needs {} packets (> {max_packets}); run a full save",
-                    packets.len()
-                ),
+        // Re-pack each dirty worker into its (fixed) packet count and
+        // bucket the regions by data column.
+        struct DirtyRegion {
+            worker: usize,
+            base: usize,
+            region: Vec<u8>,
+            header: Vec<u8>,
+        }
+        let group_size = self.placement.group_size();
+        let mut by_col: BTreeMap<usize, Vec<DirtyRegion>> = BTreeMap::new();
+        for d in &sorted {
+            let dec = decompose(d.state);
+            let header = dec.header_to_bytes();
+            let (mut packets, _) = self.packer.pack(dec.tensor_data());
+            if packets.len() > max_packets {
+                return Err(EcCheckError::Config {
+                    detail: format!(
+                        "worker {} now needs {} packets (> {max_packets}); run a full save",
+                        d.worker,
+                        packets.len()
+                    ),
+                });
+            }
+            while packets.len() < max_packets {
+                packets.push(Packet::new(packets.len(), vec![0u8; ps]));
+            }
+            let mut region = Vec::with_capacity(max_packets * ps);
+            for p in &packets {
+                region.extend_from_slice(p.data());
+            }
+            let base = (d.worker % group_size) * max_packets * ps;
+            by_col.entry(d.worker / group_size).or_default().push(DirtyRegion {
+                worker: d.worker,
+                base,
+                region,
+                header,
             });
         }
-        while packets.len() < max_packets {
-            packets.push(Packet::new(packets.len(), vec![0u8; ps]));
-        }
-        let mut new_region = Vec::with_capacity(max_packets * ps);
-        for p in &packets {
-            new_region.extend_from_slice(p.data());
-        }
 
-        // Locate the worker's slice inside its data chunk.
-        let group_size = self.placement.group_size();
-        let j = worker / group_size;
-        let r = worker % group_size;
-        let base = r * max_packets * ps;
-        // Verify *every* chunk that will be patched before mutating any
-        // of them: failing halfway through would leave the data chunk
-        // updated but the parity stale (a torn update no checksum can
+        // Verify *every* chunk the patch will touch before mutating any
+        // of them: failing halfway through would leave a data chunk
+        // updated but its parity stale (a torn update no checksum can
         // catch later).
-        let data_node = self.placement.data_nodes()[j];
-        let mut chunk = self.get_verified_for_patch(cluster, data_node, version)?;
+        let mut cols: Vec<(usize, Vec<u8>)> = Vec::with_capacity(by_col.len());
+        for &j in by_col.keys() {
+            let node = self.placement.data_nodes()[j];
+            cols.push((j, self.get_verified_for_patch(cluster, node, version)?));
+        }
         let mut parities: Vec<Vec<u8>> = self
             .placement
             .parity_nodes()
@@ -1159,41 +1424,111 @@ impl EcCheck {
             .map(|&node| self.get_verified_for_patch(cluster, node, version))
             .collect::<Result<_, _>>()?;
 
-        // Whole-chunk delta, zero outside the worker's slice (the
-        // bit-plane layout spans the full chunk, so the delta must too).
-        let mut delta = vec![0u8; chunk.len()];
-        let slice = &mut delta[base..base + new_region.len()];
-        slice.copy_from_slice(&chunk[base..base + new_region.len()]);
-        ecc_erasure::region::xor_into(slice, &new_region);
-        let changed: u64 = delta.iter().filter(|&&b| b != 0).count() as u64;
-
-        // Patch the data chunk in place (checksum frame follows the
-        // patched bytes).
-        chunk[base..base + new_region.len()].copy_from_slice(&new_region);
-        cluster.put_local(data_node, &chunk_crc_key(version), checksum_frame(&chunk))?;
-        cluster.put_local(data_node, &chunk_key(version), chunk)?;
-
-        // Patch every parity chunk by its delta.
-        let parity_deltas = self.code.parity_delta(j, &delta)?;
-        for (i, pd) in parity_deltas.iter().enumerate() {
-            let node = self.placement.parity_nodes()[i];
-            let parity = &mut parities[i];
-            ecc_erasure::region::xor_into(parity, pd);
-            cluster.put_local(node, &chunk_crc_key(version), checksum_frame(parity))?;
-            cluster.put_local(node, &chunk_key(version), parity.clone())?;
+        // Whole-chunk deltas, zero outside the dirty slices (the
+        // bit-plane layout spans the full chunk, so the delta must
+        // too); patch the chunk copies alongside.
+        let mut changed = 0u64;
+        let mut region_bytes = 0u64;
+        let mut deltas: Vec<Vec<u8>> = Vec::with_capacity(cols.len());
+        for (j, chunk) in cols.iter_mut() {
+            let mut delta = vec![0u8; chunk.len()];
+            for dr in &by_col[j] {
+                let slice = &mut delta[dr.base..dr.base + dr.region.len()];
+                slice.copy_from_slice(&chunk[dr.base..dr.base + dr.region.len()]);
+                ecc_erasure::region::xor_into(slice, &dr.region);
+                chunk[dr.base..dr.base + dr.region.len()].copy_from_slice(&dr.region);
+                region_bytes += dr.region.len() as u64;
+            }
+            changed += delta.iter().filter(|&&b| b != 0).count() as u64;
+            deltas.push(delta);
         }
 
-        // Re-broadcast the worker's (possibly changed) header.
-        let header_frame = checksum_frame(&header);
-        for node in 0..self.spec.nodes() {
-            cluster.put_local(node, &header_key(version, worker), header.clone())?;
-            cluster.put_local(node, &header_crc_key(version, worker), header_frame.clone())?;
+        let (encoded_bytes, pipeline_stats) = match self.config.save_mode() {
+            SaveMode::Sequential => {
+                let mut encoded = 0u64;
+                for ((j, _), delta) in cols.iter().zip(&deltas) {
+                    let parity_deltas = self.code.parity_delta(*j, delta)?;
+                    for (i, pd) in parity_deltas.iter().enumerate() {
+                        encoded += pd.len() as u64;
+                        ecc_erasure::region::xor_into(&mut parities[i], pd);
+                    }
+                }
+                // Canonical store order, shared with the pipelined
+                // executor's finish step: data columns ascending, then
+                // parity — each chunk before its checksum frame.
+                for (j, chunk) in &cols {
+                    let node = self.placement.data_nodes()[*j];
+                    let frame = checksum_frame(chunk);
+                    cluster.put_local(node, &chunk_key(version), chunk.clone())?;
+                    cluster.put_local(node, &chunk_crc_key(version), frame)?;
+                    trace_store(&trace, node, &format!("data chunk {j}"));
+                }
+                for (i, parity) in parities.iter().enumerate() {
+                    let node = self.placement.parity_nodes()[i];
+                    let frame = checksum_frame(parity);
+                    cluster.put_local(node, &chunk_key(version), parity.clone())?;
+                    cluster.put_local(node, &chunk_crc_key(version), frame)?;
+                    trace_store(&trace, node, &format!("parity chunk {i}"));
+                }
+                (encoded, None)
+            }
+            SaveMode::Pipelined => {
+                let gate = if self.config.use_idle_slots() {
+                    self.idle_profile
+                        .as_ref()
+                        .map(|(windows, wire)| SlotGate::new(windows.clone(), *wire))
+                } else {
+                    None
+                };
+                let delta_cols: Vec<DeltaColumn> = cols
+                    .into_iter()
+                    .zip(deltas)
+                    .map(|((col, chunk), delta)| DeltaColumn { col, chunk, delta })
+                    .collect();
+                let outcome = pipeline::run_delta(
+                    DeltaJob {
+                        version,
+                        cols: delta_cols,
+                        parity: parities,
+                        code: &self.code,
+                        placement: &self.placement,
+                        threads: self.config.coding_threads(),
+                        buffer: self.config.pipeline_buffer(),
+                        depth: self.config.pipeline_depth(),
+                        recorder: &self.recorder,
+                        trace: trace.as_ref(),
+                        gate,
+                        fail_encode_task: self.config.fail_encode_task(),
+                    },
+                    cluster,
+                )?;
+                (outcome.encoded_bytes, Some(outcome.stats))
+            }
+        };
+
+        // Re-broadcast each dirty worker's (possibly changed) header,
+        // ascending worker order.
+        for regions in by_col.values() {
+            for dr in regions {
+                let frame = checksum_frame(&dr.header);
+                for node in 0..self.spec.nodes() {
+                    cluster.put_local(node, &header_key(version, dr.worker), dr.header.clone())?;
+                    cluster.put_local(node, &header_crc_key(version, dr.worker), frame.clone())?;
+                }
+            }
         }
-        update_timer.stop();
+        timer.stop();
         drop(root_span);
-        self.recorder.counter("ecc.update.calls").incr();
-        self.recorder.counter("ecc.update.changed_bytes").add(changed);
-        Ok(changed)
+        Ok(DeltaReport {
+            version,
+            workers,
+            chunks_patched: by_col.len(),
+            changed_bytes: changed,
+            region_bytes,
+            traffic_bytes: region_bytes * (1 + self.config.m() as u64),
+            encoded_bytes,
+            pipeline: pipeline_stats,
+        })
     }
 
     /// Flushes the current checkpoint to remote storage immediately
@@ -1288,11 +1623,12 @@ impl EcCheck {
     fn load_from_remote(
         &self,
         cluster: &mut impl DataPlane,
+        version: u64,
+        ppw: usize,
         failed_nodes: Vec<usize>,
         corrupt_nodes: Vec<usize>,
         local_shards: &[Option<Vec<u8>>],
     ) -> Result<(Vec<StateDict>, LoadReport), EcCheckError> {
-        let version = self.version;
         let (k, n) = (self.config.k(), self.spec.nodes());
         let mut shards: Vec<Option<Vec<u8>>> = vec![None; n];
         for node in 0..n {
@@ -1369,7 +1705,7 @@ impl EcCheck {
                 cluster.put_local(node, &header_crc_key(version, w), checksum_frame(header))?;
             }
         }
-        let dicts = self.reassemble_all(&all_chunks[..k], &headers)?;
+        let dicts = self.reassemble_all(&all_chunks[..k], &headers, ppw)?;
         let restored_bytes: u64 = dicts.iter().map(|d| d.tensor_bytes() as u64).sum();
         self.recorder.counter("ecc.load.workflow.remote").incr();
         self.recorder.counter("ecc.load.rebuilt_chunks").add((n - survivors) as u64);
@@ -1400,10 +1736,11 @@ impl EcCheck {
         &self,
         data_chunks: &[Vec<u8>],
         headers: &[Vec<u8>],
+        ppw: usize,
     ) -> Result<Vec<StateDict>, EcCheckError> {
         let ps = self.config.packet_size();
         let group_size = self.placement.group_size();
-        let max_packets = self.packets_per_worker;
+        let max_packets = ppw;
         let mut dicts = Vec::with_capacity(self.spec.world_size());
         for (w, header) in headers.iter().enumerate() {
             let j = w / group_size;
@@ -2183,5 +2520,306 @@ mod shape_tests {
             let (restored, _) = ecc.load(&mut cluster).unwrap();
             assert_eq!(restored, d, "w={w}");
         }
+    }
+}
+
+#[cfg(test)]
+mod store_tests {
+    use std::collections::BTreeMap;
+
+    use super::*;
+    use crate::store::Drainer;
+    use ecc_checkpoint::{DType, Tensor, Value};
+    use ecc_cluster::{Cluster, ClusterSpec, SharedPlane};
+
+    fn cfg() -> EcCheckConfig {
+        EcCheckConfig::paper_defaults()
+            .with_packet_size(256)
+            .with_coding_threads(2)
+            .with_remote_flush_every(0)
+    }
+
+    /// Per-round worker states with tensor shapes that do NOT depend on
+    /// the round (only values do) — delta saves require stable layouts.
+    /// The payload is a real tensor: `Value::Bytes` would ride in the
+    /// replicated header, never touching the erasure-coded chunks.
+    fn dicts(world: usize, round: i64) -> Vec<StateDict> {
+        (0..world)
+            .map(|w| {
+                let mut sd = StateDict::new();
+                sd.insert("rank", Value::Int(w as i64));
+                sd.insert("round", Value::Int(round));
+                let len = 200 + w * 11;
+                let fill = (w as u8).wrapping_mul(31).wrapping_add(round as u8);
+                let t = Tensor::from_bytes(DType::U8, &[len], vec![fill; len]).unwrap();
+                sd.insert("weights", Value::Tensor(t));
+                sd
+            })
+            .collect()
+    }
+
+    /// Every blob the engine stores for `version`, across all nodes —
+    /// the byte-level fingerprint the equivalence tests compare.
+    fn version_blobs(
+        cluster: &Cluster,
+        version: u64,
+        world: usize,
+    ) -> BTreeMap<(usize, String), Option<Vec<u8>>> {
+        let mut keys = vec![
+            chunk_key(version),
+            chunk_crc_key(version),
+            manifest_key(version),
+            crate::keys::epoch_key(version),
+        ];
+        for w in 0..world {
+            keys.push(header_key(version, w));
+            keys.push(header_crc_key(version, w));
+        }
+        let mut out = BTreeMap::new();
+        for node in 0..cluster.nodes() {
+            for key in &keys {
+                out.insert((node, key.clone()), cluster.get_local(node, key));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn retention_window_and_ladder_govern_gc() {
+        let spec = ClusterSpec::tiny_test(4, 2);
+        let mut cluster = Cluster::new(spec);
+        let mut ecc =
+            EcCheck::initialize(&spec, cfg().with_retain_last(2).with_retain_every(3)).unwrap();
+        let mut saved: BTreeMap<u64, Vec<StateDict>> = BTreeMap::new();
+        for round in 1..=7i64 {
+            let d = dicts(8, round);
+            let report = ecc.save(&mut cluster, &d).unwrap();
+            saved.insert(report.version, d);
+        }
+        // Keep-last window {6, 7} plus the every-3rd ladder {3, 6}.
+        assert_eq!(ecc.retained_versions(), vec![3, 6, 7]);
+        for &v in &[3u64, 6, 7] {
+            let (restored, report) = ecc.load_version(&mut cluster, v).unwrap();
+            assert_eq!(restored, saved[&v], "version {v}");
+            assert_eq!(report.version, v);
+        }
+        // Collected versions are refused by name and leave no blobs.
+        assert!(matches!(
+            ecc.load_version(&mut cluster, 5),
+            Err(EcCheckError::VersionGone { version: 5 })
+        ));
+        for node in 0..4 {
+            assert!(cluster.get_local(node, &chunk_key(5)).is_none(), "v5 chunk not swept");
+            assert!(cluster.get_local(node, &manifest_key(5)).is_none(), "v5 manifest not swept");
+        }
+        // The default entry point still restores the newest version.
+        let (restored, report) = ecc.load(&mut cluster).unwrap();
+        assert_eq!(report.version, 7);
+        assert_eq!(restored, saved[&7]);
+    }
+
+    #[test]
+    fn default_retention_keeps_only_the_newest_version() {
+        // Pins the pre-tiered-store behavior: retain_last defaults to 1,
+        // so each save sweeps the previous version.
+        let spec = ClusterSpec::tiny_test(4, 2);
+        let mut cluster = Cluster::new(spec);
+        let mut ecc = EcCheck::initialize(&spec, cfg()).unwrap();
+        for round in 1..=3i64 {
+            ecc.save(&mut cluster, &dicts(8, round)).unwrap();
+        }
+        assert_eq!(ecc.retained_versions(), vec![3]);
+        assert!(matches!(
+            ecc.load_version(&mut cluster, 2),
+            Err(EcCheckError::VersionGone { version: 2 })
+        ));
+    }
+
+    #[test]
+    fn load_version_handles_divergent_packet_layouts() {
+        // Each retained version has a different packets-per-worker
+        // count; restoring an old one must read its manifest instead of
+        // trusting the engine's current layout.
+        let spec = ClusterSpec::tiny_test(4, 2);
+        let mut cluster = Cluster::new(spec);
+        let mut ecc = EcCheck::initialize(&spec, cfg().with_retain_last(3)).unwrap();
+        let mut saved: BTreeMap<u64, Vec<StateDict>> = BTreeMap::new();
+        for round in 1..=3i64 {
+            let d: Vec<StateDict> = (0..8)
+                .map(|w| {
+                    let mut sd = StateDict::new();
+                    sd.insert("rank", Value::Int(w as i64));
+                    let len = 100 + 700 * (round as usize) + w * 13;
+                    let t = Tensor::from_bytes(DType::U8, &[len], vec![round as u8; len]).unwrap();
+                    sd.insert("weights", Value::Tensor(t));
+                    sd
+                })
+                .collect();
+            let report = ecc.save(&mut cluster, &d).unwrap();
+            saved.insert(report.version, d);
+        }
+        for &v in &[1u64, 2, 3] {
+            let (restored, report) = ecc.load_version(&mut cluster, v).unwrap();
+            assert_eq!(restored, saved[&v], "version {v}");
+            assert_eq!(report.version, v);
+        }
+    }
+
+    #[test]
+    fn save_delta_matches_update_worker_blob_for_blob() {
+        // `update_worker` is now sugar for a single-worker `save_delta`;
+        // this pins the two entry points to byte-identical plane state.
+        let spec = ClusterSpec::tiny_test(4, 2);
+        let base = dicts(8, 0);
+        let updated = dicts(8, 1);
+
+        let mut cluster_a = Cluster::new(spec);
+        let mut ecc_a = EcCheck::initialize(&spec, cfg()).unwrap();
+        ecc_a.save(&mut cluster_a, &base).unwrap();
+        let changed_a = ecc_a.update_worker(&mut cluster_a, 3, &updated[3]).unwrap();
+
+        let mut cluster_b = Cluster::new(spec);
+        let mut ecc_b = EcCheck::initialize(&spec, cfg()).unwrap();
+        ecc_b.save(&mut cluster_b, &base).unwrap();
+        let dirty = [WorkerDirtySet { worker: 3, state: &updated[3] }];
+        let report = ecc_b.save_delta(&mut cluster_b, &dirty).unwrap();
+
+        assert!(changed_a > 0);
+        assert_eq!(report.changed_bytes, changed_a);
+        assert_eq!(report.workers, vec![3]);
+        assert_eq!(report.chunks_patched, 1);
+        assert_eq!(version_blobs(&cluster_a, 1, 8), version_blobs(&cluster_b, 1, 8));
+    }
+
+    #[test]
+    fn multi_worker_delta_spans_chunks_and_survives_failures() {
+        let spec = ClusterSpec::tiny_test(4, 2);
+        let mut cluster = Cluster::new(spec);
+        let mut ecc = EcCheck::initialize(&spec, cfg()).unwrap();
+        let mut d = dicts(8, 0);
+        ecc.save(&mut cluster, &d).unwrap();
+
+        // Workers 1 and 6 live in different data groups (group size 4).
+        let updated = dicts(8, 9);
+        let dirty = [
+            WorkerDirtySet { worker: 1, state: &updated[1] },
+            WorkerDirtySet { worker: 6, state: &updated[6] },
+        ];
+        let report = ecc.save_delta(&mut cluster, &dirty).unwrap();
+        d[1] = updated[1].clone();
+        d[6] = updated[6].clone();
+        assert_eq!(report.workers, vec![1, 6]);
+        assert_eq!(report.chunks_patched, 2);
+        assert!(report.changed_bytes > 0);
+        // Each dirty region moves once to its data node and once per
+        // parity node.
+        assert_eq!(report.traffic_bytes, report.region_bytes * (1 + 2));
+
+        cluster.fail_node(0);
+        cluster.fail_node(2);
+        cluster.replace_node(0);
+        cluster.replace_node(2);
+        let (restored, _) = ecc.load(&mut cluster).unwrap();
+        assert_eq!(restored, d);
+    }
+
+    #[test]
+    fn empty_delta_is_a_no_op() {
+        let spec = ClusterSpec::tiny_test(4, 2);
+        let mut cluster = Cluster::new(spec);
+        let mut ecc = EcCheck::initialize(&spec, cfg()).unwrap();
+        ecc.save(&mut cluster, &dicts(8, 0)).unwrap();
+        let before = version_blobs(&cluster, 1, 8);
+        let report = ecc.save_delta(&mut cluster, &[]).unwrap();
+        assert_eq!(report.changed_bytes, 0);
+        assert_eq!(report.chunks_patched, 0);
+        assert_eq!(report.traffic_bytes, 0);
+        assert_eq!(version_blobs(&cluster, 1, 8), before);
+    }
+
+    #[test]
+    fn duplicate_dirty_worker_is_refused() {
+        let spec = ClusterSpec::tiny_test(4, 2);
+        let mut cluster = Cluster::new(spec);
+        let mut ecc = EcCheck::initialize(&spec, cfg()).unwrap();
+        let d = dicts(8, 0);
+        ecc.save(&mut cluster, &d).unwrap();
+        let dirty = [
+            WorkerDirtySet { worker: 2, state: &d[2] },
+            WorkerDirtySet { worker: 2, state: &d[2] },
+        ];
+        assert!(matches!(ecc.save_delta(&mut cluster, &dirty), Err(EcCheckError::Config { .. })));
+    }
+
+    #[test]
+    fn delta_refusal_on_corrupt_chunk_is_atomic() {
+        // All reads precede all stores, so a torn-update refusal must
+        // leave every stored blob untouched.
+        let spec = ClusterSpec::tiny_test(4, 2);
+        let mut cluster = Cluster::new(spec);
+        let mut ecc = EcCheck::initialize(&spec, cfg()).unwrap();
+        let mut d = dicts(8, 0);
+        ecc.save(&mut cluster, &d).unwrap();
+
+        // Corrupt the parity chunk on node 1 (placement parity {1, 3}).
+        let key = chunk_key(1);
+        let mut blob = cluster.get_local(1, &key).unwrap();
+        blob[11] ^= 0x40;
+        cluster.put_local(1, &key, blob).unwrap();
+
+        let snapshot = version_blobs(&cluster, 1, 8);
+        let updated = dicts(8, 5);
+        let dirty = [WorkerDirtySet { worker: 4, state: &updated[4] }];
+        assert!(matches!(
+            ecc.save_delta(&mut cluster, &dirty),
+            Err(EcCheckError::CorruptChunk { node: 1 })
+        ));
+        assert_eq!(version_blobs(&cluster, 1, 8), snapshot, "refusal must not write");
+
+        // load() repairs the corruption; the delta then applies and the
+        // new state survives failures.
+        ecc.load(&mut cluster).unwrap();
+        ecc.save_delta(&mut cluster, &dirty).unwrap();
+        d[4] = updated[4].clone();
+        cluster.fail_node(1);
+        cluster.fail_node(3);
+        cluster.replace_node(1);
+        cluster.replace_node(3);
+        let (restored, _) = ecc.load(&mut cluster).unwrap();
+        assert_eq!(restored, d);
+    }
+
+    #[test]
+    fn drainer_copies_sealed_versions_to_tier_one() {
+        let spec = ClusterSpec::tiny_test(4, 2);
+        let mut shared = SharedPlane::new(Cluster::new(spec));
+        let mut ecc = EcCheck::initialize(&spec, cfg()).unwrap();
+        let drainer = Drainer::spawn(shared.clone(), 4, ecc.recorder().clone());
+        ecc.set_drainer(drainer.handle());
+
+        let d1 = dicts(8, 1);
+        ecc.save(&mut shared, &d1).unwrap();
+        drainer.handle().flush();
+        assert!(shared.get_remote(&remote_manifest_key(1)).is_some(), "v1 drained");
+
+        let d2 = dicts(8, 2);
+        ecc.save(&mut shared, &d2).unwrap();
+        drainer.handle().flush();
+        assert!(shared.get_remote(&remote_manifest_key(2)).is_some(), "v2 drained");
+        // Default retention swept v1 from tier 0 after v2 sealed...
+        assert_eq!(ecc.retained_versions(), vec![2]);
+        // ...but tier 1 still holds both drained copies.
+        assert!(shared.get_remote(&remote_chunk_key(1, 0)).is_some());
+
+        // Catastrophic tier-0 loss (3 of 4 nodes > m = 2): recovery
+        // must restore the newest version from the drained copy.
+        for node in [0usize, 1, 2] {
+            shared.lock().fail_node(node);
+            shared.lock().replace_node(node);
+        }
+        let (restored, report) = ecc.load(&mut shared).unwrap();
+        assert_eq!(restored, d2);
+        assert_eq!(report.workflow, RecoveryWorkflow::Remote);
+        drainer.shutdown();
     }
 }

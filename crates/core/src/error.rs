@@ -54,6 +54,14 @@ pub enum EcCheckError {
         /// The newer (or for `apply_placement`, the rejected) epoch.
         committed: u64,
     },
+    /// The requested checkpoint version is not in the retention index:
+    /// it was garbage-collected by the retention policy, or was never
+    /// sealed by this engine. Retained versions are listed by
+    /// [`crate::EcCheck::retained_versions`].
+    VersionGone {
+        /// The version that was asked for.
+        version: u64,
+    },
     /// An underlying erasure-coding failure.
     Erasure(ecc_erasure::ErasureError),
     /// An underlying checkpoint (de)serialization failure.
@@ -89,6 +97,9 @@ impl fmt::Display for EcCheckError {
                     "stale placement epoch: engine at {engine}, plane committed {committed}; \
                      refresh the placement before moving chunks"
                 )
+            }
+            EcCheckError::VersionGone { version } => {
+                write!(f, "checkpoint version {version} is not retained (collected or never saved)")
             }
             EcCheckError::Erasure(e) => write!(f, "erasure coding: {e}"),
             EcCheckError::Checkpoint(e) => write!(f, "checkpoint: {e}"),

@@ -161,6 +161,31 @@ pub fn latest_manifest_version(plane: &impl ecc_cluster::DataPlane) -> Option<u6
     latest
 }
 
+/// Scans a data plane for every checkpoint version that has a manifest
+/// on some alive node, sorted ascending. The tiered store's version
+/// index is rebuilt from this after adoption: the manifest is the last
+/// blob a save seals, so a version with a manifest is restorable (up to
+/// the usual `m`-failure budget).
+pub fn manifest_versions(plane: &impl ecc_cluster::DataPlane) -> Vec<u64> {
+    let mut versions = Vec::new();
+    for node in 0..plane.nodes() {
+        if !plane.alive(node) {
+            continue;
+        }
+        for key in plane.local_keys(node) {
+            if let Some(rest) = key.strip_prefix("ecc/v") {
+                if let Some(v) = rest.strip_suffix("/manifest").and_then(|v| v.parse().ok()) {
+                    if !versions.contains(&v) {
+                        versions.push(v);
+                    }
+                }
+            }
+        }
+    }
+    versions.sort_unstable();
+    versions
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -220,6 +245,20 @@ mod tests {
         assert_eq!(key_version(&placement_epoch_key()), None);
         assert!(!is_chunk_class(&placement_epoch_key()));
         assert_eq!(key_version(&epoch_key(9)), Some(9));
+    }
+
+    #[test]
+    fn manifest_versions_scans_alive_nodes() {
+        use ecc_cluster::{Cluster, ClusterSpec};
+        let mut c = Cluster::new(ClusterSpec::tiny_test(2, 1));
+        assert!(manifest_versions(&c).is_empty());
+        c.put_local(0, &manifest_key(3), vec![0; 8]).unwrap();
+        c.put_local(1, &manifest_key(1), vec![0; 8]).unwrap();
+        c.put_local(1, &manifest_key(3), vec![0; 8]).unwrap();
+        assert_eq!(manifest_versions(&c), vec![1, 3]);
+        assert_eq!(latest_manifest_version(&c), Some(3));
+        c.fail_node(1);
+        assert_eq!(manifest_versions(&c), vec![3]);
     }
 
     #[test]

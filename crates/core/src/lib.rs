@@ -67,6 +67,7 @@ mod pipeline;
 mod placement;
 mod reduction;
 mod report;
+pub mod store;
 pub mod timing;
 
 pub use config::{EcCheckConfig, SaveMode};
@@ -76,4 +77,5 @@ pub use groups::{optimal_group_size, GroupSizeCost, GroupedEcCheck};
 pub use pipeline::PipelineStats;
 pub use placement::{data_p2p_packets, select_data_parity_nodes, Placement};
 pub use reduction::{ReductionGroup, ReductionPlan, TrafficSummary};
-pub use report::{LoadReport, RecoveryWorkflow, SaveReport};
+pub use report::{DeltaReport, LoadReport, RecoveryWorkflow, SaveReport};
+pub use store::{DrainHandle, Drainer, RetentionPolicy, VersionIndex, WorkerDirtySet};

@@ -22,6 +22,33 @@ pub struct SaveReport {
     pub pipeline: Option<PipelineStats>,
 }
 
+/// What one [`crate::EcCheck::save_delta`] call did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeltaReport {
+    /// Checkpoint version patched in place (delta saves do not bump the
+    /// version; they evolve the newest one).
+    pub version: u64,
+    /// Dirty workers, ascending.
+    pub workers: Vec<usize>,
+    /// Data chunks touched (dirty workers grouped by chunk).
+    pub chunks_patched: usize,
+    /// Bytes of the dirty regions that actually differed from the
+    /// stored checkpoint (zero means the delta was a no-op).
+    pub changed_bytes: u64,
+    /// Bytes of worker region payload re-encoded (dirty workers ×
+    /// packets-per-worker × packet size).
+    pub region_bytes: u64,
+    /// Network traffic the patch cost: each dirty region moves once to
+    /// its data node and once per parity node, `region × (1 + m)` —
+    /// compare against a full save's `m·s·W` parity traffic.
+    pub traffic_bytes: u64,
+    /// Bytes of parity delta produced by the encoder.
+    pub encoded_bytes: u64,
+    /// Stage accounting of the pipelined executor; `None` for
+    /// sequential delta saves.
+    pub pipeline: Option<PipelineStats>,
+}
+
 /// Which recovery workflow [`crate::EcCheck::load`] executed (paper
 /// §III-B).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -1,0 +1,455 @@
+//! The tiered, versioned checkpoint store (ROADMAP item 4).
+//!
+//! ECCheck's original engine kept exactly one checkpoint version in one
+//! tier: the peer EC group (tier 0). Production systems (TierCheck,
+//! GhostServe — see PAPERS.md) drain checkpoints through a hierarchy
+//! and retain many versions with garbage collection. This module adds
+//! the pieces the engine composes into that store:
+//!
+//! * [`RetentionPolicy`] + [`VersionIndex`] — which sealed versions
+//!   stay restorable in tier 0. The policy keeps the newest
+//!   `keep_last` versions plus every `keep_every`-th one; the index
+//!   tracks what is sealed and computes the collectible set. The GC
+//!   safety invariant — *the newest restorable version is never
+//!   collected* — holds by construction: the newest version is always
+//!   in the keep-last window (`keep_last` is clamped to ≥ 1).
+//! * [`Drainer`] / [`DrainHandle`] — an asynchronous worker that
+//!   copies sealed versions from tier 0 (peer memory) to tier 1 (the
+//!   remote store) off the training critical path, over a bounded
+//!   queue with explicit backpressure accounting. A version queued or
+//!   mid-drain is *pinned*: the engine's GC reads
+//!   [`DrainHandle::pending`] and never collects a pinned version, so
+//!   a drain never races a delete. Deadlock-freedom: the drain thread
+//!   only ever takes one plane operation's lock at a time and never
+//!   waits on the training thread, while the training thread blocks
+//!   (at most) on the bounded queue that the drain thread is actively
+//!   emptying.
+//! * [`drain_version`] — the synchronous tier-0 → tier-1 copy itself,
+//!   checksum-verified blob by blob, re-reading the committed
+//!   placement epoch at copy time so node churn between enqueue and
+//!   drain is observed rather than raced. Remote keys are per-node
+//!   (`remote/ecc/v{v}/chunk/{node}`), so the copy stays correct
+//!   whatever incarnation currently owns a slot.
+//! * [`WorkerDirtySet`] — one worker's dirty shard for
+//!   [`crate::EcCheck::save_delta`], the GF-linear delta save that
+//!   generalizes `update_worker` to arbitrary dirty sets.
+
+use std::collections::BTreeSet;
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use ecc_checkpoint::{verify_checksum, StateDict};
+use ecc_cluster::DataPlane;
+use ecc_telemetry::Recorder;
+
+use crate::keys::{
+    chunk_crc_key, chunk_key, committed_epoch, header_crc_key, header_key, manifest_key,
+    remote_chunk_crc_key, remote_chunk_key, remote_header_crc_key, remote_header_key,
+    remote_manifest_key,
+};
+use crate::{EcCheckConfig, EcCheckError};
+
+/// One worker's dirty shard for a delta save: the worker id and its new
+/// `state_dict`. Tensor shapes must be unchanged since the last full
+/// save (only values evolve during training); shape changes need a full
+/// [`crate::EcCheck::save`].
+#[derive(Debug, Clone, Copy)]
+pub struct WorkerDirtySet<'a> {
+    /// The worker whose shard changed.
+    pub worker: usize,
+    /// The worker's new state.
+    pub state: &'a StateDict,
+}
+
+/// Which tier-0 versions survive a save: the newest `keep_last`, plus
+/// every `keep_every`-th version (0 disables the ladder). Derived from
+/// [`EcCheckConfig::retain_last`] / [`EcCheckConfig::retain_every`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetentionPolicy {
+    /// Newest versions kept unconditionally (clamped to ≥ 1).
+    pub keep_last: usize,
+    /// Keep-every-Kth pinning period (0 = off).
+    pub keep_every: u64,
+}
+
+impl RetentionPolicy {
+    /// Reads the policy out of an engine configuration.
+    pub fn from_config(config: &EcCheckConfig) -> Self {
+        Self { keep_last: config.retain_last().max(1), keep_every: config.retain_every() }
+    }
+}
+
+/// The ordered set of sealed (restorable) checkpoint versions in tier 0.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VersionIndex {
+    versions: Vec<u64>,
+}
+
+impl VersionIndex {
+    /// An empty index (no version sealed yet).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Rebuilds the index from the manifests present on a plane's alive
+    /// nodes — how an adopting engine learns which versions a previous
+    /// process left restorable.
+    pub fn rebuild(plane: &impl DataPlane) -> Self {
+        Self { versions: crate::keys::manifest_versions(plane) }
+    }
+
+    /// Records a newly sealed version.
+    pub fn record(&mut self, version: u64) {
+        if version > 0 && !self.versions.contains(&version) {
+            self.versions.push(version);
+            self.versions.sort_unstable();
+        }
+    }
+
+    /// Forgets a collected version.
+    pub fn remove(&mut self, version: u64) {
+        self.versions.retain(|&v| v != version);
+    }
+
+    /// `true` when `version` is sealed and uncollected.
+    pub fn contains(&self, version: u64) -> bool {
+        self.versions.contains(&version)
+    }
+
+    /// The newest sealed version, if any.
+    pub fn newest(&self) -> Option<u64> {
+        self.versions.last().copied()
+    }
+
+    /// Every sealed version, ascending.
+    pub fn versions(&self) -> &[u64] {
+        &self.versions
+    }
+
+    /// The versions a GC pass may collect under `policy`: everything
+    /// outside the keep-last window, the keep-every ladder, and the
+    /// `pinned` set (versions queued or mid-drain). Ascending order.
+    /// The newest version is never returned — `keep_last ≥ 1`.
+    pub fn collectible(&self, policy: &RetentionPolicy, pinned: &[u64]) -> Vec<u64> {
+        let keep_last = policy.keep_last.max(1);
+        let cutoff = self.versions.len().saturating_sub(keep_last);
+        self.versions[..cutoff]
+            .iter()
+            .copied()
+            .filter(|&v| !(policy.keep_every > 0 && v.is_multiple_of(policy.keep_every)))
+            .filter(|v| !pinned.contains(v))
+            .collect()
+    }
+}
+
+/// What one tier-0 → tier-1 copy moved.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DrainOutcome {
+    /// The version copied.
+    pub version: u64,
+    /// The placement epoch committed on the plane at copy time
+    /// (re-read under the drain, so churn since enqueue is observed).
+    pub epoch: Option<u64>,
+    /// Chunks copied intact.
+    pub chunks_copied: usize,
+    /// Total blob bytes written to tier 1.
+    pub bytes_copied: u64,
+    /// Chunks skipped because they failed their checksum (never
+    /// propagate corruption into the copy of last resort).
+    pub skipped_corrupt: usize,
+}
+
+/// Synchronously copies one sealed version from tier 0 (peer memory) to
+/// tier 1 (the remote store), verifying every blob's checksum on the
+/// way. Corrupt chunks are skipped (and counted), headers fall back
+/// across all survivors exactly like recovery, and the committed
+/// placement epoch is re-read at copy time. This is the drain worker's
+/// unit of work, public so tests (and synchronous callers) can drain
+/// deterministically without a thread.
+///
+/// # Errors
+///
+/// Returns [`EcCheckError::VersionGone`] when no alive node holds a
+/// manifest for `version` — there is nothing sealed to drain.
+pub fn drain_version<P: DataPlane>(
+    plane: &mut P,
+    version: u64,
+    world: usize,
+    recorder: &Recorder,
+) -> Result<DrainOutcome, EcCheckError> {
+    let n = plane.nodes();
+    let manifest = (0..n)
+        .filter(|&node| plane.alive(node))
+        .find_map(|node| plane.get_local(node, &manifest_key(version)))
+        .ok_or(EcCheckError::VersionGone { version })?;
+    let epoch = committed_epoch(plane);
+    let mut chunks_copied = 0usize;
+    let mut bytes_copied = 0u64;
+    let mut skipped_corrupt = 0usize;
+    for node in 0..n {
+        let blob = plane.get_local(node, &chunk_key(version));
+        let crc = plane.get_local(node, &chunk_crc_key(version));
+        let (Some(blob), Some(crc)) = (blob, crc) else { continue };
+        if !verify_checksum(&blob, &crc) {
+            skipped_corrupt += 1;
+            recorder.counter("ecc.drain.skipped_corrupt").incr();
+            recorder.event("ecc.drain.corrupt", format!("v{version} node {node} failed checksum"));
+            continue;
+        }
+        bytes_copied += (blob.len() + crc.len()) as u64;
+        plane.put_remote(&remote_chunk_key(version, node), blob);
+        plane.put_remote(&remote_chunk_crc_key(version, node), crc);
+        chunks_copied += 1;
+    }
+    for w in 0..world {
+        for node in 0..n {
+            if !plane.alive(node) {
+                continue;
+            }
+            let h = plane.get_local(node, &header_key(version, w));
+            let crc = plane.get_local(node, &header_crc_key(version, w));
+            let (Some(h), Some(crc)) = (h, crc) else { continue };
+            if !verify_checksum(&h, &crc) {
+                continue;
+            }
+            bytes_copied += (h.len() + crc.len()) as u64;
+            plane.put_remote(&remote_header_key(version, w), h);
+            plane.put_remote(&remote_header_crc_key(version, w), crc);
+            break;
+        }
+    }
+    bytes_copied += manifest.len() as u64;
+    plane.put_remote(&remote_manifest_key(version), manifest);
+    recorder.counter("ecc.drain.versions").incr();
+    recorder.counter("ecc.drain.bytes").add(bytes_copied);
+    recorder.event(
+        "ecc.drain",
+        format!("v{version} -> tier1: {chunks_copied} chunks, epoch {epoch:?}"),
+    );
+    Ok(DrainOutcome { version, epoch, chunks_copied, bytes_copied, skipped_corrupt })
+}
+
+enum DrainMsg {
+    Drain { version: u64, world: usize },
+    Flush(SyncSender<()>),
+    Shutdown,
+}
+
+/// A cloneable handle into the drain worker's queue. The engine holds
+/// one (to enqueue sealed versions and to pin pending versions against
+/// GC); the owner of the [`Drainer`] keeps another for flushing.
+#[derive(Debug, Clone)]
+pub struct DrainHandle {
+    tx: SyncSender<DrainMsg>,
+    pending: Arc<Mutex<BTreeSet<u64>>>,
+    recorder: Recorder,
+}
+
+impl DrainHandle {
+    /// Queues `version` for a tier-0 → tier-1 copy. Blocks when the
+    /// bounded queue is full (counting the stall on
+    /// `ecc.drain.backpressure`) — the save path slows down rather
+    /// than dropping durability work. Returns `false` when the drain
+    /// worker is gone.
+    pub fn enqueue(&self, version: u64, world: usize) -> bool {
+        self.pending.lock().expect("drain pending lock").insert(version);
+        self.recorder.counter("ecc.drain.enqueued").incr();
+        match self.tx.try_send(DrainMsg::Drain { version, world }) {
+            Ok(()) => true,
+            Err(TrySendError::Full(msg)) => {
+                self.recorder.counter("ecc.drain.backpressure").incr();
+                if self.tx.send(msg).is_ok() {
+                    true
+                } else {
+                    self.pending.lock().expect("drain pending lock").remove(&version);
+                    false
+                }
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                self.pending.lock().expect("drain pending lock").remove(&version);
+                false
+            }
+        }
+    }
+
+    /// Versions queued or mid-drain — pinned against GC.
+    pub fn pending(&self) -> Vec<u64> {
+        self.pending.lock().expect("drain pending lock").iter().copied().collect()
+    }
+
+    /// Blocks until every version enqueued before this call has been
+    /// drained (or the worker is gone).
+    pub fn flush(&self) {
+        let (ack_tx, ack_rx) = sync_channel(0);
+        if self.tx.send(DrainMsg::Flush(ack_tx)).is_ok() {
+            let _ = ack_rx.recv();
+        }
+    }
+}
+
+/// The asynchronous drain worker: owns a thread that copies sealed
+/// versions to tier 1 as [`DrainHandle::enqueue`] feeds it, off the
+/// training critical path.
+///
+/// # Examples
+///
+/// ```
+/// use ecc_cluster::{Cluster, ClusterSpec, SharedPlane};
+/// use ecc_telemetry::Recorder;
+/// use eccheck::store::Drainer;
+///
+/// let shared = SharedPlane::new(Cluster::new(ClusterSpec::tiny_test(2, 1)));
+/// let drainer = Drainer::spawn(shared.clone(), 4, Recorder::new());
+/// let handle = drainer.handle();
+/// // ... engine saves through a clone of `shared`, enqueueing versions ...
+/// handle.flush();
+/// drainer.shutdown();
+/// ```
+#[derive(Debug)]
+pub struct Drainer {
+    handle: DrainHandle,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl Drainer {
+    /// Spawns the drain worker over `plane` (a [`SharedPlane`] clone of
+    /// the plane the engine saves through, so the worker sees the blobs
+    /// the engine places) with a queue of `depth` pending versions.
+    ///
+    /// [`SharedPlane`]: ecc_cluster::SharedPlane
+    pub fn spawn<P: DataPlane + Send + 'static>(
+        mut plane: P,
+        depth: usize,
+        recorder: Recorder,
+    ) -> Self {
+        let (tx, rx): (SyncSender<DrainMsg>, Receiver<DrainMsg>) = sync_channel(depth.max(1));
+        let pending = Arc::new(Mutex::new(BTreeSet::new()));
+        let handle = DrainHandle { tx, pending: Arc::clone(&pending), recorder: recorder.clone() };
+        let thread = std::thread::spawn(move || {
+            while let Ok(msg) = rx.recv() {
+                match msg {
+                    DrainMsg::Drain { version, world } => {
+                        if let Err(err) = drain_version(&mut plane, version, world, &recorder) {
+                            recorder.counter("ecc.drain.failures").incr();
+                            recorder.event("ecc.drain.failed", format!("v{version}: {err}"));
+                        }
+                        // Unpin only after the copy (or its failure) is
+                        // final, so GC never deletes a version mid-copy.
+                        pending.lock().expect("drain pending lock").remove(&version);
+                    }
+                    DrainMsg::Flush(ack) => {
+                        let _ = ack.send(());
+                    }
+                    DrainMsg::Shutdown => break,
+                }
+            }
+        });
+        Self { handle, thread: Some(thread) }
+    }
+
+    /// A handle for enqueueing and pin queries (give one to the engine
+    /// via [`crate::EcCheck::set_drainer`]).
+    pub fn handle(&self) -> DrainHandle {
+        self.handle.clone()
+    }
+
+    /// Drains the queue and stops the worker.
+    pub fn shutdown(mut self) {
+        let _ = self.handle.tx.send(DrainMsg::Shutdown);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for Drainer {
+    fn drop(&mut self) {
+        let _ = self.handle.tx.send(DrainMsg::Shutdown);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecc_cluster::{Cluster, ClusterSpec, SharedPlane};
+
+    fn policy(keep_last: usize, keep_every: u64) -> RetentionPolicy {
+        RetentionPolicy { keep_last, keep_every }
+    }
+
+    fn index(versions: &[u64]) -> VersionIndex {
+        let mut idx = VersionIndex::new();
+        for &v in versions {
+            idx.record(v);
+        }
+        idx
+    }
+
+    #[test]
+    fn keep_last_one_collects_everything_but_newest() {
+        let idx = index(&[1, 2, 3, 4]);
+        assert_eq!(idx.collectible(&policy(1, 0), &[]), vec![1, 2, 3]);
+        assert_eq!(idx.newest(), Some(4));
+    }
+
+    #[test]
+    fn newest_version_is_never_collectible() {
+        // Even a zero keep_last clamps to one.
+        for keep in [0usize, 1, 2, 10] {
+            let idx = index(&[5, 6, 7]);
+            assert!(!idx.collectible(&policy(keep, 0), &[]).contains(&7));
+        }
+        assert!(index(&[9]).collectible(&policy(1, 0), &[]).is_empty());
+        assert!(VersionIndex::new().collectible(&policy(1, 0), &[]).is_empty());
+    }
+
+    #[test]
+    fn keep_every_pins_the_ladder() {
+        let idx = index(&[1, 2, 3, 4, 5, 6, 7]);
+        // Keep newest 2 (6, 7) and every 3rd (3, 6).
+        assert_eq!(idx.collectible(&policy(2, 3), &[]), vec![1, 2, 4, 5]);
+    }
+
+    #[test]
+    fn pinned_versions_survive() {
+        let idx = index(&[1, 2, 3, 4]);
+        assert_eq!(idx.collectible(&policy(1, 0), &[2]), vec![1, 3]);
+    }
+
+    #[test]
+    fn record_is_idempotent_and_sorted() {
+        let mut idx = index(&[3, 1]);
+        idx.record(2);
+        idx.record(3);
+        idx.record(0); // version 0 means "none" and is never sealed
+        assert_eq!(idx.versions(), &[1, 2, 3]);
+        idx.remove(2);
+        assert_eq!(idx.versions(), &[1, 3]);
+        assert!(!idx.contains(2));
+    }
+
+    #[test]
+    fn drain_of_unknown_version_errors() {
+        let mut c = Cluster::new(ClusterSpec::tiny_test(2, 1));
+        let err = drain_version(&mut c, 9, 2, &Recorder::new()).unwrap_err();
+        assert!(matches!(err, EcCheckError::VersionGone { version: 9 }));
+    }
+
+    #[test]
+    fn drainer_reports_pending_until_drained() {
+        let shared = SharedPlane::new(Cluster::new(ClusterSpec::tiny_test(2, 1)));
+        let drainer = Drainer::spawn(shared.clone(), 2, Recorder::new());
+        let handle = drainer.handle();
+        assert!(handle.pending().is_empty());
+        // Draining a version with no manifest fails but must still
+        // unpin it — a failed drain must never pin a version forever.
+        assert!(handle.enqueue(3, 2));
+        handle.flush();
+        assert!(handle.pending().is_empty());
+        drainer.shutdown();
+    }
+}

@@ -1,0 +1,193 @@
+//! Differential battery for GF-linear delta saves.
+//!
+//! `EcCheck::save_delta` patches the sealed checkpoint in place: each
+//! dirty worker's region is XORed against the stored chunk and the
+//! parity is patched with the encoded delta, exploiting the code's
+//! GF(2)-linearity (`parity' = parity ⊕ encode(old ⊕ new)`). The
+//! linearity argument is only as good as its bits, so these tests hold
+//! the delta path to the strongest possible oracle: after a delta save,
+//! **every node must hold byte-identical blobs to a full save of the
+//! mutated state** — same chunks, same checksum frames, same headers,
+//! same manifest — for arbitrary (k, m) shapes, arbitrary dirty sets,
+//! both save executors, and every available GF kernel.
+
+use ecc_checkpoint::{DType, StateDict, Tensor, Value};
+use ecc_cluster::{Cluster, ClusterSpec};
+use ecc_gf::kernel::{available_kernels, force_kernel};
+use eccheck::{EcCheck, EcCheckConfig, SaveMode, WorkerDirtySet};
+use proptest::prelude::*;
+
+/// (k, m, gpus_per_node) shapes; world = (k + m) * gpus.
+const SHAPES: [(usize, usize, usize); 4] = [(2, 2, 1), (2, 2, 2), (4, 2, 2), (3, 3, 1)];
+
+/// One worker's state: tensor shapes depend only on the worker (delta
+/// saves require stable layouts), values on `salt`.
+fn worker_dict(w: usize, salt: u8) -> StateDict {
+    let mut sd = StateDict::new();
+    sd.insert("rank", Value::Int(w as i64));
+    sd.insert("salt", Value::Int(salt as i64));
+    let len = 40 + (w * 37) % 200;
+    let bytes: Vec<u8> = (0..len).map(|i| (i as u8).wrapping_mul(29) ^ (w as u8) ^ salt).collect();
+    let t = Tensor::from_bytes(DType::U8, &[len], bytes).expect("tensor shape valid");
+    sd.insert("weights", Value::Tensor(t));
+    sd
+}
+
+/// Every blob on every node, in canonical order — the complete
+/// observable result of a save sequence on the local plane.
+fn local_fingerprint(cluster: &Cluster, nodes: usize) -> Vec<(usize, String, Vec<u8>)> {
+    let mut out = Vec::new();
+    for node in 0..nodes {
+        for key in cluster.local_keys(node) {
+            let bytes = cluster.get_local(node, &key).expect("listed key readable");
+            out.push((node, key, bytes));
+        }
+    }
+    out
+}
+
+fn base_config(k: usize, m: usize) -> EcCheckConfig {
+    EcCheckConfig::paper_defaults().with_km(k, m).with_packet_size(256).with_remote_flush_every(0)
+}
+
+/// The differential core: full save of `salt` state, delta-save the
+/// `dirty` workers to `salt ^ 0x5A` state, and demand byte-identical
+/// plane state to a fresh full save of the mutated state — then prove
+/// the patched checkpoint still survives `m` failures.
+fn delta_vs_full(
+    (k, m, gpus): (usize, usize, usize),
+    mode: SaveMode,
+    threads: usize,
+    buffer: usize,
+    dirty: &[usize],
+    salt: u8,
+) {
+    let nodes = k + m;
+    let spec = ClusterSpec::tiny_test(nodes, gpus);
+    let world = spec.world_size();
+    let cfg = base_config(k, m)
+        .with_save_mode(mode)
+        .with_coding_threads(threads)
+        .with_pipeline_buffer(buffer);
+
+    // Engine A: full save of the base state, then the delta patch.
+    let mut cluster_a = Cluster::new(spec);
+    let mut ecc_a = EcCheck::initialize(&spec, cfg).expect("config valid for shape");
+    let base: Vec<StateDict> = (0..world).map(|w| worker_dict(w, salt)).collect();
+    ecc_a.save(&mut cluster_a, &base).expect("base save");
+    let news: Vec<StateDict> = dirty.iter().map(|&w| worker_dict(w, salt ^ 0x5A)).collect();
+    let sets: Vec<WorkerDirtySet<'_>> =
+        dirty.iter().zip(&news).map(|(&worker, state)| WorkerDirtySet { worker, state }).collect();
+    let report = ecc_a.save_delta(&mut cluster_a, &sets).expect("delta save");
+    assert_eq!(report.version, 1);
+    assert!(report.changed_bytes > 0, "distinct salts must change bytes");
+    assert_eq!(
+        report.traffic_bytes,
+        report.region_bytes * (1 + m as u64),
+        "delta traffic accounting: region moves once per data node + once per parity node"
+    );
+
+    // Engine B (oracle): a fresh full save of the mutated state.
+    let mut want = base;
+    for (&w, sd) in dirty.iter().zip(&news) {
+        want[w] = sd.clone();
+    }
+    let mut cluster_b = Cluster::new(spec);
+    let mut ecc_b = EcCheck::initialize(&spec, cfg).expect("config valid for shape");
+    ecc_b.save(&mut cluster_b, &want).expect("oracle save");
+
+    assert_eq!(
+        local_fingerprint(&cluster_a, nodes),
+        local_fingerprint(&cluster_b, nodes),
+        "delta-patched plane must be byte-identical to a full save \
+         (k={k} m={m} gpus={gpus} mode={mode:?} dirty={dirty:?})"
+    );
+
+    // The patched checkpoint must still tolerate m failures.
+    for node in 0..m {
+        cluster_a.fail_node(node);
+        cluster_a.replace_node(node);
+    }
+    let (restored, _) = ecc_a.load(&mut cluster_a).expect("recovery load");
+    assert_eq!(restored, want, "restore after delta + {m} failures");
+}
+
+#[test]
+fn single_and_multi_worker_deltas_equal_full_saves() {
+    // Deterministic smoke across shapes and both executors before the
+    // randomized sweep: one dirty worker, and one dirty worker per
+    // data group.
+    for &(k, m, gpus) in &SHAPES {
+        let world = (k + m) * gpus;
+        let group = world / k;
+        let spread: Vec<usize> = (0..k).map(|j| j * group + (j % group)).collect();
+        for mode in [SaveMode::Sequential, SaveMode::Pipelined] {
+            delta_vs_full((k, m, gpus), mode, 2, 96, &[world - 1], 7);
+            delta_vs_full((k, m, gpus), mode, 2, 96, &spread, 7);
+        }
+    }
+}
+
+#[test]
+fn delta_modes_store_identical_blobs() {
+    // The sequential and pipelined delta executors must drive the very
+    // same plane operations — not merely equivalent final bytes.
+    let spec = ClusterSpec::tiny_test(4, 2);
+    let mut fingerprints = Vec::new();
+    for mode in [SaveMode::Sequential, SaveMode::Pipelined] {
+        let cfg =
+            base_config(2, 2).with_save_mode(mode).with_coding_threads(3).with_pipeline_buffer(128);
+        let mut cluster = Cluster::new(spec);
+        let mut ecc = EcCheck::initialize(&spec, cfg).expect("config valid");
+        let base: Vec<StateDict> = (0..8).map(|w| worker_dict(w, 3)).collect();
+        ecc.save(&mut cluster, &base).expect("base save");
+        let new1 = worker_dict(1, 99);
+        let new6 = worker_dict(6, 99);
+        let sets = [
+            WorkerDirtySet { worker: 1, state: &new1 },
+            WorkerDirtySet { worker: 6, state: &new6 },
+        ];
+        ecc.save_delta(&mut cluster, &sets).expect("delta save");
+        fingerprints.push(local_fingerprint(&cluster, 4));
+    }
+    assert_eq!(fingerprints[0], fingerprints[1]);
+}
+
+#[test]
+fn delta_is_bit_identical_under_every_kernel() {
+    // Kernel forcing mutates process-global dispatch state, so the
+    // whole sweep lives in one sequential loop (see kernel_equiv_prop).
+    let before = ecc_gf::kernel::active_kernel().name();
+    for kernel in available_kernels() {
+        force_kernel(kernel.name()).unwrap();
+        for mode in [SaveMode::Sequential, SaveMode::Pipelined] {
+            delta_vs_full((2, 2, 2), mode, 2, 128, &[1, 6], 9);
+        }
+    }
+    force_kernel(before).unwrap();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The differential property over arbitrary shapes, dirty-worker
+    /// subsets, executors, thread counts and stripe buffers.
+    #[test]
+    fn delta_equals_full_save_for_arbitrary_dirty_sets(
+        shape in 0usize..SHAPES.len(),
+        mask in 1u64..4096,
+        salt in 0u8..200,
+        pipelined in any::<bool>(),
+        threads in 1usize..4,
+        buffer in 32usize..2048,
+    ) {
+        let (k, m, gpus) = SHAPES[shape];
+        let world = (k + m) * gpus;
+        let mut dirty: Vec<usize> = (0..world).filter(|&w| mask >> w & 1 == 1).collect();
+        if dirty.is_empty() {
+            dirty.push(mask as usize % world);
+        }
+        let mode = if pipelined { SaveMode::Pipelined } else { SaveMode::Sequential };
+        delta_vs_full((k, m, gpus), mode, threads, buffer, &dirty, salt);
+    }
+}
